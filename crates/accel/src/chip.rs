@@ -1,0 +1,138 @@
+//! The taped-out chip's configuration parameters (paper Table 1 and
+//! Sec. 4), recorded as checked constants.
+
+use dante_circuit::booster::BoosterBank;
+use dante_circuit::units::{Hertz, SquareMicron, Volt};
+use dante_sram::geometry::MemoryGeometry;
+
+/// Chip configuration (paper Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipConfig {
+    /// Die width in millimetres.
+    pub die_width_mm: f64,
+    /// Die height in millimetres.
+    pub die_height_mm: f64,
+    /// Weight memory geometry (128 KB).
+    pub weight_memory: MemoryGeometry,
+    /// Input memory geometry (16 KB).
+    pub input_memory: MemoryGeometry,
+    /// Target frequency at nominal 0.8 V.
+    pub f_nominal: Hertz,
+    /// Target frequency for the low-voltage range (Vdd <= 0.5 V).
+    pub f_low_voltage: Hertz,
+    /// Lowest supported supply voltage.
+    pub v_min: Volt,
+    /// Highest supported supply voltage.
+    pub v_max: Volt,
+    /// Programmable boost levels.
+    pub boost_levels: usize,
+    /// Booster area per SRAM macro.
+    pub booster_area_per_macro: SquareMicron,
+    /// MIM capacitance per SRAM macro in picofarads.
+    pub mim_capacitance_pf: f64,
+    /// Number of processing elements.
+    pub pe_count: usize,
+}
+
+impl ChipConfig {
+    /// The *Dante* chip as taped out.
+    #[must_use]
+    pub fn dante() -> Self {
+        Self {
+            die_width_mm: 2.05,
+            die_height_mm: 1.13,
+            weight_memory: MemoryGeometry::dante_weight_memory(),
+            input_memory: MemoryGeometry::dante_input_memory(),
+            f_nominal: Hertz::const_new(330.0e6),
+            f_low_voltage: Hertz::const_new(50.0e6),
+            v_min: Volt::const_new(0.34),
+            v_max: Volt::const_new(0.80),
+            boost_levels: 4,
+            booster_area_per_macro: SquareMicron::const_new(3900.0),
+            mim_capacitance_pf: 40.0,
+            pe_count: 8,
+        }
+    }
+
+    /// Die area in square millimetres (Table 1: 2.3 mm^2).
+    #[must_use]
+    pub fn die_area_mm2(&self) -> f64 {
+        self.die_width_mm * self.die_height_mm
+    }
+
+    /// Total on-chip SRAM in bytes (144 KB).
+    #[must_use]
+    pub fn total_sram_bytes(&self) -> usize {
+        self.weight_memory.capacity_bytes() + self.input_memory.capacity_bytes()
+    }
+
+    /// Total SRAM macro count (36).
+    #[must_use]
+    pub fn total_macros(&self) -> usize {
+        self.weight_memory.total_macros() + self.input_memory.total_macros()
+    }
+
+    /// Whether a supply voltage is within the chip's operating range.
+    #[must_use]
+    pub fn supports_voltage(&self, v: Volt) -> bool {
+        v >= self.v_min && v <= self.v_max
+    }
+
+    /// A booster bank matching this chip's per-bank boost hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boost_levels` does not divide the standard inverter
+    /// budget (it always does for the taped-out 4).
+    #[must_use]
+    pub fn booster(&self) -> BoosterBank {
+        BoosterBank::with_levels(self.boost_levels)
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self::dante()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_invariants_hold() {
+        let c = ChipConfig::dante();
+        // 2.05 mm x 1.13 mm ~ 2.3 mm^2.
+        assert!((c.die_area_mm2() - 2.3165).abs() < 1e-3);
+        // 128 KB weights + 16 KB inputs = 144 KB over 36 macros.
+        assert_eq!(c.total_sram_bytes(), 144 * 1024);
+        assert_eq!(c.total_macros(), 36);
+        // 4 programmable boost levels.
+        assert_eq!(c.booster().levels(), 4);
+        // 0.34 V to 0.8 V operating range.
+        assert!(c.supports_voltage(Volt::new(0.34)));
+        assert!(c.supports_voltage(Volt::new(0.8)));
+        assert!(!c.supports_voltage(Volt::new(0.33)));
+        assert!(!c.supports_voltage(Volt::new(0.9)));
+    }
+
+    #[test]
+    fn booster_matches_table1_mim_budget() {
+        let c = ChipConfig::dante();
+        let bank = c.booster();
+        let total_mim_pf: f64 = bank
+            .cells()
+            .iter()
+            .filter_map(|cell| cell.mim().map(|m| m.capacitance().picofarads()))
+            .sum();
+        assert!((total_mim_pf - c.mim_capacitance_pf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequencies_match_table1() {
+        let c = ChipConfig::dante();
+        assert!((c.f_nominal.megahertz() - 330.0).abs() < 1e-9);
+        assert!((c.f_low_voltage.megahertz() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,361 @@
+//! Boosted banked memories: `dante-sram` macros behind per-bank booster
+//! columns and BIC blocks (paper Sec. 4).
+//!
+//! Every read or write resolves the target bank, asks its BIC how many
+//! booster cells fire under the current configuration, and performs the
+//! access at the resulting boosted rail voltage — so data stored in a bank
+//! programmed to a low boost level really does corrupt more at low `Vdd`.
+//! Per-level access counters feed the paper's Eq. 3 energy accounting.
+
+use crate::chip::ChipConfig;
+use dante_circuit::bic::{BoostConfig, BoostInputControl, ChipEnable, ClockPhase};
+use dante_circuit::booster::BoosterBank;
+use dante_circuit::units::Volt;
+use dante_sram::fault::VminFaultModel;
+use dante_sram::geometry::MemoryGeometry;
+use dante_sram::storage::FaultyMacro;
+use rand::Rng;
+
+/// Per-memory access statistics, bucketed by boost level.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Reads per boost level (index = level).
+    pub reads_per_level: Vec<u64>,
+    /// Writes per boost level (index = level).
+    pub writes_per_level: Vec<u64>,
+}
+
+impl MemoryStats {
+    fn new(levels: usize) -> Self {
+        Self { reads_per_level: vec![0; levels + 1], writes_per_level: vec![0; levels + 1] }
+    }
+
+    /// Total reads.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads_per_level.iter().sum()
+    }
+
+    /// Total writes.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes_per_level.iter().sum()
+    }
+
+    /// Total accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Accesses per level (reads + writes), the `SRAMAcc_i` groups of Eq. 3.
+    #[must_use]
+    pub fn accesses_per_level(&self) -> Vec<u64> {
+        self.reads_per_level
+            .iter()
+            .zip(&self.writes_per_level)
+            .map(|(r, w)| r + w)
+            .collect()
+    }
+}
+
+/// A banked memory with per-bank programmable boosting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoostedMemory {
+    geometry: MemoryGeometry,
+    macros: Vec<FaultyMacro>,
+    bics: Vec<BoostInputControl>,
+    booster: BoosterBank,
+    vdd: Volt,
+    stats: MemoryStats,
+}
+
+impl BoostedMemory {
+    /// Creates a memory whose macros draw fresh fault dies from `model`.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        geometry: MemoryGeometry,
+        booster: BoosterBank,
+        model: &VminFaultModel,
+        vdd: Volt,
+        rng: &mut R,
+    ) -> Self {
+        let macros = (0..geometry.total_macros())
+            .map(|_| FaultyMacro::new(geometry.bank_geometry().macro_geometry(), model, rng))
+            .collect();
+        Self::assemble(geometry, booster, macros, vdd)
+    }
+
+    /// Creates an ideal fault-free memory (reference runs).
+    #[must_use]
+    pub fn fault_free(geometry: MemoryGeometry, booster: BoosterBank, vdd: Volt) -> Self {
+        let macros = (0..geometry.total_macros())
+            .map(|_| FaultyMacro::fault_free(geometry.bank_geometry().macro_geometry()))
+            .collect();
+        Self::assemble(geometry, booster, macros, vdd)
+    }
+
+    fn assemble(
+        geometry: MemoryGeometry,
+        booster: BoosterBank,
+        macros: Vec<FaultyMacro>,
+        vdd: Volt,
+    ) -> Self {
+        let levels = booster.levels();
+        let width = u8::try_from(levels).expect("booster level count fits in u8");
+        let bics = (0..geometry.banks()).map(|_| BoostInputControl::new(width)).collect();
+        Self {
+            geometry,
+            macros,
+            bics,
+            booster,
+            vdd,
+            stats: MemoryStats::new(levels),
+        }
+    }
+
+    /// The chip's weight memory at `vdd` with a fresh fault die.
+    #[must_use]
+    pub fn dante_weight<R: Rng + ?Sized>(
+        model: &VminFaultModel,
+        vdd: Volt,
+        rng: &mut R,
+    ) -> Self {
+        let chip = ChipConfig::dante();
+        Self::new(chip.weight_memory, chip.booster(), model, vdd, rng)
+    }
+
+    /// The chip's input memory at `vdd` with a fresh fault die.
+    #[must_use]
+    pub fn dante_input<R: Rng + ?Sized>(
+        model: &VminFaultModel,
+        vdd: Volt,
+        rng: &mut R,
+    ) -> Self {
+        let chip = ChipConfig::dante();
+        Self::new(chip.input_memory, chip.booster(), model, vdd, rng)
+    }
+
+    /// The memory geometry.
+    #[must_use]
+    pub fn geometry(&self) -> MemoryGeometry {
+        self.geometry
+    }
+
+    /// Addressable 64-bit words.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.geometry.words()
+    }
+
+    /// Current supply voltage.
+    #[must_use]
+    pub fn vdd(&self) -> Volt {
+        self.vdd
+    }
+
+    /// Changes the shared supply voltage.
+    pub fn set_vdd(&mut self, vdd: Volt) {
+        self.vdd = vdd;
+    }
+
+    /// Programs one bank's boost configuration — the hardware effect of the
+    /// `set_boost_config` instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range or the config width mismatches.
+    pub fn set_boost_config(&mut self, bank: usize, config: BoostConfig) {
+        assert!(bank < self.geometry.banks(), "bank {bank} out of range");
+        self.bics[bank].set_config(config);
+    }
+
+    /// Programs every bank to the same boost level.
+    pub fn set_boost_level_all(&mut self, level: usize) {
+        let width = u8::try_from(self.booster.levels()).expect("level count fits u8");
+        for bank in 0..self.geometry.banks() {
+            self.set_boost_config(bank, BoostConfig::from_level(level, width));
+        }
+    }
+
+    /// The boost configuration of a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn boost_config(&self, bank: usize) -> BoostConfig {
+        assert!(bank < self.geometry.banks(), "bank {bank} out of range");
+        self.bics[bank].config()
+    }
+
+    /// The effective rail voltage a bank's accesses see right now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn bank_access_voltage(&self, bank: usize) -> Volt {
+        let level = self.bank_level(bank);
+        self.booster.boosted_voltage(self.vdd, level)
+    }
+
+    fn bank_level(&self, bank: usize) -> usize {
+        assert!(bank < self.geometry.banks(), "bank {bank} out of range");
+        self.bics[bank].boosting_count(ChipEnable::Active, ClockPhase::High)
+    }
+
+    fn locate(&self, addr: usize) -> (usize, usize, usize) {
+        let (bank, word_in_bank) = self.geometry.decode(addr);
+        let words_per_macro = self.geometry.bank_geometry().macro_geometry().words();
+        let macro_in_bank = word_in_bank / words_per_macro;
+        let word_in_macro = word_in_bank % words_per_macro;
+        let macro_idx = bank * self.geometry.bank_geometry().macros_per_bank() + macro_in_bank;
+        (bank, macro_idx, word_in_macro)
+    }
+
+    /// Reads the 64-bit word at `addr` at the bank's boosted voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&mut self, addr: usize) -> u64 {
+        let (bank, macro_idx, word) = self.locate(addr);
+        let level = self.bank_level(bank);
+        let v = self.booster.boosted_voltage(self.vdd, level);
+        self.stats.reads_per_level[level] += 1;
+        self.macros[macro_idx].read(word, v)
+    }
+
+    /// Writes the 64-bit word at `addr` (counted at the bank's boost level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write(&mut self, addr: usize, value: u64) {
+        let (bank, macro_idx, word) = self.locate(addr);
+        let level = self.bank_level(bank);
+        self.stats.writes_per_level[level] += 1;
+        self.macros[macro_idx].write(word, value);
+    }
+
+    /// Access statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// Resets the access statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemoryStats::new(self.booster.levels());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn weight_mem(vdd: f64, seed: u64) -> BoostedMemory {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BoostedMemory::dante_weight(&VminFaultModel::default_14nm(), Volt::new(vdd), &mut rng)
+    }
+
+    #[test]
+    fn geometry_matches_chip() {
+        let m = weight_mem(0.5, 1);
+        assert_eq!(m.words(), 16 * 1024);
+        assert_eq!(m.geometry().banks(), 16);
+    }
+
+    #[test]
+    fn unboosted_low_voltage_reads_corrupt_boosted_reads_do_not() {
+        let mut m = weight_mem(0.40, 2);
+        for addr in 0..m.words() {
+            m.write(addr, 0);
+        }
+        // Unboosted at 0.40 V: expect corruption.
+        m.set_boost_level_all(0);
+        let mut flips_unboosted = 0u32;
+        for addr in 0..m.words() {
+            flips_unboosted += m.read(addr).count_ones();
+        }
+        // Fully boosted: rail at ~0.60 V, expect (near-)zero corruption.
+        m.set_boost_level_all(4);
+        let mut flips_boosted = 0u32;
+        for addr in 0..m.words() {
+            flips_boosted += m.read(addr).count_ones();
+        }
+        assert!(
+            flips_unboosted > 1000,
+            "expected heavy corruption at 0.40 V, got {flips_unboosted}"
+        );
+        assert_eq!(flips_boosted, 0, "full boost must eliminate errors at 0.40 V");
+    }
+
+    #[test]
+    fn per_bank_configuration_is_independent() {
+        let mut m = weight_mem(0.40, 3);
+        m.set_boost_config(0, BoostConfig::from_level(4, 4));
+        m.set_boost_config(1, BoostConfig::from_level(1, 4));
+        assert!(m.bank_access_voltage(0) > m.bank_access_voltage(1));
+        assert!(m.bank_access_voltage(1) > m.bank_access_voltage(2)); // bank 2 unboosted
+    }
+
+    #[test]
+    fn stats_bucket_accesses_by_level() {
+        let mut m = weight_mem(0.45, 4);
+        m.set_boost_level_all(2);
+        m.write(0, 7);
+        let _ = m.read(0);
+        let _ = m.read(1);
+        m.set_boost_level_all(4);
+        let _ = m.read(2);
+        let s = m.stats();
+        assert_eq!(s.reads_per_level[2], 2);
+        assert_eq!(s.reads_per_level[4], 1);
+        assert_eq!(s.writes_per_level[2], 1);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.accesses_per_level()[2], 3);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut m = weight_mem(0.5, 5);
+        m.write(0, 1);
+        m.reset_stats();
+        assert_eq!(m.stats().total(), 0);
+    }
+
+    #[test]
+    fn fault_free_memory_is_always_clean() {
+        let chip = ChipConfig::dante();
+        let mut m =
+            BoostedMemory::fault_free(chip.input_memory, chip.booster(), Volt::new(0.34));
+        for addr in 0..m.words() {
+            m.write(addr, 0xA5A5_5A5A_0F0F_F0F0);
+        }
+        for addr in 0..m.words() {
+            assert_eq!(m.read(addr), 0xA5A5_5A5A_0F0F_F0F0);
+        }
+    }
+
+    #[test]
+    fn addresses_span_banks_contiguously() {
+        let mut m = weight_mem(0.5, 6);
+        // Write distinct values at the bank boundary and read them back.
+        let per_bank = m.geometry().bank_geometry().words();
+        m.write(per_bank - 1, 11);
+        m.write(per_bank, 22);
+        assert_eq!(m.read(per_bank - 1), 11);
+        assert_eq!(m.read(per_bank), 22);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bank_bounds_checked() {
+        let mut m = weight_mem(0.5, 7);
+        m.set_boost_config(16, BoostConfig::from_level(1, 4));
+    }
+}

@@ -1,0 +1,627 @@
+//! Compilation of a trained [`dante_nn::Network`] into a quantized
+//! accelerator program.
+//!
+//! Compilation quantizes each weight layer with the chip's scaled 16-bit
+//! format (2 guard bits), runs a float calibration batch to size the
+//! activation scales, and derives the per-layer requantization multipliers.
+//! Dense layers map directly; convolutions are lowered im2col-style (each
+//! output channel's filter becomes one weight row the PEs sweep across the
+//! feature map — the filter-resident reuse pattern of real conv
+//! accelerators); max-pool becomes a PE-local stage on activation codes.
+//! The result is everything the executor needs: packed weight words, scale
+//! metadata, and layer geometry.
+
+use crate::pe::quantize_multiplier;
+use dante_nn::layers::Layer;
+use dante_nn::network::Network;
+use dante_nn::quant::{ScaledQuantizer, ScaledTensor};
+
+/// Guard factor applied to activation scales (2 guard bits, matching the
+/// weight format).
+const ACT_GUARD: f32 = 4.0;
+
+/// One compiled fully-connected layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedFcLayer {
+    weights: ScaledTensor,
+    /// Per-neuron bias in accumulator units (`s_w * s_x`), added before
+    /// requantization.
+    bias_acc: Vec<i64>,
+    in_len: usize,
+    out_len: usize,
+    relu: bool,
+    requant_multiplier: i32,
+    requant_shift: u32,
+    out_scale: f32,
+}
+
+impl QuantizedFcLayer {
+    /// Output-major quantized weights (`[out][in]`, row-contiguous).
+    #[must_use]
+    pub fn weights(&self) -> &ScaledTensor {
+        &self.weights
+    }
+
+    /// Per-neuron bias in accumulator units.
+    #[must_use]
+    pub fn bias_acc(&self) -> &[i64] {
+        &self.bias_acc
+    }
+
+    /// Input activation count.
+    #[must_use]
+    pub fn in_len(&self) -> usize {
+        self.in_len
+    }
+
+    /// Output neuron count.
+    #[must_use]
+    pub fn out_len(&self) -> usize {
+        self.out_len
+    }
+
+    /// Whether a ReLU follows this layer.
+    #[must_use]
+    pub fn relu(&self) -> bool {
+        self.relu
+    }
+
+    /// Requantization multiplier/shift pair.
+    #[must_use]
+    pub fn requant(&self) -> (i32, u32) {
+        (self.requant_multiplier, self.requant_shift)
+    }
+
+    /// Scale of the output activation codes.
+    #[must_use]
+    pub fn out_scale(&self) -> f32 {
+        self.out_scale
+    }
+
+    /// 64-bit words one output neuron's weight row occupies (word-aligned).
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.in_len.div_ceil(4)
+    }
+}
+
+/// One compiled convolution layer (im2col-lowered: one weight row per
+/// output channel, swept over the feature map by the executor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedConvLayer {
+    weights: ScaledTensor,
+    bias_acc: Vec<i64>,
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: usize,
+    relu: bool,
+    requant_multiplier: i32,
+    requant_shift: u32,
+    out_scale: f32,
+}
+
+impl QuantizedConvLayer {
+    /// Quantized filters, one row of `in_c * k * k` codes per output
+    /// channel.
+    #[must_use]
+    pub fn weights(&self) -> &ScaledTensor {
+        &self.weights
+    }
+
+    /// Per-channel bias in accumulator units.
+    #[must_use]
+    pub fn bias_acc(&self) -> &[i64] {
+        &self.bias_acc
+    }
+
+    /// Input shape `(c, h, w)`.
+    #[must_use]
+    pub fn in_shape(&self) -> (usize, usize, usize) {
+        (self.in_c, self.in_h, self.in_w)
+    }
+
+    /// Output channel count.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel side length.
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Symmetric zero padding.
+    #[must_use]
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Whether a ReLU is fused onto the output.
+    #[must_use]
+    pub fn relu(&self) -> bool {
+        self.relu
+    }
+
+    /// Requantization multiplier/shift pair.
+    #[must_use]
+    pub fn requant(&self) -> (i32, u32) {
+        (self.requant_multiplier, self.requant_shift)
+    }
+
+    /// Scale of the output activation codes.
+    #[must_use]
+    pub fn out_scale(&self) -> f32 {
+        self.out_scale
+    }
+
+    /// Input activation count.
+    #[must_use]
+    pub fn in_len(&self) -> usize {
+        self.in_c * self.in_h * self.in_w
+    }
+
+    /// Output spatial height (stride 1).
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        self.in_h + 2 * self.padding - self.kernel + 1
+    }
+
+    /// Output spatial width (stride 1).
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        self.in_w + 2 * self.padding - self.kernel + 1
+    }
+
+    /// Output activation count.
+    #[must_use]
+    pub fn out_len(&self) -> usize {
+        self.out_channels * self.out_h() * self.out_w()
+    }
+
+    /// Codes per filter row (`in_c * k * k`).
+    #[must_use]
+    pub fn row_len(&self) -> usize {
+        self.in_c * self.kernel * self.kernel
+    }
+
+    /// 64-bit words one filter row occupies (word-aligned).
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.row_len().div_ceil(4)
+    }
+}
+
+/// A 2x2/stride-2 max-pool stage executed on activation codes inside the
+/// PEs (max of fixed-point codes equals max of values at a shared scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStage {
+    /// Input channels.
+    pub channels: usize,
+    /// Input height (even).
+    pub in_h: usize,
+    /// Input width (even).
+    pub in_w: usize,
+}
+
+impl PoolStage {
+    /// Input activation count.
+    #[must_use]
+    pub fn in_len(&self) -> usize {
+        self.channels * self.in_h * self.in_w
+    }
+
+    /// Output activation count.
+    #[must_use]
+    pub fn out_len(&self) -> usize {
+        self.channels * (self.in_h / 2) * (self.in_w / 2)
+    }
+}
+
+/// One stage of a compiled program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledLayer {
+    /// Fully-connected stage.
+    Fc(QuantizedFcLayer),
+    /// Convolution stage.
+    Conv(QuantizedConvLayer),
+    /// Max-pool stage (no weights).
+    Pool(PoolStage),
+}
+
+impl CompiledLayer {
+    /// Input activation count.
+    #[must_use]
+    pub fn in_len(&self) -> usize {
+        match self {
+            Self::Fc(l) => l.in_len(),
+            Self::Conv(l) => l.in_len(),
+            Self::Pool(p) => p.in_len(),
+        }
+    }
+
+    /// Output activation count.
+    #[must_use]
+    pub fn out_len(&self) -> usize {
+        match self {
+            Self::Fc(l) => l.out_len(),
+            Self::Conv(l) => l.out_len(),
+            Self::Pool(p) => p.out_len(),
+        }
+    }
+
+    /// Whether the stage holds weights in the weight memory (and therefore
+    /// consumes a boost-schedule entry).
+    #[must_use]
+    pub fn has_weights(&self) -> bool {
+        matches!(self, Self::Fc(_) | Self::Conv(_))
+    }
+
+    /// The FC stage, if this is one.
+    #[must_use]
+    pub fn as_fc(&self) -> Option<&QuantizedFcLayer> {
+        match self {
+            Self::Fc(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Scale of the stage's output codes (`None` for pool, which preserves
+    /// its input scale).
+    #[must_use]
+    pub fn out_scale(&self) -> Option<f32> {
+        match self {
+            Self::Fc(l) => Some(l.out_scale()),
+            Self::Conv(l) => Some(l.out_scale()),
+            Self::Pool(_) => None,
+        }
+    }
+}
+
+/// A compiled accelerator program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    layers: Vec<CompiledLayer>,
+    input_scale: f32,
+}
+
+/// Error compiling a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The network contains a layer kind the FC accelerator cannot map.
+    UnsupportedLayer {
+        /// Index of the offending layer.
+        index: usize,
+        /// Human-readable layer kind.
+        kind: &'static str,
+    },
+    /// The calibration set was empty.
+    EmptyCalibration,
+}
+
+impl core::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::UnsupportedLayer { index, kind } => {
+                write!(f, "layer {index} ({kind}) cannot be mapped onto the FC accelerator")
+            }
+            Self::EmptyCalibration => write!(f, "calibration set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl Program {
+    /// Compiles a dense/ReLU network.
+    ///
+    /// `calibration` is a batch of representative input samples
+    /// (`net.in_len()` floats each) used to size activation scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::UnsupportedLayer`] for conv/pool layers and
+    /// [`CompileError::EmptyCalibration`] for an empty calibration batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration.len()` is not a multiple of `net.in_len()`.
+    pub fn compile(net: &Network, calibration: &[f32]) -> Result<Self, CompileError> {
+        if calibration.is_empty() {
+            return Err(CompileError::EmptyCalibration);
+        }
+        let in_len = net.in_len();
+        assert_eq!(calibration.len() % in_len, 0, "calibration batch length mismatch");
+        let batch = calibration.len() / in_len;
+
+        let max_abs = |xs: &[f32]| xs.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-9);
+        let quantizer = ScaledQuantizer::weight_default();
+        let input_scale = max_abs(calibration) * ACT_GUARD / 32767.0;
+
+        let mut layers: Vec<CompiledLayer> = Vec::new();
+        let mut act = calibration.to_vec();
+        let mut act_scale = input_scale;
+        // A weight stage awaiting possible ReLU fusion, with its float
+        // calibration output and output scale.
+        let mut pending: Option<(CompiledLayer, Vec<f32>, f32)> = None;
+
+        // Shared requantization derivation for FC and conv stages.
+        let derive = |weights: &ScaledTensor,
+                      act_scale: f32,
+                      out: &[f32],
+                      bias: &[f32]|
+         -> (f32, i32, u32, Vec<i64>) {
+            let max_abs = |xs: &[f32]| xs.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-9);
+            let out_scale = max_abs(out) * ACT_GUARD / 32767.0;
+            let ratio = f64::from(weights.scale()) * f64::from(act_scale) / f64::from(out_scale);
+            let (m, s) = quantize_multiplier(ratio);
+            let acc_scale = f64::from(weights.scale()) * f64::from(act_scale);
+            let bias_acc =
+                bias.iter().map(|&b| (f64::from(b) / acc_scale).round() as i64).collect();
+            (out_scale, m, s, bias_acc)
+        };
+
+        for (index, layer) in net.layers().iter().enumerate() {
+            if let Layer::Relu(_) = layer {
+                let Some((mut stage, out, scale)) = pending.take() else {
+                    return Err(CompileError::UnsupportedLayer {
+                        index,
+                        kind: "relu without preceding weight layer",
+                    });
+                };
+                match &mut stage {
+                    CompiledLayer::Fc(l) => l.relu = true,
+                    CompiledLayer::Conv(l) => l.relu = true,
+                    CompiledLayer::Pool(_) => unreachable!("pool is never pending"),
+                }
+                layers.push(stage);
+                act = out.iter().map(|&v| v.max(0.0)).collect();
+                act_scale = scale;
+                continue;
+            }
+            // Any non-ReLU layer flushes a pending weight stage unfused.
+            if let Some((stage, out, scale)) = pending.take() {
+                layers.push(stage);
+                act = out;
+                act_scale = scale;
+            }
+            match layer {
+                Layer::Dense(d) => {
+                    // Transpose [in x out] -> out-major rows.
+                    let (inf, outf) = (d.in_features(), d.out_features());
+                    let mut w_t = vec![0.0f32; inf * outf];
+                    let w = d.weights().as_slice();
+                    for i in 0..inf {
+                        for o in 0..outf {
+                            w_t[o * inf + i] = w[i * outf + o];
+                        }
+                    }
+                    let weights = quantizer.quantize(&w_t);
+                    let out = d.forward(&act, batch);
+                    let (out_scale, m, s, bias_acc) = derive(&weights, act_scale, &out, d.bias());
+                    let compiled = CompiledLayer::Fc(QuantizedFcLayer {
+                        weights,
+                        bias_acc,
+                        in_len: inf,
+                        out_len: outf,
+                        relu: false,
+                        requant_multiplier: m,
+                        requant_shift: s,
+                        out_scale,
+                    });
+                    pending = Some((compiled, out, out_scale));
+                }
+                Layer::Conv2d(c) => {
+                    // Conv weights are already stored out-channel-major
+                    // ([oc][ic][kh][kw]) — one im2col row per channel.
+                    let weights = quantizer.quantize(c.weights());
+                    let out = c.forward(&act, batch);
+                    let (out_scale, m, s, bias_acc) = derive(&weights, act_scale, &out, c.bias());
+                    let shape = c.in_shape();
+                    let compiled = CompiledLayer::Conv(QuantizedConvLayer {
+                        weights,
+                        bias_acc,
+                        in_c: shape.c,
+                        in_h: shape.h,
+                        in_w: shape.w,
+                        out_channels: c.out_channels(),
+                        kernel: c.kernel(),
+                        padding: c.padding(),
+                        relu: false,
+                        requant_multiplier: m,
+                        requant_shift: s,
+                        out_scale,
+                    });
+                    pending = Some((compiled, out, out_scale));
+                }
+                Layer::MaxPool2d(p) => {
+                    let shape = p.in_shape();
+                    layers.push(CompiledLayer::Pool(PoolStage {
+                        channels: shape.c,
+                        in_h: shape.h,
+                        in_w: shape.w,
+                    }));
+                    act = p.forward(&act, batch);
+                    // Max pooling preserves the activation scale.
+                }
+                Layer::Relu(_) => unreachable!("handled above"),
+            }
+        }
+        if let Some((stage, _, _)) = pending.take() {
+            layers.push(stage);
+        }
+        Ok(Self { layers, input_scale })
+    }
+
+    /// The compiled stages in execution order.
+    #[must_use]
+    pub fn layers(&self) -> &[CompiledLayer] {
+        &self.layers
+    }
+
+    /// Number of weight-bearing stages — the count a
+    /// [`BoostSchedule`](crate::executor::BoostSchedule) must cover.
+    #[must_use]
+    pub fn weight_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.has_weights()).count()
+    }
+
+    /// Scale of quantized input codes.
+    #[must_use]
+    pub fn input_scale(&self) -> f32 {
+        self.input_scale
+    }
+
+    /// Input feature count.
+    #[must_use]
+    pub fn in_len(&self) -> usize {
+        self.layers.first().map_or(0, CompiledLayer::in_len)
+    }
+
+    /// Output (logit) count.
+    #[must_use]
+    pub fn out_len(&self) -> usize {
+        self.layers.last().map_or(0, CompiledLayer::out_len)
+    }
+
+    /// Scale of the final logit codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty program.
+    #[must_use]
+    pub fn logit_scale(&self) -> f32 {
+        self.layers
+            .iter()
+            .rev()
+            .find_map(CompiledLayer::out_scale)
+            .unwrap_or(self.input_scale)
+    }
+
+    /// Quantizes an input sample to activation codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len() != in_len()`.
+    #[must_use]
+    pub fn quantize_input(&self, sample: &[f32]) -> Vec<i16> {
+        assert_eq!(sample.len(), self.in_len(), "input length mismatch");
+        sample
+            .iter()
+            .map(|&v| {
+                let code = (f64::from(v) / f64::from(self.input_scale)).round();
+                code.clamp(-32768.0, 32767.0) as i16
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dante_nn::layers::{Dense, Relu};
+    use dante_nn::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net() -> Network {
+        let mut rng = StdRng::seed_from_u64(1);
+        Network::new(vec![
+            Layer::Dense(Dense::new(8, 6, &mut rng)),
+            Layer::Relu(Relu::new(6)),
+            Layer::Dense(Dense::new(6, 3, &mut rng)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn compile_produces_one_quantized_layer_per_dense() {
+        let net = small_net();
+        let calib = vec![0.5f32; 8 * 4];
+        let p = Program::compile(&net, &calib).unwrap();
+        assert_eq!(p.layers().len(), 2);
+        assert_eq!(p.weight_layer_count(), 2);
+        assert!(p.layers()[0].as_fc().unwrap().relu());
+        assert!(!p.layers()[1].as_fc().unwrap().relu());
+        assert_eq!(p.in_len(), 8);
+        assert_eq!(p.out_len(), 3);
+    }
+
+    #[test]
+    fn weights_are_transposed_to_output_major() {
+        let w = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let net = Network::new(vec![Layer::Dense(Dense::from_parameters(w, vec![0.0; 3]))])
+            .unwrap();
+        let p = Program::compile(&net, &[1.0, 1.0]).unwrap();
+        let vals = p.layers()[0].as_fc().unwrap().weights().to_f32();
+        // Row 0 = weights of output neuron 0: [w(0,0), w(1,0)] = [1, 4].
+        assert!((vals[0] - 1.0).abs() < 0.01 && (vals[1] - 4.0).abs() < 0.01);
+        assert!((vals[2] - 2.0).abs() < 0.01 && (vals[3] - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantize_input_round_trips_through_scale() {
+        let net = small_net();
+        let calib: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let p = Program::compile(&net, &calib).unwrap();
+        let codes = p.quantize_input(&calib);
+        for (&c, &v) in codes.iter().zip(&calib) {
+            let back = f32::from(c) * p.input_scale();
+            assert!((back - v).abs() <= p.input_scale() * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn conv_networks_compile_with_lowered_stages() {
+        use dante_nn::layers::{Conv2d, MaxPool2d, Shape3};
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Network::new(vec![
+            Layer::Conv2d(Conv2d::new(Shape3::new(1, 8, 8), 4, 3, 1, &mut rng)),
+            Layer::Relu(Relu::new(4 * 64)),
+            Layer::MaxPool2d(MaxPool2d::new(Shape3::new(4, 8, 8))),
+            Layer::Dense(Dense::new(64, 3, &mut rng)),
+        ])
+        .unwrap();
+        let calib = vec![0.1f32; net.in_len() * 2];
+        let p = Program::compile(&net, &calib).unwrap();
+        assert_eq!(p.layers().len(), 3); // conv(+relu), pool, dense
+        assert_eq!(p.weight_layer_count(), 2);
+        let CompiledLayer::Conv(conv) = &p.layers()[0] else {
+            panic!("first stage must be conv")
+        };
+        assert!(conv.relu());
+        assert_eq!(conv.row_len(), 9);
+        assert_eq!(conv.out_len(), 4 * 64);
+        assert!(matches!(p.layers()[1], CompiledLayer::Pool(_)));
+        assert_eq!(p.out_len(), 3);
+        assert!(p.logit_scale() > 0.0);
+    }
+
+    #[test]
+    fn relu_without_weight_layer_rejected() {
+        // A ReLU cannot lead the program.
+        let net = Network::new(vec![Layer::Relu(Relu::new(4))]).unwrap();
+        assert!(matches!(
+            Program::compile(&net, &[0.0; 4]),
+            Err(CompileError::UnsupportedLayer { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_calibration_is_rejected() {
+        let net = small_net();
+        assert_eq!(Program::compile(&net, &[]), Err(CompileError::EmptyCalibration));
+    }
+
+    #[test]
+    fn words_per_row_rounds_up() {
+        let net = small_net();
+        let p = Program::compile(&net, &[0.0; 8]).unwrap();
+        assert_eq!(p.layers()[0].as_fc().unwrap().words_per_row(), 2); // 8 inputs / 4 per word
+        assert_eq!(p.layers()[1].as_fc().unwrap().words_per_row(), 2); // 6 inputs -> ceil(6/4)
+    }
+}

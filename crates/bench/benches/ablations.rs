@@ -1,0 +1,39 @@
+//! Criterion benches for the ablation studies (ECC filter kernel, level
+//! granularity, dataflow sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dante_bench::figures::ablation;
+use dante_sram::ecc;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("ablation_levels", |b| b.iter(|| black_box(ablation::ablation_levels())));
+    g.bench_function("ablation_dataflow", |b| {
+        b.iter(|| black_box(ablation::ablation_dataflow()))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("ecc-kernels");
+    g.bench_function("secded_encode_decode", |b| {
+        b.iter(|| {
+            let cw = ecc::encode(black_box(0xDEAD_BEEF_CAFE_F00D));
+            black_box(ecc::decode(cw.with_flip(37)))
+        })
+    });
+    g.bench_function("secded_filter_4k_words", |b| {
+        let corruption: Vec<u64> = (0..4096u64)
+            .map(|i| if i % 97 == 0 { 1 << (i % 64) } else { 0 })
+            .collect();
+        let checks = vec![0u32; 4096];
+        b.iter(|| {
+            let mut c = corruption.clone();
+            black_box(ecc::filter_corruption(&mut c, &checks))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

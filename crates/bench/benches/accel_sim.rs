@@ -1,0 +1,49 @@
+//! Criterion benches for the accelerator simulator itself: the cost of one
+//! bit-accurate boosted inference and of the raw memory path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dante_accel::chip::ChipConfig;
+use dante_accel::executor::{BoostSchedule, Dante};
+use dante_accel::program::Program;
+use dante_circuit::units::Volt;
+use dante_nn::layers::{Dense, Layer, Relu};
+use dante_nn::network::Network;
+use dante_sram::fault::VminFaultModel;
+use dante_sram::storage::FaultOverlay;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_accelerator(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = Network::new(vec![
+        Layer::Dense(Dense::new(64, 64, &mut rng)),
+        Layer::Relu(Relu::new(64)),
+        Layer::Dense(Dense::new(64, 10, &mut rng)),
+    ])
+    .expect("static shapes");
+    let calib: Vec<f32> = (0..64).map(|i| i as f32 / 64.0).collect();
+    let program = Program::compile(&net, &calib).expect("dense network compiles");
+
+    let mut g = c.benchmark_group("accelerator-sim");
+    g.sample_size(10);
+    g.bench_function("boosted_inference_64x64x10", |b| {
+        let mut dante = Dante::new(
+            ChipConfig::dante(),
+            &VminFaultModel::default_14nm(),
+            Volt::new(0.40),
+            &mut rng,
+        );
+        let schedule = BoostSchedule::uniform(4, 2, 1);
+        b.iter(|| black_box(dante.run(&program, &schedule, &calib)))
+    });
+    g.bench_function("fault_overlay_generate_32kbit", |b| {
+        let model = VminFaultModel::default_14nm();
+        let mut orng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(FaultOverlay::generate(32 * 1024, &model, &mut orng)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_accelerator);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches for the fault-injection accuracy artifacts
+//! (Figs. 1, 2): the cost of one Monte-Carlo point at a reduced scale, and
+//! the corruption kernel itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dante::accuracy::{AccuracyEvaluator, VoltageAssignment};
+use dante::artifacts::trained_mnist_fc;
+use dante_circuit::units::Volt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_accuracy_figures(c: &mut Criterion) {
+    let (net, test) = trained_mnist_fc(1200, 100, 4);
+    let layers = net.weight_layer_indices().len();
+    let eval = AccuracyEvaluator::new(1);
+
+    let mut g = c.benchmark_group("accuracy-figures");
+    g.sample_size(10);
+    g.bench_function("fig02_point_weights_0v44", |b| {
+        let a = VoltageAssignment::weights_only(Volt::new(0.44), layers, Volt::new(0.6));
+        b.iter(|| black_box(eval.evaluate(&net, &a, test.images(), test.labels(), 1)))
+    });
+    g.bench_function("fig01_point_uniform_0v40", |b| {
+        let a = VoltageAssignment::uniform(Volt::new(0.40), layers);
+        b.iter(|| black_box(eval.evaluate(&net, &a, test.images(), test.labels(), 1)))
+    });
+    g.bench_function("corrupt_network_die", |b| {
+        let a = VoltageAssignment::uniform(Volt::new(0.40), layers);
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(eval.corrupt_network(&net, &a, &mut rng)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_accuracy_figures);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion benches for the circuit-level paper artifacts
+//! (Figs. 4, 6, 7, 8, 9): how long each figure's data generation takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dante_bench::figures::circuit;
+use std::hint::black_box;
+
+fn bench_circuit_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("circuit-figures");
+    g.sample_size(10);
+    g.bench_function("fig04_transient_staircase", |b| {
+        b.iter(|| black_box(circuit::fig04()))
+    });
+    g.bench_function("fig06_mim_comparison", |b| b.iter(|| black_box(circuit::fig06())));
+    g.bench_function("fig07_ber_and_latency", |b| b.iter(|| black_box(circuit::fig07())));
+    g.bench_function("fig08_boost_ladder", |b| b.iter(|| black_box(circuit::fig08())));
+    g.bench_function("fig09_latency_scopes", |b| b.iter(|| black_box(circuit::fig09())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_circuit_figures);
+criterion_main!(benches);

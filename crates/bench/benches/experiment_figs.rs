@@ -1,0 +1,34 @@
+//! Criterion benches for the evaluation-section experiments
+//! (Figs. 13, 14, 15): one experiment point each at reduced Monte-Carlo
+//! scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dante::artifacts::{trained_cifar_cnn, trained_mnist_fc};
+use dante::experiments::{ConvExperiment, FcExperiment};
+use dante::schedule::NamedBoostConfig;
+use dante_circuit::units::Volt;
+use std::hint::black_box;
+
+fn bench_experiment_figures(c: &mut Criterion) {
+    let (fc_net, fc_test) = trained_mnist_fc(1200, 100, 4);
+    let (cnn_net, cnn_test) = trained_cifar_cnn(600, 100, 2);
+
+    let mut g = c.benchmark_group("experiment-figures");
+    g.sample_size(10);
+    g.bench_function("fig13_point", |b| {
+        let exp = FcExperiment::new(&fc_net, fc_test.images(), fc_test.labels(), 1);
+        b.iter(|| black_box(exp.point(Volt::new(0.40), NamedBoostConfig::Vddv4, 1)))
+    });
+    g.bench_function("fig14_point", |b| {
+        let exp = ConvExperiment::new(&cnn_net, cnn_test.images(), cnn_test.labels(), 1);
+        b.iter(|| black_box(exp.point(Volt::new(0.40), 4, 1)))
+    });
+    g.bench_function("fig15_iso_accuracy_sweep", |b| {
+        let exp = ConvExperiment::new(&cnn_net, cnn_test.images(), cnn_test.labels(), 1);
+        b.iter(|| black_box(exp.iso_accuracy_sweep(&ConvExperiment::default_voltages())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiment_figures);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion benches for Tables 1 and 2 (configuration rendering; trivially
+//! fast, included for full artifact coverage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dante_bench::figures::tables;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_chip_config", |b| b.iter(|| black_box(tables::table1())));
+    g.bench_function("table2_boost_schedules", |b| b.iter(|| black_box(tables::table2())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

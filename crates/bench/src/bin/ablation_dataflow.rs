@@ -1,0 +1,4 @@
+//! Ablation: dataflow reuse vs boosting advantage (the Fig. 12 axis).
+fn main() {
+    dante_bench::figures::ablation::ablation_dataflow().emit();
+}

@@ -1,0 +1,6 @@
+//! Ablation: SEC-DED ECC vs programmable boosting (DESIGN.md Sec. 6).
+fn main() {
+    let scale = dante_bench::RunScale::from_env();
+    eprintln!("running ablation_ecc at {scale:?}");
+    dante_bench::figures::ablation::ablation_ecc(scale).emit();
+}

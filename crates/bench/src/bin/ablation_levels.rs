@@ -1,0 +1,4 @@
+//! Ablation: boost-level granularity (paper Sec. 6.3, ">4 boost levels").
+fn main() {
+    dante_bench::figures::ablation::ablation_levels().emit();
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper figure `fig01`. Scale via DANTE_FULL / DANTE_TRIALS /
+//! DANTE_TEST_N / DANTE_TRAIN_N / DANTE_EPOCHS.
+fn main() {
+    let scale = dante_bench::RunScale::from_env();
+    eprintln!("running fig01 at {scale:?}");
+    dante_bench::figures::accuracy::fig01(scale).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper artifact `fig04` (see DESIGN.md experiment index).
+fn main() {
+    dante_bench::figures::circuit::fig04().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper artifact `fig06` (see DESIGN.md experiment index).
+fn main() {
+    dante_bench::figures::circuit::fig06().emit();
+}

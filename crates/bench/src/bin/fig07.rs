@@ -1,0 +1,4 @@
+//! Regenerates paper artifact `fig07` (see DESIGN.md experiment index).
+fn main() {
+    dante_bench::figures::circuit::fig07().emit();
+}

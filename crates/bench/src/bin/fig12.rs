@@ -1,0 +1,4 @@
+//! Regenerates paper artifact `fig12` (see DESIGN.md experiment index).
+fn main() {
+    dante_bench::figures::energy::fig12().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper artifact `headlines` (see DESIGN.md experiment index).
+fn main() {
+    dante_bench::figures::energy::headlines().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper artifact `table1` (see DESIGN.md experiment index).
+fn main() {
+    dante_bench::figures::tables::table1().emit();
+}

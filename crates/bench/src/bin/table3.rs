@@ -1,0 +1,4 @@
+//! Regenerates paper artifact `table3` (see DESIGN.md experiment index).
+fn main() {
+    dante_bench::figures::energy::table3().emit();
+}

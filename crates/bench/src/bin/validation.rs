@@ -1,0 +1,7 @@
+//! Cross-validation of the statistical fault path against the bit-accurate
+//! accelerator simulator.
+fn main() {
+    let scale = dante_bench::RunScale::from_env();
+    eprintln!("running validation at {scale:?}");
+    dante_bench::figures::validation::validation(scale).emit();
+}

@@ -1,0 +1,209 @@
+//! Circuit-level figures: 4, 6, 7, 8, 9.
+
+use crate::record::{FigureRecord, Series};
+use dante_circuit::booster::{reference, BoostScope, BoosterBank};
+use dante_circuit::latency::SramTiming;
+use dante_circuit::transient::TransientSim;
+use dante_circuit::units::{Second, Volt};
+use dante_sram::fault::VminFaultModel;
+
+fn voltage_axis(lo_mv: u32, hi_mv: u32, step_mv: u32) -> Vec<Volt> {
+    (lo_mv..=hi_mv)
+        .step_by(step_mv as usize)
+        .map(|mv| Volt::from_millivolts(f64::from(mv)))
+        .collect()
+}
+
+/// Fig. 4: the boosted-rail waveform as the configuration steps through the
+/// four levels (one access per cycle, 4 cycles per level).
+#[must_use]
+pub fn fig04() -> FigureRecord {
+    let sim = TransientSim::new(
+        BoosterBank::standard(),
+        Volt::new(0.4),
+        Second::from_nanoseconds(20.0),
+        32,
+    );
+    let wave = sim.level_staircase(4);
+    let points: Vec<(f64, f64)> = wave
+        .samples()
+        .iter()
+        .map(|&(t, v)| (t.nanoseconds(), v.volts()))
+        .collect();
+    FigureRecord::new(
+        "fig04",
+        "Vddv waveform across 4 programmable boost levels (Vdd = 0.4 V)",
+        "time [ns]",
+        "Vddv [V]",
+    )
+    .with_series(Series::new("Vddv", points))
+    .with_note("four plateaus ~50 mV apart; adjustment completes within a cycle")
+}
+
+/// Fig. 6: boosted voltage and per-event energy of the MIM / no-MIM
+/// comparison circuits across supply voltage.
+#[must_use]
+pub fn fig06() -> FigureRecord {
+    let configs: [(&str, BoosterBank); 4] = [
+        ("MIMBoost-A", reference::mim_boost_a()),
+        ("noMIMBoost-A", reference::no_mim_boost_a()),
+        ("MIMBoost-B", reference::mim_boost_b()),
+        ("noMIMBoost-B", reference::no_mim_boost_b()),
+    ];
+    let vs = voltage_axis(300, 800, 50);
+    let mut rec = FigureRecord::new(
+        "fig06",
+        "Boost voltage (V) and boost-event energy (pJ) with/without MIM capacitors",
+        "Vdd [V]",
+        "Vb [V] / E [pJ]",
+    );
+    for (name, bank) in &configs {
+        let vb: Vec<(f64, f64)> = vs
+            .iter()
+            .map(|&v| (v.volts(), bank.boost_amount(v, 1).volts()))
+            .collect();
+        let e: Vec<(f64, f64)> = vs
+            .iter()
+            .map(|&v| (v.volts(), bank.boost_event_energy(v, 1).picojoules()))
+            .collect();
+        rec = rec
+            .with_series(Series::new(format!("{name} Vb"), vb))
+            .with_series(Series::new(format!("{name} E"), e));
+    }
+    let a_ratio = reference::mim_boost_a().boost_amount(Volt::new(0.4), 1)
+        / reference::no_mim_boost_a().boost_amount(Volt::new(0.4), 1);
+    let e_ratio = reference::no_mim_boost_b().boost_event_energy(Volt::new(0.4), 1)
+        / reference::mim_boost_b().boost_event_energy(Volt::new(0.4), 1);
+    rec.with_note(format!(
+        "A-pair boost ratio {a_ratio:.1}x at equal area (paper ~14x); B-pair energy penalty {e_ratio:.1}x (paper ~10x)"
+    ))
+}
+
+/// Fig. 7: measured bit failure rate vs. supply voltage (4 Mbit test chip)
+/// and normalized SRAM access latency vs. voltage.
+#[must_use]
+pub fn fig07() -> FigureRecord {
+    let model = VminFaultModel::default_14nm();
+    let timing = SramTiming::macro_32kbit();
+    let ber: Vec<(f64, f64)> = model
+        .measurement_points()
+        .into_iter()
+        .map(|(v, b)| (v.volts(), b))
+        .collect();
+    let lat: Vec<(f64, f64)> = voltage_axis(340, 800, 20)
+        .into_iter()
+        .map(|v| (v.volts(), timing.normalized_access(v)))
+        .collect();
+    FigureRecord::new(
+        "fig07",
+        "Bit failure rate (4 Mbit 6T test chip model) and normalized access latency vs Vdd",
+        "Vdd [V]",
+        "BER / latency (norm.)",
+    )
+    .with_series(Series::new("bit error rate", ber))
+    .with_series(Series::new("normalized latency", lat))
+    .with_note("BER anchored at 1.4e-2 @ 0.44 V; zero fails @ 0.6 V on 4 Mbit")
+}
+
+/// Fig. 8: peak boosted voltage for the four programmable levels, low and
+/// high supply ranges.
+#[must_use]
+pub fn fig08() -> FigureRecord {
+    let bank = BoosterBank::standard();
+    let mut rec = FigureRecord::new(
+        "fig08",
+        "Boosted voltage Vddv1..Vddv4 vs supply voltage (32 Kbit macro)",
+        "Vdd [V]",
+        "Vddv [V]",
+    );
+    for level in 1..=4 {
+        let pts: Vec<(f64, f64)> = voltage_axis(340, 800, 20)
+            .into_iter()
+            .map(|v| (v.volts(), bank.boosted_voltage(v, level).volts()))
+            .collect();
+        rec = rec.with_series(Series::new(format!("Vddv{level}"), pts));
+    }
+    rec.with_note("peak boost rises monotonically with Vdd (Eq. 1 is linear in Vdd)")
+}
+
+/// Fig. 9: normalized access latency under array-only vs whole-macro
+/// boosting, per level, for Vdd >= 0.5 V.
+#[must_use]
+pub fn fig09() -> FigureRecord {
+    let bank = BoosterBank::standard();
+    let timing = SramTiming::macro_32kbit();
+    let mut rec = FigureRecord::new(
+        "fig09",
+        "Normalized access latency: array-only vs macro boosting",
+        "Vdd [V]",
+        "latency / unboosted latency",
+    );
+    for (scope, tag) in [(BoostScope::Array, "array"), (BoostScope::Macro, "macro")] {
+        for level in 1..=4 {
+            let pts: Vec<(f64, f64)> = voltage_axis(500, 800, 50)
+                .into_iter()
+                .map(|v| (v.volts(), timing.boosted_access_fraction(v, &bank, level, scope)))
+                .collect();
+            rec = rec.with_series(Series::new(format!("Boost-{tag}-{level}"), pts));
+        }
+    }
+    let reduction = 1.0
+        - timing.boosted_access_fraction(Volt::new(0.5), &bank, 4, BoostScope::Macro);
+    rec.with_note(format!(
+        "macro-level boost cuts latency by {:.0}% at 0.5 V (paper: up to 35%)",
+        reduction * 100.0
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig04_waveform_spans_16_cycles() {
+        let rec = fig04();
+        assert_eq!(rec.series.len(), 1);
+        assert_eq!(rec.series[0].points.len(), 16 * 32);
+        let max_v = rec.series[0].points.iter().map(|p| p.1).fold(0.0, f64::max);
+        assert!(max_v > 0.55, "peak plateau should approach 0.6 V, got {max_v}");
+    }
+
+    #[test]
+    fn fig06_has_eight_series() {
+        let rec = fig06();
+        assert_eq!(rec.series.len(), 8);
+        assert!(rec.notes[0].contains("A-pair"));
+    }
+
+    #[test]
+    fn fig07_ber_falls_latency_rises_towards_low_voltage() {
+        let rec = fig07();
+        let ber = &rec.series[0].points;
+        let lat = &rec.series[1].points;
+        assert!(ber.first().unwrap().1 > ber.last().unwrap().1);
+        assert!(lat.first().unwrap().1 > lat.last().unwrap().1);
+    }
+
+    #[test]
+    fn fig08_levels_are_ordered() {
+        let rec = fig08();
+        assert_eq!(rec.series.len(), 4);
+        for i in 0..rec.series[0].points.len() {
+            for l in 1..4 {
+                assert!(rec.series[l].points[i].1 > rec.series[l - 1].points[i].1);
+            }
+        }
+    }
+
+    #[test]
+    fn fig09_macro_is_faster_than_array() {
+        let rec = fig09();
+        assert_eq!(rec.series.len(), 8);
+        // Series 0..4 are array levels 1..4, series 4..8 macro levels 1..4.
+        for l in 0..4 {
+            for i in 0..rec.series[l].points.len() {
+                assert!(rec.series[l + 4].points[i].1 < rec.series[l].points[i].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Energy figures: 12, 13, 14, 15, plus Table 3 and the headline summary.
+
+use crate::record::{FigureRecord, RunScale, Series};
+use dante::artifacts::{trained_cifar_cnn, trained_mnist_fc};
+use dante::experiments::{ConvExperiment, FcExperiment};
+use dante::schedule::NamedBoostConfig;
+use dante_circuit::units::Volt;
+use dante_dataflow::activity::Dataflow;
+use dante_dataflow::fc_dana::DanaFcDataflow;
+use dante_dataflow::row_stationary::RowStationaryDataflow;
+use dante_dataflow::workloads::{alexnet_conv, mnist_fc};
+use dante_energy::design_space::{default_axes, sweep, DesignSpaceScenario};
+
+/// Fig. 12: the boosted/dual energy ratio over the
+/// `Ops_ratio` x `Energy_ratio` design space (one series per energy ratio).
+#[must_use]
+pub fn fig12() -> FigureRecord {
+    let (ops, ers) = default_axes();
+    let pts = sweep(DesignSpaceScenario::default(), &ops, &ers);
+    let mut rec = FigureRecord::new(
+        "fig12",
+        "Boosted / dual-Vdd dynamic energy over the accelerator design space (Vdd 0.4 -> Vddv 0.6)",
+        "Ops_ratio (SRAM accesses per op)",
+        "E_boost / E_dual",
+    );
+    for &er in &ers {
+        let series: Vec<(f64, f64)> = pts
+            .iter()
+            .filter(|p| (p.energy_ratio - er).abs() < 1e-9)
+            .map(|p| (p.ops_ratio, p.boosted_over_dual))
+            .collect();
+        rec = rec.with_series(Series::new(format!("Energy_ratio={er}"), series));
+    }
+    rec.with_note("values < 1 mean boosting wins; savings up to ~32% at low ratios")
+}
+
+/// Fig. 13: the FC-DNN analysis — dynamic energy of boost vs single vs dual,
+/// accuracy per configuration, and leakage per cycle.
+#[must_use]
+pub fn fig13(scale: RunScale) -> FigureRecord {
+    let (net, test) = trained_mnist_fc(scale.train_images, scale.test_images, scale.epochs);
+    let exp = FcExperiment::new(&net, test.images(), test.labels(), scale.trials);
+    let voltages = FcExperiment::default_voltages();
+    let points = exp.run(&voltages, 0x000F_1613);
+
+    let mut rec = FigureRecord::new(
+        "fig13",
+        "FC-DNN: dynamic energy (normalized to 0.5 V chip), accuracy, and leakage per cycle",
+        "Vdd [V]",
+        "normalized energy / accuracy / J-per-cycle",
+    );
+    for config in NamedBoostConfig::all() {
+        let of_config: Vec<_> = points.iter().filter(|p| p.config == config).collect();
+        let acc: Vec<(f64, f64)> =
+            of_config.iter().map(|p| (p.vdd.volts(), p.accuracy_mean)).collect();
+        let boost: Vec<(f64, f64)> =
+            of_config.iter().map(|p| (p.vdd.volts(), p.boost_dynamic)).collect();
+        rec = rec
+            .with_series(Series::new(format!("{} acc", config.name()), acc))
+            .with_series(Series::new(format!("{} E_boost", config.name()), boost));
+    }
+    // Baselines follow the Vddv4 configuration (the paper's comparison).
+    let v4: Vec<_> = points.iter().filter(|p| p.config == NamedBoostConfig::Vddv4).collect();
+    rec = rec
+        .with_series(Series::new(
+            "single@Vddv4 E",
+            v4.iter().map(|p| (p.vdd.volts(), p.single_dynamic)).collect(),
+        ))
+        .with_series(Series::new(
+            "dual(Vddv4/Vdd) E",
+            v4.iter().map(|p| (p.vdd.volts(), p.dual_dynamic)).collect(),
+        ))
+        .with_series(Series::new(
+            "leak boost [J/cyc]",
+            v4.iter().map(|p| (p.vdd.volts(), p.boost_leakage)).collect(),
+        ))
+        .with_series(Series::new(
+            "leak single [J/cyc]",
+            v4.iter().map(|p| (p.vdd.volts(), p.single_leakage)).collect(),
+        ))
+        .with_series(Series::new(
+            "leak dual [J/cyc]",
+            v4.iter().map(|p| (p.vdd.volts(), p.dual_leakage)).collect(),
+        ));
+    rec.with_note("boost vs single: savings grow with boost level; dual only competitive at low boost")
+}
+
+/// Fig. 14: AlexNet conv layers — accuracy (CNN proxy) and dynamic energy of
+/// boost vs dual per level.
+#[must_use]
+pub fn fig14(scale: RunScale) -> FigureRecord {
+    let (net, test) = trained_cifar_cnn(scale.train_images.min(2000), scale.test_images.min(1000), scale.epochs);
+    let exp = ConvExperiment::new(&net, test.images(), test.labels(), scale.trials);
+    let voltages = ConvExperiment::default_voltages();
+    let points = exp.run(&voltages, 0x000F_1614);
+
+    let mut rec = FigureRecord::new(
+        "fig14",
+        "AlexNet conv (Eyeriss RS dataflow): accuracy and dynamic energy, boost vs dual",
+        "Vdd [V]",
+        "accuracy / normalized energy",
+    );
+    for level in 1..=4 {
+        let of_level: Vec<_> = points.iter().filter(|p| p.level == level).collect();
+        rec = rec
+            .with_series(Series::new(
+                format!("Vddv{level} acc"),
+                of_level.iter().map(|p| (p.vdd.volts(), p.accuracy_mean)).collect(),
+            ))
+            .with_series(Series::new(
+                format!("Vddv{level} E_boost"),
+                of_level.iter().map(|p| (p.vdd.volts(), p.boost_dynamic)).collect(),
+            ))
+            .with_series(Series::new(
+                format!("Vddv{level} E_dual"),
+                of_level.iter().map(|p| (p.vdd.volts(), p.dual_dynamic)).collect(),
+            ));
+    }
+    let savings: Vec<f64> = points
+        .iter()
+        .map(|p| 1.0 - p.boost_dynamic / p.dual_dynamic)
+        .collect();
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    rec.with_note(format!(
+        "boost beats dual at every level; mean savings {:.0}% (paper: 19% across levels, 26% at Vddv4)",
+        avg * 100.0
+    ))
+}
+
+/// Fig. 15: iso-accuracy comparison — at each Vdd boost to the minimum level
+/// reaching the 0.48 V target; compare against dual supply and the 0.48 V
+/// single-supply alternative.
+#[must_use]
+pub fn fig15(scale: RunScale) -> FigureRecord {
+    let (net, test) = trained_cifar_cnn(scale.train_images.min(2000), scale.test_images.min(1000), scale.epochs);
+    let exp = ConvExperiment::new(&net, test.images(), test.labels(), scale.trials);
+    let pts = exp.iso_accuracy_sweep(&ConvExperiment::default_voltages());
+
+    let rec = FigureRecord::new(
+        "fig15",
+        "AlexNet iso-accuracy dynamic energy: boost (min level reaching 0.48 V) vs dual vs single@0.48",
+        "Vdd [V]",
+        "normalized energy",
+    )
+    .with_series(Series::new(
+        "boost",
+        pts.iter().map(|p| (p.vdd.volts(), p.boost_dynamic)).collect(),
+    ))
+    .with_series(Series::new(
+        "dual",
+        pts.iter().map(|p| (p.vdd.volts(), p.dual_dynamic)).collect(),
+    ))
+    .with_series(Series::new(
+        "single@0.48",
+        pts.iter().map(|p| (p.vdd.volts(), p.single_at_target)).collect(),
+    ))
+    .with_series(Series::new(
+        "chosen level",
+        pts.iter().map(|p| (p.vdd.volts(), p.level as f64)).collect(),
+    ));
+    let vs_single: Vec<f64> =
+        pts.iter().map(|p| 1.0 - p.boost_dynamic / p.single_at_target).collect();
+    let vs_dual: Vec<f64> = pts.iter().map(|p| 1.0 - p.boost_dynamic / p.dual_dynamic).collect();
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    rec.with_note(format!(
+        "mean savings: {:.0}% vs single@0.48 (paper 30%), {:.0}% vs dual (paper 17%)",
+        mean(&vs_single) * 100.0,
+        mean(&vs_dual) * 100.0
+    ))
+}
+
+/// Table 3: workload characteristics (SRAMAcc / MAC ratios).
+#[must_use]
+pub fn table3() -> FigureRecord {
+    let fc = DanaFcDataflow::new().activity(&mnist_fc());
+    let rs = RowStationaryDataflow::new().activity(&alexnet_conv());
+    FigureRecord::new(
+        "table3",
+        "Workload characteristics: SRAM accesses per MAC operation",
+        "workload (0 = MNIST/DANA, 1 = AlexNet/RS)",
+        "SRAMAcc / MAC",
+    )
+    .with_series(Series::new(
+        "access/MAC ratio",
+        vec![(0.0, fc.access_mac_ratio()), (1.0, rs.access_mac_ratio())],
+    ))
+    .with_note(format!(
+        "MNIST/DANA = {:.1}% (paper 75%); AlexNet/RS = {:.2}% (paper 1.67%)",
+        fc.access_mac_ratio() * 100.0,
+        rs.access_mac_ratio() * 100.0
+    ))
+}
+
+/// The headline summary (abstract numbers).
+#[must_use]
+pub fn headlines() -> FigureRecord {
+    let h = dante::headlines::compute();
+    FigureRecord::new(
+        "headlines",
+        "Headline results vs the paper's abstract",
+        "metric index",
+        "fractional savings",
+    )
+    .with_series(Series::new(
+        "measured",
+        vec![
+            (1.0, h.alexnet_peak_savings_vs_dual),
+            (2.0, h.alexnet_avg_savings_vs_dual),
+            (3.0, h.alexnet_savings_vs_single_048),
+            (4.0, h.leakage_savings_vs_dual),
+            (5.0, h.booster_leakage_overhead),
+            (6.0, h.mnist_savings_vs_dual),
+        ],
+    ))
+    .with_series(Series::new(
+        "paper",
+        vec![(1.0, 0.26), (2.0, 0.17), (3.0, 0.30), (4.0, 0.32), (5.0, 0.06), (6.0, f64::NAN)],
+    ))
+    .with_note("1: AlexNet peak vs dual; 2: AlexNet avg vs dual; 3: vs single@0.48; 4: leakage vs dual; 5: booster leakage overhead; 6: MNIST full-boost vs dual (no paper number)")
+}
+
+/// Fig. 1 of the paper's boosted Vdd reference: the per-Vdd voltage ladder
+/// printed for convenience (used by examples; not a paper figure).
+#[must_use]
+pub fn voltage_ladder(vdd: Volt) -> Vec<f64> {
+    dante_energy::supply::EnergyModel::dante_chip()
+        .booster()
+        .voltage_ladder(vdd)
+        .into_iter()
+        .map(Volt::volts)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_has_one_series_per_energy_ratio() {
+        let rec = fig12();
+        let (_, ers) = default_axes();
+        assert_eq!(rec.series.len(), ers.len());
+        // Ratios increase with ops_ratio within each series.
+        for s in &rec.series {
+            for w in s.points.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn table3_matches_paper_ratios() {
+        let rec = table3();
+        let pts = &rec.series[0].points;
+        assert!((pts[0].1 - 0.75).abs() < 0.01);
+        assert!((pts[1].1 - 0.0167).abs() < 0.004);
+    }
+
+    #[test]
+    fn headlines_record_has_both_series() {
+        let rec = headlines();
+        assert_eq!(rec.series.len(), 2);
+        assert_eq!(rec.series[0].points.len(), 6);
+    }
+
+    #[test]
+    fn voltage_ladder_spans_levels() {
+        let l = voltage_ladder(Volt::new(0.4));
+        assert_eq!(l.len(), 5);
+        assert!((l[0] - 0.4).abs() < 1e-9);
+        assert!(l[4] > 0.59);
+    }
+}

@@ -1,0 +1,8 @@
+//! Figure/table regeneration functions, one per paper artifact.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod circuit;
+pub mod energy;
+pub mod tables;
+pub mod validation;

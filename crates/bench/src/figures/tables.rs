@@ -1,0 +1,87 @@
+//! Tables 1 and 2: configuration listings.
+
+use crate::record::{FigureRecord, Series};
+use dante::schedule::NamedBoostConfig;
+use dante_accel::chip::ChipConfig;
+
+/// Table 1: chip configuration parameters, rendered as notes plus checkable
+/// numeric series.
+#[must_use]
+pub fn table1() -> FigureRecord {
+    let c = ChipConfig::dante();
+    FigureRecord::new(
+        "table1",
+        "Dante chip configuration parameters",
+        "parameter index",
+        "value",
+    )
+    .with_series(Series::new(
+        "value",
+        vec![
+            (1.0, c.die_area_mm2()),
+            (2.0, c.total_sram_bytes() as f64 / 1024.0),
+            (3.0, c.f_nominal.megahertz()),
+            (4.0, c.f_low_voltage.megahertz()),
+            (5.0, c.v_min.volts()),
+            (6.0, c.v_max.volts()),
+            (7.0, c.boost_levels as f64),
+            (8.0, c.booster_area_per_macro.square_microns() / 1e6),
+            (9.0, c.mim_capacitance_pf),
+        ],
+    ))
+    .with_note("1: die area [mm^2] (2.05 x 1.13)")
+    .with_note("2: on-chip SRAM [KB] (128 KB weights + 16 KB inputs)")
+    .with_note("3: target frequency @ 0.8 V [MHz]")
+    .with_note("4: target frequency @ <= 0.5 V [MHz]")
+    .with_note("5-6: operating voltage range [V]")
+    .with_note("7: programmable boost levels")
+    .with_note("8: booster area per macro [mm^2]")
+    .with_note("9: MIM capacitance per macro [pF]")
+}
+
+/// Table 2: the boost level of each weight layer under every named
+/// configuration.
+#[must_use]
+pub fn table2() -> FigureRecord {
+    let mut rec = FigureRecord::new(
+        "table2",
+        "Voltage boost level per FC-DNN weight layer per configuration",
+        "weight layer (1..4)",
+        "boost level",
+    );
+    for config in NamedBoostConfig::all() {
+        let levels = config.weight_levels(4, 4);
+        let pts: Vec<(f64, f64)> = levels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| ((i + 1) as f64, l as f64))
+            .collect();
+        rec = rec.with_series(Series::new(config.name(), pts));
+    }
+    rec.with_note("inputs are boosted to the minimum level with Vddv > 0.44 V (paper Table 2 caption)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_the_chip() {
+        let rec = table1();
+        let pts = &rec.series[0].points;
+        assert!((pts[0].1 - 2.3165).abs() < 1e-3); // die area
+        assert!((pts[1].1 - 144.0).abs() < 1e-9); // SRAM KB
+        assert!((pts[6].1 - 4.0).abs() < 1e-9); // boost levels
+    }
+
+    #[test]
+    fn table2_diff_configs_ramp() {
+        let rec = table2();
+        let diff1 = rec.series.iter().find(|s| s.name == "Boost_diff1").unwrap();
+        let levels: Vec<f64> = diff1.points.iter().map(|p| p.1).collect();
+        assert_eq!(levels, vec![1.0, 2.0, 3.0, 4.0]);
+        let diff2 = rec.series.iter().find(|s| s.name == "Boost_diff2").unwrap();
+        let levels: Vec<f64> = diff2.points.iter().map(|p| p.1).collect();
+        assert_eq!(levels, vec![4.0, 3.0, 2.0, 1.0]);
+    }
+}

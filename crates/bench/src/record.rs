@@ -1,0 +1,323 @@
+//! Experiment records: a uniform shape for every regenerated table/figure,
+//! printable as aligned text and serializable to JSON for EXPERIMENTS.md
+//! bookkeeping.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// One named data series of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label (legend entry).
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { name: name.into(), points }
+    }
+}
+
+/// A regenerated figure or table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureRecord {
+    /// Identifier, e.g. `"fig13"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The data series.
+    pub series: Vec<Series>,
+    /// Free-form notes (comparisons against the paper, caveats).
+    pub notes: Vec<String>,
+}
+
+impl FigureRecord {
+    /// Creates a record.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder style).
+    #[must_use]
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Adds a note (builder style).
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the record as an aligned text table (x column followed by
+    /// one column per series).
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        if self.series.is_empty() {
+            return out;
+        }
+        // Collect the union of x values in first-series order, then extras.
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, _) in &s.points {
+                if !xs.iter().any(|&e| (e - x).abs() < 1e-12) {
+                    xs.push(x);
+                }
+            }
+        }
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>18}", truncate(&s.name, 18));
+        }
+        let _ = writeln!(out);
+        for &x in &xs {
+            let _ = write!(out, "{x:>12.4}");
+            for s in &self.series {
+                match s.points.iter().find(|(px, _)| (px - x).abs() < 1e-12) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, " {y:>18.6}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>18}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+
+    /// Prints the table to stdout and, when `DANTE_RESULTS` is set, writes
+    /// `{id}.json` into that directory.
+    pub fn emit(&self) {
+        println!("{}", self.to_table());
+        if let Some(dir) = std::env::var_os("DANTE_RESULTS") {
+            let dir = PathBuf::from(dir);
+            if std::fs::create_dir_all(&dir).is_ok() {
+                let path = dir.join(format!("{}.json", self.id));
+                match serde_json::to_vec_pretty(self) {
+                    Ok(json) => {
+                        if let Err(e) = std::fs::write(&path, json) {
+                            eprintln!("warning: could not write {}: {e}", path.display());
+                        }
+                    }
+                    Err(e) => eprintln!("warning: could not serialize {}: {e}", self.id),
+                }
+            }
+        }
+    }
+}
+
+impl FigureRecord {
+    /// Renders the record as a rough ASCII line chart (one glyph per
+    /// series: `*`, `o`, `+`, `x`, ...), y auto-scaled over all series.
+    /// Intended for terminal examples; the JSON output is the real data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is below 8 (nothing useful fits).
+    #[must_use]
+    pub fn to_ascii_chart(&self, width: usize, height: usize) -> String {
+        assert!(width >= 8 && height >= 8, "chart area too small");
+        const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '~'];
+
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            return format!("{} (no data)\n", self.id);
+        }
+        let (mut x_min, mut x_max, mut y_min, mut y_max) =
+            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        let x_span = (x_max - x_min).max(1e-12);
+        let y_span = (y_max - y_min).max(1e-12);
+
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+                let row = (((y_max - y) / y_span) * (height - 1) as f64).round() as usize;
+                grid[row.min(height - 1)][col.min(width - 1)] = glyph;
+            }
+        }
+
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{y_max:>9.3}")
+            } else if r == height - 1 {
+                format!("{y_min:>9.3}")
+            } else {
+                " ".repeat(9)
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(width));
+        let _ = writeln!(out, "{:>10}{x_min:<.3}{:>pad$}{x_max:.3}", "", "", pad = width.saturating_sub(12));
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], s.name);
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+/// Experiment sizing knobs, read from the environment so the same harness
+/// scales from smoke test to paper fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Monte-Carlo fault dies per point (paper: 100).
+    pub trials: usize,
+    /// Test images per accuracy evaluation (paper: 5000).
+    pub test_images: usize,
+    /// Training epochs for the cached models.
+    pub epochs: usize,
+    /// Training images for the cached models.
+    pub train_images: usize,
+}
+
+impl RunScale {
+    /// Reads `DANTE_TRIALS`, `DANTE_TEST_N`, `DANTE_EPOCHS`; `DANTE_FULL=1`
+    /// selects paper-fidelity defaults, otherwise fast defaults are used
+    /// (10 dies x 400 images).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let full = std::env::var("DANTE_FULL").is_ok_and(|v| v == "1");
+        let get = |key: &str, dflt: usize| {
+            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(dflt)
+        };
+        if full {
+            Self {
+                trials: get("DANTE_TRIALS", 100),
+                test_images: get("DANTE_TEST_N", 5000),
+                epochs: get("DANTE_EPOCHS", 6),
+                train_images: get("DANTE_TRAIN_N", 5000),
+            }
+        } else {
+            Self {
+                trials: get("DANTE_TRIALS", 10),
+                test_images: get("DANTE_TEST_N", 400),
+                epochs: get("DANTE_EPOCHS", 4),
+                train_images: get("DANTE_TRAIN_N", 5000),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_series() {
+        let rec = FigureRecord::new("figX", "test", "V", "acc")
+            .with_series(Series::new("a", vec![(0.4, 1.0), (0.5, 2.0)]))
+            .with_series(Series::new("b", vec![(0.4, 3.0)]))
+            .with_note("hello");
+        let t = rec.to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("note: hello"));
+        assert!(t.lines().count() >= 5);
+        // Missing point renders as '-'.
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rec = FigureRecord::new("fig1", "t", "x", "y")
+            .with_series(Series::new("s", vec![(1.0, 2.0)]));
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: FigureRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn ascii_chart_places_extremes_on_borders() {
+        let rec = FigureRecord::new("c", "chart", "x", "y")
+            .with_series(Series::new("rise", vec![(0.0, 0.0), (1.0, 1.0)]))
+            .with_series(Series::new("fall", vec![(0.0, 1.0), (1.0, 0.0)]));
+        let chart = rec.to_ascii_chart(20, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Row 1 (y max) must contain a mark at both the left ('o' from fall)
+        // and right ('*' from rise) edges.
+        let top = lines[1];
+        assert!(top.contains('o') && top.contains('*'), "top row: {top}");
+        // Legend lists both series.
+        assert!(chart.contains("* rise") && chart.contains("o fall"));
+        // Axis labels include the extremes.
+        assert!(chart.contains("1.000") && chart.contains("0.000"));
+    }
+
+    #[test]
+    fn ascii_chart_handles_nan_and_empty() {
+        let rec = FigureRecord::new("n", "nan", "x", "y")
+            .with_series(Series::new("s", vec![(0.0, f64::NAN)]));
+        assert!(rec.to_ascii_chart(16, 8).contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart area too small")]
+    fn ascii_chart_rejects_tiny_area() {
+        let _ = FigureRecord::new("t", "t", "x", "y").to_ascii_chart(4, 4);
+    }
+
+    #[test]
+    fn run_scale_defaults_are_fast() {
+        std::env::remove_var("DANTE_FULL");
+        std::env::remove_var("DANTE_TRIALS");
+        let s = RunScale::from_env();
+        assert!(s.trials <= 20);
+        assert!(s.test_images <= 1000);
+    }
+}

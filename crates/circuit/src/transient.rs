@@ -1,0 +1,361 @@
+//! Transient simulation of the boosted rail `Vddv` — the Spectre waveform of
+//! paper Fig. 4, reproduced with a first-order RC model.
+//!
+//! Within an access cycle the boost clock is high for the first half-cycle:
+//! enabled booster cells couple charge onto the rail, which rises toward
+//! `Vdd + V_b` with a fast coupling time constant and then droops slowly
+//! through rail leakage. During the low phase the rail relaxes back to `Vdd`.
+//! Idle cycles (no access) keep the rail at `Vdd` — the property that gives
+//! the architecture its leakage savings.
+
+use crate::bic::{BoostConfig, BoostInputControl, ChipEnable, ClockPhase};
+use crate::booster::BoosterBank;
+use crate::units::{Second, Volt};
+
+/// One scheduled bank access with the configuration in force at that cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Cycle index at which the access occurs.
+    pub cycle: u64,
+    /// Boost configuration programmed for this access.
+    pub config: BoostConfig,
+}
+
+/// A sampled `Vddv(t)` waveform.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Waveform {
+    samples: Vec<(Second, Volt)>,
+}
+
+impl Waveform {
+    /// The `(time, voltage)` samples in chronological order.
+    #[must_use]
+    pub fn samples(&self) -> &[(Second, Volt)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the waveform is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Peak rail voltage over the whole waveform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveform is empty.
+    #[must_use]
+    pub fn peak(&self) -> Volt {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None::<Volt>, |acc, v| Some(acc.map_or(v, |a| a.max(v))))
+            .expect("peak of an empty waveform")
+    }
+
+    /// Peak voltage within one cycle `[cycle*T, (cycle+1)*T)`.
+    #[must_use]
+    pub fn peak_in_cycle(&self, cycle: u64, cycle_time: Second) -> Option<Volt> {
+        let start = cycle_time.seconds() * cycle as f64;
+        let end = start + cycle_time.seconds();
+        self.samples
+            .iter()
+            .filter(|(t, _)| t.seconds() >= start && t.seconds() < end)
+            .map(|&(_, v)| v)
+            .fold(None, |acc: Option<Volt>, v| Some(acc.map_or(v, |a| a.max(v))))
+    }
+}
+
+/// Transient simulator for one bank's boosted rail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSim {
+    bank: BoosterBank,
+    vdd: Volt,
+    cycle_time: Second,
+    samples_per_cycle: usize,
+    /// Coupling rise time constant (fraction of a half-cycle).
+    tau_rise: Second,
+    /// Droop/relaxation time constant of the boosted rail.
+    tau_droop: Second,
+    /// Voltage the array's read current pulls off the rail over one boost
+    /// phase (`Q_read / C_rail`).
+    read_droop: Volt,
+}
+
+impl TransientSim {
+    /// Creates a simulator for `bank` at supply `vdd` and the given cycle
+    /// time, sampling `samples_per_cycle` points per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_cycle < 4` (the waveform would miss the boost
+    /// pulse entirely) or if the cycle time is non-positive.
+    #[must_use]
+    pub fn new(bank: BoosterBank, vdd: Volt, cycle_time: Second, samples_per_cycle: usize) -> Self {
+        assert!(samples_per_cycle >= 4, "need at least 4 samples per cycle");
+        assert!(cycle_time.seconds() > 0.0, "cycle time must be positive");
+        // Coupling onto the rail is near-instant; the return path through the
+        // conducting pFETs is also fast, a fraction of the half-cycle.
+        let tau_rise = cycle_time / 40.0;
+        let tau_droop = cycle_time / 8.0;
+        Self {
+            bank,
+            vdd,
+            cycle_time,
+            samples_per_cycle,
+            tau_rise,
+            tau_droop,
+            read_droop: Volt::ZERO,
+        }
+    }
+
+    /// Adds an array read-current droop: each boost phase sags by `droop`
+    /// while the wordline is active (worst-case burst modelling; the paper's
+    /// per-bank booster must keep the rail above target despite it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `droop` is negative.
+    #[must_use]
+    pub fn with_read_droop(mut self, droop: Volt) -> Self {
+        assert!(droop >= Volt::ZERO, "droop must be non-negative");
+        self.read_droop = droop;
+        self
+    }
+
+    /// The minimum rail voltage seen during any *boost phase* of a
+    /// back-to-back access burst of `cycles` cycles at `level` — the
+    /// worst-case margin check for burst traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero or `level` exceeds the bank's.
+    #[must_use]
+    pub fn worst_case_burst_rail(&self, level: usize, cycles: u64) -> Volt {
+        assert!(cycles > 0, "a burst needs at least one cycle");
+        let width = u8::try_from(self.bank.levels()).expect("bank level count fits in u8");
+        let schedule: Vec<AccessEvent> = (0..cycles)
+            .map(|cycle| AccessEvent {
+                cycle,
+                config: BoostConfig::from_level(level, width),
+            })
+            .collect();
+        let wave = self.simulate(&schedule, cycles);
+        let half = self.samples_per_cycle / 2;
+        // Examine only samples in the second quarter of each boost phase,
+        // after the coupling edge has settled.
+        wave.samples()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let s = i % self.samples_per_cycle;
+                s >= half / 2 && s < half
+            })
+            .map(|(_, &(_, v))| v)
+            .fold(Volt::new(f64::INFINITY), Volt::min)
+    }
+
+    /// The booster bank under simulation.
+    #[must_use]
+    pub fn bank(&self) -> &BoosterBank {
+        &self.bank
+    }
+
+    /// Simulates a schedule of accesses over `total_cycles` cycles and
+    /// returns the sampled rail waveform. Cycles without a scheduled access
+    /// keep the rail at `Vdd`.
+    ///
+    /// The BIC semantics are honoured exactly: each event programs the
+    /// configuration register, which then applies to that access.
+    #[must_use]
+    pub fn simulate(&self, schedule: &[AccessEvent], total_cycles: u64) -> Waveform {
+        let width = u8::try_from(self.bank.levels()).expect("bank level count fits in u8");
+        let mut bic = BoostInputControl::new(width);
+        let dt = self.cycle_time / self.samples_per_cycle as f64;
+        let mut samples = Vec::with_capacity(total_cycles as usize * self.samples_per_cycle);
+        let mut v = self.vdd;
+
+        for cycle in 0..total_cycles {
+            let event = schedule.iter().find(|e| e.cycle == cycle);
+            if let Some(e) = event {
+                bic.set_config(e.config);
+            }
+            let cen = if event.is_some() { ChipEnable::Active } else { ChipEnable::Idle };
+
+            for s in 0..self.samples_per_cycle {
+                let t = Second::new(
+                    self.cycle_time.seconds() * cycle as f64 + dt.seconds() * s as f64,
+                );
+                let clk = if s < self.samples_per_cycle / 2 {
+                    ClockPhase::High
+                } else {
+                    ClockPhase::Low
+                };
+                let level = bic.boosting_count(cen, clk);
+                let target = if level > 0 {
+                    // The array's read current sags the boosted plateau.
+                    self.bank.boosted_voltage(self.vdd, level) - self.read_droop
+                } else {
+                    self.vdd
+                };
+                // First-order step toward the target: fast coupling when
+                // boosting upward, slow droop/relaxation otherwise.
+                let tau = if target > v { self.tau_rise } else { self.tau_droop };
+                let alpha = 1.0 - (-dt.seconds() / tau.seconds()).exp();
+                v = v + (target - v) * alpha;
+                samples.push((t, v));
+            }
+        }
+        Waveform { samples }
+    }
+
+    /// Convenience: the Fig. 4 experiment — one access per cycle while the
+    /// configuration steps through boost levels `1..=P`, showing the four
+    /// distinct `Vddv` plateaus.
+    #[must_use]
+    pub fn level_staircase(&self, cycles_per_level: u64) -> Waveform {
+        let width = u8::try_from(self.bank.levels()).expect("bank level count fits in u8");
+        let mut schedule = Vec::new();
+        for (i, level) in (1..=self.bank.levels()).enumerate() {
+            for c in 0..cycles_per_level {
+                schedule.push(AccessEvent {
+                    cycle: i as u64 * cycles_per_level + c,
+                    config: BoostConfig::from_level(level, width),
+                });
+            }
+        }
+        let total = self.bank.levels() as u64 * cycles_per_level;
+        self.simulate(&schedule, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> TransientSim {
+        TransientSim::new(
+            BoosterBank::standard(),
+            Volt::new(0.4),
+            Second::from_nanoseconds(20.0),
+            32,
+        )
+    }
+
+    #[test]
+    fn idle_rail_stays_at_vdd() {
+        let w = sim().simulate(&[], 4);
+        for &(_, v) in w.samples() {
+            assert!((v.volts() - 0.4).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn boost_pulse_reaches_target_within_the_cycle() {
+        // Paper: "supply voltage adjustment happens within a cycle".
+        let s = sim();
+        let cfg = BoostConfig::from_level(4, 4);
+        let w = s.simulate(&[AccessEvent { cycle: 0, config: cfg }], 2);
+        let peak = w.peak_in_cycle(0, Second::from_nanoseconds(20.0)).unwrap();
+        let target = s.bank().boosted_voltage(Volt::new(0.4), 4);
+        assert!(
+            (peak.volts() - target.volts()).abs() < 0.01,
+            "peak {peak} did not reach target {target}"
+        );
+    }
+
+    #[test]
+    fn rail_returns_toward_vdd_after_access() {
+        let s = sim();
+        let cfg = BoostConfig::from_level(4, 4);
+        let w = s.simulate(&[AccessEvent { cycle: 0, config: cfg }], 4);
+        let last = w.samples().last().unwrap().1;
+        assert!(
+            (last.volts() - 0.4).abs() < 0.03,
+            "rail should relax to Vdd, ended at {last}"
+        );
+    }
+
+    #[test]
+    fn staircase_shows_distinct_plateaus_per_level() {
+        let s = sim();
+        let w = s.level_staircase(4);
+        let ct = Second::from_nanoseconds(20.0);
+        let mut peaks = Vec::new();
+        for level in 0..4u64 {
+            // Look at the last cycle of each plateau, where the rail settled.
+            let peak = w.peak_in_cycle(level * 4 + 3, ct).unwrap();
+            peaks.push(peak);
+        }
+        for pair in peaks.windows(2) {
+            assert!(
+                pair[1] > pair[0],
+                "plateaus must increase with level: {:?}",
+                peaks
+            );
+        }
+        // Highest plateau approaches the level-4 target.
+        let target = s.bank().boosted_voltage(Volt::new(0.4), 4);
+        assert!((peaks[3].volts() - target.volts()).abs() < 0.02);
+    }
+
+    #[test]
+    fn waveform_peak_and_len_are_consistent() {
+        let s = sim();
+        let w = s.level_staircase(2);
+        assert_eq!(w.len(), 4 * 2 * 32);
+        assert!(!w.is_empty());
+        assert!(w.peak() > Volt::new(0.4));
+    }
+
+    #[test]
+    fn burst_rail_holds_target_without_droop() {
+        // Back-to-back accesses must not sag the plateau in the ideal model:
+        // the booster re-arms every cycle.
+        let s = sim();
+        let worst = s.worst_case_burst_rail(4, 8);
+        let target = s.bank().boosted_voltage(Volt::new(0.4), 4);
+        assert!(
+            (worst.volts() - target.volts()).abs() < 0.02,
+            "worst {worst} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn read_droop_sags_the_plateau_but_margin_survives() {
+        // With a 20 mV read droop the worst-case burst rail sits ~20 mV
+        // below the ideal plateau — and still far above the 0.48 V
+        // iso-accuracy target when boosting from 0.40 V at level 4.
+        let droop = Volt::from_millivolts(20.0);
+        let s = sim().with_read_droop(droop);
+        let ideal = sim().worst_case_burst_rail(4, 8);
+        let sagged = s.worst_case_burst_rail(4, 8);
+        let delta = (ideal - sagged).millivolts();
+        assert!((10.0..=30.0).contains(&delta), "droop delta {delta:.1} mV");
+        assert!(sagged > Volt::new(0.48), "burst rail {sagged} must clear the target");
+    }
+
+    #[test]
+    #[should_panic(expected = "droop must be non-negative")]
+    fn negative_droop_rejected() {
+        let _ = sim().with_read_droop(Volt::from_millivolts(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 samples")]
+    fn too_coarse_sampling_rejected() {
+        let _ = TransientSim::new(
+            BoosterBank::standard(),
+            Volt::new(0.4),
+            Second::from_nanoseconds(20.0),
+            2,
+        );
+    }
+}

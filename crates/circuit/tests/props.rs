@@ -1,0 +1,112 @@
+//! Property tests for the circuit models.
+
+use dante_circuit::bic::{BoostConfig, BoostInputControl, ChipEnable, ClockPhase};
+use dante_circuit::booster::{BoostLoad, BoosterBank, BoosterCell, MimCapacitor};
+use dante_circuit::device::DeviceModel;
+use dante_circuit::ldo::Ldo;
+use dante_circuit::units::{Farad, Joule, Second, Volt, Watt};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Eq. 1 algebra: the boost fraction is C_b / (C_b + C_load), always in
+    /// (0, 1), increasing in C_b and decreasing in load.
+    #[test]
+    fn eq1_fraction_bounds(
+        inverters in 1usize..4096,
+        mim_pf in 0.1f64..100.0,
+        cmem_pf in 1.0f64..200.0,
+        mv in 300u32..800,
+    ) {
+        let cell = BoosterCell::new(inverters, Some(MimCapacitor::from_picofarads(mim_pf)));
+        let load = BoostLoad::new(Farad::from_picofarads(cmem_pf), Farad::ZERO);
+        let bank = BoosterBank::new(vec![cell], load);
+        let vdd = Volt::from_millivolts(f64::from(mv));
+        let vb = bank.boost_amount(vdd, 1);
+        prop_assert!(vb > Volt::ZERO);
+        prop_assert!(vb < vdd, "boost cannot exceed Vdd under Eq. 1");
+        // More load, less boost.
+        let heavier = BoosterBank::new(
+            vec![BoosterCell::new(inverters, Some(MimCapacitor::from_picofarads(mim_pf)))],
+            BoostLoad::new(Farad::from_picofarads(cmem_pf * 2.0), Farad::ZERO),
+        );
+        prop_assert!(heavier.boost_amount(vdd, 1) < vb);
+    }
+
+    /// Boost voltage scales exactly linearly with Vdd (Eq. 1).
+    #[test]
+    fn eq1_linear_in_vdd(mv in 300u32..700, scale in 1.05f64..2.0) {
+        let bank = BoosterBank::standard();
+        let v1 = Volt::from_millivolts(f64::from(mv));
+        let v2 = v1 * scale;
+        let b1 = bank.boost_amount(v1, 4);
+        let b2 = bank.boost_amount(v2, 4);
+        prop_assert!((b2.volts() / b1.volts() - scale).abs() < 1e-9);
+    }
+
+    /// The BIC never boosts a disabled cell and never boosts while idle.
+    #[test]
+    fn bic_gating(mask in 0u32..16) {
+        let mut bic = BoostInputControl::new(4);
+        bic.set_config(BoostConfig::from_mask(mask, 4));
+        prop_assert_eq!(bic.boosting_count(ChipEnable::Idle, ClockPhase::High), 0);
+        prop_assert_eq!(bic.boosting_count(ChipEnable::Active, ClockPhase::Low), 0);
+        prop_assert_eq!(
+            bic.boosting_count(ChipEnable::Active, ClockPhase::High),
+            mask.count_ones() as usize
+        );
+    }
+
+    /// Delay is strictly decreasing in voltage above threshold.
+    #[test]
+    fn delay_monotone(mv in 300u32..780) {
+        let dev = DeviceModel::default_14nm();
+        let v = Volt::from_millivolts(f64::from(mv));
+        let hv = Volt::from_millivolts(f64::from(mv + 20));
+        prop_assert!(dev.relative_delay(hv) < dev.relative_delay(v));
+    }
+
+    /// Leakage power is strictly increasing in voltage and linear in the
+    /// nominal power.
+    #[test]
+    fn leakage_monotone(mv in 300u32..780, p_uw in 1.0f64..1000.0) {
+        let dev = DeviceModel::default_14nm();
+        let v = Volt::from_millivolts(f64::from(mv));
+        let hv = Volt::from_millivolts(f64::from(mv + 20));
+        let p = Watt::from_microwatts(p_uw);
+        prop_assert!(dev.leakage_power(hv, p) > dev.leakage_power(v, p));
+        let doubled = dev.leakage_power(v, p * 2.0);
+        prop_assert!((doubled.watts() / dev.leakage_power(v, p).watts() - 2.0).abs() < 1e-9);
+    }
+
+    /// LDO input energy always covers the output energy.
+    #[test]
+    fn ldo_conservation(out_pj in 0.1f64..1000.0, lo_mv in 300u32..600, drop_mv in 0u32..200) {
+        let ldo = Ldo::new();
+        let v_l = Volt::from_millivolts(f64::from(lo_mv));
+        let v_h = Volt::from_millivolts(f64::from(lo_mv + drop_mv));
+        let out = Joule::from_picojoules(out_pj);
+        prop_assert!(ldo.input_energy(out, v_l, v_h) >= out);
+    }
+
+    /// Unit arithmetic: switching energy is bilinear in C and quadratic in V.
+    #[test]
+    fn switching_energy_scaling(c_ff in 0.1f64..10_000.0, mv in 100u32..1000) {
+        let c = Farad::from_femtofarads(c_ff);
+        let v = Volt::from_millivolts(f64::from(mv));
+        let e = c.switching_energy(v);
+        let e2 = (c * 2.0).switching_energy(v);
+        let ev2 = c.switching_energy(v * 2.0);
+        prop_assert!((e2.joules() / e.joules() - 2.0).abs() < 1e-9);
+        prop_assert!((ev2.joules() / e.joules() - 4.0).abs() < 1e-9);
+    }
+
+    /// Frequency/period round-trip.
+    #[test]
+    fn frequency_period_roundtrip(mhz in 0.1f64..2000.0) {
+        let f = dante_circuit::units::Hertz::from_megahertz(mhz);
+        let t = f.period();
+        prop_assert!((Second::new(1.0 / f.hertz()).seconds() - t.seconds()).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,588 @@
+//! Monte-Carlo fault-injection accuracy evaluation (paper Sec. 5.1,
+//! Fig. 11).
+//!
+//! This is the fast statistical path used for the accuracy figures: the
+//! network's weights (and optionally the test inputs) are quantized to the
+//! chip's fixed-point format, packed into the exact SRAM bit image, overlaid
+//! with a fresh Monte-Carlo fault die per trial at each data class's
+//! *effective voltage* (the boosted rail of the bank holding it), and the
+//! corrupted network is evaluated on the test set. Averaging over dies
+//! reproduces the paper's 100-fault-map methodology.
+
+use dante_circuit::units::Volt;
+use dante_nn::layers::Layer;
+use dante_nn::network::Network;
+use dante_nn::quant::ScaledQuantizer;
+use dante_nn::Matrix;
+use dante_sram::fault::VminFaultModel;
+use dante_sram::storage::FaultOverlay;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Effective rail voltage for each data class of one inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageAssignment {
+    /// One voltage per weight layer (depth order).
+    pub weight_layers: Vec<Volt>,
+    /// Voltage of the input/activation memory.
+    pub inputs: Volt,
+}
+
+impl VoltageAssignment {
+    /// Every data class at the same voltage.
+    #[must_use]
+    pub fn uniform(v: Volt, weight_layers: usize) -> Self {
+        Self { weight_layers: vec![v; weight_layers], inputs: v }
+    }
+
+    /// Weights at `v`, inputs held safe at a high voltage (isolates weight
+    /// sensitivity, as in Fig. 2's "weights" curves).
+    #[must_use]
+    pub fn weights_only(v: Volt, weight_layers: usize, safe: Volt) -> Self {
+        Self { weight_layers: vec![v; weight_layers], inputs: safe }
+    }
+
+    /// Inputs at `v`, weights held safe (Fig. 2's "inputs" curve).
+    #[must_use]
+    pub fn inputs_only(v: Volt, weight_layers: usize, safe: Volt) -> Self {
+        Self { weight_layers: vec![safe; weight_layers], inputs: v }
+    }
+
+    /// Only weight layer `layer` at `v`, everything else safe (Fig. 2's
+    /// per-layer curves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= weight_layers`.
+    #[must_use]
+    pub fn single_layer(v: Volt, layer: usize, weight_layers: usize, safe: Volt) -> Self {
+        assert!(layer < weight_layers, "layer {layer} out of range");
+        let mut weights = vec![safe; weight_layers];
+        weights[layer] = v;
+        Self { weight_layers: weights, inputs: safe }
+    }
+}
+
+/// Result of a Monte-Carlo accuracy evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyStats {
+    /// Accuracy of each trial (one fault die each).
+    pub per_trial: Vec<f64>,
+}
+
+impl AccuracyStats {
+    /// Mean accuracy across dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no trials.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        assert!(!self.per_trial.is_empty(), "no trials");
+        self.per_trial.iter().sum::<f64>() / self.per_trial.len() as f64
+    }
+
+    /// Sample standard deviation across dies (0 for a single trial).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        let n = self.per_trial.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .per_trial
+            .iter()
+            .map(|a| (a - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Worst-die accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no trials.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.per_trial.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Error-protection scheme applied to the SRAM words (ablation axis: the
+/// paper's related work contrasts boosting against conventional ECC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EccMode {
+    /// No coding: every flip reaches the data (the paper's baseline).
+    #[default]
+    None,
+    /// Hamming(72,64) SEC-DED per 64-bit word: single flips are healed,
+    /// double or more pass through; check bits fault at the same rate.
+    SecDed,
+}
+
+/// The Monte-Carlo evaluator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyEvaluator {
+    fault_model: VminFaultModel,
+    weight_quantizer: ScaledQuantizer,
+    input_quantizer: ScaledQuantizer,
+    trials: usize,
+    ecc: EccMode,
+}
+
+impl AccuracyEvaluator {
+    /// Creates an evaluator with the paper's defaults: the calibrated 14nm
+    /// fault model, the chip's 16-bit/2-guard-bit weight format, and the
+    /// given Monte-Carlo trial count (the paper uses 100 fault maps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    #[must_use]
+    pub fn new(trials: usize) -> Self {
+        assert!(trials > 0, "need at least one Monte-Carlo trial");
+        Self {
+            fault_model: VminFaultModel::default_14nm(),
+            weight_quantizer: ScaledQuantizer::weight_default(),
+            input_quantizer: ScaledQuantizer::weight_default(),
+            trials,
+            ecc: EccMode::None,
+        }
+    }
+
+    /// Replaces the fault model.
+    #[must_use]
+    pub fn with_fault_model(mut self, model: VminFaultModel) -> Self {
+        self.fault_model = model;
+        self
+    }
+
+    /// Selects the ECC ablation mode.
+    #[must_use]
+    pub fn with_ecc(mut self, ecc: EccMode) -> Self {
+        self.ecc = ecc;
+        self
+    }
+
+    /// The ECC mode in effect.
+    #[must_use]
+    pub fn ecc(&self) -> EccMode {
+        self.ecc
+    }
+
+    /// The fault model in use.
+    #[must_use]
+    pub fn fault_model(&self) -> &VminFaultModel {
+        &self.fault_model
+    }
+
+    /// Monte-Carlo trial count.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    fn corrupt_values(
+        &self,
+        values: &[f32],
+        quantizer: &ScaledQuantizer,
+        v: Volt,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        let mut tensor = quantizer.quantize(values);
+        let mut words = tensor.to_packed_words();
+        let overlay = FaultOverlay::generate(tensor.bit_len(), &self.fault_model, rng);
+        match self.ecc {
+            EccMode::None => overlay.apply(&mut words, v),
+            EccMode::SecDed => {
+                // SEC-DED per 64-bit word: heal single flips, counting the
+                // 8 check bits (which fault at the same per-cell rate).
+                let mut corruption = overlay.corruption_words(v);
+                corruption.truncate(words.len());
+                let check_overlay =
+                    FaultOverlay::generate(words.len() * 8, &self.fault_model, rng);
+                let check_words = check_overlay.corruption_words(v);
+                let check_flips: Vec<u32> = (0..words.len())
+                    .map(|w| {
+                        let word = check_words[w / 8];
+                        ((word >> ((w % 8) * 8)) & 0xFF).count_ones()
+                    })
+                    .collect();
+                dante_sram::ecc::filter_corruption(&mut corruption, &check_flips);
+                for (word, c) in words.iter_mut().zip(&corruption) {
+                    *word ^= c;
+                }
+            }
+        }
+        tensor.load_packed_words(&words);
+        tensor.to_f32()
+    }
+
+    /// Returns a copy of `net` whose weights went through quantization and
+    /// one fault die at the assignment's voltages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's layer count mismatches the network's
+    /// weight layers.
+    #[must_use]
+    pub fn corrupt_network<R: Rng + ?Sized>(
+        &self,
+        net: &Network,
+        assignment: &VoltageAssignment,
+        rng: &mut R,
+    ) -> Network {
+        let indices = net.weight_layer_indices();
+        assert_eq!(
+            indices.len(),
+            assignment.weight_layers.len(),
+            "assignment covers {} layers, network has {}",
+            assignment.weight_layers.len(),
+            indices.len()
+        );
+        let mut corrupted = net.clone();
+        for (pos, &li) in indices.iter().enumerate() {
+            let v = assignment.weight_layers[pos];
+            let mut die_rng = StdRng::seed_from_u64(rng.gen());
+            match &mut corrupted.layers_mut()[li] {
+                Layer::Dense(d) => {
+                    let vals = d.weights().as_slice().to_vec();
+                    let new = self.corrupt_values(&vals, &self.weight_quantizer, v, &mut die_rng);
+                    let (r, c) = d.weights().dims();
+                    *d.weights_mut() = Matrix::from_vec(r, c, new);
+                }
+                Layer::Conv2d(conv) => {
+                    let vals = conv.weights().to_vec();
+                    let new = self.corrupt_values(&vals, &self.weight_quantizer, v, &mut die_rng);
+                    conv.weights_mut().copy_from_slice(&new);
+                }
+                _ => unreachable!("weight_layer_indices returns parameterized layers"),
+            }
+        }
+        corrupted
+    }
+
+    /// Returns a corrupted copy of a test-image buffer at the inputs
+    /// voltage.
+    #[must_use]
+    pub fn corrupt_inputs<R: Rng + ?Sized>(
+        &self,
+        images: &[f32],
+        v: Volt,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        let mut die_rng = StdRng::seed_from_u64(rng.gen());
+        self.corrupt_values(images, &self.input_quantizer, v, &mut die_rng)
+    }
+
+    /// Evaluates accuracy over a voltage axis with a caller-supplied
+    /// assignment builder (e.g. `VoltageAssignment::uniform` for the Fig. 1
+    /// curve, `weights_only` for a Fig. 2 series).
+    #[must_use]
+    pub fn voltage_sweep(
+        &self,
+        net: &Network,
+        voltages: &[Volt],
+        make_assignment: impl Fn(Volt) -> VoltageAssignment,
+        images: &[f32],
+        labels: &[u8],
+        seed: u64,
+    ) -> Vec<(Volt, AccuracyStats)> {
+        voltages
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let stats = self.evaluate(
+                    net,
+                    &make_assignment(v),
+                    images,
+                    labels,
+                    seed ^ ((i as u64) << 32),
+                );
+                (v, stats)
+            })
+            .collect()
+    }
+
+    /// Finds `V_target-acc` (paper Fig. 1): the lowest voltage on a 10 mV
+    /// grid at which the mean accuracy under a uniform assignment reaches
+    /// `target_fraction` of the clean accuracy. Returns `None` if even the
+    /// top of the searched range (0.60 V) misses the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target_fraction` is in `(0, 1]`.
+    #[must_use]
+    pub fn find_target_voltage(
+        &self,
+        net: &Network,
+        images: &[f32],
+        labels: &[u8],
+        target_fraction: f64,
+        seed: u64,
+    ) -> Option<Volt> {
+        assert!(
+            target_fraction > 0.0 && target_fraction <= 1.0,
+            "target fraction must be in (0, 1]"
+        );
+        let clean = net.accuracy(images, labels);
+        let target = clean * target_fraction;
+        let layers = net.weight_layer_indices().len();
+        // The accuracy curve is monotone in voltage (inclusive fault maps),
+        // so walk the grid bottom-up and return the first passing point.
+        let mut passing = None;
+        for mv in (300..=600).rev().step_by(10) {
+            let v = Volt::from_millivolts(f64::from(mv));
+            let stats =
+                self.evaluate(net, &VoltageAssignment::uniform(v, layers), images, labels, seed);
+            if stats.mean() >= target {
+                passing = Some(v);
+            } else {
+                break;
+            }
+        }
+        passing
+    }
+
+    /// Runs the full Monte-Carlo evaluation: `trials` fresh dies, each
+    /// corrupting weights and inputs at the assignment's voltages, averaged
+    /// over the labelled test set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent buffer lengths or a mismatched assignment.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        net: &Network,
+        assignment: &VoltageAssignment,
+        images: &[f32],
+        labels: &[u8],
+        seed: u64,
+    ) -> AccuracyStats {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let per_trial = (0..self.trials)
+            .map(|_| {
+                let corrupted = self.corrupt_network(net, assignment, &mut rng);
+                let test_images = self.corrupt_inputs(images, assignment.inputs, &mut rng);
+                corrupted.accuracy(&test_images, labels)
+            })
+            .collect();
+        AccuracyStats { per_trial }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dante_nn::layers::{Dense, Relu};
+    use rand::rngs::StdRng;
+
+    fn toy_net_and_data() -> (Network, Vec<f32>, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Network::new(vec![
+            Layer::Dense(Dense::new(6, 12, &mut rng)),
+            Layer::Relu(Relu::new(12)),
+            Layer::Dense(Dense::new(12, 2, &mut rng)),
+        ])
+        .unwrap();
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..80 {
+            let c = (i % 2) as u8;
+            let base = if c == 0 { 0.75 } else { 0.15 };
+            for j in 0..6 {
+                images.push(base + ((i + j) % 7) as f32 * 0.02);
+            }
+            labels.push(c);
+        }
+        let cfg = dante_nn::train::SgdConfig { epochs: 20, batch_size: 8, ..Default::default() };
+        dante_nn::train::train(&mut net, &images, &labels, &cfg, &mut rng);
+        (net, images, labels)
+    }
+
+    #[test]
+    fn high_voltage_preserves_accuracy() {
+        let (net, images, labels) = toy_net_and_data();
+        let clean = net.accuracy(&images, &labels);
+        assert!(clean > 0.95, "toy net failed to train: {clean}");
+        let eval = AccuracyEvaluator::new(3);
+        let assignment = VoltageAssignment::uniform(Volt::new(0.60), 2);
+        let stats = eval.evaluate(&net, &assignment, &images, &labels, 1);
+        assert!(
+            (stats.mean() - clean).abs() < 0.02,
+            "0.6 V should be fault-free: {} vs {clean}",
+            stats.mean()
+        );
+    }
+
+    #[test]
+    fn very_low_voltage_destroys_accuracy() {
+        let (net, images, labels) = toy_net_and_data();
+        let eval = AccuracyEvaluator::new(3);
+        let assignment = VoltageAssignment::uniform(Volt::new(0.34), 2);
+        let stats = eval.evaluate(&net, &assignment, &images, &labels, 2);
+        assert!(stats.mean() < 0.85, "0.34 V should corrupt heavily: {}", stats.mean());
+    }
+
+    #[test]
+    fn accuracy_is_monotonic_ish_in_voltage() {
+        let (net, images, labels) = toy_net_and_data();
+        let eval = AccuracyEvaluator::new(4);
+        let acc = |mv: u32| {
+            let a = VoltageAssignment::uniform(Volt::from_millivolts(f64::from(mv)), 2);
+            eval.evaluate(&net, &a, &images, &labels, 3).mean()
+        };
+        let low = acc(340);
+        let high = acc(520);
+        assert!(high >= low, "accuracy must not degrade as V rises: {low} vs {high}");
+        assert!(high > 0.95);
+    }
+
+    #[test]
+    fn weights_only_and_inputs_only_assignments_differ() {
+        let (net, images, labels) = toy_net_and_data();
+        let eval = AccuracyEvaluator::new(4);
+        let safe = Volt::new(0.60);
+        let v = Volt::new(0.40);
+        let w = eval.evaluate(
+            &net,
+            &VoltageAssignment::weights_only(v, 2, safe),
+            &images,
+            &labels,
+            4,
+        );
+        let i = eval.evaluate(
+            &net,
+            &VoltageAssignment::inputs_only(v, 2, safe),
+            &images,
+            &labels,
+            4,
+        );
+        // The paper's core observation: weights are far more sensitive than
+        // inputs at the same BER.
+        assert!(
+            i.mean() >= w.mean(),
+            "inputs ({}) should tolerate faults better than weights ({})",
+            i.mean(),
+            w.mean()
+        );
+    }
+
+    #[test]
+    fn target_voltage_sits_on_the_cliff() {
+        let (net, images, labels) = toy_net_and_data();
+        let eval = AccuracyEvaluator::new(3);
+        let v = eval
+            .find_target_voltage(&net, &images, &labels, 0.98, 21)
+            .expect("0.60 V must meet any 98% target");
+        // The cliff for this quantization sits between 0.40 and 0.52 V.
+        assert!(
+            (0.38..=0.54).contains(&v.volts()),
+            "V_target-acc {v} outside the plausible cliff region"
+        );
+        // Everything above it passes, the grid point 20 mV below fails.
+        let layers = net.weight_layer_indices().len();
+        let above = eval
+            .evaluate(&net, &VoltageAssignment::uniform(v, layers), &images, &labels, 21)
+            .mean();
+        assert!(above >= 0.98 * net.accuracy(&images, &labels));
+    }
+
+    #[test]
+    fn voltage_sweep_matches_individual_evaluations() {
+        let (net, images, labels) = toy_net_and_data();
+        let eval = AccuracyEvaluator::new(2);
+        let voltages = [Volt::new(0.40), Volt::new(0.50)];
+        let sweep = eval.voltage_sweep(
+            &net,
+            &voltages,
+            |v| VoltageAssignment::uniform(v, 2),
+            &images,
+            &labels,
+            33,
+        );
+        assert_eq!(sweep.len(), 2);
+        assert!(sweep[1].1.mean() >= sweep[0].1.mean());
+        // Deterministic per seed and per index.
+        let again = eval.voltage_sweep(
+            &net,
+            &voltages,
+            |v| VoltageAssignment::uniform(v, 2),
+            &images,
+            &labels,
+            33,
+        );
+        assert_eq!(sweep, again);
+    }
+
+    #[test]
+    fn secded_improves_accuracy_in_the_transition_region() {
+        // ECC heals isolated flips, so at moderate BER it must beat the
+        // unprotected baseline; at very high BER (multi-bit words) it
+        // degrades toward the baseline.
+        let (net, images, labels) = toy_net_and_data();
+        let plain = AccuracyEvaluator::new(4);
+        let ecc = AccuracyEvaluator::new(4).with_ecc(EccMode::SecDed);
+        let v = Volt::new(0.42);
+        let a = VoltageAssignment::uniform(v, 2);
+        let acc_plain = plain.evaluate(&net, &a, &images, &labels, 9).mean();
+        let acc_ecc = ecc.evaluate(&net, &a, &images, &labels, 9).mean();
+        assert!(
+            acc_ecc >= acc_plain,
+            "SEC-DED ({acc_ecc}) must not be worse than unprotected ({acc_plain}) at 0.42 V"
+        );
+        // At a fault-free voltage both are clean.
+        let safe = VoltageAssignment::uniform(Volt::new(0.60), 2);
+        assert!(ecc.evaluate(&net, &safe, &images, &labels, 9).mean() > 0.95);
+    }
+
+    #[test]
+    fn secded_cannot_match_full_boost_at_deep_vlv() {
+        // The ablation the paper's related-work argument rests on: at very
+        // low voltage the multi-bit error rate defeats SEC-DED, while
+        // boosting (rail back to ~0.55 V) stays clean.
+        let (net, images, labels) = toy_net_and_data();
+        let ecc = AccuracyEvaluator::new(4).with_ecc(EccMode::SecDed);
+        let deep = VoltageAssignment::uniform(Volt::new(0.36), 2);
+        let acc_ecc = ecc.evaluate(&net, &deep, &images, &labels, 10).mean();
+        let boosted = VoltageAssignment::uniform(Volt::new(0.54), 2);
+        let acc_boost = ecc.evaluate(&net, &boosted, &images, &labels, 10).mean();
+        assert!(
+            acc_boost > acc_ecc + 0.2,
+            "boosted rail ({acc_boost}) must beat ECC at 0.36 V ({acc_ecc})"
+        );
+    }
+
+    #[test]
+    fn stats_summaries_are_consistent() {
+        let stats = AccuracyStats { per_trial: vec![0.9, 1.0, 0.8] };
+        assert!((stats.mean() - 0.9).abs() < 1e-12);
+        assert!((stats.min() - 0.8).abs() < 1e-12);
+        assert!(stats.std_dev() > 0.0);
+        let single = AccuracyStats { per_trial: vec![0.5] };
+        assert_eq!(single.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_per_seed() {
+        let (net, images, labels) = toy_net_and_data();
+        let eval = AccuracyEvaluator::new(2);
+        let a = VoltageAssignment::uniform(Volt::new(0.40), 2);
+        let s1 = eval.evaluate(&net, &a, &images, &labels, 7);
+        let s2 = eval.evaluate(&net, &a, &images, &labels, 7);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment covers")]
+    fn mismatched_assignment_rejected() {
+        let (net, _, _) = toy_net_and_data();
+        let eval = AccuracyEvaluator::new(1);
+        let bad = VoltageAssignment::uniform(Volt::new(0.5), 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = eval.corrupt_network(&net, &bad, &mut rng);
+    }
+}

@@ -1,0 +1,275 @@
+//! The fully-connected network analysis of paper Fig. 13.
+//!
+//! For every supply voltage and every Table 2 boost configuration this
+//! experiment produces: Monte-Carlo inference accuracy, boosted dynamic
+//! energy (Eq. 3), the single-supply (Eq. 2) and dual-supply (Eq. 6)
+//! baselines at the corresponding target voltage, and the three leakage
+//! energies per cycle (Eq. 4/7) — all normalized to the chip's dynamic
+//! energy at 0.5 V as in the paper's plots.
+
+use crate::accuracy::AccuracyEvaluator;
+use crate::schedule::{BoostPlan, NamedBoostConfig};
+use dante_circuit::units::Volt;
+use dante_dataflow::activity::{Dataflow, WorkloadActivity};
+use dante_dataflow::fc_dana::DanaFcDataflow;
+use dante_dataflow::workloads::mnist_fc;
+use dante_energy::supply::EnergyModel;
+use dante_nn::network::Network;
+
+/// One `(Vdd, config)` data point of Fig. 13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcPoint {
+    /// Supply voltage.
+    pub vdd: Volt,
+    /// Boost configuration.
+    pub config: NamedBoostConfig,
+    /// Target (comparison) voltage: the rail of the highest boost level in
+    /// the plan.
+    pub vddv: Volt,
+    /// Mean Monte-Carlo accuracy.
+    pub accuracy_mean: f64,
+    /// Standard deviation across fault dies.
+    pub accuracy_std: f64,
+    /// Boosted dynamic energy, normalized to the 0.5 V chip reference.
+    pub boost_dynamic: f64,
+    /// Single-supply (at `vddv`) dynamic energy, normalized.
+    pub single_dynamic: f64,
+    /// Dual-supply (`V_h = vddv`, `V_l = vdd`) dynamic energy, normalized.
+    pub dual_dynamic: f64,
+    /// Boosted leakage energy per cycle, joules.
+    pub boost_leakage: f64,
+    /// Single-supply (at `vddv`) leakage energy per cycle, joules.
+    pub single_leakage: f64,
+    /// Dual-supply leakage energy per cycle, joules.
+    pub dual_leakage: f64,
+}
+
+/// The Fig. 13 experiment context.
+#[derive(Debug)]
+pub struct FcExperiment<'a> {
+    net: &'a Network,
+    test_images: &'a [f32],
+    test_labels: &'a [u8],
+    evaluator: AccuracyEvaluator,
+    energy: EnergyModel,
+    activity: WorkloadActivity,
+}
+
+impl<'a> FcExperiment<'a> {
+    /// Creates the experiment around a trained FC-DNN and its test set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network does not have four weight layers (the paper's
+    /// FC-DNN) or buffer lengths are inconsistent.
+    #[must_use]
+    pub fn new(
+        net: &'a Network,
+        test_images: &'a [f32],
+        test_labels: &'a [u8],
+        trials: usize,
+    ) -> Self {
+        assert_eq!(
+            net.weight_layer_indices().len(),
+            4,
+            "the Fig. 13 experiment expects the 4-layer FC-DNN"
+        );
+        assert_eq!(
+            test_images.len(),
+            test_labels.len() * net.in_len(),
+            "test buffer length mismatch"
+        );
+        Self {
+            net,
+            test_images,
+            test_labels,
+            evaluator: AccuracyEvaluator::new(trials),
+            energy: EnergyModel::dante_chip(),
+            activity: DanaFcDataflow::new().activity(&mnist_fc()),
+        }
+    }
+
+    /// The energy model in use.
+    #[must_use]
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// The paper's Fig. 13 voltage axis: 0.34–0.50 V in 20 mV steps.
+    #[must_use]
+    pub fn default_voltages() -> Vec<Volt> {
+        (0..=8).map(|i| Volt::new(0.34 + 0.02 * f64::from(i))).collect()
+    }
+
+    /// Computes one data point.
+    #[must_use]
+    pub fn point(&self, vdd: Volt, config: NamedBoostConfig, seed: u64) -> FcPoint {
+        let booster = self.energy.booster();
+        let plan = BoostPlan::from_named(config, 4, booster, vdd);
+        let vddv = booster.boosted_voltage(vdd, plan.max_weight_level());
+
+        // Accuracy via Monte-Carlo fault injection at the plan's rails.
+        let assignment = plan.voltage_assignment(booster, vdd);
+        let stats = self.evaluator.evaluate(
+            self.net,
+            &assignment,
+            self.test_images,
+            self.test_labels,
+            seed,
+        );
+
+        // Energy via Eqs. 2, 3, 6 on the DANA activity counts.
+        let macs = self.activity.total_macs();
+        let accesses = self.activity.total_sram_accesses();
+        let reference = self.energy.reference_energy_at_0v5(accesses, macs).joules();
+        let groups = plan.boosted_groups(&self.activity);
+        let boost = self.energy.dynamic_boosted(vdd, &groups, macs).joules();
+        let single = self.energy.dynamic_single(vddv, accesses, macs).joules();
+        let dual = self.energy.dynamic_dual(vddv, vdd, accesses, macs).joules();
+
+        FcPoint {
+            vdd,
+            config,
+            vddv,
+            accuracy_mean: stats.mean(),
+            accuracy_std: stats.std_dev(),
+            boost_dynamic: boost / reference,
+            single_dynamic: single / reference,
+            dual_dynamic: dual / reference,
+            boost_leakage: self.energy.leakage_boosted_per_cycle(vdd).joules(),
+            single_leakage: self.energy.leakage_single_per_cycle(vddv).joules(),
+            dual_leakage: self.energy.leakage_dual_per_cycle(vddv, vdd).joules(),
+        }
+    }
+
+    /// Runs the full grid: every voltage x every Table 2 configuration.
+    #[must_use]
+    pub fn run(&self, voltages: &[Volt], seed: u64) -> Vec<FcPoint> {
+        let mut out = Vec::with_capacity(voltages.len() * 6);
+        for (vi, &vdd) in voltages.iter().enumerate() {
+            for (ci, config) in NamedBoostConfig::all().into_iter().enumerate() {
+                out.push(self.point(vdd, config, seed ^ ((vi as u64) << 8) ^ ci as u64));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dante_nn::layers::{Dense, Layer, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A small stand-in with the FC-DNN's 4-weight-layer structure but tiny
+    /// dimensions, so the unit tests stay fast. The real 784-wide network is
+    /// exercised by the bench harness and integration tests.
+    fn tiny_fc4() -> (Network, Vec<f32>, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = Network::new(vec![
+            Layer::Dense(Dense::new(12, 16, &mut rng)),
+            Layer::Relu(Relu::new(16)),
+            Layer::Dense(Dense::new(16, 16, &mut rng)),
+            Layer::Relu(Relu::new(16)),
+            Layer::Dense(Dense::new(16, 16, &mut rng)),
+            Layer::Relu(Relu::new(16)),
+            Layer::Dense(Dense::new(16, 3, &mut rng)),
+        ])
+        .unwrap();
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..90 {
+            let c = (i % 3) as u8;
+            for j in 0..12 {
+                let on = (j % 3) == usize::from(c);
+                images.push(if on { 0.9 } else { 0.1 } + ((i + j) % 5) as f32 * 0.01);
+            }
+            labels.push(c);
+        }
+        let cfg = dante_nn::train::SgdConfig { epochs: 25, batch_size: 10, ..Default::default() };
+        dante_nn::train::train(&mut net, &images, &labels, &cfg, &mut rng);
+        (net, images, labels)
+    }
+
+    #[test]
+    fn higher_boost_gives_higher_accuracy_at_vlv() {
+        let (net, images, labels) = tiny_fc4();
+        let exp = FcExperiment::new(&net, &images, &labels, 4);
+        let vdd = Volt::new(0.38);
+        let lo = exp.point(vdd, NamedBoostConfig::Vddv1, 1);
+        let hi = exp.point(vdd, NamedBoostConfig::Vddv4, 1);
+        assert!(
+            hi.accuracy_mean >= lo.accuracy_mean,
+            "Vddv4 ({}) must beat Vddv1 ({}) at 0.38 V",
+            hi.accuracy_mean,
+            lo.accuracy_mean
+        );
+        assert!(hi.accuracy_mean > 0.9, "full boost at 0.38 V reaches ~0.55 V rails");
+    }
+
+    #[test]
+    fn boost_beats_single_supply_and_energy_orders_hold() {
+        let (net, images, labels) = tiny_fc4();
+        let exp = FcExperiment::new(&net, &images, &labels, 1);
+        for config in [NamedBoostConfig::Vddv3, NamedBoostConfig::Vddv4] {
+            let p = exp.point(Volt::new(0.40), config, 2);
+            // Paper Fig. 13a: boosting beats the corresponding single supply.
+            assert!(
+                p.boost_dynamic < p.single_dynamic,
+                "{}: boost {} vs single {}",
+                config.name(),
+                p.boost_dynamic,
+                p.single_dynamic
+            );
+            // Leakage: boosted << single-at-vddv and << dual.
+            assert!(p.boost_leakage < p.single_leakage);
+            assert!(p.boost_leakage < p.dual_leakage);
+        }
+    }
+
+    #[test]
+    fn normalization_reference_is_0v5_chip_energy() {
+        let (net, images, labels) = tiny_fc4();
+        let exp = FcExperiment::new(&net, &images, &labels, 1);
+        // A single-supply point at exactly 0.5 V must normalize to ~1.
+        let activity = DanaFcDataflow::new().activity(&mnist_fc());
+        let reference = exp
+            .energy_model()
+            .reference_energy_at_0v5(activity.total_sram_accesses(), activity.total_macs());
+        let single_05 = exp.energy_model().dynamic_single(
+            Volt::new(0.5),
+            activity.total_sram_accesses(),
+            activity.total_macs(),
+        );
+        assert!((single_05.joules() / reference.joules() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_covers_the_full_grid() {
+        let (net, images, labels) = tiny_fc4();
+        let exp = FcExperiment::new(&net, &images, &labels, 1);
+        let voltages = [Volt::new(0.38), Volt::new(0.46)];
+        let pts = exp.run(&voltages, 3);
+        assert_eq!(pts.len(), 12);
+        assert!(pts.iter().any(|p| p.config == NamedBoostConfig::Diff2));
+    }
+
+    #[test]
+    fn default_voltage_axis_matches_fig13() {
+        let vs = FcExperiment::default_voltages();
+        assert_eq!(vs.len(), 9);
+        assert!((vs[0].volts() - 0.34).abs() < 1e-9);
+        assert!((vs[8].volts() - 0.50).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects the 4-layer FC-DNN")]
+    fn wrong_layer_count_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Network::new(vec![Layer::Dense(Dense::new(4, 2, &mut rng))]).unwrap();
+        let labels = [0u8];
+        let images = [0.0f32; 4];
+        let _ = FcExperiment::new(&net, &images, &labels, 1);
+    }
+}

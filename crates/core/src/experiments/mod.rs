@@ -1,0 +1,7 @@
+//! The paper's evaluation experiments (Sec. 6).
+
+pub mod conv;
+pub mod fc;
+
+pub use conv::{ConvExperiment, ConvPoint, IsoAccuracyPoint, ISO_ACCURACY_TARGET_V};
+pub use fc::{FcExperiment, FcPoint};

@@ -1,0 +1,42 @@
+//! # dante
+//!
+//! The facade crate of the *Dante* reproduction ("Resilient Low Voltage
+//! Accelerators for High Energy Efficiency", HPCA 2019): accuracy and
+//! energy experiments over the circuit/SRAM/NN/dataflow/energy/accelerator
+//! substrates.
+//!
+//! * [`accuracy`] — Monte-Carlo fault-injection accuracy evaluation
+//!   (Sec. 5.1 methodology).
+//! * [`schedule`] — the Table 2 boost configurations and [`BoostPlan`].
+//! * [`experiments`] — the Fig. 13 FC-DNN and Fig. 14/15 AlexNet analyses.
+//! * [`policy`] — the application-aware boost-policy optimizer.
+//! * [`report`] — energy reports for bit-accurate simulator runs.
+//! * [`headlines`] — the abstract's headline numbers, recomputed.
+//! * [`artifacts`] — disk-cached trained models for the heavy experiments.
+//!
+//! # Examples
+//!
+//! Recompute the paper's headline savings:
+//!
+//! ```
+//! let h = dante::headlines::compute();
+//! assert!(h.alexnet_peak_savings_vs_dual > 0.2); // paper: "up to 26%"
+//! assert!(h.booster_leakage_overhead < 0.08);    // paper: "only 6% overhead"
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accuracy;
+pub mod artifacts;
+pub mod experiments;
+pub mod headlines;
+pub mod policy;
+pub mod report;
+pub mod schedule;
+
+pub use accuracy::{AccuracyEvaluator, AccuracyStats, EccMode, VoltageAssignment};
+pub use headlines::Headlines;
+pub use policy::{OptimizedPlan, PolicyOptimizer};
+pub use report::InferenceEnergyReport;
+pub use schedule::{BoostPlan, NamedBoostConfig, INPUT_TARGET};

@@ -1,0 +1,111 @@
+//! Activity counts: how many SRAM accesses and MACs a workload performs
+//! under a given dataflow — the `SRAMAcc` and `NC` inputs of the paper's
+//! energy equations (2), (3), (6).
+
+use crate::workload::Workload;
+
+/// Per-layer access/compute counts for one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerActivity {
+    /// Layer index within the workload.
+    pub layer: usize,
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// On-chip SRAM accesses that fetch weights.
+    pub weight_accesses: u64,
+    /// On-chip SRAM accesses that fetch input/ifmap activations.
+    pub input_accesses: u64,
+    /// On-chip SRAM accesses that write/read outputs and partial sums.
+    pub output_accesses: u64,
+}
+
+impl LayerActivity {
+    /// Total SRAM accesses of the layer.
+    #[must_use]
+    pub fn sram_accesses(&self) -> u64 {
+        self.weight_accesses + self.input_accesses + self.output_accesses
+    }
+}
+
+/// Whole-workload activity under one dataflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadActivity {
+    dataflow: &'static str,
+    layers: Vec<LayerActivity>,
+}
+
+impl WorkloadActivity {
+    /// Creates an activity record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    #[must_use]
+    pub fn new(dataflow: &'static str, layers: Vec<LayerActivity>) -> Self {
+        assert!(!layers.is_empty(), "activity needs at least one layer");
+        Self { dataflow, layers }
+    }
+
+    /// Name of the dataflow that produced these counts.
+    #[must_use]
+    pub fn dataflow(&self) -> &'static str {
+        self.dataflow
+    }
+
+    /// Per-layer records.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerActivity] {
+        &self.layers
+    }
+
+    /// Total MACs.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total SRAM accesses.
+    #[must_use]
+    pub fn total_sram_accesses(&self) -> u64 {
+        self.layers.iter().map(LayerActivity::sram_accesses).sum()
+    }
+
+    /// The `SRAMAcc / MAC` ratio of paper Table 3.
+    #[must_use]
+    pub fn access_mac_ratio(&self) -> f64 {
+        self.total_sram_accesses() as f64 / self.total_macs() as f64
+    }
+}
+
+/// A dataflow: maps a workload onto per-layer activity counts.
+pub trait Dataflow {
+    /// Short name of the dataflow.
+    fn name(&self) -> &'static str;
+
+    /// Computes the activity of one inference of `workload`.
+    fn activity(&self, workload: &Workload) -> WorkloadActivity;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(macs: u64, w: u64, i: u64, o: u64) -> LayerActivity {
+        LayerActivity { layer: 0, macs, weight_accesses: w, input_accesses: i, output_accesses: o }
+    }
+
+    #[test]
+    fn totals_sum_across_layers() {
+        let a = WorkloadActivity::new("test", vec![layer(100, 10, 5, 1), layer(200, 20, 10, 2)]);
+        assert_eq!(a.total_macs(), 300);
+        assert_eq!(a.total_sram_accesses(), 48);
+        assert!((a.access_mac_ratio() - 0.16).abs() < 1e-12);
+        assert_eq!(a.dataflow(), "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_activity_rejected() {
+        let _ = WorkloadActivity::new("x", vec![]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Baseline conv dataflows for the ablation study: weight-stationary,
+//! output-stationary, and no-local-reuse.
+//!
+//! The paper evaluates the row-stationary dataflow because it minimizes
+//! global-buffer traffic; these baselines quantify how much the *dataflow*
+//! choice moves an accelerator through the paper's Fig. 12 design space
+//! (`Ops_ratio` axis) and therefore how much boosting saves. Model
+//! constants are calibrated so the qualitative ordering of Chen et al.
+//! (ISCA'16) holds for AlexNet: `RS < OS < WS << NLR` in buffer accesses
+//! per MAC.
+
+use crate::activity::{Dataflow, LayerActivity, WorkloadActivity};
+use crate::workload::{LayerShape, Workload};
+
+/// Filters resident per pass in the weight-stationary array.
+pub const WS_RESIDENT_FILTERS: u64 = 64;
+/// Partial-sum accumulation depth before a WS psum spills to the buffer.
+pub const WS_ACC_DEPTH: u64 = 128;
+/// Ifmap refetch factor of WS (no inter-row reuse in the array).
+pub const WS_IFMAP_REFETCH: f64 = 2.0;
+
+/// Output channels resident per pass in the output-stationary array.
+pub const OS_CHANNEL_TILE: u64 = 12;
+/// Output pixels computed per weight-streaming pass in OS.
+pub const OS_SPATIAL_TILE: u64 = 256;
+
+fn conv_only(shape: &LayerShape, dataflow: &'static str, i: usize) -> (u64, u64, u64, u64) {
+    match *shape {
+        LayerShape::Conv { in_channels, out_channels, kernel, .. } => (
+            in_channels as u64,
+            out_channels as u64,
+            kernel as u64,
+            {
+                let _ = i;
+                let _ = dataflow;
+                0
+            },
+        ),
+        LayerShape::Fc { .. } => {
+            panic!("{dataflow} dataflow maps conv layers only (layer {i})")
+        }
+    }
+}
+
+/// Weight-stationary: each filter weight is pinned in a PE and read from the
+/// buffer once, but partial sums stream through the buffer every
+/// `WS_ACC_DEPTH` accumulations and the ifmap is rebroadcast per resident
+/// filter group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WeightStationaryDataflow;
+
+impl WeightStationaryDataflow {
+    /// Creates the dataflow model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Dataflow for WeightStationaryDataflow {
+    fn name(&self) -> &'static str {
+        "weight-stationary"
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the workload contains an FC layer.
+    fn activity(&self, workload: &Workload) -> WorkloadActivity {
+        let layers = workload
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, shape)| {
+                let (c, m, k, _) = conv_only(shape, self.name(), i);
+                let filter_passes = m.div_ceil(WS_RESIDENT_FILTERS);
+                let ifmap = (shape.input_len() as f64 * filter_passes as f64 * WS_IFMAP_REFETCH)
+                    .ceil() as u64;
+                let spills = (c * k * k).div_ceil(WS_ACC_DEPTH);
+                let psums = shape.output_len() * 2 * spills;
+                LayerActivity {
+                    layer: i,
+                    macs: shape.macs(),
+                    weight_accesses: shape.weight_count(),
+                    input_accesses: ifmap,
+                    output_accesses: psums,
+                }
+            })
+            .collect();
+        WorkloadActivity::new(self.name(), layers)
+    }
+}
+
+/// Output-stationary: each partial sum stays in its PE until complete (one
+/// buffer write per output), but weights are re-streamed for every spatial
+/// tile and the ifmap for every resident-channel group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutputStationaryDataflow;
+
+impl OutputStationaryDataflow {
+    /// Creates the dataflow model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Dataflow for OutputStationaryDataflow {
+    fn name(&self) -> &'static str {
+        "output-stationary"
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the workload contains an FC layer.
+    fn activity(&self, workload: &Workload) -> WorkloadActivity {
+        let layers = workload
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, shape)| {
+                let (_, m, _, _) = conv_only(shape, self.name(), i);
+                let spatial = (shape.out_h() * shape.out_w()) as u64;
+                let weight_passes = spatial.div_ceil(OS_SPATIAL_TILE);
+                let channel_passes = m.div_ceil(OS_CHANNEL_TILE);
+                LayerActivity {
+                    layer: i,
+                    macs: shape.macs(),
+                    weight_accesses: shape.weight_count() * weight_passes,
+                    input_accesses: shape.input_len() * channel_passes,
+                    output_accesses: shape.output_len(),
+                }
+            })
+            .collect();
+        WorkloadActivity::new(self.name(), layers)
+    }
+}
+
+/// No local reuse: every MAC fetches its weight and activation from the
+/// buffer and round-trips its partial sum — the pathological upper bound of
+/// the Fig. 12 `Ops_ratio` axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoLocalReuseDataflow;
+
+impl NoLocalReuseDataflow {
+    /// Creates the dataflow model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Dataflow for NoLocalReuseDataflow {
+    fn name(&self) -> &'static str {
+        "no-local-reuse"
+    }
+
+    fn activity(&self, workload: &Workload) -> WorkloadActivity {
+        let layers = workload
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, shape)| LayerActivity {
+                layer: i,
+                macs: shape.macs(),
+                weight_accesses: shape.macs(),
+                input_accesses: shape.macs(),
+                output_accesses: shape.macs(),
+            })
+            .collect();
+        WorkloadActivity::new(self.name(), layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row_stationary::RowStationaryDataflow;
+    use crate::workloads::alexnet_conv;
+
+    #[test]
+    fn dataflow_reuse_ordering_matches_the_literature() {
+        // RS < OS < WS << NLR in buffer accesses per MAC for AlexNet.
+        let wl = alexnet_conv();
+        let rs = RowStationaryDataflow::new().activity(&wl).access_mac_ratio();
+        let os = OutputStationaryDataflow::new().activity(&wl).access_mac_ratio();
+        let ws = WeightStationaryDataflow::new().activity(&wl).access_mac_ratio();
+        let nlr = NoLocalReuseDataflow::new().activity(&wl).access_mac_ratio();
+        assert!(rs < os, "RS {rs} vs OS {os}");
+        assert!(os < ws, "OS {os} vs WS {ws}");
+        assert!(ws < 0.1, "WS should still exploit heavy reuse, got {ws}");
+        assert!((nlr - 3.0).abs() < 1e-12, "NLR is 3 accesses per MAC");
+    }
+
+    #[test]
+    fn ws_reads_each_weight_exactly_once() {
+        let wl = alexnet_conv();
+        let act = WeightStationaryDataflow::new().activity(&wl);
+        let weight_reads: u64 = act.layers().iter().map(|l| l.weight_accesses).sum();
+        assert_eq!(weight_reads, wl.total_weights());
+    }
+
+    #[test]
+    fn os_writes_each_output_exactly_once() {
+        let wl = alexnet_conv();
+        let act = OutputStationaryDataflow::new().activity(&wl);
+        for (layer, shape) in act.layers().iter().zip(wl.layers()) {
+            assert_eq!(layer.output_accesses, shape.output_len());
+        }
+    }
+
+    #[test]
+    fn nlr_handles_fc_layers_too() {
+        let wl = crate::workloads::mnist_fc();
+        let act = NoLocalReuseDataflow::new().activity(&wl);
+        assert!((act.access_mac_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "conv layers only")]
+    fn ws_rejects_fc() {
+        let wl = crate::workloads::mnist_fc();
+        let _ = WeightStationaryDataflow::new().activity(&wl);
+    }
+}

@@ -1,0 +1,118 @@
+//! The DANA-style fully-connected dataflow (paper Table 3, row 1).
+//!
+//! The taped-out chip is an enhanced DANA \[14\]: a dynamically-allocated
+//! multi-context NN accelerator whose PEs stream weights from the on-chip
+//! weight memory. Fully-connected layers have no weight reuse, so activity
+//! is dominated by weight fetches. The model here counts 64-bit word
+//! accesses of 16-bit values:
+//!
+//! * **weights** — each weight is used exactly once; the two-wide PE
+//!   datapath consumes two packed weights per word access
+//!   (`MACs / 2` accesses);
+//! * **inputs** — input words (4 values each) are broadcast but re-fetched
+//!   for each output pass (`MACs / 4` accesses);
+//! * **outputs** — each output is written once, packed 4 to a word.
+//!
+//! The resulting `SRAMAcc / MAC` ratio for the MNIST FC-DNN is ~75%, the
+//! value the paper reports in Table 3.
+
+use crate::activity::{Dataflow, LayerActivity, WorkloadActivity};
+use crate::workload::{LayerShape, Workload};
+
+/// Packed values per weight-memory access usefully consumed by the PE pair.
+pub const WEIGHTS_PER_ACCESS: u64 = 2;
+/// Packed values per input-memory access.
+pub const INPUTS_PER_ACCESS: u64 = 4;
+/// Packed values per output write.
+pub const OUTPUTS_PER_ACCESS: u64 = 4;
+
+/// The DANA FC dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DanaFcDataflow;
+
+impl DanaFcDataflow {
+    /// Creates the dataflow model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Dataflow for DanaFcDataflow {
+    fn name(&self) -> &'static str {
+        "DANA (FC)"
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the workload contains a convolution layer — DANA maps FC
+    /// networks only.
+    fn activity(&self, workload: &Workload) -> WorkloadActivity {
+        let layers = workload
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, shape)| match *shape {
+                LayerShape::Fc { outputs, .. } => {
+                    let macs = shape.macs();
+                    LayerActivity {
+                        layer: i,
+                        macs,
+                        weight_accesses: macs.div_ceil(WEIGHTS_PER_ACCESS),
+                        input_accesses: macs.div_ceil(INPUTS_PER_ACCESS),
+                        output_accesses: (outputs as u64).div_ceil(OUTPUTS_PER_ACCESS),
+                    }
+                }
+                LayerShape::Conv { .. } => {
+                    panic!("DANA FC dataflow cannot map convolution layer {i}")
+                }
+            })
+            .collect();
+        WorkloadActivity::new(self.name(), layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::mnist_fc;
+
+    #[test]
+    fn mnist_ratio_matches_table3() {
+        // Paper Table 3: SRAMAcc / MAC ops = 75% for the MNIST FC-DNN.
+        let activity = DanaFcDataflow::new().activity(&mnist_fc());
+        let ratio = activity.access_mac_ratio();
+        assert!(
+            (0.74..=0.76).contains(&ratio),
+            "DANA FC access/MAC ratio {ratio:.4} should be ~0.75"
+        );
+    }
+
+    #[test]
+    fn weight_accesses_dominate_fc_activity() {
+        let activity = DanaFcDataflow::new().activity(&mnist_fc());
+        let w: u64 = activity.layers().iter().map(|l| l.weight_accesses).sum();
+        let other: u64 = activity
+            .layers()
+            .iter()
+            .map(|l| l.input_accesses + l.output_accesses)
+            .sum();
+        assert!(w > other, "weights {w} vs other {other}");
+    }
+
+    #[test]
+    fn per_layer_macs_match_shapes() {
+        let wl = mnist_fc();
+        let activity = DanaFcDataflow::new().activity(&wl);
+        for (layer, act) in wl.layers().iter().zip(activity.layers()) {
+            assert_eq!(act.macs, layer.macs());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot map convolution")]
+    fn conv_layers_rejected() {
+        let wl = Workload::new("bad", vec![LayerShape::conv(1, 8, 8, 2, 3, 1, 1)]);
+        let _ = DanaFcDataflow::new().activity(&wl);
+    }
+}

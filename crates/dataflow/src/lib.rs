@@ -1,0 +1,46 @@
+//! # dante-dataflow
+//!
+//! Workload descriptors and accelerator dataflow activity models for the
+//! *Dante* reproduction:
+//!
+//! * [`workload`] — layer shapes (FC / conv) with MAC, weight, and
+//!   activation-volume counts.
+//! * [`workloads`] — the paper's two evaluation workloads: the MNIST FC-DNN
+//!   and the five AlexNet convolution layers.
+//! * [`activity`] — the [`activity::Dataflow`] trait and
+//!   per-layer/workload access counts (`SRAMAcc`, `NC` of the paper's energy
+//!   equations).
+//! * [`fc_dana`] — the DANA-style FC dataflow (~75% accesses per MAC,
+//!   Table 3).
+//! * [`row_stationary`] — the Eyeriss row-stationary model (~1.7% accesses
+//!   per MAC for AlexNet, Table 3).
+//! * [`baselines`] — weight-stationary, output-stationary, and
+//!   no-local-reuse dataflows for the ablation study.
+//!
+//! # Examples
+//!
+//! ```
+//! use dante_dataflow::activity::Dataflow;
+//! use dante_dataflow::fc_dana::DanaFcDataflow;
+//! use dante_dataflow::workloads::mnist_fc;
+//!
+//! let activity = DanaFcDataflow::new().activity(&mnist_fc());
+//! assert!((activity.access_mac_ratio() - 0.75).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod activity;
+pub mod baselines;
+pub mod fc_dana;
+pub mod row_stationary;
+pub mod workload;
+pub mod workloads;
+
+pub use activity::{Dataflow, LayerActivity, WorkloadActivity};
+pub use baselines::{NoLocalReuseDataflow, OutputStationaryDataflow, WeightStationaryDataflow};
+pub use fc_dana::DanaFcDataflow;
+pub use row_stationary::RowStationaryDataflow;
+pub use workload::{LayerShape, Workload};
+pub use workloads::{alexnet_conv, mnist_fc};

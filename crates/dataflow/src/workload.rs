@@ -1,0 +1,245 @@
+//! Workload descriptors: layer shapes and operation counts.
+
+use core::fmt;
+
+/// The shape of one network layer, sufficient to derive MAC and data-volume
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerShape {
+    /// Fully-connected layer.
+    Fc {
+        /// Input features.
+        inputs: usize,
+        /// Output features.
+        outputs: usize,
+    },
+    /// 2-D convolution layer.
+    Conv {
+        /// Input channels (per group).
+        in_channels: usize,
+        /// Input height (including padding).
+        in_h: usize,
+        /// Input width (including padding).
+        in_w: usize,
+        /// Output channels (total across groups).
+        out_channels: usize,
+        /// Square kernel side.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Filter groups (AlexNet uses 2 on some layers).
+        groups: usize,
+    },
+}
+
+impl LayerShape {
+    /// Creates an FC shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn fc(inputs: usize, outputs: usize) -> Self {
+        assert!(inputs > 0 && outputs > 0, "FC dimensions must be positive");
+        Self::Fc { inputs, outputs }
+    }
+
+    /// Creates a conv shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions, a kernel larger than the input, or output
+    /// channels not divisible by `groups`.
+    #[must_use]
+    pub fn conv(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        groups: usize,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && in_h > 0 && in_w > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+            "conv dimensions must be positive"
+        );
+        assert!(groups > 0 && out_channels.is_multiple_of(groups), "groups must divide out_channels");
+        assert!(kernel <= in_h && kernel <= in_w, "kernel larger than input");
+        Self::Conv { in_channels, in_h, in_w, out_channels, kernel, stride, groups }
+    }
+
+    /// Output spatial height (conv) or 1 (FC).
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        match *self {
+            Self::Fc { .. } => 1,
+            Self::Conv { in_h, kernel, stride, .. } => (in_h - kernel) / stride + 1,
+        }
+    }
+
+    /// Output spatial width (conv) or 1 (FC).
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        match *self {
+            Self::Fc { .. } => 1,
+            Self::Conv { in_w, kernel, stride, .. } => (in_w - kernel) / stride + 1,
+        }
+    }
+
+    /// Multiply-accumulate operations for one inference.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        match *self {
+            Self::Fc { inputs, outputs } => (inputs * outputs) as u64,
+            Self::Conv { in_channels, out_channels, kernel, .. } => {
+                (self.out_h() * self.out_w() * out_channels * in_channels * kernel * kernel) as u64
+            }
+        }
+    }
+
+    /// Weight parameter count.
+    #[must_use]
+    pub fn weight_count(&self) -> u64 {
+        match *self {
+            Self::Fc { inputs, outputs } => (inputs * outputs) as u64,
+            Self::Conv { in_channels, out_channels, kernel, .. } => {
+                (out_channels * in_channels * kernel * kernel) as u64
+            }
+        }
+    }
+
+    /// Input activation element count (per inference).
+    #[must_use]
+    pub fn input_len(&self) -> u64 {
+        match *self {
+            Self::Fc { inputs, .. } => inputs as u64,
+            Self::Conv { in_channels, in_h, in_w, groups, .. } => {
+                (in_channels * groups * in_h * in_w) as u64
+            }
+        }
+    }
+
+    /// Output activation element count (per inference).
+    #[must_use]
+    pub fn output_len(&self) -> u64 {
+        match *self {
+            Self::Fc { outputs, .. } => outputs as u64,
+            Self::Conv { out_channels, .. } => {
+                (out_channels * self.out_h() * self.out_w()) as u64
+            }
+        }
+    }
+}
+
+impl fmt::Display for LayerShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::Fc { inputs, outputs } => write!(f, "FC {inputs}x{outputs}"),
+            Self::Conv { in_channels, in_h, in_w, out_channels, kernel, stride, groups } => {
+                write!(
+                    f,
+                    "Conv {in_channels}x{in_h}x{in_w} -> {out_channels} (k{kernel} s{stride} g{groups})"
+                )
+            }
+        }
+    }
+}
+
+/// A named multi-layer workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    name: String,
+    layers: Vec<LayerShape>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, layers: Vec<LayerShape>) -> Self {
+        assert!(!layers.is_empty(), "a workload needs at least one layer");
+        Self { name: name.into(), layers }
+    }
+
+    /// Workload name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in depth order.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerShape] {
+        &self.layers
+    }
+
+    /// Total MACs per inference.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(LayerShape::macs).sum()
+    }
+
+    /// Total weight parameters.
+    #[must_use]
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(LayerShape::weight_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fc_counts() {
+        let l = LayerShape::fc(784, 256);
+        assert_eq!(l.macs(), 784 * 256);
+        assert_eq!(l.weight_count(), 784 * 256);
+        assert_eq!(l.input_len(), 784);
+        assert_eq!(l.output_len(), 256);
+        assert_eq!(l.out_h(), 1);
+    }
+
+    #[test]
+    fn conv_counts_match_hand_calculation() {
+        // AlexNet conv1: 3x227x227 -> 96, k=11, s=4.
+        let l = LayerShape::conv(3, 227, 227, 96, 11, 4, 1);
+        assert_eq!(l.out_h(), 55);
+        assert_eq!(l.out_w(), 55);
+        assert_eq!(l.macs(), 55 * 55 * 96 * 3 * 121);
+        assert_eq!(l.weight_count(), 96 * 3 * 121);
+    }
+
+    #[test]
+    fn grouped_conv_counts_per_group_channels() {
+        // AlexNet conv2: 48 ch/group x 2 groups.
+        let l = LayerShape::conv(48, 31, 31, 256, 5, 1, 2);
+        assert_eq!(l.out_h(), 27);
+        assert_eq!(l.macs(), 27 * 27 * 256 * 48 * 25);
+        assert_eq!(l.input_len(), 96 * 31 * 31);
+    }
+
+    #[test]
+    fn workload_totals_sum_layers() {
+        let w = Workload::new("toy", vec![LayerShape::fc(4, 8), LayerShape::fc(8, 2)]);
+        assert_eq!(w.total_macs(), 32 + 16);
+        assert_eq!(w.total_weights(), 48);
+        assert_eq!(w.name(), "toy");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(format!("{}", LayerShape::fc(3, 4)), "FC 3x4");
+        assert!(format!("{}", LayerShape::conv(3, 8, 8, 4, 3, 1, 1)).contains("Conv"));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than input")]
+    fn oversized_kernel_rejected() {
+        let _ = LayerShape::conv(1, 4, 4, 1, 5, 1, 1);
+    }
+}

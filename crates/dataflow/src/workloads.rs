@@ -1,0 +1,86 @@
+//! The two evaluation workloads of the paper (Table 3).
+
+use crate::workload::{LayerShape, Workload};
+
+/// The MNIST FC-DNN of paper Sec. 2: four weight layers
+/// 784-256-256-256-10 (the paper's trailing "32" is the accelerator's padded
+/// output tile; see DESIGN.md).
+#[must_use]
+pub fn mnist_fc() -> Workload {
+    Workload::new(
+        "MNIST FC-DNN",
+        vec![
+            LayerShape::fc(784, 256),
+            LayerShape::fc(256, 256),
+            LayerShape::fc(256, 256),
+            LayerShape::fc(256, 10),
+        ],
+    )
+}
+
+/// The five convolution layers of AlexNet, the shapes Eyeriss [17, 18]
+/// reports its row-stationary activity for (the paper reuses those activity
+/// factors for its "AlexNet for CIFAR-10" energy evaluation).
+///
+/// Input spatial sizes include the padding each layer applies.
+#[must_use]
+pub fn alexnet_conv() -> Workload {
+    Workload::new(
+        "AlexNet conv layers",
+        vec![
+            // conv1: 3x227x227 -> 96, k11 s4
+            LayerShape::conv(3, 227, 227, 96, 11, 4, 1),
+            // conv2: 2 groups of 48x31x31 (27 + 2x2 pad) -> 256, k5
+            LayerShape::conv(48, 31, 31, 256, 5, 1, 2),
+            // conv3: 256x15x15 (13 + 2x1 pad) -> 384, k3
+            LayerShape::conv(256, 15, 15, 384, 3, 1, 1),
+            // conv4: 2 groups of 192x15x15 -> 384, k3
+            LayerShape::conv(192, 15, 15, 384, 3, 1, 2),
+            // conv5: 2 groups of 192x15x15 -> 256, k3
+            LayerShape::conv(192, 15, 15, 256, 3, 1, 2),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_fc_matches_paper_dimensions() {
+        let w = mnist_fc();
+        assert_eq!(w.layers().len(), 4);
+        assert_eq!(w.total_weights(), 784 * 256 + 256 * 256 + 256 * 256 + 256 * 10);
+        // FC nets have one MAC per weight.
+        assert_eq!(w.total_macs(), w.total_weights());
+    }
+
+    #[test]
+    fn alexnet_total_macs_is_the_known_666m() {
+        let w = alexnet_conv();
+        let total = w.total_macs();
+        // The canonical AlexNet conv total is ~666M MACs.
+        assert!(
+            (600_000_000..=700_000_000).contains(&total),
+            "AlexNet conv MACs {total}"
+        );
+        assert_eq!(w.layers().len(), 5);
+    }
+
+    #[test]
+    fn alexnet_per_layer_output_sizes() {
+        let w = alexnet_conv();
+        let dims: Vec<usize> = w.layers().iter().map(|l| l.out_h()).collect();
+        assert_eq!(dims, vec![55, 27, 13, 13, 13]);
+    }
+
+    #[test]
+    fn alexnet_weights_are_about_2_3m() {
+        let w = alexnet_conv();
+        let weights = w.total_weights();
+        assert!(
+            (2_200_000..=2_400_000).contains(&weights),
+            "AlexNet conv weights {weights}"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! The boost-enabled accelerator design space of paper Fig. 12.
+//!
+//! Any accelerator with on-chip SRAM is characterized by two ratios:
+//!
+//! * `Ops_ratio` — memory accesses per compute operation, and
+//! * `Energy_ratio` — energy of one memory access over one compute op.
+//!
+//! Fig. 12 sweeps both and plots the energy of a *boosted* design
+//! (`Vdd = 0.4 V` boosted to `Vddv = 0.6 V`, i.e. full level-4 boost)
+//! normalized to the equivalent *dual-supply* design (memory rail 0.6 V,
+//! logic LDO'd down to 0.4 V). Values below 1 mean boosting wins.
+
+use crate::params::EnergyParams;
+use crate::supply::{BoostedGroup, EnergyModel};
+use dante_circuit::booster::BoosterBank;
+use dante_circuit::ldo::Ldo;
+use dante_circuit::units::Volt;
+
+/// One point of the Fig. 12 surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignSpacePoint {
+    /// Memory accesses per compute op.
+    pub ops_ratio: f64,
+    /// Memory-access energy over compute-op energy (at equal voltage).
+    pub energy_ratio: f64,
+    /// Boosted dynamic energy / dual-supply dynamic energy.
+    pub boosted_over_dual: f64,
+}
+
+/// The Fig. 12 scenario voltages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignSpaceScenario {
+    /// Logic (and idle-SRAM) supply.
+    pub vdd: Volt,
+    /// Boost level applied to every access.
+    pub level: usize,
+}
+
+impl Default for DesignSpaceScenario {
+    /// The paper's scenario: 0.4 V boosted at full level (to ~0.6 V, where
+    /// the bit error rate is effectively zero).
+    fn default() -> Self {
+        Self { vdd: Volt::const_new(0.4), level: 4 }
+    }
+}
+
+/// Sweeps the design space and returns the surface row-major
+/// (`ops_ratios` outer, `energy_ratios` inner).
+///
+/// # Panics
+///
+/// Panics if either axis is empty or contains non-positive values.
+#[must_use]
+pub fn sweep(
+    scenario: DesignSpaceScenario,
+    ops_ratios: &[f64],
+    energy_ratios: &[f64],
+) -> Vec<DesignSpacePoint> {
+    assert!(!ops_ratios.is_empty() && !energy_ratios.is_empty(), "empty sweep axis");
+    assert!(
+        ops_ratios.iter().chain(energy_ratios).all(|&r| r > 0.0),
+        "sweep ratios must be positive"
+    );
+
+    const MACS: u64 = 10_000_000;
+    let mut out = Vec::with_capacity(ops_ratios.len() * energy_ratios.len());
+    for &ops in ops_ratios {
+        for &er in energy_ratios {
+            let params = EnergyParams::dante_chip().with_energy_ratio(er);
+            let model = EnergyModel::new(params, BoosterBank::standard(), Ldo::new());
+            let accesses = (MACS as f64 * ops).round() as u64;
+            let vddv = model.vddv(scenario.vdd, scenario.level);
+            let boosted = model.dynamic_boosted(
+                scenario.vdd,
+                &[BoostedGroup { accesses, level: scenario.level }],
+                MACS,
+            );
+            let dual = model.dynamic_dual(vddv, scenario.vdd, accesses, MACS);
+            out.push(DesignSpacePoint {
+                ops_ratio: ops,
+                energy_ratio: er,
+                boosted_over_dual: boosted.joules() / dual.joules(),
+            });
+        }
+    }
+    out
+}
+
+/// The axis values used for the Fig. 12 reproduction.
+#[must_use]
+pub fn default_axes() -> (Vec<f64>, Vec<f64>) {
+    let ops = vec![0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.75, 1.0, 1.5, 2.0];
+    let energy = vec![1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0];
+    (ops, energy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boosting_wins_at_low_ratios() {
+        // Paper Sec. 6.1: "boosting memories is more energy efficient for
+        // designs with lower ratio of memory-to-compute operations and
+        // memory-to-compute energy."
+        let pts = sweep(DesignSpaceScenario::default(), &[0.0167], &[3.0]);
+        assert!(pts[0].boosted_over_dual < 0.85, "ratio {}", pts[0].boosted_over_dual);
+    }
+
+    #[test]
+    fn savings_reach_about_a_third_at_realistic_points() {
+        // "For accelerators with realistic values of Ops_ratio and
+        // Energy_ratio, it is possible to achieve energy savings of up to
+        // 32% using programmable boosting."
+        let (ops, er) = default_axes();
+        let pts = sweep(DesignSpaceScenario::default(), &ops, &er);
+        let best = pts
+            .iter()
+            .map(|p| 1.0 - p.boosted_over_dual)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((0.28..=0.40).contains(&best), "best savings {best:.3}");
+    }
+
+    #[test]
+    fn dual_wins_at_extreme_memory_dominance() {
+        // High Ops_ratio + high Energy_ratio is where the LDO baseline
+        // catches up (and eventually passes) boosting.
+        let pts = sweep(DesignSpaceScenario::default(), &[4.0], &[1.0]);
+        assert!(pts[0].boosted_over_dual > 1.0, "ratio {}", pts[0].boosted_over_dual);
+    }
+
+    #[test]
+    fn surface_is_monotonic_in_ops_ratio() {
+        // More memory activity always erodes the boosting advantage at a
+        // fixed energy ratio.
+        let ops = [0.01, 0.1, 0.5, 1.0, 2.0];
+        let pts = sweep(DesignSpaceScenario::default(), &ops, &[3.0]);
+        for w in pts.windows(2) {
+            assert!(w[1].boosted_over_dual >= w[0].boosted_over_dual);
+        }
+    }
+
+    #[test]
+    fn grid_is_row_major_and_complete() {
+        let (ops, er) = default_axes();
+        let pts = sweep(DesignSpaceScenario::default(), &ops, &er);
+        assert_eq!(pts.len(), ops.len() * er.len());
+        assert!((pts[1].ops_ratio - pts[0].ops_ratio).abs() < 1e-12);
+        assert!(pts[1].energy_ratio > pts[0].energy_ratio);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep axis")]
+    fn empty_axis_rejected() {
+        let _ = sweep(DesignSpaceScenario::default(), &[], &[1.0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Absolute energy calibration of the taped-out chip (DESIGN.md Sec. 4).
+//!
+//! The paper measures SRAM access energy with Spectre and PE energy with
+//! Cadence Joules post-route; this module is the analytic stand-in. Dynamic
+//! energies follow `C_eff * V^2`; leakage follows the shared
+//! [`DeviceModel`]. The two effective capacitances set the paper's
+//! `Energy_ratio` (memory access vs. compute op) to ~3, the "small banks"
+//! regime the paper argues accelerators live in (Sec. 6.1).
+
+use dante_circuit::device::DeviceModel;
+use dante_circuit::units::{Farad, Hertz, Joule, Second, Volt, Watt};
+
+/// Effective switched capacitance of one 64 Kbit bank access including the
+/// output multiplexer (E = 3.84 pJ at 0.8 V).
+pub const C_SRAM_ACCESS: Farad = Farad::const_new(6.0e-12);
+
+/// Effective switched capacitance of one PE operation (16-bit MAC +
+/// activation + control; E = 1.28 pJ at 0.8 V).
+pub const C_PE_OP: Farad = Farad::const_new(2.0e-12);
+
+/// Nominal-voltage leakage of one 64 Kbit SRAM bank.
+pub const P_LEAK_SRAM_BANK_NOM: Watt = Watt::const_new(40.0e-6);
+
+/// Nominal-voltage leakage of the PE array plus control logic.
+pub const P_LEAK_PE_NOM: Watt = Watt::const_new(200.0e-6);
+
+/// Booster-circuit leakage as a fraction of chip leakage at the same
+/// voltage (the paper reports ~6% overhead).
+pub const BOOSTER_LEAK_FRACTION: f64 = 0.06;
+
+/// Number of 64 Kbit banks on the chip (144 KB / 8 KB).
+pub const DANTE_BANKS: usize = 18;
+
+/// Calibrated energy parameters of one accelerator instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyParams {
+    device: DeviceModel,
+    c_sram_access: Farad,
+    c_pe_op: Farad,
+    p_leak_sram_bank_nom: Watt,
+    p_leak_pe_nom: Watt,
+    booster_leak_fraction: f64,
+    sram_banks: usize,
+    frequency: Hertz,
+}
+
+impl EnergyParams {
+    /// The taped-out chip's calibration: 18 banks, 50 MHz (the frequency all
+    /// of the paper's experiments run at).
+    #[must_use]
+    pub fn dante_chip() -> Self {
+        Self {
+            device: DeviceModel::default_14nm(),
+            c_sram_access: C_SRAM_ACCESS,
+            c_pe_op: C_PE_OP,
+            p_leak_sram_bank_nom: P_LEAK_SRAM_BANK_NOM,
+            p_leak_pe_nom: P_LEAK_PE_NOM,
+            booster_leak_fraction: BOOSTER_LEAK_FRACTION,
+            sram_banks: DANTE_BANKS,
+            frequency: Hertz::const_new(50.0e6),
+        }
+    }
+
+    /// Returns a copy with a different memory/compute energy ratio
+    /// (`C_sram = ratio * C_pe`), used by the Fig. 12 design-space sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not positive.
+    #[must_use]
+    pub fn with_energy_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio > 0.0, "energy ratio must be positive");
+        self.c_sram_access = self.c_pe_op * ratio;
+        self
+    }
+
+    /// The device model in use.
+    #[must_use]
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Operating frequency (fixed 50 MHz in the paper's experiments).
+    #[must_use]
+    pub fn frequency(&self) -> Hertz {
+        self.frequency
+    }
+
+    /// One clock period.
+    #[must_use]
+    pub fn cycle(&self) -> Second {
+        self.frequency.period()
+    }
+
+    /// Number of SRAM banks.
+    #[must_use]
+    pub fn sram_banks(&self) -> usize {
+        self.sram_banks
+    }
+
+    /// Dynamic energy of one SRAM bank access at rail voltage `v`
+    /// (`E(SRAM, V)` of Eqs. 2/3/6).
+    #[must_use]
+    pub fn e_sram(&self, v: Volt) -> Joule {
+        self.c_sram_access.switching_energy(v)
+    }
+
+    /// Dynamic energy of one PE operation at `v` (`E(PE, V)`).
+    #[must_use]
+    pub fn e_pe(&self, v: Volt) -> Joule {
+        self.c_pe_op.switching_energy(v)
+    }
+
+    /// The memory-to-compute energy ratio at equal voltage (the paper's
+    /// `Energy_ratio`).
+    #[must_use]
+    pub fn energy_ratio(&self) -> f64 {
+        self.c_sram_access / self.c_pe_op
+    }
+
+    /// Total SRAM leakage power with every bank at `v`.
+    #[must_use]
+    pub fn leak_sram(&self, v: Volt) -> Watt {
+        self.device
+            .leakage_power(v, self.p_leak_sram_bank_nom * self.sram_banks as f64)
+    }
+
+    /// PE/control leakage power at `v`.
+    #[must_use]
+    pub fn leak_pe(&self, v: Volt) -> Watt {
+        self.device.leakage_power(v, self.p_leak_pe_nom)
+    }
+
+    /// Booster-circuit leakage at `v` (`LE(BC, Vdd)` of Eq. 4): a fixed
+    /// fraction of the chip leakage at the same voltage.
+    #[must_use]
+    pub fn leak_booster(&self, v: Volt) -> Watt {
+        (self.leak_sram(v) + self.leak_pe(v)) * self.booster_leak_fraction
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::dante_chip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_energies_scale_as_v_squared() {
+        let p = EnergyParams::dante_chip();
+        let e1 = p.e_sram(Volt::new(0.4));
+        let e2 = p.e_sram(Volt::new(0.8));
+        assert!((e2.joules() / e1.joules() - 4.0).abs() < 1e-9);
+        let p1 = p.e_pe(Volt::new(0.3));
+        let p2 = p.e_pe(Volt::new(0.6));
+        assert!((p2.joules() / p1.joules() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_ratio_is_about_three() {
+        // Sec. 6.1: "for designs with small banks ... the energy of a memory
+        // access is not significantly higher than that of a compute op."
+        let p = EnergyParams::dante_chip();
+        assert!((p.energy_ratio() - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn with_energy_ratio_overrides_sram_cost() {
+        let p = EnergyParams::dante_chip().with_energy_ratio(10.0);
+        assert!((p.energy_ratio() - 10.0).abs() < 1e-9);
+        let v = Volt::new(0.5);
+        assert!((p.e_sram(v).joules() / p.e_pe(v).joules() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn booster_leakage_is_six_percent_of_chip() {
+        let p = EnergyParams::dante_chip();
+        let v = Volt::new(0.4);
+        let chip = p.leak_sram(v) + p.leak_pe(v);
+        let bc = p.leak_booster(v);
+        assert!((bc.watts() / chip.watts() - 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_decreases_with_voltage() {
+        let p = EnergyParams::dante_chip();
+        assert!(p.leak_sram(Volt::new(0.4)) < p.leak_sram(Volt::new(0.6)));
+        assert!(p.leak_pe(Volt::new(0.34)) < p.leak_pe(Volt::new(0.5)));
+    }
+
+    #[test]
+    fn cycle_is_20ns_at_50mhz() {
+        let p = EnergyParams::dante_chip();
+        assert!((p.cycle().nanoseconds() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the energy equations.
+
+use dante_circuit::units::Volt;
+use dante_energy::design_space::{sweep, DesignSpaceScenario};
+use dante_energy::params::EnergyParams;
+use dante_energy::supply::{BoostedGroup, EnergyModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Eq. 2 is exactly bilinear in the two activity counts.
+    #[test]
+    fn eq2_bilinear(mv in 320u32..790, acc in 1u64..1_000_000, macs in 1u64..1_000_000) {
+        let m = EnergyModel::dante_chip();
+        let v = Volt::from_millivolts(f64::from(mv));
+        let e = m.dynamic_single(v, acc, macs).joules();
+        let e_acc = m.dynamic_single(v, 2 * acc, macs).joules();
+        let e_mac = m.dynamic_single(v, acc, 2 * macs).joules();
+        let sram = m.params().e_sram(v).joules() * acc as f64;
+        let pe = m.params().e_pe(v).joules() * macs as f64;
+        prop_assert!((e - (sram + pe)).abs() / e < 1e-12);
+        prop_assert!((e_acc - (2.0 * sram + pe)).abs() / e_acc < 1e-12);
+        prop_assert!((e_mac - (sram + 2.0 * pe)).abs() / e_mac < 1e-12);
+    }
+
+    /// Eq. 3: splitting one group into two at the same level never changes
+    /// the total (additivity).
+    #[test]
+    fn eq3_group_additivity(
+        mv in 340u32..500,
+        acc in 2u64..1_000_000,
+        level in 0usize..=4,
+        split_frac in 0.01f64..0.99,
+    ) {
+        let m = EnergyModel::dante_chip();
+        let v = Volt::from_millivolts(f64::from(mv));
+        let a = (acc as f64 * split_frac) as u64;
+        let b = acc - a;
+        let whole = m.dynamic_boosted(v, &[BoostedGroup { accesses: acc, level }], 1000);
+        let split = m.dynamic_boosted(
+            v,
+            &[BoostedGroup { accesses: a, level }, BoostedGroup { accesses: b, level }],
+            1000,
+        );
+        prop_assert!((whole.joules() - split.joules()).abs() / whole.joules() < 1e-12);
+    }
+
+    /// Boosted energy is non-decreasing in level (higher rails cost more per
+    /// access).
+    #[test]
+    fn eq3_monotone_in_level(mv in 340u32..500, acc in 1u64..1_000_000, level in 0usize..4) {
+        let m = EnergyModel::dante_chip();
+        let v = Volt::from_millivolts(f64::from(mv));
+        let lo = m.dynamic_boosted(v, &[BoostedGroup { accesses: acc, level }], 0);
+        let hi = m.dynamic_boosted(v, &[BoostedGroup { accesses: acc, level: level + 1 }], 0);
+        prop_assert!(hi > lo);
+    }
+
+    /// Eq. 6 degrades monotonically as the logic rail drops further below
+    /// the memory rail (the LDO gets less efficient).
+    #[test]
+    fn eq6_dropout_penalty(hi_mv in 500u32..700, drop_mv in 20u32..160) {
+        let m = EnergyModel::dante_chip();
+        let v_h = Volt::from_millivolts(f64::from(hi_mv));
+        let v_l = Volt::from_millivolts(f64::from(hi_mv - drop_mv));
+        let v_l2 = Volt::from_millivolts(f64::from(hi_mv - drop_mv - 20));
+        // Dynamic logic energy falls with V^2 but the 1/eta penalty grows
+        // linearly; the *overhead ratio* dual/ideal must grow with dropout.
+        let ideal = |v: Volt| m.params().e_pe(v).joules() * 1e6;
+        let dual = |v: Volt| m.dynamic_dual(v_h, v, 0, 1_000_000).joules();
+        let ratio1 = dual(v_l) / ideal(v_l);
+        let ratio2 = dual(v_l2) / ideal(v_l2);
+        prop_assert!(ratio2 > ratio1, "LDO overhead must grow with dropout");
+    }
+
+    /// Leakage per cycle: boosted < dual at every voltage in the operating
+    /// range, for full boost.
+    #[test]
+    fn leakage_ordering(mv in 340u32..500) {
+        let m = EnergyModel::dante_chip();
+        let v = Volt::from_millivolts(f64::from(mv));
+        let vddv = m.vddv(v, 4);
+        prop_assert!(m.leakage_boosted_per_cycle(v) < m.leakage_dual_per_cycle(vddv, v));
+    }
+
+    /// The design-space surface is monotone in both axes.
+    #[test]
+    fn design_space_monotone(ops in 0.02f64..2.0, er in 1.0f64..15.0) {
+        let s = DesignSpaceScenario::default();
+        let base = sweep(s, &[ops], &[er])[0].boosted_over_dual;
+        let more_ops = sweep(s, &[ops * 1.5], &[er])[0].boosted_over_dual;
+        prop_assert!(more_ops >= base - 1e-12, "more memory activity must not help boosting");
+    }
+
+    /// Custom energy ratios feed through exactly.
+    #[test]
+    fn energy_ratio_override(ratio in 0.5f64..50.0, mv in 340u32..780) {
+        let p = EnergyParams::dante_chip().with_energy_ratio(ratio);
+        let v = Volt::from_millivolts(f64::from(mv));
+        prop_assert!((p.e_sram(v).joules() / p.e_pe(v).joules() - ratio).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Procedural datasets.
+//!
+//! The paper evaluates on MNIST and CIFAR-10; this offline reproduction
+//! generates *procedural stand-ins* with the properties the experiments
+//! need: 10 visually structured classes, enough intra-class variation that a
+//! classifier must genuinely generalize, and high (>95%) achievable clean
+//! accuracy that degrades when weights are corrupted (see DESIGN.md for the
+//! substitution rationale).
+
+pub mod synth_cifar;
+pub mod synth_mnist;
+
+pub use synth_cifar::generate_cifar_like;
+pub use synth_mnist::generate_mnist_like;
+
+/// A labelled image dataset, flattened sample-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Vec<f32>,
+    labels: Vec<u8>,
+    sample_len: usize,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths are inconsistent, `sample_len` is zero,
+    /// or any label is out of range.
+    #[must_use]
+    pub fn new(images: Vec<f32>, labels: Vec<u8>, sample_len: usize, classes: usize) -> Self {
+        assert!(sample_len > 0, "sample length must be positive");
+        assert!(classes > 0, "class count must be positive");
+        assert_eq!(images.len(), labels.len() * sample_len, "image buffer length mismatch");
+        assert!(
+            labels.iter().all(|&l| (l as usize) < classes),
+            "label out of range"
+        );
+        Self { images, labels, sample_len, classes }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has zero samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Flattened images.
+    #[must_use]
+    pub fn images(&self) -> &[f32] {
+        &self.images
+    }
+
+    /// Labels.
+    #[must_use]
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Per-sample feature count.
+    #[must_use]
+    pub fn sample_len(&self) -> usize {
+        self.sample_len
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// One sample's features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn sample(&self, i: usize) -> &[f32] {
+        assert!(i < self.len(), "sample {i} out of range");
+        &self.images[i * self.sample_len..(i + 1) * self.sample_len]
+    }
+
+    /// The first `n` samples as a new dataset (cheap experiment scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the dataset size.
+    #[must_use]
+    pub fn take(&self, n: usize) -> Self {
+        assert!(n > 0 && n <= self.len(), "take({n}) out of range");
+        Self {
+            images: self.images[..n * self.sample_len].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            sample_len: self.sample_len,
+            classes: self.classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_accessors_are_consistent() {
+        let d = Dataset::new(vec![0.0; 12], vec![0, 1, 2], 4, 3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.sample_len(), 4);
+        assert_eq!(d.sample(2), &[0.0; 4]);
+        assert_eq!(d.classes(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn take_truncates() {
+        let d = Dataset::new((0..12).map(|i| i as f32).collect(), vec![0, 1, 2], 4, 3);
+        let t = d.take(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.images().len(), 8);
+        assert_eq!(t.labels(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn labels_validated() {
+        let _ = Dataset::new(vec![0.0; 4], vec![7], 4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn buffer_lengths_validated() {
+        let _ = Dataset::new(vec![0.0; 5], vec![0], 4, 3);
+    }
+}

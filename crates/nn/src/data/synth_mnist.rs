@@ -1,0 +1,206 @@
+//! Procedural MNIST stand-in: 28x28 grayscale digits rendered as jittered
+//! seven-segment glyphs with additive noise.
+//!
+//! Each sample picks a digit class, renders its segment set at a random
+//! offset and intensity, smears the strokes slightly, and adds Gaussian
+//! pixel noise. The task is easy enough for a small FC-DNN to exceed 95%
+//! accuracy (like real MNIST) while still requiring genuine spatial
+//! generalization.
+
+use super::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length.
+pub const SIDE: usize = 28;
+/// Flattened image length (784, the FC-DNN input width of the paper).
+pub const IMAGE_LEN: usize = SIDE * SIDE;
+/// Number of digit classes.
+pub const CLASSES: usize = 10;
+
+/// Seven-segment membership per digit, segments ordered `A B C D E F G`.
+const SEGMENTS: [[bool; 7]; 10] = [
+    // A      B      C      D      E      F      G
+    [true, true, true, true, true, true, false],     // 0
+    [false, true, true, false, false, false, false], // 1
+    [true, true, false, true, true, false, true],    // 2
+    [true, true, true, true, false, false, true],    // 3
+    [false, true, true, false, false, true, true],   // 4
+    [true, false, true, true, false, true, true],    // 5
+    [true, false, true, true, true, true, true],     // 6
+    [true, true, true, false, false, false, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
+];
+
+/// Segment rectangles `(x0, y0, x1, y1)` inclusive, on the nominal canvas.
+const SEGMENT_RECTS: [(usize, usize, usize, usize); 7] = [
+    (8, 4, 19, 6),   // A: top bar
+    (18, 5, 20, 13), // B: top-right
+    (18, 14, 20, 22),// C: bottom-right
+    (8, 21, 19, 23), // D: bottom bar
+    (7, 14, 9, 22),  // E: bottom-left
+    (7, 5, 9, 13),   // F: top-left
+    (8, 12, 19, 14), // G: middle bar
+];
+
+/// Renders one digit into a 784-float buffer.
+fn render_digit<R: Rng + ?Sized>(digit: usize, rng: &mut R, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), IMAGE_LEN);
+    out.fill(0.0);
+    let dx = rng.gen_range(-3i32..=3);
+    let dy = rng.gen_range(-2i32..=2);
+    let intensity = rng.gen_range(0.7f32..1.0);
+
+    for (seg, &on) in SEGMENTS[digit].iter().enumerate() {
+        if !on {
+            continue;
+        }
+        let (x0, y0, x1, y1) = SEGMENT_RECTS[seg];
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let xx = x as i32 + dx;
+                let yy = y as i32 + dy;
+                if (0..SIDE as i32).contains(&xx) && (0..SIDE as i32).contains(&yy) {
+                    out[yy as usize * SIDE + xx as usize] = intensity;
+                }
+            }
+        }
+    }
+
+    // Stroke smear: average each pixel with its left neighbour (cheap blur).
+    for y in 0..SIDE {
+        for x in (1..SIDE).rev() {
+            let i = y * SIDE + x;
+            out[i] = 0.75 * out[i] + 0.25 * out[i - 1];
+        }
+    }
+
+    // Additive Gaussian-ish noise from the sum of uniforms, clamped.
+    for px in out.iter_mut() {
+        let noise: f32 = (0..3).map(|_| rng.gen::<f32>() - 0.5).sum::<f32>() * 0.1;
+        *px = (*px + noise).clamp(0.0, 1.0);
+    }
+}
+
+/// Generates `n` labelled digit images with a deterministic seed.
+///
+/// Classes are balanced round-robin so that even tiny datasets contain every
+/// digit.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn generate_mnist_like(n: usize, seed: u64) -> Dataset {
+    assert!(n > 0, "cannot generate an empty dataset");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut images = vec![0.0f32; n * IMAGE_LEN];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = i % CLASSES;
+        render_digit(digit, &mut rng, &mut images[i * IMAGE_LEN..(i + 1) * IMAGE_LEN]);
+        labels.push(digit as u8);
+    }
+    Dataset::new(images, labels, IMAGE_LEN, CLASSES)
+}
+
+/// Average-pools 28x28 images down by an integer `factor` (e.g. factor 4
+/// yields 7x7 = 49 features) — handy for building fast small-input models
+/// in tests and validation experiments.
+///
+/// # Panics
+///
+/// Panics if `factor` does not divide 28 or the buffer length is not a
+/// multiple of 784.
+#[must_use]
+pub fn downsample(images: &[f32], factor: usize) -> Vec<f32> {
+    assert!(factor > 0 && SIDE.is_multiple_of(factor), "factor must divide {SIDE}");
+    assert_eq!(images.len() % IMAGE_LEN, 0, "buffer must hold whole images");
+    let n = images.len() / IMAGE_LEN;
+    let out_side = SIDE / factor;
+    let mut out = Vec::with_capacity(n * out_side * out_side);
+    for s in 0..n {
+        let img = &images[s * IMAGE_LEN..(s + 1) * IMAGE_LEN];
+        for by in 0..out_side {
+            for bx in 0..out_side {
+                let mut acc = 0.0f32;
+                for y in 0..factor {
+                    for x in 0..factor {
+                        acc += img[(by * factor + y) * SIDE + bx * factor + x];
+                    }
+                }
+                out.push(acc / (factor * factor) as f32);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_preserves_mass_and_shape() {
+        let d = generate_mnist_like(4, 1);
+        let small = downsample(d.images(), 4);
+        assert_eq!(small.len(), 4 * 49);
+        // Mean pixel value is preserved by average pooling.
+        let mean_big: f32 = d.images().iter().sum::<f32>() / d.images().len() as f32;
+        let mean_small: f32 = small.iter().sum::<f32>() / small.len() as f32;
+        assert!((mean_big - mean_small).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must divide")]
+    fn downsample_rejects_bad_factor() {
+        let d = generate_mnist_like(1, 1);
+        let _ = downsample(d.images(), 5);
+    }
+
+    #[test]
+    fn dataset_has_balanced_classes_and_valid_pixels() {
+        let d = generate_mnist_like(100, 1);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.sample_len(), IMAGE_LEN);
+        for c in 0..CLASSES {
+            assert_eq!(d.labels().iter().filter(|&&l| l as usize == c).count(), 10);
+        }
+        assert!(d.images().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn images_are_deterministic_per_seed() {
+        assert_eq!(generate_mnist_like(20, 7), generate_mnist_like(20, 7));
+        assert_ne!(generate_mnist_like(20, 7), generate_mnist_like(20, 8));
+    }
+
+    #[test]
+    fn same_class_samples_differ_but_correlate() {
+        let d = generate_mnist_like(30, 3);
+        // Samples 0 and 10 are both digit '0' but jittered differently.
+        let a = d.sample(0);
+        let b = d.sample(10);
+        assert_ne!(a, b);
+        // Different digits are less similar than same digits on average:
+        let dot = |x: &[f32], y: &[f32]| -> f32 { x.iter().zip(y).map(|(a, b)| a * b).sum() };
+        let same = dot(a, b);
+        let diff = dot(a, d.sample(1)); // digit '1'
+        assert!(same > diff, "same-class correlation {same} <= cross-class {diff}");
+    }
+
+    #[test]
+    fn digit_one_is_sparser_than_digit_eight() {
+        let d = generate_mnist_like(20, 5);
+        let mass = |s: &[f32]| -> f32 { s.iter().sum() };
+        // Index 1 is a '1', index 8 is an '8'.
+        assert!(mass(d.sample(1)) < mass(d.sample(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn zero_samples_rejected() {
+        let _ = generate_mnist_like(0, 0);
+    }
+}

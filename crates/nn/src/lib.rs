@@ -1,0 +1,57 @@
+//! # dante-nn
+//!
+//! A from-scratch neural-network substrate for the *Dante* low-voltage
+//! accelerator reproduction:
+//!
+//! * [`tensor`] — a minimal row-major matrix plus softmax/argmax helpers.
+//! * [`layers`] — dense, 2-D convolution, max-pooling and ReLU layers with
+//!   hand-written forward and backward passes.
+//! * [`network`] — shape-validated sequential networks with binary
+//!   serialization.
+//! * [`mod@train`] — mini-batch SGD with momentum and softmax cross-entropy.
+//! * [`quant`] — fixed-point quantization (Q2.14 weights, UQ0.8 inputs) with
+//!   packing to/from 64-bit SRAM words, the hook for bit-level fault
+//!   injection.
+//! * [`data`] — procedural MNIST-like and CIFAR-like datasets (the offline
+//!   stand-ins; see DESIGN.md).
+//! * [`metrics`] — confusion matrices and per-class recall.
+//! * [`models`] — the paper's FC-DNN (784-256-256-256-10) and a compact
+//!   CNN for the convolutional experiments.
+//!
+//! # Examples
+//!
+//! Train the paper's FC-DNN on the procedural digit set:
+//!
+//! ```no_run
+//! use dante_nn::data::generate_mnist_like;
+//! use dante_nn::models::mnist_fc_dnn;
+//! use dante_nn::train::{train, SgdConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let ds = generate_mnist_like(5000, 1);
+//! let mut net = mnist_fc_dnn(&mut rng);
+//! train(&mut net, ds.images(), ds.labels(), &SgdConfig::default(), &mut rng);
+//! assert!(net.accuracy(ds.images(), ds.labels()) > 0.95);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod data;
+pub mod layers;
+pub mod metrics;
+pub mod models;
+pub mod network;
+pub mod quant;
+pub mod tensor;
+pub mod train;
+
+pub use data::Dataset;
+pub use layers::{Conv2d, Dense, Layer, MaxPool2d, Relu, Shape3};
+pub use metrics::ConfusionMatrix;
+pub use network::{Network, NetworkError};
+pub use quant::{QFormat, QuantizedTensor, ScaledQuantizer, ScaledTensor};
+pub use tensor::Matrix;
+pub use train::{train, SgdConfig, TrainReport};

@@ -1,0 +1,204 @@
+//! Classification metrics beyond plain accuracy: confusion matrices and
+//! per-class accuracy, used by the fault studies to see *which* classes a
+//! corrupted network loses first.
+
+use crate::network::Network;
+
+/// A `classes x classes` confusion matrix (`rows = true label`,
+/// `cols = prediction`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix by running `net` over a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent buffer lengths or a label outside the
+    /// network's output range.
+    #[must_use]
+    pub fn from_network(net: &Network, images: &[f32], labels: &[u8]) -> Self {
+        let classes = net.out_len();
+        assert_eq!(
+            images.len(),
+            labels.len() * net.in_len(),
+            "image buffer length mismatch"
+        );
+        let mut counts = vec![0u64; classes * classes];
+        let in_len = net.in_len();
+        let chunk = 256;
+        for start in (0..labels.len()).step_by(chunk) {
+            let end = (start + chunk).min(labels.len());
+            let preds = net.predict(&images[start * in_len..end * in_len], end - start);
+            for (p, &l) in preds.iter().zip(&labels[start..end]) {
+                let l = usize::from(l);
+                assert!(l < classes, "label {l} out of range for {classes} classes");
+                counts[l * classes + p] += 1;
+            }
+        }
+        Self { classes, counts }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count of samples with true label `truth` predicted as `pred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn count(&self, truth: usize, pred: usize) -> u64 {
+        assert!(truth < self.classes && pred < self.classes, "index out of range");
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (trace over total).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Per-class recall (`None` for classes absent from the test set).
+    #[must_use]
+    pub fn per_class_recall(&self) -> Vec<Option<f64>> {
+        (0..self.classes)
+            .map(|c| {
+                let row: u64 = (0..self.classes).map(|p| self.count(c, p)).sum();
+                (row > 0).then(|| self.count(c, c) as f64 / row as f64)
+            })
+            .collect()
+    }
+
+    /// The most confused (true, predicted) off-diagonal pair, if any
+    /// misclassification occurred.
+    #[must_use]
+    pub fn worst_confusion(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                if t != p {
+                    let c = self.count(t, p);
+                    if c > 0 && best.is_none_or(|(_, _, b)| c > b) {
+                        best = Some((t, p, c));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Layer, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_toy() -> (Network, Vec<f32>, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut net = Network::new(vec![
+            Layer::Dense(Dense::new(6, 12, &mut rng)),
+            Layer::Relu(Relu::new(12)),
+            Layer::Dense(Dense::new(12, 3, &mut rng)),
+        ])
+        .unwrap();
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..90 {
+            let c = (i % 3) as u8;
+            for j in 0..6 {
+                let on = j % 3 == usize::from(c);
+                images.push(if on { 0.9 } else { 0.1 } + ((i + j) % 4) as f32 * 0.02);
+            }
+            labels.push(c);
+        }
+        let cfg = crate::train::SgdConfig { epochs: 25, batch_size: 10, ..Default::default() };
+        crate::train::train(&mut net, &images, &labels, &cfg, &mut rng);
+        (net, images, labels)
+    }
+
+    #[test]
+    fn matrix_totals_and_accuracy_agree_with_network_accuracy() {
+        let (net, images, labels) = trained_toy();
+        let cm = ConfusionMatrix::from_network(&net, &images, &labels);
+        assert_eq!(cm.total(), 90);
+        assert!((cm.accuracy() - net.accuracy(&images, &labels)).abs() < 1e-12);
+        assert_eq!(cm.classes(), 3);
+    }
+
+    #[test]
+    fn perfect_classifier_has_diagonal_matrix() {
+        let (net, images, labels) = trained_toy();
+        let cm = ConfusionMatrix::from_network(&net, &images, &labels);
+        if (cm.accuracy() - 1.0).abs() < 1e-12 {
+            assert_eq!(cm.worst_confusion(), None);
+            for r in cm.per_class_recall() {
+                assert_eq!(r, Some(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn recall_handles_absent_classes() {
+        let (net, images, labels) = trained_toy();
+        // Keep only class-0 samples.
+        let mut imgs = Vec::new();
+        let mut labs = Vec::new();
+        for (i, &l) in labels.iter().enumerate() {
+            if l == 0 {
+                imgs.extend_from_slice(&images[i * 6..(i + 1) * 6]);
+                labs.push(l);
+            }
+        }
+        let cm = ConfusionMatrix::from_network(&net, &imgs, &labs);
+        let recall = cm.per_class_recall();
+        assert!(recall[0].is_some());
+        assert_eq!(recall[1], None);
+        assert_eq!(recall[2], None);
+    }
+
+    #[test]
+    fn worst_confusion_finds_the_biggest_off_diagonal() {
+        // Hand-build a matrix via a constant classifier: predict argmax of
+        // untrained logits for identical inputs -> everything lands in one
+        // column, so the worst confusion involves that column.
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Network::new(vec![Layer::Dense(Dense::new(4, 3, &mut rng))]).unwrap();
+        let images = vec![0.5f32; 4 * 30];
+        let labels: Vec<u8> = (0..30).map(|i| (i % 3) as u8).collect();
+        let cm = ConfusionMatrix::from_network(&net, &images, &labels);
+        let (_, pred, count) = cm.worst_confusion().expect("a constant classifier confuses");
+        // All samples predicted the same class; 20 of 30 are wrong, split
+        // into two off-diagonal cells of 10.
+        assert_eq!(count, 10);
+        let col_total: u64 = (0..3).map(|t| cm.count(t, pred)).sum();
+        assert_eq!(col_total, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn buffer_lengths_validated() {
+        let (net, images, _) = trained_toy();
+        let _ = ConfusionMatrix::from_network(&net, &images, &[0u8; 3]);
+    }
+}

@@ -1,0 +1,106 @@
+//! The two reference models of the paper's evaluation.
+
+use crate::layers::{Conv2d, Dense, Layer, MaxPool2d, Relu, Shape3};
+use crate::network::Network;
+use rand::Rng;
+
+/// The paper's MNIST FC-DNN (Sec. 2): four weight layers
+/// 784-256-256-256-10 with ReLU between them.
+///
+/// The paper lists the sizes as "784x256x256x256x32"; the final 32 is the
+/// accelerator's padded output tile (the network it copies from Minerva \[11\]
+/// classifies 10 digits). We build the 10-class version; see DESIGN.md.
+///
+/// # Examples
+///
+/// ```
+/// use dante_nn::models::mnist_fc_dnn;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let net = mnist_fc_dnn(&mut StdRng::seed_from_u64(0));
+/// assert_eq!(net.in_len(), 784);
+/// assert_eq!(net.out_len(), 10);
+/// assert_eq!(net.weight_layer_indices().len(), 4);
+/// ```
+#[must_use]
+pub fn mnist_fc_dnn<R: Rng + ?Sized>(rng: &mut R) -> Network {
+    Network::new(vec![
+        Layer::Dense(Dense::new(784, 256, rng)),
+        Layer::Relu(Relu::new(256)),
+        Layer::Dense(Dense::new(256, 256, rng)),
+        Layer::Relu(Relu::new(256)),
+        Layer::Dense(Dense::new(256, 256, rng)),
+        Layer::Relu(Relu::new(256)),
+        Layer::Dense(Dense::new(256, 10, rng)),
+    ])
+    .expect("statically consistent layer shapes")
+}
+
+/// A compact convolutional classifier for the CIFAR-like dataset, used as
+/// the accuracy proxy for the paper's AlexNet experiments (the *energy*
+/// model uses the real AlexNet layer shapes from `dante-dataflow`).
+///
+/// Architecture: conv3x3(3->12) - ReLU - pool - conv3x3(12->24) - ReLU -
+/// pool - dense(1536->10).
+#[must_use]
+pub fn cifar_cnn<R: Rng + ?Sized>(rng: &mut R) -> Network {
+    let c1 = Conv2d::new(Shape3::new(3, 32, 32), 12, 3, 1, rng);
+    let p1 = MaxPool2d::new(Shape3::new(12, 32, 32));
+    let c2 = Conv2d::new(Shape3::new(12, 16, 16), 24, 3, 1, rng);
+    let p2 = MaxPool2d::new(Shape3::new(24, 16, 16));
+    let flat = 24 * 8 * 8;
+    Network::new(vec![
+        Layer::Conv2d(c1),
+        Layer::Relu(Relu::new(12 * 32 * 32)),
+        Layer::MaxPool2d(p1),
+        Layer::Conv2d(c2),
+        Layer::Relu(Relu::new(24 * 16 * 16)),
+        Layer::MaxPool2d(p2),
+        Layer::Dense(Dense::new(flat, 10, rng)),
+    ])
+    .expect("statically consistent layer shapes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fc_dnn_matches_paper_dimensions() {
+        let net = mnist_fc_dnn(&mut StdRng::seed_from_u64(0));
+        assert_eq!(net.in_len(), 784);
+        assert_eq!(net.out_len(), 10);
+        let idx = net.weight_layer_indices();
+        assert_eq!(idx.len(), 4);
+        // Weight counts per layer: 784*256, 256*256, 256*256, 256*10.
+        let counts: Vec<usize> =
+            idx.iter().map(|&i| net.layers()[i].weight_count()).collect();
+        assert_eq!(counts, vec![784 * 256, 256 * 256, 256 * 256, 256 * 10]);
+        // MACs per inference ~ total weights for an FC net.
+        assert_eq!(net.macs_per_sample() as usize, net.total_weights());
+    }
+
+    #[test]
+    fn first_layer_dominates_weight_count() {
+        // The paper attributes L1's outsized fault impact partly to its
+        // weight count; make sure the model reflects that.
+        let net = mnist_fc_dnn(&mut StdRng::seed_from_u64(1));
+        let idx = net.weight_layer_indices();
+        let l1 = net.layers()[idx[0]].weight_count();
+        let rest: usize = idx[1..].iter().map(|&i| net.layers()[i].weight_count()).sum();
+        assert!(l1 as f64 > 1.4 * rest as f64);
+    }
+
+    #[test]
+    fn cnn_shapes_chain_and_forward_runs() {
+        let net = cifar_cnn(&mut StdRng::seed_from_u64(2));
+        assert_eq!(net.in_len(), 3 * 32 * 32);
+        assert_eq!(net.out_len(), 10);
+        let x = vec![0.5f32; net.in_len()];
+        assert_eq!(net.forward(&x, 1).len(), 10);
+        assert_eq!(net.weight_layer_indices().len(), 3);
+    }
+}

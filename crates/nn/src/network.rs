@@ -1,0 +1,471 @@
+//! Sequential networks: validation, inference, and binary serialization.
+
+use crate::layers::{Conv2d, Dense, Layer, LayerCache, MaxPool2d, Relu, Shape3};
+use crate::tensor::{argmax, Matrix};
+
+/// A sequential feed-forward network.
+///
+/// # Examples
+///
+/// ```
+/// use dante_nn::layers::{Dense, Layer, Relu};
+/// use dante_nn::network::Network;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let net = Network::new(vec![
+///     Layer::Dense(Dense::new(4, 8, &mut rng)),
+///     Layer::Relu(Relu::new(8)),
+///     Layer::Dense(Dense::new(8, 3, &mut rng)),
+/// ])?;
+/// let logits = net.forward(&[0.1, -0.2, 0.3, 0.0], 1);
+/// assert_eq!(logits.len(), 3);
+/// # Ok::<(), dante_nn::network::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+/// Error constructing or deserializing a [`Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The layer list was empty.
+    Empty,
+    /// Adjacent layers have incompatible activation lengths.
+    ShapeMismatch {
+        /// Index of the later layer.
+        layer: usize,
+        /// Output length of the earlier layer.
+        produced: usize,
+        /// Input length the later layer expects.
+        expected: usize,
+    },
+    /// Serialized bytes were malformed.
+    MalformedBytes {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl core::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "network has no layers"),
+            Self::ShapeMismatch { layer, produced, expected } => write!(
+                f,
+                "layer {layer} expects input length {expected} but receives {produced}"
+            ),
+            Self::MalformedBytes { reason } => write!(f, "malformed network bytes: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+impl Network {
+    /// Creates a network, validating that layer shapes chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::Empty`] for an empty layer list and
+    /// [`NetworkError::ShapeMismatch`] when adjacent layers disagree.
+    pub fn new(layers: Vec<Layer>) -> Result<Self, NetworkError> {
+        if layers.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        for i in 1..layers.len() {
+            let produced = layers[i - 1].out_len();
+            let expected = layers[i].in_len();
+            if produced != expected {
+                return Err(NetworkError::ShapeMismatch { layer: i, produced, expected });
+            }
+        }
+        Ok(Self { layers })
+    }
+
+    /// Input activation length per sample.
+    #[must_use]
+    pub fn in_len(&self) -> usize {
+        self.layers[0].in_len()
+    }
+
+    /// Output (logit) length per sample.
+    #[must_use]
+    pub fn out_len(&self) -> usize {
+        self.layers.last().expect("validated non-empty").out_len()
+    }
+
+    /// The layers.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (quantization / fault overlay).
+    #[must_use]
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Indices of layers that carry weights, in depth order — "weight layer
+    /// L1" of the paper is `weight_layer_indices()[0]`.
+    #[must_use]
+    pub fn weight_layer_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.has_parameters())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total weight parameter count.
+    #[must_use]
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(Layer::weight_count).sum()
+    }
+
+    /// Total multiply-accumulates per inference sample.
+    #[must_use]
+    pub fn macs_per_sample(&self) -> u64 {
+        self.layers.iter().map(Layer::macs_per_sample).sum()
+    }
+
+    /// Inference over a batch: returns the flat logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != batch * in_len()`.
+    #[must_use]
+    pub fn forward(&self, x: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(x.len(), batch * self.in_len(), "input length mismatch");
+        let mut act = x.to_vec();
+        for layer in &self.layers {
+            act = layer.forward(&act, batch);
+        }
+        act
+    }
+
+    /// Training forward pass: returns every layer input (`activations[i]` is
+    /// the input to layer i; the last entry is the network output) plus the
+    /// per-layer caches.
+    #[must_use]
+    pub fn forward_train(&self, x: &[f32], batch: usize) -> (Vec<Vec<f32>>, Vec<LayerCache>) {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        let mut caches = Vec::with_capacity(self.layers.len());
+        activations.push(x.to_vec());
+        for layer in &self.layers {
+            let (y, cache) = layer.forward_train(activations.last().expect("non-empty"), batch);
+            activations.push(y);
+            caches.push(cache);
+        }
+        (activations, caches)
+    }
+
+    /// Predicted class per sample.
+    #[must_use]
+    pub fn predict(&self, x: &[f32], batch: usize) -> Vec<usize> {
+        let logits = self.forward(x, batch);
+        let classes = self.out_len();
+        (0..batch)
+            .map(|b| argmax(&logits[b * classes..(b + 1) * classes]))
+            .collect()
+    }
+
+    /// Classification accuracy over a labelled set, evaluated in internal
+    /// batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len()` is not `labels.len() * in_len()`.
+    #[must_use]
+    pub fn accuracy(&self, images: &[f32], labels: &[u8]) -> f64 {
+        let n = labels.len();
+        assert_eq!(images.len(), n * self.in_len(), "image buffer length mismatch");
+        if n == 0 {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        let chunk = 256;
+        for start in (0..n).step_by(chunk) {
+            let end = (start + chunk).min(n);
+            let batch = end - start;
+            let preds =
+                self.predict(&images[start * self.in_len()..end * self.in_len()], batch);
+            correct += preds
+                .iter()
+                .zip(&labels[start..end])
+                .filter(|(p, l)| **p == **l as usize)
+                .count();
+        }
+        correct as f64 / n as f64
+    }
+
+    /// Serializes the network to a self-describing little-endian binary
+    /// format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"DNET");
+        out.extend_from_slice(&1u32.to_le_bytes()); // version
+        out.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
+        for layer in &self.layers {
+            match layer {
+                Layer::Dense(d) => {
+                    out.push(0);
+                    out.extend_from_slice(&(d.in_features() as u32).to_le_bytes());
+                    out.extend_from_slice(&(d.out_features() as u32).to_le_bytes());
+                    for &w in d.weights().as_slice() {
+                        out.extend_from_slice(&w.to_le_bytes());
+                    }
+                    for &b in d.bias() {
+                        out.extend_from_slice(&b.to_le_bytes());
+                    }
+                }
+                Layer::Relu(r) => {
+                    out.push(1);
+                    out.extend_from_slice(&(r.len() as u32).to_le_bytes());
+                }
+                Layer::Conv2d(c) => {
+                    out.push(2);
+                    let s = c.in_shape();
+                    for dim in [s.c, s.h, s.w, c.out_channels(), c.kernel(), c.padding()] {
+                        out.extend_from_slice(&(dim as u32).to_le_bytes());
+                    }
+                    for &w in c.weights() {
+                        out.extend_from_slice(&w.to_le_bytes());
+                    }
+                    for &b in c.bias() {
+                        out.extend_from_slice(&b.to_le_bytes());
+                    }
+                }
+                Layer::MaxPool2d(p) => {
+                    out.push(3);
+                    let s = p.in_shape();
+                    for dim in [s.c, s.h, s.w] {
+                        out.extend_from_slice(&(dim as u32).to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a network produced by [`Self::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::MalformedBytes`] on any structural problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, NetworkError> {
+        struct Reader<'a> {
+            bytes: &'a [u8],
+            pos: usize,
+        }
+        impl<'a> Reader<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], NetworkError> {
+                if self.pos + n > self.bytes.len() {
+                    return Err(NetworkError::MalformedBytes { reason: "unexpected end of input" });
+                }
+                let s = &self.bytes[self.pos..self.pos + n];
+                self.pos += n;
+                Ok(s)
+            }
+            fn u8(&mut self) -> Result<u8, NetworkError> {
+                Ok(self.take(1)?[0])
+            }
+            fn u32(&mut self) -> Result<u32, NetworkError> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+            }
+            fn f32s(&mut self, n: usize) -> Result<Vec<f32>, NetworkError> {
+                let raw = self.take(n * 4)?;
+                Ok(raw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect())
+            }
+        }
+
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != b"DNET" {
+            return Err(NetworkError::MalformedBytes { reason: "bad magic" });
+        }
+        if r.u32()? != 1 {
+            return Err(NetworkError::MalformedBytes { reason: "unsupported version" });
+        }
+        let n_layers = r.u32()? as usize;
+        if n_layers == 0 || n_layers > 1024 {
+            return Err(NetworkError::MalformedBytes { reason: "implausible layer count" });
+        }
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let tag = r.u8()?;
+            let layer = match tag {
+                0 => {
+                    let inf = r.u32()? as usize;
+                    let out = r.u32()? as usize;
+                    if inf == 0 || out == 0 {
+                        return Err(NetworkError::MalformedBytes { reason: "zero dense dims" });
+                    }
+                    let w = r.f32s(inf * out)?;
+                    let b = r.f32s(out)?;
+                    Layer::Dense(Dense::from_parameters(Matrix::from_vec(inf, out, w), b))
+                }
+                1 => {
+                    let len = r.u32()? as usize;
+                    if len == 0 {
+                        return Err(NetworkError::MalformedBytes { reason: "zero relu length" });
+                    }
+                    Layer::Relu(Relu::new(len))
+                }
+                2 => {
+                    let c = r.u32()? as usize;
+                    let h = r.u32()? as usize;
+                    let w = r.u32()? as usize;
+                    let oc = r.u32()? as usize;
+                    let k = r.u32()? as usize;
+                    let p = r.u32()? as usize;
+                    if c == 0 || h == 0 || w == 0 || oc == 0 || k == 0 {
+                        return Err(NetworkError::MalformedBytes { reason: "zero conv dims" });
+                    }
+                    let weights = r.f32s(oc * c * k * k)?;
+                    let bias = r.f32s(oc)?;
+                    Layer::Conv2d(Conv2d::from_parameters(
+                        Shape3::new(c, h, w),
+                        oc,
+                        k,
+                        p,
+                        weights,
+                        bias,
+                    ))
+                }
+                3 => {
+                    let c = r.u32()? as usize;
+                    let h = r.u32()? as usize;
+                    let w = r.u32()? as usize;
+                    if c == 0 || h == 0 || w == 0 {
+                        return Err(NetworkError::MalformedBytes { reason: "zero pool dims" });
+                    }
+                    Layer::MaxPool2d(MaxPool2d::new(Shape3::new(c, h, w)))
+                }
+                _ => return Err(NetworkError::MalformedBytes { reason: "unknown layer tag" }),
+            };
+            layers.push(layer);
+        }
+        if r.pos != bytes.len() {
+            return Err(NetworkError::MalformedBytes { reason: "trailing bytes" });
+        }
+        Self::new(layers).map_err(|_| NetworkError::MalformedBytes { reason: "shape mismatch" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(vec![
+            Layer::Dense(Dense::new(6, 5, &mut rng)),
+            Layer::Relu(Relu::new(5)),
+            Layer::Dense(Dense::new(5, 3, &mut rng)),
+        ])
+        .unwrap()
+    }
+
+    fn conv_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(vec![
+            Layer::Conv2d(Conv2d::new(Shape3::new(1, 8, 8), 4, 3, 1, &mut rng)),
+            Layer::Relu(Relu::new(4 * 64)),
+            Layer::MaxPool2d(MaxPool2d::new(Shape3::new(4, 8, 8))),
+            Layer::Dense(Dense::new(4 * 16, 3, &mut rng)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = Network::new(vec![
+            Layer::Dense(Dense::new(4, 5, &mut rng)),
+            Layer::Dense(Dense::new(6, 2, &mut rng)),
+        ])
+        .unwrap_err();
+        assert_eq!(err, NetworkError::ShapeMismatch { layer: 1, produced: 5, expected: 6 });
+        assert!(format!("{err}").contains("layer 1"));
+    }
+
+    #[test]
+    fn empty_network_is_rejected() {
+        assert_eq!(Network::new(vec![]).unwrap_err(), NetworkError::Empty);
+    }
+
+    #[test]
+    fn forward_and_predict_have_consistent_shapes() {
+        let net = small_net(1);
+        let x = vec![0.1f32; 12];
+        assert_eq!(net.forward(&x, 2).len(), 6);
+        assert_eq!(net.predict(&x, 2).len(), 2);
+    }
+
+    #[test]
+    fn weight_layer_indices_skip_activations() {
+        let net = conv_net(2);
+        assert_eq!(net.weight_layer_indices(), vec![0, 3]);
+        assert_eq!(net.total_weights(), 4 * 9 + 64 * 3);
+        assert!(net.macs_per_sample() > 0);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let net = small_net(3);
+        let x = vec![0.3f32; 6 * 4];
+        let preds = net.predict(&x, 4);
+        let labels: Vec<u8> = preds.iter().map(|&p| p as u8).collect();
+        assert!((net.accuracy(&x, &labels) - 1.0).abs() < 1e-12);
+        let wrong: Vec<u8> = preds.iter().map(|&p| ((p + 1) % 3) as u8).collect();
+        assert!(net.accuracy(&x, &wrong) < 1e-12);
+    }
+
+    #[test]
+    fn serialization_round_trips_dense_and_conv() {
+        for net in [small_net(4), conv_net(5)] {
+            let bytes = net.to_bytes();
+            let back = Network::from_bytes(&bytes).unwrap();
+            assert_eq!(net, back);
+            // Behavioural equality too.
+            let x = vec![0.25f32; net.in_len()];
+            assert_eq!(net.forward(&x, 1), back.forward(&x, 1));
+        }
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        assert!(Network::from_bytes(b"nope").is_err());
+        let mut bytes = small_net(6).to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(
+            Network::from_bytes(&bytes),
+            Err(NetworkError::MalformedBytes { .. })
+        ));
+        let mut extra = small_net(6).to_bytes();
+        extra.push(0);
+        assert!(Network::from_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn forward_train_tracks_all_activations() {
+        let net = conv_net(7);
+        let x = vec![0.5f32; 64];
+        let (acts, caches) = net.forward_train(&x, 1);
+        assert_eq!(acts.len(), net.layers().len() + 1);
+        assert_eq!(caches.len(), net.layers().len());
+        assert_eq!(acts.last().unwrap().len(), 3);
+        // Final activation equals plain forward.
+        assert_eq!(*acts.last().unwrap(), net.forward(&x, 1));
+    }
+}

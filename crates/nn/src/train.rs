@@ -1,0 +1,256 @@
+//! Mini-batch SGD training with momentum and softmax cross-entropy loss.
+
+use crate::network::Network;
+use crate::tensor::softmax_batch;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Softmax cross-entropy over a batch: returns the mean loss and the logit
+/// gradient (`softmax - onehot`, already divided by the batch size).
+///
+/// # Panics
+///
+/// Panics on inconsistent lengths or a label outside `0..classes`.
+#[must_use]
+pub fn softmax_cross_entropy(
+    logits: &[f32],
+    labels: &[u8],
+    classes: usize,
+) -> (f32, Vec<f32>) {
+    let batch = labels.len();
+    assert_eq!(logits.len(), batch * classes, "logit length mismatch");
+    let probs = softmax_batch(logits, batch, classes);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    for (b, &label) in labels.iter().enumerate() {
+        let l = label as usize;
+        assert!(l < classes, "label {l} out of range for {classes} classes");
+        let p = probs[b * classes + l].max(1e-12);
+        loss -= p.ln();
+        grad[b * classes + l] -= 1.0;
+    }
+    let inv = 1.0 / batch as f32;
+    for g in &mut grad {
+        *g *= inv;
+    }
+    (loss * inv, grad)
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Learning rate at epoch 0.
+    pub learning_rate: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Multiplicative learning-rate decay per epoch.
+    pub lr_decay: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self { learning_rate: 0.05, momentum: 0.9, batch_size: 64, epochs: 10, lr_decay: 0.95 }
+    }
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainReport {
+    /// Mean loss of each epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Loss of the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no epochs were run.
+    #[must_use]
+    pub fn final_loss(&self) -> f32 {
+        *self.epoch_losses.last().expect("at least one epoch")
+    }
+}
+
+/// Trains `net` on `(images, labels)` with mini-batch SGD + momentum.
+///
+/// `images` holds `labels.len()` samples of `net.in_len()` floats each.
+///
+/// # Panics
+///
+/// Panics on inconsistent buffer lengths, a zero batch size, or zero epochs.
+pub fn train<R: Rng + ?Sized>(
+    net: &mut Network,
+    images: &[f32],
+    labels: &[u8],
+    config: &SgdConfig,
+    rng: &mut R,
+) -> TrainReport {
+    let n = labels.len();
+    let in_len = net.in_len();
+    let classes = net.out_len();
+    assert_eq!(images.len(), n * in_len, "image buffer length mismatch");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert!(config.epochs > 0, "epoch count must be positive");
+    assert!(n > 0, "training set is empty");
+
+    // Momentum buffers, one per layer (empty for parameter-free layers).
+    let mut vel_w: Vec<Vec<f32>> = net
+        .layers()
+        .iter()
+        .map(|l| vec![0.0; l.weight_count()])
+        .collect();
+    let mut vel_b: Vec<Vec<f32>> = net
+        .layers()
+        .iter()
+        .map(|l| match l {
+            crate::layers::Layer::Dense(d) => vec![0.0; d.out_features()],
+            crate::layers::Layer::Conv2d(c) => vec![0.0; c.bias().len()],
+            _ => Vec::new(),
+        })
+        .collect();
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut report = TrainReport::default();
+    let mut lr = config.learning_rate;
+
+    for _epoch in 0..config.epochs {
+        order.shuffle(rng);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+
+        for chunk in order.chunks(config.batch_size) {
+            let batch = chunk.len();
+            let mut x = Vec::with_capacity(batch * in_len);
+            let mut y = Vec::with_capacity(batch);
+            for &i in chunk {
+                x.extend_from_slice(&images[i * in_len..(i + 1) * in_len]);
+                y.push(labels[i]);
+            }
+
+            let (acts, caches) = net.forward_train(&x, batch);
+            let logits = acts.last().expect("non-empty activations");
+            let (loss, mut dy) = softmax_cross_entropy(logits, &y, classes);
+            epoch_loss += loss;
+            batches += 1;
+
+            // Backward through the stack.
+            for li in (0..net.layers().len()).rev() {
+                let (dx, grads) = net.layers()[li].backward(&acts[li], &caches[li], &dy, batch);
+                if let Some(g) = grads {
+                    // v = momentum * v + g;  p -= lr * v
+                    let vw = &mut vel_w[li];
+                    for (v, &gw) in vw.iter_mut().zip(&g.weights) {
+                        *v = config.momentum * *v + gw;
+                    }
+                    let vb = &mut vel_b[li];
+                    for (v, &gb) in vb.iter_mut().zip(&g.bias) {
+                        *v = config.momentum * *v + gb;
+                    }
+                    let update = crate::layers::ParamGrads {
+                        weights: vw.clone(),
+                        bias: vb.clone(),
+                    };
+                    net.layers_mut()[li].apply_update(&update, lr);
+                }
+                dy = dx;
+            }
+        }
+        report.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+        lr *= config.lr_decay;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Layer, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_classes() {
+        let (loss, grad) = softmax_cross_entropy(&[0.0, 0.0, 0.0, 0.0], &[2], 4);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient sums to zero per sample.
+        let sum: f32 = grad.iter().sum();
+        assert!(sum.abs() < 1e-6);
+        // True class gradient is negative, others positive.
+        assert!(grad[2] < 0.0 && grad[0] > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_decreases_when_correct_logit_grows() {
+        let (l1, _) = softmax_cross_entropy(&[0.0, 0.0], &[0], 2);
+        let (l2, _) = softmax_cross_entropy(&[3.0, 0.0], &[0], 2);
+        assert!(l2 < l1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let _ = softmax_cross_entropy(&[0.0, 0.0], &[5], 2);
+    }
+
+    /// Two linearly separable blobs in 4-D must be learnable to 100%.
+    #[test]
+    fn sgd_learns_a_separable_toy_problem() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut net = Network::new(vec![
+            Layer::Dense(Dense::new(4, 16, &mut rng)),
+            Layer::Relu(Relu::new(16)),
+            Layer::Dense(Dense::new(16, 2, &mut rng)),
+        ])
+        .unwrap();
+
+        let n = 200;
+        let mut images = Vec::with_capacity(n * 4);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = (i % 2) as u8;
+            let center = if class == 0 { 0.7 } else { -0.7 };
+            for _ in 0..4 {
+                images.push(center + (rng.gen::<f32>() - 0.5) * 0.4);
+            }
+            labels.push(class);
+        }
+
+        let config = SgdConfig { epochs: 30, batch_size: 16, ..SgdConfig::default() };
+        let report = train(&mut net, &images, &labels, &config, &mut rng);
+        assert_eq!(report.epoch_losses.len(), 30);
+        assert!(
+            report.final_loss() < report.epoch_losses[0],
+            "loss must decrease: {:?}",
+            report.epoch_losses
+        );
+        let acc = net.accuracy(&images, &labels);
+        assert!(acc > 0.98, "toy accuracy only {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic_given_a_seed() {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut net = Network::new(vec![Layer::Dense(Dense::new(3, 2, &mut rng))]).unwrap();
+            let images = vec![0.1f32; 30];
+            let labels = vec![0u8; 10];
+            let config = SgdConfig { epochs: 2, batch_size: 5, ..SgdConfig::default() };
+            train(&mut net, &images, &labels, &config, &mut rng);
+            net
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "training set is empty")]
+    fn empty_training_set_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Network::new(vec![Layer::Dense(Dense::new(2, 2, &mut rng))]).unwrap();
+        let _ = train(&mut net, &[], &[], &SgdConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,197 @@
+//! Fitting measured bit-error-rate data to the Gaussian V_min model.
+//!
+//! The paper obtains `F(v)` "by fitting failure data measured across
+//! different memory banks" (Sec. 5.1). Under the Gaussian cell-V_min model
+//! `F(v) = Q((v - mu)/sigma)`, the probit transform `z = Q^{-1}(F)`
+//! linearizes the curve: `v = mu + sigma * z`. This module performs that
+//! probit regression by ordinary least squares, recovering a calibrated
+//! [`VminFaultModel`] from `(voltage, BER)` measurements.
+
+use crate::fault::{VminFaultModel, DEFAULT_READ_FLIP_PROBABILITY};
+use crate::math::q_tail_inv;
+use dante_circuit::units::Volt;
+
+/// Error from [`fit_vmin_model`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitBerError {
+    /// Fewer than two usable measurement points were provided.
+    TooFewPoints {
+        /// Number of usable points found.
+        usable: usize,
+    },
+    /// A measured BER was outside `(0, 1)`.
+    BerOutOfRange {
+        /// The offending value.
+        ber: f64,
+    },
+    /// The measurements have no voltage spread, so the slope is undefined.
+    DegenerateSpread,
+    /// The fitted sigma came out non-positive (BER increasing with voltage).
+    NonPhysicalFit {
+        /// The fitted (invalid) sigma in volts.
+        sigma: f64,
+    },
+}
+
+impl core::fmt::Display for FitBerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::TooFewPoints { usable } => {
+                write!(f, "need at least two measurement points, got {usable}")
+            }
+            Self::BerOutOfRange { ber } => {
+                write!(f, "measured BER {ber} is outside (0, 1)")
+            }
+            Self::DegenerateSpread => write!(f, "measurements have no probit spread"),
+            Self::NonPhysicalFit { sigma } => {
+                write!(f, "fitted sigma {sigma} V is non-physical (BER must fall as V rises)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitBerError {}
+
+/// Fits a [`VminFaultModel`] to measured `(voltage, BER)` points by probit
+/// regression.
+///
+/// Points with `BER == 0` are skipped (they carry no probit information —
+/// the measurement saturated); any point with `BER < 0` or `BER >= 1` is an
+/// error.
+///
+/// # Errors
+///
+/// Returns [`FitBerError`] if fewer than two usable points remain, a BER is
+/// out of range, or the fit is degenerate/non-physical.
+///
+/// # Examples
+///
+/// ```
+/// use dante_sram::ber_fit::fit_vmin_model;
+/// use dante_sram::fault::VminFaultModel;
+///
+/// let truth = VminFaultModel::default_14nm();
+/// let fitted = fit_vmin_model(&truth.measurement_points())?;
+/// assert!((fitted.mu().volts() - truth.mu().volts()).abs() < 1e-3);
+/// # Ok::<(), dante_sram::ber_fit::FitBerError>(())
+/// ```
+pub fn fit_vmin_model(points: &[(Volt, f64)]) -> Result<VminFaultModel, FitBerError> {
+    let mut zs = Vec::new();
+    let mut vs = Vec::new();
+    for &(v, ber) in points {
+        if ber == 0.0 {
+            continue; // saturated measurement, no information
+        }
+        if !(0.0..1.0).contains(&ber) {
+            return Err(FitBerError::BerOutOfRange { ber });
+        }
+        zs.push(q_tail_inv(ber));
+        vs.push(v.volts());
+    }
+    if zs.len() < 2 {
+        return Err(FitBerError::TooFewPoints { usable: zs.len() });
+    }
+
+    let n = zs.len() as f64;
+    let mean_z = zs.iter().sum::<f64>() / n;
+    let mean_v = vs.iter().sum::<f64>() / n;
+    let var_z: f64 = zs.iter().map(|z| (z - mean_z).powi(2)).sum();
+    if var_z < 1e-12 {
+        return Err(FitBerError::DegenerateSpread);
+    }
+    let cov: f64 = zs
+        .iter()
+        .zip(&vs)
+        .map(|(z, v)| (z - mean_z) * (v - mean_v))
+        .sum();
+    let sigma = cov / var_z;
+    if sigma <= 0.0 {
+        return Err(FitBerError::NonPhysicalFit { sigma });
+    }
+    let mu = mean_v - sigma * mean_z;
+    Ok(VminFaultModel::new(
+        Volt::new(mu),
+        Volt::new(sigma),
+        DEFAULT_READ_FLIP_PROBABILITY,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_the_generating_model() {
+        let truth = VminFaultModel::default_14nm();
+        let fitted = fit_vmin_model(&truth.measurement_points()).unwrap();
+        assert!((fitted.mu().volts() - truth.mu().volts()).abs() < 2e-3);
+        assert!((fitted.sigma().volts() - truth.sigma().volts()).abs() < 2e-3);
+    }
+
+    #[test]
+    fn fit_tolerates_measurement_noise() {
+        let truth = VminFaultModel::default_14nm();
+        // Multiplicative noise on the BER, like die-to-die variation.
+        let noisy: Vec<_> = truth
+            .measurement_points()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (v, ber))| {
+                let jitter = 1.0 + 0.2 * if i % 2 == 0 { 1.0 } else { -1.0 };
+                (v, (ber * jitter).min(0.999))
+            })
+            .collect();
+        let fitted = fit_vmin_model(&noisy).unwrap();
+        assert!((fitted.mu().volts() - truth.mu().volts()).abs() < 0.01);
+        assert!((fitted.sigma().volts() - truth.sigma().volts()).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_ber_points_are_skipped() {
+        let truth = VminFaultModel::default_14nm();
+        let mut pts = truth.measurement_points();
+        pts.push((Volt::new(0.70), 0.0));
+        pts.push((Volt::new(0.75), 0.0));
+        let fitted = fit_vmin_model(&pts).unwrap();
+        assert!((fitted.mu().volts() - truth.mu().volts()).abs() < 2e-3);
+    }
+
+    #[test]
+    fn too_few_points_is_an_error() {
+        let pts = [(Volt::new(0.4), 0.1)];
+        assert_eq!(
+            fit_vmin_model(&pts),
+            Err(FitBerError::TooFewPoints { usable: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_ber_is_an_error() {
+        let pts = [(Volt::new(0.4), 0.1), (Volt::new(0.45), 1.5)];
+        assert_eq!(
+            fit_vmin_model(&pts),
+            Err(FitBerError::BerOutOfRange { ber: 1.5 })
+        );
+    }
+
+    #[test]
+    fn increasing_ber_with_voltage_is_non_physical() {
+        let pts = [(Volt::new(0.40), 0.001), (Volt::new(0.50), 0.1)];
+        assert!(matches!(
+            fit_vmin_model(&pts),
+            Err(FitBerError::NonPhysicalFit { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_spread_detected() {
+        let pts = [(Volt::new(0.40), 0.01), (Volt::new(0.42), 0.01)];
+        assert_eq!(fit_vmin_model(&pts), Err(FitBerError::DegenerateSpread));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = FitBerError::TooFewPoints { usable: 0 };
+        assert!(format!("{e}").contains("at least two"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Monte-Carlo fault maps: per-cell `V_min` fields and the voltage-indexed
+//! fault masks derived from them (paper Fig. 11).
+//!
+//! One [`VminField`] is one Monte-Carlo *die instance*: every bitcell gets a
+//! concrete minimum reliable voltage drawn from the
+//! [`crate::fault::VminFaultModel`]'s Gaussian. Evaluating
+//! the same field at several supply voltages yields **inclusive** fault maps
+//! — the fault set at a lower voltage is a superset of the fault set at any
+//! higher voltage — exactly the property the paper's methodology demands
+//! ("failures present in a fault map at voltage V1 will also include
+//! failures present at voltage V2, where V1 < V2").
+
+use crate::fault::VminFaultModel;
+use dante_circuit::units::Volt;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// A packed bitmask of faulty cells at one voltage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FaultMask {
+    fn with_len(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of cells covered by the mask.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether cell `idx` is faulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "cell index {idx} out of range");
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    fn set(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Number of faulty cells.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The packed 64-bit words of the mask (cell `i` is bit `i % 64` of word
+    /// `i / 64`); useful for XOR-style overlay onto packed data words.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Whether every faulty cell of `other` is also faulty in `self` — the
+    /// inclusivity check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks cover different cell counts.
+    #[must_use]
+    pub fn is_superset_of(&self, other: &Self) -> bool {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == *b)
+    }
+}
+
+/// A per-cell `V_min` field: one Monte-Carlo die instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VminField {
+    vmins: Vec<f32>,
+}
+
+impl VminField {
+    /// Draws a fresh die: `bits` i.i.d. cell V_mins from `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(bits: usize, model: &VminFaultModel, rng: &mut R) -> Self {
+        assert!(bits > 0, "a die needs at least one cell");
+        let normal = Normal::new(model.mu().volts(), model.sigma().volts())
+            .expect("validated sigma is positive");
+        let vmins = (0..bits).map(|_| normal.sample(rng) as f32).collect();
+        Self { vmins }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vmins.len()
+    }
+
+    /// Whether the field has zero cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vmins.is_empty()
+    }
+
+    /// Whether cell `idx` is faulty at supply voltage `v`
+    /// (`v < v_c(idx)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn is_faulty(&self, idx: usize, v: Volt) -> bool {
+        (v.volts() as f32) < self.vmins[idx]
+    }
+
+    /// The fault mask of this die at supply voltage `v`.
+    #[must_use]
+    pub fn fault_mask(&self, v: Volt) -> FaultMask {
+        let mut mask = FaultMask::with_len(self.len());
+        let vf = v.volts() as f32;
+        for (idx, &vmin) in self.vmins.iter().enumerate() {
+            if vf < vmin {
+                mask.set(idx);
+            }
+        }
+        mask
+    }
+
+    /// Number of faulty cells at `v` without materializing a mask.
+    #[must_use]
+    pub fn fault_count(&self, v: Volt) -> usize {
+        let vf = v.volts() as f32;
+        self.vmins.iter().filter(|&&m| vf < m).count()
+    }
+
+    /// Empirical bit error rate of this die at `v`.
+    #[must_use]
+    pub fn empirical_ber(&self, v: Volt) -> f64 {
+        self.fault_count(v) as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn field(bits: usize, seed: u64) -> VminField {
+        let model = VminFaultModel::default_14nm();
+        let mut rng = StdRng::seed_from_u64(seed);
+        VminField::generate(bits, &model, &mut rng)
+    }
+
+    #[test]
+    fn empirical_ber_matches_analytic_model() {
+        let model = VminFaultModel::default_14nm();
+        let f = field(200_000, 7);
+        for mv in [380, 400, 420, 440] {
+            let v = Volt::from_millivolts(f64::from(mv));
+            let analytic = model.bit_error_rate(v);
+            let empirical = f.empirical_ber(v);
+            let tol = 4.0 * (analytic / 200_000.0).sqrt() + 1e-4;
+            assert!(
+                (empirical - analytic).abs() < tol,
+                "at {v}: empirical {empirical} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_maps_are_inclusive_across_voltages() {
+        let f = field(50_000, 11);
+        let low = f.fault_mask(Volt::new(0.36));
+        let mid = f.fault_mask(Volt::new(0.42));
+        let high = f.fault_mask(Volt::new(0.50));
+        assert!(low.is_superset_of(&mid));
+        assert!(mid.is_superset_of(&high));
+        assert!(low.count() > mid.count());
+        assert!(mid.count() >= high.count());
+    }
+
+    #[test]
+    fn mask_count_matches_field_count() {
+        let f = field(10_000, 3);
+        let v = Volt::new(0.40);
+        assert_eq!(f.fault_mask(v).count(), f.fault_count(v));
+    }
+
+    #[test]
+    fn mask_get_agrees_with_is_faulty() {
+        let f = field(1_000, 5);
+        let v = Volt::new(0.38);
+        let mask = f.fault_mask(v);
+        for idx in 0..f.len() {
+            assert_eq!(mask.get(idx), f.is_faulty(idx, v));
+        }
+    }
+
+    #[test]
+    fn high_voltage_has_no_faults() {
+        let f = field(100_000, 9);
+        // 0.60 V is ~6 sigma above the mean cell V_min.
+        assert_eq!(f.fault_count(Volt::new(0.60)), 0);
+    }
+
+    #[test]
+    fn different_seeds_give_different_dies() {
+        let a = field(1_000, 1);
+        let b = field(1_000, 2);
+        assert_ne!(a, b);
+        // But the same seed reproduces the same die (determinism for
+        // Monte-Carlo repeatability).
+        let a2 = field(1_000, 1);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn mask_words_pack_little_endian_bit_order() {
+        let f = field(130, 13);
+        let v = Volt::new(0.34);
+        let mask = f.fault_mask(v);
+        for idx in 0..130 {
+            let w = mask.words()[idx / 64];
+            assert_eq!(w & (1 << (idx % 64)) != 0, mask.get(idx));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn superset_requires_equal_lengths() {
+        let a = field(100, 1).fault_mask(Volt::new(0.4));
+        let b = field(101, 1).fault_mask(Volt::new(0.4));
+        let _ = a.is_superset_of(&b);
+    }
+}

@@ -1,0 +1,175 @@
+//! Standard-normal distribution helpers used by the fault model.
+//!
+//! The fault model needs the Gaussian tail `Q(z) = P(X >= z)` (to turn a
+//! cell-V_min distribution into a bit error rate) and its inverse (to fit
+//! measured error rates back to a distribution). Rust's standard library has
+//! neither `erf` nor the normal quantile, so both are implemented here:
+//!
+//! * `Q(z)` via the Abramowitz & Stegun 26.2.17 polynomial (|error| < 7.5e-8),
+//! * `Q^{-1}(p)` via Acklam's rational approximation refined with one Halley
+//!   step (relative error far below the fitting noise).
+
+/// Standard normal probability density function.
+#[must_use]
+pub fn phi_pdf(z: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * z * z).exp()
+}
+
+/// Standard normal CDF `P(X <= z)` (Abramowitz & Stegun 26.2.17).
+#[must_use]
+pub fn phi_cdf(z: f64) -> f64 {
+    if z < 0.0 {
+        return 1.0 - phi_cdf(-z);
+    }
+    let t = 1.0 / (1.0 + 0.231_641_9 * z);
+    let poly = t
+        * (0.319_381_530
+            + t * (-0.356_563_782
+                + t * (1.781_477_937 + t * (-1.821_255_978 + t * 1.330_274_429))));
+    1.0 - phi_pdf(z) * poly
+}
+
+/// Gaussian upper tail `Q(z) = P(X >= z) = 1 - Phi(z)`.
+#[must_use]
+pub fn q_tail(z: f64) -> f64 {
+    phi_cdf(-z)
+}
+
+/// Inverse of the Gaussian upper tail: returns `z` such that `Q(z) = p`.
+///
+/// # Panics
+///
+/// Panics unless `p` is in the open interval `(0, 1)`.
+#[must_use]
+pub fn q_tail_inv(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "tail probability must be in (0, 1), got {p}");
+    -norm_ppf(p)
+}
+
+/// Inverse standard normal CDF (quantile function) via Acklam's algorithm
+/// plus one Halley refinement step.
+///
+/// # Panics
+///
+/// Panics unless `p` is in the open interval `(0, 1)`.
+#[must_use]
+pub fn norm_ppf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step against the forward CDF.
+    let e = phi_cdf(x) - p;
+    let u = e * (2.0 * core::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((phi_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((phi_cdf(1.0) - 0.841_344_746).abs() < 1e-6);
+        assert!((phi_cdf(-1.0) - 0.158_655_254).abs() < 1e-6);
+        assert!((phi_cdf(2.0) - 0.977_249_868).abs() < 1e-6);
+        assert!((phi_cdf(6.0) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn tail_is_complement_of_cdf() {
+        // Tolerance is bounded by the A&S 26.2.17 polynomial error (7.5e-8).
+        for z in [-3.0, -1.0, 0.0, 0.5, 2.0, 4.0] {
+            assert!((q_tail(z) + phi_cdf(z) - 1.0).abs() < 2e-7, "z={z}");
+        }
+    }
+
+    #[test]
+    fn ppf_round_trips_through_cdf() {
+        for &p in &[1e-9, 1e-6, 1e-3, 0.014, 0.1, 0.5, 0.9, 0.999] {
+            let z = norm_ppf(p);
+            assert!((phi_cdf(z) - p).abs() < 1e-7 * (1.0 + 1.0 / p.min(1.0 - p)).min(1e4),
+                "p={p}, z={z}, cdf={}", phi_cdf(z));
+        }
+    }
+
+    #[test]
+    fn q_inv_round_trips_through_q() {
+        for &p in &[1e-8, 1e-4, 0.014, 0.25, 0.5, 0.75, 0.99] {
+            let z = q_tail_inv(p);
+            let back = q_tail(z);
+            assert!(
+                (back - p).abs() / p < 1e-3,
+                "p={p} z={z} back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn ppf_known_values() {
+        // Accuracy is limited by the forward-CDF polynomial used in the
+        // Halley refinement (~1e-7).
+        assert!((norm_ppf(0.5)).abs() < 1e-6);
+        assert!((norm_ppf(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((norm_ppf(0.841_344_746) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pdf_is_symmetric_and_peaked_at_zero() {
+        assert!((phi_pdf(1.3) - phi_pdf(-1.3)).abs() < 1e-15);
+        assert!(phi_pdf(0.0) > phi_pdf(0.1));
+        assert!((phi_pdf(0.0) - 0.398_942_280_4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1)")]
+    fn ppf_rejects_out_of_range() {
+        let _ = norm_ppf(1.0);
+    }
+}

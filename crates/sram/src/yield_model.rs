@@ -1,0 +1,173 @@
+//! Array-level yield analysis: from per-cell fault statistics to the
+//! probability that a whole SRAM array operates error-free at a voltage.
+//!
+//! This quantifies the paper's Fig. 1 landmarks: `V_1st-error` is where the
+//! expected failure count crosses one, and the *yield curve* `Y(v)` is the
+//! probability a die of `C` cells has no faulty cell at `v`:
+//!
+//! ```text
+//! Y(v) = (1 - F(v))^C ~= exp(-C * F(v))
+//! ```
+//!
+//! With SEC-DED, a die survives as long as no 72-bit word holds two or more
+//! faulty cells, which moves the yield wall down by a few tens of
+//! millivolts; with boosting, the wall moves by the full boost amount
+//! because the cells actually see the boosted rail. The module computes all
+//! three curves and the V_min each scheme achieves for a target yield.
+
+use crate::ecc::word_failure_probability;
+use crate::fault::{VminFaultModel, V_DATA_RETENTION};
+use dante_circuit::units::Volt;
+
+/// Yield of an unprotected array of `bits` cells at voltage `v`.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+#[must_use]
+pub fn array_yield(model: &VminFaultModel, v: Volt, bits: u64) -> f64 {
+    assert!(bits > 0, "array must have at least one cell");
+    let f = model.bit_error_rate(v);
+    // Use the log form to stay stable for huge arrays.
+    (bits as f64 * (1.0 - f).ln()).exp()
+}
+
+/// Yield of a SEC-DED-protected array of `words` 72-bit codewords at `v`
+/// (a die survives unless some word has >= 2 faulty cells).
+///
+/// # Panics
+///
+/// Panics if `words` is zero.
+#[must_use]
+pub fn array_yield_secded(model: &VminFaultModel, v: Volt, words: u64) -> f64 {
+    assert!(words > 0, "array must have at least one word");
+    let f = model.bit_error_rate(v);
+    let word_fail = word_failure_probability(f);
+    (words as f64 * (1.0 - word_fail).ln()).exp()
+}
+
+/// The minimum voltage at which an unprotected array of `bits` cells
+/// reaches `target_yield`, found by bisection over the operating range.
+///
+/// # Panics
+///
+/// Panics unless `target_yield` is in `(0, 1)` and `bits > 0`.
+#[must_use]
+pub fn vmin_for_yield(model: &VminFaultModel, target_yield: f64, bits: u64) -> Volt {
+    vmin_search(target_yield, |v| array_yield(model, v, bits))
+}
+
+/// The minimum voltage at which a SEC-DED-protected array of `words`
+/// codewords reaches `target_yield`.
+///
+/// # Panics
+///
+/// Panics unless `target_yield` is in `(0, 1)` and `words > 0`.
+#[must_use]
+pub fn vmin_for_yield_secded(model: &VminFaultModel, target_yield: f64, words: u64) -> Volt {
+    vmin_search(target_yield, |v| array_yield_secded(model, v, words))
+}
+
+fn vmin_search(target_yield: f64, yield_at: impl Fn(Volt) -> f64) -> Volt {
+    assert!(
+        target_yield > 0.0 && target_yield < 1.0,
+        "target yield must be in (0, 1)"
+    );
+    let mut lo = V_DATA_RETENTION;
+    let mut hi = Volt::new(0.90);
+    assert!(
+        yield_at(hi) >= target_yield,
+        "target yield unreachable even at {hi}"
+    );
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if yield_at(mid) >= target_yield {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MBIT_4: u64 = 4 * 1024 * 1024;
+
+    #[test]
+    fn yield_is_monotone_in_voltage_and_size() {
+        let m = VminFaultModel::default_14nm();
+        let y_low = array_yield(&m, Volt::new(0.50), MBIT_4);
+        let y_high = array_yield(&m, Volt::new(0.60), MBIT_4);
+        assert!(y_high > y_low);
+        let y_small = array_yield(&m, Volt::new(0.55), 32 * 1024);
+        let y_big = array_yield(&m, Volt::new(0.55), MBIT_4);
+        assert!(y_small > y_big, "bigger arrays yield worse");
+        assert!((0.0..=1.0).contains(&y_low));
+    }
+
+    #[test]
+    fn paper_test_chip_yields_at_0v6() {
+        // Sec. 3.3: the 4 Mbit macros chosen "have zero bit fails at 0.6 V".
+        let m = VminFaultModel::default_14nm();
+        assert!(array_yield(&m, Volt::new(0.60), MBIT_4) > 0.99);
+        // ...and essentially none of them works unprotected at 0.45 V.
+        assert!(array_yield(&m, Volt::new(0.45), MBIT_4) < 1e-6);
+    }
+
+    #[test]
+    fn secded_beats_unprotected_yield_everywhere() {
+        let m = VminFaultModel::default_14nm();
+        for mv in [480u32, 500, 520, 540, 560] {
+            let v = Volt::from_millivolts(f64::from(mv));
+            let plain = array_yield(&m, v, MBIT_4);
+            let ecc = array_yield_secded(&m, v, MBIT_4 / 64);
+            assert!(ecc >= plain, "at {v}: ecc {ecc} vs plain {plain}");
+        }
+    }
+
+    #[test]
+    fn ecc_vmin_shift_is_tens_of_millivolts() {
+        // The quantitative comparison the ablation rests on: SEC-DED moves
+        // the 99%-yield wall by ~20-60 mV; full boost moves the rail by
+        // ~150 mV at 0.4 V.
+        let m = VminFaultModel::default_14nm();
+        let plain = vmin_for_yield(&m, 0.99, MBIT_4);
+        let ecc = vmin_for_yield_secded(&m, 0.99, MBIT_4 / 64);
+        let shift = (plain - ecc).millivolts();
+        assert!(
+            (10.0..=80.0).contains(&shift),
+            "ECC V_min shift {shift:.1} mV outside the expected band (plain {plain}, ecc {ecc})"
+        );
+    }
+
+    #[test]
+    fn vmin_search_is_consistent_with_the_yield_curve() {
+        let m = VminFaultModel::default_14nm();
+        let v = vmin_for_yield(&m, 0.9, 32 * 1024);
+        assert!(array_yield(&m, v, 32 * 1024) >= 0.9);
+        assert!(array_yield(&m, v - Volt::from_millivolts(10.0), 32 * 1024) < 0.9);
+    }
+
+    #[test]
+    fn vmin_tracks_first_error_voltage() {
+        // V_min for ~37% yield (1/e) equals the voltage where the expected
+        // failure count is one — the V_1st-error of Fig. 1.
+        let m = VminFaultModel::default_14nm();
+        let v_yield = vmin_for_yield(&m, (-1.0f64).exp(), MBIT_4);
+        let v_first = m.v_first_error(MBIT_4);
+        assert!(
+            (v_yield - v_first).millivolts().abs() < 2.0,
+            "{v_yield} vs {v_first}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target yield must be in (0, 1)")]
+    fn bad_target_rejected() {
+        let m = VminFaultModel::default_14nm();
+        let _ = vmin_for_yield(&m, 1.0, 1024);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the SRAM fault models.
+
+use dante_circuit::units::Volt;
+use dante_sram::ber_fit::fit_vmin_model;
+use dante_sram::ecc;
+use dante_sram::fault::VminFaultModel;
+use dante_sram::geometry::{BankGeometry, MacroGeometry, MemoryGeometry};
+use dante_sram::math::{norm_ppf, phi_cdf, q_tail, q_tail_inv};
+use dante_sram::storage::FaultyMacro;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The BER curve is strictly decreasing in voltage.
+    #[test]
+    fn ber_monotone(mv in 300u32..640) {
+        let m = VminFaultModel::default_14nm();
+        let v = Volt::from_millivolts(f64::from(mv));
+        let hv = Volt::from_millivolts(f64::from(mv + 10));
+        prop_assert!(m.bit_error_rate(hv) < m.bit_error_rate(v));
+    }
+
+    /// voltage_for_ber and bit_error_rate are mutual inverses.
+    #[test]
+    fn ber_inverse_roundtrip(log_ber in -8.0f64..-0.31) {
+        let m = VminFaultModel::default_14nm();
+        let ber = 10f64.powf(log_ber);
+        let v = m.voltage_for_ber(ber);
+        let back = m.bit_error_rate(v);
+        prop_assert!((back - ber).abs() / ber < 1e-2, "ber {ber} -> {v} -> {back}");
+    }
+
+    /// Probit regression recovers arbitrary generating models from their
+    /// own noiseless curves.
+    #[test]
+    fn probit_fit_recovers_model(mu_mv in 340u32..420, sigma_mv in 20u32..80) {
+        let truth = VminFaultModel::new(
+            Volt::from_millivolts(f64::from(mu_mv)),
+            Volt::from_millivolts(f64::from(sigma_mv)),
+            0.5,
+        );
+        let points: Vec<_> = (0..10)
+            .map(|i| {
+                let v = Volt::from_millivolts(f64::from(mu_mv) - 40.0 + 14.0 * f64::from(i));
+                (v, truth.bit_error_rate(v).clamp(1e-12, 0.999_999))
+            })
+            .collect();
+        let fitted = fit_vmin_model(&points).expect("valid synthetic data");
+        prop_assert!((fitted.mu().volts() - truth.mu().volts()).abs() < 2e-3);
+        prop_assert!((fitted.sigma().volts() - truth.sigma().volts()).abs() < 2e-3);
+    }
+
+    /// Normal tail helpers are consistent: Q(Q^{-1}(p)) == p.
+    #[test]
+    fn tail_inverse_consistency(p in 1e-9f64..0.999) {
+        let z = q_tail_inv(p);
+        let back = q_tail(z);
+        prop_assert!((back - p).abs() / p < 2e-2, "p {p} z {z} back {back}");
+        // And the CDF/quantile pair agrees.
+        let z2 = norm_ppf(p);
+        prop_assert!((phi_cdf(z2) - p).abs() < 1e-5);
+    }
+
+    /// Memory address decode is a bijection onto (bank, word).
+    #[test]
+    fn address_decode_bijective(banks in 1usize..8, addr_frac in 0.0f64..1.0) {
+        let geom = MemoryGeometry::new(BankGeometry::dante_64kbit(), banks);
+        let addr = ((geom.words() - 1) as f64 * addr_frac) as usize;
+        let (bank, word) = geom.decode(addr);
+        prop_assert!(bank < banks);
+        prop_assert!(word < geom.bank_geometry().words());
+        prop_assert_eq!(bank * geom.bank_geometry().words() + word, addr);
+    }
+
+    /// Data written to a fault-free macro reads back exactly, for any
+    /// geometry and pattern.
+    #[test]
+    fn fault_free_storage_roundtrip(
+        words_log2 in 2u32..9,
+        bits in 8usize..=64,
+        pattern in any::<u64>(),
+    ) {
+        let geom = MacroGeometry::new(1 << words_log2, bits);
+        let mut m = FaultyMacro::fault_free(geom);
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        for w in 0..geom.words() {
+            m.write(w, pattern.rotate_left(w as u32));
+        }
+        for w in 0..geom.words() {
+            prop_assert_eq!(m.read(w, Volt::new(0.3)), pattern.rotate_left(w as u32) & mask);
+        }
+    }
+
+    /// SEC-DED corrects any single flip of any codeword.
+    #[test]
+    fn secded_single_correction(data in any::<u64>(), pos in 0u32..72) {
+        let cw = ecc::encode(data);
+        let (back, corr) = ecc::decode(cw.with_flip(pos));
+        prop_assert_eq!(back, data);
+        prop_assert_eq!(corr, ecc::Correction::Corrected { position: pos });
+    }
+
+    /// SEC-DED detects any double flip without silently corrupting.
+    #[test]
+    fn secded_double_detection(data in any::<u64>(), a in 0u32..72, b in 0u32..72) {
+        prop_assume!(a != b);
+        let cw = ecc::encode(data);
+        let (_, corr) = ecc::decode(cw.with_flip(a).with_flip(b));
+        prop_assert_eq!(corr, ecc::Correction::Uncorrectable);
+    }
+
+    /// Empirical die BER tracks the analytic model within binomial noise.
+    #[test]
+    fn die_ber_tracks_model(seed in 0u64..100) {
+        let model = VminFaultModel::default_14nm();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let field = dante_sram::fault_map::VminField::generate(50_000, &model, &mut rng);
+        let v = Volt::new(0.40);
+        let analytic = model.bit_error_rate(v);
+        let empirical = field.empirical_ber(v);
+        let sigma = (analytic * (1.0 - analytic) / 50_000.0).sqrt();
+        prop_assert!((empirical - analytic).abs() < 6.0 * sigma + 1e-4);
+    }
+}

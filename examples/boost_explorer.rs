@@ -1,0 +1,76 @@
+//! Circuit-level boost explorer: the booster's transient waveform, voltage
+//! ladder, MIM-vs-no-MIM comparison, and access-latency effects
+//! (Figs. 4, 6, 8, 9 in one interactive tour).
+//!
+//! Run with: `cargo run --release --example boost_explorer`
+
+use dante_circuit::booster::{reference, BoostScope, BoosterBank};
+use dante_circuit::latency::SramTiming;
+use dante_circuit::transient::TransientSim;
+use dante_circuit::units::{Second, Volt};
+
+fn main() {
+    let vdd = Volt::new(0.4);
+    let bank = BoosterBank::standard();
+
+    println!("== voltage ladder (Eq. 1) at Vdd = {vdd:.2} ==");
+    for (level, v) in bank.voltage_ladder(vdd).iter().enumerate() {
+        let bar = "#".repeat((v.volts() * 80.0) as usize);
+        println!("level {level}: {v:.3}  {bar}");
+    }
+
+    println!("\n== transient staircase (Fig. 4): ASCII Vddv(t) ==");
+    let sim = TransientSim::new(bank.clone(), vdd, Second::from_nanoseconds(20.0), 16);
+    let wave = sim.level_staircase(3);
+    for (i, &(_, v)) in wave.samples().iter().enumerate() {
+        if i % 8 == 0 {
+            let cols = ((v.volts() - 0.38) * 250.0).max(0.0) as usize;
+            println!("{:>6.1} ns |{}*", i as f64 * 20.0 / 16.0, " ".repeat(cols));
+        }
+    }
+
+    println!("\n== MIM vs no-MIM (Fig. 6) at Vdd = {vdd:.2} ==");
+    let configs = [
+        ("MIMBoost-A   ", reference::mim_boost_a()),
+        ("noMIMBoost-A ", reference::no_mim_boost_a()),
+        ("MIMBoost-B   ", reference::mim_boost_b()),
+        ("noMIMBoost-B ", reference::no_mim_boost_b()),
+    ];
+    println!("{:>14} {:>10} {:>12} {:>12}", "config", "Vb [mV]", "E [pJ]", "area [um^2]");
+    for (name, cfg) in &configs {
+        println!(
+            "{:>14} {:>10.1} {:>12.3} {:>12.0}",
+            name.trim(),
+            cfg.boost_amount(vdd, 1).millivolts(),
+            cfg.boost_event_energy(vdd, 1).picojoules(),
+            cfg.area().square_microns()
+        );
+    }
+
+    println!("\n== access latency under boosting (Figs. 7/9) ==");
+    let timing = SramTiming::macro_32kbit();
+    println!("{:>6} {:>12} {:>16} {:>16}", "Vdd", "unboosted", "array boost L4", "macro boost L4");
+    for mv in (50..=80).step_by(5) {
+        let v = Volt::new(f64::from(mv) / 100.0);
+        println!(
+            "{:>6.2} {:>12.3} {:>16.3} {:>16.3}",
+            v.volts(),
+            timing.normalized_access(v),
+            timing.normalized_access(v)
+                * timing.boosted_access_fraction(v, &bank, 4, BoostScope::Array),
+            timing.normalized_access(v)
+                * timing.boosted_access_fraction(v, &bank, 4, BoostScope::Macro),
+        );
+    }
+    println!("\n(latencies normalized to the nominal-voltage access time)");
+
+    println!("\n== finer granularity (Sec. 6.3: '>4 boost levels') ==");
+    for p in [4usize, 8, 16] {
+        let fine = BoosterBank::with_levels(p);
+        let step = (fine.boosted_voltage(vdd, p) - fine.boosted_voltage(vdd, p - 1)).millivolts();
+        println!(
+            "{p:>3} levels: peak {:.3}, finest step {step:.1} mV",
+            fine.boosted_voltage(vdd, p)
+        );
+    }
+}

@@ -1,0 +1,1 @@
+//! Umbrella crate: see the member crates for the library itself.

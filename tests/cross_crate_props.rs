@@ -1,0 +1,180 @@
+//! Property-based tests spanning crate boundaries: the invariants that hold
+//! the reproduction together.
+
+use dante::schedule::BoostPlan;
+use dante_circuit::booster::BoosterBank;
+use dante_circuit::units::Volt;
+use dante_dataflow::activity::{LayerActivity, WorkloadActivity};
+use dante_energy::supply::{BoostedGroup, EnergyModel};
+use dante_nn::quant::ScaledQuantizer;
+use dante_sram::fault::VminFaultModel;
+use dante_sram::storage::FaultOverlay;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fault masks are inclusive: every cell faulty at a higher voltage is
+    /// also faulty at any lower voltage, for arbitrary die seeds.
+    #[test]
+    fn fault_masks_inclusive(seed in 0u64..1000, lo_mv in 300u32..450, delta_mv in 1u32..150) {
+        let model = VminFaultModel::default_14nm();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let field = dante_sram::fault_map::VminField::generate(4096, &model, &mut rng);
+        let lo = Volt::from_millivolts(f64::from(lo_mv));
+        let hi = Volt::from_millivolts(f64::from(lo_mv + delta_mv));
+        prop_assert!(field.fault_mask(lo).is_superset_of(&field.fault_mask(hi)));
+    }
+
+    /// Boost voltage is monotonic in both level and supply voltage.
+    #[test]
+    fn boost_monotonic(mv in 320u32..780, level in 0usize..4) {
+        let bank = BoosterBank::standard();
+        let v = Volt::from_millivolts(f64::from(mv));
+        let dv = Volt::from_millivolts(f64::from(mv + 20));
+        prop_assert!(bank.boosted_voltage(v, level + 1) > bank.boosted_voltage(v, level));
+        prop_assert!(bank.boosted_voltage(dv, level) > bank.boosted_voltage(v, level));
+    }
+
+    /// Quantization round-trips within half a step for arbitrary tensors.
+    #[test]
+    fn scaled_quant_round_trip(values in prop::collection::vec(-3.0f32..3.0, 1..200)) {
+        let q = ScaledQuantizer::weight_default();
+        let t = q.quantize(&values);
+        let back = t.to_f32();
+        for (v, b) in values.iter().zip(&back) {
+            prop_assert!((v - b).abs() <= t.scale() * 0.5 + 1e-6);
+        }
+        // Packing round-trips exactly.
+        let mut t2 = t.clone();
+        t2.load_packed_words(&t.to_packed_words());
+        prop_assert_eq!(t, t2);
+    }
+
+    /// A fault overlay applied twice cancels (XOR), and its flip count at a
+    /// safe voltage is zero.
+    #[test]
+    fn overlay_is_involutive(seed in 0u64..1000, mv in 320u32..560) {
+        let model = VminFaultModel::default_14nm();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let overlay = FaultOverlay::generate(2048, &model, &mut rng);
+        let v = Volt::from_millivolts(f64::from(mv));
+        let mut image: Vec<u64> =
+            (0..32).map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let original = image.clone();
+        overlay.apply(&mut image, v);
+        overlay.apply(&mut image, v);
+        prop_assert_eq!(image, original);
+        prop_assert_eq!(overlay.flip_count(Volt::new(0.65)), 0);
+    }
+
+    /// Dynamic energies are monotone in voltage and counts, and boosted
+    /// level-0 equals single supply.
+    #[test]
+    fn energy_monotonicity(
+        mv in 340u32..500,
+        accesses in 1u64..1_000_000,
+        macs in 1u64..10_000_000,
+    ) {
+        let m = EnergyModel::dante_chip();
+        let v = Volt::from_millivolts(f64::from(mv));
+        let hv = Volt::from_millivolts(f64::from(mv + 40));
+        prop_assert!(m.dynamic_single(hv, accesses, macs) > m.dynamic_single(v, accesses, macs));
+        prop_assert!(
+            m.dynamic_single(v, accesses + 1, macs) > m.dynamic_single(v, accesses, macs)
+        );
+        let single = m.dynamic_single(v, accesses, macs);
+        let boosted0 = m.dynamic_boosted(v, &[BoostedGroup { accesses, level: 0 }], macs);
+        prop_assert!((single.joules() - boosted0.joules()).abs() / single.joules() < 1e-9);
+        // Dual supply with equal rails costs at least as much as single (LDO
+        // current-efficiency loss).
+        let dual = m.dynamic_dual(v, v, accesses, macs);
+        prop_assert!(dual >= single);
+    }
+
+    /// BoostPlan group splitting partitions the workload's accesses exactly,
+    /// for arbitrary level assignments.
+    #[test]
+    fn plan_groups_partition_accesses(
+        levels in prop::collection::vec(0usize..=4, 1..6),
+        input_level in 0usize..=4,
+    ) {
+        let layers: Vec<LayerActivity> = levels
+            .iter()
+            .enumerate()
+            .map(|(i, _)| LayerActivity {
+                layer: i,
+                macs: 1000 + i as u64,
+                weight_accesses: 500 + 7 * i as u64,
+                input_accesses: 100 + 3 * i as u64,
+                output_accesses: 10 + i as u64,
+            })
+            .collect();
+        let activity = WorkloadActivity::new("prop", layers);
+        let plan = BoostPlan::new(levels, input_level);
+        let groups = plan.boosted_groups(&activity);
+        let total: u64 = groups.iter().map(|g| g.accesses).sum();
+        prop_assert_eq!(total, activity.total_sram_accesses());
+        // No duplicate levels in the group list.
+        for (i, a) in groups.iter().enumerate() {
+            for b in &groups[i + 1..] {
+                prop_assert_ne!(a.level, b.level);
+            }
+        }
+    }
+
+    /// ISA instructions round-trip through their 64-bit encoding.
+    #[test]
+    fn isa_round_trip(
+        bank in 0u8..32,
+        config in 0u8..16,
+        dst in 0u32..100_000,
+        words in 0u32..10_000,
+    ) {
+        use dante_accel::isa::{Instruction, MemoryId};
+        for instr in [
+            Instruction::SetBoostConfig { mem: MemoryId::Weight, bank, config },
+            Instruction::SetBoostConfig { mem: MemoryId::Input, bank, config },
+            Instruction::LoadWeights { dst_word: dst, words },
+            Instruction::LoadInputs { dst_word: dst, words },
+            Instruction::Halt,
+        ] {
+            prop_assert_eq!(Instruction::decode(instr.encode()), Ok(instr));
+        }
+    }
+
+    /// The LDO efficiency formula stays in (0, 1] and degrades with dropout.
+    #[test]
+    fn ldo_efficiency_bounds(lo_mv in 300u32..700, drop_mv in 0u32..300) {
+        let ldo = dante_circuit::ldo::Ldo::new();
+        let v_l = Volt::from_millivolts(f64::from(lo_mv));
+        let v_h = Volt::from_millivolts(f64::from(lo_mv + drop_mv));
+        let eta = ldo.efficiency(v_l, v_h);
+        prop_assert!(eta > 0.0 && eta <= 0.99 + 1e-12);
+        if drop_mv > 0 {
+            prop_assert!(eta < ldo.efficiency(v_h, v_h));
+        }
+    }
+}
+
+/// Statistical property (not proptest-random): the empirical flip rate of
+/// the full overlay pipeline matches the analytic `BER * p_flip` model.
+#[test]
+fn overlay_flip_rate_matches_analytic_model() {
+    let model = VminFaultModel::default_14nm();
+    let mut rng = StdRng::seed_from_u64(42);
+    let bits = 400_000;
+    let overlay = FaultOverlay::generate(bits, &model, &mut rng);
+    for mv in [380u32, 420, 440] {
+        let v = Volt::from_millivolts(f64::from(mv));
+        let expected = model.bit_flip_rate(v) * bits as f64;
+        let got = overlay.flip_count(v) as f64;
+        let tol = 5.0 * expected.sqrt() + 10.0;
+        assert!(
+            (got - expected).abs() < tol,
+            "at {v}: {got} flips vs expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Integration checks for the extension studies (DESIGN.md Sec. 6):
+//! ECC-vs-boost, yield analysis, boost granularity, dataflow sensitivity,
+//! and multi-context programmability.
+
+use dante_circuit::booster::BoosterBank;
+use dante_circuit::units::Volt;
+use dante_dataflow::activity::Dataflow;
+use dante_dataflow::baselines::{NoLocalReuseDataflow, WeightStationaryDataflow};
+use dante_dataflow::row_stationary::RowStationaryDataflow;
+use dante_dataflow::workloads::alexnet_conv;
+use dante_energy::supply::{BoostedGroup, EnergyModel};
+use dante_sram::fault::VminFaultModel;
+use dante_sram::yield_model::{vmin_for_yield, vmin_for_yield_secded};
+
+#[test]
+fn ecc_buys_tens_of_millivolts_boosting_buys_hundreds() {
+    let model = VminFaultModel::default_14nm();
+    const MBIT_4: u64 = 4 << 20;
+    let plain_vmin = vmin_for_yield(&model, 0.99, MBIT_4);
+    let ecc_vmin = vmin_for_yield_secded(&model, 0.99, MBIT_4 / 64);
+    let ecc_gain = (plain_vmin - ecc_vmin).millivolts();
+
+    // Boosting keeps the array at `plain_vmin` while the chip supply drops
+    // to the voltage whose full-boost rail still reaches it.
+    let booster = BoosterBank::standard();
+    let mut boosted_supply = plain_vmin;
+    for mv in (300..=600).rev().map(f64::from) {
+        let v = Volt::from_millivolts(mv);
+        if booster.boosted_voltage(v, 4) >= plain_vmin {
+            boosted_supply = v;
+        }
+    }
+    let boost_gain = (plain_vmin - boosted_supply).millivolts();
+
+    assert!((10.0..=80.0).contains(&ecc_gain), "ECC gain {ecc_gain:.0} mV");
+    assert!(boost_gain > 120.0, "boost gain {boost_gain:.0} mV");
+    assert!(boost_gain > 3.0 * ecc_gain, "boosting must dominate ECC");
+}
+
+#[test]
+fn finer_boost_levels_monotonically_reduce_iso_accuracy_energy() {
+    let target = Volt::new(0.48);
+    let activity = RowStationaryDataflow::new().activity(&alexnet_conv());
+    let accesses = activity.total_sram_accesses();
+    let macs = activity.total_macs();
+
+    let mean_energy = |p: usize| -> f64 {
+        let bank = BoosterBank::with_levels(p);
+        let model = EnergyModel::new(
+            dante_energy::params::EnergyParams::dante_chip(),
+            bank.clone(),
+            dante_circuit::ldo::Ldo::new(),
+        );
+        let mut total = 0.0;
+        let mut n = 0;
+        for mv in (340..=460).step_by(20) {
+            let vdd = Volt::from_millivolts(f64::from(mv));
+            if let Some(level) = bank.min_level_reaching(vdd, target) {
+                total += model
+                    .dynamic_boosted(vdd, &[BoostedGroup { accesses, level }], macs)
+                    .joules();
+                n += 1;
+            }
+        }
+        total / f64::from(n)
+    };
+
+    let e2 = mean_energy(2);
+    let e4 = mean_energy(4);
+    let e16 = mean_energy(16);
+    assert!(e4 <= e2 + 1e-18, "4 levels {e4} vs 2 levels {e2}");
+    assert!(e16 <= e4 + 1e-18, "16 levels {e16} vs 4 levels {e4}");
+    assert!(1.0 - e16 / e2 > 0.01, "granularity must save >1% ({e2} -> {e16})");
+}
+
+#[test]
+fn boost_advantage_collapses_without_dataflow_reuse() {
+    let m = EnergyModel::dante_chip();
+    let wl = alexnet_conv();
+    let vdd = Volt::new(0.40);
+    let vddv = m.vddv(vdd, 4);
+    let savings = |activity: &dante_dataflow::activity::WorkloadActivity| -> f64 {
+        let acc = activity.total_sram_accesses();
+        let macs = activity.total_macs();
+        let boost =
+            m.dynamic_boosted(vdd, &[BoostedGroup { accesses: acc, level: 4 }], macs);
+        let dual = m.dynamic_dual(vddv, vdd, acc, macs);
+        1.0 - boost.joules() / dual.joules()
+    };
+    let rs = savings(&RowStationaryDataflow::new().activity(&wl));
+    let ws = savings(&WeightStationaryDataflow::new().activity(&wl));
+    let nlr = savings(&NoLocalReuseDataflow::new().activity(&wl));
+    assert!(rs > 0.25, "RS savings {rs}");
+    assert!(ws > 0.2 && ws < rs, "WS savings {ws}");
+    assert!(nlr < 0.05, "NLR savings {nlr} — boosting should not win without reuse");
+}
+
+#[test]
+fn secded_codec_protects_a_real_memory_image() {
+    // End-to-end ECC: encode a block, flip one bit per word via a fault
+    // overlay at a moderate voltage, decode, and verify full recovery.
+    use dante_sram::ecc::{decode, encode, Correction};
+    let data: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    let mut corrected = 0;
+    for (i, &d) in data.iter().enumerate() {
+        let cw = encode(d);
+        let corrupted = cw.with_flip((i % 72) as u32);
+        let (back, what) = decode(corrupted);
+        assert_eq!(back, d, "word {i} not recovered");
+        assert!(matches!(what, Correction::Corrected { .. }));
+        corrected += 1;
+    }
+    assert_eq!(corrected, 64);
+}
+
+#[test]
+fn energy_breakdown_explains_where_boosting_wins() {
+    // Cross-check the breakdown module against the paper's narrative:
+    // boosting's extra SRAM+booster cost is far smaller than the logic
+    // energy the dual-supply baseline wastes in the LDO.
+    let m = EnergyModel::dante_chip();
+    let vdd = Volt::new(0.40);
+    let vddv = m.vddv(vdd, 4);
+    let activity = RowStationaryDataflow::new().activity(&alexnet_conv());
+    let acc = activity.total_sram_accesses();
+    let macs = activity.total_macs();
+
+    let boosted = m.breakdown_boosted(vdd, &[BoostedGroup { accesses: acc, level: 4 }], macs);
+    let dual = m.breakdown_dual(vddv, vdd, acc, macs);
+
+    let boost_overhead = boosted.booster.joules();
+    let ldo_waste = dual.logic.joules() - m.params().e_pe(vdd).joules() * macs as f64;
+    assert!(
+        ldo_waste > 10.0 * boost_overhead,
+        "LDO waste {ldo_waste:.3e} J should dwarf booster overhead {boost_overhead:.3e} J"
+    );
+    // Logic dominates the boosted conv budget (the reuse makes memory cheap).
+    assert!(boosted.logic_fraction() > 0.8);
+}

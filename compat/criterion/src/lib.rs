@@ -1,0 +1,169 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this crate provides the
+//! minimal API the workspace's `harness = false` benches use: [`Criterion`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Timing is plain wall clock: each bench runs one warm-up
+//! iteration plus `sample_size` measured iterations and prints
+//! mean/min/max. There are no statistical comparisons, plots, or saved
+//! baselines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing callback target.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once to warm up, then `sample_size` measured times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let summary = summarize(&b.samples);
+        println!("bench {}/{id}: {summary}", self.name);
+        self
+    }
+
+    /// Ends the group (formatting parity with criterion; no-op here).
+    pub fn finish(self) {}
+}
+
+fn summarize(samples: &[Duration]) -> String {
+    if samples.is_empty() {
+        return "no samples (iter was never called)".into();
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    format!(
+        "mean {} min {} max {} ({} samples)",
+        format_duration(mean),
+        format_duration(*min),
+        format_duration(*max),
+        samples.len()
+    )
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The bench context handed to every registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group (default 10 samples per bench).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles bench functions into one runner (`criterion_group!(name, f, g)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (`criterion_main!(name)`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("compat");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_function("count_runs", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_warmup_plus_samples() {
+        benches();
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert!(format_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(2)).contains(" s"));
+        assert!(summarize(&[]).contains("no samples"));
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this crate implements
+//! the subset of the proptest 1.x API the workspace's property tests use:
+//! the [`proptest!`] macro, range/`any`/`collection::vec` strategies, the
+//! `prop_assert*` macros, and [`ProptestConfig::with_cases`]. Inputs are
+//! drawn from a generator seeded deterministically from the test name, so
+//! failures reproduce run-to-run. There is **no shrinking**: a failing case
+//! reports the panic from the raw drawn inputs.
+
+#![warn(missing_docs)]
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The deterministic input generator behind the runner.
+pub mod test_runner {
+    /// SplitMix64-based generator used to draw test inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from the FNV-1a hash of `name`, so every test
+        /// gets its own reproducible stream.
+        #[must_use]
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: h }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A float uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// A uniform index in `[0, bound)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `bound` is zero.
+        pub fn index(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot sample an empty range");
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Strategies: how test inputs are drawn.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for drawing values of one type.
+    pub trait Strategy {
+        /// The value type produced.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.index(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.index(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    lo + (hi - lo) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+    impl_float_range!(f32, f64);
+
+    /// Strategy returned by [`crate::arbitrary::any`]: the full value range
+    /// of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        pub(crate) _marker: core::marker::PhantomData<T>,
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            // Finite floats only: uniform sign/magnitude over a wide range.
+            (rng.unit_f64() - 0.5) * 2e6
+        }
+    }
+
+    impl Strategy for Any<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            ((rng.unit_f64() - 0.5) * 2e6) as f32
+        }
+    }
+}
+
+/// `any::<T>()` strategies.
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// A strategy over `T`'s full value range.
+    #[must_use]
+    pub fn any<T>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive size range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for a `Vec` of values drawn from `element`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec<S::Value>` strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.lo + rng.index((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when the precondition does not hold. Inside
+/// [`proptest!`] the body sits directly in the case loop, so this is a
+/// plain `continue` (the skipped case still counts toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` drawing `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Integer range strategies stay in bounds.
+        #[test]
+        fn int_ranges_in_bounds(a in 3u32..9, b in -5i16..=5, c in 0usize..4) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!(c < 4);
+        }
+
+        /// Float strategies stay in bounds.
+        #[test]
+        fn float_ranges_in_bounds(x in -2.5f32..2.5, y in 0.0f64..1.0) {
+            prop_assert!((-2.5..2.5).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        /// Vec strategies honor the size range.
+        #[test]
+        fn vec_sizes_in_bounds(v in prop::collection::vec(0u8..=255, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+        }
+
+        /// `any` draws the full range without panicking.
+        #[test]
+        fn any_is_total(x in any::<u64>(), y in any::<i16>()) {
+            prop_assert_eq!(x, x);
+            let _ = y;
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    // Trailing comma + default config (no `#![proptest_config]` header).
+    proptest! {
+        #[test]
+        fn trailing_comma_and_default_config_accepted(v in 0u8..10,) {
+            prop_assert!(v < 10);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for the `rand_distr` crate (see the in-workspace `rand`
+//! stand-in for the rationale). Implements the one distribution the
+//! workspace samples: [`Normal`], via the Box–Muller transform.
+
+#![warn(missing_docs)]
+
+use rand::{Rng, RngCore};
+
+/// A distribution samplable through any [`Rng`] (the
+/// `rand_distr::Distribution` equivalent).
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev^2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `std_dev` is negative or non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms -> one standard normal (the sine twin is
+        // discarded so sampling stays stateless).
+        let u1: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn moments_match() {
+        let normal = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.02, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn tail_mass_is_gaussian() {
+        // P(Z > 2 sigma) ~ 2.275%.
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 100_000;
+        let tail = (0..n).filter(|_| normal.sample(&mut rng) > 2.0).count();
+        let frac = tail as f64 / f64::from(n);
+        assert!((frac - 0.02275).abs() < 0.003, "tail fraction {frac}");
+    }
+}

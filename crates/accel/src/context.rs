@@ -45,7 +45,11 @@ impl Context {
             program.weight_layer_count(),
             "schedule must cover every weight-bearing program layer"
         );
-        Self { name: name.into(), program, schedule }
+        Self {
+            name: name.into(),
+            program,
+            schedule,
+        }
     }
 
     /// Context name.
@@ -99,7 +103,12 @@ impl MultiContextDante {
     /// Wraps an accelerator for multi-context service.
     #[must_use]
     pub fn new(dante: Dante) -> Self {
-        Self { dante, contexts: Vec::new(), last: None, stats: ContextStats::default() }
+        Self {
+            dante,
+            contexts: Vec::new(),
+            last: None,
+            stats: ContextStats::default(),
+        }
     }
 
     /// Registers a context, returning its id.
@@ -140,7 +149,11 @@ impl MultiContextDante {
     /// the context's program.
     pub fn serve(&mut self, request: &Request) -> InferenceResult {
         let ContextId(idx) = request.context;
-        assert!(idx < self.contexts.len(), "unknown context {}", request.context);
+        assert!(
+            idx < self.contexts.len(),
+            "unknown context {}",
+            request.context
+        );
         if self.last != Some(request.context) {
             if self.last.is_some() {
                 self.stats.switches += 1;
@@ -149,7 +162,8 @@ impl MultiContextDante {
         }
         self.stats.requests += 1;
         let ctx = &self.contexts[idx];
-        self.dante.run(ctx.program(), ctx.schedule(), &request.sample)
+        self.dante
+            .run(ctx.program(), ctx.schedule(), &request.sample)
     }
 
     /// Serves a whole request queue in order, returning one result per
@@ -212,9 +226,18 @@ mod tests {
         let sample_a: Vec<f32> = (0..12).map(|i| (i as f32 * 0.3).cos().abs()).collect();
         let sample_b: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).sin().abs()).collect();
 
-        let solo = multi.serve(&Request { context: a, sample: sample_a.clone() });
-        let _ = multi.serve(&Request { context: b, sample: sample_b.clone() });
-        let interleaved = multi.serve(&Request { context: a, sample: sample_a });
+        let solo = multi.serve(&Request {
+            context: a,
+            sample: sample_a.clone(),
+        });
+        let _ = multi.serve(&Request {
+            context: b,
+            sample: sample_b.clone(),
+        });
+        let interleaved = multi.serve(&Request {
+            context: a,
+            sample: sample_a,
+        });
         assert_eq!(solo, interleaved);
         assert_eq!(multi.contexts(), 2);
     }
@@ -222,14 +245,34 @@ mod tests {
     #[test]
     fn switches_are_counted_only_on_context_change() {
         let mut multi = host(0.45);
-        let a = multi.register(Context::new("a", program(3, 8), BoostSchedule::uniform(2, 2, 2)));
-        let b = multi.register(Context::new("b", program(4, 8), BoostSchedule::uniform(0, 2, 0)));
+        let a = multi.register(Context::new(
+            "a",
+            program(3, 8),
+            BoostSchedule::uniform(2, 2, 2),
+        ));
+        let b = multi.register(Context::new(
+            "b",
+            program(4, 8),
+            BoostSchedule::uniform(0, 2, 0),
+        ));
         let s = vec![0.5f32; 8];
         let requests = vec![
-            Request { context: a, sample: s.clone() },
-            Request { context: a, sample: s.clone() },
-            Request { context: b, sample: s.clone() },
-            Request { context: a, sample: s.clone() },
+            Request {
+                context: a,
+                sample: s.clone(),
+            },
+            Request {
+                context: a,
+                sample: s.clone(),
+            },
+            Request {
+                context: b,
+                sample: s.clone(),
+            },
+            Request {
+                context: a,
+                sample: s.clone(),
+            },
         ];
         let results = multi.serve_all(&requests);
         assert_eq!(results.len(), 4);
@@ -240,11 +283,25 @@ mod tests {
     #[test]
     fn per_context_schedules_hit_different_boost_levels() {
         let mut multi = host(0.40);
-        let a = multi.register(Context::new("hi", program(5, 8), BoostSchedule::uniform(4, 2, 2)));
-        let b = multi.register(Context::new("lo", program(6, 8), BoostSchedule::uniform(1, 2, 2)));
+        let a = multi.register(Context::new(
+            "hi",
+            program(5, 8),
+            BoostSchedule::uniform(4, 2, 2),
+        ));
+        let b = multi.register(Context::new(
+            "lo",
+            program(6, 8),
+            BoostSchedule::uniform(1, 2, 2),
+        ));
         let s = vec![0.25f32; 8];
-        let _ = multi.serve(&Request { context: a, sample: s.clone() });
-        let _ = multi.serve(&Request { context: b, sample: s });
+        let _ = multi.serve(&Request {
+            context: a,
+            sample: s.clone(),
+        });
+        let _ = multi.serve(&Request {
+            context: b,
+            sample: s,
+        });
         let per_level = multi.dante().weight_stats().accesses_per_level();
         assert!(per_level[4] > 0, "context A's accesses at level 4");
         assert!(per_level[1] > 0, "context B's accesses at level 1");
@@ -254,6 +311,9 @@ mod tests {
     #[should_panic(expected = "unknown context")]
     fn unknown_context_rejected() {
         let mut multi = host(0.45);
-        let _ = multi.serve(&Request { context: ContextId(3), sample: vec![] });
+        let _ = multi.serve(&Request {
+            context: ContextId(3),
+            sample: vec![],
+        });
     }
 }

@@ -35,7 +35,10 @@ impl BoostSchedule {
     #[must_use]
     pub fn uniform(level: usize, layers: usize, input_level: usize) -> Self {
         assert!(layers > 0, "schedule needs at least one layer");
-        Self { weight_levels: vec![level; layers], input_level }
+        Self {
+            weight_levels: vec![level; layers],
+            input_level,
+        }
     }
 
     /// Explicit per-layer weight levels (the paper's `Boost_diff`
@@ -46,8 +49,14 @@ impl BoostSchedule {
     /// Panics if `weight_levels` is empty.
     #[must_use]
     pub fn per_layer(weight_levels: Vec<usize>, input_level: usize) -> Self {
-        assert!(!weight_levels.is_empty(), "schedule needs at least one layer");
-        Self { weight_levels, input_level }
+        assert!(
+            !weight_levels.is_empty(),
+            "schedule needs at least one layer"
+        );
+        Self {
+            weight_levels,
+            input_level,
+        }
     }
 
     /// Weight boost level of layer `l`.
@@ -125,7 +134,12 @@ impl Dante {
         let booster = chip.booster();
         let weight_mem = BoostedMemory::new(chip.weight_memory, booster.clone(), model, vdd, rng);
         let input_mem = BoostedMemory::new(chip.input_memory, booster, model, vdd, rng);
-        Self { chip, weight_mem, input_mem, stats: ExecStats::default() }
+        Self {
+            chip,
+            weight_mem,
+            input_mem,
+            stats: ExecStats::default(),
+        }
     }
 
     /// Creates an ideal fault-free accelerator (reference runs).
@@ -134,7 +148,12 @@ impl Dante {
         let booster = chip.booster();
         let weight_mem = BoostedMemory::fault_free(chip.weight_memory, booster.clone(), vdd);
         let input_mem = BoostedMemory::fault_free(chip.input_memory, booster, vdd);
-        Self { chip, weight_mem, input_mem, stats: ExecStats::default() }
+        Self {
+            chip,
+            weight_mem,
+            input_mem,
+            stats: ExecStats::default(),
+        }
     }
 
     /// The chip configuration.
@@ -255,7 +274,10 @@ impl Dante {
     ) -> Vec<i16> {
         let words_per_row = layer.words_per_row();
         let rows_per_tile = (self.weight_mem.words() / words_per_row).min(layer.out_len());
-        assert!(rows_per_tile > 0, "layer row exceeds weight memory capacity");
+        assert!(
+            rows_per_tile > 0,
+            "layer row exceeds weight memory capacity"
+        );
         let (m, s) = layer.requant();
         let codes = layer.weights().codes();
 
@@ -270,8 +292,10 @@ impl Dante {
             });
             for r in 0..tile_rows {
                 let base = (row + r) * layer.in_len();
-                let word_codes: Vec<i16> =
-                    codes[base..base + layer.in_len()].iter().map(|&c| c as i16).collect();
+                let word_codes: Vec<i16> = codes[base..base + layer.in_len()]
+                    .iter()
+                    .map(|&c| c as i16)
+                    .collect();
                 self.write_codes(MemoryId::Weight, r * words_per_row, &word_codes);
             }
             // Compute the tile.
@@ -307,7 +331,10 @@ impl Dante {
         let row_len = conv.row_len();
         let channels = conv.out_channels();
         let rows_per_tile = (self.weight_mem.words() / words_per_row).min(channels);
-        assert!(rows_per_tile > 0, "filter row exceeds weight memory capacity");
+        assert!(
+            rows_per_tile > 0,
+            "filter row exceeds weight memory capacity"
+        );
         let (m, s) = conv.requant();
         let codes = conv.weights().codes();
         let (c_in, h, w) = conv.in_shape();
@@ -324,8 +351,10 @@ impl Dante {
             });
             for r in 0..tile_rows {
                 let base = (ch + r) * row_len;
-                let word_codes: Vec<i16> =
-                    codes[base..base + row_len].iter().map(|&c| c as i16).collect();
+                let word_codes: Vec<i16> = codes[base..base + row_len]
+                    .iter()
+                    .map(|&c| c as i16)
+                    .collect();
                 self.write_codes(MemoryId::Weight, r * words_per_row, &word_codes);
             }
             self.issue(Instruction::FcTile {
@@ -405,7 +434,12 @@ impl Dante {
     /// layers, a boost level exceeds the chip's, the sample length
     /// mismatches the program, or an activation volume exceeds an
     /// input-memory region.
-    pub fn run(&mut self, program: &Program, schedule: &BoostSchedule, sample: &[f32]) -> InferenceResult {
+    pub fn run(
+        &mut self,
+        program: &Program,
+        schedule: &BoostSchedule,
+        sample: &[f32],
+    ) -> InferenceResult {
         assert_eq!(
             schedule.layers(),
             program.weight_layer_count(),
@@ -464,7 +498,10 @@ impl Dante {
         self.issue(Instruction::Halt);
 
         let out_scale = program.logit_scale();
-        let logits: Vec<f32> = out_codes.iter().map(|&c| f32::from(c) * out_scale).collect();
+        let logits: Vec<f32> = out_codes
+            .iter()
+            .map(|&c| f32::from(c) * out_scale)
+            .collect();
         let prediction = logits
             .iter()
             .enumerate()
@@ -473,10 +510,13 @@ impl Dante {
             .expect("non-empty logits");
 
         let mem_accesses = self.weight_mem.stats().total() + self.input_mem.stats().total();
-        self.stats.cycles =
-            mem_accesses + self.stats.macs.div_ceil(self.chip.pe_count as u64);
+        self.stats.cycles = mem_accesses + self.stats.macs.div_ceil(self.chip.pe_count as u64);
 
-        InferenceResult { codes: out_codes, logits, prediction }
+        InferenceResult {
+            codes: out_codes,
+            logits,
+            prediction,
+        }
     }
 
     /// Runs a batch of samples, returning one result per sample.
@@ -516,7 +556,11 @@ impl Dante {
         labels: &[u8],
     ) -> f64 {
         let in_len = program.in_len();
-        assert_eq!(images.len(), labels.len() * in_len, "image buffer length mismatch");
+        assert_eq!(
+            images.len(),
+            labels.len() * in_len,
+            "image buffer length mismatch"
+        );
         if labels.is_empty() {
             return 0.0;
         }
@@ -558,7 +602,9 @@ mod tests {
         let mut dante = Dante::fault_free(ChipConfig::dante(), Volt::new(0.5));
         let schedule = BoostSchedule::uniform(0, 2, 0);
         for k in 0..8 {
-            let sample: Vec<f32> = (0..16).map(|i| ((i * 7 + k * 3) % 11) as f32 / 11.0).collect();
+            let sample: Vec<f32> = (0..16)
+                .map(|i| ((i * 7 + k * 3) % 11) as f32 / 11.0)
+                .collect();
             let r = dante.run(&program, &schedule, &sample);
             let float_logits = net.forward(&sample, 1);
             // Quantized and float logits agree closely.
@@ -637,8 +683,9 @@ mod tests {
         let mut dante = Dante::fault_free(ChipConfig::dante(), Volt::new(0.5));
         let schedule = BoostSchedule::uniform(0, 2, 0); // conv + dense
         for k in 0..6 {
-            let sample: Vec<f32> =
-                (0..64).map(|i| ((i * 3 + k * 7) % 13) as f32 / 13.0).collect();
+            let sample: Vec<f32> = (0..64)
+                .map(|i| ((i * 3 + k * 7) % 13) as f32 / 13.0)
+                .collect();
             let r = dante.run(&program, &schedule, &sample);
             let float_logits = net.forward(&sample, 1);
             for (q, f) in r.logits.iter().zip(&float_logits) {
@@ -671,9 +718,15 @@ mod tests {
             &mut rng,
         );
         let boosted = faulty.run(&program, &BoostSchedule::uniform(4, 2, 4), &sample);
-        assert_eq!(boosted.codes, reference.codes, "full boost must be clean for conv too");
+        assert_eq!(
+            boosted.codes, reference.codes,
+            "full boost must be clean for conv too"
+        );
         let unboosted = faulty.run(&program, &BoostSchedule::uniform(0, 2, 0), &sample);
-        assert_ne!(unboosted.codes, reference.codes, "unboosted conv run should corrupt");
+        assert_ne!(
+            unboosted.codes, reference.codes,
+            "unboosted conv run should corrupt"
+        );
     }
 
     #[test]
@@ -756,7 +809,11 @@ mod tests {
             }
             labels.push(c);
         }
-        let cfg = dante_nn::train::SgdConfig { epochs: 25, batch_size: 10, ..Default::default() };
+        let cfg = dante_nn::train::SgdConfig {
+            epochs: 25,
+            batch_size: 10,
+            ..Default::default()
+        };
         dante_nn::train::train(&mut net, &images, &labels, &cfg, &mut rng);
         let program = Program::compile(&net, &images).unwrap();
 

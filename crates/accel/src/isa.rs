@@ -122,7 +122,12 @@ impl Instruction {
             Self::LoadInputs { dst_word, words } => {
                 (u64::from(OP_LOAD_I) << 56) | (u64::from(dst_word) << 24) | u64::from(words)
             }
-            Self::FcTile { w_word, in_word, in_len, out_len } => {
+            Self::FcTile {
+                w_word,
+                in_word,
+                in_len,
+                out_len,
+            } => {
                 assert!(w_word < (1 << 20), "w_word exceeds 20-bit field");
                 assert!(in_word < (1 << 12), "in_word exceeds 12-bit field");
                 assert!(in_len < (1 << 12), "in_len exceeds 12-bit field");
@@ -216,8 +221,16 @@ impl core::fmt::Display for Instruction {
             Self::LoadInputs { dst_word, words } => {
                 write!(f, "load_inputs @{dst_word}, {words} words")
             }
-            Self::FcTile { w_word, in_word, in_len, out_len } => {
-                write!(f, "fc_tile w@{w_word}, x@{in_word}, in={in_len}, out={out_len}")
+            Self::FcTile {
+                w_word,
+                in_word,
+                in_len,
+                out_len,
+            } => {
+                write!(
+                    f,
+                    "fc_tile w@{w_word}, x@{in_word}, in={in_len}, out={out_len}"
+                )
             }
             Self::Halt => write!(f, "halt"),
         }
@@ -242,15 +255,26 @@ mod tests {
 
     #[test]
     fn load_instructions_round_trip() {
-        let i = Instruction::LoadWeights { dst_word: 12_345, words: 678 };
+        let i = Instruction::LoadWeights {
+            dst_word: 12_345,
+            words: 678,
+        };
         assert_eq!(Instruction::decode(i.encode()), Ok(i));
-        let i = Instruction::LoadInputs { dst_word: 99, words: 1 };
+        let i = Instruction::LoadInputs {
+            dst_word: 99,
+            words: 1,
+        };
         assert_eq!(Instruction::decode(i.encode()), Ok(i));
     }
 
     #[test]
     fn fc_tile_round_trips() {
-        let i = Instruction::FcTile { w_word: 16_383, in_word: 98, in_len: 784, out_len: 256 };
+        let i = Instruction::FcTile {
+            w_word: 16_383,
+            in_word: 98,
+            in_len: 784,
+            out_len: 256,
+        };
         assert_eq!(Instruction::decode(i.encode()), Ok(i));
         let max = Instruction::FcTile {
             w_word: (1 << 20) - 1,
@@ -264,24 +288,39 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds 20-bit field")]
     fn oversized_fc_tile_rejected() {
-        let _ = Instruction::FcTile { w_word: 1 << 20, in_word: 0, in_len: 1, out_len: 1 }.encode();
+        let _ = Instruction::FcTile {
+            w_word: 1 << 20,
+            in_word: 0,
+            in_len: 1,
+            out_len: 1,
+        }
+        .encode();
     }
 
     #[test]
     fn halt_round_trips() {
-        assert_eq!(Instruction::decode(Instruction::Halt.encode()), Ok(Instruction::Halt));
+        assert_eq!(
+            Instruction::decode(Instruction::Halt.encode()),
+            Ok(Instruction::Halt)
+        );
     }
 
     #[test]
     fn unknown_opcode_is_rejected() {
-        assert_eq!(Instruction::decode(0xAB << 56), Err(DecodeError::UnknownOpcode(0xAB)));
+        assert_eq!(
+            Instruction::decode(0xAB << 56),
+            Err(DecodeError::UnknownOpcode(0xAB))
+        );
     }
 
     #[test]
     fn bad_memory_id_is_rejected() {
         // opcode SET_BOOST with memory code 7.
         let word = (u64::from(0x01u8) << 56) | (7u64 << 48);
-        assert_eq!(Instruction::decode(word), Err(DecodeError::BadOperand("memory id")));
+        assert_eq!(
+            Instruction::decode(word),
+            Err(DecodeError::BadOperand("memory id"))
+        );
     }
 
     #[test]
@@ -290,22 +329,39 @@ mod tests {
         let i = Instruction::set_boost_config(MemoryId::Weight, 2, cfg);
         assert_eq!(
             i,
-            Instruction::SetBoostConfig { mem: MemoryId::Weight, bank: 2, config: 0b0111 }
+            Instruction::SetBoostConfig {
+                mem: MemoryId::Weight,
+                bank: 2,
+                config: 0b0111
+            }
         );
     }
 
     #[test]
     fn display_reads_like_assembly() {
-        let i = Instruction::SetBoostConfig { mem: MemoryId::Weight, bank: 3, config: 0b0111 };
+        let i = Instruction::SetBoostConfig {
+            mem: MemoryId::Weight,
+            bank: 3,
+            config: 0b0111,
+        };
         assert_eq!(format!("{i}"), "set_boost_config weight[3], 0b0111");
-        let t = Instruction::FcTile { w_word: 5, in_word: 2, in_len: 784, out_len: 83 };
+        let t = Instruction::FcTile {
+            w_word: 5,
+            in_word: 2,
+            in_len: 784,
+            out_len: 83,
+        };
         assert_eq!(format!("{t}"), "fc_tile w@5, x@2, in=784, out=83");
         assert_eq!(format!("{}", Instruction::Halt), "halt");
     }
 
     #[test]
     fn disassemble_survives_bad_words() {
-        let good = Instruction::LoadInputs { dst_word: 1, words: 2 }.encode();
+        let good = Instruction::LoadInputs {
+            dst_word: 1,
+            words: 2,
+        }
+        .encode();
         let listing = Instruction::disassemble(&[good, 0xAB00_0000_0000_0000]);
         assert_eq!(listing.len(), 2);
         assert!(listing[0].contains("load_inputs"));

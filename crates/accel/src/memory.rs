@@ -27,7 +27,10 @@ pub struct MemoryStats {
 
 impl MemoryStats {
     fn new(levels: usize) -> Self {
-        Self { reads_per_level: vec![0; levels + 1], writes_per_level: vec![0; levels + 1] }
+        Self {
+            reads_per_level: vec![0; levels + 1],
+            writes_per_level: vec![0; levels + 1],
+        }
     }
 
     /// Total reads.
@@ -103,7 +106,9 @@ impl BoostedMemory {
     ) -> Self {
         let levels = booster.levels();
         let width = u8::try_from(levels).expect("booster level count fits in u8");
-        let bics = (0..geometry.banks()).map(|_| BoostInputControl::new(width)).collect();
+        let bics = (0..geometry.banks())
+            .map(|_| BoostInputControl::new(width))
+            .collect();
         Self {
             geometry,
             macros,
@@ -116,22 +121,14 @@ impl BoostedMemory {
 
     /// The chip's weight memory at `vdd` with a fresh fault die.
     #[must_use]
-    pub fn dante_weight<R: Rng + ?Sized>(
-        model: &VminFaultModel,
-        vdd: Volt,
-        rng: &mut R,
-    ) -> Self {
+    pub fn dante_weight<R: Rng + ?Sized>(model: &VminFaultModel, vdd: Volt, rng: &mut R) -> Self {
         let chip = ChipConfig::dante();
         Self::new(chip.weight_memory, chip.booster(), model, vdd, rng)
     }
 
     /// The chip's input memory at `vdd` with a fresh fault die.
     #[must_use]
-    pub fn dante_input<R: Rng + ?Sized>(
-        model: &VminFaultModel,
-        vdd: Volt,
-        rng: &mut R,
-    ) -> Self {
+    pub fn dante_input<R: Rng + ?Sized>(model: &VminFaultModel, vdd: Volt, rng: &mut R) -> Self {
         let chip = ChipConfig::dante();
         Self::new(chip.input_memory, chip.booster(), model, vdd, rng)
     }
@@ -291,7 +288,10 @@ mod tests {
             flips_unboosted > 1000,
             "expected heavy corruption at 0.40 V, got {flips_unboosted}"
         );
-        assert_eq!(flips_boosted, 0, "full boost must eliminate errors at 0.40 V");
+        assert_eq!(
+            flips_boosted, 0,
+            "full boost must eliminate errors at 0.40 V"
+        );
     }
 
     #[test]
@@ -331,8 +331,7 @@ mod tests {
     #[test]
     fn fault_free_memory_is_always_clean() {
         let chip = ChipConfig::dante();
-        let mut m =
-            BoostedMemory::fault_free(chip.input_memory, chip.booster(), Volt::new(0.34));
+        let mut m = BoostedMemory::fault_free(chip.input_memory, chip.booster(), Volt::new(0.34));
         for addr in 0..m.words() {
             m.write(addr, 0xA5A5_5A5A_0F0F_F0F0);
         }

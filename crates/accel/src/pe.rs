@@ -26,7 +26,11 @@ pub fn requantize(acc: i64, multiplier: i32, shift: u32) -> i16 {
     assert!(shift < 63, "requantization shift too large");
     let prod = i128::from(acc) * i128::from(multiplier);
     let bias = 1i128 << shift >> 1; // 2^(shift-1), 0 when shift == 0
-    let rounded = if prod >= 0 { (prod + bias) >> shift } else { -((-prod + bias) >> shift) };
+    let rounded = if prod >= 0 {
+        (prod + bias) >> shift
+    } else {
+        -((-prod + bias) >> shift)
+    };
     rounded.clamp(i128::from(i16::MIN), i128::from(i16::MAX)) as i16
 }
 
@@ -44,7 +48,10 @@ pub fn relu_q(x: i16) -> i16 {
 /// Panics unless `ratio` is positive and finite.
 #[must_use]
 pub fn quantize_multiplier(ratio: f64) -> (i32, u32) {
-    assert!(ratio > 0.0 && ratio.is_finite(), "requant ratio must be positive and finite");
+    assert!(
+        ratio > 0.0 && ratio.is_finite(),
+        "requant ratio must be positive and finite"
+    );
     let mut shift = 0u32;
     let mut scaled = ratio;
     // Normalize into [2^30, 2^31) so the multiplier keeps full precision.
@@ -57,7 +64,10 @@ pub fn quantize_multiplier(ratio: f64) -> (i32, u32) {
         shift -= 1;
     }
     let m = scaled.round();
-    assert!(m <= f64::from(i32::MAX), "requant ratio {ratio} too large to encode");
+    assert!(
+        m <= f64::from(i32::MAX),
+        "requant ratio {ratio} too large to encode"
+    );
     (m as i32, shift)
 }
 
@@ -69,7 +79,10 @@ mod tests {
     fn mac_accumulates_products() {
         assert_eq!(mac(10, 3, 4), 22);
         assert_eq!(mac(0, -5, 7), -35);
-        assert_eq!(mac(i64::from(i32::MAX), i16::MAX, i16::MAX), i64::from(i32::MAX) + 1_073_676_289);
+        assert_eq!(
+            mac(i64::from(i32::MAX), i16::MAX, i16::MAX),
+            i64::from(i32::MAX) + 1_073_676_289
+        );
     }
 
     #[test]

@@ -307,7 +307,10 @@ impl core::fmt::Display for CompileError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::UnsupportedLayer { index, kind } => {
-                write!(f, "layer {index} ({kind}) cannot be mapped onto the FC accelerator")
+                write!(
+                    f,
+                    "layer {index} ({kind}) cannot be mapped onto the FC accelerator"
+                )
             }
             Self::EmptyCalibration => write!(f, "calibration set is empty"),
         }
@@ -335,7 +338,11 @@ impl Program {
             return Err(CompileError::EmptyCalibration);
         }
         let in_len = net.in_len();
-        assert_eq!(calibration.len() % in_len, 0, "calibration batch length mismatch");
+        assert_eq!(
+            calibration.len() % in_len,
+            0,
+            "calibration batch length mismatch"
+        );
         let batch = calibration.len() / in_len;
 
         let max_abs = |xs: &[f32]| xs.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-9);
@@ -360,8 +367,10 @@ impl Program {
             let ratio = f64::from(weights.scale()) * f64::from(act_scale) / f64::from(out_scale);
             let (m, s) = quantize_multiplier(ratio);
             let acc_scale = f64::from(weights.scale()) * f64::from(act_scale);
-            let bias_acc =
-                bias.iter().map(|&b| (f64::from(b) / acc_scale).round() as i64).collect();
+            let bias_acc = bias
+                .iter()
+                .map(|&b| (f64::from(b) / acc_scale).round() as i64)
+                .collect();
             (out_scale, m, s, bias_acc)
         };
 
@@ -454,7 +463,10 @@ impl Program {
         if let Some((stage, _, _)) = pending.take() {
             layers.push(stage);
         }
-        Ok(Self { layers, input_scale })
+        Ok(Self {
+            layers,
+            input_scale,
+        })
     }
 
     /// The compiled stages in execution order.
@@ -554,8 +566,8 @@ mod tests {
     #[test]
     fn weights_are_transposed_to_output_major() {
         let w = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let net = Network::new(vec![Layer::Dense(Dense::from_parameters(w, vec![0.0; 3]))])
-            .unwrap();
+        let net =
+            Network::new(vec![Layer::Dense(Dense::from_parameters(w, vec![0.0; 3]))]).unwrap();
         let p = Program::compile(&net, &[1.0, 1.0]).unwrap();
         let vals = p.layers()[0].as_fc().unwrap().weights().to_f32();
         // Row 0 = weights of output neuron 0: [w(0,0), w(1,0)] = [1, 4].
@@ -614,7 +626,10 @@ mod tests {
     #[test]
     fn empty_calibration_is_rejected() {
         let net = small_net();
-        assert_eq!(Program::compile(&net, &[]), Err(CompileError::EmptyCalibration));
+        assert_eq!(
+            Program::compile(&net, &[]),
+            Err(CompileError::EmptyCalibration)
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@ use std::hint::black_box;
 fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
-    g.bench_function("ablation_levels", |b| b.iter(|| black_box(ablation::ablation_levels())));
+    g.bench_function("ablation_levels", |b| {
+        b.iter(|| black_box(ablation::ablation_levels()))
+    });
     g.bench_function("ablation_dataflow", |b| {
         b.iter(|| black_box(ablation::ablation_dataflow()))
     });

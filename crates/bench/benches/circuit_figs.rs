@@ -11,10 +11,18 @@ fn bench_circuit_figures(c: &mut Criterion) {
     g.bench_function("fig04_transient_staircase", |b| {
         b.iter(|| black_box(circuit::fig04()))
     });
-    g.bench_function("fig06_mim_comparison", |b| b.iter(|| black_box(circuit::fig06())));
-    g.bench_function("fig07_ber_and_latency", |b| b.iter(|| black_box(circuit::fig07())));
-    g.bench_function("fig08_boost_ladder", |b| b.iter(|| black_box(circuit::fig08())));
-    g.bench_function("fig09_latency_scopes", |b| b.iter(|| black_box(circuit::fig09())));
+    g.bench_function("fig06_mim_comparison", |b| {
+        b.iter(|| black_box(circuit::fig06()))
+    });
+    g.bench_function("fig07_ber_and_latency", |b| {
+        b.iter(|| black_box(circuit::fig07()))
+    });
+    g.bench_function("fig08_boost_ladder", |b| {
+        b.iter(|| black_box(circuit::fig08()))
+    });
+    g.bench_function("fig09_latency_scopes", |b| {
+        b.iter(|| black_box(circuit::fig09()))
+    });
     g.finish();
 }
 

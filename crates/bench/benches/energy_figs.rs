@@ -10,24 +10,32 @@ use std::hint::black_box;
 fn bench_energy_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("energy-figures");
     g.sample_size(10);
-    g.bench_function("fig12_design_space_sweep", |b| b.iter(|| black_box(energy::fig12())));
-    g.bench_function("table3_activity_models", |b| b.iter(|| black_box(energy::table3())));
+    g.bench_function("fig12_design_space_sweep", |b| {
+        b.iter(|| black_box(energy::fig12()))
+    });
+    g.bench_function("table3_activity_models", |b| {
+        b.iter(|| black_box(energy::table3()))
+    });
     g.bench_function("headlines", |b| b.iter(|| black_box(energy::headlines())));
     g.finish();
 
     let mut g = c.benchmark_group("energy-kernels");
     let m = EnergyModel::dante_chip();
     let groups = [
-        BoostedGroup { accesses: 100_000, level: 4 },
-        BoostedGroup { accesses: 50_000, level: 1 },
+        BoostedGroup {
+            accesses: 100_000,
+            level: 4,
+        },
+        BoostedGroup {
+            accesses: 50_000,
+            level: 1,
+        },
     ];
     g.bench_function("eq3_dynamic_boosted", |b| {
         b.iter(|| black_box(m.dynamic_boosted(Volt::new(0.4), &groups, 10_000_000)))
     });
     g.bench_function("eq6_dynamic_dual", |b| {
-        b.iter(|| {
-            black_box(m.dynamic_dual(Volt::new(0.6), Volt::new(0.4), 150_000, 10_000_000))
-        })
+        b.iter(|| black_box(m.dynamic_dual(Volt::new(0.6), Volt::new(0.4), 150_000, 10_000_000)))
     });
     g.finish();
 }

@@ -1,0 +1,86 @@
+//! Serial-vs-parallel Monte-Carlo engine bench: the same 100-trial
+//! `AccuracyEvaluator::evaluate` on the trained MNIST FC-DNN, run through
+//! the trial engine at increasing worker counts. The per-trial results are
+//! identical at every thread count (that's the engine's contract — see
+//! `tests/determinism.rs`); only the wall clock moves.
+//!
+//! Besides the criterion timings, the bench emits a `mc_engine` figure
+//! record (thread count vs. wall time per sweep, plus the measured speedup
+//! as a note) through the usual `DANTE_RESULTS` machinery so the scaling
+//! curve lands next to the paper figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dante::accuracy::{AccuracyEvaluator, VoltageAssignment};
+use dante::artifacts::trained_mnist_fc;
+use dante_bench::record::{FigureRecord, Series};
+use dante_circuit::units::Volt;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Dies per evaluation; defaults to the paper's per-point count, with
+/// `DANTE_TRIALS` as the usual override for smoke runs.
+fn trials() -> usize {
+    std::env::var("DANTE_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100)
+}
+
+fn bench_mc_engine(c: &mut Criterion) {
+    let trials = trials();
+    let (net, test) = trained_mnist_fc(1200, 100, 4);
+    let layers = net.weight_layer_indices().len();
+    let assignment = VoltageAssignment::uniform(Volt::new(0.42), layers);
+    let cores = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+
+    let mut g = c.benchmark_group("mc-engine");
+    g.sample_size(5);
+    let thread_counts: Vec<usize> = [1usize, 2, 4, cores]
+        .into_iter()
+        .scan(0usize, |prev, t| {
+            let keep = t > *prev;
+            *prev = (*prev).max(t);
+            Some((t, keep))
+        })
+        .filter_map(|(t, keep)| keep.then_some(t))
+        .collect();
+
+    let mut points = Vec::new();
+    let mut baseline = None;
+    for &threads in &thread_counts {
+        let eval = AccuracyEvaluator::new(trials).with_threads(threads);
+        g.bench_function(
+            &format!("evaluate_{trials}_trials_{threads}_threads"),
+            |b| {
+                b.iter(|| {
+                    black_box(eval.evaluate(&net, &assignment, test.images(), test.labels(), 7))
+                })
+            },
+        );
+        // One extra timed run outside the harness for the figure record.
+        let start = Instant::now();
+        black_box(eval.evaluate(&net, &assignment, test.images(), test.labels(), 7));
+        let secs = start.elapsed().as_secs_f64();
+        baseline.get_or_insert(secs);
+        points.push((threads as f64, secs));
+    }
+    g.finish();
+
+    let serial = baseline.unwrap_or(f64::NAN);
+    let best = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    FigureRecord::new(
+        "mc_engine",
+        "Monte-Carlo trial engine scaling: wall time per full Monte-Carlo evaluation vs worker threads",
+        "worker threads",
+        "wall time [s]",
+    )
+    .with_series(Series::new("evaluate wall time", points))
+    .with_note(format!(
+        "speedup over serial at best thread count: {:.2}x ({cores} cores available)",
+        serial / best
+    ))
+    .emit();
+}
+
+criterion_group!(benches, bench_mc_engine);
+criterion_main!(benches);

@@ -8,8 +8,12 @@ use std::hint::black_box;
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
     g.sample_size(10);
-    g.bench_function("table1_chip_config", |b| b.iter(|| black_box(tables::table1())));
-    g.bench_function("table2_boost_schedules", |b| b.iter(|| black_box(tables::table2())));
+    g.bench_function("table1_chip_config", |b| {
+        b.iter(|| black_box(tables::table1()))
+    });
+    g.bench_function("table2_boost_schedules", |b| {
+        b.iter(|| black_box(tables::table2()))
+    });
     g.finish();
 }
 

@@ -29,7 +29,9 @@ pub fn ablation_ecc(scale: RunScale) -> FigureRecord {
     let ecc = AccuracyEvaluator::new(scale.trials).with_ecc(EccMode::SecDed);
     let booster = BoosterBank::standard();
 
-    let voltages: Vec<Volt> = (0..=8).map(|i| Volt::new(0.34 + 0.02 * f64::from(i))).collect();
+    let voltages: Vec<Volt> = (0..=8)
+        .map(|i| Volt::new(0.34 + 0.02 * f64::from(i)))
+        .collect();
     let eval = |e: &AccuracyEvaluator, rail: Volt, seed: u64| {
         e.evaluate(
             &net,
@@ -41,13 +43,22 @@ pub fn ablation_ecc(scale: RunScale) -> FigureRecord {
         .mean()
     };
 
-    let unprotected: Vec<(f64, f64)> =
-        voltages.iter().map(|&v| (v.volts(), eval(&plain, v, 0xAB1))).collect();
-    let secded: Vec<(f64, f64)> =
-        voltages.iter().map(|&v| (v.volts(), eval(&ecc, v, 0xAB2))).collect();
+    let unprotected: Vec<(f64, f64)> = voltages
+        .iter()
+        .map(|&v| (v.volts(), eval(&plain, v, 0xAB1)))
+        .collect();
+    let secded: Vec<(f64, f64)> = voltages
+        .iter()
+        .map(|&v| (v.volts(), eval(&ecc, v, 0xAB2)))
+        .collect();
     let boosted: Vec<(f64, f64)> = voltages
         .iter()
-        .map(|&v| (v.volts(), eval(&plain, booster.boosted_voltage(v, 4), 0xAB3)))
+        .map(|&v| {
+            (
+                v.volts(),
+                eval(&plain, booster.boosted_voltage(v, 4), 0xAB3),
+            )
+        })
         .collect();
 
     FigureRecord::new(
@@ -95,7 +106,9 @@ pub fn ablation_levels() -> FigureRecord {
         let mut pts = Vec::new();
         for mv in (340..=460).step_by(20) {
             let vdd = Volt::from_millivolts(f64::from(mv));
-            let Some(level) = bank.min_level_reaching(vdd, target) else { continue };
+            let Some(level) = bank.min_level_reaching(vdd, target) else {
+                continue;
+            };
             let e = model
                 .dynamic_boosted(vdd, &[BoostedGroup { accesses, level }], macs)
                 .joules()
@@ -124,8 +137,7 @@ pub fn ablation_levels() -> FigureRecord {
             })
             .fold(f64::INFINITY, f64::min);
         if best.is_finite() {
-            let e = (best * accesses as f64 + params.e_pe(vdd).joules() * macs as f64)
-                / reference;
+            let e = (best * accesses as f64 + params.e_pe(vdd).joules() * macs as f64) / reference;
             pts.push((vdd.volts(), e));
         }
     }
@@ -154,8 +166,14 @@ pub fn ablation_dataflow() -> FigureRecord {
 
     let dataflows: [(&str, Box<dyn Dataflow>); 4] = [
         ("row-stationary", Box::new(RowStationaryDataflow::new())),
-        ("output-stationary", Box::new(OutputStationaryDataflow::new())),
-        ("weight-stationary", Box::new(WeightStationaryDataflow::new())),
+        (
+            "output-stationary",
+            Box::new(OutputStationaryDataflow::new()),
+        ),
+        (
+            "weight-stationary",
+            Box::new(WeightStationaryDataflow::new()),
+        ),
         ("no-local-reuse", Box::new(NoLocalReuseDataflow::new())),
     ];
 
@@ -189,7 +207,12 @@ mod tests {
     use super::*;
 
     fn tiny_scale() -> RunScale {
-        RunScale { trials: 2, test_images: 100, epochs: 4, train_images: 1200 }
+        RunScale {
+            trials: 2,
+            test_images: 100,
+            epochs: 4,
+            train_images: 1200,
+        }
     }
 
     #[test]
@@ -210,7 +233,11 @@ mod tests {
         }
         // Boosting beats both everywhere at deep VLV.
         for i in 0..3 {
-            assert!(boosted[i].1 > secded[i].1 + 0.1, "boost must dominate at {} V", boosted[i].0);
+            assert!(
+                boosted[i].1 > secded[i].1 + 0.1,
+                "boost must dominate at {} V",
+                boosted[i].0
+            );
         }
     }
 
@@ -237,7 +264,10 @@ mod tests {
         let mean = |s: &Series| s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64;
         let coarse = mean(&rec.series[0]);
         let fine = mean(&rec.series[3]);
-        assert!(fine <= coarse + 1e-12, "16 levels {fine} vs 2 levels {coarse}");
+        assert!(
+            fine <= coarse + 1e-12,
+            "16 levels {fine} vs 2 levels {coarse}"
+        );
         assert!((1.0 - fine / coarse) > 0.01, "granularity should save >1%");
     }
 

@@ -142,13 +142,18 @@ pub fn fig09() -> FigureRecord {
         for level in 1..=4 {
             let pts: Vec<(f64, f64)> = voltage_axis(500, 800, 50)
                 .into_iter()
-                .map(|v| (v.volts(), timing.boosted_access_fraction(v, &bank, level, scope)))
+                .map(|v| {
+                    (
+                        v.volts(),
+                        timing.boosted_access_fraction(v, &bank, level, scope),
+                    )
+                })
                 .collect();
             rec = rec.with_series(Series::new(format!("Boost-{tag}-{level}"), pts));
         }
     }
-    let reduction = 1.0
-        - timing.boosted_access_fraction(Volt::new(0.5), &bank, 4, BoostScope::Macro);
+    let reduction =
+        1.0 - timing.boosted_access_fraction(Volt::new(0.5), &bank, 4, BoostScope::Macro);
     rec.with_note(format!(
         "macro-level boost cuts latency by {:.0}% at 0.5 V (paper: up to 35%)",
         reduction * 100.0
@@ -165,7 +170,10 @@ mod tests {
         assert_eq!(rec.series.len(), 1);
         assert_eq!(rec.series[0].points.len(), 16 * 32);
         let max_v = rec.series[0].points.iter().map(|p| p.1).fold(0.0, f64::max);
-        assert!(max_v > 0.55, "peak plateau should approach 0.6 V, got {max_v}");
+        assert!(
+            max_v > 0.55,
+            "peak plateau should approach 0.6 V, got {max_v}"
+        );
     }
 
     #[test]

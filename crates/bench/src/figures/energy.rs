@@ -51,20 +51,29 @@ pub fn fig13(scale: RunScale) -> FigureRecord {
     );
     for config in NamedBoostConfig::all() {
         let of_config: Vec<_> = points.iter().filter(|p| p.config == config).collect();
-        let acc: Vec<(f64, f64)> =
-            of_config.iter().map(|p| (p.vdd.volts(), p.accuracy_mean)).collect();
-        let boost: Vec<(f64, f64)> =
-            of_config.iter().map(|p| (p.vdd.volts(), p.boost_dynamic)).collect();
+        let acc: Vec<(f64, f64)> = of_config
+            .iter()
+            .map(|p| (p.vdd.volts(), p.accuracy_mean))
+            .collect();
+        let boost: Vec<(f64, f64)> = of_config
+            .iter()
+            .map(|p| (p.vdd.volts(), p.boost_dynamic))
+            .collect();
         rec = rec
             .with_series(Series::new(format!("{} acc", config.name()), acc))
             .with_series(Series::new(format!("{} E_boost", config.name()), boost));
     }
     // Baselines follow the Vddv4 configuration (the paper's comparison).
-    let v4: Vec<_> = points.iter().filter(|p| p.config == NamedBoostConfig::Vddv4).collect();
+    let v4: Vec<_> = points
+        .iter()
+        .filter(|p| p.config == NamedBoostConfig::Vddv4)
+        .collect();
     rec = rec
         .with_series(Series::new(
             "single@Vddv4 E",
-            v4.iter().map(|p| (p.vdd.volts(), p.single_dynamic)).collect(),
+            v4.iter()
+                .map(|p| (p.vdd.volts(), p.single_dynamic))
+                .collect(),
         ))
         .with_series(Series::new(
             "dual(Vddv4/Vdd) E",
@@ -72,24 +81,34 @@ pub fn fig13(scale: RunScale) -> FigureRecord {
         ))
         .with_series(Series::new(
             "leak boost [J/cyc]",
-            v4.iter().map(|p| (p.vdd.volts(), p.boost_leakage)).collect(),
+            v4.iter()
+                .map(|p| (p.vdd.volts(), p.boost_leakage))
+                .collect(),
         ))
         .with_series(Series::new(
             "leak single [J/cyc]",
-            v4.iter().map(|p| (p.vdd.volts(), p.single_leakage)).collect(),
+            v4.iter()
+                .map(|p| (p.vdd.volts(), p.single_leakage))
+                .collect(),
         ))
         .with_series(Series::new(
             "leak dual [J/cyc]",
             v4.iter().map(|p| (p.vdd.volts(), p.dual_leakage)).collect(),
         ));
-    rec.with_note("boost vs single: savings grow with boost level; dual only competitive at low boost")
+    rec.with_note(
+        "boost vs single: savings grow with boost level; dual only competitive at low boost",
+    )
 }
 
 /// Fig. 14: AlexNet conv layers — accuracy (CNN proxy) and dynamic energy of
 /// boost vs dual per level.
 #[must_use]
 pub fn fig14(scale: RunScale) -> FigureRecord {
-    let (net, test) = trained_cifar_cnn(scale.train_images.min(2000), scale.test_images.min(1000), scale.epochs);
+    let (net, test) = trained_cifar_cnn(
+        scale.train_images.min(2000),
+        scale.test_images.min(1000),
+        scale.epochs,
+    );
     let exp = ConvExperiment::new(&net, test.images(), test.labels(), scale.trials);
     let voltages = ConvExperiment::default_voltages();
     let points = exp.run(&voltages, 0x000F_1614);
@@ -105,15 +124,24 @@ pub fn fig14(scale: RunScale) -> FigureRecord {
         rec = rec
             .with_series(Series::new(
                 format!("Vddv{level} acc"),
-                of_level.iter().map(|p| (p.vdd.volts(), p.accuracy_mean)).collect(),
+                of_level
+                    .iter()
+                    .map(|p| (p.vdd.volts(), p.accuracy_mean))
+                    .collect(),
             ))
             .with_series(Series::new(
                 format!("Vddv{level} E_boost"),
-                of_level.iter().map(|p| (p.vdd.volts(), p.boost_dynamic)).collect(),
+                of_level
+                    .iter()
+                    .map(|p| (p.vdd.volts(), p.boost_dynamic))
+                    .collect(),
             ))
             .with_series(Series::new(
                 format!("Vddv{level} E_dual"),
-                of_level.iter().map(|p| (p.vdd.volts(), p.dual_dynamic)).collect(),
+                of_level
+                    .iter()
+                    .map(|p| (p.vdd.volts(), p.dual_dynamic))
+                    .collect(),
             ));
     }
     let savings: Vec<f64> = points
@@ -132,7 +160,11 @@ pub fn fig14(scale: RunScale) -> FigureRecord {
 /// single-supply alternative.
 #[must_use]
 pub fn fig15(scale: RunScale) -> FigureRecord {
-    let (net, test) = trained_cifar_cnn(scale.train_images.min(2000), scale.test_images.min(1000), scale.epochs);
+    let (net, test) = trained_cifar_cnn(
+        scale.train_images.min(2000),
+        scale.test_images.min(1000),
+        scale.epochs,
+    );
     let exp = ConvExperiment::new(&net, test.images(), test.labels(), scale.trials);
     let pts = exp.iso_accuracy_sweep(&ConvExperiment::default_voltages());
 
@@ -158,9 +190,14 @@ pub fn fig15(scale: RunScale) -> FigureRecord {
         "chosen level",
         pts.iter().map(|p| (p.vdd.volts(), p.level as f64)).collect(),
     ));
-    let vs_single: Vec<f64> =
-        pts.iter().map(|p| 1.0 - p.boost_dynamic / p.single_at_target).collect();
-    let vs_dual: Vec<f64> = pts.iter().map(|p| 1.0 - p.boost_dynamic / p.dual_dynamic).collect();
+    let vs_single: Vec<f64> = pts
+        .iter()
+        .map(|p| 1.0 - p.boost_dynamic / p.single_at_target)
+        .collect();
+    let vs_dual: Vec<f64> = pts
+        .iter()
+        .map(|p| 1.0 - p.boost_dynamic / p.dual_dynamic)
+        .collect();
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     rec.with_note(format!(
         "mean savings: {:.0}% vs single@0.48 (paper 30%), {:.0}% vs dual (paper 17%)",

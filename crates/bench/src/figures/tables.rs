@@ -58,7 +58,9 @@ pub fn table2() -> FigureRecord {
             .collect();
         rec = rec.with_series(Series::new(config.name(), pts));
     }
-    rec.with_note("inputs are boosted to the minimum level with Vddv > 0.44 V (paper Table 2 caption)")
+    rec.with_note(
+        "inputs are boosted to the minimum level with Vddv > 0.44 V (paper Table 2 caption)",
+    )
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod figures;
+pub mod json;
 pub mod record;
 
 pub use record::{FigureRecord, RunScale, Series};

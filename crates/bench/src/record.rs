@@ -2,11 +2,12 @@
 //! printable as aligned text and serializable to JSON for EXPERIMENTS.md
 //! bookkeeping.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 /// One named data series of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Series label (legend entry).
     pub name: String,
@@ -18,12 +19,15 @@ impl Series {
     /// Creates a series.
     #[must_use]
     pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Self { name: name.into(), points }
+        Self {
+            name: name.into(),
+            points,
+        }
     }
 }
 
 /// A regenerated figure or table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureRecord {
     /// Identifier, e.g. `"fig13"`.
     pub id: String,
@@ -124,16 +128,109 @@ impl FigureRecord {
             let dir = PathBuf::from(dir);
             if std::fs::create_dir_all(&dir).is_ok() {
                 let path = dir.join(format!("{}.json", self.id));
-                match serde_json::to_vec_pretty(self) {
-                    Ok(json) => {
-                        if let Err(e) = std::fs::write(&path, json) {
-                            eprintln!("warning: could not write {}: {e}", path.display());
-                        }
-                    }
-                    Err(e) => eprintln!("warning: could not serialize {}: {e}", self.id),
+                if let Err(e) = std::fs::write(&path, self.to_json_pretty()) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
                 }
             }
         }
+    }
+
+    /// Serializes the record as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+
+    /// Parses a record from the JSON produced by [`Self::to_json_pretty`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string on malformed JSON or a missing/mistyped
+    /// field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let series = v
+            .get("series")
+            .and_then(Value::as_array)
+            .ok_or("missing array field 'series'")?
+            .iter()
+            .map(|s| {
+                let name = s
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("series missing 'name'")?;
+                let points = s
+                    .get("points")
+                    .and_then(Value::as_array)
+                    .ok_or("series missing 'points'")?
+                    .iter()
+                    .map(|p| match p.as_array() {
+                        Some([x, y]) => x
+                            .as_f64()
+                            .zip(y.as_f64())
+                            .ok_or_else(|| "non-numeric point".to_owned()),
+                        _ => Err("point is not a 2-element array".to_owned()),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Series::new(name, points))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let notes = v
+            .get("notes")
+            .and_then(Value::as_array)
+            .ok_or("missing array field 'notes'")?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_owned)
+                    .ok_or("non-string note".to_owned())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            id: str_field("id")?,
+            title: str_field("title")?,
+            x_label: str_field("x_label")?,
+            y_label: str_field("y_label")?,
+            series,
+            notes,
+        })
+    }
+
+    fn to_json_value(&self) -> Value {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let points = s
+                    .points
+                    .iter()
+                    .map(|&(x, y)| Value::Array(vec![Value::Number(x), Value::Number(y)]))
+                    .collect();
+                Value::Object(BTreeMap::from([
+                    ("name".to_owned(), Value::String(s.name.clone())),
+                    ("points".to_owned(), Value::Array(points)),
+                ]))
+            })
+            .collect();
+        let notes = self
+            .notes
+            .iter()
+            .map(|n| Value::String(n.clone()))
+            .collect();
+        Value::Object(BTreeMap::from([
+            ("id".to_owned(), Value::String(self.id.clone())),
+            ("title".to_owned(), Value::String(self.title.clone())),
+            ("x_label".to_owned(), Value::String(self.x_label.clone())),
+            ("y_label".to_owned(), Value::String(self.y_label.clone())),
+            ("series".to_owned(), Value::Array(series)),
+            ("notes".to_owned(), Value::Array(notes)),
+        ]))
     }
 }
 
@@ -159,8 +256,12 @@ impl FigureRecord {
         if all.is_empty() {
             return format!("{} (no data)\n", self.id);
         }
-        let (mut x_min, mut x_max, mut y_min, mut y_max) =
-            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        let (mut x_min, mut x_max, mut y_min, mut y_max) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
         for &(x, y) in &all {
             x_min = x_min.min(x);
             x_max = x_max.max(x);
@@ -197,7 +298,13 @@ impl FigureRecord {
             let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
         }
         let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(width));
-        let _ = writeln!(out, "{:>10}{x_min:<.3}{:>pad$}{x_max:.3}", "", "", pad = width.saturating_sub(12));
+        let _ = writeln!(
+            out,
+            "{:>10}{x_min:<.3}{:>pad$}{x_max:.3}",
+            "",
+            "",
+            pad = width.saturating_sub(12)
+        );
         for (si, s) in self.series.iter().enumerate() {
             let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], s.name);
         }
@@ -235,7 +342,10 @@ impl RunScale {
     pub fn from_env() -> Self {
         let full = std::env::var("DANTE_FULL").is_ok_and(|v| v == "1");
         let get = |key: &str, dflt: usize| {
-            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(dflt)
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(dflt)
         };
         if full {
             Self {
@@ -276,9 +386,10 @@ mod tests {
     #[test]
     fn json_round_trips() {
         let rec = FigureRecord::new("fig1", "t", "x", "y")
-            .with_series(Series::new("s", vec![(1.0, 2.0)]));
-        let json = serde_json::to_string(&rec).unwrap();
-        let back: FigureRecord = serde_json::from_str(&json).unwrap();
+            .with_series(Series::new("s", vec![(1.0, 2.0)]))
+            .with_note("a \"quoted\" note");
+        let json = rec.to_json_pretty();
+        let back = FigureRecord::from_json(&json).unwrap();
         assert_eq!(rec, back);
     }
 

@@ -96,7 +96,10 @@ impl BoostConfig {
     /// Panics if `level > width`.
     #[must_use]
     pub fn from_level(level: usize, width: u8) -> Self {
-        assert!(level <= width as usize, "level {level} exceeds width {width}");
+        assert!(
+            level <= width as usize,
+            "level {level} exceeds width {width}"
+        );
         let mask = if level == 0 { 0 } else { (1u32 << level) - 1 };
         Self::from_mask(mask, width)
     }
@@ -160,7 +163,9 @@ impl BoostInputControl {
     /// disabled (reset state: no boosting until the application programs it).
     #[must_use]
     pub fn new(width: u8) -> Self {
-        Self { config: BoostConfig::off(width) }
+        Self {
+            config: BoostConfig::off(width),
+        }
     }
 
     /// Current configuration register contents.
@@ -237,12 +242,21 @@ mod tests {
         bic.set_config(BoostConfig::from_mask(0b0101, 4));
 
         // Enabled cell, active access, clk high => boost.
-        assert_eq!(bic.cell_drive(0, ChipEnable::Active, ClockPhase::High), CellDrive::Boost);
+        assert_eq!(
+            bic.cell_drive(0, ChipEnable::Active, ClockPhase::High),
+            CellDrive::Boost
+        );
         // Enabled cell, active access, clk low => hold at Vdd.
-        assert_eq!(bic.cell_drive(0, ChipEnable::Active, ClockPhase::Low), CellDrive::Hold);
+        assert_eq!(
+            bic.cell_drive(0, ChipEnable::Active, ClockPhase::Low),
+            CellDrive::Hold
+        );
         // Enabled cell, idle bank => hold regardless of clock ("when there is
         // no memory activity the output is not boosted and fixed at Vdd").
-        assert_eq!(bic.cell_drive(2, ChipEnable::Idle, ClockPhase::High), CellDrive::Hold);
+        assert_eq!(
+            bic.cell_drive(2, ChipEnable::Idle, ClockPhase::High),
+            CellDrive::Hold
+        );
         // Disabled cell => off in every state.
         for cen in [ChipEnable::Active, ChipEnable::Idle] {
             for clk in [ClockPhase::High, ClockPhase::Low] {

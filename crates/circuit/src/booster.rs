@@ -308,7 +308,11 @@ impl BoosterBank {
     #[must_use]
     pub fn new(cells: Vec<BoosterCell>, load: BoostLoad) -> Self {
         assert!(!cells.is_empty(), "a booster bank needs at least one cell");
-        Self { cells, load, scope: BoostScope::Array }
+        Self {
+            cells,
+            load,
+            scope: BoostScope::Array,
+        }
     }
 
     /// The *standard configuration* of the taped-out chip: 4 booster cells,
@@ -330,8 +334,14 @@ impl BoosterBank {
     #[must_use]
     pub fn with_levels(p: usize) -> Self {
         assert!(p > 0, "need at least one boost level");
-        assert!(256 % p == 0, "level count must divide the 256-inverter budget");
-        let cell = BoosterCell::new(256 / p, Some(MimCapacitor::from_picofarads(40.0 / p as f64)));
+        assert!(
+            256 % p == 0,
+            "level count must divide the 256-inverter budget"
+        );
+        let cell = BoosterCell::new(
+            256 / p,
+            Some(MimCapacitor::from_picofarads(40.0 / p as f64)),
+        );
         Self::new(vec![cell; p], BoostLoad::macro_4kb())
     }
 
@@ -348,7 +358,10 @@ impl BoosterBank {
     /// round below one inverter).
     #[must_use]
     pub fn binary_weighted(bits: usize) -> Self {
-        assert!((1..=6).contains(&bits), "binary-weighted banks support 1..=6 bits");
+        assert!(
+            (1..=6).contains(&bits),
+            "binary-weighted banks support 1..=6 bits"
+        );
         let denom = (1usize << bits) - 1;
         let cells = (0..bits)
             .map(|i| {
@@ -406,12 +419,22 @@ impl BoosterBank {
     /// Panics if `level > self.levels()`.
     #[must_use]
     pub fn enabled_capacitance(&self, level: usize) -> Farad {
-        assert!(level <= self.levels(), "boost level {level} exceeds {}", self.levels());
-        self.cells[..level].iter().map(BoosterCell::boost_capacitance).sum()
+        assert!(
+            level <= self.levels(),
+            "boost level {level} exceeds {}",
+            self.levels()
+        );
+        self.cells[..level]
+            .iter()
+            .map(BoosterCell::boost_capacitance)
+            .sum()
     }
 
     fn disabled_load(&self, level: usize) -> Farad {
-        self.cells[level..].iter().map(BoosterCell::load_when_disabled).sum()
+        self.cells[level..]
+            .iter()
+            .map(BoosterCell::load_when_disabled)
+            .sum()
     }
 
     /// The boost amount `V_b = Vddv - Vdd` at the given level (paper Eq. 1,
@@ -474,11 +497,7 @@ impl BoosterBank {
     ///
     /// Panics if the mask's width differs from the bank's cell count.
     #[must_use]
-    pub fn boost_event_energy_masked(
-        &self,
-        vdd: Volt,
-        config: &crate::bic::BoostConfig,
-    ) -> Joule {
+    pub fn boost_event_energy_masked(&self, vdd: Volt, config: &crate::bic::BoostConfig) -> Joule {
         assert_eq!(
             usize::from(config.width()),
             self.cells.len(),
@@ -502,7 +521,9 @@ impl BoosterBank {
     /// `i` is `Vddv_i` (index 0 is the un-boosted rail).
     #[must_use]
     pub fn voltage_ladder(&self, vdd: Volt) -> Vec<Volt> {
-        (0..=self.levels()).map(|l| self.boosted_voltage(vdd, l)).collect()
+        (0..=self.levels())
+            .map(|l| self.boosted_voltage(vdd, l))
+            .collect()
     }
 
     /// Energy drawn from the supply per boosted access at the given level
@@ -510,8 +531,15 @@ impl BoosterBank {
     /// nothing dynamic).
     #[must_use]
     pub fn boost_event_energy(&self, vdd: Volt, level: usize) -> Joule {
-        assert!(level <= self.levels(), "boost level {level} exceeds {}", self.levels());
-        self.cells[..level].iter().map(|c| c.boost_event_energy(vdd)).sum()
+        assert!(
+            level <= self.levels(),
+            "boost level {level} exceeds {}",
+            self.levels()
+        );
+        self.cells[..level]
+            .iter()
+            .map(|c| c.boost_event_energy(vdd))
+            .sum()
     }
 
     /// Total layout area of the booster column.
@@ -537,7 +565,10 @@ pub mod reference {
     #[must_use]
     pub fn mim_boost_a() -> BoosterBank {
         BoosterBank::new(
-            vec![BoosterCell::new(256, Some(MimCapacitor::from_picofarads(40.0)))],
+            vec![BoosterCell::new(
+                256,
+                Some(MimCapacitor::from_picofarads(40.0)),
+            )],
             BoostLoad::macro_4kb(),
         )
     }
@@ -553,7 +584,10 @@ pub mod reference {
     #[must_use]
     pub fn mim_boost_b() -> BoosterBank {
         BoosterBank::new(
-            vec![BoosterCell::new(256, Some(MimCapacitor::from_picofarads(4.2)))],
+            vec![BoosterCell::new(
+                256,
+                Some(MimCapacitor::from_picofarads(4.2)),
+            )],
             BoostLoad::macro_4kb(),
         )
     }
@@ -592,7 +626,10 @@ mod tests {
         let ladder = bank.voltage_ladder(VDD);
         for w in ladder.windows(2) {
             let step = (w[1] - w[0]).millivolts();
-            assert!((35.0..=65.0).contains(&step), "step {step:.1} mV out of range");
+            assert!(
+                (35.0..=65.0).contains(&step),
+                "step {step:.1} mV out of range"
+            );
         }
     }
 
@@ -677,11 +714,16 @@ mod tests {
             (0.6..=1.5).contains(&vb_ratio),
             "B-pair boosts should be comparable, ratio {vb_ratio:.2}"
         );
-        let e_ratio =
-            no_mim.boost_event_energy(VDD, 1) / mim.boost_event_energy(VDD, 1);
-        assert!(e_ratio > 5.0, "energy penalty only {e_ratio:.1}x, expected ~10x");
+        let e_ratio = no_mim.boost_event_energy(VDD, 1) / mim.boost_event_energy(VDD, 1);
+        assert!(
+            e_ratio > 5.0,
+            "energy penalty only {e_ratio:.1}x, expected ~10x"
+        );
         let a_ratio = no_mim.area() / mim.area();
-        assert!(a_ratio >= 8.0, "area penalty only {a_ratio:.1}x, expected >=8x");
+        assert!(
+            a_ratio >= 8.0,
+            "area penalty only {a_ratio:.1}x, expected >=8x"
+        );
     }
 
     #[test]
@@ -713,7 +755,10 @@ mod tests {
         assert_eq!(bank.min_level_reaching(Volt::new(0.38), target), Some(3));
         assert_eq!(bank.min_level_reaching(Volt::new(0.46), target), Some(1));
         // At very low Vdd even full boost cannot reach an absurd target.
-        assert_eq!(bank.min_level_reaching(Volt::new(0.34), Volt::new(0.9)), None);
+        assert_eq!(
+            bank.min_level_reaching(Volt::new(0.34), Volt::new(0.9)),
+            None
+        );
     }
 
     #[test]
@@ -740,7 +785,8 @@ mod tests {
         assert_eq!(bank.levels(), 4);
         let mut boosts: Vec<f64> = (0..16u32)
             .map(|mask| {
-                bank.boost_amount_masked(VDD, &BoostConfig::from_mask(mask, 4)).millivolts()
+                bank.boost_amount_masked(VDD, &BoostConfig::from_mask(mask, 4))
+                    .millivolts()
             })
             .collect();
         // All-on matches the standard peak (~50% of Vdd) within tolerance.
@@ -783,7 +829,6 @@ mod tests {
     #[should_panic(expected = "width mismatches")]
     fn masked_api_validates_width() {
         use crate::bic::BoostConfig;
-        let _ = BoosterBank::standard()
-            .boost_amount_masked(VDD, &BoostConfig::from_level(1, 8));
+        let _ = BoosterBank::standard().boost_amount_masked(VDD, &BoostConfig::from_level(1, 8));
     }
 }

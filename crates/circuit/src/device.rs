@@ -83,8 +83,16 @@ impl DeviceModel {
             alpha > 0.5 && alpha <= 3.0,
             "alpha-power exponent out of the physical range (0.5, 3.0]"
         );
-        assert!(v_dibl.volts() > 0.0, "leakage voltage scale must be positive");
-        Self { vt, alpha, v_nom, v_dibl }
+        assert!(
+            v_dibl.volts() > 0.0,
+            "leakage voltage scale must be positive"
+        );
+        Self {
+            vt,
+            alpha,
+            v_nom,
+            v_dibl,
+        }
     }
 
     /// Threshold voltage of the delay law.
@@ -213,8 +221,10 @@ mod tests {
     fn leakage_energy_per_cycle_scales_with_period() {
         let dev = DeviceModel::default_14nm();
         let p_nom = Watt::from_microwatts(10.0);
-        let e1 = dev.leakage_energy_per_cycle(Volt::new(0.5), p_nom, Second::from_nanoseconds(20.0));
-        let e2 = dev.leakage_energy_per_cycle(Volt::new(0.5), p_nom, Second::from_nanoseconds(40.0));
+        let e1 =
+            dev.leakage_energy_per_cycle(Volt::new(0.5), p_nom, Second::from_nanoseconds(20.0));
+        let e2 =
+            dev.leakage_energy_per_cycle(Volt::new(0.5), p_nom, Second::from_nanoseconds(40.0));
         assert!((e2.joules() / e1.joules() - 2.0).abs() < 1e-12);
     }
 
@@ -231,7 +241,10 @@ mod tests {
             "0.34 V must sustain the 50 MHz target, got {:.1} MHz",
             f_floor.megahertz()
         );
-        assert!(f_floor.megahertz() < 200.0, "low-voltage frequency implausibly high");
+        assert!(
+            f_floor.megahertz() < 200.0,
+            "low-voltage frequency implausibly high"
+        );
     }
 
     #[test]

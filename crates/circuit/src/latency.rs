@@ -37,8 +37,15 @@ impl SramTiming {
             (0.0..=1.0).contains(&peripheral_fraction),
             "peripheral fraction must be in [0, 1]"
         );
-        assert!(nominal_access.seconds() > 0.0, "nominal access time must be positive");
-        Self { device, nominal_access, peripheral_fraction }
+        assert!(
+            nominal_access.seconds() > 0.0,
+            "nominal access time must be positive"
+        );
+        Self {
+            device,
+            nominal_access,
+            peripheral_fraction,
+        }
     }
 
     /// The 32 Kbit dual-port macro of the paper: 1 ns access at nominal
@@ -90,12 +97,17 @@ impl SramTiming {
         let array = self.nominal_access * (1.0 - self.peripheral_fraction);
         match scope {
             BoostScope::Array => {
-                let vddv = bank.clone().with_scope(BoostScope::Array).boosted_voltage(vdd, level);
-                periph * self.device.relative_delay(vdd)
-                    + array * self.device.relative_delay(vddv)
+                let vddv = bank
+                    .clone()
+                    .with_scope(BoostScope::Array)
+                    .boosted_voltage(vdd, level);
+                periph * self.device.relative_delay(vdd) + array * self.device.relative_delay(vddv)
             }
             BoostScope::Macro => {
-                let vddv = bank.clone().with_scope(BoostScope::Macro).boosted_voltage(vdd, level);
+                let vddv = bank
+                    .clone()
+                    .with_scope(BoostScope::Macro)
+                    .boosted_voltage(vdd, level);
                 (periph + array) * self.device.relative_delay(vddv)
             }
         }

@@ -69,7 +69,9 @@ impl Waveform {
             .iter()
             .filter(|(t, _)| t.seconds() >= start && t.seconds() < end)
             .map(|&(_, v)| v)
-            .fold(None, |acc: Option<Volt>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .fold(None, |acc: Option<Volt>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
     }
 }
 
@@ -187,12 +189,15 @@ impl TransientSim {
             if let Some(e) = event {
                 bic.set_config(e.config);
             }
-            let cen = if event.is_some() { ChipEnable::Active } else { ChipEnable::Idle };
+            let cen = if event.is_some() {
+                ChipEnable::Active
+            } else {
+                ChipEnable::Idle
+            };
 
             for s in 0..self.samples_per_cycle {
-                let t = Second::new(
-                    self.cycle_time.seconds() * cycle as f64 + dt.seconds() * s as f64,
-                );
+                let t =
+                    Second::new(self.cycle_time.seconds() * cycle as f64 + dt.seconds() * s as f64);
                 let clk = if s < self.samples_per_cycle / 2 {
                     ClockPhase::High
                 } else {
@@ -207,7 +212,11 @@ impl TransientSim {
                 };
                 // First-order step toward the target: fast coupling when
                 // boosting upward, slow droop/relaxation otherwise.
-                let tau = if target > v { self.tau_rise } else { self.tau_droop };
+                let tau = if target > v {
+                    self.tau_rise
+                } else {
+                    self.tau_droop
+                };
                 let alpha = 1.0 - (-dt.seconds() / tau.seconds()).exp();
                 v = v + (target - v) * alpha;
                 samples.push((t, v));
@@ -262,7 +271,13 @@ mod tests {
         // Paper: "supply voltage adjustment happens within a cycle".
         let s = sim();
         let cfg = BoostConfig::from_level(4, 4);
-        let w = s.simulate(&[AccessEvent { cycle: 0, config: cfg }], 2);
+        let w = s.simulate(
+            &[AccessEvent {
+                cycle: 0,
+                config: cfg,
+            }],
+            2,
+        );
         let peak = w.peak_in_cycle(0, Second::from_nanoseconds(20.0)).unwrap();
         let target = s.bank().boosted_voltage(Volt::new(0.4), 4);
         assert!(
@@ -275,7 +290,13 @@ mod tests {
     fn rail_returns_toward_vdd_after_access() {
         let s = sim();
         let cfg = BoostConfig::from_level(4, 4);
-        let w = s.simulate(&[AccessEvent { cycle: 0, config: cfg }], 4);
+        let w = s.simulate(
+            &[AccessEvent {
+                cycle: 0,
+                config: cfg,
+            }],
+            4,
+        );
         let last = w.samples().last().unwrap().1;
         assert!(
             (last.volts() - 0.4).abs() < 0.03,
@@ -339,7 +360,10 @@ mod tests {
         let sagged = s.worst_case_burst_rail(4, 8);
         let delta = (ideal - sagged).millivolts();
         assert!((10.0..=30.0).contains(&delta), "droop delta {delta:.1} mV");
-        assert!(sagged > Volt::new(0.48), "burst rail {sagged} must clear the target");
+        assert!(
+            sagged > Volt::new(0.48),
+            "burst rail {sagged} must clear the target"
+        );
     }
 
     #[test]

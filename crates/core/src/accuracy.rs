@@ -14,10 +14,10 @@ use dante_nn::layers::Layer;
 use dante_nn::network::Network;
 use dante_nn::quant::ScaledQuantizer;
 use dante_nn::Matrix;
+use dante_sim::{derive_seed, site, NoopObserver, TrialEngine, TrialObserver};
 use dante_sram::fault::VminFaultModel;
 use dante_sram::storage::FaultOverlay;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Effective rail voltage for each data class of one inference run.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,20 +32,29 @@ impl VoltageAssignment {
     /// Every data class at the same voltage.
     #[must_use]
     pub fn uniform(v: Volt, weight_layers: usize) -> Self {
-        Self { weight_layers: vec![v; weight_layers], inputs: v }
+        Self {
+            weight_layers: vec![v; weight_layers],
+            inputs: v,
+        }
     }
 
     /// Weights at `v`, inputs held safe at a high voltage (isolates weight
     /// sensitivity, as in Fig. 2's "weights" curves).
     #[must_use]
     pub fn weights_only(v: Volt, weight_layers: usize, safe: Volt) -> Self {
-        Self { weight_layers: vec![v; weight_layers], inputs: safe }
+        Self {
+            weight_layers: vec![v; weight_layers],
+            inputs: safe,
+        }
     }
 
     /// Inputs at `v`, weights held safe (Fig. 2's "inputs" curve).
     #[must_use]
     pub fn inputs_only(v: Volt, weight_layers: usize, safe: Volt) -> Self {
-        Self { weight_layers: vec![safe; weight_layers], inputs: v }
+        Self {
+            weight_layers: vec![safe; weight_layers],
+            inputs: v,
+        }
     }
 
     /// Only weight layer `layer` at `v`, everything else safe (Fig. 2's
@@ -59,7 +68,10 @@ impl VoltageAssignment {
         assert!(layer < weight_layers, "layer {layer} out of range");
         let mut weights = vec![safe; weight_layers];
         weights[layer] = v;
-        Self { weight_layers: weights, inputs: safe }
+        Self {
+            weight_layers: weights,
+            inputs: safe,
+        }
     }
 }
 
@@ -123,6 +135,11 @@ pub enum EccMode {
 }
 
 /// The Monte-Carlo evaluator.
+///
+/// Trials run on the shared [`TrialEngine`]: each trial's randomness is
+/// derived from `(seed, trial index)` via [`derive_seed`], so the per-trial
+/// results are bit-identical whether the engine runs them serially or
+/// across any number of worker threads.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccuracyEvaluator {
     fault_model: VminFaultModel,
@@ -130,12 +147,14 @@ pub struct AccuracyEvaluator {
     input_quantizer: ScaledQuantizer,
     trials: usize,
     ecc: EccMode,
+    engine: TrialEngine,
 }
 
 impl AccuracyEvaluator {
     /// Creates an evaluator with the paper's defaults: the calibrated 14nm
     /// fault model, the chip's 16-bit/2-guard-bit weight format, and the
     /// given Monte-Carlo trial count (the paper uses 100 fault maps).
+    /// Trials run in parallel per `DANTE_THREADS` (default: all cores).
     ///
     /// # Panics
     ///
@@ -149,7 +168,25 @@ impl AccuracyEvaluator {
             input_quantizer: ScaledQuantizer::weight_default(),
             trials,
             ecc: EccMode::None,
+            engine: TrialEngine::from_env(),
         }
+    }
+
+    /// Pins the worker-thread count (overriding `DANTE_THREADS`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.engine = TrialEngine::with_threads(threads);
+        self
+    }
+
+    /// The worker-thread count in effect.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
     }
 
     /// Replaces the fault model.
@@ -184,25 +221,33 @@ impl AccuracyEvaluator {
         self.trials
     }
 
+    /// Quantizes `values`, applies one fault die drawn from `seed`, and
+    /// returns the corrupted values plus the number of bits that flipped.
     fn corrupt_values(
         &self,
         values: &[f32],
         quantizer: &ScaledQuantizer,
         v: Volt,
-        rng: &mut StdRng,
-    ) -> Vec<f32> {
+        seed: u64,
+    ) -> (Vec<f32>, u64) {
         let mut tensor = quantizer.quantize(values);
         let mut words = tensor.to_packed_words();
-        let overlay = FaultOverlay::generate(tensor.bit_len(), &self.fault_model, rng);
-        match self.ecc {
-            EccMode::None => overlay.apply(&mut words, v),
+        let overlay = FaultOverlay::from_seed(tensor.bit_len(), &self.fault_model, seed);
+        let flipped = match self.ecc {
+            EccMode::None => {
+                overlay.apply(&mut words, v);
+                overlay.flip_count(v) as u64
+            }
             EccMode::SecDed => {
                 // SEC-DED per 64-bit word: heal single flips, counting the
                 // 8 check bits (which fault at the same per-cell rate).
                 let mut corruption = overlay.corruption_words(v);
                 corruption.truncate(words.len());
-                let check_overlay =
-                    FaultOverlay::generate(words.len() * 8, &self.fault_model, rng);
+                let check_overlay = FaultOverlay::from_seed(
+                    words.len() * 8,
+                    &self.fault_model,
+                    derive_seed(seed, site::ECC_CHECK, 0),
+                );
                 let check_words = check_overlay.corruption_words(v);
                 let check_flips: Vec<u32> = (0..words.len())
                     .map(|w| {
@@ -214,67 +259,93 @@ impl AccuracyEvaluator {
                 for (word, c) in words.iter_mut().zip(&corruption) {
                     *word ^= c;
                 }
+                corruption.iter().map(|c| u64::from(c.count_ones())).sum()
             }
-        }
+        };
         tensor.load_packed_words(&words);
-        tensor.to_f32()
+        (tensor.to_f32(), flipped)
+    }
+
+    fn corrupt_network_counted(
+        &self,
+        net: &Network,
+        assignment: &VoltageAssignment,
+        trial_seed: u64,
+    ) -> (Network, u64) {
+        let layers = net.weight_layer_indices().len();
+        assert_eq!(
+            layers,
+            assignment.weight_layers.len(),
+            "assignment covers {} layers, network has {}",
+            assignment.weight_layers.len(),
+            layers
+        );
+        let mut fault_bits = 0u64;
+        let corrupted = net.map_weight_layers(|pos, layer| {
+            let v = assignment.weight_layers[pos];
+            let layer_seed = derive_seed(trial_seed, site::WEIGHT_LAYER, pos as u64);
+            match layer {
+                Layer::Dense(d) => {
+                    let (new, bits) = self.corrupt_values(
+                        d.weights().as_slice(),
+                        &self.weight_quantizer,
+                        v,
+                        layer_seed,
+                    );
+                    fault_bits += bits;
+                    let (r, c) = d.weights().dims();
+                    let mut d = d.clone();
+                    *d.weights_mut() = Matrix::from_vec(r, c, new);
+                    Layer::Dense(d)
+                }
+                Layer::Conv2d(conv) => {
+                    let (new, bits) =
+                        self.corrupt_values(conv.weights(), &self.weight_quantizer, v, layer_seed);
+                    fault_bits += bits;
+                    let mut conv = conv.clone();
+                    conv.weights_mut().copy_from_slice(&new);
+                    Layer::Conv2d(conv)
+                }
+                _ => unreachable!("weight_layer_indices returns parameterized layers"),
+            }
+        });
+        (corrupted, fault_bits)
     }
 
     /// Returns a copy of `net` whose weights went through quantization and
-    /// one fault die at the assignment's voltages.
+    /// one fault die at the assignment's voltages. The die is a pure
+    /// function of `trial_seed` (each weight layer draws its overlay from a
+    /// [`derive_seed`]-derived sub-seed), so the same seed reproduces the
+    /// same corruption on any thread.
     ///
     /// # Panics
     ///
     /// Panics if the assignment's layer count mismatches the network's
     /// weight layers.
     #[must_use]
-    pub fn corrupt_network<R: Rng + ?Sized>(
+    pub fn corrupt_network(
         &self,
         net: &Network,
         assignment: &VoltageAssignment,
-        rng: &mut R,
+        trial_seed: u64,
     ) -> Network {
-        let indices = net.weight_layer_indices();
-        assert_eq!(
-            indices.len(),
-            assignment.weight_layers.len(),
-            "assignment covers {} layers, network has {}",
-            assignment.weight_layers.len(),
-            indices.len()
-        );
-        let mut corrupted = net.clone();
-        for (pos, &li) in indices.iter().enumerate() {
-            let v = assignment.weight_layers[pos];
-            let mut die_rng = StdRng::seed_from_u64(rng.gen());
-            match &mut corrupted.layers_mut()[li] {
-                Layer::Dense(d) => {
-                    let vals = d.weights().as_slice().to_vec();
-                    let new = self.corrupt_values(&vals, &self.weight_quantizer, v, &mut die_rng);
-                    let (r, c) = d.weights().dims();
-                    *d.weights_mut() = Matrix::from_vec(r, c, new);
-                }
-                Layer::Conv2d(conv) => {
-                    let vals = conv.weights().to_vec();
-                    let new = self.corrupt_values(&vals, &self.weight_quantizer, v, &mut die_rng);
-                    conv.weights_mut().copy_from_slice(&new);
-                }
-                _ => unreachable!("weight_layer_indices returns parameterized layers"),
-            }
-        }
-        corrupted
+        self.corrupt_network_counted(net, assignment, trial_seed).0
     }
 
     /// Returns a corrupted copy of a test-image buffer at the inputs
-    /// voltage.
+    /// voltage; the die is a pure function of `trial_seed`.
     #[must_use]
-    pub fn corrupt_inputs<R: Rng + ?Sized>(
-        &self,
-        images: &[f32],
-        v: Volt,
-        rng: &mut R,
-    ) -> Vec<f32> {
-        let mut die_rng = StdRng::seed_from_u64(rng.gen());
-        self.corrupt_values(images, &self.input_quantizer, v, &mut die_rng)
+    pub fn corrupt_inputs(&self, images: &[f32], v: Volt, trial_seed: u64) -> Vec<f32> {
+        self.corrupt_inputs_counted(images, v, trial_seed).0
+    }
+
+    fn corrupt_inputs_counted(&self, images: &[f32], v: Volt, trial_seed: u64) -> (Vec<f32>, u64) {
+        self.corrupt_values(
+            images,
+            &self.input_quantizer,
+            v,
+            derive_seed(trial_seed, site::INPUTS, 0),
+        )
     }
 
     /// Evaluates accuracy over a voltage axis with a caller-supplied
@@ -299,7 +370,7 @@ impl AccuracyEvaluator {
                     &make_assignment(v),
                     images,
                     labels,
-                    seed ^ ((i as u64) << 32),
+                    derive_seed(seed, site::SWEEP_POINT, i as u64),
                 );
                 (v, stats)
             })
@@ -335,8 +406,13 @@ impl AccuracyEvaluator {
         let mut passing = None;
         for mv in (300..=600).rev().step_by(10) {
             let v = Volt::from_millivolts(f64::from(mv));
-            let stats =
-                self.evaluate(net, &VoltageAssignment::uniform(v, layers), images, labels, seed);
+            let stats = self.evaluate(
+                net,
+                &VoltageAssignment::uniform(v, layers),
+                images,
+                labels,
+                seed,
+            );
             if stats.mean() >= target {
                 passing = Some(v);
             } else {
@@ -350,6 +426,10 @@ impl AccuracyEvaluator {
     /// corrupting weights and inputs at the assignment's voltages, averaged
     /// over the labelled test set.
     ///
+    /// Trial `t` draws its die from `derive_seed(seed, site::TRIAL, t)`, so
+    /// the returned per-trial accuracies are bit-identical for any worker
+    /// count and any execution order.
+    ///
     /// # Panics
     ///
     /// Panics on inconsistent buffer lengths or a mismatched assignment.
@@ -362,14 +442,36 @@ impl AccuracyEvaluator {
         labels: &[u8],
         seed: u64,
     ) -> AccuracyStats {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let per_trial = (0..self.trials)
-            .map(|_| {
-                let corrupted = self.corrupt_network(net, assignment, &mut rng);
-                let test_images = self.corrupt_inputs(images, assignment.inputs, &mut rng);
-                corrupted.accuracy(&test_images, labels)
-            })
-            .collect();
+        self.evaluate_observed(net, assignment, images, labels, seed, &NoopObserver)
+    }
+
+    /// [`Self::evaluate`] with instrumentation: the observer sees per-trial
+    /// completions, `"corrupt"`/`"inference"` stage timings, and the number
+    /// of fault bits each trial injected.
+    #[must_use]
+    pub fn evaluate_observed(
+        &self,
+        net: &Network,
+        assignment: &VoltageAssignment,
+        images: &[f32],
+        labels: &[u8],
+        seed: u64,
+        observer: &dyn TrialObserver,
+    ) -> AccuracyStats {
+        let per_trial = self.engine.run_observed(self.trials, observer, |trial| {
+            let trial_seed = derive_seed(seed, site::TRIAL, trial as u64);
+            let corrupt_start = Instant::now();
+            let (corrupted, weight_bits) =
+                self.corrupt_network_counted(net, assignment, trial_seed);
+            let (test_images, input_bits) =
+                self.corrupt_inputs_counted(images, assignment.inputs, trial_seed);
+            observer.on_stage("corrupt", corrupt_start.elapsed());
+            observer.on_fault_bits(trial, weight_bits + input_bits);
+            let infer_start = Instant::now();
+            let accuracy = corrupted.accuracy(&test_images, labels);
+            observer.on_stage("inference", infer_start.elapsed());
+            accuracy
+        });
         AccuracyStats { per_trial }
     }
 }
@@ -379,6 +481,7 @@ mod tests {
     use super::*;
     use dante_nn::layers::{Dense, Relu};
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn toy_net_and_data() -> (Network, Vec<f32>, Vec<u8>) {
         let mut rng = StdRng::seed_from_u64(5);
@@ -398,7 +501,11 @@ mod tests {
             }
             labels.push(c);
         }
-        let cfg = dante_nn::train::SgdConfig { epochs: 20, batch_size: 8, ..Default::default() };
+        let cfg = dante_nn::train::SgdConfig {
+            epochs: 20,
+            batch_size: 8,
+            ..Default::default()
+        };
         dante_nn::train::train(&mut net, &images, &labels, &cfg, &mut rng);
         (net, images, labels)
     }
@@ -424,7 +531,11 @@ mod tests {
         let eval = AccuracyEvaluator::new(3);
         let assignment = VoltageAssignment::uniform(Volt::new(0.34), 2);
         let stats = eval.evaluate(&net, &assignment, &images, &labels, 2);
-        assert!(stats.mean() < 0.85, "0.34 V should corrupt heavily: {}", stats.mean());
+        assert!(
+            stats.mean() < 0.85,
+            "0.34 V should corrupt heavily: {}",
+            stats.mean()
+        );
     }
 
     #[test]
@@ -437,14 +548,19 @@ mod tests {
         };
         let low = acc(340);
         let high = acc(520);
-        assert!(high >= low, "accuracy must not degrade as V rises: {low} vs {high}");
+        assert!(
+            high >= low,
+            "accuracy must not degrade as V rises: {low} vs {high}"
+        );
         assert!(high > 0.95);
     }
 
     #[test]
     fn weights_only_and_inputs_only_assignments_differ() {
         let (net, images, labels) = toy_net_and_data();
-        let eval = AccuracyEvaluator::new(4);
+        // Enough dies that the weight-vs-input sensitivity gap clears the
+        // Monte-Carlo noise floor on this tiny network.
+        let eval = AccuracyEvaluator::new(16);
         let safe = Volt::new(0.60);
         let v = Volt::new(0.40);
         let w = eval.evaluate(
@@ -486,7 +602,13 @@ mod tests {
         // Everything above it passes, the grid point 20 mV below fails.
         let layers = net.weight_layer_indices().len();
         let above = eval
-            .evaluate(&net, &VoltageAssignment::uniform(v, layers), &images, &labels, 21)
+            .evaluate(
+                &net,
+                &VoltageAssignment::uniform(v, layers),
+                &images,
+                &labels,
+                21,
+            )
             .mean();
         assert!(above >= 0.98 * net.accuracy(&images, &labels));
     }
@@ -558,11 +680,15 @@ mod tests {
 
     #[test]
     fn stats_summaries_are_consistent() {
-        let stats = AccuracyStats { per_trial: vec![0.9, 1.0, 0.8] };
+        let stats = AccuracyStats {
+            per_trial: vec![0.9, 1.0, 0.8],
+        };
         assert!((stats.mean() - 0.9).abs() < 1e-12);
         assert!((stats.min() - 0.8).abs() < 1e-12);
         assert!(stats.std_dev() > 0.0);
-        let single = AccuracyStats { per_trial: vec![0.5] };
+        let single = AccuracyStats {
+            per_trial: vec![0.5],
+        };
         assert_eq!(single.std_dev(), 0.0);
     }
 
@@ -582,7 +708,21 @@ mod tests {
         let (net, _, _) = toy_net_and_data();
         let eval = AccuracyEvaluator::new(1);
         let bad = VoltageAssignment::uniform(Volt::new(0.5), 3);
-        let mut rng = StdRng::seed_from_u64(0);
-        let _ = eval.corrupt_network(&net, &bad, &mut rng);
+        let _ = eval.corrupt_network(&net, &bad, 0);
+    }
+
+    #[test]
+    fn corrupt_network_is_a_pure_function_of_its_seed() {
+        let (net, _, _) = toy_net_and_data();
+        let eval = AccuracyEvaluator::new(1);
+        let a = VoltageAssignment::uniform(Volt::new(0.38), 2);
+        assert_eq!(
+            eval.corrupt_network(&net, &a, 99),
+            eval.corrupt_network(&net, &a, 99)
+        );
+        assert_ne!(
+            eval.corrupt_network(&net, &a, 99),
+            eval.corrupt_network(&net, &a, 100)
+        );
     }
 }

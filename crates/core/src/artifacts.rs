@@ -50,7 +50,10 @@ pub fn trained_mnist_fc(train_n: usize, test_n: usize, epochs: usize) -> (Networ
         let ds = generate_mnist_like(train_n, 1);
         let mut rng = StdRng::seed_from_u64(0xF0);
         let mut net = mnist_fc_dnn(&mut rng);
-        let cfg = SgdConfig { epochs, ..SgdConfig::default() };
+        let cfg = SgdConfig {
+            epochs,
+            ..SgdConfig::default()
+        };
         train(&mut net, ds.images(), ds.labels(), &cfg, &mut rng);
         net
     });

@@ -12,6 +12,7 @@ use dante_dataflow::row_stationary::RowStationaryDataflow;
 use dante_dataflow::workloads::alexnet_conv;
 use dante_energy::supply::{BoostedGroup, EnergyModel};
 use dante_nn::network::Network;
+use dante_sim::{derive_seed, site};
 
 /// The supply voltage at which the chip reaches the iso-accuracy target
 /// without boosting (paper Sec. 6.3: "The chip reaches its target accuracy
@@ -108,13 +109,18 @@ impl<'a> ConvExperiment<'a> {
     /// The Fig. 14/15 voltage axis: 0.34–0.46 V in 20 mV steps.
     #[must_use]
     pub fn default_voltages() -> Vec<Volt> {
-        (0..=6).map(|i| Volt::new(0.34 + 0.02 * f64::from(i))).collect()
+        (0..=6)
+            .map(|i| Volt::new(0.34 + 0.02 * f64::from(i)))
+            .collect()
     }
 
     fn normalized(&self, joules: f64) -> f64 {
         let reference = self
             .energy
-            .reference_energy_at_0v5(self.activity.total_sram_accesses(), self.activity.total_macs())
+            .reference_energy_at_0v5(
+                self.activity.total_sram_accesses(),
+                self.activity.total_macs(),
+            )
             .joules();
         joules / reference
     }
@@ -123,7 +129,13 @@ impl<'a> ConvExperiment<'a> {
         let layers = self.proxy_net.weight_layer_indices().len();
         let assignment = VoltageAssignment::uniform(rail, layers);
         self.evaluator
-            .evaluate(self.proxy_net, &assignment, self.test_images, self.test_labels, seed)
+            .evaluate(
+                self.proxy_net,
+                &assignment,
+                self.test_images,
+                self.test_labels,
+                seed,
+            )
             .mean()
     }
 
@@ -150,12 +162,16 @@ impl<'a> ConvExperiment<'a> {
     }
 
     /// Runs the Fig. 14 grid: every voltage x boost levels 1..=4.
+    /// Each cell evaluates under its own [`derive_seed`]-derived sub-seed,
+    /// so any cell can be recomputed in isolation.
     #[must_use]
     pub fn run(&self, voltages: &[Volt], seed: u64) -> Vec<ConvPoint> {
+        let levels = self.energy.booster().levels();
         let mut out = Vec::new();
         for (vi, &vdd) in voltages.iter().enumerate() {
-            for level in 1..=self.energy.booster().levels() {
-                out.push(self.point(vdd, level, seed ^ ((vi as u64) << 8) ^ level as u64));
+            for level in 1..=levels {
+                let cell = (vi * levels + (level - 1)) as u64;
+                out.push(self.point(vdd, level, derive_seed(seed, site::GRID_CELL, cell)));
             }
         }
         out
@@ -224,7 +240,11 @@ mod tests {
             for y in 0..8 {
                 for x in 0..8 {
                     // class 0: horizontal stripes, class 1: vertical stripes
-                    let v = if c == 0 { (y % 2) as f32 } else { (x % 2) as f32 };
+                    let v = if c == 0 {
+                        (y % 2) as f32
+                    } else {
+                        (x % 2) as f32
+                    };
                     images.push(v * 0.8 + ((i + x + y) % 5) as f32 * 0.02);
                 }
             }
@@ -267,7 +287,10 @@ mod tests {
         let low = exp.point(Volt::new(0.36), 1, 2);
         let high = exp.point(Volt::new(0.36), 4, 2);
         assert!(high.accuracy_mean >= low.accuracy_mean);
-        assert!(high.accuracy_mean > 0.85, "level 4 at 0.36 V -> ~0.54 V rail");
+        assert!(
+            high.accuracy_mean > 0.85,
+            "level 4 at 0.36 V -> ~0.54 V rail"
+        );
     }
 
     #[test]
@@ -277,7 +300,11 @@ mod tests {
         let pts = exp.iso_accuracy_sweep(&ConvExperiment::default_voltages());
         assert!(!pts.is_empty());
         for p in &pts {
-            assert!(p.vddv >= ISO_ACCURACY_TARGET_V, "rail below target at {}", p.vdd);
+            assert!(
+                p.vddv >= ISO_ACCURACY_TARGET_V,
+                "rail below target at {}",
+                p.vdd
+            );
             // Minimality: one level lower must miss the target (level 0 means
             // vdd itself already reaches it).
             if p.level > 0 {
@@ -311,7 +338,10 @@ mod tests {
             .map(|p| 1.0 - p.boost_dynamic / p.single_at_target)
             .collect();
         let avg = savings.iter().sum::<f64>() / savings.len() as f64;
-        assert!((0.18..=0.45).contains(&avg), "average savings {avg:.3} should be ~0.30");
+        assert!(
+            (0.18..=0.45).contains(&avg),
+            "average savings {avg:.3} should be ~0.30"
+        );
     }
 
     #[test]
@@ -326,7 +356,10 @@ mod tests {
             .map(|p| 1.0 - p.boost_dynamic / p.dual_dynamic)
             .collect();
         let avg = savings.iter().sum::<f64>() / savings.len() as f64;
-        assert!((0.10..=0.30).contains(&avg), "average savings {avg:.3} should be ~0.17");
+        assert!(
+            (0.10..=0.30).contains(&avg),
+            "average savings {avg:.3} should be ~0.17"
+        );
     }
 
     #[test]

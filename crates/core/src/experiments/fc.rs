@@ -15,6 +15,7 @@ use dante_dataflow::fc_dana::DanaFcDataflow;
 use dante_dataflow::workloads::mnist_fc;
 use dante_energy::supply::EnergyModel;
 use dante_nn::network::Network;
+use dante_sim::{derive_seed, site};
 
 /// One `(Vdd, config)` data point of Fig. 13.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,7 +99,9 @@ impl<'a> FcExperiment<'a> {
     /// The paper's Fig. 13 voltage axis: 0.34–0.50 V in 20 mV steps.
     #[must_use]
     pub fn default_voltages() -> Vec<Volt> {
-        (0..=8).map(|i| Volt::new(0.34 + 0.02 * f64::from(i))).collect()
+        (0..=8)
+            .map(|i| Volt::new(0.34 + 0.02 * f64::from(i)))
+            .collect()
     }
 
     /// Computes one data point.
@@ -143,12 +146,16 @@ impl<'a> FcExperiment<'a> {
     }
 
     /// Runs the full grid: every voltage x every Table 2 configuration.
+    /// Each cell evaluates under its own [`derive_seed`]-derived sub-seed,
+    /// so any cell can be recomputed in isolation.
     #[must_use]
     pub fn run(&self, voltages: &[Volt], seed: u64) -> Vec<FcPoint> {
-        let mut out = Vec::with_capacity(voltages.len() * 6);
+        let configs = NamedBoostConfig::all();
+        let mut out = Vec::with_capacity(voltages.len() * configs.len());
         for (vi, &vdd) in voltages.iter().enumerate() {
-            for (ci, config) in NamedBoostConfig::all().into_iter().enumerate() {
-                out.push(self.point(vdd, config, seed ^ ((vi as u64) << 8) ^ ci as u64));
+            for (ci, &config) in configs.iter().enumerate() {
+                let cell = (vi * configs.len() + ci) as u64;
+                out.push(self.point(vdd, config, derive_seed(seed, site::GRID_CELL, cell)));
             }
         }
         out
@@ -187,7 +194,11 @@ mod tests {
             }
             labels.push(c);
         }
-        let cfg = dante_nn::train::SgdConfig { epochs: 25, batch_size: 10, ..Default::default() };
+        let cfg = dante_nn::train::SgdConfig {
+            epochs: 25,
+            batch_size: 10,
+            ..Default::default()
+        };
         dante_nn::train::train(&mut net, &images, &labels, &cfg, &mut rng);
         (net, images, labels)
     }
@@ -205,7 +216,10 @@ mod tests {
             hi.accuracy_mean,
             lo.accuracy_mean
         );
-        assert!(hi.accuracy_mean > 0.9, "full boost at 0.38 V reaches ~0.55 V rails");
+        assert!(
+            hi.accuracy_mean > 0.9,
+            "full boost at 0.38 V reaches ~0.55 V rails"
+        );
     }
 
     #[test]

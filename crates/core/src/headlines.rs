@@ -48,13 +48,22 @@ pub fn compute() -> Headlines {
     let vdd = Volt::new(0.40);
     let vddv4 = booster.boosted_voltage(vdd, 4);
     let boost4 = m
-        .dynamic_boosted(vdd, &[BoostedGroup { accesses: conv_acc, level: 4 }], conv_macs)
+        .dynamic_boosted(
+            vdd,
+            &[BoostedGroup {
+                accesses: conv_acc,
+                level: 4,
+            }],
+            conv_macs,
+        )
         .joules();
     let dual4 = m.dynamic_dual(vddv4, vdd, conv_acc, conv_macs).joules();
     let alexnet_peak_savings_vs_dual = 1.0 - boost4 / dual4;
 
     // Iso-accuracy sweep 0.34–0.46 V.
-    let voltages: Vec<Volt> = (0..=6).map(|i| Volt::new(0.34 + 0.02 * f64::from(i))).collect();
+    let voltages: Vec<Volt> = (0..=6)
+        .map(|i| Volt::new(0.34 + 0.02 * f64::from(i)))
+        .collect();
     let single_048 = m.dynamic_single(TARGET_V, conv_acc, conv_macs).joules();
     let mut vs_dual = Vec::new();
     let mut vs_single = Vec::new();
@@ -64,7 +73,14 @@ pub fn compute() -> Headlines {
         };
         let vddv = booster.boosted_voltage(v, level);
         let boost = m
-            .dynamic_boosted(v, &[BoostedGroup { accesses: conv_acc, level }], conv_macs)
+            .dynamic_boosted(
+                v,
+                &[BoostedGroup {
+                    accesses: conv_acc,
+                    level,
+                }],
+                conv_macs,
+            )
             .joules();
         let dual = m.dynamic_dual(vddv, v, conv_acc, conv_macs).joules();
         vs_dual.push(1.0 - boost / dual);
@@ -85,9 +101,8 @@ pub fn compute() -> Headlines {
     }
     let leakage_savings_vs_dual = mean(&leak_savings);
 
-    let booster_leakage_overhead = m.leakage_boosted_per_cycle(vdd).joules()
-        / m.leakage_single_per_cycle(vdd).joules()
-        - 1.0;
+    let booster_leakage_overhead =
+        m.leakage_boosted_per_cycle(vdd).joules() / m.leakage_single_per_cycle(vdd).joules() - 1.0;
 
     // MNIST FC: full-boost plan vs dual at 0.40 V.
     let fc = DanaFcDataflow::new().activity(&mnist_fc());

@@ -14,6 +14,7 @@ use dante_circuit::units::Volt;
 use dante_dataflow::activity::WorkloadActivity;
 use dante_energy::supply::EnergyModel;
 use dante_nn::network::Network;
+use dante_sim::{derive_seed, site};
 
 /// The boost-policy optimizer.
 #[derive(Debug)]
@@ -73,7 +74,9 @@ impl PolicyOptimizer {
         seed: u64,
     ) -> f64 {
         let assignment = plan.voltage_assignment(self.booster(), vdd);
-        self.evaluator.evaluate(net, &assignment, images, labels, seed).mean()
+        self.evaluator
+            .evaluate(net, &assignment, images, labels, seed)
+            .mean()
     }
 
     fn energy_of(&self, plan: &BoostPlan, vdd: Volt, activity: &WorkloadActivity) -> f64 {
@@ -112,6 +115,10 @@ impl PolicyOptimizer {
             "activity layer count mismatches the network"
         );
         let p = self.booster().levels();
+        // Every candidate plan is scored under the same derived seed —
+        // paired comparisons (common random numbers), so greedy decisions
+        // compare plans on identical fault dies instead of die-to-die noise.
+        let seed = derive_seed(seed, site::POLICY_STEP, 0);
 
         // Phase 1: lowest uniform level that meets the target.
         let mut base_level = None;
@@ -142,7 +149,11 @@ impl PolicyOptimizer {
         let plan = BoostPlan::with_input_target(levels, self.booster(), vdd);
         let accuracy = self.accuracy_of(net, &plan, vdd, images, labels, seed);
         let dynamic_energy = self.energy_of(&plan, vdd, activity);
-        Some(OptimizedPlan { plan, accuracy, dynamic_energy })
+        Some(OptimizedPlan {
+            plan,
+            accuracy,
+            dynamic_energy,
+        })
     }
 }
 
@@ -165,11 +176,7 @@ impl BoostPlan {
     ///
     /// Panics if `weight_levels` is empty.
     #[must_use]
-    pub fn with_input_target(
-        weight_levels: Vec<usize>,
-        booster: &BoosterBank,
-        vdd: Volt,
-    ) -> Self {
+    pub fn with_input_target(weight_levels: Vec<usize>, booster: &BoosterBank, vdd: Volt) -> Self {
         let input_level = booster
             .min_level_reaching(vdd, crate::schedule::INPUT_TARGET)
             .unwrap_or(booster.levels());
@@ -203,7 +210,11 @@ mod tests {
             }
             labels.push(c);
         }
-        let cfg = dante_nn::train::SgdConfig { epochs: 20, batch_size: 10, ..Default::default() };
+        let cfg = dante_nn::train::SgdConfig {
+            epochs: 20,
+            batch_size: 10,
+            ..Default::default()
+        };
         dante_nn::train::train(&mut net, &images, &labels, &cfg, &mut rng);
         let activity = WorkloadActivity::new(
             "toy",
@@ -257,7 +268,9 @@ mod tests {
         let (net, images, labels, activity) = toy();
         let opt = PolicyOptimizer::new(2, 0.9);
         let vdd = Volt::new(0.40);
-        let result = opt.optimize(&net, &activity, vdd, &images, &labels, 13).unwrap();
+        let result = opt
+            .optimize(&net, &activity, vdd, &images, &labels, 13)
+            .unwrap();
         let full = BoostPlan::from_named_uniform(4, 2, EnergyModel::dante_chip().booster(), vdd);
         let full_energy = EnergyModel::dante_chip()
             .dynamic_boosted(vdd, &full.boosted_groups(&activity), activity.total_macs())

@@ -59,7 +59,10 @@ impl InferenceEnergyReport {
             .enumerate()
         {
             if count > 0 {
-                groups.push(BoostedGroup { accesses: count, level });
+                groups.push(BoostedGroup {
+                    accesses: count,
+                    level,
+                });
                 max_level = max_level.max(level);
             }
         }
@@ -121,7 +124,11 @@ mod tests {
         let calib: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
         let program = Program::compile(&net, &calib).unwrap();
         let mut dante = Dante::fault_free(ChipConfig::dante(), Volt::new(0.40));
-        let _ = dante.run(&program, &BoostSchedule::uniform(level, 2, input_level), &calib);
+        let _ = dante.run(
+            &program,
+            &BoostSchedule::uniform(level, 2, input_level),
+            &calib,
+        );
         dante
     }
 
@@ -142,16 +149,18 @@ mod tests {
 
     #[test]
     fn boost_saves_vs_single_at_level4() {
-        let report =
-            InferenceEnergyReport::from_run(&run_once(4, 1), &EnergyModel::dante_chip());
-        assert!(report.savings_vs_single() > 0.0, "got {}", report.savings_vs_single());
+        let report = InferenceEnergyReport::from_run(&run_once(4, 1), &EnergyModel::dante_chip());
+        assert!(
+            report.savings_vs_single() > 0.0,
+            "got {}",
+            report.savings_vs_single()
+        );
         assert!(report.boosted_leakage < report.dual_leakage);
     }
 
     #[test]
     fn level_zero_run_matches_single_supply() {
-        let report =
-            InferenceEnergyReport::from_run(&run_once(0, 0), &EnergyModel::dante_chip());
+        let report = InferenceEnergyReport::from_run(&run_once(0, 0), &EnergyModel::dante_chip());
         // With no boosting anywhere the comparison rail is Vdd itself and
         // the boosted energy equals the single-supply energy.
         assert!((report.comparison_rail.volts() - 0.40).abs() < 1e-9);

@@ -35,7 +35,14 @@ impl NamedBoostConfig {
     /// All six configurations in Table 2 order.
     #[must_use]
     pub fn all() -> [Self; 6] {
-        [Self::Vddv1, Self::Vddv2, Self::Vddv3, Self::Vddv4, Self::Diff1, Self::Diff2]
+        [
+            Self::Vddv1,
+            Self::Vddv2,
+            Self::Vddv3,
+            Self::Vddv4,
+            Self::Diff1,
+            Self::Diff2,
+        ]
     }
 
     /// The paper's name for the configuration.
@@ -60,7 +67,10 @@ impl NamedBoostConfig {
     #[must_use]
     pub fn weight_levels(&self, layers: usize, p: usize) -> Vec<usize> {
         assert!(layers > 0, "need at least one layer");
-        assert!(p >= 4, "Table 2 configurations assume at least 4 boost levels");
+        assert!(
+            p >= 4,
+            "Table 2 configurations assume at least 4 boost levels"
+        );
         let ramp = |reverse: bool| -> Vec<usize> {
             (0..layers)
                 .map(|i| {
@@ -101,7 +111,10 @@ impl BoostPlan {
     #[must_use]
     pub fn new(weight_levels: Vec<usize>, input_level: usize) -> Self {
         assert!(!weight_levels.is_empty(), "plan needs at least one layer");
-        Self { weight_levels, input_level }
+        Self {
+            weight_levels,
+            input_level,
+        }
     }
 
     /// Builds a Table 2 plan: the named weight levels plus the
@@ -188,7 +201,10 @@ impl BoostPlan {
         };
         for (layer, &level) in activity.layers().iter().zip(&self.weight_levels) {
             add(layer.weight_accesses, level);
-            add(layer.input_accesses + layer.output_accesses, self.input_level);
+            add(
+                layer.input_accesses + layer.output_accesses,
+                self.input_level,
+            );
         }
         groups
     }
@@ -207,10 +223,22 @@ mod tests {
 
     #[test]
     fn table2_levels_match_the_paper() {
-        assert_eq!(NamedBoostConfig::Vddv1.weight_levels(4, 4), vec![1, 1, 1, 1]);
-        assert_eq!(NamedBoostConfig::Vddv4.weight_levels(4, 4), vec![4, 4, 4, 4]);
-        assert_eq!(NamedBoostConfig::Diff1.weight_levels(4, 4), vec![1, 2, 3, 4]);
-        assert_eq!(NamedBoostConfig::Diff2.weight_levels(4, 4), vec![4, 3, 2, 1]);
+        assert_eq!(
+            NamedBoostConfig::Vddv1.weight_levels(4, 4),
+            vec![1, 1, 1, 1]
+        );
+        assert_eq!(
+            NamedBoostConfig::Vddv4.weight_levels(4, 4),
+            vec![4, 4, 4, 4]
+        );
+        assert_eq!(
+            NamedBoostConfig::Diff1.weight_levels(4, 4),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(
+            NamedBoostConfig::Diff2.weight_levels(4, 4),
+            vec![4, 3, 2, 1]
+        );
     }
 
     #[test]

@@ -91,7 +91,13 @@ mod tests {
     use super::*;
 
     fn layer(macs: u64, w: u64, i: u64, o: u64) -> LayerActivity {
-        LayerActivity { layer: 0, macs, weight_accesses: w, input_accesses: i, output_accesses: o }
+        LayerActivity {
+            layer: 0,
+            macs,
+            weight_accesses: w,
+            input_accesses: i,
+            output_accesses: o,
+        }
     }
 
     #[test]

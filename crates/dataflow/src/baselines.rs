@@ -26,16 +26,16 @@ pub const OS_SPATIAL_TILE: u64 = 256;
 
 fn conv_only(shape: &LayerShape, dataflow: &'static str, i: usize) -> (u64, u64, u64, u64) {
     match *shape {
-        LayerShape::Conv { in_channels, out_channels, kernel, .. } => (
-            in_channels as u64,
-            out_channels as u64,
-            kernel as u64,
-            {
-                let _ = i;
-                let _ = dataflow;
-                0
-            },
-        ),
+        LayerShape::Conv {
+            in_channels,
+            out_channels,
+            kernel,
+            ..
+        } => (in_channels as u64, out_channels as u64, kernel as u64, {
+            let _ = i;
+            let _ = dataflow;
+            0
+        }),
         LayerShape::Fc { .. } => {
             panic!("{dataflow} dataflow maps conv layers only (layer {i})")
         }
@@ -181,9 +181,15 @@ mod tests {
     fn dataflow_reuse_ordering_matches_the_literature() {
         // RS < OS < WS << NLR in buffer accesses per MAC for AlexNet.
         let wl = alexnet_conv();
-        let rs = RowStationaryDataflow::new().activity(&wl).access_mac_ratio();
-        let os = OutputStationaryDataflow::new().activity(&wl).access_mac_ratio();
-        let ws = WeightStationaryDataflow::new().activity(&wl).access_mac_ratio();
+        let rs = RowStationaryDataflow::new()
+            .activity(&wl)
+            .access_mac_ratio();
+        let os = OutputStationaryDataflow::new()
+            .activity(&wl)
+            .access_mac_ratio();
+        let ws = WeightStationaryDataflow::new()
+            .activity(&wl)
+            .access_mac_ratio();
         let nlr = NoLocalReuseDataflow::new().activity(&wl).access_mac_ratio();
         assert!(rs < os, "RS {rs} vs OS {os}");
         assert!(os < ws, "OS {os} vs WS {ws}");

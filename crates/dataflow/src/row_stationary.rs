@@ -67,14 +67,16 @@ impl Dataflow for RowStationaryDataflow {
             .iter()
             .enumerate()
             .map(|(i, shape)| match *shape {
-                LayerShape::Conv { out_channels, kernel, .. } => {
+                LayerShape::Conv {
+                    out_channels,
+                    kernel,
+                    ..
+                } => {
                     let passes = Self::passes(out_channels as u64, kernel as u64);
                     let ifmap =
                         (shape.input_len() as f64 * passes as f64 * IFMAP_REFETCH).ceil() as u64;
-                    let filters =
-                        (shape.weight_count() as f64 * FILTER_REFETCH).ceil() as u64;
-                    let psums =
-                        (shape.output_len() as f64 * PSUM_ROUNDTRIPS).ceil() as u64;
+                    let filters = (shape.weight_count() as f64 * FILTER_REFETCH).ceil() as u64;
+                    let psums = (shape.output_len() as f64 * PSUM_ROUNDTRIPS).ceil() as u64;
                     LayerActivity {
                         layer: i,
                         macs: shape.macs(),

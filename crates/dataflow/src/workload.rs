@@ -64,9 +64,20 @@ impl LayerShape {
             in_channels > 0 && in_h > 0 && in_w > 0 && out_channels > 0 && kernel > 0 && stride > 0,
             "conv dimensions must be positive"
         );
-        assert!(groups > 0 && out_channels.is_multiple_of(groups), "groups must divide out_channels");
+        assert!(
+            groups > 0 && out_channels.is_multiple_of(groups),
+            "groups must divide out_channels"
+        );
         assert!(kernel <= in_h && kernel <= in_w, "kernel larger than input");
-        Self::Conv { in_channels, in_h, in_w, out_channels, kernel, stride, groups }
+        Self::Conv {
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            kernel,
+            stride,
+            groups,
+        }
     }
 
     /// Output spatial height (conv) or 1 (FC).
@@ -74,7 +85,12 @@ impl LayerShape {
     pub fn out_h(&self) -> usize {
         match *self {
             Self::Fc { .. } => 1,
-            Self::Conv { in_h, kernel, stride, .. } => (in_h - kernel) / stride + 1,
+            Self::Conv {
+                in_h,
+                kernel,
+                stride,
+                ..
+            } => (in_h - kernel) / stride + 1,
         }
     }
 
@@ -83,7 +99,12 @@ impl LayerShape {
     pub fn out_w(&self) -> usize {
         match *self {
             Self::Fc { .. } => 1,
-            Self::Conv { in_w, kernel, stride, .. } => (in_w - kernel) / stride + 1,
+            Self::Conv {
+                in_w,
+                kernel,
+                stride,
+                ..
+            } => (in_w - kernel) / stride + 1,
         }
     }
 
@@ -92,7 +113,12 @@ impl LayerShape {
     pub fn macs(&self) -> u64 {
         match *self {
             Self::Fc { inputs, outputs } => (inputs * outputs) as u64,
-            Self::Conv { in_channels, out_channels, kernel, .. } => {
+            Self::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => {
                 (self.out_h() * self.out_w() * out_channels * in_channels * kernel * kernel) as u64
             }
         }
@@ -103,9 +129,12 @@ impl LayerShape {
     pub fn weight_count(&self) -> u64 {
         match *self {
             Self::Fc { inputs, outputs } => (inputs * outputs) as u64,
-            Self::Conv { in_channels, out_channels, kernel, .. } => {
-                (out_channels * in_channels * kernel * kernel) as u64
-            }
+            Self::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => (out_channels * in_channels * kernel * kernel) as u64,
         }
     }
 
@@ -114,9 +143,13 @@ impl LayerShape {
     pub fn input_len(&self) -> u64 {
         match *self {
             Self::Fc { inputs, .. } => inputs as u64,
-            Self::Conv { in_channels, in_h, in_w, groups, .. } => {
-                (in_channels * groups * in_h * in_w) as u64
-            }
+            Self::Conv {
+                in_channels,
+                in_h,
+                in_w,
+                groups,
+                ..
+            } => (in_channels * groups * in_h * in_w) as u64,
         }
     }
 
@@ -125,9 +158,7 @@ impl LayerShape {
     pub fn output_len(&self) -> u64 {
         match *self {
             Self::Fc { outputs, .. } => outputs as u64,
-            Self::Conv { out_channels, .. } => {
-                (out_channels * self.out_h() * self.out_w()) as u64
-            }
+            Self::Conv { out_channels, .. } => (out_channels * self.out_h() * self.out_w()) as u64,
         }
     }
 }
@@ -136,7 +167,15 @@ impl fmt::Display for LayerShape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             Self::Fc { inputs, outputs } => write!(f, "FC {inputs}x{outputs}"),
-            Self::Conv { in_channels, in_h, in_w, out_channels, kernel, stride, groups } => {
+            Self::Conv {
+                in_channels,
+                in_h,
+                in_w,
+                out_channels,
+                kernel,
+                stride,
+                groups,
+            } => {
                 write!(
                     f,
                     "Conv {in_channels}x{in_h}x{in_w} -> {out_channels} (k{kernel} s{stride} g{groups})"
@@ -162,7 +201,10 @@ impl Workload {
     #[must_use]
     pub fn new(name: impl Into<String>, layers: Vec<LayerShape>) -> Self {
         assert!(!layers.is_empty(), "a workload needs at least one layer");
-        Self { name: name.into(), layers }
+        Self {
+            name: name.into(),
+            layers,
+        }
     }
 
     /// Workload name.

@@ -50,7 +50,10 @@ mod tests {
     fn mnist_fc_matches_paper_dimensions() {
         let w = mnist_fc();
         assert_eq!(w.layers().len(), 4);
-        assert_eq!(w.total_weights(), 784 * 256 + 256 * 256 + 256 * 256 + 256 * 10);
+        assert_eq!(
+            w.total_weights(),
+            784 * 256 + 256 * 256 + 256 * 256 + 256 * 10
+        );
         // FC nets have one MAC per weight.
         assert_eq!(w.total_macs(), w.total_weights());
     }

@@ -8,8 +8,8 @@
 //! are used by the examples and the report tooling.
 
 use crate::supply::{BoostedGroup, EnergyModel};
-use dante_circuit::units::{Joule, Volt};
 use core::fmt;
+use dante_circuit::units::{Joule, Volt};
 
 /// Energy attributed to each component of one inference.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,7 +128,10 @@ mod tests {
     #[test]
     fn breakdown_totals_match_the_energy_equations() {
         let m = EnergyModel::dante_chip();
-        let groups = [BoostedGroup { accesses: 10_000, level: 4 }];
+        let groups = [BoostedGroup {
+            accesses: 10_000,
+            level: 4,
+        }];
         let b = m.breakdown_boosted(VDD, &groups, 1_000_000);
         let eq3 = m.dynamic_boosted(VDD, &groups, 1_000_000);
         assert!((b.total().joules() - eq3.joules()).abs() / eq3.joules() < 1e-12);
@@ -146,7 +149,14 @@ mod tests {
     #[test]
     fn fractions_sum_to_one() {
         let m = EnergyModel::dante_chip();
-        let b = m.breakdown_boosted(VDD, &[BoostedGroup { accesses: 5_000, level: 2 }], 100_000);
+        let b = m.breakdown_boosted(
+            VDD,
+            &[BoostedGroup {
+                accesses: 5_000,
+                level: 2,
+            }],
+            100_000,
+        );
         let sum = b.sram_fraction() + b.logic_fraction() + b.booster_fraction();
         assert!((sum - 1.0).abs() < 1e-12);
     }
@@ -178,17 +188,37 @@ mod tests {
         let m = EnergyModel::dante_chip();
         let vddv = m.vddv(VDD, 4);
         let dual = m.breakdown_dual(vddv, VDD, 1_000, 1_000_000);
-        let boosted =
-            m.breakdown_boosted(VDD, &[BoostedGroup { accesses: 1_000, level: 4 }], 1_000_000);
-        assert!(dual.logic > boosted.logic, "LDO loss must inflate dual logic energy");
+        let boosted = m.breakdown_boosted(
+            VDD,
+            &[BoostedGroup {
+                accesses: 1_000,
+                level: 4,
+            }],
+            1_000_000,
+        );
+        assert!(
+            dual.logic > boosted.logic,
+            "LDO loss must inflate dual logic energy"
+        );
         assert_eq!(dual.booster, Joule::ZERO);
     }
 
     #[test]
     fn booster_fraction_is_small_for_conv_like_activity() {
         let m = EnergyModel::dante_chip();
-        let b = m.breakdown_boosted(VDD, &[BoostedGroup { accesses: 16_700, level: 4 }], 1_000_000);
-        assert!(b.booster_fraction() < 0.02, "booster tax {:.4}", b.booster_fraction());
+        let b = m.breakdown_boosted(
+            VDD,
+            &[BoostedGroup {
+                accesses: 16_700,
+                level: 4,
+            }],
+            1_000_000,
+        );
+        assert!(
+            b.booster_fraction() < 0.02,
+            "booster tax {:.4}",
+            b.booster_fraction()
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl Default for DesignSpaceScenario {
     /// The paper's scenario: 0.4 V boosted at full level (to ~0.6 V, where
     /// the bit error rate is effectively zero).
     fn default() -> Self {
-        Self { vdd: Volt::const_new(0.4), level: 4 }
+        Self {
+            vdd: Volt::const_new(0.4),
+            level: 4,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ pub fn sweep(
     ops_ratios: &[f64],
     energy_ratios: &[f64],
 ) -> Vec<DesignSpacePoint> {
-    assert!(!ops_ratios.is_empty() && !energy_ratios.is_empty(), "empty sweep axis");
+    assert!(
+        !ops_ratios.is_empty() && !energy_ratios.is_empty(),
+        "empty sweep axis"
+    );
     assert!(
         ops_ratios.iter().chain(energy_ratios).all(|&r| r > 0.0),
         "sweep ratios must be positive"
@@ -72,7 +78,10 @@ pub fn sweep(
             let vddv = model.vddv(scenario.vdd, scenario.level);
             let boosted = model.dynamic_boosted(
                 scenario.vdd,
-                &[BoostedGroup { accesses, level: scenario.level }],
+                &[BoostedGroup {
+                    accesses,
+                    level: scenario.level,
+                }],
                 MACS,
             );
             let dual = model.dynamic_dual(vddv, scenario.vdd, accesses, MACS);
@@ -104,7 +113,11 @@ mod tests {
         // designs with lower ratio of memory-to-compute operations and
         // memory-to-compute energy."
         let pts = sweep(DesignSpaceScenario::default(), &[0.0167], &[3.0]);
-        assert!(pts[0].boosted_over_dual < 0.85, "ratio {}", pts[0].boosted_over_dual);
+        assert!(
+            pts[0].boosted_over_dual < 0.85,
+            "ratio {}",
+            pts[0].boosted_over_dual
+        );
     }
 
     #[test]
@@ -126,7 +139,11 @@ mod tests {
         // High Ops_ratio + high Energy_ratio is where the LDO baseline
         // catches up (and eventually passes) boosting.
         let pts = sweep(DesignSpaceScenario::default(), &[4.0], &[1.0]);
-        assert!(pts[0].boosted_over_dual > 1.0, "ratio {}", pts[0].boosted_over_dual);
+        assert!(
+            pts[0].boosted_over_dual > 1.0,
+            "ratio {}",
+            pts[0].boosted_over_dual
+        );
     }
 
     #[test]

@@ -33,12 +33,21 @@ impl Dataset {
     pub fn new(images: Vec<f32>, labels: Vec<u8>, sample_len: usize, classes: usize) -> Self {
         assert!(sample_len > 0, "sample length must be positive");
         assert!(classes > 0, "class count must be positive");
-        assert_eq!(images.len(), labels.len() * sample_len, "image buffer length mismatch");
+        assert_eq!(
+            images.len(),
+            labels.len() * sample_len,
+            "image buffer length mismatch"
+        );
         assert!(
             labels.iter().all(|&l| (l as usize) < classes),
             "label out of range"
         );
-        Self { images, labels, sample_len, classes }
+        Self {
+            images,
+            labels,
+            sample_len,
+            classes,
+        }
     }
 
     /// Number of samples.

@@ -34,8 +34,8 @@ const PALETTE: [(f32, f32, f32); 10] = [
 
 fn pattern_value(class: usize, x: f32, y: f32, freq: f32, phase: f32) -> f32 {
     match class % 5 {
-        0 => (y * freq + phase).sin(),                       // horizontal stripes
-        1 => (x * freq + phase).sin(),                       // vertical stripes
+        0 => (y * freq + phase).sin(), // horizontal stripes
+        1 => (x * freq + phase).sin(), // vertical stripes
         2 => (x * freq + phase).sin() * (y * freq + phase).sin(), // checker
         3 => {
             // radial blob centred mid-image
@@ -79,7 +79,11 @@ pub fn generate_cifar_like(n: usize, seed: u64) -> Dataset {
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let class = i % CLASSES;
-        render(class, &mut rng, &mut images[i * IMAGE_LEN..(i + 1) * IMAGE_LEN]);
+        render(
+            class,
+            &mut rng,
+            &mut images[i * IMAGE_LEN..(i + 1) * IMAGE_LEN],
+        );
         labels.push(class as u8);
     }
     Dataset::new(images, labels, IMAGE_LEN, CLASSES)
@@ -111,7 +115,10 @@ mod tests {
     fn classes_have_distinct_colour_signatures() {
         let d = generate_cifar_like(20, 9);
         let chan_mean = |s: &[f32], c: usize| -> f32 {
-            s[c * SIDE * SIDE..(c + 1) * SIDE * SIDE].iter().sum::<f32>() / (SIDE * SIDE) as f32
+            s[c * SIDE * SIDE..(c + 1) * SIDE * SIDE]
+                .iter()
+                .sum::<f32>()
+                / (SIDE * SIDE) as f32
         };
         // Class 0 is red-dominant, class 2 blue-dominant.
         let red = d.sample(0);

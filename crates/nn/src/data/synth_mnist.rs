@@ -35,13 +35,13 @@ const SEGMENTS: [[bool; 7]; 10] = [
 
 /// Segment rectangles `(x0, y0, x1, y1)` inclusive, on the nominal canvas.
 const SEGMENT_RECTS: [(usize, usize, usize, usize); 7] = [
-    (8, 4, 19, 6),   // A: top bar
-    (18, 5, 20, 13), // B: top-right
-    (18, 14, 20, 22),// C: bottom-right
-    (8, 21, 19, 23), // D: bottom bar
-    (7, 14, 9, 22),  // E: bottom-left
-    (7, 5, 9, 13),   // F: top-left
-    (8, 12, 19, 14), // G: middle bar
+    (8, 4, 19, 6),    // A: top bar
+    (18, 5, 20, 13),  // B: top-right
+    (18, 14, 20, 22), // C: bottom-right
+    (8, 21, 19, 23),  // D: bottom bar
+    (7, 14, 9, 22),   // E: bottom-left
+    (7, 5, 9, 13),    // F: top-left
+    (8, 12, 19, 14),  // G: middle bar
 ];
 
 /// Renders one digit into a 784-float buffer.
@@ -99,7 +99,11 @@ pub fn generate_mnist_like(n: usize, seed: u64) -> Dataset {
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let digit = i % CLASSES;
-        render_digit(digit, &mut rng, &mut images[i * IMAGE_LEN..(i + 1) * IMAGE_LEN]);
+        render_digit(
+            digit,
+            &mut rng,
+            &mut images[i * IMAGE_LEN..(i + 1) * IMAGE_LEN],
+        );
         labels.push(digit as u8);
     }
     Dataset::new(images, labels, IMAGE_LEN, CLASSES)
@@ -115,7 +119,10 @@ pub fn generate_mnist_like(n: usize, seed: u64) -> Dataset {
 /// multiple of 784.
 #[must_use]
 pub fn downsample(images: &[f32], factor: usize) -> Vec<f32> {
-    assert!(factor > 0 && SIDE.is_multiple_of(factor), "factor must divide {SIDE}");
+    assert!(
+        factor > 0 && SIDE.is_multiple_of(factor),
+        "factor must divide {SIDE}"
+    );
     assert_eq!(images.len() % IMAGE_LEN, 0, "buffer must hold whole images");
     let n = images.len() / IMAGE_LEN;
     let out_side = SIDE / factor;
@@ -187,7 +194,10 @@ mod tests {
         let dot = |x: &[f32], y: &[f32]| -> f32 { x.iter().zip(y).map(|(a, b)| a * b).sum() };
         let same = dot(a, b);
         let diff = dot(a, d.sample(1)); // digit '1'
-        assert!(same > diff, "same-class correlation {same} <= cross-class {diff}");
+        assert!(
+            same > diff,
+            "same-class correlation {same} <= cross-class {diff}"
+        );
     }
 
     #[test]

@@ -80,7 +80,14 @@ impl Conv2d {
         let weights = (0..out_channels * fan_in)
             .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
             .collect();
-        Self { in_shape, out_channels, kernel, padding, weights, bias: vec![0.0; out_channels] }
+        Self {
+            in_shape,
+            out_channels,
+            kernel,
+            padding,
+            weights,
+            bias: vec![0.0; out_channels],
+        }
     }
 
     /// Creates a conv layer from explicit parameters (deserialization,
@@ -103,14 +110,23 @@ impl Conv2d {
             out_channels * in_shape.c * kernel * kernel,
             "weight length does not match geometry"
         );
-        assert_eq!(bias.len(), out_channels, "bias length does not match channels");
+        assert_eq!(
+            bias.len(),
+            out_channels,
+            "bias length does not match channels"
+        );
         assert!(
-            kernel > 0
-                && kernel <= in_shape.h + 2 * padding
-                && kernel <= in_shape.w + 2 * padding,
+            kernel > 0 && kernel <= in_shape.h + 2 * padding && kernel <= in_shape.w + 2 * padding,
             "kernel incompatible with padded input"
         );
-        Self { in_shape, out_channels, kernel, padding, weights, bias }
+        Self {
+            in_shape,
+            out_channels,
+            kernel,
+            padding,
+            weights,
+            bias,
+        }
     }
 
     /// Input shape.
@@ -215,8 +231,8 @@ impl Conv2d {
                                         continue;
                                     }
                                     let icw = icw - self.padding;
-                                    acc += self.w_at(oc, ic, kr, kc)
-                                        * xin[(ic * ih + ir) * iw + icw];
+                                    acc +=
+                                        self.w_at(oc, ic, kr, kc) * xin[(ic * ih + ir) * iw + icw];
                                 }
                             }
                         }
@@ -289,7 +305,11 @@ impl Conv2d {
     ///
     /// Panics if gradient lengths mismatch.
     pub fn apply_update(&mut self, dw: &[f32], db: &[f32], lr: f32) {
-        assert_eq!(dw.len(), self.weights.len(), "weight gradient length mismatch");
+        assert_eq!(
+            dw.len(),
+            self.weights.len(),
+            "weight gradient length mismatch"
+        );
         assert_eq!(db.len(), self.bias.len(), "bias gradient length mismatch");
         for (w, &g) in self.weights.iter_mut().zip(dw) {
             *w -= lr * g;

@@ -19,7 +19,10 @@ impl Dense {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
-        assert!(in_features > 0 && out_features > 0, "dense dimensions must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "dense dimensions must be positive"
+        );
         let scale = (2.0 / in_features as f32).sqrt();
         let data = (0..in_features * out_features)
             .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
@@ -37,7 +40,11 @@ impl Dense {
     /// Panics if `bias.len() != weights.cols()`.
     #[must_use]
     pub fn from_parameters(weights: Matrix, bias: Vec<f32>) -> Self {
-        assert_eq!(bias.len(), weights.cols(), "bias length must match output width");
+        assert_eq!(
+            bias.len(),
+            weights.cols(),
+            "bias length must match output width"
+        );
         Self { weights, bias }
     }
 
@@ -182,9 +189,8 @@ mod tests {
         let dy = y.clone();
         let (dx, dw, db) = d.backward(&x, &dy, batch);
 
-        let loss = |d: &Dense, x: &[f32]| -> f32 {
-            d.forward(x, batch).iter().map(|v| v * v * 0.5).sum()
-        };
+        let loss =
+            |d: &Dense, x: &[f32]| -> f32 { d.forward(x, batch).iter().map(|v| v * v * 0.5).sum() };
         let eps = 1e-2f32;
 
         // Check dx numerically.
@@ -251,7 +257,10 @@ mod tests {
         let d = Dense::new(100, 50, &mut rng);
         let norm = d.weights().frobenius_norm();
         let expected = (100.0f32 * 50.0 * (2.0 / 100.0) / 3.0).sqrt(); // uniform variance = scale^2/3
-        assert!((norm / expected) > 0.7 && (norm / expected) < 1.4, "norm {norm} vs {expected}");
+        assert!(
+            (norm / expected) > 0.7 && (norm / expected) < 1.4,
+            "norm {norm} vs {expected}"
+        );
     }
 
     #[test]

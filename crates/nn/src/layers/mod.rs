@@ -180,12 +180,24 @@ impl Layer {
         match self {
             Self::Dense(d) => {
                 let (dx, dw, db) = d.backward(x, dy, batch);
-                (dx, Some(ParamGrads { weights: dw.into_vec(), bias: db }))
+                (
+                    dx,
+                    Some(ParamGrads {
+                        weights: dw.into_vec(),
+                        bias: db,
+                    }),
+                )
             }
             Self::Relu(r) => (r.backward(x, dy), None),
             Self::Conv2d(c) => {
                 let (dx, dw, db) = c.backward(x, dy, batch);
-                (dx, Some(ParamGrads { weights: dw, bias: db }))
+                (
+                    dx,
+                    Some(ParamGrads {
+                        weights: dw,
+                        bias: db,
+                    }),
+                )
             }
             Self::MaxPool2d(p) => {
                 let LayerCache::PoolIndices(idx) = cache else {

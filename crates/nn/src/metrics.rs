@@ -55,7 +55,10 @@ impl ConfusionMatrix {
     /// Panics on out-of-range indices.
     #[must_use]
     pub fn count(&self, truth: usize, pred: usize) -> u64 {
-        assert!(truth < self.classes && pred < self.classes, "index out of range");
+        assert!(
+            truth < self.classes && pred < self.classes,
+            "index out of range"
+        );
         self.counts[truth * self.classes + pred]
     }
 
@@ -132,7 +135,11 @@ mod tests {
             }
             labels.push(c);
         }
-        let cfg = crate::train::SgdConfig { epochs: 25, batch_size: 10, ..Default::default() };
+        let cfg = crate::train::SgdConfig {
+            epochs: 25,
+            batch_size: 10,
+            ..Default::default()
+        };
         crate::train::train(&mut net, &images, &labels, &cfg, &mut rng);
         (net, images, labels)
     }
@@ -187,7 +194,9 @@ mod tests {
         let images = vec![0.5f32; 4 * 30];
         let labels: Vec<u8> = (0..30).map(|i| (i % 3) as u8).collect();
         let cm = ConfusionMatrix::from_network(&net, &images, &labels);
-        let (_, pred, count) = cm.worst_confusion().expect("a constant classifier confuses");
+        let (_, pred, count) = cm
+            .worst_confusion()
+            .expect("a constant classifier confuses");
         // All samples predicted the same class; 20 of 30 are wrong, split
         // into two off-diagonal cells of 10.
         assert_eq!(count, 10);

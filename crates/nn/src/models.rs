@@ -76,8 +76,10 @@ mod tests {
         let idx = net.weight_layer_indices();
         assert_eq!(idx.len(), 4);
         // Weight counts per layer: 784*256, 256*256, 256*256, 256*10.
-        let counts: Vec<usize> =
-            idx.iter().map(|&i| net.layers()[i].weight_count()).collect();
+        let counts: Vec<usize> = idx
+            .iter()
+            .map(|&i| net.layers()[i].weight_count())
+            .collect();
         assert_eq!(counts, vec![784 * 256, 256 * 256, 256 * 256, 256 * 10]);
         // MACs per inference ~ total weights for an FC net.
         assert_eq!(net.macs_per_sample() as usize, net.total_weights());
@@ -90,7 +92,10 @@ mod tests {
         let net = mnist_fc_dnn(&mut StdRng::seed_from_u64(1));
         let idx = net.weight_layer_indices();
         let l1 = net.layers()[idx[0]].weight_count();
-        let rest: usize = idx[1..].iter().map(|&i| net.layers()[i].weight_count()).sum();
+        let rest: usize = idx[1..]
+            .iter()
+            .map(|&i| net.layers()[i].weight_count())
+            .sum();
         assert!(l1 as f64 > 1.4 * rest as f64);
     }
 

@@ -53,7 +53,11 @@ impl core::fmt::Display for NetworkError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::Empty => write!(f, "network has no layers"),
-            Self::ShapeMismatch { layer, produced, expected } => write!(
+            Self::ShapeMismatch {
+                layer,
+                produced,
+                expected,
+            } => write!(
                 f,
                 "layer {layer} expects input length {expected} but receives {produced}"
             ),
@@ -79,7 +83,11 @@ impl Network {
             let produced = layers[i - 1].out_len();
             let expected = layers[i].in_len();
             if produced != expected {
-                return Err(NetworkError::ShapeMismatch { layer: i, produced, expected });
+                return Err(NetworkError::ShapeMismatch {
+                    layer: i,
+                    produced,
+                    expected,
+                });
             }
         }
         Ok(Self { layers })
@@ -107,6 +115,37 @@ impl Network {
     #[must_use]
     pub fn layers_mut(&mut self) -> &mut [Layer] {
         &mut self.layers
+    }
+
+    /// Builds a copy of the network with each parameterized layer replaced
+    /// by `f(pos, layer)`, where `pos` counts weight layers in depth order
+    /// (the paper's "L1" is `pos == 0`); activation layers are copied
+    /// unchanged.
+    ///
+    /// This is the immutable-share path of the Monte-Carlo evaluator: many
+    /// threads borrow the clean network and each builds its own corrupted
+    /// copy, instead of cloning and then mutating shared state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` changes a layer's input or output shape.
+    #[must_use]
+    pub fn map_weight_layers(&self, mut f: impl FnMut(usize, &Layer) -> Layer) -> Self {
+        let mut pos = 0usize;
+        let layers = self
+            .layers
+            .iter()
+            .map(|layer| {
+                if layer.has_parameters() {
+                    let mapped = f(pos, layer);
+                    pos += 1;
+                    mapped
+                } else {
+                    layer.clone()
+                }
+            })
+            .collect();
+        Self::new(layers).expect("map_weight_layers must preserve layer shapes")
     }
 
     /// Indices of layers that carry weights, in depth order — "weight layer
@@ -183,7 +222,11 @@ impl Network {
     #[must_use]
     pub fn accuracy(&self, images: &[f32], labels: &[u8]) -> f64 {
         let n = labels.len();
-        assert_eq!(images.len(), n * self.in_len(), "image buffer length mismatch");
+        assert_eq!(
+            images.len(),
+            n * self.in_len(),
+            "image buffer length mismatch"
+        );
         if n == 0 {
             return 0.0;
         }
@@ -192,8 +235,7 @@ impl Network {
         for start in (0..n).step_by(chunk) {
             let end = (start + chunk).min(n);
             let batch = end - start;
-            let preds =
-                self.predict(&images[start * self.in_len()..end * self.in_len()], batch);
+            let preds = self.predict(&images[start * self.in_len()..end * self.in_len()], batch);
             correct += preds
                 .iter()
                 .zip(&labels[start..end])
@@ -266,7 +308,9 @@ impl Network {
         impl<'a> Reader<'a> {
             fn take(&mut self, n: usize) -> Result<&'a [u8], NetworkError> {
                 if self.pos + n > self.bytes.len() {
-                    return Err(NetworkError::MalformedBytes { reason: "unexpected end of input" });
+                    return Err(NetworkError::MalformedBytes {
+                        reason: "unexpected end of input",
+                    });
                 }
                 let s = &self.bytes[self.pos..self.pos + n];
                 self.pos += n;
@@ -276,7 +320,9 @@ impl Network {
                 Ok(self.take(1)?[0])
             }
             fn u32(&mut self) -> Result<u32, NetworkError> {
-                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+                Ok(u32::from_le_bytes(
+                    self.take(4)?.try_into().expect("4 bytes"),
+                ))
             }
             fn f32s(&mut self, n: usize) -> Result<Vec<f32>, NetworkError> {
                 let raw = self.take(n * 4)?;
@@ -289,14 +335,20 @@ impl Network {
 
         let mut r = Reader { bytes, pos: 0 };
         if r.take(4)? != b"DNET" {
-            return Err(NetworkError::MalformedBytes { reason: "bad magic" });
+            return Err(NetworkError::MalformedBytes {
+                reason: "bad magic",
+            });
         }
         if r.u32()? != 1 {
-            return Err(NetworkError::MalformedBytes { reason: "unsupported version" });
+            return Err(NetworkError::MalformedBytes {
+                reason: "unsupported version",
+            });
         }
         let n_layers = r.u32()? as usize;
         if n_layers == 0 || n_layers > 1024 {
-            return Err(NetworkError::MalformedBytes { reason: "implausible layer count" });
+            return Err(NetworkError::MalformedBytes {
+                reason: "implausible layer count",
+            });
         }
         let mut layers = Vec::with_capacity(n_layers);
         for _ in 0..n_layers {
@@ -306,7 +358,9 @@ impl Network {
                     let inf = r.u32()? as usize;
                     let out = r.u32()? as usize;
                     if inf == 0 || out == 0 {
-                        return Err(NetworkError::MalformedBytes { reason: "zero dense dims" });
+                        return Err(NetworkError::MalformedBytes {
+                            reason: "zero dense dims",
+                        });
                     }
                     let w = r.f32s(inf * out)?;
                     let b = r.f32s(out)?;
@@ -315,7 +369,9 @@ impl Network {
                 1 => {
                     let len = r.u32()? as usize;
                     if len == 0 {
-                        return Err(NetworkError::MalformedBytes { reason: "zero relu length" });
+                        return Err(NetworkError::MalformedBytes {
+                            reason: "zero relu length",
+                        });
                     }
                     Layer::Relu(Relu::new(len))
                 }
@@ -327,7 +383,9 @@ impl Network {
                     let k = r.u32()? as usize;
                     let p = r.u32()? as usize;
                     if c == 0 || h == 0 || w == 0 || oc == 0 || k == 0 {
-                        return Err(NetworkError::MalformedBytes { reason: "zero conv dims" });
+                        return Err(NetworkError::MalformedBytes {
+                            reason: "zero conv dims",
+                        });
                     }
                     let weights = r.f32s(oc * c * k * k)?;
                     let bias = r.f32s(oc)?;
@@ -345,18 +403,28 @@ impl Network {
                     let h = r.u32()? as usize;
                     let w = r.u32()? as usize;
                     if c == 0 || h == 0 || w == 0 {
-                        return Err(NetworkError::MalformedBytes { reason: "zero pool dims" });
+                        return Err(NetworkError::MalformedBytes {
+                            reason: "zero pool dims",
+                        });
                     }
                     Layer::MaxPool2d(MaxPool2d::new(Shape3::new(c, h, w)))
                 }
-                _ => return Err(NetworkError::MalformedBytes { reason: "unknown layer tag" }),
+                _ => {
+                    return Err(NetworkError::MalformedBytes {
+                        reason: "unknown layer tag",
+                    })
+                }
             };
             layers.push(layer);
         }
         if r.pos != bytes.len() {
-            return Err(NetworkError::MalformedBytes { reason: "trailing bytes" });
+            return Err(NetworkError::MalformedBytes {
+                reason: "trailing bytes",
+            });
         }
-        Self::new(layers).map_err(|_| NetworkError::MalformedBytes { reason: "shape mismatch" })
+        Self::new(layers).map_err(|_| NetworkError::MalformedBytes {
+            reason: "shape mismatch",
+        })
     }
 }
 
@@ -395,7 +463,14 @@ mod tests {
             Layer::Dense(Dense::new(6, 2, &mut rng)),
         ])
         .unwrap_err();
-        assert_eq!(err, NetworkError::ShapeMismatch { layer: 1, produced: 5, expected: 6 });
+        assert_eq!(
+            err,
+            NetworkError::ShapeMismatch {
+                layer: 1,
+                produced: 5,
+                expected: 6
+            }
+        );
         assert!(format!("{err}").contains("layer 1"));
     }
 
@@ -455,6 +530,44 @@ mod tests {
         let mut extra = small_net(6).to_bytes();
         extra.push(0);
         assert!(Network::from_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn map_weight_layers_visits_only_parameterized_layers() {
+        let net = conv_net(8);
+        let mut visited = Vec::new();
+        let doubled = net.map_weight_layers(|pos, layer| {
+            visited.push(pos);
+            match layer {
+                Layer::Dense(d) => {
+                    let mut d = d.clone();
+                    for w in d.weights_mut().as_mut_slice() {
+                        *w *= 2.0;
+                    }
+                    Layer::Dense(d)
+                }
+                Layer::Conv2d(c) => {
+                    let mut c = c.clone();
+                    for w in c.weights_mut() {
+                        *w *= 2.0;
+                    }
+                    Layer::Conv2d(c)
+                }
+                other => other.clone(),
+            }
+        });
+        assert_eq!(visited, vec![0, 1], "conv net has two weight layers");
+        assert_ne!(net, doubled);
+        // Identity mapping reproduces the network exactly.
+        assert_eq!(net, net.map_weight_layers(|_, l| l.clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve layer shapes")]
+    fn map_weight_layers_rejects_shape_changes() {
+        let net = small_net(9);
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = net.map_weight_layers(|_, _| Layer::Dense(Dense::new(2, 2, &mut rng)));
     }
 
     #[test]

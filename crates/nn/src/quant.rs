@@ -33,8 +33,15 @@ impl QFormat {
     pub fn new(bits: u8, frac_bits: u8, signed: bool) -> Self {
         assert!(bits == 8 || bits == 16, "container must be 8 or 16 bits");
         let max_frac = if signed { bits - 1 } else { bits };
-        assert!(frac_bits <= max_frac, "frac_bits {frac_bits} too large for {bits}-bit format");
-        Self { bits, frac_bits, signed }
+        assert!(
+            frac_bits <= max_frac,
+            "frac_bits {frac_bits} too large for {bits}-bit format"
+        );
+        Self {
+            bits,
+            frac_bits,
+            signed,
+        }
     }
 
     /// Q2.14: signed 16-bit with 14 fraction bits, range `[-2, 2)` — the
@@ -100,8 +107,8 @@ impl QFormat {
     /// nearest).
     #[must_use]
     pub fn quantize(&self, value: f32) -> u16 {
-        let scaled = (f64::from(value) * f64::from((2.0f32).powi(i32::from(self.frac_bits))))
-            .round();
+        let scaled =
+            (f64::from(value) * f64::from((2.0f32).powi(i32::from(self.frac_bits)))).round();
         if self.signed {
             let lo = -(1i64 << (self.bits - 1));
             let hi = (1i64 << (self.bits - 1)) - 1;
@@ -129,7 +136,11 @@ impl QFormat {
     }
 
     fn mask(&self) -> u16 {
-        if self.bits == 16 { u16::MAX } else { (1u16 << self.bits) - 1 }
+        if self.bits == 16 {
+            u16::MAX
+        } else {
+            (1u16 << self.bits) - 1
+        }
     }
 
     /// Lanes per 64-bit SRAM word.
@@ -142,7 +153,13 @@ impl QFormat {
 impl fmt::Display for QFormat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let sign = if self.signed { "Q" } else { "UQ" };
-        write!(f, "{}{}.{}", sign, self.bits - self.frac_bits - u8::from(self.signed), self.frac_bits)
+        write!(
+            f,
+            "{}{}.{}",
+            sign,
+            self.bits - self.frac_bits - u8::from(self.signed),
+            self.frac_bits
+        )
     }
 }
 
@@ -158,7 +175,10 @@ impl QuantizedTensor {
     /// Quantizes a float tensor.
     #[must_use]
     pub fn from_f32(values: &[f32], format: QFormat) -> Self {
-        Self { codes: values.iter().map(|&v| format.quantize(v)).collect(), format }
+        Self {
+            codes: values.iter().map(|&v| format.quantize(v)).collect(),
+            format,
+        }
     }
 
     /// The format.
@@ -194,7 +214,10 @@ impl QuantizedTensor {
     /// Dequantizes back to floats.
     #[must_use]
     pub fn to_f32(&self) -> Vec<f32> {
-        self.codes.iter().map(|&c| self.format.dequantize(c)).collect()
+        self.codes
+            .iter()
+            .map(|&c| self.format.dequantize(c))
+            .collect()
     }
 
     /// Packs the codes into 64-bit SRAM words (lane 0 in the low bits), as
@@ -221,7 +244,11 @@ impl QuantizedTensor {
         let lanes = self.format.lanes_per_word();
         let bits = u32::from(self.format.bits());
         let needed = self.codes.len().div_ceil(lanes);
-        assert!(words.len() >= needed, "need {needed} words, got {}", words.len());
+        assert!(
+            words.len() >= needed,
+            "need {needed} words, got {}",
+            words.len()
+        );
         let mask = u64::from(self.format.bits() == 16) * u64::from(u16::MAX)
             + u64::from(self.format.bits() == 8) * 0xFF;
         for (i, code) in self.codes.iter_mut().enumerate() {
@@ -318,7 +345,11 @@ impl ScaledQuantizer {
                 (code as u16) & mask
             })
             .collect();
-        ScaledTensor { codes, scale, bits: self.bits }
+        ScaledTensor {
+            codes,
+            scale,
+            bits: self.bits,
+        }
     }
 }
 
@@ -407,7 +438,11 @@ impl ScaledTensor {
         let lanes = 64 / usize::from(self.bits);
         let bits = u32::from(self.bits);
         let needed = self.codes.len().div_ceil(lanes);
-        assert!(words.len() >= needed, "need {needed} words, got {}", words.len());
+        assert!(
+            words.len() >= needed,
+            "need {needed} words, got {}",
+            words.len()
+        );
         let mask = if self.bits == 16 { 0xFFFFu64 } else { 0xFFu64 };
         for (i, code) in self.codes.iter_mut().enumerate() {
             *code = ((words[i / lanes] >> (bits * (i % lanes) as u32)) & mask) as u16;
@@ -458,7 +493,10 @@ mod tests {
         let raw = q.quantize(0.5);
         let msb_flipped = q.dequantize(raw ^ 0x8000);
         let lsb_flipped = q.dequantize(raw ^ 0x0001);
-        assert!((msb_flipped - (0.5 - 2.0)).abs() < 1e-4, "msb flip: {msb_flipped}");
+        assert!(
+            (msb_flipped - (0.5 - 2.0)).abs() < 1e-4,
+            "msb flip: {msb_flipped}"
+        );
         assert!((lsb_flipped - 0.5).abs() < 1e-3, "lsb flip: {lsb_flipped}");
     }
 
@@ -496,13 +534,19 @@ mod tests {
         t2.load_packed_words(&words);
         let vals = t2.to_f32();
         assert!((vals[0] - 1.0).abs() < 1e-6);
-        assert!((vals[1] - 1.0).abs() < 1e-4, "two's complement MSB flip: -1 -> +1, got {}", vals[1]);
+        assert!(
+            (vals[1] - 1.0).abs() < 1e-4,
+            "two's complement MSB flip: -1 -> +1, got {}",
+            vals[1]
+        );
     }
 
     #[test]
     fn quantization_error_bounded_by_half_step() {
         let q = QFormat::weight_q2_14();
-        let values: Vec<f32> = (0..1000).map(|i| ((i * 37) % 400) as f32 * 0.01 - 2.0).collect();
+        let values: Vec<f32> = (0..1000)
+            .map(|i| ((i * 37) % 400) as f32 * 0.01 - 2.0)
+            .collect();
         let t = QuantizedTensor::from_f32(&values, q);
         assert!(t.mean_abs_error(&values) <= q.step() * 0.5 + 1e-6);
     }

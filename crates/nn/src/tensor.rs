@@ -30,7 +30,11 @@ impl Matrix {
     /// Creates a zero matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major vector.
@@ -40,7 +44,11 @@ impl Matrix {
     /// Panics if `data.len() != rows * cols`.
     #[must_use]
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "data length does not match dimensions");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length does not match dimensions"
+        );
         Self { rows, cols, data }
     }
 
@@ -69,7 +77,10 @@ impl Matrix {
     /// Panics on out-of-range indices.
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -79,7 +90,10 @@ impl Matrix {
     ///
     /// Panics on out-of-range indices.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c] = v;
     }
 

@@ -12,11 +12,7 @@ use rand::Rng;
 ///
 /// Panics on inconsistent lengths or a label outside `0..classes`.
 #[must_use]
-pub fn softmax_cross_entropy(
-    logits: &[f32],
-    labels: &[u8],
-    classes: usize,
-) -> (f32, Vec<f32>) {
+pub fn softmax_cross_entropy(logits: &[f32], labels: &[u8], classes: usize) -> (f32, Vec<f32>) {
     let batch = labels.len();
     assert_eq!(logits.len(), batch * classes, "logit length mismatch");
     let probs = softmax_batch(logits, batch, classes);
@@ -53,7 +49,13 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        Self { learning_rate: 0.05, momentum: 0.9, batch_size: 64, epochs: 10, lr_decay: 0.95 }
+        Self {
+            learning_rate: 0.05,
+            momentum: 0.9,
+            batch_size: 64,
+            epochs: 10,
+            lr_decay: 0.95,
+        }
     }
 }
 
@@ -220,7 +222,11 @@ mod tests {
             labels.push(class);
         }
 
-        let config = SgdConfig { epochs: 30, batch_size: 16, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 30,
+            batch_size: 16,
+            ..SgdConfig::default()
+        };
         let report = train(&mut net, &images, &labels, &config, &mut rng);
         assert_eq!(report.epoch_losses.len(), 30);
         assert!(
@@ -239,7 +245,11 @@ mod tests {
             let mut net = Network::new(vec![Layer::Dense(Dense::new(3, 2, &mut rng))]).unwrap();
             let images = vec![0.1f32; 30];
             let labels = vec![0u8; 10];
-            let config = SgdConfig { epochs: 2, batch_size: 5, ..SgdConfig::default() };
+            let config = SgdConfig {
+                epochs: 2,
+                batch_size: 5,
+                ..SgdConfig::default()
+            };
             train(&mut net, &images, &labels, &config, &mut rng);
             net
         };

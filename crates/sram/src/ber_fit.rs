@@ -44,7 +44,10 @@ impl core::fmt::Display for FitBerError {
             }
             Self::DegenerateSpread => write!(f, "measurements have no probit spread"),
             Self::NonPhysicalFit { sigma } => {
-                write!(f, "fitted sigma {sigma} V is non-physical (BER must fall as V rises)")
+                write!(
+                    f,
+                    "fitted sigma {sigma} V is non-physical (BER must fall as V rises)"
+                )
             }
         }
     }

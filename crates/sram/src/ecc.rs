@@ -57,7 +57,10 @@ impl Codeword {
     /// Panics if bits above position 71 are set.
     #[must_use]
     pub fn from_bits(bits: u128) -> Self {
-        assert!(bits >> CODE_BITS == 0, "codeword has bits beyond position 71");
+        assert!(
+            bits >> CODE_BITS == 0,
+            "codeword has bits beyond position 71"
+        );
         Self(bits)
     }
 
@@ -68,7 +71,10 @@ impl Codeword {
     /// Panics if `position >= 72`.
     #[must_use]
     pub fn with_flip(self, position: u32) -> Self {
-        assert!(position < CODE_BITS, "flip position {position} out of range");
+        assert!(
+            position < CODE_BITS,
+            "flip position {position} out of range"
+        );
         Self(self.0 ^ (1u128 << position))
     }
 }
@@ -266,11 +272,11 @@ mod tests {
     #[test]
     fn filter_heals_single_flips_and_passes_doubles() {
         let mut corruption = vec![
-            0u64,        // clean
-            1 << 5,      // single data flip -> healed
-            0b11,        // double data flip -> passes
-            1 << 40,     // single data flip but a check bit also flipped -> passes
-            0,           // two check-bit flips only -> data unaffected
+            0u64,    // clean
+            1 << 5,  // single data flip -> healed
+            0b11,    // double data flip -> passes
+            1 << 40, // single data flip but a check bit also flipped -> passes
+            0,       // two check-bit flips only -> data unaffected
         ];
         let checks = vec![0u32, 0, 0, 1, 2];
         let healed = filter_corruption(&mut corruption, &checks);
@@ -283,7 +289,10 @@ mod tests {
         let p = 1e-4;
         let approx = 72.0 * 71.0 / 2.0 * p * p;
         let exact = word_failure_probability(p);
-        assert!((exact - approx).abs() / approx < 0.02, "{exact} vs {approx}");
+        assert!(
+            (exact - approx).abs() / approx < 0.02,
+            "{exact} vs {approx}"
+        );
         assert_eq!(word_failure_probability(0.0), 0.0);
         assert!(word_failure_probability(0.5) > 0.99);
     }

@@ -76,7 +76,11 @@ impl VminFaultModel {
             read_flip_probability > 0.0 && read_flip_probability <= 1.0,
             "read flip probability must be in (0, 1]"
         );
-        Self { mu, sigma, read_flip_probability }
+        Self {
+            mu,
+            sigma,
+            read_flip_probability,
+        }
     }
 
     /// Mean of the cell-V_min distribution.
@@ -217,7 +221,10 @@ mod tests {
         for &ber in &[1e-7, 1e-4, 0.014, 0.1, 0.4] {
             let v = m.voltage_for_ber(ber);
             let back = m.bit_error_rate(v);
-            assert!((back - ber).abs() / ber < 1e-2, "ber={ber} v={v} back={back}");
+            assert!(
+                (back - ber).abs() / ber < 1e-2,
+                "ber={ber} v={v} back={back}"
+            );
         }
     }
 
@@ -226,7 +233,10 @@ mod tests {
         let m = VminFaultModel::default_14nm();
         let big = m.v_first_error(4 * 1024 * 1024);
         let small = m.v_first_error(32 * 1024);
-        assert!(big > small, "bigger arrays hit their first error at higher V");
+        assert!(
+            big > small,
+            "bigger arrays hit their first error at higher V"
+        );
         // The 4 Mbit array's first error appears somewhere below 0.6 V.
         assert!(big < Volt::new(0.60) && big > Volt::new(0.45));
     }

@@ -24,7 +24,10 @@ pub struct FaultMask {
 
 impl FaultMask {
     fn with_len(len: usize) -> Self {
-        Self { words: vec![0; len.div_ceil(64)], len }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Number of cells covered by the mask.

@@ -27,7 +27,10 @@ impl MacroGeometry {
     /// The chip's macro: 512 words x 64 bits = 4 KB (32 Kbit).
     #[must_use]
     pub fn dante_4kb() -> Self {
-        Self { words: 512, bits_per_word: 64 }
+        Self {
+            words: 512,
+            bits_per_word: 64,
+        }
     }
 
     /// Creates a custom geometry.
@@ -44,7 +47,10 @@ impl MacroGeometry {
             (1..=64).contains(&bits_per_word),
             "bits per word must be in 1..=64"
         );
-        Self { words, bits_per_word }
+        Self {
+            words,
+            bits_per_word,
+        }
     }
 
     /// Number of words.
@@ -86,7 +92,13 @@ impl MacroGeometry {
 
 impl fmt::Display for MacroGeometry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{}b ({} KB)", self.words, self.bits_per_word, self.capacity_bytes() / 1024)
+        write!(
+            f,
+            "{}x{}b ({} KB)",
+            self.words,
+            self.bits_per_word,
+            self.capacity_bytes() / 1024
+        )
     }
 }
 
@@ -102,7 +114,10 @@ impl BankGeometry {
     /// The chip's bank: two 4 KB macros = 64 Kbit.
     #[must_use]
     pub fn dante_64kbit() -> Self {
-        Self { macro_geometry: MacroGeometry::dante_4kb(), macros_per_bank: 2 }
+        Self {
+            macro_geometry: MacroGeometry::dante_4kb(),
+            macros_per_bank: 2,
+        }
     }
 
     /// Creates a custom bank geometry.
@@ -113,7 +128,10 @@ impl BankGeometry {
     #[must_use]
     pub fn new(macro_geometry: MacroGeometry, macros_per_bank: usize) -> Self {
         assert!(macros_per_bank > 0, "a bank needs at least one macro");
-        Self { macro_geometry, macros_per_bank }
+        Self {
+            macro_geometry,
+            macros_per_bank,
+        }
     }
 
     /// Geometry of the constituent macros.
@@ -176,7 +194,10 @@ impl MemoryGeometry {
     #[must_use]
     pub fn new(bank_geometry: BankGeometry, banks: usize) -> Self {
         assert!(banks > 0, "a memory needs at least one bank");
-        Self { bank_geometry, banks }
+        Self {
+            bank_geometry,
+            banks,
+        }
     }
 
     /// The chip's 128 KB weight memory: 16 banks of 64 Kbit.
@@ -232,7 +253,11 @@ impl MemoryGeometry {
     /// Panics if `addr` is out of range.
     #[must_use]
     pub fn decode(&self, addr: usize) -> (usize, usize) {
-        assert!(addr < self.words(), "address {addr} out of range ({})", self.words());
+        assert!(
+            addr < self.words(),
+            "address {addr} out of range ({})",
+            self.words()
+        );
         let per_bank = self.bank_geometry.words();
         (addr / per_bank, addr % per_bank)
     }
@@ -280,7 +305,14 @@ mod tests {
     fn address_decode_round_trips() {
         let mem = MemoryGeometry::dante_weight_memory();
         let per_bank = mem.bank_geometry().words();
-        for addr in [0, 1, per_bank - 1, per_bank, 5 * per_bank + 17, mem.words() - 1] {
+        for addr in [
+            0,
+            1,
+            per_bank - 1,
+            per_bank,
+            5 * per_bank + 17,
+            mem.words() - 1,
+        ] {
             let (bank, word) = mem.decode(addr);
             assert_eq!(bank * per_bank + word, addr);
             assert!(bank < mem.banks());

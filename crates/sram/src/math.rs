@@ -43,7 +43,10 @@ pub fn q_tail(z: f64) -> f64 {
 /// Panics unless `p` is in the open interval `(0, 1)`.
 #[must_use]
 pub fn q_tail_inv(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "tail probability must be in (0, 1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "tail probability must be in (0, 1), got {p}"
+    );
     -norm_ppf(p)
 }
 
@@ -134,8 +137,11 @@ mod tests {
     fn ppf_round_trips_through_cdf() {
         for &p in &[1e-9, 1e-6, 1e-3, 0.014, 0.1, 0.5, 0.9, 0.999] {
             let z = norm_ppf(p);
-            assert!((phi_cdf(z) - p).abs() < 1e-7 * (1.0 + 1.0 / p.min(1.0 - p)).min(1e4),
-                "p={p}, z={z}, cdf={}", phi_cdf(z));
+            assert!(
+                (phi_cdf(z) - p).abs() < 1e-7 * (1.0 + 1.0 / p.min(1.0 - p)).min(1e4),
+                "p={p}, z={z}, cdf={}",
+                phi_cdf(z)
+            );
         }
     }
 
@@ -144,10 +150,7 @@ mod tests {
         for &p in &[1e-8, 1e-4, 0.014, 0.25, 0.5, 0.75, 0.99] {
             let z = q_tail_inv(p);
             let back = q_tail(z);
-            assert!(
-                (back - p).abs() / p < 1e-3,
-                "p={p} z={z} back={back}"
-            );
+            assert!((back - p).abs() / p < 1e-3, "p={p} z={z} back={back}");
         }
     }
 

@@ -66,6 +66,20 @@ impl FaultOverlay {
         Self { vmins, flips }
     }
 
+    /// Draws the die deterministically from an explicit seed: the overlay is
+    /// a pure function of `(bits, model, seed)`, so Monte-Carlo trials can
+    /// regenerate their die from a derived seed on any thread in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    #[must_use]
+    pub fn from_seed(bits: usize, model: &VminFaultModel, seed: u64) -> Self {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Self::generate(bits, model, &mut rng)
+    }
+
     /// Number of cells covered.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -147,6 +161,22 @@ impl FaultyMacro {
             geometry,
             data: vec![0; geometry.words()],
             overlay: Some(overlay),
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// Creates a macro whose die is drawn deterministically from `seed`
+    /// (see [`FaultOverlay::from_seed`]).
+    #[must_use]
+    pub fn from_seed(geometry: MacroGeometry, model: &VminFaultModel, seed: u64) -> Self {
+        Self {
+            geometry,
+            data: vec![0; geometry.words()],
+            overlay: Some(FaultOverlay::from_seed(
+                geometry.capacity_bits(),
+                model,
+                seed,
+            )),
             stats: AccessStats::default(),
         }
     }
@@ -247,7 +277,11 @@ mod tests {
 
     fn test_macro(seed: u64) -> FaultyMacro {
         let mut rng = StdRng::seed_from_u64(seed);
-        FaultyMacro::new(MacroGeometry::dante_4kb(), &VminFaultModel::default_14nm(), &mut rng)
+        FaultyMacro::new(
+            MacroGeometry::dante_4kb(),
+            &VminFaultModel::default_14nm(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -304,7 +338,13 @@ mod tests {
         m.write(0, 1);
         m.write(1, 2);
         let _ = m.read(0, Volt::new(0.6));
-        assert_eq!(m.stats(), AccessStats { reads: 1, writes: 2 });
+        assert_eq!(
+            m.stats(),
+            AccessStats {
+                reads: 1,
+                writes: 2
+            }
+        );
         assert_eq!(m.stats().total(), 3);
         m.reset_stats();
         assert_eq!(m.stats().total(), 0);

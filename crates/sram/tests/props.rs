@@ -1,12 +1,13 @@
 //! Property tests for the SRAM fault models.
 
 use dante_circuit::units::Volt;
+use dante_sim::{derive_seed, site};
 use dante_sram::ber_fit::fit_vmin_model;
 use dante_sram::ecc;
 use dante_sram::fault::VminFaultModel;
 use dante_sram::geometry::{BankGeometry, MacroGeometry, MemoryGeometry};
 use dante_sram::math::{norm_ppf, phi_cdf, q_tail, q_tail_inv};
-use dante_sram::storage::FaultyMacro;
+use dante_sram::storage::{FaultOverlay, FaultyMacro};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -110,6 +111,52 @@ proptest! {
         let cw = ecc::encode(data);
         let (_, corr) = ecc::decode(cw.with_flip(a).with_flip(b));
         prop_assert_eq!(corr, ecc::Correction::Uncorrectable);
+    }
+
+    /// Fault maps are pure functions of their derived seed: regenerating an
+    /// overlay from the same `(root_seed, trial)` pair yields an identical
+    /// die, bit for bit.
+    #[test]
+    fn fault_overlay_is_pure_in_its_seed(root in any::<u64>(), trial in 0u64..1000) {
+        let model = VminFaultModel::default_14nm();
+        let seed = derive_seed(root, site::TRIAL, trial);
+        let a = FaultOverlay::from_seed(4096, &model, seed);
+        let b = FaultOverlay::from_seed(4096, &model, seed);
+        let v = Volt::new(0.40);
+        prop_assert_eq!(a.corruption_words(v), b.corruption_words(v));
+        prop_assert_eq!(
+            a.vmins().fault_mask(v).words(),
+            b.vmins().fault_mask(v).words()
+        );
+        // Distinct trials draw distinct dies (collisions on a 4096-bit
+        // pattern at cliff-region BER are astronomically unlikely).
+        let other = FaultOverlay::from_seed(4096, &model, derive_seed(root, site::TRIAL, trial + 1));
+        prop_assert!(
+            a.vmins().fault_mask(v) != other.vmins().fault_mask(v)
+                || a.corruption_words(v) != other.corruption_words(v)
+        );
+    }
+
+    /// Fault sets are inclusive across voltage: every cell that fails at a
+    /// higher supply also fails at any lower one, so lowering Vdd only adds
+    /// faults to a die — it never repairs one.
+    #[test]
+    fn fault_sets_are_inclusive_across_voltage(
+        seed in any::<u64>(),
+        lo_mv in 300u32..500,
+        delta_mv in 1u32..150,
+    ) {
+        let model = VminFaultModel::default_14nm();
+        let overlay = FaultOverlay::from_seed(2048, &model, seed);
+        let lo = Volt::from_millivolts(f64::from(lo_mv));
+        let hi = Volt::from_millivolts(f64::from(lo_mv + delta_mv));
+        let at_lo = overlay.vmins().fault_mask(lo);
+        let at_hi = overlay.vmins().fault_mask(hi);
+        prop_assert!(
+            at_lo.is_superset_of(&at_hi),
+            "die gained working cells going down from {hi} to {lo}"
+        );
+        prop_assert!(at_lo.count() >= at_hi.count());
     }
 
     /// Empirical die BER tracks the analytic model within binomial noise.

@@ -36,7 +36,10 @@ fn main() {
         ("MIMBoost-B   ", reference::mim_boost_b()),
         ("noMIMBoost-B ", reference::no_mim_boost_b()),
     ];
-    println!("{:>14} {:>10} {:>12} {:>12}", "config", "Vb [mV]", "E [pJ]", "area [um^2]");
+    println!(
+        "{:>14} {:>10} {:>12} {:>12}",
+        "config", "Vb [mV]", "E [pJ]", "area [um^2]"
+    );
     for (name, cfg) in &configs {
         println!(
             "{:>14} {:>10.1} {:>12.3} {:>12.0}",
@@ -49,7 +52,10 @@ fn main() {
 
     println!("\n== access latency under boosting (Figs. 7/9) ==");
     let timing = SramTiming::macro_32kbit();
-    println!("{:>6} {:>12} {:>16} {:>16}", "Vdd", "unboosted", "array boost L4", "macro boost L4");
+    println!(
+        "{:>6} {:>12} {:>16} {:>16}",
+        "Vdd", "unboosted", "array boost L4", "macro boost L4"
+    );
     for mv in (50..=80).step_by(5) {
         let v = Volt::new(f64::from(mv) / 100.0);
         println!(

@@ -6,7 +6,8 @@
 //! for boost vs. single vs. dual supply.
 //!
 //! Run with: `cargo run --release --example mnist_low_voltage`
-//! (set `DANTE_TRIALS` / `DANTE_TEST_N` to rescale the Monte-Carlo)
+//! (set `DANTE_TRIALS` / `DANTE_TEST_N` to rescale the Monte-Carlo, and
+//! `DANTE_THREADS` to pin the trial engine's worker count)
 
 use dante::accuracy::{AccuracyEvaluator, VoltageAssignment};
 use dante::artifacts::trained_mnist_fc;
@@ -14,24 +15,35 @@ use dante::experiments::FcExperiment;
 use dante::schedule::NamedBoostConfig;
 use dante_circuit::units::Volt;
 use dante_nn::metrics::ConfusionMatrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dante_sim::{StderrProgress, TrialEngine};
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
     let trials = env_usize("DANTE_TRIALS", 5);
     let test_n = env_usize("DANTE_TEST_N", 300);
 
+    eprintln!(
+        "Monte-Carlo runs on {} worker thread(s); set DANTE_THREADS to override",
+        TrialEngine::from_env().threads()
+    );
     eprintln!("loading/training the FC-DNN (cached under target/dante-cache) ...");
     let (net, test) = trained_mnist_fc(5000, test_n, 5);
     let clean = net.accuracy(test.images(), test.labels());
     println!("clean accuracy: {clean:.3} on {test_n} held-out digits\n");
 
     let exp = FcExperiment::new(&net, test.images(), test.labels(), trials);
-    let voltages = [Volt::new(0.36), Volt::new(0.40), Volt::new(0.44), Volt::new(0.48)];
+    let voltages = [
+        Volt::new(0.36),
+        Volt::new(0.40),
+        Volt::new(0.44),
+        Volt::new(0.48),
+    ];
 
     println!(
         "{:>6} {:>13} {:>7} {:>9} {:>9} {:>9} {:>9}",
@@ -53,14 +65,41 @@ fn main() {
         }
         println!();
     }
+    // A live progress line on stderr while a uniform sweep runs: the
+    // trial engine reports every completed die and its injected fault bits
+    // through the observer hooks.
+    let evaluator = AccuracyEvaluator::new(trials);
+    let progress = StderrProgress::new("uniform sweep");
+    println!("{:>6} {:>9} {:>9} {:>9}", "Vdd", "mean", "std", "worst");
+    for &vdd in &voltages {
+        let stats = evaluator.evaluate_observed(
+            &net,
+            &VoltageAssignment::uniform(vdd, 4),
+            test.images(),
+            test.labels(),
+            99,
+            &progress,
+        );
+        println!(
+            "{:>6.2} {:>9.3} {:>9.3} {:>9.3}",
+            vdd.volts(),
+            stats.mean(),
+            stats.std_dev(),
+            stats.min()
+        );
+    }
+    eprintln!(
+        "sweep complete: {} dies, {} fault bits injected in total\n",
+        progress.completed(),
+        progress.fault_bits()
+    );
+
     // Which digits does a corrupted network lose first? One die at 0.44 V,
     // weights exposed, inputs safe.
-    let evaluator = AccuracyEvaluator::new(1);
-    let mut rng = StdRng::seed_from_u64(7);
     let corrupted = evaluator.corrupt_network(
         &net,
         &VoltageAssignment::weights_only(Volt::new(0.44), 4, Volt::new(0.60)),
-        &mut rng,
+        7,
     );
     let cm = ConfusionMatrix::from_network(&corrupted, test.images(), test.labels());
     println!(

@@ -40,7 +40,12 @@ fn build_program(seed: u64, inputs: usize, hidden: usize) -> Program {
 fn main() {
     let vdd = Volt::new(0.40);
     let mut rng = StdRng::seed_from_u64(1);
-    let dante = Dante::new(ChipConfig::dante(), &VminFaultModel::default_14nm(), vdd, &mut rng);
+    let dante = Dante::new(
+        ChipConfig::dante(),
+        &VminFaultModel::default_14nm(),
+        vdd,
+        &mut rng,
+    );
     let mut host = MultiContextDante::new(dante);
 
     let sensitive = host.register(Context::new(
@@ -57,9 +62,18 @@ fn main() {
     // An interleaved request stream, as an always-on edge device would see.
     let mut requests = Vec::new();
     for k in 0..12 {
-        let (ctx, len) = if k % 3 == 0 { (sensitive, 24) } else { (tolerant, 16) };
-        let sample: Vec<f32> = (0..len).map(|i| ((i + k) as f32 * 0.37).sin().abs()).collect();
-        requests.push(Request { context: ctx, sample });
+        let (ctx, len) = if k % 3 == 0 {
+            (sensitive, 24)
+        } else {
+            (tolerant, 16)
+        };
+        let sample: Vec<f32> = (0..len)
+            .map(|i| ((i + k) as f32 * 0.37).sin().abs())
+            .collect();
+        requests.push(Request {
+            context: ctx,
+            sample,
+        });
     }
     let results = host.serve_all(&requests);
     println!(
@@ -79,7 +93,10 @@ fn main() {
     let report = InferenceEnergyReport::from_run(host.dante(), &model);
     let fixed_level4 = model.dynamic_boosted(
         vdd,
-        &[dante_energy::supply::BoostedGroup { accesses: report.sram_accesses, level: 4 }],
+        &[dante_energy::supply::BoostedGroup {
+            accesses: report.sram_accesses,
+            level: 4,
+        }],
         report.macs,
     );
     println!(
@@ -90,10 +107,6 @@ fn main() {
     );
 
     // The instruction the hardware sees at each switch:
-    let example = Instruction::set_boost_config(
-        MemoryId::Weight,
-        0,
-        BoostConfig::from_level(1, 4),
-    );
+    let example = Instruction::set_boost_config(MemoryId::Weight, 0, BoostConfig::from_level(1, 4));
     println!("\nper-switch reconfiguration instruction: `{example}`");
 }

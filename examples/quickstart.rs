@@ -60,8 +60,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("boosted logits:   {:?}", &boosted.logits[..4]);
     println!(
         "unboosted output {} the reference; boosted output {} the reference",
-        if unboosted.codes == reference.codes { "matches" } else { "DIVERGES from" },
-        if boosted.codes == reference.codes { "matches" } else { "DIVERGES from" },
+        if unboosted.codes == reference.codes {
+            "matches"
+        } else {
+            "DIVERGES from"
+        },
+        if boosted.codes == reference.codes {
+            "matches"
+        } else {
+            "DIVERGES from"
+        },
     );
 
     // What the boost costs and what it saves (Eq. 3 vs Eq. 6).

@@ -1,0 +1,129 @@
+//! Determinism regression tests for the unified trial engine: the same root
+//! seed must produce byte-identical Monte-Carlo results regardless of
+//! worker-thread count, and regardless of whether an evaluation runs
+//! directly or as a point inside a sweep.
+
+use dante::accuracy::{AccuracyEvaluator, EccMode, VoltageAssignment};
+use dante_circuit::units::Volt;
+use dante_nn::layers::{Dense, Layer, Relu};
+use dante_nn::network::Network;
+use dante_sim::{derive_seed, site};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn toy_net_and_data() -> (Network, Vec<f32>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(40);
+    let mut net = Network::new(vec![
+        Layer::Dense(Dense::new(8, 12, &mut rng)),
+        Layer::Relu(Relu::new(12)),
+        Layer::Dense(Dense::new(12, 3, &mut rng)),
+    ])
+    .expect("static shapes");
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..90 {
+        let c = (i % 3) as u8;
+        for j in 0..8 {
+            let on = (j % 3) == usize::from(c);
+            images.push(if on { 0.85 } else { 0.1 } + ((i + j) % 5) as f32 * 0.02);
+        }
+        labels.push(c);
+    }
+    let cfg = dante_nn::train::SgdConfig {
+        epochs: 15,
+        batch_size: 10,
+        ..Default::default()
+    };
+    dante_nn::train::train(&mut net, &images, &labels, &cfg, &mut rng);
+    (net, images, labels)
+}
+
+/// Exact per-trial equality across 1, 2, and N worker threads — the heart
+/// of the engine's contract: parallelism is purely a wall-clock knob.
+#[test]
+fn per_trial_results_identical_across_thread_counts() {
+    let (net, images, labels) = toy_net_and_data();
+    let assignment = VoltageAssignment::uniform(Volt::new(0.40), 2);
+    let seed = 0xD0_0D;
+    let reference = AccuracyEvaluator::new(9).with_threads(1).evaluate(
+        &net,
+        &assignment,
+        &images,
+        &labels,
+        seed,
+    );
+    let many = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    for threads in [2, 3, many.max(2)] {
+        let parallel = AccuracyEvaluator::new(9).with_threads(threads).evaluate(
+            &net,
+            &assignment,
+            &images,
+            &labels,
+            seed,
+        );
+        assert_eq!(
+            reference.per_trial, parallel.per_trial,
+            "per-trial results diverged at {threads} threads"
+        );
+    }
+}
+
+/// The thread-count invariance must also hold under the SEC-DED ablation,
+/// which draws a second (check-bit) overlay per layer.
+#[test]
+fn secded_results_identical_across_thread_counts() {
+    let (net, images, labels) = toy_net_and_data();
+    let assignment = VoltageAssignment::uniform(Volt::new(0.40), 2);
+    let serial = AccuracyEvaluator::new(6)
+        .with_ecc(EccMode::SecDed)
+        .with_threads(1)
+        .evaluate(&net, &assignment, &images, &labels, 77);
+    let parallel = AccuracyEvaluator::new(6)
+        .with_ecc(EccMode::SecDed)
+        .with_threads(4)
+        .evaluate(&net, &assignment, &images, &labels, 77);
+    assert_eq!(serial.per_trial, parallel.per_trial);
+}
+
+/// A sweep point is exactly a direct evaluation under the point's derived
+/// seed — sweeps add no hidden generator state.
+#[test]
+fn sweep_points_match_direct_evaluations() {
+    let (net, images, labels) = toy_net_and_data();
+    let eval = AccuracyEvaluator::new(4);
+    let voltages = [Volt::new(0.38), Volt::new(0.44), Volt::new(0.50)];
+    let root = 0xCAFE;
+    let sweep = eval.voltage_sweep(
+        &net,
+        &voltages,
+        |v| VoltageAssignment::uniform(v, 2),
+        &images,
+        &labels,
+        root,
+    );
+    for (i, (v, stats)) in sweep.iter().enumerate() {
+        let direct = eval.evaluate(
+            &net,
+            &VoltageAssignment::uniform(*v, 2),
+            &images,
+            &labels,
+            derive_seed(root, site::SWEEP_POINT, i as u64),
+        );
+        assert_eq!(
+            stats.per_trial, direct.per_trial,
+            "sweep point {i} at {v} diverged from its direct evaluation"
+        );
+    }
+}
+
+/// Trial seeds are independent of the trial count: the first trials of a
+/// short run and a long run coincide, so scaling `DANTE_TRIALS` up only
+/// appends dies — it never reshuffles the ones already evaluated.
+#[test]
+fn trial_prefix_is_stable_under_trial_count() {
+    let (net, images, labels) = toy_net_and_data();
+    let assignment = VoltageAssignment::uniform(Volt::new(0.42), 2);
+    let short = AccuracyEvaluator::new(3).evaluate(&net, &assignment, &images, &labels, 5);
+    let long = AccuracyEvaluator::new(8).evaluate(&net, &assignment, &images, &labels, 5);
+    assert_eq!(short.per_trial[..], long.per_trial[..3]);
+}

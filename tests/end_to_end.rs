@@ -47,7 +47,11 @@ fn small_digit_setup() -> (Network, Vec<f32>, Vec<u8>) {
         Layer::Dense(Dense::new(48, 10, &mut rng)),
     ])
     .unwrap();
-    let cfg = SgdConfig { epochs: 20, batch_size: 20, ..SgdConfig::default() };
+    let cfg = SgdConfig {
+        epochs: 20,
+        batch_size: 20,
+        ..SgdConfig::default()
+    };
     train(&mut net, &train_x, ds.labels(), &cfg, &mut rng);
     let acc = net.accuracy(&test_x, test.labels());
     assert!(acc > 0.9, "small digit net failed to train: {acc}");
@@ -89,12 +93,25 @@ fn boosting_recovers_accuracy_lost_at_very_low_voltage() {
     let n = 40;
 
     let mut rng = StdRng::seed_from_u64(77);
-    let mut dante = Dante::new(ChipConfig::dante(), &VminFaultModel::default_14nm(), vdd, &mut rng);
+    let mut dante = Dante::new(
+        ChipConfig::dante(),
+        &VminFaultModel::default_14nm(),
+        vdd,
+        &mut rng,
+    );
 
-    let unboosted =
-        dante.accuracy(&program, &BoostSchedule::uniform(0, 2, 0), &test_x[..49 * n], &labels[..n]);
-    let boosted =
-        dante.accuracy(&program, &BoostSchedule::uniform(4, 2, 4), &test_x[..49 * n], &labels[..n]);
+    let unboosted = dante.accuracy(
+        &program,
+        &BoostSchedule::uniform(0, 2, 0),
+        &test_x[..49 * n],
+        &labels[..n],
+    );
+    let boosted = dante.accuracy(
+        &program,
+        &BoostSchedule::uniform(4, 2, 4),
+        &test_x[..49 * n],
+        &labels[..n],
+    );
 
     assert!(
         unboosted < 0.6,
@@ -120,19 +137,40 @@ fn spatial_programmability_boosts_data_classes_independently() {
     let n = 40;
 
     let mut rng = StdRng::seed_from_u64(88);
-    let mut dante = Dante::new(ChipConfig::dante(), &VminFaultModel::default_14nm(), vdd, &mut rng);
+    let mut dante = Dante::new(
+        ChipConfig::dante(),
+        &VminFaultModel::default_14nm(),
+        vdd,
+        &mut rng,
+    );
 
     // Inputs at level 2 (rail ~0.475 V, per the 0.44 V rule) and level 3
     // (rail ~0.52 V, where activation faults vanish entirely).
-    let weights_protected =
-        dante.accuracy(&program, &BoostSchedule::uniform(4, 2, 2), &test_x[..49 * n], &labels[..n]);
-    let fully_protected =
-        dante.accuracy(&program, &BoostSchedule::uniform(4, 2, 3), &test_x[..49 * n], &labels[..n]);
-    let weights_exposed =
-        dante.accuracy(&program, &BoostSchedule::uniform(0, 2, 2), &test_x[..49 * n], &labels[..n]);
+    let weights_protected = dante.accuracy(
+        &program,
+        &BoostSchedule::uniform(4, 2, 2),
+        &test_x[..49 * n],
+        &labels[..n],
+    );
+    let fully_protected = dante.accuracy(
+        &program,
+        &BoostSchedule::uniform(4, 2, 3),
+        &test_x[..49 * n],
+        &labels[..n],
+    );
+    let weights_exposed = dante.accuracy(
+        &program,
+        &BoostSchedule::uniform(0, 2, 2),
+        &test_x[..49 * n],
+        &labels[..n],
+    );
     // Weights fully boosted but activations left unboosted at 0.38 V.
-    let inputs_exposed =
-        dante.accuracy(&program, &BoostSchedule::uniform(4, 2, 0), &test_x[..49 * n], &labels[..n]);
+    let inputs_exposed = dante.accuracy(
+        &program,
+        &BoostSchedule::uniform(4, 2, 0),
+        &test_x[..49 * n],
+        &labels[..n],
+    );
 
     assert!(
         fully_protected > 0.8,
@@ -176,7 +214,10 @@ fn monte_carlo_evaluator_and_simulator_tell_the_same_story() {
         )
         .mean();
     assert!(high > 0.85, "evaluator at 0.54 V: {high}");
-    assert!(high > low + 0.2, "evaluator must show the same cliff: {low} -> {high}");
+    assert!(
+        high > low + 0.2,
+        "evaluator must show the same cliff: {low} -> {high}"
+    );
 }
 
 #[test]

@@ -32,7 +32,10 @@ fn ecc_buys_tens_of_millivolts_boosting_buys_hundreds() {
     }
     let boost_gain = (plain_vmin - boosted_supply).millivolts();
 
-    assert!((10.0..=80.0).contains(&ecc_gain), "ECC gain {ecc_gain:.0} mV");
+    assert!(
+        (10.0..=80.0).contains(&ecc_gain),
+        "ECC gain {ecc_gain:.0} mV"
+    );
     assert!(boost_gain > 120.0, "boost gain {boost_gain:.0} mV");
     assert!(boost_gain > 3.0 * ecc_gain, "boosting must dominate ECC");
 }
@@ -70,7 +73,10 @@ fn finer_boost_levels_monotonically_reduce_iso_accuracy_energy() {
     let e16 = mean_energy(16);
     assert!(e4 <= e2 + 1e-18, "4 levels {e4} vs 2 levels {e2}");
     assert!(e16 <= e4 + 1e-18, "16 levels {e16} vs 4 levels {e4}");
-    assert!(1.0 - e16 / e2 > 0.01, "granularity must save >1% ({e2} -> {e16})");
+    assert!(
+        1.0 - e16 / e2 > 0.01,
+        "granularity must save >1% ({e2} -> {e16})"
+    );
 }
 
 #[test]
@@ -82,8 +88,14 @@ fn boost_advantage_collapses_without_dataflow_reuse() {
     let savings = |activity: &dante_dataflow::activity::WorkloadActivity| -> f64 {
         let acc = activity.total_sram_accesses();
         let macs = activity.total_macs();
-        let boost =
-            m.dynamic_boosted(vdd, &[BoostedGroup { accesses: acc, level: 4 }], macs);
+        let boost = m.dynamic_boosted(
+            vdd,
+            &[BoostedGroup {
+                accesses: acc,
+                level: 4,
+            }],
+            macs,
+        );
         let dual = m.dynamic_dual(vddv, vdd, acc, macs);
         1.0 - boost.joules() / dual.joules()
     };
@@ -92,7 +104,10 @@ fn boost_advantage_collapses_without_dataflow_reuse() {
     let nlr = savings(&NoLocalReuseDataflow::new().activity(&wl));
     assert!(rs > 0.25, "RS savings {rs}");
     assert!(ws > 0.2 && ws < rs, "WS savings {ws}");
-    assert!(nlr < 0.05, "NLR savings {nlr} — boosting should not win without reuse");
+    assert!(
+        nlr < 0.05,
+        "NLR savings {nlr} — boosting should not win without reuse"
+    );
 }
 
 #[test]
@@ -100,7 +115,9 @@ fn secded_codec_protects_a_real_memory_image() {
     // End-to-end ECC: encode a block, flip one bit per word via a fault
     // overlay at a moderate voltage, decode, and verify full recovery.
     use dante_sram::ecc::{decode, encode, Correction};
-    let data: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    let data: Vec<u64> = (0..64u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
     let mut corrected = 0;
     for (i, &d) in data.iter().enumerate() {
         let cw = encode(d);
@@ -125,7 +142,14 @@ fn energy_breakdown_explains_where_boosting_wins() {
     let acc = activity.total_sram_accesses();
     let macs = activity.total_macs();
 
-    let boosted = m.breakdown_boosted(vdd, &[BoostedGroup { accesses: acc, level: 4 }], macs);
+    let boosted = m.breakdown_boosted(
+        vdd,
+        &[BoostedGroup {
+            accesses: acc,
+            level: 4,
+        }],
+        macs,
+    );
     let dual = m.breakdown_dual(vddv, vdd, acc, macs);
 
     let boost_overhead = boosted.booster.joules();

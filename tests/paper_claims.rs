@@ -30,7 +30,11 @@ fn abstract_headlines_land_in_band() {
 fn table3_access_ratios() {
     let fc = DanaFcDataflow::new().activity(&mnist_fc());
     let rs = RowStationaryDataflow::new().activity(&alexnet_conv());
-    assert!((fc.access_mac_ratio() - 0.75).abs() < 0.01, "MNIST: {}", fc.access_mac_ratio());
+    assert!(
+        (fc.access_mac_ratio() - 0.75).abs() < 0.01,
+        "MNIST: {}",
+        fc.access_mac_ratio()
+    );
     assert!(
         (rs.access_mac_ratio() - 0.0167).abs() < 0.004,
         "AlexNet: {}",
@@ -80,15 +84,24 @@ fn fig6_mim_comparison_claims() {
     // "MIMBoost-A generates 14x the boosted voltage for the same area".
     let boost_ratio = reference::mim_boost_a().boost_amount(vdd, 1)
         / reference::no_mim_boost_a().boost_amount(vdd, 1);
-    assert!((8.0..=25.0).contains(&boost_ratio), "boost ratio {boost_ratio}");
+    assert!(
+        (8.0..=25.0).contains(&boost_ratio),
+        "boost ratio {boost_ratio}"
+    );
     let area_ratio = reference::mim_boost_a().area() / reference::no_mim_boost_a().area();
-    assert!((0.8..=1.25).contains(&area_ratio), "A-pair area ratio {area_ratio}");
+    assert!(
+        (0.8..=1.25).contains(&area_ratio),
+        "A-pair area ratio {area_ratio}"
+    );
     // "noMIMBoost-B ... is 8x the area of MIMBoost-B" and "expending 10x the
     // energy ... generating roughly the same boosted voltage".
     assert!(reference::no_mim_boost_b().area() / reference::mim_boost_b().area() >= 8.0);
     let vb_ratio = reference::no_mim_boost_b().boost_amount(vdd, 1)
         / reference::mim_boost_b().boost_amount(vdd, 1);
-    assert!((0.6..=1.5).contains(&vb_ratio), "B-pair boost ratio {vb_ratio}");
+    assert!(
+        (0.6..=1.5).contains(&vb_ratio),
+        "B-pair boost ratio {vb_ratio}"
+    );
     let e_ratio = reference::no_mim_boost_b().boost_event_energy(vdd, 1)
         / reference::mim_boost_b().boost_event_energy(vdd, 1);
     assert!(e_ratio > 5.0, "B-pair energy ratio {e_ratio}");
@@ -125,5 +138,9 @@ fn fig9_latency_reduction_claim() {
     let timing = SramTiming::macro_32kbit();
     let bank = BoosterBank::standard();
     let frac = timing.boosted_access_fraction(Volt::new(0.5), &bank, 4, BoostScope::Macro);
-    assert!((0.25..=0.45).contains(&(1.0 - frac)), "reduction {}", 1.0 - frac);
+    assert!(
+        (0.25..=0.45).contains(&(1.0 - frac)),
+        "reduction {}",
+        1.0 - frac
+    );
 }

@@ -5,8 +5,13 @@
 //! the [`proptest!`] macro, range/`any`/`collection::vec` strategies, the
 //! `prop_assert*` macros, and [`ProptestConfig::with_cases`]. Inputs are
 //! drawn from a generator seeded deterministically from the test name, so
-//! failures reproduce run-to-run. There is **no shrinking**: a failing case
-//! reports the panic from the raw drawn inputs.
+//! failures reproduce run-to-run.
+//!
+//! Failing cases are **shrunk**: every [`strategy::Strategy`] proposes
+//! smaller candidate inputs for a failing value, and the runner greedily
+//! re-runs the property on them (panics silenced) until no candidate still
+//! fails, then reports the minimal counterexample alongside the original
+//! panic message.
 
 #![warn(missing_docs)]
 
@@ -78,7 +83,7 @@ pub mod test_runner {
     }
 }
 
-/// Strategies: how test inputs are drawn.
+/// Strategies: how test inputs are drawn and shrunk.
 pub mod strategy {
     use crate::test_runner::TestRng;
 
@@ -89,6 +94,24 @@ pub mod strategy {
 
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of a failing value, most aggressive
+        /// first. Each candidate must itself be producible by this strategy
+        /// and strictly "smaller" than `value` by some well-founded measure,
+        /// so the runner's greedy descent terminates. The default proposes
+        /// nothing (no shrinking).
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
+    }
+
+    /// Pushes `cand` unless it duplicates an earlier candidate or the
+    /// failing value itself.
+    fn push_unique<T: PartialEq>(out: &mut Vec<T>, value: &T, cand: T) {
+        if cand != *value && !out.contains(&cand) {
+            out.push(cand);
+        }
     }
 
     macro_rules! impl_int_range {
@@ -100,6 +123,12 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u64;
                     (self.start as i128 + rng.index(span) as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_toward(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
@@ -109,10 +138,30 @@ pub mod strategy {
                     let span = (hi as i128 - lo as i128 + 1) as u64;
                     (lo as i128 + rng.index(span) as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_toward(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
         )*};
     }
     impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Integer shrink candidates toward `lo`: the bottom of the range, the
+    /// midpoint, and the predecessor — halving gives log-time descent for
+    /// large values, the predecessor guarantees the boundary is reachable.
+    fn shrink_toward(lo: i128, value: i128) -> Vec<i128> {
+        let mut out = Vec::new();
+        if value <= lo {
+            return out;
+        }
+        push_unique(&mut out, &value, lo);
+        push_unique(&mut out, &value, lo + (value - lo) / 2);
+        push_unique(&mut out, &value, value - 1);
+        out
+    }
 
     macro_rules! impl_float_range {
         ($($t:ty),*) => {$(
@@ -122,6 +171,9 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty strategy range");
                     self.start + (self.end - self.start) * rng.unit_f64() as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    float_shrink_toward(self.start, *value)
+                }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
@@ -130,10 +182,54 @@ pub mod strategy {
                     assert!(lo <= hi, "empty strategy range");
                     lo + (hi - lo) * rng.unit_f64() as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    float_shrink_toward(*self.start(), *value)
+                }
+            }
+
+            impl Strategy for crate::strategy::Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    // Finite floats only: uniform sign/magnitude over a
+                    // wide range.
+                    ((rng.unit_f64() - 0.5) * 2e6) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    if *value != 0.0 {
+                        push_unique(&mut out, value, 0.0);
+                        push_unique(&mut out, value, *value / 2.0);
+                    }
+                    out
+                }
             }
         )*};
     }
     impl_float_range!(f32, f64);
+
+    /// Float shrink candidates toward `lo`: the bottom of the range and the
+    /// midpoint. Floats converge rather than terminate exactly, so the
+    /// runner's step cap bounds the descent.
+    fn float_shrink_toward<T>(lo: T, value: T) -> Vec<T>
+    where
+        T: Copy
+            + PartialEq
+            + PartialOrd
+            + core::ops::Add<Output = T>
+            + core::ops::Sub<Output = T>
+            + core::ops::Div<Output = T>
+            + From<u8>,
+    {
+        let mut out = Vec::new();
+        // `partial_cmp` keeps NaN inert: anything incomparable shrinks to
+        // nothing rather than propagating through the midpoint arithmetic.
+        if lo.partial_cmp(&value) != Some(core::cmp::Ordering::Less) {
+            return out;
+        }
+        push_unique(&mut out, &value, lo);
+        push_unique(&mut out, &value, lo + (value - lo) / T::from(2u8));
+        out
+    }
 
     /// Strategy returned by [`crate::arbitrary::any`]: the full value range
     /// of `T`.
@@ -149,6 +245,16 @@ pub mod strategy {
                 fn sample(&self, rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let v = *value as i128;
+                    let mut out = Vec::new();
+                    if v != 0 {
+                        push_unique(&mut out, value, 0);
+                        push_unique(&mut out, value, (v / 2) as $t);
+                        push_unique(&mut out, value, (v - v.signum()) as $t);
+                    }
+                    out
+                }
             }
         )*};
     }
@@ -159,22 +265,61 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
         }
-    }
-
-    impl Strategy for Any<f64> {
-        type Value = f64;
-        fn sample(&self, rng: &mut TestRng) -> f64 {
-            // Finite floats only: uniform sign/magnitude over a wide range.
-            (rng.unit_f64() - 0.5) * 2e6
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
-    impl Strategy for Any<f32> {
-        type Value = f32;
-        fn sample(&self, rng: &mut TestRng) -> f32 {
-            ((rng.unit_f64() - 0.5) * 2e6) as f32
-        }
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident / $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+
+                /// Shrinks one position at a time, holding the others fixed
+                /// — the form the [`proptest!`] runner needs, since each
+                /// argument strategy only knows its own value space.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
+            }
+        };
     }
+    impl_tuple_strategy!(S0 / 0);
+    impl_tuple_strategy!(S0 / 0, S1 / 1);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+    impl_tuple_strategy!(
+        S0 / 0,
+        S1 / 1,
+        S2 / 2,
+        S3 / 3,
+        S4 / 4,
+        S5 / 5,
+        S6 / 6,
+        S7 / 7
+    );
 }
 
 /// `any::<T>()` strategies.
@@ -243,13 +388,159 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone + PartialEq,
+    {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut TestRng) -> Self::Value {
             let len = self.size.lo + rng.index((self.size.hi - self.size.lo + 1) as u64) as usize;
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
+
+        /// Shrinks the length first (halving toward the minimum, then
+        /// dropping the last element), then each element in place via its
+        /// own strategy's first candidate.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out: Vec<Self::Value> = Vec::new();
+            if value.len() > self.size.lo {
+                let half = self.size.lo.max(value.len() / 2);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                let dropped = value[..value.len() - 1].to_vec();
+                if !out.contains(&dropped) {
+                    out.push(dropped);
+                }
+            }
+            for (i, elem) in value.iter().enumerate() {
+                if let Some(cand) = self.element.shrink(elem).into_iter().next() {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The case runner: panic capture, `prop_assume!` rejection, and greedy
+/// shrinking of failing inputs.
+pub mod runner {
+    use std::cell::Cell;
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::Once;
+
+    /// Panic payload thrown by [`crate::prop_assume!`] to reject a case
+    /// without failing the property.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AssumeRejected;
+
+    thread_local! {
+        static QUIET: Cell<bool> = const { Cell::new(false) };
+    }
+
+    static HOOK: Once = Once::new();
+
+    /// Installs (once, process-wide) a panic hook that stays silent while
+    /// this thread is replaying property cases — otherwise every candidate
+    /// probed during shrinking would print a backtrace.
+    pub fn install_quiet_hook() {
+        HOOK.call_once(|| {
+            let prev = panic::take_hook();
+            panic::set_hook(Box::new(move |info| {
+                if !QUIET.with(Cell::get) {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    /// Outcome of one property-case execution.
+    #[derive(Debug)]
+    pub enum CaseResult {
+        /// The body returned normally.
+        Pass,
+        /// The body hit a failing `prop_assume!`; the case does not count
+        /// as a failure.
+        Reject,
+        /// The body panicked with the contained message.
+        Fail(String),
+    }
+
+    impl CaseResult {
+        /// Whether this outcome is a failure.
+        #[must_use]
+        pub fn is_fail(&self) -> bool {
+            matches!(self, Self::Fail(_))
+        }
+    }
+
+    /// Runs one case body, translating panics into a [`CaseResult`].
+    pub fn run_case(body: impl FnOnce()) -> CaseResult {
+        QUIET.with(|q| q.set(true));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(body));
+        QUIET.with(|q| q.set(false));
+        match outcome {
+            Ok(()) => CaseResult::Pass,
+            Err(payload) => {
+                if payload.downcast_ref::<AssumeRejected>().is_some() {
+                    CaseResult::Reject
+                } else {
+                    CaseResult::Fail(payload_message(payload.as_ref()))
+                }
+            }
+        }
+    }
+
+    fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        }
+    }
+
+    /// Identity helper that pins a case closure's argument type to the
+    /// strategy's `Value` — the [`crate::proptest!`] expansion uses it so
+    /// method calls inside the property body resolve during type checking.
+    pub fn case_fn<S, F>(strategy: &S, f: F) -> F
+    where
+        S: crate::strategy::Strategy,
+        F: Fn(&S::Value) -> CaseResult,
+    {
+        let _ = strategy;
+        f
+    }
+
+    /// Greedily shrinks a failing input: repeatedly adopts the first shrink
+    /// candidate that still fails, until no candidate does (a local
+    /// minimum) or a step cap is hit. Returns the minimal failing value,
+    /// its panic message, and the number of shrink steps taken.
+    pub fn shrink_failure<S: crate::strategy::Strategy>(
+        strategy: &S,
+        mut failing: S::Value,
+        mut message: String,
+        run: impl Fn(&S::Value) -> CaseResult,
+    ) -> (S::Value, String, usize) {
+        const MAX_STEPS: usize = 4096;
+        let mut steps = 0usize;
+        'descent: while steps < MAX_STEPS {
+            for cand in strategy.shrink(&failing) {
+                if let CaseResult::Fail(msg) = run(&cand) {
+                    failing = cand;
+                    message = msg;
+                    steps += 1;
+                    continue 'descent;
+                }
+            }
+            break;
+        }
+        (failing, message, steps)
     }
 }
 
@@ -263,7 +554,8 @@ pub mod prelude {
     };
 }
 
-/// Asserts a condition inside a property (panics on failure; no shrinking).
+/// Asserts a condition inside a property (panics on failure; the runner
+/// catches the panic and shrinks the inputs).
 #[macro_export]
 macro_rules! prop_assert {
     ($($args:tt)*) => { assert!($($args)*) };
@@ -281,20 +573,22 @@ macro_rules! prop_assert_ne {
     ($($args:tt)*) => { assert_ne!($($args)*) };
 }
 
-/// Skips the current case when the precondition does not hold. Inside
-/// [`proptest!`] the body sits directly in the case loop, so this is a
-/// plain `continue` (the skipped case still counts toward `cases`).
+/// Skips the current case when the precondition does not hold: throws the
+/// [`runner::AssumeRejected`] marker, which the case runner catches and
+/// classifies as a rejection rather than a failure (the skipped case still
+/// counts toward `cases`).
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !($cond) {
-            continue;
+            ::std::panic::panic_any($crate::runner::AssumeRejected);
         }
     };
 }
 
 /// Declares property tests: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` drawing `cases` random inputs.
+/// becomes a `#[test]` drawing `cases` random inputs. A failing case is
+/// shrunk to a minimal counterexample before the test panics.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -315,15 +609,45 @@ macro_rules! __proptest_items {
      $($rest:tt)*) => {
         $(#[$meta])*
         fn $name() {
+            $crate::runner::install_quiet_hook();
             let __cfg: $crate::ProptestConfig = $cfg;
             let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
                 module_path!(),
                 "::",
                 stringify!($name)
             ));
+            // All argument strategies combine into one tuple strategy so
+            // the shrinker can simplify any argument while holding the
+            // others fixed.
+            let __strategy = ($(($strat),)+);
+            let __run = $crate::runner::case_fn(&__strategy, |__vals| {
+                let ($($arg,)+) = ::core::clone::Clone::clone(__vals);
+                $crate::runner::run_case(move || { $body })
+            });
             for __case in 0..__cfg.cases {
-                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
-                $body
+                let __vals = $crate::strategy::Strategy::sample(&__strategy, &mut __rng);
+                if let $crate::runner::CaseResult::Fail(__msg) = __run(&__vals) {
+                    let (__min, __msg, __steps) =
+                        $crate::runner::shrink_failure(&__strategy, __vals, __msg, &__run);
+                    let ($($arg,)+) = __min;
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        if !__inputs.is_empty() {
+                            __inputs.push_str(", ");
+                        }
+                        __inputs.push_str(concat!(stringify!($arg), " = "));
+                        __inputs.push_str(&::std::format!("{:?}", $arg));
+                    )+
+                    ::std::panic!(
+                        "property failed at case {} of {}; minimal counterexample \
+                         after {} shrink step(s): {}\ncaused by: {}",
+                        __case + 1,
+                        __cfg.cases,
+                        __steps,
+                        __inputs,
+                        __msg,
+                    );
+                }
             }
         }
         $crate::__proptest_items! { ($cfg) $($rest)* }
@@ -333,6 +657,7 @@ macro_rules! __proptest_items {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::runner::{run_case, shrink_failure, CaseResult};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
@@ -364,6 +689,28 @@ mod tests {
             prop_assert_eq!(x, x);
             let _ = y;
         }
+
+        /// `prop_assume!` rejects cases without failing the property.
+        #[test]
+        fn assume_skips_odd_cases(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        /// End-to-end shrinking: the greedy descent must land exactly on
+        /// the smallest failing input, 10.
+        #[test]
+        #[should_panic(expected = "minimal counterexample")]
+        fn failing_property_shrinks(x in 0u32..1000) {
+            prop_assert!(x < 10, "x too large");
+        }
+
+        /// And the reported counterexample is the boundary value itself.
+        #[test]
+        #[should_panic(expected = "x = 10")]
+        fn shrink_reaches_the_boundary(x in 0u32..1000) {
+            prop_assert!(x < 10);
+        }
     }
 
     #[test]
@@ -381,5 +728,118 @@ mod tests {
         fn trailing_comma_and_default_config_accepted(v in 0u8..10,) {
             prop_assert!(v < 10);
         }
+    }
+
+    #[test]
+    fn int_range_shrink_proposes_smaller_in_range_values() {
+        let strat = 5u32..100;
+        for cand in strat.shrink(&73) {
+            assert!((5..73).contains(&cand), "candidate {cand} not smaller");
+        }
+        assert!(strat.shrink(&5).is_empty(), "minimum has no candidates");
+        // The predecessor is always proposed, so descent can reach any
+        // boundary exactly.
+        assert!(strat.shrink(&73).contains(&72));
+        assert!(strat.shrink(&73).contains(&5));
+    }
+
+    #[test]
+    fn any_int_shrinks_toward_zero() {
+        let strat = any::<i64>();
+        assert!(strat.shrink(&-40).contains(&0));
+        assert!(strat.shrink(&-40).contains(&-20));
+        assert!(strat.shrink(&-40).contains(&-39));
+        assert!(strat.shrink(&0).is_empty());
+        assert!(any::<bool>().shrink(&true) == vec![false]);
+        assert!(any::<bool>().shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn float_range_shrink_proposes_smaller_values() {
+        let strat = -1.0f64..1.0;
+        let cands = strat.shrink(&0.5);
+        assert!(!cands.is_empty());
+        for c in cands {
+            assert!((-1.0..0.5).contains(&c), "candidate {c}");
+        }
+        assert!(strat.shrink(&-1.0).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_reduces_length_then_elements() {
+        let strat = prop::collection::vec(0u8..10, 1..=8);
+        let cands = strat.shrink(&vec![5, 6, 7, 8]);
+        // Length reductions come first.
+        assert_eq!(cands[0], vec![5, 6]);
+        assert_eq!(cands[1], vec![5, 6, 7]);
+        // Then element-wise simplifications.
+        assert!(cands.iter().any(|c| c.len() == 4 && c[0] == 0));
+        // A minimal-length vector of minimal elements has no candidates.
+        assert!(strat.shrink(&vec![0]).is_empty());
+    }
+
+    #[test]
+    fn tuple_strategy_shrinks_one_position_at_a_time() {
+        let strat = (0u32..100, 0u32..100);
+        let cands = crate::strategy::Strategy::shrink(&strat, &(50, 60));
+        assert!(!cands.is_empty());
+        for (a, b) in cands {
+            let first_changed = a != 50;
+            let second_changed = b != 60;
+            assert!(
+                first_changed != second_changed,
+                "exactly one position must change: ({a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn run_case_classifies_outcomes() {
+        crate::runner::install_quiet_hook();
+        assert!(matches!(run_case(|| {}), CaseResult::Pass));
+        assert!(matches!(
+            run_case(|| std::panic::panic_any(crate::runner::AssumeRejected)),
+            CaseResult::Reject
+        ));
+        match run_case(|| panic!("boom {}", 7)) {
+            CaseResult::Fail(msg) => assert!(msg.contains("boom 7")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrink_failure_descends_to_the_boundary() {
+        crate::runner::install_quiet_hook();
+        let strat = 0u64..1_000_000;
+        // Property: fails iff value >= 777. Greedy descent from any failing
+        // start must terminate exactly at 777.
+        let check = |v: &u64| {
+            let v = *v;
+            run_case(move || assert!(v < 777, "too big: {v}"))
+        };
+        let (min, msg, steps) = shrink_failure(&strat, 923_417, "seed".into(), check);
+        assert_eq!(min, 777);
+        assert!(msg.contains("too big: 777"));
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_failure_ignores_rejected_candidates() {
+        crate::runner::install_quiet_hook();
+        let strat = 0u32..100;
+        // Candidates below 50 are "rejected" (as if by prop_assume!), so
+        // the descent may only move through values >= 50 and must stop at
+        // the smallest non-rejected failing value.
+        let check = |v: &u32| {
+            let v = *v;
+            run_case(move || {
+                if v < 50 {
+                    std::panic::panic_any(crate::runner::AssumeRejected);
+                }
+                assert!(v < 60);
+            })
+        };
+        let (min, _, _) = shrink_failure(&strat, 90, "seed".into(), check);
+        assert_eq!(min, 60);
     }
 }

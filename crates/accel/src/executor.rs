@@ -99,6 +99,17 @@ pub struct InferenceResult {
     pub prediction: usize,
 }
 
+/// An inference plus the output activation codes of every compiled stage —
+/// the observable a differential checker compares layer by layer against
+/// the reference math.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceTrace {
+    /// Output codes of each stage, in execution order.
+    pub layer_codes: Vec<Vec<i16>>,
+    /// The final inference result.
+    pub result: InferenceResult,
+}
+
 /// Cumulative execution statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecStats {
@@ -440,6 +451,24 @@ impl Dante {
         schedule: &BoostSchedule,
         sample: &[f32],
     ) -> InferenceResult {
+        self.run_traced(program, schedule, sample).result
+    }
+
+    /// Runs one inference and records the output codes of every stage.
+    ///
+    /// Semantically identical to [`Self::run`] — the trace is taken from the
+    /// same activation values the next layer consumes, so comparing it
+    /// against a reference pins down the *first* diverging stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`Self::run`].
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+        schedule: &BoostSchedule,
+        sample: &[f32],
+    ) -> InferenceTrace {
         assert_eq!(
             schedule.layers(),
             program.weight_layer_count(),
@@ -471,6 +500,7 @@ impl Dante {
         let mut act_base = ping;
         let mut act_len = input_codes.len();
         let mut out_codes: Vec<i16> = Vec::new();
+        let mut layer_codes: Vec<Vec<i16>> = Vec::with_capacity(program.layers().len());
         let mut weight_stage = 0usize;
 
         for layer in program.layers() {
@@ -494,6 +524,7 @@ impl Dante {
             self.write_codes(MemoryId::Input, out_base, &out_codes);
             act_base = out_base;
             act_len = out_codes.len();
+            layer_codes.push(out_codes.clone());
         }
         self.issue(Instruction::Halt);
 
@@ -512,10 +543,13 @@ impl Dante {
         let mem_accesses = self.weight_mem.stats().total() + self.input_mem.stats().total();
         self.stats.cycles = mem_accesses + self.stats.macs.div_ceil(self.chip.pe_count as u64);
 
-        InferenceResult {
-            codes: out_codes,
-            logits,
-            prediction,
+        InferenceTrace {
+            layer_codes,
+            result: InferenceResult {
+                codes: out_codes,
+                logits,
+                prediction,
+            },
         }
     }
 

@@ -514,6 +514,32 @@ impl Program {
             .unwrap_or(self.input_scale)
     }
 
+    /// Returns a copy of this program whose weight tensors have been passed
+    /// through `f`, called as `f(weight_stage_position, tensor)` in
+    /// execution order. This is the hook external fault-injection harnesses
+    /// (e.g. `dante-verify`'s differential tester) use to corrupt the
+    /// compiled bit image without touching scales, biases, or requantizers
+    /// — exactly what a weight-memory fault does on the chip.
+    #[must_use]
+    pub fn map_weight_tensors(&self, mut f: impl FnMut(usize, &mut ScaledTensor)) -> Self {
+        let mut out = self.clone();
+        let mut pos = 0usize;
+        for layer in &mut out.layers {
+            match layer {
+                CompiledLayer::Fc(l) => {
+                    f(pos, &mut l.weights);
+                    pos += 1;
+                }
+                CompiledLayer::Conv(l) => {
+                    f(pos, &mut l.weights);
+                    pos += 1;
+                }
+                CompiledLayer::Pool(_) => {}
+            }
+        }
+        out
+    }
+
     /// Quantizes an input sample to activation codes.
     ///
     /// # Panics

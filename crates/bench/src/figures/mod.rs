@@ -6,3 +6,66 @@ pub mod circuit;
 pub mod energy;
 pub mod tables;
 pub mod validation;
+
+use crate::record::FigureRecord;
+
+/// The deterministic paper artifacts covered by the golden snapshot suite
+/// (`crates/verify` and `tests/golden_snapshots.rs`).
+///
+/// Every record here is a pure function of the analytic models — no
+/// Monte-Carlo trials, no trained networks, no environment knobs — so a
+/// regenerated record must match its blessed copy in `results/golden/`
+/// within tight per-metric tolerance bands. Monte-Carlo figures (fig01,
+/// fig02, fig13..fig15, validation, ablation_ecc) are deliberately excluded:
+/// their acceptance is statistical, handled by `tests/fault_model_stats.rs`.
+#[must_use]
+pub fn golden_records() -> Vec<FigureRecord> {
+    vec![
+        circuit::fig04(),
+        circuit::fig06(),
+        circuit::fig07(),
+        circuit::fig08(),
+        circuit::fig09(),
+        energy::fig12(),
+        energy::table3(),
+        energy::headlines(),
+        tables::table1(),
+        tables::table2(),
+        ablation::ablation_levels(),
+        ablation::ablation_dataflow(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_registry_ids_are_unique_and_finite() {
+        let recs = golden_records();
+        assert_eq!(recs.len(), 12);
+        let mut ids: Vec<&str> = recs.iter().map(|r| r.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12, "duplicate record ids in golden registry");
+        for r in &recs {
+            for s in &r.series {
+                for &(x, y) in &s.points {
+                    assert!(
+                        x.is_finite() && y.is_finite(),
+                        "{}/{}: non-finite point ({x}, {y})",
+                        r.id,
+                        s.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn golden_registry_is_deterministic() {
+        // Two back-to-back regenerations must be identical — the property the
+        // snapshot suite relies on.
+        assert_eq!(golden_records(), golden_records());
+    }
+}

@@ -120,6 +120,26 @@ impl AccuracyStats {
     pub fn min(&self) -> f64 {
         self.per_trial.iter().copied().fold(f64::INFINITY, f64::min)
     }
+
+    /// Pools the per-trial accuracies back into `(successes, attempts)`
+    /// counts given the test-set size each trial saw — the binomial view a
+    /// confidence interval (e.g. Wilson score) needs. Each trial's success
+    /// count is recovered by rounding `accuracy * samples_per_trial`, which
+    /// is exact because every accuracy was computed as such a ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_trial` is zero.
+    #[must_use]
+    pub fn pooled_successes(&self, samples_per_trial: usize) -> (u64, u64) {
+        assert!(samples_per_trial > 0, "trials must have evaluated samples");
+        let successes = self
+            .per_trial
+            .iter()
+            .map(|&a| (a * samples_per_trial as f64).round() as u64)
+            .sum();
+        (successes, (self.per_trial.len() * samples_per_trial) as u64)
+    }
 }
 
 /// Error-protection scheme applied to the SRAM words (ablation axis: the

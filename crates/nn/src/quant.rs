@@ -392,6 +392,22 @@ impl ScaledTensor {
         &self.codes
     }
 
+    /// Overwrites the raw bit pattern of element `index` — targeted fault
+    /// injection for validation harnesses. `raw` is masked to the container
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_code(&mut self, index: usize, raw: u16) {
+        let mask = if self.bits == 16 {
+            u16::MAX
+        } else {
+            (1u16 << self.bits) - 1
+        };
+        self.codes[index] = raw & mask;
+    }
+
     /// Container width in bits.
     #[must_use]
     pub fn bits(&self) -> u8 {

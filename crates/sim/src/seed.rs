@@ -24,6 +24,8 @@ pub mod site {
     pub const ECC_CHECK: u64 = 0x06;
     /// A plan-evaluation step of the boost-policy optimizer.
     pub const POLICY_STEP: u64 = 0x07;
+    /// One differential accelerator-vs-reference verification trial.
+    pub const DIFF_TRIAL: u64 = 0x08;
 }
 
 /// SplitMix64 finalizer: a bijective avalanche mix of 64 bits.

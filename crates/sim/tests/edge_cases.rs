@@ -1,0 +1,124 @@
+//! Edge cases of the trial engine: environment-driven thread counts,
+//! degenerate batch shapes (more workers than trials, zero trials), and the
+//! observer-hook ordering contract.
+
+use dante_sim::engine::THREADS_ENV;
+use dante_sim::{TrialEngine, TrialObserver};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Everything observable about a batch, in arrival order.
+#[derive(Debug, PartialEq, Eq, Clone)]
+enum Event {
+    Start(usize),
+    Trial(usize),
+    Done,
+}
+
+#[derive(Default)]
+struct Recorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl TrialObserver for Recorder {
+    fn on_batch_start(&self, total: usize) {
+        self.events.lock().unwrap().push(Event::Start(total));
+    }
+    fn on_trial_complete(&self, index: usize, _elapsed: Duration) {
+        self.events.lock().unwrap().push(Event::Trial(index));
+    }
+    fn on_batch_complete(&self, _elapsed: Duration) {
+        self.events.lock().unwrap().push(Event::Done);
+    }
+}
+
+/// All `DANTE_THREADS` environment cases live in one test function:
+/// integration tests in a binary run concurrently, and `set_var` is
+/// process-global, so splitting these up would race.
+#[test]
+fn threads_env_cases() {
+    // Pinned to one worker: the engine reports exactly one and the results
+    // still match a multi-threaded run (determinism is thread-count-free).
+    std::env::set_var(THREADS_ENV, "1");
+    let pinned = TrialEngine::from_env();
+    assert_eq!(pinned.threads(), 1);
+    let work = |i: usize| dante_sim::derive_seed(7, dante_sim::site::TRIAL, i as u64);
+    assert_eq!(
+        pinned.run(64, work),
+        TrialEngine::with_threads(4).run(64, work)
+    );
+
+    // Absurdly large override is taken literally (the engine caps workers
+    // at the trial count internally, so this stays cheap).
+    std::env::set_var(THREADS_ENV, "10000");
+    let wide = TrialEngine::from_env();
+    assert_eq!(wide.threads(), 10_000);
+    assert_eq!(wide.run(3, |i| i), vec![0, 1, 2]);
+
+    // Invalid values fall back to a sane positive default.
+    for bad in ["0", "-4", "1.5", "lots", ""] {
+        std::env::set_var(THREADS_ENV, bad);
+        assert!(
+            TrialEngine::from_env().threads() >= 1,
+            "{bad:?} must fall back to a positive thread count"
+        );
+    }
+    std::env::remove_var(THREADS_ENV);
+    assert!(TrialEngine::from_env().threads() >= 1);
+}
+
+#[test]
+fn more_workers_than_trials_runs_each_trial_exactly_once() {
+    let engine = TrialEngine::with_threads(64);
+    let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+    let out = engine.run(5, |i| {
+        hits[i].fetch_add(1, Ordering::Relaxed);
+        i * i
+    });
+    assert_eq!(out, vec![0, 1, 4, 9, 16]);
+    for (i, h) in hits.iter().enumerate() {
+        assert_eq!(h.load(Ordering::Relaxed), 1, "trial {i} ran more than once");
+    }
+}
+
+#[test]
+fn zero_trials_still_fires_the_batch_hooks() {
+    for threads in [1, 8] {
+        let obs = Recorder::default();
+        let out: Vec<u32> = TrialEngine::with_threads(threads).run_observed(0, &obs, |_| {
+            panic!("the trial closure must never run for an empty batch")
+        });
+        assert!(out.is_empty());
+        let events = obs.events.into_inner().unwrap();
+        assert_eq!(
+            events,
+            vec![Event::Start(0), Event::Done],
+            "an empty batch still brackets itself for progress reporters"
+        );
+    }
+}
+
+#[test]
+fn observer_hooks_are_ordered_and_complete() {
+    let trials = 23;
+    for threads in [1, 3, 16] {
+        let obs = Recorder::default();
+        let _ = TrialEngine::with_threads(threads).run_observed(trials, &obs, |i| i);
+        let events = obs.events.into_inner().unwrap();
+        assert_eq!(events.len(), trials + 2, "{threads} threads");
+        assert_eq!(events[0], Event::Start(trials), "Start(n) must come first");
+        assert_eq!(*events.last().unwrap(), Event::Done, "Done must come last");
+        // The middle is exactly one completion per trial index, in *some*
+        // order (worker interleaving is unspecified; coverage is not).
+        let mut indices: Vec<usize> = events[1..=trials]
+            .iter()
+            .map(|e| match e {
+                Event::Trial(i) => *i,
+                other => panic!("unexpected event between Start and Done: {other:?}"),
+            })
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..trials).collect::<Vec<_>>());
+    }
+}

@@ -155,6 +155,14 @@ impl VminField {
     pub fn empirical_ber(&self, v: Volt) -> f64 {
         self.fault_count(v) as f64 / self.len() as f64
     }
+
+    /// The raw per-cell V_min draws, in volts — the sample set that
+    /// statistical acceptance tests (KS, chi-square) compare against the
+    /// analytic Gaussian.
+    #[must_use]
+    pub fn values(&self) -> &[f32] {
+        &self.vmins
+    }
 }
 
 #[cfg(test)]

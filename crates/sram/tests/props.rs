@@ -172,3 +172,24 @@ proptest! {
         prop_assert!((empirical - analytic).abs() < 6.0 * sigma + 1e-4);
     }
 }
+
+/// Promoted proptest regression (shrunk to `mu_mv = 300, sigma_mv = 20`):
+/// `probit_fit_recovers_model` once generated a model whose lowest curve
+/// sample (`mu - 40 mV = 260 mV`) dipped below [`V_DATA_RETENTION`], where a
+/// bit error *rate* is meaningless. The generator range now stays above the
+/// floor; this pins the shrunk case and the loud failure mode it exposed.
+#[test]
+#[should_panic(expected = "below the data-retention voltage")]
+fn probit_curve_below_retention_panics_regression() {
+    let truth = VminFaultModel::new(
+        Volt::from_millivolts(300.0),
+        Volt::from_millivolts(20.0),
+        0.5,
+    );
+    let _points: Vec<_> = (0..10)
+        .map(|i| {
+            let v = Volt::from_millivolts(300.0 - 40.0 + 14.0 * f64::from(i));
+            (v, truth.bit_error_rate(v).clamp(1e-12, 0.999_999))
+        })
+        .collect();
+}

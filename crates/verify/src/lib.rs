@@ -1,0 +1,43 @@
+//! # dante-verify
+//!
+//! The golden-reference validation subsystem of the Dante reproduction —
+//! the machinery that ties the simulator to (a) itself, (b) the paper, and
+//! (c) the statistics it claims, in three pillars:
+//!
+//! * [`differential`] — the cycle-level `dante-accel` executor checked
+//!   bit-exactly against an independent reference implementation of the
+//!   compiled fixed-point math, under identical per-trial fault overlays,
+//!   with a ddmin divergence minimizer that shrinks a failing corruption to
+//!   a 1-minimal set of weight rows.
+//! * [`golden`] — snapshot testing of every deterministic `dante-bench`
+//!   figure/table record against blessed JSON in `results/golden/`, with
+//!   per-metric tolerance bands, paper-anchored point checks, a unified
+//!   human-readable diff on mismatch, and an `UPDATE_GOLDEN=1` re-bless
+//!   flow.
+//! * [`stats`] — statistical acceptance of the fault model: KS and
+//!   chi-square goodness-of-fit of sampled per-cell `V_min` draws against
+//!   the analytic Gaussian, plus Wilson score intervals for Monte-Carlo
+//!   accuracy estimates.
+//!
+//! The top-level test suites `tests/differential.rs`,
+//! `tests/golden_snapshots.rs`, and `tests/fault_model_stats.rs` wire these
+//! pillars into `cargo test`; see EXPERIMENTS.md for the re-bless workflow.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod differential;
+pub mod golden;
+pub mod stats;
+
+pub use differential::{
+    check_program, corrupt_program, corrupt_sample, ddmin, minimize_corruption, reference_forward,
+    run_differential, DiffConfig, DiffReport, Divergence, WeightRow,
+};
+pub use golden::{
+    paper_anchors, tolerance_for, GoldenDiff, GoldenOutcome, GoldenStore, PaperAnchor, Tolerance,
+};
+pub use stats::{
+    bin_counts, chi_square_critical, chi_square_statistic, ks_critical, ks_statistic,
+    normal_bin_edges, wilson_interval,
+};

@@ -1,0 +1,294 @@
+//! Statistical acceptance machinery: Kolmogorov–Smirnov and chi-square
+//! goodness-of-fit tests for the sampled cell-`V_min` distribution, and
+//! Wilson score intervals for Monte-Carlo accuracy estimates.
+//!
+//! Everything here is closed-form — no lookup tables, no external stats
+//! crates. The normal quantile function comes from `dante_sram::math`
+//! (Acklam + Halley refinement), the chi-square quantile from the
+//! Wilson–Hilferty cube approximation, and the KS critical value from the
+//! asymptotic Kolmogorov distribution. All three are accurate to well under
+//! a percent for the sample sizes the acceptance suite uses (n >= 1000,
+//! df <= 50), which is tight enough for pass/fail thresholds chosen with
+//! comfortable power margins.
+
+use dante_sram::math::norm_ppf;
+
+/// The two-sided Kolmogorov–Smirnov statistic `D_n = sup |F_n(x) - F(x)|`
+/// of `samples` against the continuous CDF `cdf`.
+///
+/// Uses the standard tight form: for the i-th order statistic `x_(i)`
+/// (1-based), the empirical CDF jumps from `(i-1)/n` to `i/n`, so
+/// `D_n = max_i max(i/n - F(x_(i)), F(x_(i)) - (i-1)/n)`.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains a non-finite value.
+#[must_use]
+pub fn ks_statistic(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(
+        !samples.is_empty(),
+        "KS statistic needs at least one sample"
+    );
+    let mut sorted = samples.to_vec();
+    assert!(
+        sorted.iter().all(|v| v.is_finite()),
+        "KS statistic requires finite samples"
+    );
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let hi = (i as f64 + 1.0) / n - f;
+        let lo = f - i as f64 / n;
+        d = d.max(hi).max(lo);
+    }
+    d
+}
+
+/// Critical value of the two-sided KS test at significance `alpha`:
+/// `D_crit = sqrt(-ln(alpha / 2) / (2 n))` (asymptotic Kolmogorov
+/// distribution; accurate for `n >= ~35`).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `alpha` is outside `(0, 1)`.
+#[must_use]
+pub fn ks_critical(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0, "KS critical value needs a positive sample count");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "significance level must be in (0, 1)"
+    );
+    (-(alpha / 2.0).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// Pearson's chi-square statistic `sum (O_i - E_i)^2 / E_i`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or any expected count
+/// is not strictly positive (a zero-expectation bin makes the statistic
+/// undefined — merge such bins before calling).
+#[must_use]
+pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed/expected bin count mismatch"
+    );
+    assert!(!observed.is_empty(), "chi-square needs at least one bin");
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected bin counts must be positive");
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Upper critical value of the chi-square distribution with `df` degrees of
+/// freedom at significance `alpha`, via the Wilson–Hilferty cube
+/// approximation:
+///
+/// `chi2_crit = df * (1 - 2/(9 df) + z_{1-alpha} * sqrt(2/(9 df)))^3`
+///
+/// Accurate to a few parts in a thousand for `df >= 3` (e.g. df=3,
+/// alpha=0.05 gives 7.81 vs the exact 7.815).
+///
+/// # Panics
+///
+/// Panics if `df` is zero or `alpha` is outside `(0, 1)`.
+#[must_use]
+pub fn chi_square_critical(df: usize, alpha: f64) -> f64 {
+    assert!(df > 0, "chi-square needs at least one degree of freedom");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "significance level must be in (0, 1)"
+    );
+    let k = df as f64;
+    let z = norm_ppf(1.0 - alpha);
+    let t = 2.0 / (9.0 * k);
+    k * (1.0 - t + z * t.sqrt()).powi(3)
+}
+
+/// Wilson score confidence interval for a binomial proportion: the interval
+/// of true success probabilities `p` whose `z`-sigma normal band contains
+/// the observed `successes / n`.
+///
+/// Unlike the Wald interval it never leaves `[0, 1]` and stays calibrated
+/// for proportions near the boundaries — exactly the regime of Monte-Carlo
+/// accuracy estimates (clean accuracy near 1, collapsed accuracy near 0.1).
+///
+/// # Panics
+///
+/// Panics if `n` is zero, `successes > n`, or `z` is not positive.
+#[must_use]
+pub fn wilson_interval(successes: u64, n: u64, z: f64) -> (f64, f64) {
+    assert!(n > 0, "Wilson interval needs at least one observation");
+    assert!(successes <= n, "more successes than observations");
+    assert!(z > 0.0, "z must be positive");
+    let n = n as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Interior edges of `bins` equal-probability bins of a `N(mu, sigma)`
+/// distribution: `bins - 1` values at the `i/bins` quantiles. The outer
+/// bins are unbounded, so with these edges every bin has expected count
+/// `n / bins` — the configuration that maximizes chi-square power against
+/// smooth alternatives.
+///
+/// # Panics
+///
+/// Panics if `bins < 2` or `sigma` is not positive.
+#[must_use]
+pub fn normal_bin_edges(mu: f64, sigma: f64, bins: usize) -> Vec<f64> {
+    assert!(bins >= 2, "need at least two bins");
+    assert!(sigma > 0.0, "sigma must be positive");
+    (1..bins)
+        .map(|i| mu + sigma * norm_ppf(i as f64 / bins as f64))
+        .collect()
+}
+
+/// Histogram of `samples` over the bins delimited by sorted interior
+/// `edges` (first bin is `(-inf, edges[0])`, last is `[edges.last(), inf)`),
+/// returned as `edges.len() + 1` counts.
+///
+/// # Panics
+///
+/// Panics if `edges` is empty or not sorted.
+#[must_use]
+pub fn bin_counts(samples: &[f64], edges: &[f64]) -> Vec<u64> {
+    assert!(!edges.is_empty(), "need at least one bin edge");
+    assert!(
+        edges.windows(2).all(|w| w[0] < w[1]),
+        "bin edges must be strictly increasing"
+    );
+    let mut counts = vec![0u64; edges.len() + 1];
+    for &s in samples {
+        // partition_point gives the count of edges <= s, i.e. the bin index.
+        let bin = edges.partition_point(|&e| e <= s);
+        counts[bin] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dante_sram::math::phi_cdf;
+
+    #[test]
+    fn ks_statistic_is_zero_for_perfectly_spaced_quantiles() {
+        // Samples at the (i - 1/2)/n quantiles of the uniform CDF give the
+        // minimal possible D_n = 1/(2n).
+        let n = 100usize;
+        let samples: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&samples, |x| x.clamp(0.0, 1.0));
+        assert!((d - 1.0 / (2.0 * n as f64)).abs() < 1e-12, "D = {d}");
+    }
+
+    #[test]
+    fn ks_statistic_detects_gross_mismatch() {
+        // All samples at 0.9 vs the uniform CDF: D = 0.9.
+        let samples = vec![0.9; 50];
+        let d = ks_statistic(&samples, |x| x.clamp(0.0, 1.0));
+        assert!((d - 0.9).abs() < 1e-12, "D = {d}");
+    }
+
+    #[test]
+    fn ks_critical_matches_tabulated_values() {
+        // Tabulated asymptotic values: 1.358/sqrt(n) at alpha=0.05,
+        // 1.628/sqrt(n) at alpha=0.01.
+        let c = ks_critical(100, 0.05);
+        assert!((c - 0.1358).abs() < 5e-4, "c = {c}");
+        let c = ks_critical(400, 0.01);
+        assert!((c - 1.628 / 20.0).abs() < 5e-4, "c = {c}");
+    }
+
+    #[test]
+    fn chi_square_statistic_is_zero_on_exact_match() {
+        let obs = [10u64, 20, 30];
+        let exp = [10.0, 20.0, 30.0];
+        assert!(chi_square_statistic(&obs, &exp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_statistic_hand_computed() {
+        // (8-10)^2/10 + (12-10)^2/10 = 0.8
+        let s = chi_square_statistic(&[8, 12], &[10.0, 10.0]);
+        assert!((s - 0.8).abs() < 1e-12, "s = {s}");
+    }
+
+    #[test]
+    fn chi_square_critical_matches_tables() {
+        // Exact values: df=3 alpha=0.05 -> 7.815; df=9 alpha=0.05 -> 16.919;
+        // df=9 alpha=0.01 -> 21.666. Wilson–Hilferty is good to ~0.5%.
+        let c = chi_square_critical(3, 0.05);
+        assert!((c - 7.815).abs() < 0.05, "df=3: {c}");
+        let c = chi_square_critical(9, 0.05);
+        assert!((c - 16.919).abs() < 0.05, "df=9: {c}");
+        let c = chi_square_critical(9, 0.01);
+        assert!((c - 21.666).abs() < 0.15, "df=9 a=.01: {c}");
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate_and_stays_in_unit_range() {
+        for &(s, n) in &[(0u64, 10u64), (10, 10), (5, 10), (999, 1000), (1, 1000)] {
+            let (lo, hi) = wilson_interval(s, n, 1.96);
+            let p = s as f64 / n as f64;
+            assert!(
+                lo <= p + 1e-12 && p <= hi + 1e-12,
+                "({s}/{n}): [{lo}, {hi}]"
+            );
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_sample_size() {
+        let (lo1, hi1) = wilson_interval(60, 100, 1.96);
+        let (lo2, hi2) = wilson_interval(600, 1000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn wilson_matches_textbook_example() {
+        // Classic example: 8 successes in 10 trials, z=1.96 ->
+        // approximately (0.490, 0.943).
+        let (lo, hi) = wilson_interval(8, 10, 1.96);
+        assert!((lo - 0.490).abs() < 5e-3, "lo = {lo}");
+        assert!((hi - 0.943).abs() < 5e-3, "hi = {hi}");
+    }
+
+    #[test]
+    fn equal_probability_bins_have_equal_analytic_mass() {
+        let edges = normal_bin_edges(0.352, 0.040, 10);
+        assert_eq!(edges.len(), 9);
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        // Analytic mass of each bin under the same normal is 1/10.
+        let cdf = |x: f64| phi_cdf((x - 0.352) / 0.040);
+        let mut prev = 0.0;
+        for &e in &edges {
+            let mass = cdf(e) - prev;
+            assert!((mass - 0.1).abs() < 1e-6, "bin mass {mass}");
+            prev = cdf(e);
+        }
+        assert!((1.0 - prev - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bin_counts_cover_all_samples_including_tails() {
+        let edges = [0.0, 1.0, 2.0];
+        let counts = bin_counts(&[-5.0, 0.5, 0.5, 1.5, 7.0, 2.0], &edges);
+        assert_eq!(counts, vec![1, 2, 1, 2]);
+        assert_eq!(counts.iter().sum::<u64>(), 6);
+    }
+}

@@ -159,6 +159,27 @@ proptest! {
     }
 }
 
+/// Promoted proptest regression (shrunk to `seed = 0, mv = 320`): the
+/// involution property once failed right at the old retention boundary,
+/// where the fault mask and the applied corruption disagreed about which
+/// cells were live. Pinned here as a deterministic unit test so the exact
+/// historical die/voltage pair is exercised on every run.
+#[test]
+fn overlay_involution_regression_at_320mv() {
+    let model = VminFaultModel::default_14nm();
+    let mut rng = StdRng::seed_from_u64(0);
+    let overlay = FaultOverlay::generate(2048, &model, &mut rng);
+    let v = Volt::from_millivolts(320.0);
+    let mut image: Vec<u64> = (0..32)
+        .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let original = image.clone();
+    overlay.apply(&mut image, v);
+    overlay.apply(&mut image, v);
+    assert_eq!(image, original, "double overlay application must cancel");
+    assert_eq!(overlay.flip_count(Volt::new(0.65)), 0);
+}
+
 /// Statistical property (not proptest-random): the empirical flip rate of
 /// the full overlay pipeline matches the analytic `BER * p_flip` model.
 #[test]

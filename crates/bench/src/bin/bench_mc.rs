@@ -1,0 +1,44 @@
+//! Regenerates `BENCH_mc.json`: the tracked dense-vs-sparse Monte-Carlo
+//! performance report (overlay generation, per-trial corruption, full
+//! accuracy sweep).
+//!
+//! `DANTE_BENCH_QUICK=1` selects the CI smoke scale; `DANTE_BENCH_OUT`
+//! overrides the output path (default `BENCH_mc.json`).
+
+use dante_bench::perf::{run_mc_bench, McBenchReport, OUT_ENV, QUICK_ENV};
+
+fn main() {
+    let quick = std::env::var(QUICK_ENV).is_ok_and(|v| v == "1");
+    let out = std::env::var(OUT_ENV).unwrap_or_else(|_| "BENCH_mc.json".into());
+    eprintln!(
+        "running bench_mc at {} scale -> {out}",
+        if quick { "quick" } else { "full" }
+    );
+    let report: McBenchReport = run_mc_bench(quick);
+    for row in &report.generation {
+        eprintln!(
+            "  generation @ {:.2} V: dense {:>12.0} ns, sparse {:>9.0} ns, speedup {:.0}x",
+            row.v_volts,
+            row.dense.mean_ns,
+            row.sparse.mean_ns,
+            row.speedup()
+        );
+    }
+    eprintln!(
+        "  per-trial corrupt @ {:.2} V: dense {:.0} ns, sparse {:.0} ns, speedup {:.1}x",
+        report.corruption.v_volts,
+        report.corruption.dense_ns,
+        report.corruption.sparse_ns,
+        report.corruption.speedup()
+    );
+    eprintln!(
+        "  accuracy sweep: dense {:.2} s, sparse {:.2} s, speedup {:.2}x, max accuracy delta {:.4}",
+        report.sweep.dense_seconds,
+        report.sweep.sparse_seconds,
+        report.sweep.speedup(),
+        report.sweep.max_accuracy_delta()
+    );
+    std::fs::write(&out, report.to_json_pretty())
+        .unwrap_or_else(|e| panic!("failed to write {out}: {e}"));
+    eprintln!("wrote {out}");
+}

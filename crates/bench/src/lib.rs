@@ -8,6 +8,10 @@
 //!   paper-fidelity Monte-Carlo).
 //! * [`figures`] — one function per paper artifact (`fig01`..`fig15`,
 //!   `table1`..`table3`, `headlines`).
+//! * [`perf`] — the tracked Monte-Carlo performance harness behind
+//!   `BENCH_mc.json` (`cargo run -p dante-bench --release --bin bench_mc`):
+//!   dense-vs-sparse overlay generation, per-trial corruption, and the
+//!   end-to-end accuracy sweep.
 //!
 //! Each artifact also has a binary (`cargo run -p dante-bench --release
 //! --bin fig13`) and a criterion bench (`cargo bench -p dante-bench`).
@@ -17,6 +21,7 @@
 
 pub mod figures;
 pub mod json;
+pub mod perf;
 pub mod record;
 
 pub use record::{FigureRecord, RunScale, Series};

@@ -16,7 +16,10 @@ use dante_nn::quant::ScaledQuantizer;
 use dante_nn::Matrix;
 use dante_sim::{derive_seed, site, NoopObserver, TrialEngine, TrialObserver};
 use dante_sram::fault::VminFaultModel;
+use dante_sram::sparse::{SparseCell, SparseOverlay};
 use dante_sram::storage::FaultOverlay;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// Effective rail voltage for each data class of one inference run.
@@ -154,12 +157,158 @@ pub enum EccMode {
     SecDed,
 }
 
+/// Which sampler draws each trial's Monte-Carlo fault dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverlaySampling {
+    /// Dense per-cell Gaussian V_min draws — O(bits) per die per trial, the
+    /// original reference path.
+    Dense,
+    /// Sparse tail sampling at the evaluation voltage — the faulty-cell
+    /// count is drawn as Binomial(bits, F(v)) via geometric-gap skipping
+    /// and only those cells get (truncated-Gaussian) V_mins, so a die
+    /// costs O(faulty bits). Statistically equivalent to [`Self::Dense`]
+    /// (same fault-count and V_min distributions; `dante-verify` pins
+    /// this), but a different random stream: per-trial results differ
+    /// bit-for-bit from the dense path while all distributions agree.
+    #[default]
+    SparseTail,
+}
+
+/// One quantized-and-packed bit image, prepared once per evaluation and
+/// reused read-only across all trials.
+#[derive(Debug, Clone, PartialEq)]
+struct PackedImage {
+    scale: f32,
+    bits: u8,
+    bit_len: usize,
+    len: usize,
+    /// Clean packed SRAM words (never mutated; corruption XORs on the fly).
+    words: Vec<u64>,
+    /// Clean dequantized values (the undo source for flipped words).
+    clean: Vec<f32>,
+}
+
+impl PackedImage {
+    fn build(quantizer: &ScaledQuantizer, values: &[f32]) -> Self {
+        let tensor = quantizer.quantize(values);
+        Self {
+            scale: tensor.scale(),
+            bits: tensor.bits(),
+            bit_len: tensor.bit_len(),
+            len: tensor.len(),
+            words: tensor.to_packed_words(),
+            clean: tensor.to_f32(),
+        }
+    }
+
+    #[inline]
+    fn lanes(&self) -> usize {
+        64 / usize::from(self.bits)
+    }
+
+    /// Dequantizes every lane of (corrupted) `word` into the value buffer —
+    /// the same sign-extend-and-scale as `ScaledTensor::to_f32`, applied to
+    /// only the lanes a fault actually touched.
+    #[inline]
+    fn dequant_word_into(&self, w: usize, word: u64, out: &mut [f32]) {
+        let lanes = self.lanes();
+        let bits = u32::from(self.bits);
+        let shift = 16 - bits;
+        let mask = if self.bits == 16 { 0xFFFFu64 } else { 0xFFu64 };
+        let base = w * lanes;
+        for lane in 0..lanes {
+            let e = base + lane;
+            if e >= self.len {
+                break;
+            }
+            let raw = ((word >> (bits * lane as u32)) & mask) as u16;
+            let code = i32::from((raw << shift) as i16 >> shift);
+            out[e] = code as f32 * self.scale;
+        }
+    }
+
+    /// Restores the lanes of word `w` in the value buffer from the clean
+    /// dequantized values (exact undo: dequantization is deterministic).
+    #[inline]
+    fn restore_word_into(&self, w: usize, out: &mut [f32]) {
+        let base = w * self.lanes();
+        let end = (base + self.lanes()).min(self.len);
+        out[base..end].copy_from_slice(&self.clean[base..end]);
+    }
+}
+
+/// Everything quantized/packed once per evaluation: per-layer weight
+/// images, the clean dequantized network, and (optionally) the input image.
+#[derive(Debug)]
+struct Prepared {
+    layers: Vec<PackedImage>,
+    layer_indices: Vec<usize>,
+    clean_net: Network,
+    inputs: Option<PackedImage>,
+}
+
+/// Reused sampling/ECC buffers: nothing here affects trial results, so the
+/// scratch can live per worker without breaking thread-count determinism.
+#[derive(Debug, Default)]
+struct OverlayBuffers {
+    indices: Vec<u64>,
+    cells: Vec<SparseCell>,
+    corruption: Vec<u64>,
+    check: Vec<u64>,
+    check_flips: Vec<u32>,
+}
+
+/// The `touched` undo-log target meaning "the input image" rather than a
+/// weight layer position.
+const INPUTS_TARGET: usize = usize::MAX;
+
+/// Per-worker trial scratch: a working network + input buffer (restored to
+/// the clean dequantized state between trials via the `touched` undo log)
+/// plus the overlay buffers. Steady-state trials allocate nothing.
+#[derive(Debug)]
+struct TrialScratch {
+    net: Network,
+    inputs: Vec<f32>,
+    touched: Vec<(usize, usize)>,
+    bufs: OverlayBuffers,
+}
+
+impl TrialScratch {
+    fn new(prep: &Prepared) -> Self {
+        Self {
+            net: prep.clean_net.clone(),
+            inputs: prep
+                .inputs
+                .as_ref()
+                .map(|i| i.clean.clone())
+                .unwrap_or_default(),
+            touched: Vec::new(),
+            bufs: OverlayBuffers::default(),
+        }
+    }
+}
+
+/// The mutable weight-value slice of the layer at `idx` (which must be a
+/// parameterized layer).
+fn weight_slice_mut(net: &mut Network, idx: usize) -> &mut [f32] {
+    match &mut net.layers_mut()[idx] {
+        Layer::Dense(d) => d.weights_mut().as_mut_slice(),
+        Layer::Conv2d(c) => c.weights_mut(),
+        _ => unreachable!("weight_layer_indices returns parameterized layers"),
+    }
+}
+
 /// The Monte-Carlo evaluator.
 ///
 /// Trials run on the shared [`TrialEngine`]: each trial's randomness is
 /// derived from `(seed, trial index)` via [`derive_seed`], so the per-trial
 /// results are bit-identical whether the engine runs them serially or
 /// across any number of worker threads.
+///
+/// Each evaluation quantizes and packs every bit image **once**, then each
+/// trial corrupts only the words its fault die touches (sparse tail
+/// sampling by default, see [`OverlaySampling`]) and undoes them afterwards
+/// — the steady-state hot path allocates nothing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccuracyEvaluator {
     fault_model: VminFaultModel,
@@ -167,6 +316,7 @@ pub struct AccuracyEvaluator {
     input_quantizer: ScaledQuantizer,
     trials: usize,
     ecc: EccMode,
+    sampling: OverlaySampling,
     engine: TrialEngine,
 }
 
@@ -188,6 +338,7 @@ impl AccuracyEvaluator {
             input_quantizer: ScaledQuantizer::weight_default(),
             trials,
             ecc: EccMode::None,
+            sampling: OverlaySampling::default(),
             engine: TrialEngine::from_env(),
         }
     }
@@ -229,6 +380,19 @@ impl AccuracyEvaluator {
         self.ecc
     }
 
+    /// Selects the overlay sampler (default: [`OverlaySampling::SparseTail`]).
+    #[must_use]
+    pub fn with_sampling(mut self, sampling: OverlaySampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// The overlay sampler in effect.
+    #[must_use]
+    pub fn sampling(&self) -> OverlaySampling {
+        self.sampling
+    }
+
     /// The fault model in use.
     #[must_use]
     pub fn fault_model(&self) -> &VminFaultModel {
@@ -241,95 +405,243 @@ impl AccuracyEvaluator {
         self.trials
     }
 
-    /// Quantizes `values`, applies one fault die drawn from `seed`, and
-    /// returns the corrupted values plus the number of bits that flipped.
-    fn corrupt_values(
+    /// Quantizes and packs every bit image once: per-layer weight images,
+    /// the clean dequantized network (the state every trial starts from and
+    /// is restored to), and optionally the input image.
+    fn prepare(&self, net: &Network, images: Option<&[f32]>) -> Prepared {
+        let mut layers = Vec::new();
+        let clean_net = net.map_weight_layers(|_pos, layer| match layer {
+            Layer::Dense(d) => {
+                let img = PackedImage::build(&self.weight_quantizer, d.weights().as_slice());
+                let (r, c) = d.weights().dims();
+                let mut d = d.clone();
+                *d.weights_mut() = Matrix::from_vec(r, c, img.clean.clone());
+                layers.push(img);
+                Layer::Dense(d)
+            }
+            Layer::Conv2d(conv) => {
+                let img = PackedImage::build(&self.weight_quantizer, conv.weights());
+                let mut conv = conv.clone();
+                conv.weights_mut().copy_from_slice(&img.clean);
+                layers.push(img);
+                Layer::Conv2d(conv)
+            }
+            _ => unreachable!("weight_layer_indices returns parameterized layers"),
+        });
+        Prepared {
+            layers,
+            layer_indices: net.weight_layer_indices(),
+            clean_net,
+            inputs: images.map(|im| PackedImage::build(&self.input_quantizer, im)),
+        }
+    }
+
+    /// Materializes one die's corruption words for `image` into `out`
+    /// (exactly `word_len` words), drawing from `seed` with the configured
+    /// sampler.
+    fn corruption_words_into(
         &self,
-        values: &[f32],
-        quantizer: &ScaledQuantizer,
+        bit_len: usize,
+        word_len: usize,
         v: Volt,
         seed: u64,
-    ) -> (Vec<f32>, u64) {
-        let mut tensor = quantizer.quantize(values);
-        let mut words = tensor.to_packed_words();
-        let overlay = FaultOverlay::from_seed(tensor.bit_len(), &self.fault_model, seed);
-        let flipped = match self.ecc {
-            EccMode::None => {
-                overlay.apply(&mut words, v);
-                overlay.flip_count(v) as u64
+        bufs: &mut OverlayBuffers,
+        out_is_check: bool,
+    ) {
+        // Split borrow: the check overlay fills `bufs.check`, the data
+        // overlay fills `bufs.corruption`; both share the sampling buffers.
+        let (out, indices, cells) = if out_is_check {
+            (&mut bufs.check, &mut bufs.indices, &mut bufs.cells)
+        } else {
+            (&mut bufs.corruption, &mut bufs.indices, &mut bufs.cells)
+        };
+        match self.sampling {
+            OverlaySampling::Dense => {
+                let overlay = FaultOverlay::from_seed(bit_len, &self.fault_model, seed);
+                out.clear();
+                out.extend(overlay.corruption_iter(v).take(word_len));
+                out.resize(word_len, 0);
             }
+            OverlaySampling::SparseTail => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                SparseOverlay::sample_cells_into(
+                    bit_len,
+                    &self.fault_model,
+                    v,
+                    &mut rng,
+                    indices,
+                    cells,
+                );
+                out.clear();
+                out.resize(word_len, 0);
+                for c in cells.iter() {
+                    if c.flip {
+                        out[(c.index / 64) as usize] |= 1u64 << (c.index % 64);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Corrupts one prepared image at voltage `v` with the die drawn from
+    /// `seed`, writing only the affected lanes of `values` and logging each
+    /// touched word into the undo log. Returns the number of flipped bits
+    /// that reached the data.
+    #[allow(clippy::too_many_arguments)]
+    fn corrupt_image(
+        &self,
+        image: &PackedImage,
+        target: usize,
+        v: Volt,
+        seed: u64,
+        values: &mut [f32],
+        touched: &mut Vec<(usize, usize)>,
+        bufs: &mut OverlayBuffers,
+    ) -> u64 {
+        let word_len = image.words.len();
+        let mut flipped = 0u64;
+        match self.ecc {
+            EccMode::None => match self.sampling {
+                OverlaySampling::SparseTail => {
+                    // The floor *is* the evaluation voltage, so every
+                    // sampled cell is faulty here: the corruption is just
+                    // the flip bits, grouped word by word (cells arrive
+                    // sorted by index).
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    SparseOverlay::sample_cells_into(
+                        image.bit_len,
+                        &self.fault_model,
+                        v,
+                        &mut rng,
+                        &mut bufs.indices,
+                        &mut bufs.cells,
+                    );
+                    let cells = &bufs.cells;
+                    let mut i = 0;
+                    while i < cells.len() {
+                        let w = (cells[i].index / 64) as usize;
+                        let mut mask = 0u64;
+                        while i < cells.len() && (cells[i].index / 64) as usize == w {
+                            if cells[i].flip {
+                                mask |= 1u64 << (cells[i].index % 64);
+                            }
+                            i += 1;
+                        }
+                        if mask != 0 {
+                            flipped += u64::from(mask.count_ones());
+                            image.dequant_word_into(w, image.words[w] ^ mask, values);
+                            touched.push((target, w));
+                        }
+                    }
+                }
+                OverlaySampling::Dense => {
+                    let overlay = FaultOverlay::from_seed(image.bit_len, &self.fault_model, seed);
+                    for (w, c) in overlay.corruption_iter(v).enumerate() {
+                        if c != 0 {
+                            flipped += u64::from(c.count_ones());
+                            image.dequant_word_into(w, image.words[w] ^ c, values);
+                            touched.push((target, w));
+                        }
+                    }
+                }
+            },
             EccMode::SecDed => {
                 // SEC-DED per 64-bit word: heal single flips, counting the
                 // 8 check bits (which fault at the same per-cell rate).
-                let mut corruption = overlay.corruption_words(v);
-                corruption.truncate(words.len());
-                let check_overlay = FaultOverlay::from_seed(
-                    words.len() * 8,
-                    &self.fault_model,
+                self.corruption_words_into(image.bit_len, word_len, v, seed, bufs, false);
+                self.corruption_words_into(
+                    word_len * 8,
+                    (word_len * 8).div_ceil(64),
+                    v,
                     derive_seed(seed, site::ECC_CHECK, 0),
+                    bufs,
+                    true,
                 );
-                let check_words = check_overlay.corruption_words(v);
-                let check_flips: Vec<u32> = (0..words.len())
-                    .map(|w| {
-                        let word = check_words[w / 8];
-                        ((word >> ((w % 8) * 8)) & 0xFF).count_ones()
-                    })
-                    .collect();
-                dante_sram::ecc::filter_corruption(&mut corruption, &check_flips);
-                for (word, c) in words.iter_mut().zip(&corruption) {
-                    *word ^= c;
+                bufs.check_flips.clear();
+                for w in 0..word_len {
+                    let word = bufs.check[w / 8];
+                    bufs.check_flips
+                        .push(((word >> ((w % 8) * 8)) & 0xFF).count_ones());
                 }
-                corruption.iter().map(|c| u64::from(c.count_ones())).sum()
+                dante_sram::ecc::filter_corruption(&mut bufs.corruption, &bufs.check_flips);
+                for (w, &c) in bufs.corruption.iter().enumerate() {
+                    if c != 0 {
+                        flipped += u64::from(c.count_ones());
+                        image.dequant_word_into(w, image.words[w] ^ c, values);
+                        touched.push((target, w));
+                    }
+                }
             }
-        };
-        tensor.load_packed_words(&words);
-        (tensor.to_f32(), flipped)
+        }
+        flipped
     }
 
-    fn corrupt_network_counted(
+    /// Runs one trial's corruption over every prepared image, mutating the
+    /// scratch network/input buffers in place. Returns the total number of
+    /// fault bits that reached the data.
+    fn corrupt_trial(
         &self,
-        net: &Network,
+        prep: &Prepared,
         assignment: &VoltageAssignment,
         trial_seed: u64,
-    ) -> (Network, u64) {
-        let layers = net.weight_layer_indices().len();
+        scratch: &mut TrialScratch,
+    ) -> u64 {
         assert_eq!(
-            layers,
+            prep.layers.len(),
             assignment.weight_layers.len(),
             "assignment covers {} layers, network has {}",
             assignment.weight_layers.len(),
-            layers
+            prep.layers.len()
         );
+        let TrialScratch {
+            net,
+            inputs,
+            touched,
+            bufs,
+        } = scratch;
         let mut fault_bits = 0u64;
-        let corrupted = net.map_weight_layers(|pos, layer| {
-            let v = assignment.weight_layers[pos];
-            let layer_seed = derive_seed(trial_seed, site::WEIGHT_LAYER, pos as u64);
-            match layer {
-                Layer::Dense(d) => {
-                    let (new, bits) = self.corrupt_values(
-                        d.weights().as_slice(),
-                        &self.weight_quantizer,
-                        v,
-                        layer_seed,
-                    );
-                    fault_bits += bits;
-                    let (r, c) = d.weights().dims();
-                    let mut d = d.clone();
-                    *d.weights_mut() = Matrix::from_vec(r, c, new);
-                    Layer::Dense(d)
-                }
-                Layer::Conv2d(conv) => {
-                    let (new, bits) =
-                        self.corrupt_values(conv.weights(), &self.weight_quantizer, v, layer_seed);
-                    fault_bits += bits;
-                    let mut conv = conv.clone();
-                    conv.weights_mut().copy_from_slice(&new);
-                    Layer::Conv2d(conv)
-                }
-                _ => unreachable!("weight_layer_indices returns parameterized layers"),
+        for (pos, image) in prep.layers.iter().enumerate() {
+            fault_bits += self.corrupt_image(
+                image,
+                pos,
+                assignment.weight_layers[pos],
+                derive_seed(trial_seed, site::WEIGHT_LAYER, pos as u64),
+                weight_slice_mut(net, prep.layer_indices[pos]),
+                touched,
+                bufs,
+            );
+        }
+        if let Some(image) = &prep.inputs {
+            fault_bits += self.corrupt_image(
+                image,
+                INPUTS_TARGET,
+                assignment.inputs,
+                derive_seed(trial_seed, site::INPUTS, 0),
+                inputs,
+                touched,
+                bufs,
+            );
+        }
+        fault_bits
+    }
+
+    /// Rolls the scratch back to the clean state by restoring every word
+    /// the trial's undo log recorded.
+    fn undo_trial(prep: &Prepared, scratch: &mut TrialScratch) {
+        for &(target, w) in &scratch.touched {
+            if target == INPUTS_TARGET {
+                prep.inputs
+                    .as_ref()
+                    .expect("undo log names inputs only when inputs were prepared")
+                    .restore_word_into(w, &mut scratch.inputs);
+            } else {
+                prep.layers[target].restore_word_into(
+                    w,
+                    weight_slice_mut(&mut scratch.net, prep.layer_indices[target]),
+                );
             }
-        });
-        (corrupted, fault_bits)
+        }
+        scratch.touched.clear();
     }
 
     /// Returns a copy of `net` whose weights went through quantization and
@@ -349,23 +661,30 @@ impl AccuracyEvaluator {
         assignment: &VoltageAssignment,
         trial_seed: u64,
     ) -> Network {
-        self.corrupt_network_counted(net, assignment, trial_seed).0
+        let prep = self.prepare(net, None);
+        let mut scratch = TrialScratch::new(&prep);
+        let _ = self.corrupt_trial(&prep, assignment, trial_seed, &mut scratch);
+        scratch.net
     }
 
     /// Returns a corrupted copy of a test-image buffer at the inputs
     /// voltage; the die is a pure function of `trial_seed`.
     #[must_use]
     pub fn corrupt_inputs(&self, images: &[f32], v: Volt, trial_seed: u64) -> Vec<f32> {
-        self.corrupt_inputs_counted(images, v, trial_seed).0
-    }
-
-    fn corrupt_inputs_counted(&self, images: &[f32], v: Volt, trial_seed: u64) -> (Vec<f32>, u64) {
-        self.corrupt_values(
-            images,
-            &self.input_quantizer,
+        let image = PackedImage::build(&self.input_quantizer, images);
+        let mut values = image.clean.clone();
+        let mut touched = Vec::new();
+        let mut bufs = OverlayBuffers::default();
+        let _ = self.corrupt_image(
+            &image,
+            INPUTS_TARGET,
             v,
             derive_seed(trial_seed, site::INPUTS, 0),
-        )
+            &mut values,
+            &mut touched,
+            &mut bufs,
+        );
+        values
     }
 
     /// Evaluates accuracy over a voltage axis with a caller-supplied
@@ -478,20 +797,27 @@ impl AccuracyEvaluator {
         seed: u64,
         observer: &dyn TrialObserver,
     ) -> AccuracyStats {
-        let per_trial = self.engine.run_observed(self.trials, observer, |trial| {
-            let trial_seed = derive_seed(seed, site::TRIAL, trial as u64);
-            let corrupt_start = Instant::now();
-            let (corrupted, weight_bits) =
-                self.corrupt_network_counted(net, assignment, trial_seed);
-            let (test_images, input_bits) =
-                self.corrupt_inputs_counted(images, assignment.inputs, trial_seed);
-            observer.on_stage("corrupt", corrupt_start.elapsed());
-            observer.on_fault_bits(trial, weight_bits + input_bits);
-            let infer_start = Instant::now();
-            let accuracy = corrupted.accuracy(&test_images, labels);
-            observer.on_stage("inference", infer_start.elapsed());
-            accuracy
-        });
+        // Quantize/pack each bit image exactly once; every trial then
+        // corrupts only the touched words of a per-worker scratch copy and
+        // undoes them afterwards, so steady-state trials allocate nothing.
+        let prep = self.prepare(net, Some(images));
+        let per_trial = self.engine.run_scratch_observed(
+            self.trials,
+            observer,
+            || TrialScratch::new(&prep),
+            |trial, scratch| {
+                let trial_seed = derive_seed(seed, site::TRIAL, trial as u64);
+                let corrupt_start = Instant::now();
+                let fault_bits = self.corrupt_trial(&prep, assignment, trial_seed, scratch);
+                observer.on_stage("corrupt", corrupt_start.elapsed());
+                observer.on_fault_bits(trial, fault_bits);
+                let infer_start = Instant::now();
+                let accuracy = scratch.net.accuracy(&scratch.inputs, labels);
+                observer.on_stage("inference", infer_start.elapsed());
+                Self::undo_trial(&prep, scratch);
+                accuracy
+            },
+        );
         AccuracyStats { per_trial }
     }
 }
@@ -580,7 +906,7 @@ mod tests {
         let (net, images, labels) = toy_net_and_data();
         // Enough dies that the weight-vs-input sensitivity gap clears the
         // Monte-Carlo noise floor on this tiny network.
-        let eval = AccuracyEvaluator::new(16);
+        let eval = AccuracyEvaluator::new(48);
         let safe = Volt::new(0.60);
         let v = Volt::new(0.40);
         let w = eval.evaluate(

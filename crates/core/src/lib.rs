@@ -35,7 +35,7 @@ pub mod policy;
 pub mod report;
 pub mod schedule;
 
-pub use accuracy::{AccuracyEvaluator, AccuracyStats, EccMode, VoltageAssignment};
+pub use accuracy::{AccuracyEvaluator, AccuracyStats, EccMode, OverlaySampling, VoltageAssignment};
 pub use headlines::Headlines;
 pub use policy::{OptimizedPlan, PolicyOptimizer};
 pub use report::InferenceEnergyReport;

@@ -88,14 +88,47 @@ impl TrialEngine {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_scratch_observed(trials, observer, || (), |index, ()| trial(index))
+    }
+
+    /// [`Self::run`] with a per-worker scratch arena: `make_scratch` runs
+    /// once on each worker thread, and every trial that worker executes
+    /// receives `&mut` access to that worker's scratch. Monte-Carlo hot
+    /// paths use this to reuse buffers across trials so steady-state
+    /// execution allocates nothing; the scratch must not carry state that
+    /// changes trial *results* (each trial still derives everything from
+    /// its index), or determinism across thread counts is lost.
+    pub fn run_scratch<T, S, M, F>(&self, trials: usize, make_scratch: M, trial: F) -> Vec<T>
+    where
+        T: Send,
+        M: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
+        self.run_scratch_observed(trials, &NoopObserver, make_scratch, trial)
+    }
+
+    /// [`Self::run_scratch`] with instrumentation.
+    pub fn run_scratch_observed<T, S, M, F>(
+        &self,
+        trials: usize,
+        observer: &dyn TrialObserver,
+        make_scratch: M,
+        trial: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        M: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
         let batch_start = Instant::now();
         observer.on_batch_start(trials);
         let workers = self.threads.min(trials).max(1);
         let mut results: Vec<(usize, T)> = if workers <= 1 {
+            let mut scratch = make_scratch();
             (0..trials)
                 .map(|index| {
                     let t0 = Instant::now();
-                    let out = trial(index);
+                    let out = trial(index, &mut scratch);
                     observer.on_trial_complete(index, t0.elapsed());
                     (index, out)
                 })
@@ -103,13 +136,17 @@ impl TrialEngine {
         } else {
             // Work-stealing by atomic counter: each worker pulls the next
             // unclaimed trial index, so stragglers never idle the pool.
+            // The scratch is built *inside* each worker thread, so it
+            // needs no `Send` bound and is never shared.
             let next = AtomicUsize::new(0);
             let trial = &trial;
+            let make_scratch = &make_scratch;
             let next = &next;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         scope.spawn(move || {
+                            let mut scratch = make_scratch();
                             let mut mine = Vec::new();
                             loop {
                                 let index = next.fetch_add(1, Ordering::Relaxed);
@@ -117,7 +154,7 @@ impl TrialEngine {
                                     break;
                                 }
                                 let t0 = Instant::now();
-                                let out = trial(index);
+                                let out = trial(index, &mut scratch);
                                 observer.on_trial_complete(index, t0.elapsed());
                                 mine.push((index, out));
                             }
@@ -253,5 +290,50 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = TrialEngine::with_threads(0);
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_reused_across_trials() {
+        // Each worker's scratch counts the trials it ran; the per-worker
+        // counts must sum to the total, and with one worker every trial
+        // sees the same (incremented) scratch instance.
+        let one = TrialEngine::with_threads(1);
+        let counts = one.run_scratch(
+            5,
+            || 0usize,
+            |_, seen| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(counts, vec![1, 2, 3, 4, 5], "one worker reuses one scratch");
+
+        let makes = AtomicUsize::new(0);
+        let four = TrialEngine::with_threads(4);
+        let ran = four.run_scratch(
+            64,
+            || {
+                makes.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |_, seen| {
+                *seen += 1;
+                1usize
+            },
+        );
+        assert_eq!(ran.iter().sum::<usize>(), 64);
+        assert!(
+            makes.load(Ordering::Relaxed) <= 4,
+            "at most one scratch per worker, got {}",
+            makes.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn scratch_runs_match_plain_runs_for_pure_trials() {
+        let work = |i: usize| derive_seed(7, site::TRIAL, i as u64);
+        let plain = TrialEngine::with_threads(3).run(100, work);
+        let scratched = TrialEngine::with_threads(3).run_scratch(100, || (), |i, ()| work(i));
+        assert_eq!(plain, scratched);
     }
 }

@@ -22,6 +22,20 @@ pub struct FaultMask {
     len: usize,
 }
 
+/// Index of the 64-bit word holding cell `idx`.
+#[inline]
+#[must_use]
+pub fn word_index(idx: usize) -> usize {
+    idx / 64
+}
+
+/// Single-bit mask selecting cell `idx` within its word.
+#[inline]
+#[must_use]
+pub fn bit_mask(idx: usize) -> u64 {
+    1u64 << (idx % 64)
+}
+
 impl FaultMask {
     fn with_len(len: usize) -> Self {
         Self {
@@ -47,17 +61,16 @@ impl FaultMask {
     /// # Panics
     ///
     /// Panics if `idx >= len`.
+    #[inline]
     #[must_use]
     pub fn get(&self, idx: usize) -> bool {
         assert!(idx < self.len, "cell index {idx} out of range");
-        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+        self.words[word_index(idx)] & bit_mask(idx) != 0
     }
 
-    fn set(&mut self, idx: usize) {
-        self.words[idx / 64] |= 1u64 << (idx % 64);
-    }
-
-    /// Number of faulty cells.
+    /// Number of faulty cells: a single `count_ones` pass over the packed
+    /// words (bits past `len` are structurally zero — the fault-word stream
+    /// never sets them — so the final partial word needs no extra masking).
     #[must_use]
     pub fn count(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -134,13 +147,26 @@ impl VminField {
     #[must_use]
     pub fn fault_mask(&self, v: Volt) -> FaultMask {
         let mut mask = FaultMask::with_len(self.len());
-        let vf = v.volts() as f32;
-        for (idx, &vmin) in self.vmins.iter().enumerate() {
-            if vf < vmin {
-                mask.set(idx);
-            }
+        for (w, word) in self.fault_words(v).zip(mask.words.iter_mut()) {
+            *word = w;
         }
         mask
+    }
+
+    /// The packed fault words of this die at `v`, streamed one 64-bit word
+    /// at a time without materializing a [`FaultMask`] (cell `i` is bit
+    /// `i % 64` of word `i / 64`; bits past the last cell are zero).
+    pub fn fault_words(&self, v: Volt) -> impl Iterator<Item = u64> + '_ {
+        let vf = v.volts() as f32;
+        self.vmins.chunks(64).map(move |chunk| {
+            let mut w = 0u64;
+            for (bit, &vmin) in chunk.iter().enumerate() {
+                if vf < vmin {
+                    w |= 1u64 << bit;
+                }
+            }
+            w
+        })
     }
 
     /// Number of faulty cells at `v` without materializing a mask.
@@ -249,6 +275,25 @@ mod tests {
             let w = mask.words()[idx / 64];
             assert_eq!(w & (1 << (idx % 64)) != 0, mask.get(idx));
         }
+    }
+
+    #[test]
+    fn fault_words_stream_matches_materialized_mask() {
+        let f = field(1_000, 17);
+        for mv in [340, 400, 460] {
+            let v = Volt::from_millivolts(f64::from(mv));
+            let streamed: Vec<u64> = f.fault_words(v).collect();
+            assert_eq!(streamed, f.fault_mask(v).words());
+        }
+    }
+
+    #[test]
+    fn word_helpers_address_the_expected_bit() {
+        assert_eq!(word_index(0), 0);
+        assert_eq!(word_index(63), 0);
+        assert_eq!(word_index(64), 1);
+        assert_eq!(bit_mask(0), 1);
+        assert_eq!(bit_mask(65), 2);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   (the methodology of Fig. 11).
 //! * [`storage`] — bit-accurate faulty macros and bulk fault overlays
 //!   (faulty cells flip on read with probability `p = 0.5`).
+//! * [`sparse`] — sparse tail-sampled fault overlays: only the
+//!   faulty-at-floor cells are drawn (binomial count + truncated-Gaussian
+//!   V_mins), turning per-trial cost from O(bits) into O(faulty bits).
 //! * [`geometry`] — macro/bank/memory geometry of the taped-out chip
 //!   (4 KB macros, 64 Kbit banks, 128 KB + 16 KB memories).
 //! * [`ber_fit`] — probit regression from measured `(V, BER)` points back to
@@ -39,6 +42,7 @@ pub mod fault;
 pub mod fault_map;
 pub mod geometry;
 pub mod math;
+pub mod sparse;
 pub mod storage;
 pub mod yield_model;
 
@@ -47,5 +51,6 @@ pub use ecc::{decode as ecc_decode, encode as ecc_encode, Codeword, Correction};
 pub use fault::{VminFaultModel, DEFAULT_READ_FLIP_PROBABILITY, V_DATA_RETENTION};
 pub use fault_map::{FaultMask, VminField};
 pub use geometry::{BankGeometry, MacroGeometry, MemoryGeometry};
-pub use storage::{AccessStats, FaultOverlay, FaultyMacro};
+pub use sparse::{SparseCell, SparseOverlay};
+pub use storage::{AccessStats, CorruptionOverlay, FaultOverlay, FaultyMacro};
 pub use yield_model::{array_yield, array_yield_secded, vmin_for_yield, vmin_for_yield_secded};

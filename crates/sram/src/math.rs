@@ -8,6 +8,13 @@
 //! * `Q(z)` via the Abramowitz & Stegun 26.2.17 polynomial (|error| < 7.5e-8),
 //! * `Q^{-1}(p)` via Acklam's rational approximation refined with one Halley
 //!   step (relative error far below the fitting noise).
+//!
+//! The module also hosts the sparse tail samplers used by
+//! [`crate::sparse::SparseOverlay`]: geometric-gap Bernoulli index sampling
+//! (an exact draw of the faulty-cell set in O(faulty cells) expected time)
+//! and truncated-tail Gaussian draws via the inverse CDF.
+
+use rand::Rng;
 
 /// Standard normal probability density function.
 #[must_use]
@@ -112,9 +119,105 @@ pub fn norm_ppf(p: f64) -> f64 {
     x - u / (1.0 + 0.5 * x * u)
 }
 
+/// Draws a uniform `f64` in the *open* interval `(0, 1)`: the packed-mantissa
+/// sample in `[0, 1)` is redrawn on an exact zero so downstream logarithms
+/// and quantile lookups stay finite.
+pub fn sample_unit_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Samples the success indices of `n` i.i.d. Bernoulli(`p`) trials into
+/// `out` (cleared first), in strictly increasing order, using geometric-gap
+/// skipping: the gap to the next success is `floor(ln u / ln(1-p))`, so the
+/// expected cost is O(n·p) draws instead of O(n). The number of indices
+/// produced is exactly Binomial(`n`, `p`)-distributed.
+///
+/// # Panics
+///
+/// Panics unless `p` is a finite probability in `[0, 1]`.
+pub fn sample_bernoulli_indices_into<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    rng: &mut R,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "success probability must be in [0, 1], got {p}"
+    );
+    if n == 0 || p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        out.extend(0..n as u64);
+        return;
+    }
+    let ln_q = (-p).ln_1p(); // ln(1 - p), strictly negative
+    let n = n as u64;
+    let mut idx = 0u64;
+    loop {
+        let gap = (sample_unit_open(rng).ln() / ln_q).floor();
+        // The remaining-range guard doubles as overflow protection: a deep
+        // tail can yield gaps far beyond 2^63.
+        if gap >= (n - idx) as f64 {
+            return;
+        }
+        idx += gap as u64;
+        out.push(idx);
+        idx += 1;
+        if idx >= n {
+            return;
+        }
+    }
+}
+
+/// Draws one value from the Gaussian `N(mu, sigma)` *conditioned on being
+/// greater than `floor`*, via the inverse tail CDF: with
+/// `p_f = Q((floor - mu) / sigma)` and `u ~ U(0, 1)`, the draw is
+/// `mu + sigma * Q^{-1}(u * p_f)`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not strictly positive or the tail beyond `floor`
+/// carries no numerically representable mass.
+#[must_use]
+pub fn truncated_tail_normal<R: Rng + ?Sized>(mu: f64, sigma: f64, floor: f64, rng: &mut R) -> f64 {
+    assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+    let p_floor = q_tail((floor - mu) / sigma);
+    assert!(
+        p_floor > 0.0,
+        "no Gaussian mass above floor {floor} (mu {mu}, sigma {sigma})"
+    );
+    let t = (sample_unit_open(rng) * p_floor).max(f64::MIN_POSITIVE);
+    mu + sigma * q_tail_inv(t)
+}
+
+/// CDF of the truncated tail distribution sampled by
+/// [`truncated_tail_normal`]: the probability that a draw conditioned on
+/// exceeding `floor` is `<= x`. Zero below the floor, one far in the tail.
+#[must_use]
+pub fn truncated_tail_cdf(mu: f64, sigma: f64, floor: f64, x: f64) -> f64 {
+    if x <= floor {
+        return 0.0;
+    }
+    let p_floor = q_tail((floor - mu) / sigma);
+    if p_floor <= 0.0 {
+        return 1.0;
+    }
+    ((p_floor - q_tail((x - mu) / sigma)) / p_floor).clamp(0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn cdf_known_values() {
@@ -174,5 +277,121 @@ mod tests {
     #[should_panic(expected = "must be in (0, 1)")]
     fn ppf_rejects_out_of_range() {
         let _ = norm_ppf(1.0);
+    }
+
+    #[test]
+    fn bernoulli_indices_are_sorted_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        sample_bernoulli_indices_into(10_000, 0.01, &mut rng, &mut out);
+        assert!(!out.is_empty());
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!(*out.last().unwrap() < 10_000);
+    }
+
+    #[test]
+    fn bernoulli_index_count_matches_binomial_mean() {
+        // Mean of 400 replications of Binomial(5000, 0.02): expect 100 with
+        // sd(mean) = sqrt(5000*0.02*0.98/400) ~ 0.49; allow 5 sigma.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for _ in 0..400 {
+            sample_bernoulli_indices_into(5000, 0.02, &mut rng, &mut out);
+            total += out.len();
+        }
+        let mean = total as f64 / 400.0;
+        assert!((mean - 100.0).abs() < 2.5, "mean count {mean} vs 100");
+    }
+
+    #[test]
+    fn bernoulli_indices_cover_uniformly() {
+        // Pool successes over many replications: each cell is hit with the
+        // same probability, so first/second-half counts agree to ~3 sigma.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        let (mut lo, mut hi) = (0usize, 0usize);
+        for _ in 0..200 {
+            sample_bernoulli_indices_into(2000, 0.05, &mut rng, &mut out);
+            for &i in &out {
+                if i < 1000 {
+                    lo += 1;
+                } else {
+                    hi += 1;
+                }
+            }
+        }
+        let n = (lo + hi) as f64;
+        let diff = (lo as f64 - hi as f64).abs();
+        assert!(diff < 4.0 * n.sqrt(), "lo {lo} vs hi {hi}");
+    }
+
+    #[test]
+    fn bernoulli_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut out = vec![99];
+        sample_bernoulli_indices_into(100, 0.0, &mut rng, &mut out);
+        assert!(out.is_empty(), "p = 0 clears the buffer");
+        sample_bernoulli_indices_into(5, 1.0, &mut rng, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        sample_bernoulli_indices_into(0, 0.5, &mut rng, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bernoulli_rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        sample_bernoulli_indices_into(10, 1.5, &mut rng, &mut Vec::new());
+    }
+
+    #[test]
+    fn truncated_tail_draws_stay_above_floor() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..5000 {
+            let x = truncated_tail_normal(0.352, 0.040, 0.44, &mut rng);
+            assert!(x > 0.44, "draw {x} fell below the floor");
+        }
+    }
+
+    #[test]
+    fn truncated_tail_matches_conditional_cdf() {
+        // Empirical CDF of 20k truncated draws against the analytic
+        // conditional CDF at a few quantiles (binomial 5-sigma bands).
+        let (mu, sigma, floor) = (0.352, 0.040, 0.40);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n)
+            .map(|_| truncated_tail_normal(mu, sigma, floor, &mut rng))
+            .collect();
+        for x in [0.41, 0.43, 0.46, 0.50] {
+            let expect = truncated_tail_cdf(mu, sigma, floor, x);
+            let got = draws.iter().filter(|&&d| d <= x).count() as f64 / f64::from(n);
+            let tol = 5.0 * (expect * (1.0 - expect) / f64::from(n)).sqrt() + 1e-3;
+            assert!(
+                (got - expect).abs() < tol,
+                "at {x}: empirical {got} vs analytic {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_tail_cdf_brackets() {
+        assert_eq!(truncated_tail_cdf(0.352, 0.04, 0.44, 0.43), 0.0);
+        let far = truncated_tail_cdf(0.352, 0.04, 0.44, 1.0);
+        assert!((far - 1.0).abs() < 1e-9);
+        // Monotone between.
+        let a = truncated_tail_cdf(0.352, 0.04, 0.44, 0.45);
+        let b = truncated_tail_cdf(0.352, 0.04, 0.44, 0.47);
+        assert!((0.0..1.0).contains(&a) && a < b);
+    }
+
+    #[test]
+    fn unit_open_never_returns_zero() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let u = sample_unit_open(&mut rng);
+            assert!(u > 0.0 && u < 1.0);
+        }
     }
 }

@@ -19,6 +19,29 @@ use crate::geometry::MacroGeometry;
 use dante_circuit::units::Volt;
 use rand::Rng;
 
+/// Behavior shared by the dense [`FaultOverlay`] and the sparse
+/// [`crate::sparse::SparseOverlay`]: one Monte-Carlo die, applicable to a
+/// packed bit image at a chosen supply voltage. Code written against this
+/// trait is agnostic to *how* the die was sampled — per-cell Gaussian draws
+/// or tail-only sparse sampling.
+pub trait CorruptionOverlay {
+    /// Number of cells the overlay covers.
+    fn len(&self) -> usize;
+
+    /// Whether the overlay covers zero cells.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of bits that would flip at voltage `v` (faulty *and* the
+    /// read-flip decision fired).
+    fn flip_count(&self, v: Volt) -> usize;
+
+    /// XORs the corruption at voltage `v` into a packed bit image, in
+    /// place and without allocating.
+    fn apply(&self, words: &mut [u64], v: Volt);
+}
+
 /// Read/write counters for one macro.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AccessStats {
@@ -98,44 +121,79 @@ impl FaultOverlay {
         &self.vmins
     }
 
-    /// The corruption mask at voltage `v`: bit `i` set iff cell `i` is
-    /// faulty at `v` *and* its flip decision fired.
+    /// The packed per-cell read-flip decisions (bit `i % 64` of word
+    /// `i / 64`), voltage-independent; the corruption at `v` is
+    /// `fault_mask(v) & flips`.
     #[must_use]
-    pub fn corruption_words(&self, v: Volt) -> Vec<u64> {
-        let fault = self.vmins.fault_mask(v);
-        fault
-            .words()
-            .iter()
-            .zip(&self.flips)
-            .map(|(f, fl)| f & fl)
-            .collect()
+    pub fn flip_words(&self) -> &[u64] {
+        &self.flips
     }
 
-    /// Applies the corruption at voltage `v` in place to a packed bit image.
+    /// Streams the corruption words at voltage `v` — bit `i` set iff cell
+    /// `i` is faulty at `v` *and* its flip decision fired — one 64-bit word
+    /// at a time, without materializing a mask or a `Vec`.
+    pub fn corruption_iter(&self, v: Volt) -> impl Iterator<Item = u64> + '_ {
+        self.vmins
+            .fault_words(v)
+            .zip(&self.flips)
+            .map(|(f, fl)| f & fl)
+    }
+
+    /// The corruption mask at voltage `v` as an owned vector (allocating
+    /// convenience form of [`Self::corruption_iter`]).
+    #[must_use]
+    pub fn corruption_words(&self, v: Volt) -> Vec<u64> {
+        self.corruption_iter(v).collect()
+    }
+
+    /// Materializes the corruption words at `v` into a caller-provided
+    /// scratch buffer (cleared first, capacity reused) — the zero-realloc
+    /// form the Monte-Carlo hot path uses.
+    pub fn corruption_words_into(&self, v: Volt, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.corruption_iter(v));
+    }
+
+    /// Applies the corruption at voltage `v` in place to a packed bit image,
+    /// without allocating.
     ///
     /// # Panics
     ///
     /// Panics if `words` is shorter than the overlay requires.
     pub fn apply(&self, words: &mut [u64], v: Volt) {
-        let corruption = self.corruption_words(v);
+        let needed = self.flips.len();
         assert!(
-            words.len() >= corruption.len(),
-            "bit image ({} words) shorter than overlay ({} words)",
-            words.len(),
-            corruption.len()
+            words.len() >= needed,
+            "bit image ({} words) shorter than overlay ({needed} words)",
+            words.len()
         );
-        for (w, c) in words.iter_mut().zip(&corruption) {
+        for (w, c) in words.iter_mut().zip(self.corruption_iter(v)) {
             *w ^= c;
         }
     }
 
-    /// Number of bits that would flip at voltage `v`.
+    /// Number of bits that would flip at voltage `v`: a single `count_ones`
+    /// pass over the streamed corruption words (the partial final word is
+    /// already masked by the fault-word stream), no allocation.
     #[must_use]
     pub fn flip_count(&self, v: Volt) -> usize {
-        self.corruption_words(v)
-            .iter()
+        self.corruption_iter(v)
             .map(|w| w.count_ones() as usize)
             .sum()
+    }
+}
+
+impl CorruptionOverlay for FaultOverlay {
+    fn len(&self) -> usize {
+        self.vmins.len()
+    }
+
+    fn flip_count(&self, v: Volt) -> usize {
+        Self::flip_count(self, v)
+    }
+
+    fn apply(&self, words: &mut [u64], v: Volt) {
+        Self::apply(self, words, v);
     }
 }
 
@@ -385,6 +443,35 @@ mod tests {
             (0.42..=0.58).contains(&ratio),
             "flip/fault ratio {ratio} should be ~0.5 (p = 0.5)"
         );
+    }
+
+    #[test]
+    fn corruption_words_into_reuses_the_buffer() {
+        let model = VminFaultModel::default_14nm();
+        let mut rng = StdRng::seed_from_u64(9);
+        let overlay = FaultOverlay::generate(4096, &model, &mut rng);
+        let v = Volt::new(0.38);
+        let mut buf = vec![u64::MAX; 3]; // stale garbage must be cleared
+        overlay.corruption_words_into(v, &mut buf);
+        assert_eq!(buf, overlay.corruption_words(v));
+        let streamed: Vec<u64> = overlay.corruption_iter(v).collect();
+        assert_eq!(buf, streamed);
+    }
+
+    #[test]
+    fn trait_object_form_matches_inherent_methods() {
+        let model = VminFaultModel::default_14nm();
+        let overlay = FaultOverlay::from_seed(2048, &model, 77);
+        let dyn_overlay: &dyn CorruptionOverlay = &overlay;
+        let v = Volt::new(0.40);
+        assert_eq!(dyn_overlay.len(), 2048);
+        assert!(!dyn_overlay.is_empty());
+        assert_eq!(dyn_overlay.flip_count(v), overlay.flip_count(v));
+        let mut a = vec![0u64; 32];
+        let mut b = vec![0u64; 32];
+        dyn_overlay.apply(&mut a, v);
+        overlay.apply(&mut b, v);
+        assert_eq!(a, b);
     }
 
     #[test]

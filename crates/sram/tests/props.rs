@@ -7,10 +7,23 @@ use dante_sram::ecc;
 use dante_sram::fault::VminFaultModel;
 use dante_sram::geometry::{BankGeometry, MacroGeometry, MemoryGeometry};
 use dante_sram::math::{norm_ppf, phi_cdf, q_tail, q_tail_inv};
-use dante_sram::storage::{FaultOverlay, FaultyMacro};
+use dante_sram::sparse::SparseOverlay;
+use dante_sram::storage::{CorruptionOverlay, FaultOverlay, FaultyMacro};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Wilson score interval for an observed binomial proportion (local copy:
+/// `dante-verify` depends on this crate, so its helper can't be used here).
+fn wilson_interval(successes: u64, n: u64, z: f64) -> (f64, f64) {
+    let n = n as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    (center - half, center + half)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -157,6 +170,90 @@ proptest! {
             "die gained working cells going down from {hi} to {lo}"
         );
         prop_assert!(at_lo.count() >= at_hi.count());
+    }
+
+    /// Sparse and dense overlays of the same size both put their observed
+    /// flip rate inside the Wilson band around the analytic expectation
+    /// `BER(v) * p_flip` — the two samplers target the same distribution.
+    #[test]
+    fn sparse_and_dense_flip_counts_agree_within_wilson_bounds(
+        seed in 0u64..200,
+        mv in 360u32..460,
+    ) {
+        let model = VminFaultModel::default_14nm();
+        let bits = 50_000usize;
+        let v = Volt::from_millivolts(f64::from(mv));
+        let expected = model.bit_error_rate(v) * model.read_flip_probability();
+        let dense = FaultOverlay::from_seed(bits, &model, seed);
+        let sparse = SparseOverlay::from_seed(bits, &model, v, seed);
+        for (name, count) in [
+            ("dense", CorruptionOverlay::flip_count(&dense, v)),
+            ("sparse", CorruptionOverlay::flip_count(&sparse, v)),
+        ] {
+            let (lo, hi) = wilson_interval(count as u64, bits as u64, 5.0);
+            prop_assert!(
+                (lo - 1e-4..=hi + 1e-4).contains(&expected),
+                "{name} flip rate {}/{bits} puts analytic {expected:.4e} outside \
+                 Wilson [{lo:.4e}, {hi:.4e}] at {v}",
+                count
+            );
+        }
+    }
+
+    /// Sparse fault sets are inclusive across voltage, exactly like dense
+    /// ones: above the sampling floor, lowering Vdd only adds corruption.
+    #[test]
+    fn sparse_fault_sets_are_inclusive_across_voltage(
+        seed in any::<u64>(),
+        floor_mv in 340u32..440,
+        d1_mv in 0u32..60,
+        d2_mv in 1u32..60,
+    ) {
+        let model = VminFaultModel::default_14nm();
+        let v_floor = Volt::from_millivolts(f64::from(floor_mv));
+        let overlay = SparseOverlay::from_seed(8_192, &model, v_floor, seed);
+        let lo = Volt::from_millivolts(f64::from(floor_mv + d1_mv));
+        let hi = Volt::from_millivolts(f64::from(floor_mv + d1_mv + d2_mv));
+        prop_assert!(overlay.fault_count(lo) >= overlay.fault_count(hi));
+        let words = 8_192usize.div_ceil(64);
+        let mut at_lo = Vec::new();
+        let mut at_hi = Vec::new();
+        overlay.corruption_words_into(lo, words, &mut at_lo);
+        overlay.corruption_words_into(hi, words, &mut at_hi);
+        for (w, (&l, &h)) in at_lo.iter().zip(&at_hi).enumerate() {
+            prop_assert!(
+                l & h == h,
+                "word {w} lost corruption going down from {hi} to {lo}: {h:#x} -> {l:#x}"
+            );
+        }
+    }
+
+    /// Evaluating a sparse overlay below its sampling floor panics with a
+    /// message naming the floor — faults below it were never sampled, so
+    /// silently returning a too-small fault set would be wrong.
+    #[test]
+    fn sparse_overlay_rejects_voltages_below_its_floor(
+        seed in any::<u64>(),
+        floor_mv in 360u32..460,
+        below_mv in 1u32..50,
+    ) {
+        let model = VminFaultModel::default_14nm();
+        let v_floor = Volt::from_millivolts(f64::from(floor_mv));
+        let overlay = SparseOverlay::from_seed(1_024, &model, v_floor, seed);
+        let v = Volt::from_millivolts(f64::from(floor_mv - below_mv));
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            overlay.fault_count(v)
+        }))
+        .expect_err("evaluation below the floor must panic");
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        prop_assert!(
+            message.contains("below this sparse overlay's sampling floor"),
+            "panic message should name the floor, got: {message}"
+        );
     }
 
     /// Empirical die BER tracks the analytic model within binomial noise.

@@ -18,6 +18,10 @@
 //!   chi-square goodness-of-fit of sampled per-cell `V_min` draws against
 //!   the analytic Gaussian, plus Wilson score intervals for Monte-Carlo
 //!   accuracy estimates.
+//! * [`overlay`] — acceptance of the sparse tail-sampled overlay: the
+//!   truncated-Gaussian conditional CDF its `V_min` draws must follow, and
+//!   an exact word-level differential check that a sparse projection of a
+//!   dense die corrupts packed data identically.
 //!
 //! The top-level test suites `tests/differential.rs`,
 //! `tests/golden_snapshots.rs`, and `tests/fault_model_stats.rs` wire these
@@ -28,6 +32,7 @@
 
 pub mod differential;
 pub mod golden;
+pub mod overlay;
 pub mod stats;
 
 pub use differential::{
@@ -37,6 +42,7 @@ pub use differential::{
 pub use golden::{
     paper_anchors, tolerance_for, GoldenDiff, GoldenOutcome, GoldenStore, PaperAnchor, Tolerance,
 };
+pub use overlay::{sparse_matches_dense, sparse_vmin_cdf, OverlayMismatch};
 pub use stats::{
     bin_counts, chi_square_critical, chi_square_statistic, ks_critical, ks_statistic,
     normal_bin_edges, wilson_interval,

@@ -1,0 +1,158 @@
+//! Acceptance machinery for the sparse tail-sampled fault overlay
+//! (`dante_sram::sparse`): the analytic conditional distribution its
+//! `V_min` draws must follow, and an exact word-level differential check
+//! that a sparse projection of a dense die corrupts packed data
+//! identically to the dense overlay itself.
+//!
+//! The sparse sampler replaces the dense per-cell Gaussian draw with a
+//! binomial faulty-cell count plus truncated-tail `V_min` values, so its
+//! correctness claims are statistical (the tail draws follow the Gaussian
+//! conditioned on `V_min > v_floor`) and structural (given the *same* die,
+//! sparse and dense application must flip the same bits). This module
+//! packages both so `tests/fault_model_stats.rs` and the sparse unit tests
+//! can share them.
+
+use dante_circuit::units::Volt;
+use dante_sram::fault::VminFaultModel;
+use dante_sram::math::truncated_tail_cdf;
+use dante_sram::sparse::SparseOverlay;
+use dante_sram::storage::FaultOverlay;
+use std::fmt;
+
+/// The CDF of a sparse overlay's `V_min` draws: the model's Gaussian
+/// conditioned on the cell being faulty at the floor (`V_min > v_floor`).
+/// Returns a closure suitable for [`crate::stats::ks_statistic`].
+pub fn sparse_vmin_cdf(model: &VminFaultModel, v_floor: Volt) -> impl Fn(f64) -> f64 {
+    let mu = model.mu().volts();
+    let sigma = model.sigma().volts();
+    let floor = v_floor.volts();
+    move |x| truncated_tail_cdf(mu, sigma, floor, x)
+}
+
+/// One word-level divergence between a dense overlay and its sparse
+/// projection, reported by [`sparse_matches_dense`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlayMismatch {
+    /// The evaluation voltage at which the overlays diverged.
+    pub voltage: Volt,
+    /// Index of the diverging 64-bit corruption word.
+    pub word: usize,
+    /// The dense overlay's corruption word.
+    pub dense: u64,
+    /// The sparse projection's corruption word.
+    pub sparse: u64,
+}
+
+impl fmt::Display for OverlayMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sparse/dense corruption diverges at {} word {}: dense {:#018x} vs sparse {:#018x} (differing bits {:#018x})",
+            self.voltage,
+            self.word,
+            self.dense,
+            self.sparse,
+            self.dense ^ self.sparse
+        )
+    }
+}
+
+/// Exact differential check: draws one dense die from `seed`, projects it
+/// to a sparse overlay at `v_floor`, and verifies word-for-word that both
+/// produce identical corruption masks at every voltage in `voltages`.
+///
+/// Returns the total number of corruption words compared.
+///
+/// # Errors
+///
+/// Returns the first [`OverlayMismatch`] found.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero, if any voltage is below `v_floor` (the sparse
+/// overlay rejects evaluation below its sampling floor by construction), or
+/// if `v_floor` is below the data-retention limit.
+pub fn sparse_matches_dense(
+    bits: usize,
+    model: &VminFaultModel,
+    v_floor: Volt,
+    seed: u64,
+    voltages: &[Volt],
+) -> Result<usize, OverlayMismatch> {
+    let dense = FaultOverlay::from_seed(bits, model, seed);
+    let sparse = SparseOverlay::from_dense(&dense, v_floor);
+    let words = bits.div_ceil(64);
+    let mut sparse_words = Vec::new();
+    let mut compared = 0usize;
+    for &v in voltages {
+        sparse.corruption_words_into(v, words, &mut sparse_words);
+        for (word, (d, &s)) in dense.corruption_iter(v).zip(&sparse_words).enumerate() {
+            if d != s {
+                return Err(OverlayMismatch {
+                    voltage: v,
+                    word,
+                    dense: d,
+                    sparse: s,
+                });
+            }
+            compared += 1;
+        }
+    }
+    Ok(compared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{ks_critical, ks_statistic};
+    use dante_sram::sparse::SparseCell;
+
+    fn mv(v: u32) -> Volt {
+        Volt::from_millivolts(f64::from(v))
+    }
+
+    #[test]
+    fn differential_check_passes_for_real_dies() {
+        let model = VminFaultModel::default_14nm();
+        let voltages: Vec<Volt> = [360, 400, 440, 480, 520].map(mv).to_vec();
+        let compared = sparse_matches_dense(8_192, &model, mv(360), 99, &voltages)
+            .expect("sparse projection must corrupt identically");
+        assert_eq!(compared, voltages.len() * 8_192usize.div_ceil(64));
+    }
+
+    #[test]
+    fn differential_check_reports_injected_divergence() {
+        // Hand-build a sparse overlay that claims a fault the dense die
+        // does not have, and confirm the word-level comparison catches it.
+        let model = VminFaultModel::default_14nm();
+        let dense = FaultOverlay::from_seed(1_024, &model, 7);
+        let mut sparse = SparseOverlay::from_dense(&dense, mv(360));
+        let mut cells: Vec<SparseCell> = sparse.cells().to_vec();
+        // Flip the flip-bit of the first cell so application diverges.
+        assert!(!cells.is_empty(), "a 1 Kbit die at 0.36 V has faults");
+        cells[0].flip = !cells[0].flip;
+        sparse = SparseOverlay::from_cells(1_024, mv(360), cells);
+
+        let words = 1_024usize.div_ceil(64);
+        let mut sparse_words = Vec::new();
+        let v = mv(360);
+        sparse.corruption_words_into(v, words, &mut sparse_words);
+        let diverged = dense
+            .corruption_iter(v)
+            .zip(&sparse_words)
+            .any(|(d, &s)| d != s);
+        assert!(diverged, "the tampered cell must change a corruption word");
+    }
+
+    #[test]
+    fn conditional_cdf_accepts_sparse_draws() {
+        let model = VminFaultModel::default_14nm();
+        let v_floor = mv(420);
+        let overlay = SparseOverlay::from_seed(4_000_000, &model, v_floor, 12345);
+        let samples: Vec<f64> = overlay.cells().iter().map(|c| f64::from(c.vmin)).collect();
+        assert!(samples.len() > 1_000, "enough tail mass at 0.42 V");
+        let d = ks_statistic(&samples, sparse_vmin_cdf(&model, v_floor));
+        let crit = ks_critical(samples.len(), 0.01);
+        assert!(d < crit, "KS D = {d} exceeds critical {crit}");
+    }
+}

@@ -14,7 +14,9 @@ use dante_nn::layers::{Dense, Layer, Relu};
 use dante_nn::network::Network;
 use dante_sram::fault::VminFaultModel;
 use dante_sram::fault_map::VminField;
-use dante_sram::math::phi_cdf;
+use dante_sram::math::{phi_cdf, q_tail, q_tail_inv};
+use dante_sram::sparse::SparseOverlay;
+use dante_verify::overlay::{sparse_matches_dense, sparse_vmin_cdf};
 use dante_verify::stats::{
     bin_counts, chi_square_critical, chi_square_statistic, ks_critical, ks_statistic,
     normal_bin_edges, wilson_interval,
@@ -131,6 +133,153 @@ fn empirical_ber_tracks_the_analytic_tail_within_wilson_bounds() {
              around {faults}/{cells} observed faults"
         );
     }
+}
+
+/// Sparse tail draws at this floor: ~4.5% BER over 500 Kbit gives ~22k
+/// conditional samples — plenty for level-0.01 KS/chi-square tests.
+const SPARSE_FLOOR_MV: u32 = 420;
+const SPARSE_BITS: usize = 500_000;
+
+fn sparse_tail_samples(seed: u64) -> Vec<f64> {
+    let model = VminFaultModel::default_14nm();
+    let v_floor = Volt::from_millivolts(f64::from(SPARSE_FLOOR_MV));
+    SparseOverlay::from_seed(SPARSE_BITS, &model, v_floor, seed)
+        .cells()
+        .iter()
+        .map(|c| f64::from(c.vmin))
+        .collect()
+}
+
+/// Equal-probability interior bin edges of the Gaussian conditioned on
+/// `V_min > floor`: `x_i = mu + sigma * Q^{-1}(p_floor * (1 - i/bins))`.
+fn truncated_bin_edges(mu: f64, sigma: f64, floor: f64, bins: usize) -> Vec<f64> {
+    let p_floor = q_tail((floor - mu) / sigma);
+    (1..bins)
+        .map(|i| mu + sigma * q_tail_inv(p_floor * (1.0 - i as f64 / bins as f64)))
+        .collect()
+}
+
+#[test]
+fn sparse_tail_draws_pass_kolmogorov_smirnov_against_the_conditional_gaussian() {
+    let model = VminFaultModel::default_14nm();
+    let v_floor = Volt::from_millivolts(f64::from(SPARSE_FLOOR_MV));
+    let samples = sparse_tail_samples(41);
+    let n = samples.len();
+    assert!(n > 15_000, "expected ~22k tail samples, got {n}");
+    let d = ks_statistic(&samples, sparse_vmin_cdf(&model, v_floor));
+    let crit = ks_critical(n, 0.01);
+    assert!(
+        d < crit,
+        "sparse-tail KS D_n = {d:.5} exceeds the alpha=0.01 critical value {crit:.5} for n = {n}"
+    );
+}
+
+#[test]
+fn sparse_tail_kolmogorov_smirnov_has_power_against_a_shifted_mean() {
+    // The same 0.5-sigma calibration drift the dense KS test guards
+    // against: sparse draws tested against the shifted conditional CDF
+    // must fail decisively.
+    let model = VminFaultModel::default_14nm();
+    let shifted = VminFaultModel::new(
+        model.mu() + Volt::new(0.020),
+        model.sigma(),
+        model.read_flip_probability(),
+    );
+    let v_floor = Volt::from_millivolts(f64::from(SPARSE_FLOOR_MV));
+    let samples = sparse_tail_samples(41);
+    let d = ks_statistic(&samples, sparse_vmin_cdf(&shifted, v_floor));
+    let crit = ks_critical(samples.len(), 0.01);
+    assert!(
+        d > 5.0 * crit,
+        "sparse-tail KS must reject a 0.5-sigma mean shift: D_n = {d:.5}, crit = {crit:.5}"
+    );
+}
+
+#[test]
+fn sparse_tail_draws_pass_chi_square_over_equal_probability_bins() {
+    let model = VminFaultModel::default_14nm();
+    let samples = sparse_tail_samples(143);
+    let bins = 10;
+    let edges = truncated_bin_edges(
+        model.mu().volts(),
+        model.sigma().volts(),
+        f64::from(SPARSE_FLOOR_MV) / 1000.0,
+        bins,
+    );
+    let observed = bin_counts(&samples, &edges);
+    // No draw can land below the floor, so the open first bin still holds
+    // exactly 1/bins of the conditional mass.
+    let expected = vec![samples.len() as f64 / bins as f64; bins];
+    let stat = chi_square_statistic(&observed, &expected);
+    let crit = chi_square_critical(bins - 1, 0.01);
+    assert!(
+        stat < crit,
+        "sparse-tail chi-square = {stat:.2} exceeds the alpha=0.01 critical value {crit:.2}"
+    );
+}
+
+#[test]
+fn sparse_tail_chi_square_has_power_against_an_inflated_sigma() {
+    let model = VminFaultModel::default_14nm();
+    let samples = sparse_tail_samples(143);
+    let bins = 10;
+    let edges = truncated_bin_edges(
+        model.mu().volts(),
+        model.sigma().volts() * 1.2,
+        f64::from(SPARSE_FLOOR_MV) / 1000.0,
+        bins,
+    );
+    let observed = bin_counts(&samples, &edges);
+    let expected = vec![samples.len() as f64 / bins as f64; bins];
+    let stat = chi_square_statistic(&observed, &expected);
+    let crit = chi_square_critical(bins - 1, 0.01);
+    assert!(
+        stat > 10.0 * crit,
+        "sparse-tail chi-square must reject a 20% sigma inflation: {stat:.2} vs crit {crit:.2}"
+    );
+}
+
+#[test]
+fn sparse_faulty_cell_count_matches_the_binomial_within_wilson_bounds() {
+    // The sparse sampler's faulty-cell count is Binomial(bits, BER(floor))
+    // by construction; over a pooled multi-seed draw the empirical rate
+    // must bracket the analytic BER at z = 3.29 (alpha ~ 1e-3).
+    let model = VminFaultModel::default_14nm();
+    let v_floor = Volt::from_millivolts(f64::from(SPARSE_FLOOR_MV));
+    let mut faults = 0u64;
+    let seeds = 8u64;
+    for seed in 0..seeds {
+        faults += SparseOverlay::from_seed(SPARSE_BITS, &model, v_floor, 7_000 + seed)
+            .cells()
+            .len() as u64;
+    }
+    let n = seeds * SPARSE_BITS as u64;
+    let (lo, hi) = wilson_interval(faults, n, 3.29);
+    let analytic = model.bit_error_rate(v_floor);
+    assert!(
+        (lo..=hi).contains(&analytic),
+        "analytic BER {analytic:.4e} outside Wilson [{lo:.4e}, {hi:.4e}] around {faults}/{n}"
+    );
+}
+
+#[test]
+fn sparse_projection_of_a_dense_die_corrupts_identically() {
+    // The exact structural check at acceptance scale: a 1 Mbit die,
+    // projected at the lowest evaluation voltage, must flip the very same
+    // bits as the dense overlay across the paper's voltage range.
+    let model = VminFaultModel::default_14nm();
+    let voltages: Vec<Volt> = [360, 380, 400, 420, 440, 480, 520]
+        .map(|mv| Volt::from_millivolts(f64::from(mv)))
+        .to_vec();
+    let compared = sparse_matches_dense(
+        1 << 20,
+        &model,
+        Volt::from_millivolts(360.0),
+        4242,
+        &voltages,
+    )
+    .unwrap_or_else(|m| panic!("{m}"));
+    assert_eq!(compared, voltages.len() * (1usize << 20).div_ceil(64));
 }
 
 fn toy_net_and_data() -> (Network, Vec<f32>, Vec<u8>) {

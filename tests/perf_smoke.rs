@@ -1,0 +1,82 @@
+//! Performance smoke gates for the sparse tail-sampled overlay.
+//!
+//! Two layers of protection: a *live* measurement proving the 4 Mbit
+//! sparse draw at 0.54 V clears the 100x speedup floor on this machine,
+//! and a sanity check that the committed `BENCH_mc.json` is well-formed
+//! and records the same claim (so the tracked artifact can't silently rot
+//! or be hand-edited into inconsistency).
+
+use dante_bench::json::{parse, Value};
+use dante_bench::perf::{generation_bench, OVERLAY_BITS};
+use dante_circuit::units::Volt;
+
+#[test]
+fn sparse_generation_beats_dense_by_100x_at_deep_tail_voltage() {
+    // Quick scale: 3 samples either side is plenty when the gap is
+    // 3-5 orders of magnitude.
+    let row = generation_bench(Volt::new(0.54), true);
+    assert_eq!(row.bits, OVERLAY_BITS);
+    assert!(
+        row.speedup() >= 100.0,
+        "sparse overlay generation speedup {:.0}x below the 100x floor \
+         (dense {:.0} ns, sparse {:.0} ns)",
+        row.speedup(),
+        row.dense.mean_ns,
+        row.sparse.mean_ns
+    );
+}
+
+#[test]
+fn committed_bench_mc_json_is_consistent() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_mc.json"))
+        .expect("BENCH_mc.json must be committed at the repo root");
+    let report = parse(&text).expect("BENCH_mc.json must parse");
+    assert_eq!(report.get("bench").and_then(Value::as_str), Some("mc"));
+
+    let generation = report
+        .get("generation")
+        .and_then(Value::as_array)
+        .expect("generation rows");
+    let deep_tail = generation
+        .iter()
+        .find(|row| {
+            row.get("v_volts")
+                .and_then(Value::as_f64)
+                .is_some_and(|v| v >= 0.54)
+        })
+        .expect("a generation row at v >= 0.54 V");
+    let speedup = deep_tail
+        .get("speedup")
+        .and_then(Value::as_f64)
+        .expect("speedup field");
+    assert!(
+        speedup >= 100.0,
+        "committed deep-tail generation speedup {speedup:.0}x below the 100x floor"
+    );
+    let bits = deep_tail.get("bits").and_then(Value::as_f64).expect("bits");
+    assert!(bits >= 4.0 * 1024.0 * 1024.0, "4 Mbit image, got {bits}");
+
+    for (section, field) in [
+        ("per_trial_corruption", "speedup"),
+        ("accuracy_sweep", "speedup"),
+    ] {
+        let v = report
+            .get(section)
+            .and_then(|s| s.get(field))
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("missing {section}.{field}"));
+        assert!(v > 1.0, "{section}.{field} = {v} should exceed 1x");
+    }
+
+    // The two samplers draw different streams, so sweep accuracies differ
+    // by Monte-Carlo noise only; a gross gap means a broken sampler.
+    let delta = report
+        .get("accuracy_sweep")
+        .and_then(|s| s.get("max_accuracy_delta"))
+        .and_then(Value::as_f64)
+        .expect("max_accuracy_delta");
+    assert!(
+        delta < 0.10,
+        "dense/sparse sweep accuracies diverge by {delta}: sampler equivalence is broken"
+    );
+}

@@ -29,6 +29,26 @@ pub enum Value {
 }
 
 impl Value {
+    /// Parses one JSON document (convenience alias of the module-level
+    /// [`parse`], so callers holding a `Value` type alias need no extra
+    /// import).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input.
+    pub fn parse(input: &str) -> Result<Self, ParseError> {
+        parse(input)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string payload, if this is a string.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

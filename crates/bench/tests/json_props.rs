@@ -1,0 +1,171 @@
+//! Property tests for the `dante-bench::json` round-trip: any value tree
+//! the emitter can produce must decode back to an identical tree, through
+//! both the compact and the pretty renderer.
+
+use dante_bench::json::{parse, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// SplitMix64 step — the same mixer the repo's seed derivation uses; good
+/// enough to expand one proptest-drawn `u64` into a whole value tree.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Characters the generator draws strings from: ASCII, every escape class
+/// the emitter special-cases (quote, backslash, control characters), and
+/// multi-byte unicode including an astral-plane scalar.
+const CHAR_POOL: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{0000}', '\u{0001}', '\u{000B}',
+    '\u{001F}', '\u{0008}', '\u{000C}', 'µ', 'é', '—', '日', '\u{FFFD}', '😀',
+];
+
+/// Numbers stressing the float formatter: huge magnitudes, subnormals,
+/// large positive and negative exponents, negative zero.
+const NUMBER_POOL: &[f64] = &[
+    0.0,
+    -0.0,
+    1.0,
+    -17.0,
+    3.25,
+    1e300,
+    -1e300,
+    1e-300,
+    -2.5e-308,
+    5e-324,
+    f64::MAX,
+    f64::MIN,
+    f64::MIN_POSITIVE,
+    0.1,
+    -123_456_789.012_345_68,
+];
+
+fn gen_string(state: &mut u64) -> String {
+    let len = (mix(state) % 12) as usize;
+    (0..len)
+        .map(|_| CHAR_POOL[(mix(state) as usize) % CHAR_POOL.len()])
+        .collect()
+}
+
+fn gen_number(state: &mut u64) -> f64 {
+    // Half the draws come from the stress pool, half are arbitrary finite
+    // bit patterns (non-finite draws fall back to the pool: the emitter
+    // collapses them to `null`, which is deliberately not an identity).
+    if mix(state).is_multiple_of(2) {
+        NUMBER_POOL[(mix(state) as usize) % NUMBER_POOL.len()]
+    } else {
+        let f = f64::from_bits(mix(state));
+        if f.is_finite() {
+            f
+        } else {
+            NUMBER_POOL[(mix(state) as usize) % NUMBER_POOL.len()]
+        }
+    }
+}
+
+fn gen_value(state: &mut u64, depth: usize) -> Value {
+    let scalar_only = depth == 0;
+    match mix(state) % if scalar_only { 4 } else { 6 } {
+        0 => Value::Null,
+        1 => Value::Bool(mix(state).is_multiple_of(2)),
+        2 => Value::Number(gen_number(state)),
+        3 => Value::String(gen_string(state)),
+        4 => {
+            let len = (mix(state) % 5) as usize;
+            Value::Array((0..len).map(|_| gen_value(state, depth - 1)).collect())
+        }
+        _ => {
+            let len = (mix(state) % 5) as usize;
+            Value::Object(
+                (0..len)
+                    .map(|_| (gen_string(state), gen_value(state, depth - 1)))
+                    .collect::<BTreeMap<_, _>>(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Compact rendering of an arbitrary tree parses back to the same tree.
+    #[test]
+    fn compact_round_trips(seed in any::<u64>()) {
+        let mut state = seed;
+        let v = gen_value(&mut state, 3);
+        let text = v.to_string_compact();
+        let back = Value::parse(&text);
+        prop_assert_eq!(back.as_ref(), Ok(&v), "compact text: {}", text);
+    }
+
+    /// Pretty rendering agrees with compact: same tree back, and the two
+    /// renderings re-render identically after a parse cycle.
+    #[test]
+    fn pretty_round_trips(seed in any::<u64>()) {
+        let mut state = seed.rotate_left(17);
+        let v = gen_value(&mut state, 3);
+        let pretty = v.to_string_pretty();
+        let back = parse(&pretty);
+        prop_assert_eq!(back.as_ref(), Ok(&v), "pretty text: {}", pretty);
+        let reparsed = parse(&pretty).unwrap();
+        prop_assert_eq!(reparsed.to_string_compact(), v.to_string_compact());
+    }
+
+    /// Numbers survive the trip exactly — bit-for-bit except the sign of
+    /// zero (JSON has one zero; `-0.0 == 0.0` under `PartialEq`).
+    #[test]
+    fn numbers_round_trip_exactly(bits in any::<u64>()) {
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            let v = Value::Number(f);
+            let back = parse(&v.to_string_compact()).unwrap();
+            let got = back.as_f64().expect("number expected");
+            prop_assert!(
+                got == f,
+                "{f:?} (bits {bits:#x}) came back as {got:?}"
+            );
+        }
+    }
+
+    /// Strings of arbitrary pool characters — control bytes, escapes,
+    /// unicode — survive both renderers.
+    #[test]
+    fn strings_round_trip(seed in any::<u64>()) {
+        let mut state = seed ^ 0x5151_5151;
+        let s = gen_string(&mut state);
+        let v = Value::String(s.clone());
+        prop_assert_eq!(parse(&v.to_string_compact()).unwrap(), v.clone(), "string: {:?}", s);
+        prop_assert_eq!(parse(&v.to_string_pretty()).unwrap(), v, "string: {:?}", s);
+    }
+}
+
+#[test]
+fn exponent_edge_cases_parse() {
+    for (text, expect) in [
+        ("1e300", 1e300),
+        ("-1E300", -1e300),
+        ("2.5e-308", 2.5e-308),
+        ("-2.5e-308", -2.5e-308),
+        ("5e-324", 5e-324),
+        ("1.7976931348623157e308", f64::MAX),
+        ("-0", -0.0),
+        ("0.0001e6", 100.0),
+    ] {
+        let v = Value::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(v.as_f64(), Some(expect), "{text}");
+        // And the re-rendered form round-trips again.
+        assert_eq!(Value::parse(&v.to_string_compact()).unwrap(), v, "{text}");
+    }
+}
+
+#[test]
+fn control_character_escapes_render_as_u_sequences() {
+    let v = Value::String("\u{0000}\u{0001}\u{001F}".into());
+    let text = v.to_string_compact();
+    assert_eq!(text, "\"\\u0000\\u0001\\u001f\"");
+    assert_eq!(Value::parse(&text).unwrap(), v);
+}

@@ -13,6 +13,9 @@
 //! * [`report`] — energy reports for bit-accurate simulator runs.
 //! * [`headlines`] — the abstract's headline numbers, recomputed.
 //! * [`artifacts`] — disk-cached trained models for the heavy experiments.
+//! * [`sweep`] — serializable sweep job specifications ([`sweep::SweepSpec`])
+//!   with canonical content-addressing, the unit of work `dante-serve`
+//!   queues and caches.
 //!
 //! # Examples
 //!
@@ -34,9 +37,11 @@ pub mod headlines;
 pub mod policy;
 pub mod report;
 pub mod schedule;
+pub mod sweep;
 
 pub use accuracy::{AccuracyEvaluator, AccuracyStats, EccMode, OverlaySampling, VoltageAssignment};
 pub use headlines::Headlines;
 pub use policy::{OptimizedPlan, PolicyOptimizer};
 pub use report::InferenceEnergyReport;
 pub use schedule::{BoostPlan, NamedBoostConfig, INPUT_TARGET};
+pub use sweep::{NetworkSpec, PreparedSweep, SweepSpec};

@@ -1,0 +1,397 @@
+//! Serializable sweep job specifications.
+//!
+//! A [`SweepSpec`] captures everything that determines a Monte-Carlo
+//! voltage sweep — seed, voltage grid, trial count, sampler, ECC mode, and
+//! the network under test — as plain data, so a sweep can be shipped across
+//! a process boundary (the `dante-serve` HTTP service), queued, digested
+//! for caching, and replayed bit-identically. Because the trial engine is
+//! counter-based deterministic, two runs of the same spec produce the same
+//! per-trial accuracies on any machine and any thread count; the spec's
+//! [`canonical_string`](SweepSpec::canonical_string) is therefore a sound
+//! content-address for result caching.
+
+use crate::accuracy::{
+    AccuracyEvaluator, AccuracyStats, EccMode, OverlaySampling, VoltageAssignment,
+};
+use crate::artifacts::trained_mnist_fc;
+use dante_circuit::units::Volt;
+use dante_nn::layers::{Dense, Layer, Relu};
+use dante_nn::network::Network;
+use dante_sim::TrialObserver;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// The network a sweep evaluates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NetworkSpec {
+    /// A tiny deterministic 6-12-2 FC net trained in-process on an 80-sample
+    /// two-class synthetic set. Milliseconds to build; meant for smoke
+    /// tests, service integration tests, and latency-sensitive callers.
+    Toy,
+    /// The cached MNIST-like FC-DNN from [`crate::artifacts`], with its
+    /// procedural held-out test set.
+    MnistFc {
+        /// Training-set size (cache key component).
+        train_n: usize,
+        /// Held-out test images evaluated per trial.
+        test_n: usize,
+        /// Training epochs (cache key component).
+        epochs: usize,
+    },
+}
+
+impl NetworkSpec {
+    /// Canonical token used in [`SweepSpec::canonical_string`].
+    #[must_use]
+    pub fn canonical_token(&self) -> String {
+        match self {
+            Self::Toy => "toy".to_owned(),
+            Self::MnistFc {
+                train_n,
+                test_n,
+                epochs,
+            } => format!("mnist_fc({train_n},{test_n},{epochs})"),
+        }
+    }
+}
+
+/// A complete, serializable description of one Monte-Carlo voltage sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SweepSpec {
+    /// Root seed; trial `t` of sweep point `i` derives its die from
+    /// `(seed, point, trial)` counters, never from shared RNG state.
+    pub seed: u64,
+    /// Voltage grid in millivolts (kept integral so the canonical encoding
+    /// has no float-formatting ambiguity).
+    pub voltages_mv: Vec<u32>,
+    /// Monte-Carlo fault dies per sweep point.
+    pub trials: usize,
+    /// Overlay sampler.
+    pub sampling: OverlaySampling,
+    /// Error-protection mode.
+    pub ecc: EccMode,
+    /// Network under test.
+    pub network: NetworkSpec,
+}
+
+impl SweepSpec {
+    /// A fast default: the toy network over the cliff region.
+    #[must_use]
+    pub fn toy_default() -> Self {
+        Self {
+            seed: 0xDA17E,
+            voltages_mv: vec![360, 400, 440, 480, 520, 560],
+            trials: 4,
+            sampling: OverlaySampling::SparseTail,
+            ecc: EccMode::None,
+            network: NetworkSpec::Toy,
+        }
+    }
+
+    /// Validates the spec's bounds, returning a human-readable reason on
+    /// rejection. Service entry points call this before queueing so a bad
+    /// request fails fast with a 4xx instead of panicking a worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.voltages_mv.is_empty() {
+            return Err("voltages_mv must be non-empty".to_owned());
+        }
+        if self.voltages_mv.len() > 256 {
+            return Err(format!(
+                "voltages_mv has {} points; at most 256 allowed",
+                self.voltages_mv.len()
+            ));
+        }
+        for &mv in &self.voltages_mv {
+            // SparseOverlay panics below its sampling floor; 310 mV keeps
+            // every grid point above the 0.30 V data-retention floor.
+            if !(310..=700).contains(&mv) {
+                return Err(format!(
+                    "voltage {mv} mV outside the supported 310..=700 mV range"
+                ));
+            }
+        }
+        if self.trials == 0 {
+            return Err("trials must be at least 1".to_owned());
+        }
+        if self.trials > 100_000 {
+            return Err(format!("trials = {} exceeds the 100000 cap", self.trials));
+        }
+        if let NetworkSpec::MnistFc {
+            train_n,
+            test_n,
+            epochs,
+        } = self.network
+        {
+            if train_n == 0 || train_n > 20_000 {
+                return Err(format!("mnist_fc train_n = {train_n} outside 1..=20000"));
+            }
+            if test_n == 0 || test_n > 10_000 {
+                return Err(format!("mnist_fc test_n = {test_n} outside 1..=10000"));
+            }
+            if epochs == 0 || epochs > 12 {
+                return Err(format!("mnist_fc epochs = {epochs} outside 1..=12"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical flat encoding of the spec: stable field order, integral
+    /// voltages, lowercase tokens. Equal specs — and only equal specs —
+    /// produce equal strings, so a digest of this string is a sound
+    /// content-address for the sweep's results.
+    #[must_use]
+    pub fn canonical_string(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "dante.sweep.v1;seed={};trials={};sampling={};ecc={};net={};mv=",
+            self.seed,
+            self.trials,
+            match self.sampling {
+                OverlaySampling::Dense => "dense",
+                OverlaySampling::SparseTail => "sparse_tail",
+            },
+            match self.ecc {
+                EccMode::None => "none",
+                EccMode::SecDed => "secded",
+            },
+            self.network.canonical_token(),
+        );
+        for (i, mv) in self.voltages_mv.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{mv}");
+        }
+        out
+    }
+
+    /// Trains/loads the network and materializes the evaluator: everything
+    /// heavyweight happens here, once, so the per-point runs that follow
+    /// are pure Monte-Carlo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`Self::validate`].
+    #[must_use]
+    pub fn prepare(&self) -> PreparedSweep {
+        if let Err(why) = self.validate() {
+            panic!("invalid sweep spec: {why}");
+        }
+        let (net, images, labels) = match self.network {
+            NetworkSpec::Toy => {
+                let (net, images, labels) = toy_net_and_data();
+                (net.clone(), images.clone(), labels.clone())
+            }
+            NetworkSpec::MnistFc {
+                train_n,
+                test_n,
+                epochs,
+            } => {
+                let (net, test) = trained_mnist_fc(train_n, test_n, epochs);
+                (net, test.images().to_vec(), test.labels().to_vec())
+            }
+        };
+        let evaluator = AccuracyEvaluator::new(self.trials)
+            .with_sampling(self.sampling)
+            .with_ecc(self.ecc);
+        let layers = net.weight_layer_indices().len();
+        PreparedSweep {
+            spec: self.clone(),
+            evaluator,
+            net,
+            images,
+            labels,
+            layers,
+        }
+    }
+}
+
+/// A sweep with its network trained and its evaluator built, ready to run
+/// point by point (the granularity a progress-streaming service needs).
+#[derive(Debug)]
+pub struct PreparedSweep {
+    spec: SweepSpec,
+    evaluator: AccuracyEvaluator,
+    net: Network,
+    images: Vec<f32>,
+    labels: Vec<u8>,
+    layers: usize,
+}
+
+impl PreparedSweep {
+    /// The spec this sweep was prepared from.
+    #[must_use]
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// Number of voltage grid points.
+    #[must_use]
+    pub fn point_count(&self) -> usize {
+        self.spec.voltages_mv.len()
+    }
+
+    /// Test images evaluated per trial.
+    #[must_use]
+    pub fn samples_per_trial(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Runs grid point `index`, deriving its seed from `(spec.seed, index)`
+    /// so points are reproducible in isolation and in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn run_point(&self, index: usize) -> (Volt, AccuracyStats) {
+        self.run_point_observed(index, &dante_sim::NoopObserver)
+    }
+
+    /// [`Self::run_point`] with per-trial instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn run_point_observed(
+        &self,
+        index: usize,
+        observer: &dyn TrialObserver,
+    ) -> (Volt, AccuracyStats) {
+        let mv = self.spec.voltages_mv[index];
+        let v = Volt::from_millivolts(f64::from(mv));
+        let stats = self.evaluator.evaluate_observed(
+            &self.net,
+            &VoltageAssignment::uniform(v, self.layers),
+            &self.images,
+            &self.labels,
+            dante_sim::derive_seed(self.spec.seed, dante_sim::site::SWEEP_POINT, index as u64),
+            observer,
+        );
+        (v, stats)
+    }
+
+    /// Runs every grid point in order.
+    #[must_use]
+    pub fn run(&self) -> Vec<(Volt, AccuracyStats)> {
+        (0..self.point_count()).map(|i| self.run_point(i)).collect()
+    }
+
+    /// [`Self::run`] with per-trial instrumentation shared across points.
+    #[must_use]
+    pub fn run_observed(&self, observer: &dyn TrialObserver) -> Vec<(Volt, AccuracyStats)> {
+        (0..self.point_count())
+            .map(|i| self.run_point_observed(i, observer))
+            .collect()
+    }
+}
+
+/// The process-wide toy network and its dataset (trained once, lazily).
+fn toy_net_and_data() -> &'static (Network, Vec<f32>, Vec<u8>) {
+    static TOY: OnceLock<(Network, Vec<f32>, Vec<u8>)> = OnceLock::new();
+    TOY.get_or_init(|| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Network::new(vec![
+            Layer::Dense(Dense::new(6, 12, &mut rng)),
+            Layer::Relu(Relu::new(12)),
+            Layer::Dense(Dense::new(12, 2, &mut rng)),
+        ])
+        .expect("toy network is well-formed");
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..80 {
+            let c = (i % 2) as u8;
+            let base = if c == 0 { 0.75 } else { 0.15 };
+            for j in 0..6 {
+                images.push(base + ((i + j) % 7) as f32 * 0.02);
+            }
+            labels.push(c);
+        }
+        let cfg = dante_nn::train::SgdConfig {
+            epochs: 20,
+            batch_size: 8,
+            ..Default::default()
+        };
+        dante_nn::train::train(&mut net, &images, &labels, &cfg, &mut rng);
+        (net, images, labels)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_string_distinguishes_specs() {
+        let a = SweepSpec::toy_default();
+        let mut b = a.clone();
+        assert_eq!(a.canonical_string(), b.canonical_string());
+        b.seed ^= 1;
+        assert_ne!(a.canonical_string(), b.canonical_string());
+        let mut c = a.clone();
+        c.sampling = OverlaySampling::Dense;
+        assert_ne!(a.canonical_string(), c.canonical_string());
+        let mut d = a.clone();
+        d.voltages_mv.push(600);
+        assert_ne!(a.canonical_string(), d.canonical_string());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_specs() {
+        let ok = SweepSpec::toy_default();
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.voltages_mv.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.voltages_mv = vec![200];
+        assert!(bad.validate().unwrap_err().contains("200"));
+        let mut bad = ok.clone();
+        bad.trials = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.network = NetworkSpec::MnistFc {
+            train_n: 0,
+            test_n: 10,
+            epochs: 1,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn prepared_sweep_is_deterministic_and_order_independent() {
+        let spec = SweepSpec {
+            voltages_mv: vec![400, 520],
+            trials: 3,
+            ..SweepSpec::toy_default()
+        };
+        let prep = spec.prepare();
+        let full = prep.run();
+        assert_eq!(full.len(), 2);
+        // Points rerun in isolation reproduce the full-run results.
+        let p1 = prep.run_point(1);
+        let p0 = prep.run_point(0);
+        assert_eq!(full[0], p0);
+        assert_eq!(full[1], p1);
+        // A fresh preparation agrees bit-for-bit.
+        assert_eq!(spec.prepare().run(), full);
+        // Accuracy rises with voltage on the toy net.
+        assert!(full[1].1.mean() >= full[0].1.mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep spec")]
+    fn prepare_rejects_invalid_specs() {
+        let mut spec = SweepSpec::toy_default();
+        spec.trials = 0;
+        let _ = spec.prepare();
+    }
+}

@@ -1,0 +1,359 @@
+//! The wire schema: JSON sweep requests in, `dante-bench` figure records
+//! out, progress events as JSON lines.
+//!
+//! Decoding is strict — unknown sampling/ECC/network tokens and mistyped
+//! fields are rejected with a message naming the field, so a 400 always
+//! tells the client what to fix.
+
+use dante::accuracy::{AccuracyStats, EccMode, OverlaySampling};
+use dante::sweep::{NetworkSpec, SweepSpec};
+use dante_bench::json::Value;
+use dante_bench::record::{FigureRecord, Series};
+use dante_circuit::units::Volt;
+use dante_sim::TrialEvent;
+use dante_sram::fault::VminFaultModel;
+use std::collections::BTreeMap;
+
+/// Decodes a `POST /v1/sweep` body into a spec.
+///
+/// Accepted shape (everything except `voltages_mv`/`grid` optional):
+///
+/// ```json
+/// {
+///   "seed": 17, "trials": 10,
+///   "voltages_mv": [360, 400, 440],
+///   "grid": {"start_mv": 360, "stop_mv": 520, "step_mv": 20},
+///   "sampling": "sparse_tail" | "dense",
+///   "ecc": "none" | "secded",
+///   "network": "toy" | "mnist_fc"
+///           | {"kind": "mnist_fc", "train_n": 1200, "test_n": 100, "epochs": 4}
+/// }
+/// ```
+///
+/// # Errors
+///
+/// Returns a human-readable reason (parse error with byte offset, or the
+/// first field that failed decoding/validation).
+pub fn decode_spec(body: &[u8]) -> Result<SweepSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let v = Value::parse(text).map_err(|e| e.to_string())?;
+    if v.get("voltages_mv").is_some() && v.get("grid").is_some() {
+        return Err("give either 'voltages_mv' or 'grid', not both".to_owned());
+    }
+
+    let u64_field = |key: &str, default: u64| -> Result<u64, String> {
+        match v.get(key) {
+            None => Ok(default),
+            Some(Value::Number(n)) if n.fract() == 0.0 && *n >= 0.0 && *n <= 1.8e19 => {
+                Ok(*n as u64)
+            }
+            Some(_) => Err(format!("'{key}' must be a non-negative integer")),
+        }
+    };
+
+    let voltages_mv = if let Some(grid) = v.get("grid") {
+        let part = |key: &str| -> Result<u32, String> {
+            grid.get(key)
+                .and_then(Value::as_f64)
+                .filter(|n| n.fract() == 0.0 && (0.0..=1e6).contains(n))
+                .map(|n| n as u32)
+                .ok_or_else(|| format!("'grid.{key}' must be a small non-negative integer"))
+        };
+        let (start, stop, step) = (part("start_mv")?, part("stop_mv")?, part("step_mv")?);
+        if step == 0 || stop < start {
+            return Err("'grid' needs step_mv >= 1 and stop_mv >= start_mv".to_owned());
+        }
+        (start..=stop).step_by(step as usize).collect()
+    } else {
+        v.get("voltages_mv")
+            .ok_or_else(|| "missing 'voltages_mv' (or 'grid')".to_owned())?
+            .as_array()
+            .ok_or_else(|| "'voltages_mv' must be an array".to_owned())?
+            .iter()
+            .map(|p| {
+                p.as_f64()
+                    .filter(|n| n.fract() == 0.0 && (0.0..=1e6).contains(n))
+                    .map(|n| n as u32)
+                    .ok_or_else(|| "'voltages_mv' entries must be integers (millivolts)".to_owned())
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    };
+
+    let sampling = match v.get("sampling").map(|s| s.as_str()) {
+        None => OverlaySampling::SparseTail,
+        Some(Some("sparse_tail")) => OverlaySampling::SparseTail,
+        Some(Some("dense")) => OverlaySampling::Dense,
+        Some(other) => {
+            return Err(format!(
+                "'sampling' must be \"sparse_tail\" or \"dense\", got {other:?}"
+            ))
+        }
+    };
+    let ecc = match v.get("ecc").map(|s| s.as_str()) {
+        None => EccMode::None,
+        Some(Some("none")) => EccMode::None,
+        Some(Some("secded")) => EccMode::SecDed,
+        Some(other) => {
+            return Err(format!(
+                "'ecc' must be \"none\" or \"secded\", got {other:?}"
+            ))
+        }
+    };
+
+    let network = match v.get("network") {
+        None => NetworkSpec::Toy,
+        Some(Value::String(s)) => match s.as_str() {
+            "toy" => NetworkSpec::Toy,
+            // Defaults match the repo's committed artifact cache entry.
+            "mnist_fc" => NetworkSpec::MnistFc {
+                train_n: 1200,
+                test_n: 100,
+                epochs: 4,
+            },
+            other => return Err(format!("unknown network {other:?}")),
+        },
+        Some(obj @ Value::Object(_)) => {
+            let kind = obj
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "'network.kind' must be a string".to_owned())?;
+            if kind != "mnist_fc" {
+                return Err(format!("unknown network kind {kind:?}"));
+            }
+            let size = |key: &str, default: usize| -> Result<usize, String> {
+                match obj.get(key) {
+                    None => Ok(default),
+                    Some(Value::Number(n)) if n.fract() == 0.0 && (0.0..=1e9).contains(n) => {
+                        Ok(*n as usize)
+                    }
+                    Some(_) => Err(format!("'network.{key}' must be a small integer")),
+                }
+            };
+            NetworkSpec::MnistFc {
+                train_n: size("train_n", 1200)?,
+                test_n: size("test_n", 100)?,
+                epochs: size("epochs", 4)?,
+            }
+        }
+        Some(_) => return Err("'network' must be a string or object".to_owned()),
+    };
+
+    let spec = SweepSpec {
+        seed: u64_field("seed", 0xDA17E)?,
+        voltages_mv,
+        trials: usize::try_from(u64_field("trials", 4)?).unwrap_or(usize::MAX),
+        sampling,
+        ecc,
+        network,
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Builds the response record from a spec and its per-point results.
+///
+/// Everything in the record is a pure function of the spec (plus the
+/// deterministic results), so the rendered JSON is byte-identical across
+/// cold runs, cache hits, and direct library calls.
+#[must_use]
+pub fn build_record(spec: &SweepSpec, results: &[(Volt, AccuracyStats)]) -> FigureRecord {
+    let model = VminFaultModel::default_14nm();
+    let mean = results
+        .iter()
+        .map(|(v, s)| (v.volts(), s.mean()))
+        .collect::<Vec<_>>();
+    let std = results
+        .iter()
+        .map(|(v, s)| (v.volts(), s.std_dev()))
+        .collect::<Vec<_>>();
+    let min = results
+        .iter()
+        .map(|(v, s)| (v.volts(), s.min()))
+        .collect::<Vec<_>>();
+    let ber = results
+        .iter()
+        .map(|(v, _)| (v.volts(), model.bit_error_rate(*v)))
+        .collect::<Vec<_>>();
+    FigureRecord::new(
+        "sweep",
+        "Monte-Carlo accuracy sweep (dante-serve)",
+        "Vdd [V]",
+        "accuracy / BER",
+    )
+    .with_series(Series::new("accuracy mean", mean))
+    .with_series(Series::new("accuracy std", std))
+    .with_series(Series::new("accuracy min", min))
+    .with_series(Series::new("bit error rate", ber))
+    .with_note(format!("spec: {}", spec.canonical_string()))
+    .with_note(format!(
+        "{} trials x {} points; deterministic per spec (counter-based seeds)",
+        spec.trials,
+        results.len()
+    ))
+}
+
+/// Runs `spec` synchronously through the library path and renders the
+/// response body — the reference the HTTP path must match byte-for-byte.
+#[must_use]
+pub fn run_spec_json(spec: &SweepSpec) -> String {
+    let prep = spec.prepare();
+    build_record(spec, &prep.run()).to_json_pretty()
+}
+
+/// Renders one key/value error payload, e.g. `{"error": "..."}`.
+#[must_use]
+pub fn error_body(message: &str) -> String {
+    Value::Object(BTreeMap::from([(
+        "error".to_owned(),
+        Value::String(message.to_owned()),
+    )]))
+    .to_string_compact()
+}
+
+/// Renders a progress event line for the streaming endpoint. Returns
+/// `None` for hook calls the stream intentionally elides (per-trial stage
+/// timings — two extra events per trial with little client value).
+#[must_use]
+pub fn event_line(point: usize, mv: u32, event: &TrialEvent) -> Option<String> {
+    let mut obj = BTreeMap::from([
+        ("point".to_owned(), Value::Number(point as f64)),
+        ("mv".to_owned(), Value::Number(f64::from(mv))),
+    ]);
+    match event {
+        TrialEvent::BatchStart { total } => {
+            obj.insert("event".to_owned(), Value::String("point_start".to_owned()));
+            obj.insert("trials".to_owned(), Value::Number(*total as f64));
+        }
+        TrialEvent::TrialComplete { index, micros } => {
+            obj.insert("event".to_owned(), Value::String("trial".to_owned()));
+            obj.insert("trial".to_owned(), Value::Number(*index as f64));
+            obj.insert("micros".to_owned(), Value::Number(*micros as f64));
+        }
+        TrialEvent::FaultBits { index, bits } => {
+            obj.insert("event".to_owned(), Value::String("fault_bits".to_owned()));
+            obj.insert("trial".to_owned(), Value::Number(*index as f64));
+            obj.insert("bits".to_owned(), Value::Number(*bits as f64));
+        }
+        TrialEvent::BatchComplete { micros } => {
+            obj.insert("event".to_owned(), Value::String("point_done".to_owned()));
+            obj.insert("micros".to_owned(), Value::Number(*micros as f64));
+        }
+        TrialEvent::Stage { .. } => return None,
+    }
+    Some(Value::Object(obj).to_string_compact())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_a_full_request() {
+        let body = br#"{
+            "seed": 9, "trials": 3,
+            "voltages_mv": [400, 440],
+            "sampling": "dense", "ecc": "secded",
+            "network": {"kind": "mnist_fc", "train_n": 100, "test_n": 50, "epochs": 2}
+        }"#;
+        let spec = decode_spec(body).unwrap();
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.trials, 3);
+        assert_eq!(spec.voltages_mv, vec![400, 440]);
+        assert_eq!(spec.sampling, OverlaySampling::Dense);
+        assert_eq!(spec.ecc, EccMode::SecDed);
+        assert_eq!(
+            spec.network,
+            NetworkSpec::MnistFc {
+                train_n: 100,
+                test_n: 50,
+                epochs: 2
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_fill_in_and_grid_expands() {
+        let spec =
+            decode_spec(br#"{"grid": {"start_mv": 360, "stop_mv": 440, "step_mv": 40}}"#).unwrap();
+        assert_eq!(spec.voltages_mv, vec![360, 400, 440]);
+        assert_eq!(spec.network, NetworkSpec::Toy);
+        assert_eq!(spec.sampling, OverlaySampling::SparseTail);
+        assert_eq!(spec.trials, 4);
+    }
+
+    #[test]
+    fn rejections_name_the_field() {
+        let cases: [(&[u8], &str); 9] = [
+            (b"{", "parse error"),
+            (br#"{"voltages_mv": "x"}"#, "voltages_mv"),
+            (br#"{"voltages_mv": [400.5]}"#, "millivolts"),
+            (br#"{"voltages_mv": [400], "sampling": "best"}"#, "sampling"),
+            (br#"{"voltages_mv": [400], "ecc": 3}"#, "ecc"),
+            (br#"{"voltages_mv": [400], "network": "vgg"}"#, "vgg"),
+            (br#"{"voltages_mv": [400], "trials": -2}"#, "trials"),
+            (br#"{"voltages_mv": [200]}"#, "200"),
+            (
+                br#"{"voltages_mv": [400], "grid": {"start_mv": 1, "stop_mv": 2, "step_mv": 1}}"#,
+                "not both",
+            ),
+        ];
+        for (body, needle) in cases {
+            let err = decode_spec(body).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{:?}: expected {needle:?} in {err:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn record_is_a_pure_function_of_spec_and_results() {
+        let spec = SweepSpec {
+            voltages_mv: vec![400, 480],
+            trials: 2,
+            ..SweepSpec::toy_default()
+        };
+        let a = run_spec_json(&spec);
+        let b = run_spec_json(&spec);
+        assert_eq!(a, b, "two library runs must render identically");
+        assert!(a.contains("accuracy mean"));
+        assert!(a.contains(&spec.canonical_string()));
+    }
+
+    #[test]
+    fn event_lines_are_compact_json() {
+        let line = event_line(
+            1,
+            440,
+            &TrialEvent::TrialComplete {
+                index: 3,
+                micros: 17,
+            },
+        )
+        .unwrap();
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("trial"));
+        assert_eq!(v.get("trial").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("mv").and_then(Value::as_f64), Some(440.0));
+        assert!(event_line(
+            0,
+            400,
+            &TrialEvent::Stage {
+                stage: "corrupt",
+                micros: 1
+            }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn error_body_escapes_cleanly() {
+        let body = error_body("bad \"thing\" at byte 3");
+        let v = Value::parse(&body).unwrap();
+        assert_eq!(
+            v.get("error").and_then(Value::as_str),
+            Some("bad \"thing\" at byte 3")
+        );
+    }
+}

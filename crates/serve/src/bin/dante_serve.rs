@@ -1,0 +1,45 @@
+//! The `dante-serve` binary: boots the sweep service from environment
+//! configuration and runs until the process is killed.
+//!
+//! Environment:
+//!
+//! * `DANTE_SERVE_ADDR` — bind address (default `127.0.0.1:7878`)
+//! * `DANTE_SERVE_WORKERS` — sweep worker threads (default 2)
+//! * `DANTE_SERVE_QUEUE` — bounded queue depth (default 32)
+//! * `DANTE_SERVE_CACHE` — result cache capacity (default 64; 0 disables)
+//! * `DANTE_SERVE_MAX_BODY` — request body cap in bytes (default 65536)
+//! * `DANTE_THREADS` — per-sweep trial parallelism (validated at startup)
+
+use dante_serve::server::{start, ServerConfig};
+
+fn main() {
+    // Validate DANTE_THREADS up front: a mistyped value should fail boot,
+    // not surface as a panic inside the first sweep.
+    if let Err(why) = dante_sim::TrialEngine::try_from_env() {
+        eprintln!("dante-serve: {why}");
+        std::process::exit(2);
+    }
+    let config = match ServerConfig::from_env() {
+        Ok(config) => config,
+        Err(why) => {
+            eprintln!("dante-serve: {why}");
+            std::process::exit(2);
+        }
+    };
+    let workers = config.workers;
+    let handle = match start(config) {
+        Ok(handle) => handle,
+        Err(error) => {
+            eprintln!("dante-serve: bind failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "dante-serve listening on http://{} ({workers} workers)",
+        handle.addr()
+    );
+    // No signal handling without external crates: serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end smoke test used by CI: boots the service in-process on an
+//! ephemeral port, drives it with raw `TcpStream` clients (no HTTP client
+//! dependency), and asserts the cache-hit response is byte-identical to
+//! the cold run. Exits non-zero on any failure.
+
+use dante_serve::server::{start, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One raw HTTP exchange; returns `(status, headers, body)`.
+fn exchange(addr: SocketAddr, request: &str) -> (u16, Vec<String>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("set timeout");
+    stream.write_all(request.as_bytes()).expect("write request");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line {status_line:?}"));
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end().to_owned();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content length");
+            }
+        }
+        headers.push(line);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, headers, body)
+}
+
+fn post_sweep(addr: SocketAddr, payload: &str) -> (u16, Vec<String>, Vec<u8>) {
+    let request = format!(
+        "POST /v1/sweep HTTP/1.1\r\nHost: smoke\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len(),
+    );
+    exchange(addr, &request)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<String>, Vec<u8>) {
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn header<'a>(headers: &'a [String], name: &str) -> Option<&'a str> {
+    headers.iter().find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+fn main() {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServerConfig::default()
+    })
+    .expect("boot server");
+    let addr = handle.addr();
+    println!("smoke: server on {addr}");
+
+    let payload = r#"{"network": "toy", "trials": 3, "voltages_mv": [380, 440, 500]}"#;
+
+    let (status, headers, cold) = post_sweep(addr, payload);
+    assert_eq!(
+        status,
+        200,
+        "cold sweep: {}",
+        String::from_utf8_lossy(&cold)
+    );
+    assert_eq!(header(&headers, "X-Dante-Cache"), Some("miss"));
+    println!("smoke: cold sweep ok ({} bytes)", cold.len());
+
+    let (status, headers, warm) = post_sweep(addr, payload);
+    assert_eq!(
+        status,
+        200,
+        "warm sweep: {}",
+        String::from_utf8_lossy(&warm)
+    );
+    assert_eq!(header(&headers, "X-Dante-Cache"), Some("hit"));
+    assert_eq!(
+        cold, warm,
+        "cache hit must be byte-identical to the cold run"
+    );
+    println!("smoke: cache hit byte-identical");
+
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n");
+    println!("smoke: healthz ok");
+
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("metrics is UTF-8");
+    for needle in [
+        "dante_serve_requests_total",
+        "dante_serve_cache_hits_total 1",
+        "dante_serve_jobs_completed_total 1",
+    ] {
+        assert!(text.contains(needle), "metrics missing {needle}:\n{text}");
+    }
+    println!("smoke: metrics ok");
+
+    handle.shutdown();
+    assert!(handle.join(), "server must drain cleanly");
+    println!("smoke: clean shutdown — all checks passed");
+}

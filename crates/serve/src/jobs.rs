@@ -1,0 +1,408 @@
+//! Sweep jobs: states, the bounded queue, and the registry.
+//!
+//! A [`Job`] is one queued/running/finished sweep. Its state sits behind a
+//! `Mutex` + `Condvar` pair so three kinds of thread can coordinate on it:
+//! the worker that runs it, synchronous submitters blocked in
+//! [`Job::wait_terminal`], and streaming connections replaying
+//! [`Job::state`] events as they appear.
+
+use dante::sweep::SweepSpec;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Cap on retained per-job progress events; beyond it events are counted
+/// but dropped (terminal events are always appended so streams end with a
+/// definite marker).
+pub const EVENT_CAP: usize = 4096;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the queue.
+    Queued,
+    /// Claimed by a worker.
+    Running,
+    /// Finished; the result body is available.
+    Done,
+    /// The worker hit an error (panic or preparation failure).
+    Failed,
+    /// Dropped by graceful shutdown before a worker picked it up.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Whether the job will make no further progress.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Self::Done | Self::Failed | Self::Cancelled)
+    }
+
+    /// Lowercase wire token.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Done => "done",
+            Self::Failed => "failed",
+            Self::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Mutable job state (guarded by [`Job::state`]).
+#[derive(Debug)]
+pub struct JobState {
+    /// Current lifecycle phase.
+    pub status: JobStatus,
+    /// Rendered progress events (JSON lines), capped at [`EVENT_CAP`].
+    pub events: Vec<Arc<String>>,
+    /// Events dropped once the cap was hit.
+    pub dropped_events: u64,
+    /// The rendered response body, set when `status == Done`.
+    pub result: Option<Arc<String>>,
+    /// Failure reason, set when `status == Failed`.
+    pub error: Option<String>,
+}
+
+/// One sweep job.
+#[derive(Debug)]
+pub struct Job {
+    /// Service-unique identifier (`"job-<n>"`).
+    pub id: String,
+    /// Content digest of the spec's canonical string.
+    pub digest: String,
+    /// The work itself.
+    pub spec: SweepSpec,
+    /// Guarded state; lock only briefly.
+    pub state: Mutex<JobState>,
+    /// Signalled on every state/event change.
+    pub cv: Condvar,
+}
+
+impl Job {
+    fn new(id: String, digest: String, spec: SweepSpec) -> Self {
+        Self {
+            id,
+            digest,
+            spec,
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                events: Vec::new(),
+                dropped_events: 0,
+                result: None,
+                error: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Appends a progress event (subject to [`EVENT_CAP`] unless `force`)
+    /// and wakes every waiter.
+    pub fn push_event(&self, line: String, force: bool) {
+        let mut state = self.state.lock().expect("job lock poisoned");
+        if force || state.events.len() < EVENT_CAP {
+            state.events.push(Arc::new(line));
+        } else {
+            state.dropped_events += 1;
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Moves the job to `status` (optionally attaching a result or error)
+    /// and wakes every waiter.
+    pub fn set_status(
+        &self,
+        status: JobStatus,
+        result: Option<Arc<String>>,
+        error: Option<String>,
+    ) {
+        let mut state = self.state.lock().expect("job lock poisoned");
+        state.status = status;
+        if result.is_some() {
+            state.result = result;
+        }
+        if error.is_some() {
+            state.error = error;
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Current status snapshot.
+    #[must_use]
+    pub fn status(&self) -> JobStatus {
+        self.state.lock().expect("job lock poisoned").status
+    }
+
+    /// Blocks until the job reaches a terminal status or `shutdown` is
+    /// raised; returns the status seen last. Polls on a short condvar
+    /// timeout so a shutdown signalled from another thread is never missed.
+    #[must_use]
+    pub fn wait_terminal(&self, shutdown: &AtomicBool) -> JobStatus {
+        let mut state = self.state.lock().expect("job lock poisoned");
+        loop {
+            if state.status.is_terminal() {
+                return state.status;
+            }
+            if shutdown.load(Ordering::SeqCst) && state.status == JobStatus::Queued {
+                // The queue drain will cancel it momentarily; report the
+                // intent without racing the drain.
+                return JobStatus::Cancelled;
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(state, Duration::from_millis(50))
+                .expect("job lock poisoned");
+            state = next;
+        }
+    }
+}
+
+/// Submission failure: the bounded queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+/// The bounded FIFO feeding the worker pool.
+#[derive(Debug)]
+pub struct JobQueue {
+    capacity: usize,
+    inner: Mutex<VecDeque<Arc<Job>>>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` waiting jobs.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `job`, or reports [`QueueFull`] — the caller turns that
+    /// into HTTP 429 with `Retry-After`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when `capacity` jobs are already waiting.
+    pub fn try_push(&self, job: Arc<Job>) -> Result<(), QueueFull> {
+        let mut queue = self.inner.lock().expect("queue lock poisoned");
+        if queue.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; returns `None` once `shutdown` is raised
+    /// (workers then exit — in-flight jobs have already been claimed and
+    /// run to completion, which is the drain guarantee).
+    #[must_use]
+    pub fn pop(&self, shutdown: &AtomicBool) -> Option<Arc<Job>> {
+        let mut queue = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(queue, Duration::from_millis(50))
+                .expect("queue lock poisoned");
+            queue = next;
+        }
+    }
+
+    /// Jobs currently waiting (the `/metrics` gauge).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").len()
+    }
+
+    /// Empties the queue, returning the jobs that never ran (shutdown
+    /// cancels them).
+    #[must_use]
+    pub fn drain(&self) -> Vec<Arc<Job>> {
+        let mut queue = self.inner.lock().expect("queue lock poisoned");
+        let drained = queue.drain(..).collect();
+        drop(queue);
+        self.cv.notify_all();
+        drained
+    }
+
+    /// Wakes every thread blocked in [`Self::pop`] (shutdown path).
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+/// All jobs the service has seen, by id, plus an active-by-digest index so
+/// concurrent identical submissions share one simulation.
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    jobs: Mutex<HashMap<String, Arc<Job>>>,
+    active_by_digest: Mutex<HashMap<String, Arc<Job>>>,
+    next_id: AtomicU64,
+}
+
+impl JobRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates and registers a job for `spec`.
+    #[must_use]
+    pub fn create(&self, spec: SweepSpec, digest: String) -> Arc<Job> {
+        let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let job = Arc::new(Job::new(id.clone(), digest.clone(), spec));
+        self.jobs
+            .lock()
+            .expect("registry lock poisoned")
+            .insert(id, job.clone());
+        self.active_by_digest
+            .lock()
+            .expect("registry lock poisoned")
+            .insert(digest, job.clone());
+        job
+    }
+
+    /// Looks up a job by id.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("registry lock poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// The non-terminal job already covering `digest`, if any — concurrent
+    /// identical submissions attach to it instead of re-simulating.
+    #[must_use]
+    pub fn active_for_digest(&self, digest: &str) -> Option<Arc<Job>> {
+        let mut index = self
+            .active_by_digest
+            .lock()
+            .expect("registry lock poisoned");
+        match index.get(digest) {
+            Some(job) if !job.status().is_terminal() => Some(job.clone()),
+            Some(_) => {
+                index.remove(digest);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Drops the active-index entry once `job` is terminal (idempotent; a
+    /// newer job under the same digest is left in place).
+    pub fn retire(&self, job: &Arc<Job>) {
+        let mut index = self
+            .active_by_digest
+            .lock()
+            .expect("registry lock poisoned");
+        if let Some(current) = index.get(&job.digest) {
+            if Arc::ptr_eq(current, job) {
+                index.remove(&job.digest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::toy_default()
+    }
+
+    #[test]
+    fn queue_enforces_capacity_and_fifo_order() {
+        let registry = JobRegistry::new();
+        let queue = JobQueue::new(2);
+        let a = registry.create(spec(), "d1".into());
+        let b = registry.create(spec(), "d2".into());
+        let c = registry.create(spec(), "d3".into());
+        assert_eq!(a.id, "job-1");
+        queue.try_push(a.clone()).unwrap();
+        queue.try_push(b.clone()).unwrap();
+        assert_eq!(queue.try_push(c).unwrap_err(), QueueFull);
+        assert_eq!(queue.depth(), 2);
+        let shutdown = AtomicBool::new(false);
+        assert_eq!(queue.pop(&shutdown).unwrap().id, a.id);
+        assert_eq!(queue.pop(&shutdown).unwrap().id, b.id);
+    }
+
+    #[test]
+    fn pop_returns_none_on_shutdown() {
+        let queue = JobQueue::new(1);
+        let shutdown = AtomicBool::new(true);
+        assert!(queue.pop(&shutdown).is_none());
+    }
+
+    #[test]
+    fn wait_terminal_sees_completion_from_another_thread() {
+        let registry = JobRegistry::new();
+        let job = registry.create(spec(), "d".into());
+        let waiter = {
+            let job = job.clone();
+            std::thread::spawn(move || {
+                let shutdown = AtomicBool::new(false);
+                job.wait_terminal(&shutdown)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        job.set_status(JobStatus::Done, Some(Arc::new("body".into())), None);
+        assert_eq!(waiter.join().unwrap(), JobStatus::Done);
+        assert_eq!(
+            job.state
+                .lock()
+                .unwrap()
+                .result
+                .as_deref()
+                .map(String::as_str),
+            Some("body")
+        );
+    }
+
+    #[test]
+    fn event_cap_drops_but_counts() {
+        let registry = JobRegistry::new();
+        let job = registry.create(spec(), "d".into());
+        for i in 0..(EVENT_CAP + 10) {
+            job.push_event(format!("e{i}"), false);
+        }
+        job.push_event("terminal".into(), true);
+        let state = job.state.lock().unwrap();
+        assert_eq!(state.events.len(), EVENT_CAP + 1);
+        assert_eq!(state.dropped_events, 10);
+        assert_eq!(state.events.last().unwrap().as_str(), "terminal");
+    }
+
+    #[test]
+    fn digest_index_dedups_active_jobs_and_retires_terminal_ones() {
+        let registry = JobRegistry::new();
+        let job = registry.create(spec(), "dig".into());
+        assert!(Arc::ptr_eq(
+            &registry.active_for_digest("dig").unwrap(),
+            &job
+        ));
+        job.set_status(JobStatus::Done, None, None);
+        assert!(registry.active_for_digest("dig").is_none());
+        registry.retire(&job); // idempotent after lazy removal
+        assert!(registry.get(&job.id).is_some(), "history is retained");
+    }
+}

@@ -1,0 +1,137 @@
+//! Service counters and latency tracking, rendered as plain text for
+//! `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many recent request latencies the percentile window retains.
+const LATENCY_WINDOW: usize = 1024;
+
+/// Process-wide service metrics. All counters are monotonic except the
+/// gauges, which are sampled at render time by the caller.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted for processing (any endpoint).
+    pub requests_total: AtomicU64,
+    /// Responses by status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses (client errors, including 429 backpressure).
+    pub responses_4xx: AtomicU64,
+    /// 429 specifically, to make backpressure visible at a glance.
+    pub responses_429: AtomicU64,
+    /// 5xx responses.
+    pub responses_5xx: AtomicU64,
+    /// Sweep jobs completed successfully.
+    pub jobs_completed: AtomicU64,
+    /// Sweep jobs that failed or were cancelled by shutdown.
+    pub jobs_failed: AtomicU64,
+    /// Ring of recent request latencies in microseconds.
+    latencies: Mutex<Vec<u64>>,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a response with `status` and records the request latency.
+    pub fn record_response(&self, status: u16, latency: Duration) {
+        match status {
+            200..=299 => &self.responses_2xx,
+            429 => {
+                self.responses_429.fetch_add(1, Ordering::Relaxed);
+                &self.responses_4xx
+            }
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let mut window = self.latencies.lock().expect("metrics lock poisoned");
+        if window.len() >= LATENCY_WINDOW {
+            // Overwrite pseudo-randomly-ish via rotation: cheap, keeps a
+            // sliding flavour without a ring index field.
+            window.remove(0);
+        }
+        window.push(micros);
+    }
+
+    /// `(p50, p99)` of the retained latency window, in microseconds.
+    #[must_use]
+    pub fn latency_percentiles(&self) -> (u64, u64) {
+        let window = self.latencies.lock().expect("metrics lock poisoned");
+        if window.is_empty() {
+            return (0, 0);
+        }
+        let mut sorted = window.clone();
+        sorted.sort_unstable();
+        let at = |q: f64| {
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        };
+        (at(0.50), at(0.99))
+    }
+
+    /// Renders the metrics in the flat `name value` text format, with the
+    /// caller-sampled gauges appended.
+    #[must_use]
+    pub fn render(&self, queue_depth: usize, cache_hits: u64, cache_misses: u64) -> String {
+        let (p50, p99) = self.latency_percentiles();
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "dante_serve_requests_total {}\n\
+             dante_serve_responses_2xx_total {}\n\
+             dante_serve_responses_4xx_total {}\n\
+             dante_serve_responses_429_total {}\n\
+             dante_serve_responses_5xx_total {}\n\
+             dante_serve_jobs_completed_total {}\n\
+             dante_serve_jobs_failed_total {}\n\
+             dante_serve_queue_depth {queue_depth}\n\
+             dante_serve_cache_hits_total {cache_hits}\n\
+             dante_serve_cache_misses_total {cache_misses}\n\
+             dante_serve_request_latency_p50_micros {p50}\n\
+             dante_serve_request_latency_p99_micros {p99}\n",
+            load(&self.requests_total),
+            load(&self.responses_2xx),
+            load(&self.responses_4xx),
+            load(&self.responses_429),
+            load(&self.responses_5xx),
+            load(&self.jobs_completed),
+            load(&self.jobs_failed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_percentiles_track_responses() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.record_response(200, Duration::from_micros(100));
+        m.record_response(429, Duration::from_micros(300));
+        m.record_response(500, Duration::from_micros(200));
+        let text = m.render(2, 5, 7);
+        assert!(text.contains("dante_serve_requests_total 3"), "{text}");
+        assert!(text.contains("dante_serve_responses_2xx_total 1"));
+        assert!(text.contains("dante_serve_responses_4xx_total 1"));
+        assert!(text.contains("dante_serve_responses_429_total 1"));
+        assert!(text.contains("dante_serve_responses_5xx_total 1"));
+        assert!(text.contains("dante_serve_queue_depth 2"));
+        assert!(text.contains("dante_serve_cache_hits_total 5"));
+        assert!(text.contains("dante_serve_cache_misses_total 7"));
+        let (p50, p99) = m.latency_percentiles();
+        assert_eq!(p50, 200);
+        assert_eq!(p99, 300);
+    }
+
+    #[test]
+    fn empty_window_renders_zero_percentiles() {
+        assert_eq!(Metrics::new().latency_percentiles(), (0, 0));
+    }
+}

@@ -1,0 +1,712 @@
+//! The service itself: accept loop, worker pool, routing, and graceful
+//! shutdown.
+
+use crate::api;
+use crate::cache::{digest, ResultCache};
+use crate::http::{self, configure_stream, read_request, ChunkedResponse, Request, RequestError};
+use crate::jobs::{Job, JobQueue, JobRegistry, JobStatus};
+use crate::metrics::Metrics;
+use dante_bench::json::Value;
+use dante_sim::EventObserver;
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs; [`ServerConfig::from_env`] reads the
+/// `DANTE_SERVE_*` environment variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address (`DANTE_SERVE_ADDR`, default `127.0.0.1:7878`; use
+    /// port 0 for an ephemeral port).
+    pub addr: String,
+    /// Sweep worker threads (`DANTE_SERVE_WORKERS`). `0` is accepted and
+    /// means "no workers": jobs queue but never run — useful only for
+    /// tests that need a deterministically full queue.
+    pub workers: usize,
+    /// Bounded queue depth (`DANTE_SERVE_QUEUE`); beyond it submissions
+    /// get 429 + `Retry-After`.
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (`DANTE_SERVE_CACHE`).
+    pub cache_capacity: usize,
+    /// Request body cap in bytes (`DANTE_SERVE_MAX_BODY`); beyond it 413.
+    pub max_body_bytes: usize,
+    /// Per-read socket timeout for idle keep-alive connections.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_owned(),
+            workers: 2,
+            queue_depth: 32,
+            cache_capacity: 64,
+            max_body_bytes: 64 * 1024,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Reads the `DANTE_SERVE_*` variables, rejecting unparsable values
+    /// (same strictness policy as `DANTE_THREADS`: a mistyped knob should
+    /// fail startup, not silently fall back).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending variable.
+    pub fn from_env() -> Result<Self, String> {
+        let mut cfg = Self::default();
+        if let Ok(addr) = std::env::var("DANTE_SERVE_ADDR") {
+            cfg.addr = addr;
+        }
+        let parse = |key: &str, min: usize| -> Result<Option<usize>, String> {
+            match std::env::var(key) {
+                Ok(raw) => raw
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= min)
+                    .map(Some)
+                    .ok_or_else(|| format!("{key} must be an integer >= {min}, got {raw:?}")),
+                Err(_) => Ok(None),
+            }
+        };
+        if let Some(n) = parse("DANTE_SERVE_WORKERS", 1)? {
+            cfg.workers = n;
+        }
+        if let Some(n) = parse("DANTE_SERVE_QUEUE", 1)? {
+            cfg.queue_depth = n;
+        }
+        if let Some(n) = parse("DANTE_SERVE_CACHE", 0)? {
+            cfg.cache_capacity = n;
+        }
+        if let Some(n) = parse("DANTE_SERVE_MAX_BODY", 64)? {
+            cfg.max_body_bytes = n;
+        }
+        Ok(cfg)
+    }
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+#[derive(Debug)]
+struct Shared {
+    config: ServerConfig,
+    registry: JobRegistry,
+    queue: JobQueue,
+    cache: ResultCache,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+/// A running server: bound address plus the shutdown/join controls.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (resolves port 0 to the real port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown: stop accepting, cancel queued jobs,
+    /// wake every waiter. In-flight jobs run to completion; call
+    /// [`Self::join`] to wait for the drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Cancel everything still queued so synchronous submitters and
+        // pollers see a terminal state instead of hanging.
+        for job in self.shared.queue.drain() {
+            job.set_status(
+                JobStatus::Cancelled,
+                None,
+                Some("server shutting down".to_owned()),
+            );
+            self.shared
+                .metrics
+                .jobs_failed
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared.registry.retire(&job);
+        }
+        self.shared.queue.notify_all();
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+
+    /// Waits for the accept loop, workers (draining their in-flight jobs),
+    /// and open connections to finish. Returns `true` on a clean drain,
+    /// `false` if connections were still open after a 10 s grace period.
+    #[must_use]
+    pub fn join(mut self) -> bool {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0 {
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        true
+    }
+}
+
+/// Binds and starts the service.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(config.queue_depth),
+        cache: ResultCache::new(config.cache_capacity),
+        registry: JobRegistry::new(),
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        active_connections: AtomicUsize::new(0),
+        config,
+    });
+
+    let worker_threads = (0..shared.config.workers)
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("dante-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_shared = shared.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("dante-serve-accept".to_owned())
+        .spawn(move || accept_loop(&listener, &accept_shared))
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        worker_threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late client): drop it.
+                    drop(stream);
+                    return;
+                }
+                shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = shared.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("dante-serve-conn".to_owned())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared);
+                        conn_shared
+                            .active_connections
+                            .fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    // Spawn failure: undo the accounting and drop the
+                    // connection rather than wedging the accept loop.
+                    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Runs queued sweeps until shutdown. Each job streams its progress into
+/// the job's event log via the sim-layer [`EventObserver`] bridge.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop(&shared.shutdown) {
+        job.set_status(JobStatus::Running, None, None);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&job)));
+        match outcome {
+            Ok(body) => {
+                let body = Arc::new(body);
+                shared.cache.insert(job.digest.clone(), body.clone());
+                job.push_event(format!(r#"{{"event":"done","job":"{}"}}"#, job.id), true);
+                job.set_status(JobStatus::Done, Some(body), None);
+                shared
+                    .metrics
+                    .jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(panic) => {
+                let why = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                    .unwrap_or_else(|| "worker panicked".to_owned());
+                job.push_event(api::error_body(&why), true);
+                job.set_status(JobStatus::Failed, None, Some(why));
+                shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shared.registry.retire(&job);
+    }
+}
+
+/// Executes one sweep, point by point, bridging trial hooks into events.
+fn run_job(job: &Arc<Job>) -> String {
+    let prep = job.spec.prepare();
+    let mut results = Vec::with_capacity(prep.point_count());
+    for point in 0..prep.point_count() {
+        let mv = job.spec.voltages_mv[point];
+        let observer = EventObserver::new(|event| {
+            if let Some(line) = api::event_line(point, mv, &event) {
+                job.push_event(line, false);
+            }
+        });
+        results.push(prep.run_point_observed(point, &observer));
+    }
+    api::build_record(&job.spec, &results).to_json_pretty()
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    configure_stream(&stream, shared.config.read_timeout);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    // Bounded keep-alive: a single connection cannot monopolize a thread
+    // forever.
+    for _ in 0..1000 {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(RequestError::Closed) => return,
+            Err(error) => {
+                respond_request_error(&mut write_half, shared, &error);
+                return;
+            }
+        };
+        shared
+            .metrics
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        let started = Instant::now();
+        let status = route(&mut write_half, shared, &request, keep_alive);
+        shared.metrics.record_response(status, started.elapsed());
+        if !keep_alive || status == STREAMED {
+            return;
+        }
+    }
+}
+
+/// Sentinel "status" for responses that manage their own framing (chunked
+/// streams close the connection themselves).
+const STREAMED: u16 = 0;
+
+fn respond_request_error(stream: &mut TcpStream, shared: &Arc<Shared>, error: &RequestError) {
+    let (status, message) = match error {
+        RequestError::Closed => return,
+        RequestError::Io(m) => (400, m.clone()),
+        RequestError::BadRequest(m) => (400, m.clone()),
+        RequestError::HeadTooLarge => (
+            431,
+            format!("request head exceeds {} bytes", http::MAX_HEAD_BYTES),
+        ),
+        RequestError::BodyTooLarge(cap) => (413, format!("request body exceeds {cap} bytes")),
+        RequestError::LengthRequired => (411, "requests must carry Content-Length".to_owned()),
+    };
+    shared.metrics.record_response(status, Duration::ZERO);
+    let _ = http::write_response(
+        stream,
+        status,
+        "application/json",
+        &[],
+        api::error_body(&message).as_bytes(),
+        false,
+    );
+}
+
+/// Dispatches one request; returns the response status (or [`STREAMED`]).
+fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request, keep_alive: bool) -> u16 {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("POST", "/v1/sweep") => post_sweep(stream, shared, request, keep_alive),
+        ("GET", "/healthz") => respond(stream, 200, "text/plain", &[], b"ok\n", keep_alive),
+        ("GET", "/metrics") => {
+            let (hits, misses) = shared.cache.stats();
+            let body = shared.metrics.render(shared.queue.depth(), hits, misses);
+            respond(stream, 200, "text/plain", &[], body.as_bytes(), keep_alive)
+        }
+        ("GET", _) if path.starts_with("/v1/jobs/") => {
+            let rest = &path["/v1/jobs/".len()..];
+            if let Some(id) = rest.strip_suffix("/events") {
+                stream_job_events(stream, shared, id)
+            } else if let Some(id) = rest.strip_suffix("/result") {
+                job_result(stream, shared, id, keep_alive)
+            } else {
+                job_status(stream, shared, rest, keep_alive)
+            }
+        }
+        (_, "/v1/sweep" | "/healthz" | "/metrics") => respond(
+            stream,
+            405,
+            "application/json",
+            &[],
+            api::error_body("method not allowed").as_bytes(),
+            keep_alive,
+        ),
+        _ => respond(
+            stream,
+            404,
+            "application/json",
+            &[],
+            api::error_body(&format!("no such endpoint {path:?}")).as_bytes(),
+            keep_alive,
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> u16 {
+    let _ = http::write_response(stream, status, content_type, extra, body, keep_alive);
+    status
+}
+
+fn post_sweep(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &Request,
+    keep_alive: bool,
+) -> u16 {
+    let spec = match api::decode_spec(&request.body) {
+        Ok(spec) => spec,
+        Err(why) => {
+            return respond(
+                stream,
+                400,
+                "application/json",
+                &[],
+                api::error_body(&why).as_bytes(),
+                keep_alive,
+            )
+        }
+    };
+    let key = digest(&spec.canonical_string());
+    let wants_async = request.query_param("mode") == Some("async");
+
+    if let Some(body) = shared.cache.get(&key) {
+        return respond(
+            stream,
+            200,
+            "application/json",
+            &[("X-Dante-Cache", "hit".to_owned()), ("X-Dante-Digest", key)],
+            body.as_bytes(),
+            keep_alive,
+        );
+    }
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return respond(
+            stream,
+            503,
+            "application/json",
+            &[],
+            api::error_body("server shutting down").as_bytes(),
+            false,
+        );
+    }
+
+    // Attach to an identical in-flight job if one exists; otherwise create
+    // and enqueue. Identical concurrent submissions thus cost one
+    // simulation, and — determinism — receive byte-identical bodies.
+    let job = match shared.registry.active_for_digest(&key) {
+        Some(job) => job,
+        None => {
+            let job = shared.registry.create(spec, key.clone());
+            if shared.queue.try_push(job.clone()).is_err() {
+                job.set_status(JobStatus::Cancelled, None, Some("queue full".to_owned()));
+                shared.registry.retire(&job);
+                let body = api::error_body(&format!(
+                    "queue full ({} waiting); retry shortly",
+                    shared.config.queue_depth
+                ));
+                return respond(
+                    stream,
+                    429,
+                    "application/json",
+                    &[("Retry-After", "1".to_owned())],
+                    body.as_bytes(),
+                    keep_alive,
+                );
+            }
+            job
+        }
+    };
+
+    if wants_async {
+        let body = Value::Object(BTreeMap::from([
+            ("job".to_owned(), Value::String(job.id.clone())),
+            ("digest".to_owned(), Value::String(job.digest.clone())),
+            (
+                "status".to_owned(),
+                Value::String(job.status().token().to_owned()),
+            ),
+        ]))
+        .to_string_compact();
+        return respond(
+            stream,
+            202,
+            "application/json",
+            &[],
+            body.as_bytes(),
+            keep_alive,
+        );
+    }
+
+    match job.wait_terminal(&shared.shutdown) {
+        JobStatus::Done => {
+            let body = job
+                .state
+                .lock()
+                .expect("job lock poisoned")
+                .result
+                .clone()
+                .expect("done job carries a result");
+            respond(
+                stream,
+                200,
+                "application/json",
+                &[
+                    ("X-Dante-Cache", "miss".to_owned()),
+                    ("X-Dante-Digest", job.digest.clone()),
+                ],
+                body.as_bytes(),
+                keep_alive,
+            )
+        }
+        JobStatus::Failed => {
+            let why = job
+                .state
+                .lock()
+                .expect("job lock poisoned")
+                .error
+                .clone()
+                .unwrap_or_else(|| "sweep failed".to_owned());
+            respond(
+                stream,
+                500,
+                "application/json",
+                &[],
+                api::error_body(&why).as_bytes(),
+                keep_alive,
+            )
+        }
+        _ => respond(
+            stream,
+            503,
+            "application/json",
+            &[],
+            api::error_body("cancelled by shutdown").as_bytes(),
+            false,
+        ),
+    }
+}
+
+fn job_status(stream: &mut TcpStream, shared: &Arc<Shared>, id: &str, keep_alive: bool) -> u16 {
+    let Some(job) = shared.registry.get(id) else {
+        return respond(
+            stream,
+            404,
+            "application/json",
+            &[],
+            api::error_body(&format!("no such job {id:?}")).as_bytes(),
+            keep_alive,
+        );
+    };
+    let state = job.state.lock().expect("job lock poisoned");
+    let mut obj = BTreeMap::from([
+        ("id".to_owned(), Value::String(job.id.clone())),
+        ("digest".to_owned(), Value::String(job.digest.clone())),
+        (
+            "status".to_owned(),
+            Value::String(state.status.token().to_owned()),
+        ),
+        (
+            "events".to_owned(),
+            Value::Number(state.events.len() as f64),
+        ),
+        (
+            "dropped_events".to_owned(),
+            Value::Number(state.dropped_events as f64),
+        ),
+    ]);
+    if let Some(result) = &state.result {
+        // Embed the record as structure, not as an escaped string; the
+        // byte-exact body lives at /result and in the POST response.
+        if let Ok(parsed) = Value::parse(result) {
+            obj.insert("result".to_owned(), parsed);
+        }
+    }
+    if let Some(error) = &state.error {
+        obj.insert("error".to_owned(), Value::String(error.clone()));
+    }
+    drop(state);
+    let body = Value::Object(obj).to_string_compact();
+    respond(
+        stream,
+        200,
+        "application/json",
+        &[],
+        body.as_bytes(),
+        keep_alive,
+    )
+}
+
+fn job_result(stream: &mut TcpStream, shared: &Arc<Shared>, id: &str, keep_alive: bool) -> u16 {
+    let Some(job) = shared.registry.get(id) else {
+        return respond(
+            stream,
+            404,
+            "application/json",
+            &[],
+            api::error_body(&format!("no such job {id:?}")).as_bytes(),
+            keep_alive,
+        );
+    };
+    let state = job.state.lock().expect("job lock poisoned");
+    match (&state.result, state.status) {
+        (Some(result), _) => {
+            let body = result.clone();
+            drop(state);
+            respond(
+                stream,
+                200,
+                "application/json",
+                &[("X-Dante-Digest", job.digest.clone())],
+                body.as_bytes(),
+                keep_alive,
+            )
+        }
+        (None, status) => {
+            drop(state);
+            respond(
+                stream,
+                404,
+                "application/json",
+                &[],
+                api::error_body(&format!("job is {}, no result", status.token())).as_bytes(),
+                keep_alive,
+            )
+        }
+    }
+}
+
+/// Streams a job's progress events as one JSON line per chunk, replaying
+/// history first and then following live until the job ends or the server
+/// shuts down (which terminates the chunk stream cleanly with a final
+/// `shutdown` event).
+fn stream_job_events(stream: &mut TcpStream, shared: &Arc<Shared>, id: &str) -> u16 {
+    let Some(job) = shared.registry.get(id) else {
+        let _ = http::write_response(
+            stream,
+            404,
+            "application/json",
+            &[],
+            api::error_body(&format!("no such job {id:?}")).as_bytes(),
+            false,
+        );
+        return 404;
+    };
+    let Ok(mut chunks) = ChunkedResponse::start(stream, 200, "application/x-ndjson") else {
+        return STREAMED;
+    };
+    let mut cursor = 0usize;
+    loop {
+        // Snapshot new events under the lock, write them outside it.
+        let (new_events, status) = {
+            let state = job.state.lock().expect("job lock poisoned");
+            (
+                state.events[cursor.min(state.events.len())..].to_vec(),
+                state.status,
+            )
+        };
+        for event in &new_events {
+            cursor += 1;
+            let mut line = String::with_capacity(event.len() + 1);
+            line.push_str(event);
+            line.push('\n');
+            if chunks.chunk(line.as_bytes()).is_err() {
+                return STREAMED; // client went away
+            }
+        }
+        if status.is_terminal() {
+            let _ = chunks.chunk(
+                format!("{{\"event\":\"end\",\"status\":\"{}\"}}\n", status.token()).as_bytes(),
+            );
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = chunks.chunk(b"{\"event\":\"shutdown\"}\n");
+            break;
+        }
+        // Wait for more events (or a timeout tick to re-check shutdown).
+        let state = job.state.lock().expect("job lock poisoned");
+        if state.events.len() == cursor && !state.status.is_terminal() {
+            let _ = job
+                .cv
+                .wait_timeout(state, Duration::from_millis(50))
+                .expect("job lock poisoned");
+        }
+    }
+    let _ = chunks.finish();
+    STREAMED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_from_env_rejects_garbage() {
+        std::env::set_var("DANTE_SERVE_WORKERS", "lots");
+        let err = ServerConfig::from_env().unwrap_err();
+        assert!(err.contains("DANTE_SERVE_WORKERS"), "{err}");
+        std::env::set_var("DANTE_SERVE_WORKERS", "0");
+        assert!(ServerConfig::from_env().is_err(), "binary floor is 1");
+        std::env::set_var("DANTE_SERVE_WORKERS", "3");
+        std::env::set_var("DANTE_SERVE_QUEUE", "7");
+        let cfg = ServerConfig::from_env().unwrap();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.queue_depth, 7);
+        std::env::remove_var("DANTE_SERVE_WORKERS");
+        std::env::remove_var("DANTE_SERVE_QUEUE");
+    }
+}

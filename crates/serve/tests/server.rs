@@ -1,0 +1,454 @@
+//! Integration tests for the sweep service, driven entirely through raw
+//! `std::net::TcpStream` clients — no external HTTP client.
+//!
+//! Covers the acceptance criteria: HTTP responses byte-identical to the
+//! library API (cold and cached), failure paths (413/400/429), concurrent
+//! load returning only 200/429 with uncorrupted bodies, and clean shutdown
+//! while an event stream is open.
+
+use dante::sweep::SweepSpec;
+use dante_serve::server::{start, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed raw response.
+#[derive(Debug)]
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("body is UTF-8")
+    }
+}
+
+/// Reads a response head + fixed-length body from `reader`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> Response {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line {status_line:?}"));
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').expect("header colon");
+        let (name, value) = (name.trim().to_owned(), value.trim().to_owned());
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().expect("content length");
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    Response {
+        status,
+        headers,
+        body,
+    }
+}
+
+/// One-shot exchange over a fresh connection.
+fn exchange(addr: SocketAddr, raw: &[u8]) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    stream.write_all(raw).expect("write");
+    stream.flush().expect("flush");
+    read_response(&mut BufReader::new(stream))
+}
+
+fn post_sweep(addr: SocketAddr, payload: &str) -> Response {
+    let raw = format!(
+        "POST /v1/sweep HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len(),
+    );
+    exchange(addr, raw.as_bytes())
+}
+
+fn get(addr: SocketAddr, path: &str) -> Response {
+    exchange(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+fn boot(config: ServerConfig) -> ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..config
+    })
+    .expect("boot server")
+}
+
+#[test]
+fn http_sweep_matches_library_api_cold_and_cached() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+
+    let spec = SweepSpec {
+        voltages_mv: vec![380, 460, 540],
+        trials: 3,
+        ..SweepSpec::toy_default()
+    };
+    let reference = dante_serve::api::run_spec_json(&spec);
+    let payload = r#"{"network": "toy", "trials": 3, "voltages_mv": [380, 460, 540]}"#;
+
+    let cold = post_sweep(addr, payload);
+    assert_eq!(cold.status, 200, "{}", cold.body_str());
+    assert_eq!(cold.header("X-Dante-Cache"), Some("miss"));
+    assert_eq!(
+        cold.body_str(),
+        reference,
+        "HTTP cold response must be byte-identical to the library API"
+    );
+
+    let warm = post_sweep(addr, payload);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("X-Dante-Cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body, "cache hit must be byte-identical");
+
+    // Same spec spelled differently (grid form) hits the same cache entry.
+    let grid = post_sweep(
+        addr,
+        r#"{"network": "toy", "trials": 3, "grid": {"start_mv": 380, "stop_mv": 540, "step_mv": 80}}"#,
+    );
+    assert_eq!(grid.status, 200);
+    assert_eq!(grid.header("X-Dante-Cache"), Some("hit"));
+    assert_eq!(grid.body, cold.body);
+
+    handle.shutdown();
+    assert!(handle.join());
+}
+
+#[test]
+fn oversized_body_is_rejected_with_413() {
+    let handle = boot(ServerConfig {
+        max_body_bytes: 128,
+        ..ServerConfig::default()
+    });
+    let big = format!(r#"{{"padding": "{}"}}"#, "x".repeat(4096));
+    let response = post_sweep(handle.addr(), &big);
+    assert_eq!(response.status, 413);
+    assert!(
+        response.body_str().contains("128"),
+        "diagnostic names the cap: {}",
+        response.body_str()
+    );
+    handle.shutdown();
+    assert!(handle.join());
+}
+
+#[test]
+fn malformed_json_gets_400_with_diagnostic_payload() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+
+    let response = post_sweep(addr, r#"{"trials": "#);
+    assert_eq!(response.status, 400);
+    let body = response.body_str();
+    assert!(body.starts_with(r#"{"error":"#), "JSON error body: {body}");
+    assert!(
+        body.contains("byte"),
+        "parse diagnostics include offset: {body}"
+    );
+
+    // Well-formed JSON with an invalid field is also a 400, naming the field.
+    let response = post_sweep(addr, r#"{"voltages_mv": [400], "trials": 0}"#);
+    assert_eq!(response.status, 400);
+    assert!(
+        response.body_str().contains("trials"),
+        "{}",
+        response.body_str()
+    );
+
+    handle.shutdown();
+    assert!(handle.join());
+}
+
+#[test]
+fn full_queue_gets_429_with_retry_after() {
+    // workers = 0: jobs queue but never drain, so queue-full is
+    // deterministic, not a race against worker speed.
+    let handle = boot(ServerConfig {
+        workers: 0,
+        queue_depth: 2,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Distinct specs (different seeds) so they don't dedup onto one job;
+    // async submission so clients don't block on jobs that will never run.
+    for seed in 0..2 {
+        let raw = format!(r#"{{"network": "toy", "voltages_mv": [400], "seed": {seed}}}"#);
+        let response = exchange(
+            addr,
+            format!(
+                "POST /v1/sweep?mode=async HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{raw}",
+                raw.len(),
+            )
+            .as_bytes(),
+        );
+        assert_eq!(response.status, 202, "{}", response.body_str());
+    }
+    let raw = r#"{"network": "toy", "voltages_mv": [400], "seed": 99}"#;
+    let response = exchange(
+        addr,
+        format!(
+            "POST /v1/sweep?mode=async HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{raw}",
+            raw.len(),
+        )
+        .as_bytes(),
+    );
+    assert_eq!(response.status, 429, "{}", response.body_str());
+    assert_eq!(response.header("Retry-After"), Some("1"));
+    assert!(response.body_str().contains("queue full"));
+
+    handle.shutdown();
+    assert!(handle.join());
+}
+
+#[test]
+fn shutdown_while_streaming_closes_the_chunk_stream_cleanly() {
+    let handle = boot(ServerConfig {
+        workers: 0, // job stays queued, so the stream must outlive our shutdown
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let raw = r#"{"network": "toy", "voltages_mv": [400], "seed": 7}"#;
+    let submitted = exchange(
+        addr,
+        format!(
+            "POST /v1/sweep?mode=async HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{raw}",
+            raw.len(),
+        )
+        .as_bytes(),
+    );
+    assert_eq!(submitted.status, 202);
+    let job_id = {
+        let body = submitted.body_str();
+        let needle = r#""job":""#;
+        let start = body.find(needle).expect("job id in body") + needle.len();
+        body[start..].split('"').next().unwrap().to_owned()
+    };
+
+    // Open the event stream, then shut the server down underneath it.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    write!(
+        stream,
+        "GET /v1/jobs/{job_id}/events HTTP/1.1\r\nHost: t\r\n\r\n"
+    )
+    .expect("write");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    assert!(status_line.contains("200"), "{status_line}");
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        if line.trim_end().is_empty() {
+            break;
+        }
+        if line.to_ascii_lowercase().starts_with("transfer-encoding") {
+            assert!(line.contains("chunked"), "{line}");
+        }
+    }
+
+    handle.shutdown();
+
+    // The stream must end with a well-formed chunked tail: data chunks,
+    // then the zero-length terminator — not an abrupt reset.
+    let mut tail = Vec::new();
+    reader
+        .read_to_end(&mut tail)
+        .expect("stream closes cleanly");
+    let tail = String::from_utf8(tail).expect("chunked payload is UTF-8");
+    assert!(
+        tail.contains(r#"{"event":"shutdown"}"#) || tail.contains(r#""status":"cancelled""#),
+        "stream announces shutdown: {tail}"
+    );
+    assert!(
+        tail.ends_with("0\r\n\r\n"),
+        "chunked stream is terminated cleanly: {tail:?}"
+    );
+
+    assert!(handle.join(), "server drains cleanly");
+}
+
+#[test]
+fn events_stream_replays_progress_for_a_completed_job() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+
+    let raw = r#"{"network": "toy", "trials": 2, "voltages_mv": [400, 500], "seed": 11}"#;
+    let done = post_sweep(addr, raw);
+    assert_eq!(done.status, 200, "{}", done.body_str());
+
+    // Find the job id via the async route: same digest attaches or, once
+    // done, serves from cache — so resubmit async and use the jobs list via
+    // status endpoint instead. Simplest: submit a *new* spec async and poll.
+    let raw2 = r#"{"network": "toy", "trials": 2, "voltages_mv": [400, 500], "seed": 12}"#;
+    let submitted = exchange(
+        addr,
+        format!(
+            "POST /v1/sweep?mode=async HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{raw2}",
+            raw2.len(),
+        )
+        .as_bytes(),
+    );
+    assert_eq!(submitted.status, 202);
+    let body = submitted.body_str().to_owned();
+    let needle = r#""job":""#;
+    let start = body.find(needle).expect("job id") + needle.len();
+    let job_id = body[start..].split('"').next().unwrap().to_owned();
+
+    // Poll status until done.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = get(addr, &format!("/v1/jobs/{job_id}"));
+        assert_eq!(status.status, 200);
+        if status.body_str().contains(r#""status": "done""#)
+            || status.body_str().contains(r#""status":"done""#)
+        {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "job finished in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The raw result endpoint serves the byte-exact body.
+    let result = get(addr, &format!("/v1/jobs/{job_id}/result"));
+    assert_eq!(result.status, 200);
+    assert!(result.body_str().contains("\"id\": \"sweep\""));
+
+    // The event stream replays history and terminates with the end marker.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    write!(
+        stream,
+        "GET /v1/jobs/{job_id}/events HTTP/1.1\r\nHost: t\r\n\r\n"
+    )
+    .expect("write");
+    let mut all = Vec::new();
+    let mut reader = BufReader::new(stream);
+    reader.read_to_end(&mut all).expect("read stream");
+    let text = String::from_utf8(all).expect("UTF-8");
+    for needle in [
+        r#""event":"point_start""#,
+        r#""event":"trial""#,
+        r#""event":"point_done""#,
+        r#""event":"end","status":"done""#,
+    ] {
+        assert!(text.contains(needle), "missing {needle} in stream:\n{text}");
+    }
+    assert!(text.ends_with("0\r\n\r\n"), "clean chunked termination");
+
+    handle.shutdown();
+    assert!(handle.join());
+}
+
+#[test]
+fn concurrent_load_returns_only_200_or_429_and_drains_cleanly() {
+    let handle = boot(ServerConfig {
+        workers: 2,
+        queue_depth: 4,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // 12 clients: 4 share one spec (dedup + cache), 8 use distinct seeds to
+    // contend for the queue. Every response must be a complete, valid 200
+    // or 429 — never a short read, never a mixed body.
+    let threads: Vec<_> = (0..12)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let seed = if i < 4 { 1000 } else { 2000 + i };
+                let payload = format!(
+                    r#"{{"network": "toy", "trials": 2, "voltages_mv": [420, 480], "seed": {seed}}}"#
+                );
+                let response = post_sweep(addr, &payload);
+                (seed, response)
+            })
+        })
+        .collect();
+
+    let mut bodies_by_seed: std::collections::HashMap<u64, Vec<u8>> =
+        std::collections::HashMap::new();
+    let mut ok = 0usize;
+    let mut busy = 0usize;
+    for thread in threads {
+        let (seed, response) = thread.join().expect("client thread");
+        match response.status {
+            200 => {
+                ok += 1;
+                assert!(
+                    response.body_str().contains("\"id\": \"sweep\""),
+                    "valid record body"
+                );
+                // All 200s for one seed must agree byte-for-byte.
+                let prior = bodies_by_seed.insert(seed, response.body.clone());
+                if let Some(prior) = prior {
+                    assert_eq!(prior, response.body, "corrupted response for seed {seed}");
+                }
+            }
+            429 => {
+                busy += 1;
+                assert!(response.body_str().contains("queue full"));
+            }
+            other => panic!("unexpected status {other}: {}", response.body_str()),
+        }
+    }
+    assert!(
+        ok >= 1,
+        "at least the deduped spec must complete ({ok} ok, {busy} busy)"
+    );
+    assert_eq!(ok + busy, 12);
+
+    // The deduped seed's four clients all saw identical bytes (checked
+    // above); service stays healthy and drains.
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    handle.shutdown();
+    assert!(handle.join(), "clean drain under load");
+}
+
+#[test]
+fn unknown_routes_and_methods_are_mapped_to_404_and_405() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+    assert_eq!(get(addr, "/nope").status, 404);
+    assert_eq!(get(addr, "/v1/jobs/job-none").status, 404);
+    let response = exchange(
+        addr,
+        b"DELETE /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(response.status, 405);
+    handle.shutdown();
+    assert!(handle.join());
+}

@@ -30,16 +30,54 @@ impl TrialEngine {
     /// An engine with the environment-configured thread count:
     /// `DANTE_THREADS` if set to a positive integer, else
     /// `available_parallelism`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `DANTE_THREADS` is set to zero or a non-integer — a
+    /// mistyped knob silently falling back to "all cores" is the kind of
+    /// misconfiguration that only surfaces weeks later as a perf mystery,
+    /// so it fails loudly instead. Long-running services should prefer
+    /// [`Self::try_from_env`] and surface the error at startup.
     #[must_use]
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
+        match Self::try_from_env() {
+            Ok(engine) => engine,
+            Err(why) => panic!("{why}"),
+        }
+    }
+
+    /// [`Self::from_env`] returning a descriptive error instead of
+    /// panicking when `DANTE_THREADS` is set but invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the variable, the rejected value, and the
+    /// accepted range when the value is zero, non-numeric, or not unicode.
+    pub fn try_from_env() -> Result<Self, String> {
+        let threads = match std::env::var(THREADS_ENV) {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(0) => {
+                    return Err(format!(
+                        "{THREADS_ENV} must be a positive integer (got \"0\"); \
+                         unset it to use all cores"
+                    ))
+                }
+                Ok(n) => n,
+                Err(_) => {
+                    return Err(format!(
+                        "{THREADS_ENV} must be a positive integer (got {raw:?}); \
+                         unset it to use all cores"
+                    ))
+                }
+            },
+            Err(std::env::VarError::NotPresent) => {
                 std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            });
-        Self { threads }
+            }
+            Err(std::env::VarError::NotUnicode(_)) => {
+                return Err(format!("{THREADS_ENV} is set to a non-unicode value"))
+            }
+        };
+        Ok(Self { threads })
     }
 
     /// An engine with an explicit thread count (the determinism tests pin
@@ -271,17 +309,27 @@ mod tests {
     }
 
     #[test]
-    fn from_env_respects_override() {
-        // Serialize env mutation within this test binary.
+    fn from_env_respects_override_and_rejects_garbage() {
+        // Serialize env mutation within this test binary: this is the only
+        // test that touches DANTE_THREADS.
         std::env::set_var(THREADS_ENV, "3");
         assert_eq!(TrialEngine::from_env().threads(), 3);
+        std::env::set_var(THREADS_ENV, " 4 ");
+        assert_eq!(TrialEngine::from_env().threads(), 4, "whitespace trimmed");
+        // Zero and non-numeric values are configuration errors, not silent
+        // fallbacks.
         std::env::set_var(THREADS_ENV, "0");
-        assert!(
-            TrialEngine::from_env().threads() >= 1,
-            "0 falls back to default"
-        );
+        let err = TrialEngine::try_from_env().unwrap_err();
+        assert!(err.contains(THREADS_ENV) && err.contains("\"0\""), "{err}");
         std::env::set_var(THREADS_ENV, "garbage");
-        assert!(TrialEngine::from_env().threads() >= 1);
+        let err = TrialEngine::try_from_env().unwrap_err();
+        assert!(err.contains("garbage"), "{err}");
+        let panicked = std::panic::catch_unwind(TrialEngine::from_env).expect_err("must panic");
+        let msg = panicked
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains(THREADS_ENV), "panic message was: {msg}");
         std::env::remove_var(THREADS_ENV);
         assert!(TrialEngine::from_env().threads() >= 1);
     }

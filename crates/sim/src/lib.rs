@@ -25,5 +25,5 @@ pub mod observer;
 pub mod seed;
 
 pub use engine::TrialEngine;
-pub use observer::{NoopObserver, StderrProgress, TrialObserver};
+pub use observer::{EventObserver, NoopObserver, StderrProgress, TrialEvent, TrialObserver};
 pub use seed::{derive_seed, site, SeedSequence};

@@ -56,13 +56,12 @@ fn threads_env_cases() {
     assert_eq!(wide.threads(), 10_000);
     assert_eq!(wide.run(3, |i| i), vec![0, 1, 2]);
 
-    // Invalid values fall back to a sane positive default.
+    // Invalid values are rejected with an error naming the variable — a
+    // mistyped knob should fail loudly, not silently use all cores.
     for bad in ["0", "-4", "1.5", "lots", ""] {
         std::env::set_var(THREADS_ENV, bad);
-        assert!(
-            TrialEngine::from_env().threads() >= 1,
-            "{bad:?} must fall back to a positive thread count"
-        );
+        let err = TrialEngine::try_from_env().expect_err(&format!("{bad:?} must be rejected"));
+        assert!(err.contains(THREADS_ENV), "{bad:?}: {err}");
     }
     std::env::remove_var(THREADS_ENV);
     assert!(TrialEngine::from_env().threads() >= 1);

@@ -1,9 +1,12 @@
-//! Energy figures: 12, 13, 14, 15, plus Table 3 and the headline summary.
+//! Energy figures: 12, 13, 14, 15, plus Table 3, the headline summary, and
+//! the iso-accuracy supply comparison.
 
 use crate::record::{FigureRecord, RunScale, Series};
 use dante::artifacts::{trained_cifar_cnn, trained_mnist_fc};
 use dante::experiments::{ConvExperiment, FcExperiment};
+use dante::iso::IsoAccuracySpec;
 use dante::schedule::NamedBoostConfig;
+use dante::sweep::NetworkSpec;
 use dante_circuit::units::Volt;
 use dante_dataflow::activity::Dataflow;
 use dante_dataflow::fc_dana::DanaFcDataflow;
@@ -206,6 +209,87 @@ pub fn fig15(scale: RunScale) -> FigureRecord {
     ))
 }
 
+/// The golden-scale iso-accuracy solve: MNIST-FC at a 95% floor, single vs
+/// boosted (Vddv4) vs the dual baseline pinned to the boosted rails.
+///
+/// This is the snapshot that pins the boosted-vs-single energy ratio — the
+/// paper's central iso-accuracy claim — against regressions in the sweep,
+/// supply, and solver layers at once. Deliberately small (40 test images,
+/// 3 trials) so four debug-mode regenerations stay cheap; the Monte-Carlo
+/// part is counter-based deterministic, so smallness costs stability
+/// nothing.
+#[must_use]
+pub fn iso_accuracy() -> FigureRecord {
+    let spec = IsoAccuracySpec {
+        seed: 0x150_ACC,
+        voltages_mv: (380..=520).step_by(20).collect(),
+        trials: 3,
+        floor: 0.95,
+        level: 4,
+        network: NetworkSpec::MnistFc {
+            train_n: 1200,
+            test_n: 40,
+            epochs: 4,
+        },
+        ..IsoAccuracySpec::toy_default()
+    };
+    let r = spec.solve();
+    let single = r
+        .single
+        .expect("single supply meets the floor on this grid");
+    let boosted = r
+        .boosted
+        .expect("boosted supply meets the floor on this grid");
+    let dual = r.dual.expect("dual follows the boosted point");
+    let configs = [&single, &boosted, &dual];
+    let per_config = |f: &dyn Fn(&dante::iso::IsoConfigPoint) -> f64| -> Vec<(f64, f64)> {
+        configs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as f64, f(p)))
+            .collect()
+    };
+    FigureRecord::new(
+        "iso_accuracy",
+        "MNIST-FC iso-accuracy operating points: single vs boosted(Vddv4) vs dual baseline",
+        "config (0 = single, 1 = boosted, 2 = dual)",
+        "V / accuracy / J / ratio",
+    )
+    .with_series(Series::new("v_min [V]", per_config(&|p| p.v_logic.volts())))
+    .with_series(Series::new(
+        "sram rail [V]",
+        per_config(&|p| p.v_sram.volts()),
+    ))
+    .with_series(Series::new(
+        "accuracy at v_min",
+        per_config(&|p| p.accuracy_mean),
+    ))
+    .with_series(Series::new(
+        "dynamic total [J]",
+        per_config(&|p| p.energy.dynamic.total().joules()),
+    ))
+    .with_series(Series::new(
+        "dynamic total /ref0.5V",
+        per_config(&|p| p.energy.normalized_total()),
+    ))
+    .with_series(Series::new(
+        "accuracy targets",
+        vec![(0.0, r.clean_accuracy), (1.0, r.target_accuracy)],
+    ))
+    .with_series(Series::new(
+        "boosted energy ratios",
+        vec![
+            (0.0, r.boosted_over_single.expect("both points exist")),
+            (1.0, r.boosted_over_dual.expect("both points exist")),
+        ],
+    ))
+    .with_note(format!("spec: {}", spec.canonical_string()))
+    .with_note(
+        "ratios < 1 mean boosting wins at iso-accuracy; \
+         dual is pinned to the boosted rails (V_h = Vddv4(V_min), V_l = V_min)",
+    )
+}
+
 /// Table 3: workload characteristics (SRAMAcc / MAC ratios).
 #[must_use]
 pub fn table3() -> FigureRecord {
@@ -307,6 +391,30 @@ mod tests {
             for &(x, y) in &s.points {
                 assert!(x.is_finite() && y.is_finite(), "{}: ({x}, {y})", s.name);
             }
+        }
+    }
+
+    #[test]
+    fn iso_accuracy_record_pins_a_meaningful_comparison() {
+        let rec = iso_accuracy();
+        let series = |name: &str| {
+            rec.series
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing series {name:?}"))
+        };
+        let vmin = &series("v_min [V]").points;
+        // Boosting restores SRAM margin, so boosted V_min <= single V_min,
+        // and the dual baseline shares the boosted logic rail.
+        assert!(vmin[1].1 <= vmin[0].1 + 1e-12);
+        assert_eq!(vmin[1].1, vmin[2].1);
+        let ratios = &series("boosted energy ratios").points;
+        assert!(ratios[0].1 > 0.0 && ratios[0].1 < 1.5);
+        assert!(ratios[1].1 > 0.0 && ratios[1].1 < 1.5);
+        let targets = &series("accuracy targets").points;
+        assert!(targets[0].1 > 0.8, "clean MNIST-FC accuracy is high");
+        for acc in &series("accuracy at v_min").points {
+            assert!(acc.1 >= targets[1].1, "every config clears the target");
         }
     }
 

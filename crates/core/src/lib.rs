@@ -15,7 +15,10 @@
 //! * [`artifacts`] — disk-cached trained models for the heavy experiments.
 //! * [`sweep`] — serializable sweep job specifications ([`sweep::SweepSpec`])
 //!   with canonical content-addressing, the unit of work `dante-serve`
-//!   queues and caches.
+//!   queues and caches; every point is a joint (voltage, accuracy, energy)
+//!   record under a configurable supply ([`sweep::SupplySpec`]).
+//! * [`iso`] — iso-accuracy solves: `V_min` at an accuracy floor plus each
+//!   supply configuration's energy there (the `/v1/iso-accuracy` endpoint).
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@ pub mod accuracy;
 pub mod artifacts;
 pub mod experiments;
 pub mod headlines;
+pub mod iso;
 pub mod policy;
 pub mod report;
 pub mod schedule;
@@ -41,7 +45,8 @@ pub mod sweep;
 
 pub use accuracy::{AccuracyEvaluator, AccuracyStats, EccMode, OverlaySampling, VoltageAssignment};
 pub use headlines::Headlines;
+pub use iso::{IsoAccuracyResult, IsoAccuracySpec, IsoConfigPoint};
 pub use policy::{OptimizedPlan, PolicyOptimizer};
 pub use report::InferenceEnergyReport;
 pub use schedule::{BoostPlan, NamedBoostConfig, INPUT_TARGET};
-pub use sweep::{NetworkSpec, PreparedSweep, SweepSpec};
+pub use sweep::{NetworkSpec, PointEnergy, PreparedSweep, SupplySpec, SweepPoint, SweepSpec};

@@ -1,25 +1,100 @@
 //! Serializable sweep job specifications.
 //!
 //! A [`SweepSpec`] captures everything that determines a Monte-Carlo
-//! voltage sweep — seed, voltage grid, trial count, sampler, ECC mode, and
-//! the network under test — as plain data, so a sweep can be shipped across
-//! a process boundary (the `dante-serve` HTTP service), queued, digested
-//! for caching, and replayed bit-identically. Because the trial engine is
-//! counter-based deterministic, two runs of the same spec produce the same
-//! per-trial accuracies on any machine and any thread count; the spec's
+//! voltage sweep — seed, voltage grid, trial count, sampler, ECC mode, the
+//! network under test, and the power-supply configuration — as plain data,
+//! so a sweep can be shipped across a process boundary (the `dante-serve`
+//! HTTP service), queued, digested for caching, and replayed bit-identically.
+//! Because the trial engine is counter-based deterministic, two runs of the
+//! same spec produce the same per-trial accuracies on any machine and any
+//! thread count; the spec's
 //! [`canonical_string`](SweepSpec::canonical_string) is therefore a sound
 //! content-address for result caching.
+//!
+//! Every sweep point is a joint **(voltage, accuracy, energy)** record: the
+//! accuracy comes from Monte-Carlo fault injection at the configuration's
+//! SRAM rail, the energy from the paper's supply equations
+//! (`dante-energy::supply`, Eqs. 2–7) applied to the activity counts of the
+//! spec's workload under its dataflow (`dante-dataflow`).
+//!
+//! # Canonical encoding versions
+//!
+//! `v1` (PRs ≤ 4) had no supply field; every existing cache key was minted
+//! from a `v1` string. A spec whose supply is [`SupplySpec::Single`] — the
+//! `v1` behaviour — still encodes as the byte-identical `v1` string, so old
+//! content addresses remain valid. Any other supply emits a `v2` string
+//! carrying a `supply=` token. The two families cannot collide: `v1`
+//! strings never contain `supply=`.
 
 use crate::accuracy::{
     AccuracyEvaluator, AccuracyStats, EccMode, OverlaySampling, VoltageAssignment,
 };
-use crate::artifacts::trained_mnist_fc;
-use dante_circuit::units::Volt;
+use crate::artifacts::{trained_cifar_cnn, trained_mnist_fc};
+use dante_circuit::units::{Joule, Volt};
+use dante_dataflow::activity::{Dataflow, WorkloadActivity};
+use dante_dataflow::workload::{LayerShape, Workload};
+use dante_dataflow::{alexnet_conv_prefix, mnist_fc, DanaFcDataflow, RowStationaryDataflow};
+use dante_energy::breakdown::EnergyBreakdown;
+use dante_energy::supply::{BoostedGroup, EnergyModel, SupplyKind};
 use dante_nn::layers::{Dense, Layer, Relu};
 use dante_nn::network::Network;
 use dante_sim::TrialObserver;
 use std::fmt::Write as _;
 use std::sync::OnceLock;
+
+/// The power-supply configuration a sweep evaluates (paper Sec. 5.2).
+///
+/// The configuration decides both the energy equations applied to each grid
+/// point and the *SRAM rail* the fault overlays are drawn at — the grid
+/// voltage is always the logic rail:
+///
+/// * [`Single`](Self::Single) — logic and memory share the grid rail
+///   (Eq. 2); lowering the rail lowers both.
+/// * [`Boosted`](Self::Boosted) — logic rides the grid rail, every SRAM
+///   access is boosted to `Vddv(level)` above it (Eq. 3), restoring the
+///   memory margin.
+/// * [`Dual`](Self::Dual) — memory sits on a fixed external `V_h` while the
+///   logic rail sweeps below it through the LDO (Eq. 6). Accuracy is flat
+///   across the grid (faults depend only on `V_h`); energy is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SupplySpec {
+    /// One shared rail (the `v1` implicit default).
+    #[default]
+    Single,
+    /// Per-access SRAM boost at a fixed level; logic at the grid voltage.
+    Boosted {
+        /// Booster level, 1..=4 (Table 1's `Vddv1..Vddv4`).
+        level: usize,
+    },
+    /// LDO-based dual rail: memory fixed at `v_h_mv`, logic sweeps.
+    Dual {
+        /// The memory rail in millivolts; must cover every grid point
+        /// (an LDO only steps down).
+        v_h_mv: u32,
+    },
+}
+
+impl SupplySpec {
+    /// Canonical token used in [`SweepSpec::canonical_string`] `v2` strings.
+    #[must_use]
+    pub fn canonical_token(&self) -> String {
+        match self {
+            Self::Single => SupplyKind::Single.token().to_owned(),
+            Self::Boosted { level } => format!("{}({level})", SupplyKind::Boosted.token()),
+            Self::Dual { v_h_mv } => format!("{}({v_h_mv})", SupplyKind::Dual.token()),
+        }
+    }
+
+    /// The corresponding reporting kind.
+    #[must_use]
+    pub fn kind(&self) -> SupplyKind {
+        match self {
+            Self::Single => SupplyKind::Single,
+            Self::Boosted { .. } => SupplyKind::Boosted,
+            Self::Dual { .. } => SupplyKind::Dual,
+        }
+    }
+}
 
 /// The network a sweep evaluates.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -38,6 +113,24 @@ pub enum NetworkSpec {
         /// Training epochs (cache key component).
         epochs: usize,
     },
+    /// The paper's AlexNet conv-layer energy workload under the Eyeriss
+    /// row-stationary dataflow, paired with the repo's documented accuracy
+    /// proxy (the cached CIFAR-like CNN from [`crate::artifacts`]): the
+    /// *energy* model uses the real AlexNet layer shapes from
+    /// `dante-dataflow`, while fault-injection accuracy is measured on the
+    /// proxy CNN's weights through the same `CorruptionOverlay` path as
+    /// every other network.
+    AlexNetConv {
+        /// How many of the five conv layers the energy workload covers
+        /// (1..=5, a validated layer subset).
+        layers: usize,
+        /// Proxy-CNN training-set size (cache key component).
+        train_n: usize,
+        /// Held-out proxy test images evaluated per trial.
+        test_n: usize,
+        /// Proxy training epochs (cache key component).
+        epochs: usize,
+    },
 }
 
 impl NetworkSpec {
@@ -51,6 +144,29 @@ impl NetworkSpec {
                 test_n,
                 epochs,
             } => format!("mnist_fc({train_n},{test_n},{epochs})"),
+            Self::AlexNetConv {
+                layers,
+                train_n,
+                test_n,
+                epochs,
+            } => format!("alexnet_conv({layers},{train_n},{test_n},{epochs})"),
+        }
+    }
+
+    /// The energy workload and dataflow this network's sweeps charge energy
+    /// for: Table 3's pairings — FC nets under the DANA FC dataflow, the
+    /// AlexNet conv layers under Eyeriss row-stationary.
+    #[must_use]
+    pub fn energy_activity(&self) -> WorkloadActivity {
+        match self {
+            Self::Toy => DanaFcDataflow::new().activity(&Workload::new(
+                "toy FC",
+                vec![LayerShape::fc(6, 12), LayerShape::fc(12, 2)],
+            )),
+            Self::MnistFc { .. } => DanaFcDataflow::new().activity(&mnist_fc()),
+            Self::AlexNetConv { layers, .. } => {
+                RowStationaryDataflow::new().activity(&alexnet_conv_prefix(*layers))
+            }
         }
     }
 }
@@ -72,6 +188,8 @@ pub struct SweepSpec {
     pub ecc: EccMode,
     /// Network under test.
     pub network: NetworkSpec,
+    /// Power-supply configuration (energy model + SRAM rail selection).
+    pub supply: SupplySpec,
 }
 
 impl SweepSpec {
@@ -85,7 +203,16 @@ impl SweepSpec {
             sampling: OverlaySampling::SparseTail,
             ecc: EccMode::None,
             network: NetworkSpec::Toy,
+            supply: SupplySpec::Single,
         }
+    }
+
+    /// Whether this sweep exercises the energy-comparison machinery beyond
+    /// the `v1` default — a non-single supply or the AlexNet/row-stationary
+    /// workload. `dante-serve` counts such jobs separately in `/metrics`.
+    #[must_use]
+    pub fn is_energy_sweep(&self) -> bool {
+        self.supply != SupplySpec::Single || matches!(self.network, NetworkSpec::AlexNetConv { .. })
     }
 
     /// Validates the spec's bounds, returning a human-readable reason on
@@ -114,26 +241,91 @@ impl SweepSpec {
                 ));
             }
         }
+        // Duplicate grid points would silently burn trials, repeat the
+        // voltage in results, and fork the content-address cache.
+        let mut sorted = self.voltages_mv.clone();
+        sorted.sort_unstable();
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!(
+                "duplicate voltage {} mV in voltages_mv; each grid point must be unique",
+                w[0]
+            ));
+        }
         if self.trials == 0 {
             return Err("trials must be at least 1".to_owned());
         }
         if self.trials > 100_000 {
             return Err(format!("trials = {} exceeds the 100000 cap", self.trials));
         }
-        if let NetworkSpec::MnistFc {
-            train_n,
-            test_n,
-            epochs,
-        } = self.network
-        {
-            if train_n == 0 || train_n > 20_000 {
-                return Err(format!("mnist_fc train_n = {train_n} outside 1..=20000"));
+        match self.network {
+            NetworkSpec::Toy => {}
+            NetworkSpec::MnistFc {
+                train_n,
+                test_n,
+                epochs,
+            } => {
+                if train_n == 0 || train_n > 20_000 {
+                    return Err(format!("mnist_fc train_n = {train_n} outside 1..=20000"));
+                }
+                if test_n == 0 || test_n > 10_000 {
+                    return Err(format!("mnist_fc test_n = {test_n} outside 1..=10000"));
+                }
+                if epochs == 0 || epochs > 12 {
+                    return Err(format!("mnist_fc epochs = {epochs} outside 1..=12"));
+                }
             }
-            if test_n == 0 || test_n > 10_000 {
-                return Err(format!("mnist_fc test_n = {test_n} outside 1..=10000"));
+            NetworkSpec::AlexNetConv {
+                layers,
+                train_n,
+                test_n,
+                epochs,
+            } => {
+                if !(1..=5).contains(&layers) {
+                    return Err(format!("alexnet_conv layers = {layers} outside 1..=5"));
+                }
+                if train_n == 0 || train_n > 10_000 {
+                    return Err(format!(
+                        "alexnet_conv train_n = {train_n} outside 1..=10000"
+                    ));
+                }
+                if test_n == 0 || test_n > 5_000 {
+                    return Err(format!("alexnet_conv test_n = {test_n} outside 1..=5000"));
+                }
+                if epochs == 0 || epochs > 12 {
+                    return Err(format!("alexnet_conv epochs = {epochs} outside 1..=12"));
+                }
+                // Proxy-CNN inference is ~25x an FC inference; a tighter
+                // trial cap keeps a single queued job bounded.
+                if self.trials > 2_000 {
+                    return Err(format!(
+                        "alexnet_conv trials = {} exceeds the 2000 cap for conv sweeps",
+                        self.trials
+                    ));
+                }
             }
-            if epochs == 0 || epochs > 12 {
-                return Err(format!("mnist_fc epochs = {epochs} outside 1..=12"));
+        }
+        match self.supply {
+            SupplySpec::Single => {}
+            SupplySpec::Boosted { level } => {
+                if !(1..=4).contains(&level) {
+                    return Err(format!(
+                        "boosted supply level = {level} outside 1..=4 \
+                         (level 0 is the single-supply configuration)"
+                    ));
+                }
+            }
+            SupplySpec::Dual { v_h_mv } => {
+                if !(310..=700).contains(&v_h_mv) {
+                    return Err(format!(
+                        "dual supply v_h = {v_h_mv} mV outside the supported 310..=700 mV range"
+                    ));
+                }
+                if let Some(&mv) = self.voltages_mv.iter().find(|&&mv| mv > v_h_mv) {
+                    return Err(format!(
+                        "dual supply v_h = {v_h_mv} mV is below grid point {mv} mV \
+                         (the LDO only steps down; v_h must cover the whole grid)"
+                    ));
+                }
             }
         }
         Ok(())
@@ -143,12 +335,22 @@ impl SweepSpec {
     /// voltages, lowercase tokens. Equal specs — and only equal specs —
     /// produce equal strings, so a digest of this string is a sound
     /// content-address for the sweep's results.
+    ///
+    /// Single-supply specs encode as the historical `v1` string (no
+    /// `supply=` token) so content addresses minted before the supply field
+    /// existed remain valid; everything else encodes as `v2` with the
+    /// `supply=` token between `ecc=` and `net=`.
     #[must_use]
     pub fn canonical_string(&self) -> String {
         let mut out = String::new();
         let _ = write!(
             out,
-            "dante.sweep.v1;seed={};trials={};sampling={};ecc={};net={};mv=",
+            "dante.sweep.{};seed={};trials={};sampling={};ecc={};",
+            if self.supply == SupplySpec::Single {
+                "v1"
+            } else {
+                "v2"
+            },
             self.seed,
             self.trials,
             match self.sampling {
@@ -159,8 +361,11 @@ impl SweepSpec {
                 EccMode::None => "none",
                 EccMode::SecDed => "secded",
             },
-            self.network.canonical_token(),
         );
+        if self.supply != SupplySpec::Single {
+            let _ = write!(out, "supply={};", self.supply.canonical_token());
+        }
+        let _ = write!(out, "net={};mv=", self.network.canonical_token());
         for (i, mv) in self.voltages_mv.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -170,9 +375,9 @@ impl SweepSpec {
         out
     }
 
-    /// Trains/loads the network and materializes the evaluator: everything
-    /// heavyweight happens here, once, so the per-point runs that follow
-    /// are pure Monte-Carlo.
+    /// Trains/loads the network and materializes the evaluator and energy
+    /// context: everything heavyweight happens here, once, so the per-point
+    /// runs that follow are pure Monte-Carlo plus analytic energy.
     ///
     /// # Panics
     ///
@@ -195,6 +400,15 @@ impl SweepSpec {
                 let (net, test) = trained_mnist_fc(train_n, test_n, epochs);
                 (net, test.images().to_vec(), test.labels().to_vec())
             }
+            NetworkSpec::AlexNetConv {
+                train_n,
+                test_n,
+                epochs,
+                ..
+            } => {
+                let (net, test) = trained_cifar_cnn(train_n, test_n, epochs);
+                (net, test.images().to_vec(), test.labels().to_vec())
+            }
         };
         let evaluator = AccuracyEvaluator::new(self.trials)
             .with_sampling(self.sampling)
@@ -207,12 +421,55 @@ impl SweepSpec {
             images,
             labels,
             layers,
+            energy: EnergyModel::dante_chip(),
+            activity: self.network.energy_activity(),
         }
     }
 }
 
-/// A sweep with its network trained and its evaluator built, ready to run
-/// point by point (the granularity a progress-streaming service needs).
+/// Per-inference energy of one sweep point under the spec's supply
+/// configuration: the component breakdown (Eqs. 2/3/6), the leakage energy
+/// per cycle (Eqs. 4/7 analogues), and the paper's 0.5 V normalization
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointEnergy {
+    /// Dynamic energy split by component (SRAM / logic / booster).
+    pub dynamic: EnergyBreakdown,
+    /// Leakage energy per cycle for this configuration.
+    pub leakage_per_cycle: Joule,
+    /// The chip's dynamic reference energy at 0.5 V for the same activity
+    /// counts (Fig. 13's normalization denominator).
+    pub reference_0v5: Joule,
+}
+
+impl PointEnergy {
+    /// Total dynamic energy normalized to the 0.5 V reference, the unit the
+    /// paper plots.
+    #[must_use]
+    pub fn normalized_total(&self) -> f64 {
+        self.dynamic.total().joules() / self.reference_0v5.joules()
+    }
+}
+
+/// Joint result of one sweep grid point: the grid (logic) voltage, the SRAM
+/// rail the faults were drawn at, Monte-Carlo accuracy, and the energy
+/// attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Grid voltage — the logic rail.
+    pub vdd: Volt,
+    /// Effective SRAM rail (equals `vdd` for single supply, `Vddv` for
+    /// boosted, `V_h` for dual).
+    pub v_sram: Volt,
+    /// Monte-Carlo accuracy statistics at `v_sram`.
+    pub stats: AccuracyStats,
+    /// Per-inference energy under the spec's supply configuration.
+    pub energy: PointEnergy,
+}
+
+/// A sweep with its network trained, its evaluator built, and its energy
+/// context materialized, ready to run point by point (the granularity a
+/// progress-streaming service needs).
 #[derive(Debug)]
 pub struct PreparedSweep {
     spec: SweepSpec,
@@ -221,6 +478,8 @@ pub struct PreparedSweep {
     images: Vec<f32>,
     labels: Vec<u8>,
     layers: usize,
+    energy: EnergyModel,
+    activity: WorkloadActivity,
 }
 
 impl PreparedSweep {
@@ -242,6 +501,68 @@ impl PreparedSweep {
         self.labels.len()
     }
 
+    /// The energy workload activity this sweep charges each inference for.
+    #[must_use]
+    pub fn activity(&self) -> &WorkloadActivity {
+        &self.activity
+    }
+
+    /// The energy model in use.
+    #[must_use]
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Fault-free accuracy of the prepared network on its test set (the
+    /// clean baseline iso-accuracy targets are expressed against).
+    #[must_use]
+    pub fn clean_accuracy(&self) -> f64 {
+        self.net.accuracy(&self.images, &self.labels)
+    }
+
+    /// The SRAM rail fault overlays are drawn at when the logic rail sits
+    /// at grid voltage `vdd` (see [`SupplySpec`]).
+    #[must_use]
+    pub fn sram_rail(&self, vdd: Volt) -> Volt {
+        match self.spec.supply {
+            SupplySpec::Single => vdd,
+            SupplySpec::Boosted { level } => self.energy.vddv(vdd, level),
+            SupplySpec::Dual { v_h_mv } => Volt::from_millivolts(f64::from(v_h_mv)),
+        }
+    }
+
+    /// The per-inference energy attribution at grid voltage `vdd` — a pure
+    /// function of the spec (no Monte-Carlo), exposed so services and tests
+    /// can recompute it independently of a run.
+    #[must_use]
+    pub fn point_energy(&self, vdd: Volt) -> PointEnergy {
+        let macs = self.activity.total_macs();
+        let accesses = self.activity.total_sram_accesses();
+        let (dynamic, leakage) = match self.spec.supply {
+            SupplySpec::Single => (
+                self.energy.breakdown_single(vdd, accesses, macs),
+                self.energy.leakage_single_per_cycle(vdd),
+            ),
+            SupplySpec::Boosted { level } => (
+                self.energy
+                    .breakdown_boosted(vdd, &[BoostedGroup { accesses, level }], macs),
+                self.energy.leakage_boosted_per_cycle(vdd),
+            ),
+            SupplySpec::Dual { v_h_mv } => {
+                let v_h = Volt::from_millivolts(f64::from(v_h_mv));
+                (
+                    self.energy.breakdown_dual(v_h, vdd, accesses, macs),
+                    self.energy.leakage_dual_per_cycle(v_h, vdd),
+                )
+            }
+        };
+        PointEnergy {
+            dynamic,
+            leakage_per_cycle: leakage,
+            reference_0v5: self.energy.reference_energy_at_0v5(accesses, macs),
+        }
+    }
+
     /// Runs grid point `index`, deriving its seed from `(spec.seed, index)`
     /// so points are reproducible in isolation and in any order.
     ///
@@ -249,43 +570,49 @@ impl PreparedSweep {
     ///
     /// Panics if `index` is out of range.
     #[must_use]
-    pub fn run_point(&self, index: usize) -> (Volt, AccuracyStats) {
+    pub fn run_point(&self, index: usize) -> SweepPoint {
         self.run_point_observed(index, &dante_sim::NoopObserver)
     }
 
-    /// [`Self::run_point`] with per-trial instrumentation.
+    /// [`Self::run_point`] with per-trial instrumentation. After the
+    /// point's trials finish, the point's total dynamic energy is reported
+    /// through [`TrialObserver::on_annotation`] as `"dynamic_energy_j"`.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     #[must_use]
-    pub fn run_point_observed(
-        &self,
-        index: usize,
-        observer: &dyn TrialObserver,
-    ) -> (Volt, AccuracyStats) {
+    pub fn run_point_observed(&self, index: usize, observer: &dyn TrialObserver) -> SweepPoint {
         let mv = self.spec.voltages_mv[index];
-        let v = Volt::from_millivolts(f64::from(mv));
+        let vdd = Volt::from_millivolts(f64::from(mv));
+        let v_sram = self.sram_rail(vdd);
         let stats = self.evaluator.evaluate_observed(
             &self.net,
-            &VoltageAssignment::uniform(v, self.layers),
+            &VoltageAssignment::uniform(v_sram, self.layers),
             &self.images,
             &self.labels,
             dante_sim::derive_seed(self.spec.seed, dante_sim::site::SWEEP_POINT, index as u64),
             observer,
         );
-        (v, stats)
+        let energy = self.point_energy(vdd);
+        observer.on_annotation("dynamic_energy_j", energy.dynamic.total().joules());
+        SweepPoint {
+            vdd,
+            v_sram,
+            stats,
+            energy,
+        }
     }
 
     /// Runs every grid point in order.
     #[must_use]
-    pub fn run(&self) -> Vec<(Volt, AccuracyStats)> {
+    pub fn run(&self) -> Vec<SweepPoint> {
         (0..self.point_count()).map(|i| self.run_point(i)).collect()
     }
 
     /// [`Self::run`] with per-trial instrumentation shared across points.
     #[must_use]
-    pub fn run_observed(&self, observer: &dyn TrialObserver) -> Vec<(Volt, AccuracyStats)> {
+    pub fn run_observed(&self, observer: &dyn TrialObserver) -> Vec<SweepPoint> {
         (0..self.point_count())
             .map(|i| self.run_point_observed(i, observer))
             .collect()
@@ -342,6 +669,65 @@ mod tests {
         let mut d = a.clone();
         d.voltages_mv.push(600);
         assert_ne!(a.canonical_string(), d.canonical_string());
+        let mut e = a.clone();
+        e.supply = SupplySpec::Boosted { level: 4 };
+        assert_ne!(a.canonical_string(), e.canonical_string());
+        let mut f = a.clone();
+        f.supply = SupplySpec::Dual { v_h_mv: 600 };
+        assert_ne!(e.canonical_string(), f.canonical_string());
+    }
+
+    #[test]
+    fn single_supply_encodes_as_the_byte_stable_v1_string() {
+        // Cache-compat regression: these exact strings minted every cache
+        // key before the supply field existed. They must never change.
+        let toy = SweepSpec::toy_default();
+        assert_eq!(
+            toy.canonical_string(),
+            "dante.sweep.v1;seed=893310;trials=4;sampling=sparse_tail;ecc=none;\
+             net=toy;mv=360,400,440,480,520,560"
+        );
+        let mnist = SweepSpec {
+            seed: 7,
+            voltages_mv: vec![400, 480],
+            trials: 2,
+            sampling: OverlaySampling::Dense,
+            ecc: EccMode::SecDed,
+            network: NetworkSpec::MnistFc {
+                train_n: 1200,
+                test_n: 100,
+                epochs: 4,
+            },
+            supply: SupplySpec::Single,
+        };
+        assert_eq!(
+            mnist.canonical_string(),
+            "dante.sweep.v1;seed=7;trials=2;sampling=dense;ecc=secded;\
+             net=mnist_fc(1200,100,4);mv=400,480"
+        );
+    }
+
+    #[test]
+    fn non_single_supply_encodes_as_v2_with_a_supply_token() {
+        let spec = SweepSpec {
+            supply: SupplySpec::Boosted { level: 3 },
+            ..SweepSpec::toy_default()
+        };
+        assert_eq!(
+            spec.canonical_string(),
+            "dante.sweep.v2;seed=893310;trials=4;sampling=sparse_tail;ecc=none;\
+             supply=boosted(3);net=toy;mv=360,400,440,480,520,560"
+        );
+        let dual = SweepSpec {
+            supply: SupplySpec::Dual { v_h_mv: 600 },
+            ..SweepSpec::toy_default()
+        };
+        assert!(dual.canonical_string().contains("supply=dual(600);"));
+        // v1 strings never carry a supply token, so the families are
+        // collision-free by construction.
+        assert!(!SweepSpec::toy_default()
+            .canonical_string()
+            .contains("supply="));
     }
 
     #[test]
@@ -367,6 +753,78 @@ mod tests {
     }
 
     #[test]
+    fn validation_rejects_duplicate_voltages() {
+        let mut bad = SweepSpec::toy_default();
+        bad.voltages_mv = vec![400, 440, 400];
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        assert!(err.contains("400"), "diagnostic names the voltage: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_supply_configs() {
+        let base = SweepSpec::toy_default();
+        let bad = SweepSpec {
+            supply: SupplySpec::Boosted { level: 0 },
+            ..base.clone()
+        };
+        assert!(bad.validate().unwrap_err().contains("level"));
+        let bad = SweepSpec {
+            supply: SupplySpec::Boosted { level: 5 },
+            ..base.clone()
+        };
+        assert!(bad.validate().is_err());
+        // v_h below a grid point: the LDO cannot step up.
+        let bad = SweepSpec {
+            supply: SupplySpec::Dual { v_h_mv: 500 },
+            ..base.clone()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("steps down"), "{err}");
+        let ok = SweepSpec {
+            supply: SupplySpec::Dual { v_h_mv: 560 },
+            ..base
+        };
+        assert!(
+            ok.validate().is_ok(),
+            "v_h equal to the max grid point is fine"
+        );
+    }
+
+    #[test]
+    fn validation_bounds_alexnet_conv() {
+        let base = SweepSpec {
+            network: NetworkSpec::AlexNetConv {
+                layers: 5,
+                train_n: 100,
+                test_n: 20,
+                epochs: 1,
+            },
+            ..SweepSpec::toy_default()
+        };
+        assert!(base.validate().is_ok());
+        let mut bad = base.clone();
+        bad.network = NetworkSpec::AlexNetConv {
+            layers: 6,
+            train_n: 100,
+            test_n: 20,
+            epochs: 1,
+        };
+        assert!(bad.validate().unwrap_err().contains("layers"));
+        let mut bad = base.clone();
+        bad.network = NetworkSpec::AlexNetConv {
+            layers: 0,
+            train_n: 100,
+            test_n: 20,
+            epochs: 1,
+        };
+        assert!(bad.validate().is_err());
+        let mut bad = base;
+        bad.trials = 5_000;
+        assert!(bad.validate().unwrap_err().contains("2000"));
+    }
+
+    #[test]
     fn prepared_sweep_is_deterministic_and_order_independent() {
         let spec = SweepSpec {
             voltages_mv: vec![400, 520],
@@ -384,7 +842,64 @@ mod tests {
         // A fresh preparation agrees bit-for-bit.
         assert_eq!(spec.prepare().run(), full);
         // Accuracy rises with voltage on the toy net.
-        assert!(full[1].1.mean() >= full[0].1.mean());
+        assert!(full[1].stats.mean() >= full[0].stats.mean());
+    }
+
+    #[test]
+    fn supply_config_sets_the_sram_rail_and_energy_equations() {
+        let base = SweepSpec {
+            voltages_mv: vec![400],
+            trials: 2,
+            ..SweepSpec::toy_default()
+        };
+        let single = base.prepare().run_point(0);
+        assert_eq!(single.v_sram, single.vdd);
+        assert_eq!(single.energy.dynamic.booster, Joule::ZERO);
+
+        let boosted_spec = SweepSpec {
+            supply: SupplySpec::Boosted { level: 4 },
+            ..base.clone()
+        };
+        let boosted = boosted_spec.prepare().run_point(0);
+        assert!(boosted.v_sram > boosted.vdd, "boost lifts the SRAM rail");
+        assert!(boosted.energy.dynamic.booster > Joule::ZERO);
+        // A boosted SRAM rail at 400 mV sees fewer faults than an unboosted
+        // one, so accuracy can only improve.
+        assert!(boosted.stats.mean() >= single.stats.mean());
+
+        let dual_spec = SweepSpec {
+            supply: SupplySpec::Dual { v_h_mv: 560 },
+            ..base
+        };
+        let dual = dual_spec.prepare().run_point(0);
+        assert_eq!(dual.v_sram, Volt::from_millivolts(560.0));
+        assert_eq!(dual.energy.dynamic.booster, Joule::ZERO);
+        // The LDO tax makes dual logic energy exceed single logic energy at
+        // the same logic rail.
+        assert!(dual.energy.dynamic.logic > single.energy.dynamic.logic);
+    }
+
+    #[test]
+    fn point_energy_matches_the_library_equations() {
+        let spec = SweepSpec {
+            voltages_mv: vec![440],
+            supply: SupplySpec::Boosted { level: 2 },
+            ..SweepSpec::toy_default()
+        };
+        let prep = spec.prepare();
+        let e = prep.point_energy(Volt::from_millivolts(440.0));
+        let m = EnergyModel::dante_chip();
+        let activity = spec.network.energy_activity();
+        let expected = m.breakdown_boosted(
+            Volt::from_millivolts(440.0),
+            &[BoostedGroup {
+                accesses: activity.total_sram_accesses(),
+                level: 2,
+            }],
+            activity.total_macs(),
+        );
+        assert_eq!(e.dynamic, expected);
+        assert!(e.normalized_total().is_finite() && e.normalized_total() > 0.0);
     }
 
     #[test]

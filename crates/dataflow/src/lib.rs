@@ -43,4 +43,4 @@ pub use baselines::{NoLocalReuseDataflow, OutputStationaryDataflow, WeightStatio
 pub use fc_dana::DanaFcDataflow;
 pub use row_stationary::RowStationaryDataflow;
 pub use workload::{LayerShape, Workload};
-pub use workloads::{alexnet_conv, mnist_fc};
+pub use workloads::{alexnet_conv, alexnet_conv_prefix, mnist_fc};

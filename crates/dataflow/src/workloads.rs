@@ -42,6 +42,28 @@ pub fn alexnet_conv() -> Workload {
     )
 }
 
+/// The first `layers` convolution layers of [`alexnet_conv`], for sweeps
+/// that evaluate a layer subset (e.g. the serve-layer `alexnet_conv`
+/// workload with a validated `layers` bound).
+///
+/// # Panics
+///
+/// Panics unless `1 <= layers <= 5` — callers (e.g.
+/// `dante::sweep::SweepSpec::validate`) are expected to have bounds-checked
+/// user input first.
+#[must_use]
+pub fn alexnet_conv_prefix(layers: usize) -> Workload {
+    let full = alexnet_conv();
+    assert!(
+        (1..=full.layers().len()).contains(&layers),
+        "alexnet_conv_prefix wants 1..=5 layers, got {layers}"
+    );
+    Workload::new(
+        format!("AlexNet conv layers 1..={layers}"),
+        full.layers()[..layers].to_vec(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +97,23 @@ mod tests {
         let w = alexnet_conv();
         let dims: Vec<usize> = w.layers().iter().map(|l| l.out_h()).collect();
         assert_eq!(dims, vec![55, 27, 13, 13, 13]);
+    }
+
+    #[test]
+    fn alexnet_prefix_is_a_true_prefix() {
+        let full = alexnet_conv();
+        for n in 1..=5 {
+            let prefix = alexnet_conv_prefix(n);
+            assert_eq!(prefix.layers(), &full.layers()[..n]);
+        }
+        assert_eq!(alexnet_conv_prefix(5).total_macs(), full.total_macs());
+        assert!(alexnet_conv_prefix(1).total_macs() < full.total_macs());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=5")]
+    fn alexnet_prefix_rejects_zero_layers() {
+        let _ = alexnet_conv_prefix(0);
     }
 
     #[test]

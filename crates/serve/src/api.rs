@@ -1,15 +1,16 @@
 //! The wire schema: JSON sweep requests in, `dante-bench` figure records
-//! out, progress events as JSON lines.
+//! out, progress events as JSON lines, and the iso-accuracy query/response
+//! encoding.
 //!
-//! Decoding is strict — unknown sampling/ECC/network tokens and mistyped
-//! fields are rejected with a message naming the field, so a 400 always
-//! tells the client what to fix.
+//! Decoding is strict — unknown sampling/ECC/network/supply tokens,
+//! mistyped fields, and unknown iso-accuracy query keys are rejected with a
+//! message naming the field, so a 400 always tells the client what to fix.
 
-use dante::accuracy::{AccuracyStats, EccMode, OverlaySampling};
-use dante::sweep::{NetworkSpec, SweepSpec};
+use dante::accuracy::{EccMode, OverlaySampling};
+use dante::iso::{IsoAccuracyResult, IsoAccuracySpec, IsoConfigPoint};
+use dante::sweep::{NetworkSpec, SupplySpec, SweepPoint, SweepSpec};
 use dante_bench::json::Value;
 use dante_bench::record::{FigureRecord, Series};
-use dante_circuit::units::Volt;
 use dante_sim::TrialEvent;
 use dante_sram::fault::VminFaultModel;
 use std::collections::BTreeMap;
@@ -25,8 +26,12 @@ use std::collections::BTreeMap;
 ///   "grid": {"start_mv": 360, "stop_mv": 520, "step_mv": 20},
 ///   "sampling": "sparse_tail" | "dense",
 ///   "ecc": "none" | "secded",
-///   "network": "toy" | "mnist_fc"
+///   "network": "toy" | "mnist_fc" | "alexnet_conv"
 ///           | {"kind": "mnist_fc", "train_n": 1200, "test_n": 100, "epochs": 4}
+///           | {"kind": "alexnet_conv", "layers": 5, "train_n": 1200, "test_n": 100, "epochs": 4},
+///   "supply": "single" | "boosted"
+///           | {"kind": "boosted", "level": 4}
+///           | {"kind": "dual", "v_h_mv": 600}
 /// }
 /// ```
 ///
@@ -102,24 +107,12 @@ pub fn decode_spec(body: &[u8]) -> Result<SweepSpec, String> {
 
     let network = match v.get("network") {
         None => NetworkSpec::Toy,
-        Some(Value::String(s)) => match s.as_str() {
-            "toy" => NetworkSpec::Toy,
-            // Defaults match the repo's committed artifact cache entry.
-            "mnist_fc" => NetworkSpec::MnistFc {
-                train_n: 1200,
-                test_n: 100,
-                epochs: 4,
-            },
-            other => return Err(format!("unknown network {other:?}")),
-        },
+        Some(Value::String(s)) => default_network(s)?,
         Some(obj @ Value::Object(_)) => {
             let kind = obj
                 .get("kind")
                 .and_then(Value::as_str)
                 .ok_or_else(|| "'network.kind' must be a string".to_owned())?;
-            if kind != "mnist_fc" {
-                return Err(format!("unknown network kind {kind:?}"));
-            }
             let size = |key: &str, default: usize| -> Result<usize, String> {
                 match obj.get(key) {
                     None => Ok(default),
@@ -129,13 +122,66 @@ pub fn decode_spec(body: &[u8]) -> Result<SweepSpec, String> {
                     Some(_) => Err(format!("'network.{key}' must be a small integer")),
                 }
             };
-            NetworkSpec::MnistFc {
-                train_n: size("train_n", 1200)?,
-                test_n: size("test_n", 100)?,
-                epochs: size("epochs", 4)?,
+            match kind {
+                "mnist_fc" => NetworkSpec::MnistFc {
+                    train_n: size("train_n", 1200)?,
+                    test_n: size("test_n", 100)?,
+                    epochs: size("epochs", 4)?,
+                },
+                "alexnet_conv" => NetworkSpec::AlexNetConv {
+                    layers: size("layers", 5)?,
+                    train_n: size("train_n", 1200)?,
+                    test_n: size("test_n", 100)?,
+                    epochs: size("epochs", 4)?,
+                },
+                other => return Err(format!("unknown network kind {other:?}")),
             }
         }
         Some(_) => return Err("'network' must be a string or object".to_owned()),
+    };
+
+    let supply = match v.get("supply") {
+        None => SupplySpec::Single,
+        Some(Value::String(s)) => match s.as_str() {
+            "single" => SupplySpec::Single,
+            // Bare "boosted" means the strongest boost (Table 1's Vddv4).
+            "boosted" => SupplySpec::Boosted { level: 4 },
+            "dual" => {
+                return Err("'supply': \"dual\" needs a memory rail; use \
+                     {\"kind\": \"dual\", \"v_h_mv\": ...}"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown supply {other:?}")),
+        },
+        Some(obj @ Value::Object(_)) => {
+            let kind = obj
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "'supply.kind' must be a string".to_owned())?;
+            let int = |key: &str, default: u64| -> Result<u64, String> {
+                match obj.get(key) {
+                    None => Ok(default),
+                    Some(Value::Number(n)) if n.fract() == 0.0 && (0.0..=1e6).contains(n) => {
+                        Ok(*n as u64)
+                    }
+                    Some(_) => Err(format!("'supply.{key}' must be a small integer")),
+                }
+            };
+            match kind {
+                "single" => SupplySpec::Single,
+                "boosted" => SupplySpec::Boosted {
+                    level: int("level", 4)? as usize,
+                },
+                "dual" => match obj.get("v_h_mv") {
+                    Some(_) => SupplySpec::Dual {
+                        v_h_mv: int("v_h_mv", 0)? as u32,
+                    },
+                    None => return Err("'supply.v_h_mv' is required for dual".to_owned()),
+                },
+                other => return Err(format!("unknown supply kind {other:?}")),
+            }
+        }
+        Some(_) => return Err("'supply' must be a string or object".to_owned()),
     };
 
     let spec = SweepSpec {
@@ -145,50 +191,96 @@ pub fn decode_spec(body: &[u8]) -> Result<SweepSpec, String> {
         sampling,
         ecc,
         network,
+        supply,
     };
     spec.validate()?;
     Ok(spec)
+}
+
+/// The network a bare string token selects; sized defaults match the repo's
+/// committed artifact cache entries.
+fn default_network(token: &str) -> Result<NetworkSpec, String> {
+    match token {
+        "toy" => Ok(NetworkSpec::Toy),
+        "mnist_fc" => Ok(NetworkSpec::MnistFc {
+            train_n: 1200,
+            test_n: 100,
+            epochs: 4,
+        }),
+        "alexnet_conv" => Ok(NetworkSpec::AlexNetConv {
+            layers: 5,
+            train_n: 1200,
+            test_n: 100,
+            epochs: 4,
+        }),
+        other => Err(format!("unknown network {other:?}")),
+    }
 }
 
 /// Builds the response record from a spec and its per-point results.
 ///
 /// Everything in the record is a pure function of the spec (plus the
 /// deterministic results), so the rendered JSON is byte-identical across
-/// cold runs, cache hits, and direct library calls.
+/// cold runs, cache hits, and direct library calls. The energy series carry
+/// exactly the `dante-energy` breakdown values attached to each point —
+/// recomputing them through the library yields the same `f64`s, hence the
+/// same rendered bytes.
 #[must_use]
-pub fn build_record(spec: &SweepSpec, results: &[(Volt, AccuracyStats)]) -> FigureRecord {
+pub fn build_record(spec: &SweepSpec, results: &[SweepPoint]) -> FigureRecord {
     let model = VminFaultModel::default_14nm();
-    let mean = results
-        .iter()
-        .map(|(v, s)| (v.volts(), s.mean()))
-        .collect::<Vec<_>>();
-    let std = results
-        .iter()
-        .map(|(v, s)| (v.volts(), s.std_dev()))
-        .collect::<Vec<_>>();
-    let min = results
-        .iter()
-        .map(|(v, s)| (v.volts(), s.min()))
-        .collect::<Vec<_>>();
-    let ber = results
-        .iter()
-        .map(|(v, _)| (v.volts(), model.bit_error_rate(*v)))
-        .collect::<Vec<_>>();
+    let xy = |f: &dyn Fn(&SweepPoint) -> f64| -> Vec<(f64, f64)> {
+        results.iter().map(|p| (p.vdd.volts(), f(p))).collect()
+    };
+    let activity = spec.network.energy_activity();
     FigureRecord::new(
         "sweep",
-        "Monte-Carlo accuracy sweep (dante-serve)",
+        "Monte-Carlo accuracy + energy sweep (dante-serve)",
         "Vdd [V]",
-        "accuracy / BER",
+        "accuracy / BER / energy",
     )
-    .with_series(Series::new("accuracy mean", mean))
-    .with_series(Series::new("accuracy std", std))
-    .with_series(Series::new("accuracy min", min))
-    .with_series(Series::new("bit error rate", ber))
+    .with_series(Series::new("accuracy mean", xy(&|p| p.stats.mean())))
+    .with_series(Series::new("accuracy std", xy(&|p| p.stats.std_dev())))
+    .with_series(Series::new("accuracy min", xy(&|p| p.stats.min())))
+    .with_series(Series::new(
+        "bit error rate",
+        xy(&|p| model.bit_error_rate(p.v_sram)),
+    ))
+    .with_series(Series::new("sram rail [V]", xy(&|p| p.v_sram.volts())))
+    .with_series(Series::new(
+        "dynamic sram [J]",
+        xy(&|p| p.energy.dynamic.sram.joules()),
+    ))
+    .with_series(Series::new(
+        "dynamic logic [J]",
+        xy(&|p| p.energy.dynamic.logic.joules()),
+    ))
+    .with_series(Series::new(
+        "dynamic booster [J]",
+        xy(&|p| p.energy.dynamic.booster.joules()),
+    ))
+    .with_series(Series::new(
+        "dynamic total [J]",
+        xy(&|p| p.energy.dynamic.total().joules()),
+    ))
+    .with_series(Series::new(
+        "dynamic total /ref0.5V",
+        xy(&|p| p.energy.normalized_total()),
+    ))
+    .with_series(Series::new(
+        "leakage per cycle [J]",
+        xy(&|p| p.energy.leakage_per_cycle.joules()),
+    ))
     .with_note(format!("spec: {}", spec.canonical_string()))
     .with_note(format!(
         "{} trials x {} points; deterministic per spec (counter-based seeds)",
         spec.trials,
         results.len()
+    ))
+    .with_note(format!(
+        "supply: {}; energy workload: {} MACs, {} SRAM accesses per inference",
+        spec.supply.canonical_token(),
+        activity.total_macs(),
+        activity.total_sram_accesses()
     ))
 }
 
@@ -198,6 +290,128 @@ pub fn build_record(spec: &SweepSpec, results: &[(Volt, AccuracyStats)]) -> Figu
 pub fn run_spec_json(spec: &SweepSpec) -> String {
     let prep = spec.prepare();
     build_record(spec, &prep.run()).to_json_pretty()
+}
+
+/// Decodes the `GET /v1/iso-accuracy` query string into a solve spec.
+///
+/// Recognized keys (all optional): `network` (`toy` | `mnist_fc` |
+/// `alexnet_conv`), `floor` (fraction of clean accuracy, default `0.97`),
+/// `trials`, `seed`, `level` (boost level, default `4`), and the grid
+/// `start_mv`/`stop_mv`/`step_mv` (default `340..=600` step `20`). Unknown
+/// keys are rejected so a typo cannot silently fall back to a default.
+///
+/// # Errors
+///
+/// Returns a message naming the offending query key.
+pub fn decode_iso_query(query: &str) -> Result<IsoAccuracySpec, String> {
+    let mut spec = IsoAccuracySpec::toy_default();
+    let (mut start, mut stop, mut step) = (340u32, 600u32, 20u32);
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        let int = || -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n <= 1_000_000)
+                .ok_or_else(|| {
+                    format!("'{key}' must be a small non-negative integer, got {value:?}")
+                })
+        };
+        match key {
+            "network" => spec.network = default_network(value)?,
+            "floor" => {
+                spec.floor = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| f.is_finite())
+                    .ok_or_else(|| format!("'floor' must be a number, got {value:?}"))?;
+            }
+            "trials" => spec.trials = int()? as usize,
+            "seed" => {
+                spec.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("'seed' must be a non-negative integer, got {value:?}"))?;
+            }
+            "level" => spec.level = int()? as usize,
+            "start_mv" => start = int()? as u32,
+            "stop_mv" => stop = int()? as u32,
+            "step_mv" => step = int()? as u32,
+            other => return Err(format!("unknown query parameter {other:?}")),
+        }
+    }
+    if step == 0 || stop < start {
+        return Err("grid needs step_mv >= 1 and stop_mv >= start_mv".to_owned());
+    }
+    spec.voltages_mv = (start..=stop).step_by(step as usize).collect();
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Renders an iso-accuracy solve as a compact JSON object (deterministic:
+/// `BTreeMap` key order, same float formatter as every other endpoint).
+#[must_use]
+pub fn render_iso(spec: &IsoAccuracySpec, result: &IsoAccuracyResult) -> String {
+    let config = |point: &Option<IsoConfigPoint>| -> Value {
+        match point {
+            None => Value::Null,
+            Some(p) => Value::Object(BTreeMap::from([
+                (
+                    "v_logic_mv".to_owned(),
+                    Value::Number(p.v_logic.millivolts()),
+                ),
+                ("v_sram_mv".to_owned(), Value::Number(p.v_sram.millivolts())),
+                ("accuracy".to_owned(), Value::Number(p.accuracy_mean)),
+                (
+                    "dynamic_sram_j".to_owned(),
+                    Value::Number(p.energy.dynamic.sram.joules()),
+                ),
+                (
+                    "dynamic_logic_j".to_owned(),
+                    Value::Number(p.energy.dynamic.logic.joules()),
+                ),
+                (
+                    "dynamic_booster_j".to_owned(),
+                    Value::Number(p.energy.dynamic.booster.joules()),
+                ),
+                (
+                    "dynamic_total_j".to_owned(),
+                    Value::Number(p.energy.dynamic.total().joules()),
+                ),
+                (
+                    "dynamic_total_norm0v5".to_owned(),
+                    Value::Number(p.energy.normalized_total()),
+                ),
+                (
+                    "leakage_per_cycle_j".to_owned(),
+                    Value::Number(p.energy.leakage_per_cycle.joules()),
+                ),
+            ])),
+        }
+    };
+    let ratio = |r: &Option<f64>| r.map_or(Value::Null, Value::Number);
+    Value::Object(BTreeMap::from([
+        ("spec".to_owned(), Value::String(spec.canonical_string())),
+        (
+            "clean_accuracy".to_owned(),
+            Value::Number(result.clean_accuracy),
+        ),
+        (
+            "target_accuracy".to_owned(),
+            Value::Number(result.target_accuracy),
+        ),
+        ("single".to_owned(), config(&result.single)),
+        ("boosted".to_owned(), config(&result.boosted)),
+        ("dual".to_owned(), config(&result.dual)),
+        (
+            "boosted_over_single".to_owned(),
+            ratio(&result.boosted_over_single),
+        ),
+        (
+            "boosted_over_dual".to_owned(),
+            ratio(&result.boosted_over_dual),
+        ),
+    ]))
+    .to_string_compact()
 }
 
 /// Renders one key/value error payload, e.g. `{"error": "..."}`.
@@ -238,6 +452,11 @@ pub fn event_line(point: usize, mv: u32, event: &TrialEvent) -> Option<String> {
             obj.insert("event".to_owned(), Value::String("point_done".to_owned()));
             obj.insert("micros".to_owned(), Value::Number(*micros as f64));
         }
+        TrialEvent::Annotation { key, value } => {
+            obj.insert("event".to_owned(), Value::String("annotation".to_owned()));
+            obj.insert("key".to_owned(), Value::String((*key).to_owned()));
+            obj.insert("value".to_owned(), Value::Number(*value));
+        }
         TrialEvent::Stage { .. } => return None,
     }
     Some(Value::Object(obj).to_string_compact())
@@ -253,7 +472,8 @@ mod tests {
             "seed": 9, "trials": 3,
             "voltages_mv": [400, 440],
             "sampling": "dense", "ecc": "secded",
-            "network": {"kind": "mnist_fc", "train_n": 100, "test_n": 50, "epochs": 2}
+            "network": {"kind": "mnist_fc", "train_n": 100, "test_n": 50, "epochs": 2},
+            "supply": {"kind": "dual", "v_h_mv": 600}
         }"#;
         let spec = decode_spec(body).unwrap();
         assert_eq!(spec.seed, 9);
@@ -269,6 +489,7 @@ mod tests {
                 epochs: 2
             }
         );
+        assert_eq!(spec.supply, SupplySpec::Dual { v_h_mv: 600 });
     }
 
     #[test]
@@ -279,11 +500,47 @@ mod tests {
         assert_eq!(spec.network, NetworkSpec::Toy);
         assert_eq!(spec.sampling, OverlaySampling::SparseTail);
         assert_eq!(spec.trials, 4);
+        assert_eq!(spec.supply, SupplySpec::Single);
+    }
+
+    #[test]
+    fn decodes_supply_and_alexnet_tokens() {
+        let spec = decode_spec(br#"{"voltages_mv": [400], "supply": "boosted"}"#).unwrap();
+        assert_eq!(spec.supply, SupplySpec::Boosted { level: 4 });
+        let spec =
+            decode_spec(br#"{"voltages_mv": [400], "supply": {"kind": "boosted", "level": 2}}"#)
+                .unwrap();
+        assert_eq!(spec.supply, SupplySpec::Boosted { level: 2 });
+        let spec = decode_spec(
+            br#"{"voltages_mv": [400], "trials": 2,
+                 "network": {"kind": "alexnet_conv", "layers": 3, "train_n": 100,
+                             "test_n": 20, "epochs": 1}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.network,
+            NetworkSpec::AlexNetConv {
+                layers: 3,
+                train_n: 100,
+                test_n: 20,
+                epochs: 1
+            }
+        );
+        let spec = decode_spec(br#"{"voltages_mv": [400], "network": "alexnet_conv"}"#).unwrap();
+        assert_eq!(
+            spec.network,
+            NetworkSpec::AlexNetConv {
+                layers: 5,
+                train_n: 1200,
+                test_n: 100,
+                epochs: 4
+            }
+        );
     }
 
     #[test]
     fn rejections_name_the_field() {
-        let cases: [(&[u8], &str); 9] = [
+        let cases: [(&[u8], &str); 14] = [
             (b"{", "parse error"),
             (br#"{"voltages_mv": "x"}"#, "voltages_mv"),
             (br#"{"voltages_mv": [400.5]}"#, "millivolts"),
@@ -295,6 +552,17 @@ mod tests {
             (
                 br#"{"voltages_mv": [400], "grid": {"start_mv": 1, "stop_mv": 2, "step_mv": 1}}"#,
                 "not both",
+            ),
+            (br#"{"voltages_mv": [400, 400]}"#, "duplicate"),
+            (br#"{"voltages_mv": [400], "supply": "dual"}"#, "v_h_mv"),
+            (br#"{"voltages_mv": [400], "supply": "turbo"}"#, "turbo"),
+            (
+                br#"{"voltages_mv": [400], "supply": {"kind": "dual"}}"#,
+                "v_h_mv",
+            ),
+            (
+                br#"{"voltages_mv": [400], "supply": {"kind": "boosted", "level": 9}}"#,
+                "level",
             ),
         ];
         for (body, needle) in cases {
@@ -318,7 +586,84 @@ mod tests {
         let b = run_spec_json(&spec);
         assert_eq!(a, b, "two library runs must render identically");
         assert!(a.contains("accuracy mean"));
+        assert!(a.contains("dynamic total [J]"));
         assert!(a.contains(&spec.canonical_string()));
+    }
+
+    #[test]
+    fn record_energy_series_match_the_library_breakdown() {
+        let spec = SweepSpec {
+            voltages_mv: vec![440],
+            trials: 2,
+            supply: SupplySpec::Boosted { level: 3 },
+            ..SweepSpec::toy_default()
+        };
+        let prep = spec.prepare();
+        let json = build_record(&spec, &prep.run()).to_json_pretty();
+        let v = Value::parse(&json).unwrap();
+        let series = v.get("series").unwrap().as_array().unwrap();
+        let find = |name: &str| -> f64 {
+            series
+                .iter()
+                .find(|s| s.get("name").and_then(Value::as_str) == Some(name))
+                .and_then(|s| s.get("points"))
+                .and_then(Value::as_array)
+                .and_then(|pts| pts[0].as_array())
+                .and_then(|p| p[1].as_f64())
+                .unwrap_or_else(|| panic!("series {name:?} missing in {json}"))
+        };
+        let expected = prep.point_energy(dante_circuit::units::Volt::from_millivolts(440.0));
+        assert_eq!(find("dynamic sram [J]"), expected.dynamic.sram.joules());
+        assert_eq!(find("dynamic logic [J]"), expected.dynamic.logic.joules());
+        assert_eq!(
+            find("dynamic booster [J]"),
+            expected.dynamic.booster.joules()
+        );
+        assert_eq!(find("dynamic total [J]"), expected.dynamic.total().joules());
+    }
+
+    #[test]
+    fn iso_query_decodes_and_rejects_unknowns() {
+        let spec = decode_iso_query("").unwrap();
+        assert_eq!(spec.network, NetworkSpec::Toy);
+        assert_eq!(spec.level, 4);
+        let spec =
+            decode_iso_query("floor=0.9&trials=2&level=3&start_mv=380&stop_mv=460&step_mv=40")
+                .unwrap();
+        assert_eq!(spec.floor, 0.9);
+        assert_eq!(spec.trials, 2);
+        assert_eq!(spec.level, 3);
+        assert_eq!(spec.voltages_mv, vec![380, 420, 460]);
+        for (query, needle) in [
+            ("flor=0.9", "flor"),
+            ("floor=high", "floor"),
+            ("level=9", "level"),
+            ("network=vgg", "vgg"),
+            ("start_mv=500&stop_mv=400", "stop_mv"),
+            ("floor=2.0", "floor"),
+        ] {
+            let err = decode_iso_query(query).unwrap_err();
+            assert!(err.contains(needle), "{query}: {err}");
+        }
+    }
+
+    #[test]
+    fn iso_render_is_deterministic_json() {
+        let spec = IsoAccuracySpec {
+            trials: 2,
+            voltages_mv: vec![400, 480, 560],
+            ..IsoAccuracySpec::toy_default()
+        };
+        let result = spec.solve();
+        let a = render_iso(&spec, &result);
+        assert_eq!(a, render_iso(&spec, &result));
+        let v = Value::parse(&a).unwrap();
+        assert!(v.get("clean_accuracy").and_then(Value::as_f64).unwrap() > 0.5);
+        assert!(v.get("boosted").unwrap().get("v_logic_mv").is_some());
+        assert_eq!(
+            v.get("spec").and_then(Value::as_str),
+            Some(spec.canonical_string().as_str())
+        );
     }
 
     #[test]
@@ -336,6 +681,22 @@ mod tests {
         assert_eq!(v.get("event").and_then(Value::as_str), Some("trial"));
         assert_eq!(v.get("trial").and_then(Value::as_f64), Some(3.0));
         assert_eq!(v.get("mv").and_then(Value::as_f64), Some(440.0));
+        let line = event_line(
+            0,
+            400,
+            &TrialEvent::Annotation {
+                key: "dynamic_energy_j",
+                value: 1.5e-6,
+            },
+        )
+        .unwrap();
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("annotation"));
+        assert_eq!(
+            v.get("key").and_then(Value::as_str),
+            Some("dynamic_energy_j")
+        );
+        assert_eq!(v.get("value").and_then(Value::as_f64), Some(1.5e-6));
         assert!(event_line(
             0,
             400,

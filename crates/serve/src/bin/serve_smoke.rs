@@ -102,18 +102,63 @@ fn main() {
     );
     println!("smoke: cache hit byte-identical");
 
+    // A supply-configured sweep exercises the energy-aware path end to end.
+    let boosted = r#"{"network": "toy", "trials": 2, "voltages_mv": [400, 440], "supply": {"kind": "boosted", "level": 3}}"#;
+    let (status, _, body) = post_sweep(addr, boosted);
+    assert_eq!(
+        status,
+        200,
+        "boosted sweep: {}",
+        String::from_utf8_lossy(&body)
+    );
+    let text = String::from_utf8(body).expect("sweep body is UTF-8");
+    for needle in ["dynamic total [J]", "sram rail [V]", "supply=boosted(3)"] {
+        assert!(text.contains(needle), "boosted sweep missing {needle}");
+    }
+    println!("smoke: boosted energy sweep ok");
+
     let (status, _, body) = get(addr, "/healthz");
     assert_eq!(status, 200);
     assert_eq!(body, b"ok\n");
     println!("smoke: healthz ok");
+
+    let iso_path = "/v1/iso-accuracy?floor=0.9&trials=2&start_mv=380&stop_mv=560&step_mv=60";
+    let (status, headers, cold_iso) = get(addr, iso_path);
+    assert_eq!(
+        status,
+        200,
+        "iso solve: {}",
+        String::from_utf8_lossy(&cold_iso)
+    );
+    assert_eq!(header(&headers, "X-Dante-Cache"), Some("miss"));
+    let (status, headers, warm_iso) = get(addr, iso_path);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "X-Dante-Cache"), Some("hit"));
+    assert_eq!(
+        cold_iso, warm_iso,
+        "iso-accuracy cache hit must be byte-identical"
+    );
+    let iso_text = String::from_utf8(cold_iso).expect("iso body is UTF-8");
+    for needle in [
+        "\"single\"",
+        "\"boosted\"",
+        "\"dual\"",
+        "boosted_over_single",
+    ] {
+        assert!(iso_text.contains(needle), "iso body missing {needle}");
+    }
+    println!("smoke: iso-accuracy solve + cache hit ok");
 
     let (status, _, body) = get(addr, "/metrics");
     assert_eq!(status, 200);
     let text = String::from_utf8(body).expect("metrics is UTF-8");
     for needle in [
         "dante_serve_requests_total",
-        "dante_serve_cache_hits_total 1",
-        "dante_serve_jobs_completed_total 1",
+        "dante_serve_cache_hits_total 2",
+        "dante_serve_jobs_completed_total 2",
+        "dante_serve_energy_sweep_jobs_total 1",
+        "dante_serve_iso_accuracy_solves_total 1",
+        "dante_serve_iso_accuracy_cache_hits_total 1",
     ] {
         assert!(text.contains(needle), "metrics missing {needle}:\n{text}");
     }

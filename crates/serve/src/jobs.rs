@@ -138,6 +138,13 @@ impl Job {
         self.state.lock().expect("job lock poisoned").status
     }
 
+    /// Whether this job exercises the energy-comparison machinery (counted
+    /// separately in `/metrics` as `dante_serve_energy_sweep_jobs_total`).
+    #[must_use]
+    pub fn is_energy_sweep(&self) -> bool {
+        self.spec.is_energy_sweep()
+    }
+
     /// Blocks until the job reaches a terminal status or `shutdown` is
     /// raised; returns the status seen last. Polls on a short condvar
     /// timeout so a shutdown signalled from another thread is never missed.

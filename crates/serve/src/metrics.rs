@@ -8,6 +8,30 @@ use std::time::Duration;
 /// How many recent request latencies the percentile window retains.
 const LATENCY_WINDOW: usize = 1024;
 
+/// A fixed-capacity ring of the most recent latency samples.
+///
+/// `push` is O(1): once the buffer is full, the write index wraps and each
+/// new sample overwrites the oldest one — no element shifting in the
+/// response hot path.
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, micros: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(micros);
+        } else {
+            // Full: `next` points at the oldest sample (index 0 right after
+            // the fill phase, then advancing one slot per overwrite).
+            self.samples[self.next] = micros;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
 /// Process-wide service metrics. All counters are monotonic except the
 /// gauges, which are sampled at render time by the caller.
 #[derive(Debug, Default)]
@@ -26,8 +50,16 @@ pub struct Metrics {
     pub jobs_completed: AtomicU64,
     /// Sweep jobs that failed or were cancelled by shutdown.
     pub jobs_failed: AtomicU64,
+    /// Completed jobs that exercised the energy-comparison machinery (a
+    /// non-single supply or the AlexNet/row-stationary workload; see
+    /// `SweepSpec::is_energy_sweep`).
+    pub energy_sweep_jobs: AtomicU64,
+    /// `GET /v1/iso-accuracy` solves served (cold computes).
+    pub iso_accuracy_solves: AtomicU64,
+    /// `GET /v1/iso-accuracy` responses served from the result cache.
+    pub iso_accuracy_cache_hits: AtomicU64,
     /// Ring of recent request latencies in microseconds.
-    latencies: Mutex<Vec<u64>>,
+    latencies: Mutex<LatencyRing>,
 }
 
 impl Metrics {
@@ -50,27 +82,37 @@ impl Metrics {
         }
         .fetch_add(1, Ordering::Relaxed);
         let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let mut window = self.latencies.lock().expect("metrics lock poisoned");
-        if window.len() >= LATENCY_WINDOW {
-            // Overwrite pseudo-randomly-ish via rotation: cheap, keeps a
-            // sliding flavour without a ring index field.
-            window.remove(0);
-        }
-        window.push(micros);
+        self.latencies
+            .lock()
+            .expect("metrics lock poisoned")
+            .push(micros);
+    }
+
+    /// A copy of the retained latency window (unordered).
+    fn latency_snapshot(&self) -> Vec<u64> {
+        self.latencies
+            .lock()
+            .expect("metrics lock poisoned")
+            .samples
+            .clone()
     }
 
     /// `(p50, p99)` of the retained latency window, in microseconds.
+    ///
+    /// The window is copied out under the lock and sorted after release, so
+    /// a `/metrics` scrape never stalls concurrent `record_response` calls
+    /// for the sort. Percentiles use the nearest-rank definition
+    /// (`index = ceil(q*n) - 1`), which is well-defined down to n = 1.
     #[must_use]
     pub fn latency_percentiles(&self) -> (u64, u64) {
-        let window = self.latencies.lock().expect("metrics lock poisoned");
-        if window.is_empty() {
+        let mut sorted = self.latency_snapshot();
+        if sorted.is_empty() {
             return (0, 0);
         }
-        let mut sorted = window.clone();
         sorted.sort_unstable();
         let at = |q: f64| {
-            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-            sorted[idx]
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
         };
         (at(0.50), at(0.99))
     }
@@ -89,6 +131,9 @@ impl Metrics {
              dante_serve_responses_5xx_total {}\n\
              dante_serve_jobs_completed_total {}\n\
              dante_serve_jobs_failed_total {}\n\
+             dante_serve_energy_sweep_jobs_total {}\n\
+             dante_serve_iso_accuracy_solves_total {}\n\
+             dante_serve_iso_accuracy_cache_hits_total {}\n\
              dante_serve_queue_depth {queue_depth}\n\
              dante_serve_cache_hits_total {cache_hits}\n\
              dante_serve_cache_misses_total {cache_misses}\n\
@@ -101,6 +146,9 @@ impl Metrics {
             load(&self.responses_5xx),
             load(&self.jobs_completed),
             load(&self.jobs_failed),
+            load(&self.energy_sweep_jobs),
+            load(&self.iso_accuracy_solves),
+            load(&self.iso_accuracy_cache_hits),
         )
     }
 }
@@ -125,6 +173,8 @@ mod tests {
         assert!(text.contains("dante_serve_queue_depth 2"));
         assert!(text.contains("dante_serve_cache_hits_total 5"));
         assert!(text.contains("dante_serve_cache_misses_total 7"));
+        assert!(text.contains("dante_serve_energy_sweep_jobs_total 0"));
+        assert!(text.contains("dante_serve_iso_accuracy_solves_total 0"));
         let (p50, p99) = m.latency_percentiles();
         assert_eq!(p50, 200);
         assert_eq!(p99, 300);
@@ -133,5 +183,55 @@ mod tests {
     #[test]
     fn empty_window_renders_zero_percentiles() {
         assert_eq!(Metrics::new().latency_percentiles(), (0, 0));
+    }
+
+    #[test]
+    fn window_retains_the_most_recent_samples() {
+        let m = Metrics::new();
+        let total = LATENCY_WINDOW + 250;
+        for i in 0..total {
+            m.record_response(200, Duration::from_micros(i as u64));
+        }
+        let snapshot = m.latency_snapshot();
+        assert_eq!(
+            snapshot.len(),
+            LATENCY_WINDOW,
+            "window never exceeds its cap"
+        );
+        let mut sorted = snapshot;
+        sorted.sort_unstable();
+        // Exactly the most recent LATENCY_WINDOW samples survive: the
+        // values 250..total, each once.
+        let expected: Vec<u64> = (250..total as u64).collect();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_on_tiny_windows() {
+        // (samples, q, expected): nearest-rank with index ceil(q*n) - 1.
+        let cases: &[(&[u64], f64, u64)] = &[
+            (&[7], 0.50, 7),
+            (&[7], 0.99, 7),
+            (&[1, 2], 0.50, 1),
+            (&[1, 2], 0.99, 2),
+            (&[1, 2, 3], 0.50, 2),
+            (&[1, 2, 3, 4], 0.50, 2),
+            (&[1, 2, 3, 4, 5], 0.50, 3),
+            (&[1, 2, 3, 4, 5], 0.99, 5),
+            (&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100], 0.50, 50),
+            (&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100], 0.99, 100),
+        ];
+        for &(samples, q, expected) in cases {
+            let m = Metrics::new();
+            for &s in samples {
+                m.record_response(200, Duration::from_micros(s));
+            }
+            let (p50, p99) = m.latency_percentiles();
+            let got = if (q - 0.50).abs() < 1e-9 { p50 } else { p99 };
+            assert_eq!(
+                got, expected,
+                "q={q} over {samples:?}: got {got}, want {expected}"
+            );
+        }
     }
 }

@@ -249,12 +249,21 @@ fn worker_loop(shared: &Arc<Shared>) {
             Ok(body) => {
                 let body = Arc::new(body);
                 shared.cache.insert(job.digest.clone(), body.clone());
-                job.push_event(format!(r#"{{"event":"done","job":"{}"}}"#, job.id), true);
-                job.set_status(JobStatus::Done, Some(body), None);
+                // Count before publishing the terminal status: a client
+                // woken by set_status may scrape /metrics immediately and
+                // must see its own completed job.
                 shared
                     .metrics
                     .jobs_completed
                     .fetch_add(1, Ordering::Relaxed);
+                if job.is_energy_sweep() {
+                    shared
+                        .metrics
+                        .energy_sweep_jobs
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                job.push_event(format!(r#"{{"event":"done","job":"{}"}}"#, job.id), true);
+                job.set_status(JobStatus::Done, Some(body), None);
             }
             Err(panic) => {
                 let why = panic
@@ -279,7 +288,11 @@ fn run_job(job: &Arc<Job>) -> String {
         let mv = job.spec.voltages_mv[point];
         let observer = EventObserver::new(|event| {
             if let Some(line) = api::event_line(point, mv, &event) {
-                job.push_event(line, false);
+                // Annotations (one per point, carrying the point's energy)
+                // bypass the event cap so clients always see them even on
+                // sweeps whose trial chatter overflows the buffer.
+                let force = matches!(event, dante_sim::TrialEvent::Annotation { .. });
+                job.push_event(line, force);
             }
         });
         results.push(prep.run_point_observed(point, &observer));
@@ -354,6 +367,7 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request, keep_a
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
         ("POST", "/v1/sweep") => post_sweep(stream, shared, request, keep_alive),
+        ("GET", "/v1/iso-accuracy") => get_iso_accuracy(stream, shared, request, keep_alive),
         ("GET", "/healthz") => respond(stream, 200, "text/plain", &[], b"ok\n", keep_alive),
         ("GET", "/metrics") => {
             let (hits, misses) = shared.cache.stats();
@@ -370,7 +384,7 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request, keep_a
                 job_status(stream, shared, rest, keep_alive)
             }
         }
-        (_, "/v1/sweep" | "/healthz" | "/metrics") => respond(
+        (_, "/v1/sweep" | "/v1/iso-accuracy" | "/healthz" | "/metrics") => respond(
             stream,
             405,
             "application/json",
@@ -537,6 +551,88 @@ fn post_sweep(
             api::error_body("cancelled by shutdown").as_bytes(),
             false,
         ),
+    }
+}
+
+/// `GET /v1/iso-accuracy`: solve `V_min` at an accuracy floor and report
+/// each supply configuration's energy there. The solve is deterministic per
+/// query, so results are content-addressed into the same cache as sweeps
+/// (the iso canonical string has its own `dante.iso.` prefix, so the two
+/// key families cannot collide). Computed synchronously in the connection
+/// thread: a cold solve on the toy default takes well under a second, and
+/// heavier networks hit the artifact cache after the first request.
+fn get_iso_accuracy(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &Request,
+    keep_alive: bool,
+) -> u16 {
+    let spec = match api::decode_iso_query(&request.query) {
+        Ok(spec) => spec,
+        Err(why) => {
+            return respond(
+                stream,
+                400,
+                "application/json",
+                &[],
+                api::error_body(&why).as_bytes(),
+                keep_alive,
+            )
+        }
+    };
+    let key = digest(&spec.canonical_string());
+    if let Some(body) = shared.cache.get(&key) {
+        shared
+            .metrics
+            .iso_accuracy_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        return respond(
+            stream,
+            200,
+            "application/json",
+            &[("X-Dante-Cache", "hit".to_owned()), ("X-Dante-Digest", key)],
+            body.as_bytes(),
+            keep_alive,
+        );
+    }
+    let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        api::render_iso(&spec, &spec.solve())
+    }));
+    match solved {
+        Ok(body) => {
+            let body = Arc::new(body);
+            shared.cache.insert(key.clone(), body.clone());
+            shared
+                .metrics
+                .iso_accuracy_solves
+                .fetch_add(1, Ordering::Relaxed);
+            respond(
+                stream,
+                200,
+                "application/json",
+                &[
+                    ("X-Dante-Cache", "miss".to_owned()),
+                    ("X-Dante-Digest", key),
+                ],
+                body.as_bytes(),
+                keep_alive,
+            )
+        }
+        Err(panic) => {
+            let why = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "iso-accuracy solve panicked".to_owned());
+            respond(
+                stream,
+                500,
+                "application/json",
+                &[],
+                api::error_body(&why).as_bytes(),
+                keep_alive,
+            )
+        }
     }
 }
 

@@ -439,6 +439,149 @@ fn concurrent_load_returns_only_200_or_429_and_drains_cleanly() {
 }
 
 #[test]
+fn alexnet_sweep_energy_is_byte_identical_to_the_library_under_each_supply() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+
+    // Tiny proxy CNN (disk-cached after the first preparation) over two
+    // grid points, under each of the three supply configurations.
+    let network =
+        r#"{"kind": "alexnet_conv", "layers": 2, "train_n": 120, "test_n": 20, "epochs": 1}"#;
+    let supplies = [
+        ("single", r#""single""#),
+        ("boosted", r#"{"kind": "boosted", "level": 3}"#),
+        ("dual", r#"{"kind": "dual", "v_h_mv": 600}"#),
+    ];
+    for (name, supply) in supplies {
+        let payload = format!(
+            r#"{{"network": {network}, "supply": {supply}, "trials": 2, "voltages_mv": [400, 440], "seed": 5}}"#
+        );
+        let spec = dante_serve::api::decode_spec(payload.as_bytes()).expect(name);
+        let reference = dante_serve::api::run_spec_json(&spec);
+        let response = post_sweep(addr, &payload);
+        assert_eq!(response.status, 200, "{name}: {}", response.body_str());
+        assert_eq!(
+            response.body_str(),
+            reference,
+            "{name}: served sweep must be byte-identical to the library path"
+        );
+        // The served energy series carries exactly the dante-energy value
+        // for this point (same f64, hence the same rendered bytes).
+        let expected = spec
+            .prepare()
+            .point_energy(dante_circuit::units::Volt::from_millivolts(400.0));
+        let parsed = dante_bench::json::Value::parse(response.body_str()).expect("valid JSON");
+        let served = parsed
+            .get("series")
+            .and_then(dante_bench::json::Value::as_array)
+            .expect("series array")
+            .iter()
+            .find(|s| {
+                s.get("name").and_then(dante_bench::json::Value::as_str)
+                    == Some("dynamic total [J]")
+            })
+            .and_then(|s| s.get("points"))
+            .and_then(dante_bench::json::Value::as_array)
+            .and_then(|pts| pts[0].as_array())
+            .and_then(|p| p[1].as_f64())
+            .expect("dynamic total point");
+        assert_eq!(
+            served,
+            expected.dynamic.total().joules(),
+            "{name}: served energy equals the dante-energy computation exactly"
+        );
+    }
+
+    // All three are energy sweeps (alexnet workload), so the gauge says 3.
+    let metrics = get(addr, "/metrics");
+    assert!(
+        metrics
+            .body_str()
+            .contains("dante_serve_energy_sweep_jobs_total 3"),
+        "{}",
+        metrics.body_str()
+    );
+
+    handle.shutdown();
+    assert!(handle.join());
+}
+
+#[test]
+fn duplicate_voltages_are_rejected_with_400() {
+    let handle = boot(ServerConfig::default());
+    let response = post_sweep(
+        handle.addr(),
+        r#"{"network": "toy", "voltages_mv": [400, 440, 400]}"#,
+    );
+    assert_eq!(response.status, 400);
+    assert!(
+        response.body_str().contains("duplicate"),
+        "{}",
+        response.body_str()
+    );
+    assert!(
+        response.body_str().contains("400"),
+        "diagnostic names the repeated voltage: {}",
+        response.body_str()
+    );
+    handle.shutdown();
+    assert!(handle.join());
+}
+
+#[test]
+fn iso_accuracy_endpoint_solves_caches_and_rejects() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+    let query = "floor=0.9&trials=2&start_mv=380&stop_mv=560&step_mv=60";
+
+    let spec = dante_serve::api::decode_iso_query(query).expect("valid query");
+    let reference = dante_serve::api::render_iso(&spec, &spec.solve());
+
+    let cold = get(addr, &format!("/v1/iso-accuracy?{query}"));
+    assert_eq!(cold.status, 200, "{}", cold.body_str());
+    assert_eq!(cold.header("X-Dante-Cache"), Some("miss"));
+    assert_eq!(
+        cold.body_str(),
+        reference,
+        "served solve must be byte-identical to the library path"
+    );
+
+    let warm = get(addr, &format!("/v1/iso-accuracy?{query}"));
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("X-Dante-Cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body);
+
+    // A typo'd key is a 400 naming the key, not a silent default.
+    let bad = get(addr, "/v1/iso-accuracy?flor=0.9");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body_str().contains("flor"), "{}", bad.body_str());
+
+    // Wrong method on the endpoint is 405.
+    let raw = b"POST /v1/iso-accuracy HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+    assert_eq!(exchange(addr, raw).status, 405);
+
+    // One cold solve, one cache hit in the counters.
+    let metrics = get(addr, "/metrics");
+    assert!(
+        metrics
+            .body_str()
+            .contains("dante_serve_iso_accuracy_solves_total 1"),
+        "{}",
+        metrics.body_str()
+    );
+    assert!(
+        metrics
+            .body_str()
+            .contains("dante_serve_iso_accuracy_cache_hits_total 1"),
+        "{}",
+        metrics.body_str()
+    );
+
+    handle.shutdown();
+    assert!(handle.join());
+}
+
+#[test]
 fn unknown_routes_and_methods_are_mapped_to_404_and_405() {
     let handle = boot(ServerConfig::default());
     let addr = handle.addr();

@@ -42,6 +42,14 @@ pub trait TrialObserver: Sync {
     fn on_batch_complete(&self, elapsed: Duration) {
         let _ = elapsed;
     }
+
+    /// A scalar annotation attached to the batch by the caller — data the
+    /// trial engine itself cannot know, such as the per-inference energy a
+    /// sweep point attaches after its trials finish (`key` then names the
+    /// quantity, e.g. `"dynamic_energy_j"`).
+    fn on_annotation(&self, key: &'static str, value: f64) {
+        let _ = (key, value);
+    }
 }
 
 /// The do-nothing default observer.
@@ -131,8 +139,9 @@ impl TrialObserver for StderrProgress {
 ///
 /// Durations are carried as integral microseconds: events are meant to be
 /// serialized, and microsecond wall-clock resolution is already generous
-/// for Monte-Carlo trials.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// for Monte-Carlo trials. (`PartialEq` only: [`TrialEvent::Annotation`]
+/// carries an `f64` payload.)
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TrialEvent {
     /// A batch of `total` trials is starting.
     BatchStart {
@@ -164,6 +173,14 @@ pub enum TrialEvent {
     BatchComplete {
         /// Wall time in microseconds.
         micros: u64,
+    },
+    /// A caller-attached scalar annotation (see
+    /// [`TrialObserver::on_annotation`]).
+    Annotation {
+        /// Name of the annotated quantity.
+        key: &'static str,
+        /// Its value.
+        value: f64,
     },
 }
 
@@ -239,6 +256,10 @@ impl<F: Fn(TrialEvent) + Sync> TrialObserver for EventObserver<F> {
             micros: micros(elapsed),
         });
     }
+
+    fn on_annotation(&self, key: &'static str, value: f64) {
+        (self.sink)(TrialEvent::Annotation { key, value });
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +286,7 @@ mod tests {
         obs.on_stage("corrupt", Duration::from_micros(3));
         obs.on_fault_bits(0, 11);
         obs.on_batch_complete(Duration::from_micros(20));
+        obs.on_annotation("dynamic_energy_j", 1.5e-6);
         assert_eq!(
             *log.lock().unwrap(),
             vec![
@@ -279,6 +301,10 @@ mod tests {
                 },
                 TrialEvent::FaultBits { index: 0, bits: 11 },
                 TrialEvent::BatchComplete { micros: 20 },
+                TrialEvent::Annotation {
+                    key: "dynamic_energy_j",
+                    value: 1.5e-6
+                },
             ]
         );
     }

@@ -73,6 +73,12 @@ pub fn tolerance_for(record_id: &str) -> Tolerance {
         // BER spans ~10 decades down to ~1e-10; a relative band with a tiny
         // absolute floor keeps the deep tail meaningfully checked.
         "fig07" => Tolerance::band(1e-3, 1e-15),
+        // Counter-based Monte-Carlo plus a cached trained network: exactly
+        // reproducible per platform, but the solve crosses enough libm calls
+        // (exp/erf in the fault model, training nonlinearities) that a wider
+        // band absorbs cross-platform last-ulp drift without ever masking a
+        // flipped V_min (a grid step moves energies by far more than 0.5%).
+        "iso_accuracy" => Tolerance::band(5e-3, 1e-9),
         _ => Tolerance::band(1e-6, 1e-12),
     }
 }

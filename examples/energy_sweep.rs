@@ -1,0 +1,79 @@
+//! Joint accuracy + energy sweeps under each power-supply configuration,
+//! followed by an iso-accuracy solve: the programmatic version of the
+//! service's `/v1/sweep` (with a `supply` field) and `/v1/iso-accuracy`
+//! endpoints, and of the paper's Fig. 12 / Table 3 energy comparison.
+//!
+//! Run with: `cargo run --release --example energy_sweep`
+
+use dante::iso::IsoAccuracySpec;
+use dante::sweep::{SupplySpec, SweepSpec};
+
+fn main() {
+    // One grid, three supplies. The spec carries the supply, so every sweep
+    // point comes back as a joint (voltage, accuracy, energy) record and the
+    // canonical string (= cache key) distinguishes the three runs.
+    let base = SweepSpec::toy_default();
+    let supplies = [
+        SupplySpec::Single,
+        SupplySpec::Boosted { level: 4 },
+        SupplySpec::Dual { v_h_mv: 600 },
+    ];
+
+    for supply in supplies {
+        let spec = SweepSpec {
+            supply,
+            ..base.clone()
+        };
+        let prep = spec.prepare();
+        println!(
+            "supply={} (cache key {})",
+            spec.supply.canonical_token(),
+            spec.canonical_string()
+        );
+        println!(
+            "{:>8} {:>10} {:>10} {:>12} {:>12}",
+            "Vdd[V]", "Vsram[V]", "accuracy", "E_dyn[nJ]", "E/E(0.5V)"
+        );
+        for point in prep.run() {
+            println!(
+                "{:>8.2} {:>10.3} {:>10.3} {:>12.3} {:>12.3}",
+                point.vdd.volts(),
+                point.v_sram.volts(),
+                point.stats.mean(),
+                point.energy.dynamic.total().joules() * 1e9,
+                point.energy.normalized_total()
+            );
+        }
+        println!();
+    }
+
+    // Iso-accuracy: walk each supply down its own cliff and compare the
+    // energy at the lowest voltage that still clears the accuracy floor.
+    let iso = IsoAccuracySpec::toy_default();
+    let result = iso.solve();
+    println!(
+        "iso-accuracy floor {:.2} (clean {:.3}):",
+        iso.floor, result.clean_accuracy
+    );
+    let rows = [
+        ("single", result.single.as_ref()),
+        ("boosted", result.boosted.as_ref()),
+        ("dual", result.dual.as_ref()),
+    ];
+    for (name, point) in rows {
+        match point {
+            Some(p) => println!(
+                "  {name:>8}: V_min {:.2} V, sram {:.3} V, accuracy {:.3}, E_dyn {:.3} nJ",
+                p.v_logic.volts(),
+                p.v_sram.volts(),
+                p.accuracy_mean,
+                p.energy.dynamic.total().joules() * 1e9
+            ),
+            None => println!("  {name:>8}: floor unreachable on this grid"),
+        }
+    }
+    if let (Some(ratio), Some(vs_dual)) = (result.boosted_over_single, result.boosted_over_dual) {
+        println!("  boosted/single energy at iso-accuracy: {ratio:.3}");
+        println!("  boosted/dual   energy at iso-accuracy: {vs_dual:.3}");
+    }
+}

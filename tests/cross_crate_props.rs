@@ -1,7 +1,9 @@
 //! Property-based tests spanning crate boundaries: the invariants that hold
 //! the reproduction together.
 
+use dante::accuracy::{EccMode, OverlaySampling};
 use dante::schedule::BoostPlan;
+use dante::sweep::{NetworkSpec, SupplySpec, SweepSpec};
 use dante_circuit::booster::BoosterBank;
 use dante_circuit::units::Volt;
 use dante_dataflow::activity::{LayerActivity, WorkloadActivity};
@@ -145,6 +147,34 @@ proptest! {
         }
     }
 
+    /// `SweepSpec::canonical_string` is injective: two specs are equal
+    /// exactly when their canonical strings are byte-equal, across random
+    /// seeds, grids, samplers, ECC modes, networks, and supply configs.
+    /// This is what makes the string safe as a cache/digest key.
+    #[test]
+    fn sweep_canonical_string_is_injective(
+        a in (0u64..20, 1usize..4, 0u8..2, 0u8..2, 0u8..3, 0usize..6, 0u8..3, 0u32..100),
+        b in (0u64..20, 1usize..4, 0u8..2, 0u8..2, 0u8..3, 0usize..6, 0u8..3, 0u32..100),
+        mvs_a in prop::collection::vec(320u32..560, 1..4),
+        mvs_b in prop::collection::vec(320u32..560, 1..4),
+    ) {
+        let sa = sweep_spec_from(a, &mvs_a);
+        let sb = sweep_spec_from(b, &mvs_b);
+        prop_assert_eq!(sa == sb, sa.canonical_string() == sb.canonical_string());
+        // The version tag is keyed on the supply alone, and the two
+        // encodings cannot collide: only v2 ever contains a supply token.
+        for s in [&sa, &sb] {
+            let c = s.canonical_string();
+            if s.supply == SupplySpec::Single {
+                prop_assert!(c.starts_with("dante.sweep.v1;"));
+                prop_assert!(!c.contains("supply="));
+            } else {
+                prop_assert!(c.starts_with("dante.sweep.v2;"));
+                prop_assert!(c.contains("supply="));
+            }
+        }
+    }
+
     /// The LDO efficiency formula stays in (0, 1] and degrades with dropout.
     #[test]
     fn ldo_efficiency_bounds(lo_mv in 300u32..700, drop_mv in 0u32..300) {
@@ -157,6 +187,89 @@ proptest! {
             prop_assert!(eta < ldo.efficiency(v_h, v_h));
         }
     }
+}
+
+/// Builds a [`SweepSpec`] from the primitive draws the compat proptest
+/// stub can generate. `net_p` perturbs the network's own parameters so
+/// the injectivity test also covers same-variant, different-field pairs.
+fn sweep_spec_from(
+    (seed, trials, sampling, ecc, net, net_p, supply, supply_p): (
+        u64,
+        usize,
+        u8,
+        u8,
+        u8,
+        usize,
+        u8,
+        u32,
+    ),
+    mvs: &[u32],
+) -> SweepSpec {
+    SweepSpec {
+        seed,
+        voltages_mv: mvs.to_vec(),
+        trials,
+        sampling: if sampling == 0 {
+            OverlaySampling::Dense
+        } else {
+            OverlaySampling::SparseTail
+        },
+        ecc: if ecc == 0 {
+            EccMode::None
+        } else {
+            EccMode::SecDed
+        },
+        network: match net {
+            0 => NetworkSpec::Toy,
+            1 => NetworkSpec::MnistFc {
+                train_n: 800 + 100 * net_p,
+                test_n: 40 + 10 * net_p,
+                epochs: 1 + net_p % 4,
+            },
+            _ => NetworkSpec::AlexNetConv {
+                layers: 1 + net_p % 5,
+                train_n: 120 + 10 * net_p,
+                test_n: 20,
+                epochs: 1 + net_p % 3,
+            },
+        },
+        supply: match supply {
+            0 => SupplySpec::Single,
+            1 => SupplySpec::Boosted {
+                level: 1 + supply_p as usize % 4,
+            },
+            _ => SupplySpec::Dual {
+                v_h_mv: 560 + supply_p % 140,
+            },
+        },
+    }
+}
+
+/// Cache-compat regression: a single-supply spec keeps the exact `v1`
+/// encoding that minted every pre-supply cache key, even when it names
+/// the new AlexNet workload — the version tag tracks the supply field,
+/// not the network.
+#[test]
+fn single_supply_alexnet_spec_still_encodes_as_v1() {
+    let spec = SweepSpec {
+        seed: 11,
+        voltages_mv: vec![400, 440],
+        trials: 2,
+        sampling: OverlaySampling::SparseTail,
+        ecc: EccMode::None,
+        network: NetworkSpec::AlexNetConv {
+            layers: 2,
+            train_n: 120,
+            test_n: 20,
+            epochs: 1,
+        },
+        supply: SupplySpec::Single,
+    };
+    assert_eq!(
+        spec.canonical_string(),
+        "dante.sweep.v1;seed=11;trials=2;sampling=sparse_tail;ecc=none;\
+         net=alexnet_conv(2,120,20,1);mv=400,440"
+    );
 }
 
 /// Promoted proptest regression (shrunk to `seed = 0, mv = 320`): the

@@ -1,0 +1,93 @@
+//! Fleet-scale V_min / yield experiment (paper Sec. 6 scaled out): a
+//! population of dies, each with its own counter-derived fault sample,
+//! reduced to V_min quantiles and yield-at-voltage curves.
+//!
+//! The record is a golden artifact: every die's seed derives from the spec
+//! seed via `derive_seed(seed, site::FLEET_DIE, die)`, so the population is
+//! a pure function of the spec and regenerates bit-identically on any
+//! machine and thread count.
+
+use crate::record::{FigureRecord, Series};
+use dante::fleet::FleetSpec;
+use dante_circuit::units::Volt;
+
+/// Runs the default fleet sweep (1000 dies x 1 Mbit, 500..640 mV) and
+/// packages the V_min quantiles and yield curves as a golden record.
+#[must_use]
+pub fn fleet() -> FigureRecord {
+    let spec = FleetSpec::toy_default();
+    let result = spec.solve();
+
+    let yield_pts: Vec<(f64, f64)> = result
+        .yield_at_voltage
+        .iter()
+        .map(|&(mv, y)| (f64::from(mv) / 1000.0, y))
+        .collect();
+    let analytic_pts: Vec<(f64, f64)> = spec
+        .voltages_mv
+        .iter()
+        .map(|&mv| {
+            let v = Volt::from_millivolts(f64::from(mv));
+            (v.volts(), spec.analytic_yield(v))
+        })
+        .collect();
+
+    FigureRecord::new(
+        "fleet",
+        "Fleet-scale V_min distribution and yield vs supply voltage",
+        "Vdd [V]",
+        "yield",
+    )
+    .with_series(Series::new("yield", yield_pts))
+    .with_series(Series::new("analytic single-die yield", analytic_pts))
+    .with_series(Series::new("vmin quantile [V]", result.quantiles.clone()))
+    .with_note(format!("spec: {}", spec.canonical_string()))
+    .with_note(format!(
+        "population: {} dies x {} bits, {} censored at the {} mV floor, {} faulty cells",
+        result.dies,
+        spec.array_bits,
+        result.censored_dies,
+        spec.voltages_mv[0],
+        result.total_fault_cells
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_record_is_deterministic_and_internally_consistent() {
+        let rec = fleet();
+        assert_eq!(rec, fleet(), "fleet record must be a pure function");
+        assert_eq!(rec.id, "fleet");
+
+        // The empirical yield curve must be monotone non-decreasing in
+        // voltage and track the analytic single-die curve.
+        let empirical = &rec.series[0].points;
+        let analytic = &rec.series[1].points;
+        assert_eq!(empirical.len(), analytic.len());
+        for w in empirical.windows(2) {
+            assert!(w[1].1 >= w[0].1, "yield must not fall as voltage rises");
+        }
+        for (e, a) in empirical.iter().zip(analytic) {
+            assert!(
+                (e.1 - a.1).abs() < 0.05,
+                "empirical yield {:.3} strays from analytic {:.3} at {} V",
+                e.1,
+                a.1,
+                e.0
+            );
+        }
+
+        // Quantiles are monotone in the level and inside the sweep grid.
+        let quantiles = &rec.series[2].points;
+        assert_eq!(quantiles.len(), 7);
+        for w in quantiles.windows(2) {
+            assert!(w[1].1 >= w[0].1, "V_min quantiles must be non-decreasing");
+        }
+        for &(_, v) in quantiles {
+            assert!((0.5..=0.64).contains(&v), "quantile {v} outside the grid");
+        }
+    }
+}

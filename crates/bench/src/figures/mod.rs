@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod accuracy;
 pub mod circuit;
 pub mod energy;
+pub mod fleet;
 pub mod tables;
 pub mod validation;
 
@@ -35,6 +36,7 @@ pub fn golden_records() -> Vec<FigureRecord> {
         energy::table3(),
         energy::headlines(),
         energy::iso_accuracy(),
+        fleet::fleet(),
         tables::table1(),
         tables::table2(),
         ablation::ablation_levels(),
@@ -49,11 +51,11 @@ mod tests {
     #[test]
     fn golden_registry_ids_are_unique_and_finite() {
         let recs = golden_records();
-        assert_eq!(recs.len(), 13);
+        assert_eq!(recs.len(), 14);
         let mut ids: Vec<&str> = recs.iter().map(|r| r.id.as_str()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 13, "duplicate record ids in golden registry");
+        assert_eq!(ids.len(), 14, "duplicate record ids in golden registry");
         for r in &recs {
             for s in &r.series {
                 for &(x, y) in &s.points {

@@ -16,10 +16,9 @@ use dante_nn::quant::ScaledQuantizer;
 use dante_nn::Matrix;
 use dante_sim::{derive_seed, site, NoopObserver, TrialEngine, TrialObserver};
 use dante_sram::fault::VminFaultModel;
-use dante_sram::sparse::{SparseCell, SparseOverlay};
+use dante_sram::model::{DieFaultModel, FaultModel};
+use dante_sram::sparse::SparseCell;
 use dante_sram::storage::FaultOverlay;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 /// Effective rail voltage for each data class of one inference run.
@@ -262,6 +261,37 @@ struct OverlayBuffers {
 /// weight layer position.
 const INPUTS_TARGET: usize = usize::MAX;
 
+/// How the evaluator's fault model was configured: a fixed per-die Gaussian
+/// handed in directly (the legacy `with_fault_model` path — every trial
+/// sees the same die parameters), or a [`FaultModel`] spec resolved against
+/// each trial's seed (so chip-variation specs draw a fresh die profile per
+/// trial, matching the paper's one-fault-map-per-trial methodology).
+#[derive(Debug, Clone, PartialEq)]
+enum ConfiguredFaultModel {
+    Fixed(VminFaultModel),
+    Spec(FaultModel),
+}
+
+impl ConfiguredFaultModel {
+    /// The per-trial die. The `Fixed` arm and the `Spec(Gaussian)` arm both
+    /// resolve to plain Gaussian dies independent of the seed, preserving
+    /// the pre-refactor sampling byte-for-byte.
+    fn resolve_die(&self, trial_seed: u64) -> DieFaultModel {
+        match self {
+            Self::Fixed(m) => DieFaultModel::Gaussian(*m),
+            Self::Spec(spec) => spec.resolve_die(trial_seed),
+        }
+    }
+
+    /// The spec form, when configured as one.
+    fn spec(&self) -> Option<FaultModel> {
+        match self {
+            Self::Fixed(_) => None,
+            Self::Spec(spec) => Some(*spec),
+        }
+    }
+}
+
 /// Per-worker trial scratch: a working network + input buffer (restored to
 /// the clean dequantized state between trials via the `touched` undo log)
 /// plus the overlay buffers. Steady-state trials allocate nothing.
@@ -311,7 +341,7 @@ fn weight_slice_mut(net: &mut Network, idx: usize) -> &mut [f32] {
 /// — the steady-state hot path allocates nothing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccuracyEvaluator {
-    fault_model: VminFaultModel,
+    fault_model: ConfiguredFaultModel,
     weight_quantizer: ScaledQuantizer,
     input_quantizer: ScaledQuantizer,
     trials: usize,
@@ -333,7 +363,7 @@ impl AccuracyEvaluator {
     pub fn new(trials: usize) -> Self {
         assert!(trials > 0, "need at least one Monte-Carlo trial");
         Self {
-            fault_model: VminFaultModel::default_14nm(),
+            fault_model: ConfiguredFaultModel::Spec(FaultModel::default()),
             weight_quantizer: ScaledQuantizer::weight_default(),
             input_quantizer: ScaledQuantizer::weight_default(),
             trials,
@@ -360,10 +390,22 @@ impl AccuracyEvaluator {
         self.engine.threads()
     }
 
-    /// Replaces the fault model.
+    /// Pins a fixed Gaussian fault model: every trial's die uses exactly
+    /// these parameters (e.g. a model fitted from chip measurements).
     #[must_use]
     pub fn with_fault_model(mut self, model: VminFaultModel) -> Self {
-        self.fault_model = model;
+        self.fault_model = ConfiguredFaultModel::Fixed(model);
+        self
+    }
+
+    /// Selects a [`FaultModel`] spec: each trial resolves the spec against
+    /// its own seed, so correlated-burst dies draw fresh weak rows/columns
+    /// and chip-variation dies draw fresh `(mu, sigma)` profiles per trial.
+    /// The default spec reproduces [`VminFaultModel::default_14nm`]
+    /// byte-for-byte.
+    #[must_use]
+    pub fn with_fault_spec(mut self, spec: FaultModel) -> Self {
+        self.fault_model = ConfiguredFaultModel::Spec(spec);
         self
     }
 
@@ -393,10 +435,11 @@ impl AccuracyEvaluator {
         self.sampling
     }
 
-    /// The fault model in use.
+    /// The fault-model spec in use, when the evaluator was configured with
+    /// one (`None` after [`Self::with_fault_model`] pinned a fixed die).
     #[must_use]
-    pub fn fault_model(&self) -> &VminFaultModel {
-        &self.fault_model
+    pub fn fault_spec(&self) -> Option<FaultModel> {
+        self.fault_model.spec()
     }
 
     /// Monte-Carlo trial count.
@@ -439,8 +482,10 @@ impl AccuracyEvaluator {
     /// Materializes one die's corruption words for `image` into `out`
     /// (exactly `word_len` words), drawing from `seed` with the configured
     /// sampler.
+    #[allow(clippy::too_many_arguments)]
     fn corruption_words_into(
         &self,
+        die: &DieFaultModel,
         bit_len: usize,
         word_len: usize,
         v: Volt,
@@ -455,23 +500,18 @@ impl AccuracyEvaluator {
         } else {
             (&mut bufs.corruption, &mut bufs.indices, &mut bufs.cells)
         };
-        match self.sampling {
-            OverlaySampling::Dense => {
-                let overlay = FaultOverlay::from_seed(bit_len, &self.fault_model, seed);
+        match (self.sampling, die.as_gaussian()) {
+            (OverlaySampling::Dense, Some(gaussian)) => {
+                let overlay = FaultOverlay::from_seed(bit_len, gaussian, seed);
                 out.clear();
                 out.extend(overlay.corruption_iter(v).take(word_len));
                 out.resize(word_len, 0);
             }
-            OverlaySampling::SparseTail => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                SparseOverlay::sample_cells_into(
-                    bit_len,
-                    &self.fault_model,
-                    v,
-                    &mut rng,
-                    indices,
-                    cells,
-                );
+            // Non-Gaussian dies have no dense V_min field; sampling the
+            // faulty-at-`v` tail directly is statistically identical to
+            // generating a dense field and thresholding it at `v`.
+            (OverlaySampling::SparseTail, _) | (OverlaySampling::Dense, None) => {
+                die.sample_cells_into(bit_len, v, seed, indices, cells);
                 out.clear();
                 out.resize(word_len, 0);
                 for c in cells.iter() {
@@ -490,6 +530,7 @@ impl AccuracyEvaluator {
     #[allow(clippy::too_many_arguments)]
     fn corrupt_image(
         &self,
+        die: &DieFaultModel,
         image: &PackedImage,
         target: usize,
         v: Volt,
@@ -501,18 +542,17 @@ impl AccuracyEvaluator {
         let word_len = image.words.len();
         let mut flipped = 0u64;
         match self.ecc {
-            EccMode::None => match self.sampling {
-                OverlaySampling::SparseTail => {
+            EccMode::None => match (self.sampling, die.as_gaussian()) {
+                (OverlaySampling::SparseTail, _) | (OverlaySampling::Dense, None) => {
                     // The floor *is* the evaluation voltage, so every
                     // sampled cell is faulty here: the corruption is just
                     // the flip bits, grouped word by word (cells arrive
-                    // sorted by index).
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    SparseOverlay::sample_cells_into(
+                    // sorted by index). Non-Gaussian dies take this path
+                    // for both samplers — see `corruption_words_into`.
+                    die.sample_cells_into(
                         image.bit_len,
-                        &self.fault_model,
                         v,
-                        &mut rng,
+                        seed,
                         &mut bufs.indices,
                         &mut bufs.cells,
                     );
@@ -534,8 +574,8 @@ impl AccuracyEvaluator {
                         }
                     }
                 }
-                OverlaySampling::Dense => {
-                    let overlay = FaultOverlay::from_seed(image.bit_len, &self.fault_model, seed);
+                (OverlaySampling::Dense, Some(gaussian)) => {
+                    let overlay = FaultOverlay::from_seed(image.bit_len, gaussian, seed);
                     for (w, c) in overlay.corruption_iter(v).enumerate() {
                         if c != 0 {
                             flipped += u64::from(c.count_ones());
@@ -548,8 +588,9 @@ impl AccuracyEvaluator {
             EccMode::SecDed => {
                 // SEC-DED per 64-bit word: heal single flips, counting the
                 // 8 check bits (which fault at the same per-cell rate).
-                self.corruption_words_into(image.bit_len, word_len, v, seed, bufs, false);
+                self.corruption_words_into(die, image.bit_len, word_len, v, seed, bufs, false);
                 self.corruption_words_into(
+                    die,
                     word_len * 8,
                     (word_len * 8).div_ceil(64),
                     v,
@@ -599,9 +640,14 @@ impl AccuracyEvaluator {
             touched,
             bufs,
         } = scratch;
+        // One die per trial: a chip-variation spec draws this trial's
+        // (mu, sigma) profile here; Gaussian configurations resolve to the
+        // same die for every trial and consume no randomness.
+        let die = self.fault_model.resolve_die(trial_seed);
         let mut fault_bits = 0u64;
         for (pos, image) in prep.layers.iter().enumerate() {
             fault_bits += self.corrupt_image(
+                &die,
                 image,
                 pos,
                 assignment.weight_layers[pos],
@@ -613,6 +659,7 @@ impl AccuracyEvaluator {
         }
         if let Some(image) = &prep.inputs {
             fault_bits += self.corrupt_image(
+                &die,
                 image,
                 INPUTS_TARGET,
                 assignment.inputs,
@@ -675,7 +722,9 @@ impl AccuracyEvaluator {
         let mut values = image.clean.clone();
         let mut touched = Vec::new();
         let mut bufs = OverlayBuffers::default();
+        let die = self.fault_model.resolve_die(trial_seed);
         let _ = self.corrupt_image(
+            &die,
             &image,
             INPUTS_TARGET,
             v,

@@ -83,6 +83,10 @@ impl IsoAccuracySpec {
             ecc: self.ecc,
             network: self.network.clone(),
             supply,
+            // Iso-accuracy solves compare supply configurations under the
+            // paper's default fault statistics; both walked sweeps keep
+            // their historical v1/v2 cache keys.
+            fault_model: dante_sram::model::FaultModel::default(),
         }
     }
 

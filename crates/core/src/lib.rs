@@ -19,6 +19,10 @@
 //!   record under a configurable supply ([`sweep::SupplySpec`]).
 //! * [`iso`] — iso-accuracy solves: `V_min` at an accuracy floor plus each
 //!   supply configuration's energy there (the `/v1/iso-accuracy` endpoint).
+//! * [`fleet`] — fleet-scale V_min/yield sweeps ([`fleet::FleetSpec`]): a
+//!   population of dies under any `dante-sram` fault-model spec, reporting
+//!   per-voltage yield and V_min distribution quantiles (the `/v1/fleet`
+//!   endpoint).
 //!
 //! # Examples
 //!
@@ -36,6 +40,7 @@
 pub mod accuracy;
 pub mod artifacts;
 pub mod experiments;
+pub mod fleet;
 pub mod headlines;
 pub mod iso;
 pub mod policy;
@@ -44,6 +49,7 @@ pub mod schedule;
 pub mod sweep;
 
 pub use accuracy::{AccuracyEvaluator, AccuracyStats, EccMode, OverlaySampling, VoltageAssignment};
+pub use fleet::{FleetResult, FleetSpec, FLEET_QUANTILES};
 pub use headlines::Headlines;
 pub use iso::{IsoAccuracyResult, IsoAccuracySpec, IsoConfigPoint};
 pub use policy::{OptimizedPlan, PolicyOptimizer};

@@ -25,6 +25,13 @@
 //! content addresses remain valid. Any other supply emits a `v2` string
 //! carrying a `supply=` token. The two families cannot collide: `v1`
 //! strings never contain `supply=`.
+//!
+//! The fault-model field follows the same discipline: a spec whose
+//! `fault_model` is the default i.i.d. Gaussian encodes exactly as before
+//! (`v1` or `v2` per the supply rule), so every pre-fault-model content
+//! address survives. Any other model emits a `v3` string carrying a
+//! `fault=` token between `ecc=` and `supply=`/`net=`; `v1`/`v2` strings
+//! never contain `fault=`, so the families stay collision-free.
 
 use crate::accuracy::{
     AccuracyEvaluator, AccuracyStats, EccMode, OverlaySampling, VoltageAssignment,
@@ -39,6 +46,7 @@ use dante_energy::supply::{BoostedGroup, EnergyModel, SupplyKind};
 use dante_nn::layers::{Dense, Layer, Relu};
 use dante_nn::network::Network;
 use dante_sim::TrialObserver;
+use dante_sram::model::FaultModel;
 use std::fmt::Write as _;
 use std::sync::OnceLock;
 
@@ -190,6 +198,10 @@ pub struct SweepSpec {
     pub network: NetworkSpec,
     /// Power-supply configuration (energy model + SRAM rail selection).
     pub supply: SupplySpec,
+    /// SRAM fault-model spec the Monte-Carlo dies are drawn from. The
+    /// default (i.i.d. Gaussian, [`FaultModel::gaussian_default`]) keeps
+    /// the pre-fault-model `v1`/`v2` canonical encodings byte-identical.
+    pub fault_model: FaultModel,
 }
 
 impl SweepSpec {
@@ -204,6 +216,7 @@ impl SweepSpec {
             ecc: EccMode::None,
             network: NetworkSpec::Toy,
             supply: SupplySpec::Single,
+            fault_model: FaultModel::default(),
         }
     }
 
@@ -304,6 +317,9 @@ impl SweepSpec {
                 }
             }
         }
+        if let Err(why) = self.fault_model.validate() {
+            return Err(format!("fault_model: {why}"));
+        }
         match self.supply {
             SupplySpec::Single => {}
             SupplySpec::Boosted { level } => {
@@ -336,21 +352,26 @@ impl SweepSpec {
     /// produce equal strings, so a digest of this string is a sound
     /// content-address for the sweep's results.
     ///
-    /// Single-supply specs encode as the historical `v1` string (no
-    /// `supply=` token) so content addresses minted before the supply field
-    /// existed remain valid; everything else encodes as `v2` with the
-    /// `supply=` token between `ecc=` and `net=`.
+    /// Single-supply specs with the default fault model encode as the
+    /// historical `v1` string (no `supply=` token) so content addresses
+    /// minted before the supply field existed remain valid; a non-single
+    /// supply with the default fault model encodes as `v2` with the
+    /// `supply=` token between `ecc=` and `net=`; any non-default fault
+    /// model encodes as `v3` with a `fault=` token between `ecc=` and
+    /// `supply=`/`net=`.
     #[must_use]
     pub fn canonical_string(&self) -> String {
         let mut out = String::new();
+        let version = if !self.fault_model.is_default() {
+            "v3"
+        } else if self.supply != SupplySpec::Single {
+            "v2"
+        } else {
+            "v1"
+        };
         let _ = write!(
             out,
-            "dante.sweep.{};seed={};trials={};sampling={};ecc={};",
-            if self.supply == SupplySpec::Single {
-                "v1"
-            } else {
-                "v2"
-            },
+            "dante.sweep.{version};seed={};trials={};sampling={};ecc={};",
             self.seed,
             self.trials,
             match self.sampling {
@@ -362,6 +383,9 @@ impl SweepSpec {
                 EccMode::SecDed => "secded",
             },
         );
+        if !self.fault_model.is_default() {
+            let _ = write!(out, "fault={};", self.fault_model.canonical_token());
+        }
         if self.supply != SupplySpec::Single {
             let _ = write!(out, "supply={};", self.supply.canonical_token());
         }
@@ -412,7 +436,8 @@ impl SweepSpec {
         };
         let evaluator = AccuracyEvaluator::new(self.trials)
             .with_sampling(self.sampling)
-            .with_ecc(self.ecc);
+            .with_ecc(self.ecc)
+            .with_fault_spec(self.fault_model);
         let layers = net.weight_layer_indices().len();
         PreparedSweep {
             spec: self.clone(),
@@ -675,6 +700,88 @@ mod tests {
         let mut f = a.clone();
         f.supply = SupplySpec::Dual { v_h_mv: 600 };
         assert_ne!(e.canonical_string(), f.canonical_string());
+        let mut g = a.clone();
+        g.fault_model = FaultModel::burst_default();
+        assert_ne!(a.canonical_string(), g.canonical_string());
+    }
+
+    #[test]
+    fn non_default_fault_model_encodes_as_v3_with_a_fault_token() {
+        let spec = SweepSpec {
+            fault_model: FaultModel::burst_default(),
+            ..SweepSpec::toy_default()
+        };
+        assert_eq!(
+            spec.canonical_string(),
+            "dante.sweep.v3;seed=893310;trials=4;sampling=sparse_tail;ecc=none;\
+             fault=burst.v1(mu=352,sigma=40,flip=500000,row=2000,col=1000,shift=120);\
+             net=toy;mv=360,400,440,480,520,560"
+        );
+        // v3 composes with the supply token in the fixed field order.
+        let both = SweepSpec {
+            fault_model: FaultModel::chip_variation_default(),
+            supply: SupplySpec::Boosted { level: 2 },
+            ..SweepSpec::toy_default()
+        };
+        let s = both.canonical_string();
+        assert!(s.starts_with("dante.sweep.v3;"), "{s}");
+        assert!(s.contains(";fault=chip.v1("), "{s}");
+        assert!(s.contains(");supply=boosted(2);net="), "{s}");
+        // v1/v2 strings never carry a fault token: the families are
+        // collision-free by construction.
+        assert!(!SweepSpec::toy_default()
+            .canonical_string()
+            .contains("fault="));
+        let v2 = SweepSpec {
+            supply: SupplySpec::Boosted { level: 3 },
+            ..SweepSpec::toy_default()
+        };
+        assert!(!v2.canonical_string().contains("fault="));
+    }
+
+    #[test]
+    fn validation_rejects_bad_fault_models() {
+        let bad = SweepSpec {
+            fault_model: FaultModel::Gaussian {
+                mu_mv: 100,
+                sigma_mv: 40,
+                flip_ppm: 500_000,
+            },
+            ..SweepSpec::toy_default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("fault_model"), "{err}");
+    }
+
+    #[test]
+    fn non_gaussian_sweeps_run_and_degrade_accuracy() {
+        // A burst model adds faults on top of the shared Gaussian
+        // background, so at a cliff voltage accuracy can only drop relative
+        // to the default model with the same seed.
+        let base = SweepSpec {
+            voltages_mv: vec![420],
+            trials: 3,
+            ..SweepSpec::toy_default()
+        };
+        let burst = SweepSpec {
+            fault_model: FaultModel::CorrelatedBurst {
+                mu_mv: 352,
+                sigma_mv: 40,
+                flip_ppm: 500_000,
+                row_weak_ppm: 50_000,
+                col_weak_ppm: 10_000,
+                shift_mv: 150,
+            },
+            ..base.clone()
+        };
+        let acc_base = base.prepare().run_point(0).stats.mean();
+        let acc_burst = burst.prepare().run_point(0).stats.mean();
+        assert!(
+            acc_burst <= acc_base,
+            "bursts must not improve accuracy: {acc_burst} vs {acc_base}"
+        );
+        // Deterministic like every other sweep.
+        assert_eq!(burst.prepare().run(), burst.prepare().run());
     }
 
     #[test]
@@ -699,6 +806,7 @@ mod tests {
                 epochs: 4,
             },
             supply: SupplySpec::Single,
+            fault_model: FaultModel::default(),
         };
         assert_eq!(
             mnist.canonical_string(),

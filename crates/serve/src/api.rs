@@ -7,12 +7,14 @@
 //! message naming the field, so a 400 always tells the client what to fix.
 
 use dante::accuracy::{EccMode, OverlaySampling};
+use dante::fleet::{FleetResult, FleetSpec};
 use dante::iso::{IsoAccuracyResult, IsoAccuracySpec, IsoConfigPoint};
 use dante::sweep::{NetworkSpec, SupplySpec, SweepPoint, SweepSpec};
 use dante_bench::json::Value;
 use dante_bench::record::{FigureRecord, Series};
+use dante_circuit::units::Volt;
 use dante_sim::TrialEvent;
-use dante_sram::fault::VminFaultModel;
+use dante_sram::model::{CellFaultRate, FaultModel};
 use std::collections::BTreeMap;
 
 /// Decodes a `POST /v1/sweep` body into a spec.
@@ -192,7 +194,161 @@ pub fn decode_spec(body: &[u8]) -> Result<SweepSpec, String> {
         ecc,
         network,
         supply,
+        fault_model: decode_fault_model(v.get("fault_model"))?,
     };
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Decodes the optional `fault_model` field shared by `/v1/sweep` and
+/// `/v1/fleet` bodies.
+///
+/// Accepted shapes (omitting the field selects the paper's default
+/// Gaussian, which keeps the spec's historical cache key):
+///
+/// ```json
+/// "gaussian" | "correlated_burst" | "chip_variation"
+/// | {"kind": "gaussian", "mu_mv": 352, "sigma_mv": 40, "flip_ppm": 500000}
+/// | {"kind": "correlated_burst", "row_weak_ppm": 2000, "col_weak_ppm": 1000, "shift_mv": 120}
+/// | {"kind": "chip_variation", "mu_spread_mv": 15, "sigma_spread_pct": 10}
+/// ```
+///
+/// Object forms also accept the base `mu_mv`/`sigma_mv`/`flip_ppm` keys;
+/// anything omitted falls back to the calibrated 14 nm defaults. Range
+/// checks happen in the spec's own `validate`, so a 400 names the bound.
+///
+/// # Errors
+///
+/// Returns a message naming the offending field.
+pub fn decode_fault_model(v: Option<&Value>) -> Result<FaultModel, String> {
+    let Some(v) = v else {
+        return Ok(FaultModel::default());
+    };
+    let bare = |token: &str| -> Result<FaultModel, String> {
+        match token {
+            "gaussian" => Ok(FaultModel::gaussian_default()),
+            "correlated_burst" => Ok(FaultModel::burst_default()),
+            "chip_variation" => Ok(FaultModel::chip_variation_default()),
+            other => Err(format!("unknown fault_model {other:?}")),
+        }
+    };
+    match v {
+        Value::String(s) => bare(s),
+        obj @ Value::Object(_) => {
+            let kind = obj
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "'fault_model.kind' must be a string".to_owned())?;
+            let int = |key: &str, default: u32| -> Result<u32, String> {
+                match obj.get(key) {
+                    None => Ok(default),
+                    Some(Value::Number(n)) if n.fract() == 0.0 && (0.0..=1e7).contains(n) => {
+                        Ok(*n as u32)
+                    }
+                    Some(_) => Err(format!("'fault_model.{key}' must be a small integer")),
+                }
+            };
+            let mu_mv = int("mu_mv", dante_sram::model::DEFAULT_MU_MV)?;
+            let sigma_mv = int("sigma_mv", dante_sram::model::DEFAULT_SIGMA_MV)?;
+            let flip_ppm = int("flip_ppm", dante_sram::model::DEFAULT_FLIP_PPM)?;
+            match kind {
+                "gaussian" => Ok(FaultModel::Gaussian {
+                    mu_mv,
+                    sigma_mv,
+                    flip_ppm,
+                }),
+                "correlated_burst" => Ok(FaultModel::CorrelatedBurst {
+                    mu_mv,
+                    sigma_mv,
+                    flip_ppm,
+                    row_weak_ppm: int("row_weak_ppm", 2000)?,
+                    col_weak_ppm: int("col_weak_ppm", 1000)?,
+                    shift_mv: int("shift_mv", 120)?,
+                }),
+                "chip_variation" => Ok(FaultModel::ChipVariation {
+                    mu_mv,
+                    sigma_mv,
+                    flip_ppm,
+                    mu_spread_mv: int("mu_spread_mv", 15)?,
+                    sigma_spread_pct: int("sigma_spread_pct", 10)?,
+                }),
+                other => Err(format!("unknown fault_model kind {other:?}")),
+            }
+        }
+        _ => Err("'fault_model' must be a string or object".to_owned()),
+    }
+}
+
+/// Decodes a `POST /v1/fleet` body into a [`FleetSpec`].
+///
+/// Accepted shape (every field optional; defaults are the fleet toy spec —
+/// a thousand 1 Mbit dies of the default Gaussian process):
+///
+/// ```json
+/// {
+///   "seed": 17, "dies": 1000, "array_bits": 1048576,
+///   "voltages_mv": [520, 560, 600],
+///   "grid": {"start_mv": 500, "stop_mv": 640, "step_mv": 10},
+///   "fault_model": "chip_variation"
+/// }
+/// ```
+///
+/// # Errors
+///
+/// Returns a human-readable reason naming the first offending field or the
+/// first bound the assembled spec violates.
+pub fn decode_fleet_spec(body: &[u8]) -> Result<FleetSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let v = Value::parse(text).map_err(|e| e.to_string())?;
+    if v.get("voltages_mv").is_some() && v.get("grid").is_some() {
+        return Err("give either 'voltages_mv' or 'grid', not both".to_owned());
+    }
+    let mut spec = FleetSpec::toy_default();
+    match v.get("seed") {
+        None => {}
+        Some(Value::Number(n)) if n.fract() == 0.0 && *n >= 0.0 && *n <= 1.8e19 => {
+            spec.seed = *n as u64;
+        }
+        Some(_) => return Err("'seed' must be a non-negative integer".to_owned()),
+    }
+    let size = |key: &str, default: usize| -> Result<usize, String> {
+        match v.get(key) {
+            None => Ok(default),
+            Some(Value::Number(n)) if n.fract() == 0.0 && (0.0..=1e9).contains(n) => {
+                Ok(*n as usize)
+            }
+            Some(_) => Err(format!("'{key}' must be a small non-negative integer")),
+        }
+    };
+    spec.dies = size("dies", spec.dies)?;
+    spec.array_bits = size("array_bits", spec.array_bits)?;
+    if let Some(grid) = v.get("grid") {
+        let part = |key: &str| -> Result<u32, String> {
+            grid.get(key)
+                .and_then(Value::as_f64)
+                .filter(|n| n.fract() == 0.0 && (0.0..=1e6).contains(n))
+                .map(|n| n as u32)
+                .ok_or_else(|| format!("'grid.{key}' must be a small non-negative integer"))
+        };
+        let (start, stop, step) = (part("start_mv")?, part("stop_mv")?, part("step_mv")?);
+        if step == 0 || stop < start {
+            return Err("'grid' needs step_mv >= 1 and stop_mv >= start_mv".to_owned());
+        }
+        spec.voltages_mv = (start..=stop).step_by(step as usize).collect();
+    } else if let Some(volts) = v.get("voltages_mv") {
+        spec.voltages_mv = volts
+            .as_array()
+            .ok_or_else(|| "'voltages_mv' must be an array".to_owned())?
+            .iter()
+            .map(|p| {
+                p.as_f64()
+                    .filter(|n| n.fract() == 0.0 && (0.0..=1e6).contains(n))
+                    .map(|n| n as u32)
+                    .ok_or_else(|| "'voltages_mv' entries must be integers (millivolts)".to_owned())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    spec.fault_model = decode_fault_model(v.get("fault_model"))?;
     spec.validate()?;
     Ok(spec)
 }
@@ -227,7 +383,10 @@ fn default_network(token: &str) -> Result<NetworkSpec, String> {
 /// same rendered bytes.
 #[must_use]
 pub fn build_record(spec: &SweepSpec, results: &[SweepPoint]) -> FigureRecord {
-    let model = VminFaultModel::default_14nm();
+    // The BER series reflects the spec's own fault model. For the default
+    // Gaussian this computes exactly `VminFaultModel::default_14nm()`'s
+    // bit_error_rate, so pre-fault-model responses stay byte-identical.
+    let model = spec.fault_model;
     let xy = |f: &dyn Fn(&SweepPoint) -> f64| -> Vec<(f64, f64)> {
         results.iter().map(|p| (p.vdd.volts(), f(p))).collect()
     };
@@ -243,7 +402,7 @@ pub fn build_record(spec: &SweepSpec, results: &[SweepPoint]) -> FigureRecord {
     .with_series(Series::new("accuracy min", xy(&|p| p.stats.min())))
     .with_series(Series::new(
         "bit error rate",
-        xy(&|p| model.bit_error_rate(p.v_sram)),
+        xy(&|p| model.marginal_ber(p.v_sram)),
     ))
     .with_series(Series::new("sram rail [V]", xy(&|p| p.v_sram.volts())))
     .with_series(Series::new(
@@ -290,6 +449,94 @@ pub fn build_record(spec: &SweepSpec, results: &[SweepPoint]) -> FigureRecord {
 pub fn run_spec_json(spec: &SweepSpec) -> String {
     let prep = spec.prepare();
     build_record(spec, &prep.run()).to_json_pretty()
+}
+
+/// Builds the `/v1/fleet` response record from a spec and its result.
+///
+/// Like [`build_record`], everything here is a pure function of the spec and
+/// its deterministic result, so cold runs, cache hits, and direct library
+/// calls render byte-identical JSON.
+#[must_use]
+pub fn build_fleet_record(spec: &FleetSpec, result: &FleetResult) -> FigureRecord {
+    let yield_points: Vec<(f64, f64)> = result
+        .yield_at_voltage
+        .iter()
+        .map(|&(mv, y)| (Volt::from_millivolts(f64::from(mv)).volts(), y))
+        .collect();
+    let analytic_points: Vec<(f64, f64)> = result
+        .yield_at_voltage
+        .iter()
+        .map(|&(mv, _)| {
+            let v = Volt::from_millivolts(f64::from(mv));
+            (v.volts(), spec.analytic_yield(v))
+        })
+        .collect();
+    FigureRecord::new(
+        "fleet",
+        "Fleet-scale V_min / yield sweep (dante-serve)",
+        "Vdd [V] (yield series) / quantile level (V_min series)",
+        "yield fraction / V_min [V]",
+    )
+    .with_series(Series::new("yield", yield_points))
+    .with_series(Series::new("analytic single-die yield", analytic_points))
+    .with_series(Series::new("vmin quantile [V]", result.quantiles.clone()))
+    .with_note(format!("spec: {}", spec.canonical_string()))
+    .with_note(format!(
+        "{} dies x {} bits; {} censored at the {} mV floor; {} faulty cells",
+        result.dies,
+        spec.array_bits,
+        result.censored_dies,
+        spec.voltages_mv[0],
+        result.total_fault_cells
+    ))
+    .with_note(
+        "deterministic per spec (counter-based die seeds); censored dies \
+         report V_min at the grid floor"
+            .to_owned(),
+    )
+}
+
+/// Runs a fleet spec synchronously through the library path and renders the
+/// response body — the reference the HTTP path must match byte-for-byte.
+#[must_use]
+pub fn run_fleet_json(spec: &FleetSpec) -> String {
+    build_fleet_record(spec, &spec.solve()).to_json_pretty()
+}
+
+/// Renders a fleet progress event line for the streaming endpoint: one
+/// `die`/`die_faults` pair per simulated die, bracketed by
+/// `fleet_start`/`fleet_done`. Stage timings are elided like in
+/// [`event_line`].
+#[must_use]
+pub fn fleet_event_line(event: &TrialEvent) -> Option<String> {
+    let mut obj = BTreeMap::new();
+    match event {
+        TrialEvent::BatchStart { total } => {
+            obj.insert("event".to_owned(), Value::String("fleet_start".to_owned()));
+            obj.insert("dies".to_owned(), Value::Number(*total as f64));
+        }
+        TrialEvent::TrialComplete { index, micros } => {
+            obj.insert("event".to_owned(), Value::String("die".to_owned()));
+            obj.insert("die".to_owned(), Value::Number(*index as f64));
+            obj.insert("micros".to_owned(), Value::Number(*micros as f64));
+        }
+        TrialEvent::FaultBits { index, bits } => {
+            obj.insert("event".to_owned(), Value::String("die_faults".to_owned()));
+            obj.insert("die".to_owned(), Value::Number(*index as f64));
+            obj.insert("cells".to_owned(), Value::Number(*bits as f64));
+        }
+        TrialEvent::BatchComplete { micros } => {
+            obj.insert("event".to_owned(), Value::String("fleet_done".to_owned()));
+            obj.insert("micros".to_owned(), Value::Number(*micros as f64));
+        }
+        TrialEvent::Annotation { key, value } => {
+            obj.insert("event".to_owned(), Value::String("annotation".to_owned()));
+            obj.insert("key".to_owned(), Value::String((*key).to_owned()));
+            obj.insert("value".to_owned(), Value::Number(*value));
+        }
+        TrialEvent::Stage { .. } => return None,
+    }
+    Some(Value::Object(obj).to_string_compact())
 }
 
 /// Decodes the `GET /v1/iso-accuracy` query string into a solve spec.
@@ -706,6 +953,167 @@ mod tests {
             }
         )
         .is_none());
+    }
+
+    #[test]
+    fn decodes_fault_models_in_sweep_bodies() {
+        let spec = decode_spec(br#"{"voltages_mv": [400]}"#).unwrap();
+        assert_eq!(spec.fault_model, FaultModel::default());
+        let spec =
+            decode_spec(br#"{"voltages_mv": [400], "fault_model": "correlated_burst"}"#).unwrap();
+        assert_eq!(spec.fault_model, FaultModel::burst_default());
+        let spec = decode_spec(
+            br#"{"voltages_mv": [400],
+                 "fault_model": {"kind": "chip_variation", "mu_spread_mv": 25}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.fault_model,
+            FaultModel::ChipVariation {
+                mu_mv: dante_sram::model::DEFAULT_MU_MV,
+                sigma_mv: dante_sram::model::DEFAULT_SIGMA_MV,
+                flip_ppm: dante_sram::model::DEFAULT_FLIP_PPM,
+                mu_spread_mv: 25,
+                sigma_spread_pct: 10,
+            }
+        );
+        for (body, needle) in [
+            (
+                br#"{"voltages_mv": [400], "fault_model": "thermal"}"#.as_slice(),
+                "thermal",
+            ),
+            (
+                br#"{"voltages_mv": [400], "fault_model": {"kind": "burst", "x": 1}}"#.as_slice(),
+                "kind",
+            ),
+            (
+                br#"{"voltages_mv": [400], "fault_model": {"kind": "gaussian", "mu_mv": "hi"}}"#
+                    .as_slice(),
+                "mu_mv",
+            ),
+            (
+                br#"{"voltages_mv": [400], "fault_model": {"kind": "gaussian", "sigma_mv": 900}}"#
+                    .as_slice(),
+                "sigma",
+            ),
+        ] {
+            let err = decode_spec(body).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{:?}: expected {needle:?} in {err:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn decodes_fleet_specs_with_defaults_and_grids() {
+        let spec = decode_fleet_spec(b"{}").unwrap();
+        assert_eq!(spec, dante::fleet::FleetSpec::toy_default());
+        let spec = decode_fleet_spec(
+            br#"{"seed": 9, "dies": 64, "array_bits": 65536,
+                 "grid": {"start_mv": 520, "stop_mv": 600, "step_mv": 40},
+                 "fault_model": "chip_variation"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.dies, 64);
+        assert_eq!(spec.array_bits, 65536);
+        assert_eq!(spec.voltages_mv, vec![520, 560, 600]);
+        assert_eq!(spec.fault_model, FaultModel::chip_variation_default());
+        for (body, needle) in [
+            (br#"{"dies": 0}"#.as_slice(), "dies"),
+            (br#"{"voltages_mv": [560, 520]}"#.as_slice(), "increasing"),
+            (
+                br#"{"voltages_mv": [520], "grid": {"start_mv": 1, "stop_mv": 2, "step_mv": 1}}"#
+                    .as_slice(),
+                "not both",
+            ),
+            (br#"{"fault_model": 7}"#.as_slice(), "fault_model"),
+        ] {
+            let err = decode_fleet_spec(body).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{:?}: expected {needle:?} in {err:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_record_is_a_pure_function_of_the_spec() {
+        let spec = decode_fleet_spec(
+            br#"{"dies": 32, "array_bits": 16384,
+                 "grid": {"start_mv": 520, "stop_mv": 600, "step_mv": 40}}"#,
+        )
+        .unwrap();
+        let a = run_fleet_json(&spec);
+        let b = run_fleet_json(&spec);
+        assert_eq!(a, b, "two library runs must render identically");
+        for needle in [
+            "\"id\": \"fleet\"",
+            "vmin quantile [V]",
+            "analytic single-die yield",
+        ] {
+            assert!(a.contains(needle), "fleet record missing {needle}");
+        }
+        assert!(a.contains(&spec.canonical_string()));
+    }
+
+    #[test]
+    fn fleet_event_lines_name_dies() {
+        let line = fleet_event_line(&TrialEvent::TrialComplete {
+            index: 7,
+            micros: 11,
+        })
+        .unwrap();
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("die"));
+        assert_eq!(v.get("die").and_then(Value::as_f64), Some(7.0));
+        let line = fleet_event_line(&TrialEvent::FaultBits { index: 7, bits: 3 }).unwrap();
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("die_faults"));
+        assert_eq!(v.get("cells").and_then(Value::as_f64), Some(3.0));
+        assert!(fleet_event_line(&TrialEvent::Stage {
+            stage: "sample",
+            micros: 1
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn sweep_record_ber_series_follows_the_spec_fault_model() {
+        let base = SweepSpec {
+            voltages_mv: vec![440],
+            trials: 2,
+            ..SweepSpec::toy_default()
+        };
+        let burst = SweepSpec {
+            fault_model: FaultModel::burst_default(),
+            ..base.clone()
+        };
+        let ber_of = |spec: &SweepSpec| -> f64 {
+            let prep = spec.prepare();
+            let json = build_record(spec, &prep.run()).to_json_pretty();
+            let v = Value::parse(&json).unwrap();
+            v.get("series")
+                .and_then(Value::as_array)
+                .unwrap()
+                .iter()
+                .find(|s| s.get("name").and_then(Value::as_str) == Some("bit error rate"))
+                .and_then(|s| s.get("points"))
+                .and_then(Value::as_array)
+                .and_then(|pts| pts[0].as_array())
+                .and_then(|p| p[1].as_f64())
+                .unwrap()
+        };
+        let v = dante_circuit::units::Volt::from_millivolts(440.0);
+        assert_eq!(ber_of(&base), base.fault_model.marginal_ber(v));
+        assert_eq!(ber_of(&burst), burst.fault_model.marginal_ber(v));
+        assert!(
+            ber_of(&burst) > ber_of(&base),
+            "weak-cell bursts raise the marginal BER"
+        );
     }
 
     #[test]

@@ -45,12 +45,16 @@ fn exchange(addr: SocketAddr, request: &str) -> (u16, Vec<String>, Vec<u8>) {
     (status, headers, body)
 }
 
-fn post_sweep(addr: SocketAddr, payload: &str) -> (u16, Vec<String>, Vec<u8>) {
+fn post(addr: SocketAddr, path: &str, payload: &str) -> (u16, Vec<String>, Vec<u8>) {
     let request = format!(
-        "POST /v1/sweep HTTP/1.1\r\nHost: smoke\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        "POST {path} HTTP/1.1\r\nHost: smoke\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
         payload.len(),
     );
     exchange(addr, &request)
+}
+
+fn post_sweep(addr: SocketAddr, payload: &str) -> (u16, Vec<String>, Vec<u8>) {
+    post(addr, "/v1/sweep", payload)
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, Vec<String>, Vec<u8>) {
@@ -149,16 +153,42 @@ fn main() {
     }
     println!("smoke: iso-accuracy solve + cache hit ok");
 
+    // Fleet sweep under a non-default (correlated-burst) fault model: cold
+    // run, then a cache hit that must be byte-identical to the cold bytes.
+    let fleet_payload = r#"{"dies": 64, "array_bits": 65536, "grid": {"start_mv": 520, "stop_mv": 620, "step_mv": 20}, "fault_model": {"kind": "correlated_burst"}}"#;
+    let (status, headers, cold_fleet) = post(addr, "/v1/fleet", fleet_payload);
+    assert_eq!(
+        status,
+        200,
+        "cold fleet: {}",
+        String::from_utf8_lossy(&cold_fleet)
+    );
+    assert_eq!(header(&headers, "X-Dante-Cache"), Some("miss"));
+    let (status, headers, warm_fleet) = post(addr, "/v1/fleet", fleet_payload);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "X-Dante-Cache"), Some("hit"));
+    assert_eq!(
+        cold_fleet, warm_fleet,
+        "fleet cache hit must be byte-identical to the cold run"
+    );
+    let fleet_text = String::from_utf8(cold_fleet).expect("fleet body is UTF-8");
+    for needle in ["\"id\": \"fleet\"", "vmin quantile [V]", "fault=burst.v1("] {
+        assert!(fleet_text.contains(needle), "fleet body missing {needle}");
+    }
+    println!("smoke: fleet sweep + byte-identical cache hit ok");
+
     let (status, _, body) = get(addr, "/metrics");
     assert_eq!(status, 200);
     let text = String::from_utf8(body).expect("metrics is UTF-8");
     for needle in [
         "dante_serve_requests_total",
-        "dante_serve_cache_hits_total 2",
-        "dante_serve_jobs_completed_total 2",
+        "dante_serve_cache_hits_total 3",
+        "dante_serve_jobs_completed_total 3",
         "dante_serve_energy_sweep_jobs_total 1",
         "dante_serve_iso_accuracy_solves_total 1",
         "dante_serve_iso_accuracy_cache_hits_total 1",
+        "dante_serve_fleet_jobs_total 1",
+        "dante_serve_fleet_cache_hits_total 1",
     ] {
         assert!(text.contains(needle), "metrics missing {needle}:\n{text}");
     }

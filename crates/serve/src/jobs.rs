@@ -6,6 +6,7 @@
 //! [`Job::wait_terminal`], and streaming connections replaying
 //! [`Job::state`] events as they appear.
 
+use dante::fleet::FleetSpec;
 use dante::sweep::SweepSpec;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -67,6 +68,45 @@ pub struct JobState {
     pub error: Option<String>,
 }
 
+/// The work a job carries: a voltage sweep or a fleet-scale V_min/yield
+/// population sweep. Both are content-addressed by their canonical strings,
+/// whose distinct `dante.sweep.` / `dante.fleet.` prefixes keep the two
+/// cache-key families disjoint by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// A Monte-Carlo accuracy/energy sweep (`POST /v1/sweep`).
+    Sweep(SweepSpec),
+    /// A fleet V_min/yield sweep (`POST /v1/fleet`).
+    Fleet(FleetSpec),
+}
+
+impl JobSpec {
+    /// The canonical content-address input of the underlying spec.
+    #[must_use]
+    pub fn canonical_string(&self) -> String {
+        match self {
+            Self::Sweep(spec) => spec.canonical_string(),
+            Self::Fleet(spec) => spec.canonical_string(),
+        }
+    }
+
+    /// Whether the job exercises the energy-comparison machinery (fleet
+    /// sweeps never do — they sample overlays, not inference energy).
+    #[must_use]
+    pub fn is_energy_sweep(&self) -> bool {
+        match self {
+            Self::Sweep(spec) => spec.is_energy_sweep(),
+            Self::Fleet(_) => false,
+        }
+    }
+
+    /// Whether this is a fleet sweep (counted separately in `/metrics`).
+    #[must_use]
+    pub fn is_fleet(&self) -> bool {
+        matches!(self, Self::Fleet(_))
+    }
+}
+
 /// One sweep job.
 #[derive(Debug)]
 pub struct Job {
@@ -75,7 +115,7 @@ pub struct Job {
     /// Content digest of the spec's canonical string.
     pub digest: String,
     /// The work itself.
-    pub spec: SweepSpec,
+    pub spec: JobSpec,
     /// Guarded state; lock only briefly.
     pub state: Mutex<JobState>,
     /// Signalled on every state/event change.
@@ -83,7 +123,7 @@ pub struct Job {
 }
 
 impl Job {
-    fn new(id: String, digest: String, spec: SweepSpec) -> Self {
+    fn new(id: String, digest: String, spec: JobSpec) -> Self {
         Self {
             id,
             digest,
@@ -143,6 +183,13 @@ impl Job {
     #[must_use]
     pub fn is_energy_sweep(&self) -> bool {
         self.spec.is_energy_sweep()
+    }
+
+    /// Whether this job is a fleet sweep (counted separately in `/metrics`
+    /// as `dante_serve_fleet_jobs_total`).
+    #[must_use]
+    pub fn is_fleet(&self) -> bool {
+        self.spec.is_fleet()
     }
 
     /// Blocks until the job reaches a terminal status or `shutdown` is
@@ -271,7 +318,7 @@ impl JobRegistry {
 
     /// Creates and registers a job for `spec`.
     #[must_use]
-    pub fn create(&self, spec: SweepSpec, digest: String) -> Arc<Job> {
+    pub fn create(&self, spec: JobSpec, digest: String) -> Arc<Job> {
         let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
         let job = Arc::new(Job::new(id.clone(), digest.clone(), spec));
         self.jobs
@@ -332,8 +379,20 @@ impl JobRegistry {
 mod tests {
     use super::*;
 
-    fn spec() -> SweepSpec {
-        SweepSpec::toy_default()
+    fn spec() -> JobSpec {
+        JobSpec::Sweep(SweepSpec::toy_default())
+    }
+
+    #[test]
+    fn job_spec_delegates_classification_and_canonical_string() {
+        let sweep = spec();
+        assert!(!sweep.is_fleet());
+        assert!(!sweep.is_energy_sweep(), "toy single-supply sweep");
+        assert!(sweep.canonical_string().starts_with("dante.sweep."));
+        let fleet = JobSpec::Fleet(FleetSpec::toy_default());
+        assert!(fleet.is_fleet());
+        assert!(!fleet.is_energy_sweep());
+        assert!(fleet.canonical_string().starts_with("dante.fleet."));
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //! | Endpoint | Meaning |
 //! |---|---|
 //! | `POST /v1/sweep` | Run a sweep (JSON spec); add `?mode=async` for 202 + job id |
+//! | `POST /v1/fleet` | Run a fleet V_min/yield sweep (JSON spec); `?mode=async` works too |
+//! | `GET /v1/iso-accuracy` | Solve `V_min` at an accuracy floor, compare supply energies |
 //! | `GET /v1/jobs/<id>` | Job status (embeds the result record once done) |
 //! | `GET /v1/jobs/<id>/result` | The raw (byte-exact) result body |
-//! | `GET /v1/jobs/<id>/events` | Chunked NDJSON stream of per-trial progress |
+//! | `GET /v1/jobs/<id>/events` | Chunked NDJSON stream of per-trial (or per-die) progress |
 //! | `GET /healthz` | Liveness probe |
 //! | `GET /metrics` | Flat-text counters, gauges, latency percentiles |
 //!
@@ -44,5 +46,5 @@ pub mod metrics;
 pub mod server;
 
 pub use cache::{digest, ResultCache};
-pub use jobs::{Job, JobQueue, JobRegistry, JobStatus, QueueFull};
+pub use jobs::{Job, JobQueue, JobRegistry, JobSpec, JobStatus, QueueFull};
 pub use server::{start, ServerConfig, ServerHandle};

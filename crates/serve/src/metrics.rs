@@ -58,6 +58,10 @@ pub struct Metrics {
     pub iso_accuracy_solves: AtomicU64,
     /// `GET /v1/iso-accuracy` responses served from the result cache.
     pub iso_accuracy_cache_hits: AtomicU64,
+    /// Completed `POST /v1/fleet` population sweeps (cold computes).
+    pub fleet_jobs: AtomicU64,
+    /// `POST /v1/fleet` responses served from the result cache.
+    pub fleet_cache_hits: AtomicU64,
     /// Ring of recent request latencies in microseconds.
     latencies: Mutex<LatencyRing>,
 }
@@ -134,6 +138,8 @@ impl Metrics {
              dante_serve_energy_sweep_jobs_total {}\n\
              dante_serve_iso_accuracy_solves_total {}\n\
              dante_serve_iso_accuracy_cache_hits_total {}\n\
+             dante_serve_fleet_jobs_total {}\n\
+             dante_serve_fleet_cache_hits_total {}\n\
              dante_serve_queue_depth {queue_depth}\n\
              dante_serve_cache_hits_total {cache_hits}\n\
              dante_serve_cache_misses_total {cache_misses}\n\
@@ -149,6 +155,8 @@ impl Metrics {
             load(&self.energy_sweep_jobs),
             load(&self.iso_accuracy_solves),
             load(&self.iso_accuracy_cache_hits),
+            load(&self.fleet_jobs),
+            load(&self.fleet_cache_hits),
         )
     }
 }
@@ -175,6 +183,8 @@ mod tests {
         assert!(text.contains("dante_serve_cache_misses_total 7"));
         assert!(text.contains("dante_serve_energy_sweep_jobs_total 0"));
         assert!(text.contains("dante_serve_iso_accuracy_solves_total 0"));
+        assert!(text.contains("dante_serve_fleet_jobs_total 0"));
+        assert!(text.contains("dante_serve_fleet_cache_hits_total 0"));
         let (p50, p99) = m.latency_percentiles();
         assert_eq!(p50, 200);
         assert_eq!(p99, 300);

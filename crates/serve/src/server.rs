@@ -4,7 +4,7 @@
 use crate::api;
 use crate::cache::{digest, ResultCache};
 use crate::http::{self, configure_stream, read_request, ChunkedResponse, Request, RequestError};
-use crate::jobs::{Job, JobQueue, JobRegistry, JobStatus};
+use crate::jobs::{Job, JobQueue, JobRegistry, JobSpec, JobStatus};
 use crate::metrics::Metrics;
 use dante_bench::json::Value;
 use dante_sim::EventObserver;
@@ -262,6 +262,9 @@ fn worker_loop(shared: &Arc<Shared>) {
                         .energy_sweep_jobs
                         .fetch_add(1, Ordering::Relaxed);
                 }
+                if job.is_fleet() {
+                    shared.metrics.fleet_jobs.fetch_add(1, Ordering::Relaxed);
+                }
                 job.push_event(format!(r#"{{"event":"done","job":"{}"}}"#, job.id), true);
                 job.set_status(JobStatus::Done, Some(body), None);
             }
@@ -280,24 +283,40 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Executes one sweep, point by point, bridging trial hooks into events.
+/// Executes one job, bridging trial hooks into events: sweeps run point by
+/// point, fleets run die by die (one trial per die).
 fn run_job(job: &Arc<Job>) -> String {
-    let prep = job.spec.prepare();
-    let mut results = Vec::with_capacity(prep.point_count());
-    for point in 0..prep.point_count() {
-        let mv = job.spec.voltages_mv[point];
-        let observer = EventObserver::new(|event| {
-            if let Some(line) = api::event_line(point, mv, &event) {
-                // Annotations (one per point, carrying the point's energy)
-                // bypass the event cap so clients always see them even on
-                // sweeps whose trial chatter overflows the buffer.
-                let force = matches!(event, dante_sim::TrialEvent::Annotation { .. });
-                job.push_event(line, force);
+    match &job.spec {
+        JobSpec::Sweep(spec) => {
+            let prep = spec.prepare();
+            let mut results = Vec::with_capacity(prep.point_count());
+            for point in 0..prep.point_count() {
+                let mv = spec.voltages_mv[point];
+                let observer = EventObserver::new(|event| {
+                    if let Some(line) = api::event_line(point, mv, &event) {
+                        // Annotations (one per point, carrying the point's
+                        // energy) bypass the event cap so clients always see
+                        // them even on sweeps whose trial chatter overflows
+                        // the buffer.
+                        let force = matches!(event, dante_sim::TrialEvent::Annotation { .. });
+                        job.push_event(line, force);
+                    }
+                });
+                results.push(prep.run_point_observed(point, &observer));
             }
-        });
-        results.push(prep.run_point_observed(point, &observer));
+            api::build_record(spec, &results).to_json_pretty()
+        }
+        JobSpec::Fleet(spec) => {
+            let observer = EventObserver::new(|event| {
+                if let Some(line) = api::fleet_event_line(&event) {
+                    let force = matches!(event, dante_sim::TrialEvent::BatchComplete { .. });
+                    job.push_event(line, force);
+                }
+            });
+            let result = spec.solve_observed(&observer);
+            api::build_fleet_record(spec, &result).to_json_pretty()
+        }
     }
-    api::build_record(&job.spec, &results).to_json_pretty()
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
@@ -367,6 +386,7 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request, keep_a
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
         ("POST", "/v1/sweep") => post_sweep(stream, shared, request, keep_alive),
+        ("POST", "/v1/fleet") => post_fleet(stream, shared, request, keep_alive),
         ("GET", "/v1/iso-accuracy") => get_iso_accuracy(stream, shared, request, keep_alive),
         ("GET", "/healthz") => respond(stream, 200, "text/plain", &[], b"ok\n", keep_alive),
         ("GET", "/metrics") => {
@@ -384,7 +404,7 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request, keep_a
                 job_status(stream, shared, rest, keep_alive)
             }
         }
-        (_, "/v1/sweep" | "/v1/iso-accuracy" | "/healthz" | "/metrics") => respond(
+        (_, "/v1/sweep" | "/v1/fleet" | "/v1/iso-accuracy" | "/healthz" | "/metrics") => respond(
             stream,
             405,
             "application/json",
@@ -421,23 +441,63 @@ fn post_sweep(
     request: &Request,
     keep_alive: bool,
 ) -> u16 {
-    let spec = match api::decode_spec(&request.body) {
-        Ok(spec) => spec,
-        Err(why) => {
-            return respond(
-                stream,
-                400,
-                "application/json",
-                &[],
-                api::error_body(&why).as_bytes(),
-                keep_alive,
-            )
-        }
-    };
+    match api::decode_spec(&request.body) {
+        Ok(spec) => submit_job(stream, shared, request, keep_alive, JobSpec::Sweep(spec)),
+        Err(why) => respond(
+            stream,
+            400,
+            "application/json",
+            &[],
+            api::error_body(&why).as_bytes(),
+            keep_alive,
+        ),
+    }
+}
+
+/// `POST /v1/fleet`: run a fleet-scale V_min/yield sweep through the same
+/// queue, worker pool, and result cache as `/v1/sweep`. Fleet canonical
+/// strings carry their own `dante.fleet.` prefix, so the two cache-key
+/// families cannot collide; fleet cache hits are counted separately in
+/// `/metrics`.
+fn post_fleet(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &Request,
+    keep_alive: bool,
+) -> u16 {
+    match api::decode_fleet_spec(&request.body) {
+        Ok(spec) => submit_job(stream, shared, request, keep_alive, JobSpec::Fleet(spec)),
+        Err(why) => respond(
+            stream,
+            400,
+            "application/json",
+            &[],
+            api::error_body(&why).as_bytes(),
+            keep_alive,
+        ),
+    }
+}
+
+/// Shared submission path for `/v1/sweep` and `/v1/fleet`: cache lookup,
+/// dedup against an identical in-flight job, enqueue (429 on a full queue),
+/// then either a 202 ticket (`?mode=async`) or a synchronous wait.
+fn submit_job(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &Request,
+    keep_alive: bool,
+    spec: JobSpec,
+) -> u16 {
     let key = digest(&spec.canonical_string());
     let wants_async = request.query_param("mode") == Some("async");
 
     if let Some(body) = shared.cache.get(&key) {
+        if spec.is_fleet() {
+            shared
+                .metrics
+                .fleet_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
         return respond(
             stream,
             200,

@@ -582,6 +582,149 @@ fn iso_accuracy_endpoint_solves_caches_and_rejects() {
 }
 
 #[test]
+fn fleet_endpoint_serves_caches_and_streams_per_die_progress() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+    let payload = r#"{"dies": 48, "array_bits": 65536, "grid": {"start_mv": 520, "stop_mv": 600, "step_mv": 40}, "fault_model": "chip_variation"}"#;
+    let post_fleet = |payload: &str, query: &str| {
+        exchange(
+            addr,
+            format!(
+                "POST /v1/fleet{query} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+                payload.len(),
+            )
+            .as_bytes(),
+        )
+    };
+
+    let spec = dante_serve::api::decode_fleet_spec(payload.as_bytes()).expect("valid fleet spec");
+    let reference = dante_serve::api::run_fleet_json(&spec);
+
+    let cold = post_fleet(payload, "");
+    assert_eq!(cold.status, 200, "{}", cold.body_str());
+    assert_eq!(cold.header("X-Dante-Cache"), Some("miss"));
+    assert_eq!(
+        cold.body_str(),
+        reference,
+        "served fleet sweep must be byte-identical to the library path"
+    );
+
+    let warm = post_fleet(payload, "");
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("X-Dante-Cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body, "fleet cache hit is byte-identical");
+
+    // Async submission of a distinct fleet: 202 ticket, then the event
+    // stream replays per-die progress and the result endpoint serves the
+    // byte-exact record.
+    let payload2 = r#"{"seed": 3, "dies": 16, "array_bits": 65536, "grid": {"start_mv": 520, "stop_mv": 600, "step_mv": 40}}"#;
+    let submitted = post_fleet(payload2, "?mode=async");
+    assert_eq!(submitted.status, 202, "{}", submitted.body_str());
+    let body = submitted.body_str().to_owned();
+    let needle = r#""job":""#;
+    let start = body.find(needle).expect("job id") + needle.len();
+    let job_id = body[start..].split('"').next().unwrap().to_owned();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = get(addr, &format!("/v1/jobs/{job_id}"));
+        assert_eq!(status.status, 200);
+        if status.body_str().contains(r#""status":"done""#)
+            || status.body_str().contains(r#""status": "done""#)
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fleet finished in time"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    write!(
+        stream,
+        "GET /v1/jobs/{job_id}/events HTTP/1.1\r\nHost: t\r\n\r\n"
+    )
+    .expect("write");
+    let mut all = Vec::new();
+    let mut reader = BufReader::new(stream);
+    reader.read_to_end(&mut all).expect("read stream");
+    let text = String::from_utf8(all).expect("UTF-8");
+    for needle in [
+        r#""event":"fleet_start""#,
+        r#""event":"die""#,
+        r#""event":"die_faults""#,
+        r#""event":"fleet_done""#,
+        r#""event":"end","status":"done""#,
+    ] {
+        assert!(text.contains(needle), "missing {needle} in stream:\n{text}");
+    }
+
+    // Invalid fleet specs are 400s naming the bound.
+    let bad = post_fleet(r#"{"dies": 0}"#, "");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body_str().contains("dies"), "{}", bad.body_str());
+
+    // The fleet counters tick: two cold fleets, one cache hit.
+    let metrics = get(addr, "/metrics");
+    assert!(
+        metrics
+            .body_str()
+            .contains("dante_serve_fleet_jobs_total 2"),
+        "{}",
+        metrics.body_str()
+    );
+    assert!(
+        metrics
+            .body_str()
+            .contains("dante_serve_fleet_cache_hits_total 1"),
+        "{}",
+        metrics.body_str()
+    );
+
+    handle.shutdown();
+    assert!(handle.join());
+}
+
+#[test]
+fn sweep_with_fault_model_keys_a_distinct_cache_family() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+
+    let default_payload =
+        r#"{"network": "toy", "trials": 2, "voltages_mv": [420, 480], "seed": 77}"#;
+    let burst_payload = r#"{"network": "toy", "trials": 2, "voltages_mv": [420, 480], "seed": 77, "fault_model": "correlated_burst"}"#;
+
+    let base = post_sweep(addr, default_payload);
+    assert_eq!(base.status, 200, "{}", base.body_str());
+    let burst = post_sweep(addr, burst_payload);
+    assert_eq!(burst.status, 200, "{}", burst.body_str());
+    // Distinct cache keys (v1 vs v3 canonical strings) — the second run is
+    // a cold miss, not a hit on the default-model entry.
+    assert_eq!(burst.header("X-Dante-Cache"), Some("miss"));
+    assert_ne!(
+        base.header("X-Dante-Digest"),
+        burst.header("X-Dante-Digest"),
+        "fault-model sweeps must not alias the default-model cache entry"
+    );
+    assert_ne!(base.body, burst.body);
+    assert!(base.body_str().contains("dante.sweep.v1;"));
+    assert!(burst.body_str().contains("dante.sweep.v3;"));
+    assert!(burst.body_str().contains("fault=burst.v1("));
+
+    // And the served burst record matches the library path byte-for-byte.
+    let spec = dante_serve::api::decode_spec(burst_payload.as_bytes()).expect("valid spec");
+    assert_eq!(burst.body_str(), dante_serve::api::run_spec_json(&spec));
+
+    handle.shutdown();
+    assert!(handle.join());
+}
+
+#[test]
 fn unknown_routes_and_methods_are_mapped_to_404_and_405() {
     let handle = boot(ServerConfig::default());
     let addr = handle.addr();

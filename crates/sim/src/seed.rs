@@ -26,6 +26,14 @@ pub mod site {
     pub const POLICY_STEP: u64 = 0x07;
     /// One differential accelerator-vs-reference verification trial.
     pub const DIFF_TRIAL: u64 = 0x08;
+    /// One simulated die of a fleet-scale V_min/yield sweep.
+    pub const FLEET_DIE: u64 = 0x09;
+    /// A die's chip-to-chip variation profile (its `(mu, sigma)` draw from
+    /// the hyper-distribution).
+    pub const CHIP_PROFILE: u64 = 0x0A;
+    /// The row/column burst stream of a correlated fault overlay, kept
+    /// disjoint from the i.i.d. background stream of the same overlay seed.
+    pub const FAULT_BURST: u64 = 0x0B;
 }
 
 /// SplitMix64 finalizer: a bijective avalanche mix of 64 bits.

@@ -16,6 +16,10 @@
 //!   (4 KB macros, 64 Kbit banks, 128 KB + 16 KB memories).
 //! * [`ber_fit`] — probit regression from measured `(V, BER)` points back to
 //!   a fault model.
+//! * [`model`] — pluggable fault-model specs above the Gaussian workhorse:
+//!   i.i.d. Gaussian, spatially correlated row/column bursts, and
+//!   chip-to-chip variation, with a versioned canonical encoding for
+//!   cache keys and per-die resolution via counter-derived seeds.
 //! * [`ecc`] — a Hamming(72,64) SEC-DED code, the conventional low-V_min
 //!   alternative used as an ablation baseline.
 //! * [`yield_model`] — array-level yield curves and V_min-for-yield search
@@ -42,6 +46,7 @@ pub mod fault;
 pub mod fault_map;
 pub mod geometry;
 pub mod math;
+pub mod model;
 pub mod sparse;
 pub mod storage;
 pub mod yield_model;
@@ -51,6 +56,7 @@ pub use ecc::{decode as ecc_decode, encode as ecc_encode, Codeword, Correction};
 pub use fault::{VminFaultModel, DEFAULT_READ_FLIP_PROBABILITY, V_DATA_RETENTION};
 pub use fault_map::{FaultMask, VminField};
 pub use geometry::{BankGeometry, MacroGeometry, MemoryGeometry};
+pub use model::{BurstDie, CellFaultRate, DieFaultModel, FaultModel};
 pub use sparse::{SparseCell, SparseOverlay};
 pub use storage::{AccessStats, CorruptionOverlay, FaultOverlay, FaultyMacro};
 pub use yield_model::{array_yield, array_yield_secded, vmin_for_yield, vmin_for_yield_secded};

@@ -16,18 +16,27 @@
 //! three curves and the V_min each scheme achieves for a target yield.
 
 use crate::ecc::word_failure_probability;
-use crate::fault::{VminFaultModel, V_DATA_RETENTION};
+use crate::fault::V_DATA_RETENTION;
+use crate::model::CellFaultRate;
 use dante_circuit::units::Volt;
 
 /// Yield of an unprotected array of `bits` cells at voltage `v`.
+///
+/// Generic over any [`CellFaultRate`] — a [`crate::fault::VminFaultModel`]
+/// keeps the closed-form Gaussian fast path (its `marginal_ber` *is*
+/// `bit_error_rate`), while burst and chip-variation specs plug in their
+/// own marginals. The closed form treats cells as exchangeable, which is
+/// exact for the faulty-cell *count* under every model here (weak-set
+/// membership is independent per cell at the marginal level); fleet-level
+/// dispersion across dies is the business of `FleetSpec`, not this curve.
 ///
 /// # Panics
 ///
 /// Panics if `bits` is zero.
 #[must_use]
-pub fn array_yield(model: &VminFaultModel, v: Volt, bits: u64) -> f64 {
+pub fn array_yield<M: CellFaultRate + ?Sized>(model: &M, v: Volt, bits: u64) -> f64 {
     assert!(bits > 0, "array must have at least one cell");
-    let f = model.bit_error_rate(v);
+    let f = model.marginal_ber(v);
     // Use the log form to stay stable for huge arrays.
     (bits as f64 * (1.0 - f).ln()).exp()
 }
@@ -39,21 +48,22 @@ pub fn array_yield(model: &VminFaultModel, v: Volt, bits: u64) -> f64 {
 ///
 /// Panics if `words` is zero.
 #[must_use]
-pub fn array_yield_secded(model: &VminFaultModel, v: Volt, words: u64) -> f64 {
+pub fn array_yield_secded<M: CellFaultRate + ?Sized>(model: &M, v: Volt, words: u64) -> f64 {
     assert!(words > 0, "array must have at least one word");
-    let f = model.bit_error_rate(v);
+    let f = model.marginal_ber(v);
     let word_fail = word_failure_probability(f);
     (words as f64 * (1.0 - word_fail).ln()).exp()
 }
 
 /// The minimum voltage at which an unprotected array of `bits` cells
-/// reaches `target_yield`, found by bisection over the operating range.
+/// reaches `target_yield`, found by bisection over the operating range
+/// (every [`CellFaultRate`] marginal is monotone decreasing in voltage).
 ///
 /// # Panics
 ///
 /// Panics unless `target_yield` is in `(0, 1)` and `bits > 0`.
 #[must_use]
-pub fn vmin_for_yield(model: &VminFaultModel, target_yield: f64, bits: u64) -> Volt {
+pub fn vmin_for_yield<M: CellFaultRate + ?Sized>(model: &M, target_yield: f64, bits: u64) -> Volt {
     vmin_search(target_yield, |v| array_yield(model, v, bits))
 }
 
@@ -64,7 +74,11 @@ pub fn vmin_for_yield(model: &VminFaultModel, target_yield: f64, bits: u64) -> V
 ///
 /// Panics unless `target_yield` is in `(0, 1)` and `words > 0`.
 #[must_use]
-pub fn vmin_for_yield_secded(model: &VminFaultModel, target_yield: f64, words: u64) -> Volt {
+pub fn vmin_for_yield_secded<M: CellFaultRate + ?Sized>(
+    model: &M,
+    target_yield: f64,
+    words: u64,
+) -> Volt {
     vmin_search(target_yield, |v| array_yield_secded(model, v, words))
 }
 
@@ -93,6 +107,7 @@ fn vmin_search(target_yield: f64, yield_at: impl Fn(Volt) -> f64) -> Volt {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::VminFaultModel;
 
     const MBIT_4: u64 = 4 * 1024 * 1024;
 
@@ -169,5 +184,50 @@ mod tests {
     fn bad_target_rejected() {
         let m = VminFaultModel::default_14nm();
         let _ = vmin_for_yield(&m, 1.0, 1024);
+    }
+
+    #[test]
+    fn fault_model_spec_yield_matches_the_direct_gaussian_path() {
+        // The generalized signature with a default spec reproduces the
+        // legacy `&VminFaultModel` results exactly — the Gaussian fast
+        // path survived the abstraction.
+        let direct = VminFaultModel::default_14nm();
+        let spec = crate::model::FaultModel::default();
+        for mv in [460u32, 500, 540, 580] {
+            let v = Volt::from_millivolts(f64::from(mv));
+            assert_eq!(
+                array_yield(&spec, v, MBIT_4),
+                array_yield(&direct, v, MBIT_4)
+            );
+            assert_eq!(
+                array_yield_secded(&spec, v, MBIT_4 / 64),
+                array_yield_secded(&direct, v, MBIT_4 / 64)
+            );
+        }
+        assert_eq!(
+            vmin_for_yield(&spec, 0.99, MBIT_4),
+            vmin_for_yield(&direct, 0.99, MBIT_4)
+        );
+    }
+
+    #[test]
+    fn correlated_and_chip_variation_models_raise_vmin_for_yield() {
+        // Weak rows/columns and die-to-die mu spread both fatten the fault
+        // tail, so the voltage needed for a given yield rises.
+        let gauss = vmin_for_yield(&crate::model::FaultModel::default(), 0.99, MBIT_4);
+        let burst = vmin_for_yield(&crate::model::FaultModel::burst_default(), 0.99, MBIT_4);
+        let chip = vmin_for_yield(
+            &crate::model::FaultModel::chip_variation_default(),
+            0.99,
+            MBIT_4,
+        );
+        assert!(
+            burst > gauss,
+            "burst V_min {burst} must exceed Gaussian {gauss}"
+        );
+        assert!(
+            chip > gauss,
+            "chip-variation V_min {chip} must exceed Gaussian {gauss}"
+        );
     }
 }

@@ -157,6 +157,41 @@ pub fn normal_bin_edges(mu: f64, sigma: f64, bins: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Index-of-dispersion test statistic for count data:
+/// `(n - 1) * s^2 / mean`, distributed as `chi^2(n - 1)` when the counts
+/// are i.i.d. Poisson (the limit of per-word fault counts under an
+/// independent-cell fault model with small per-cell probability).
+///
+/// This is the classic variance-to-mean clustering test: spatially
+/// correlated faults (weak rows/columns) overdisperse the per-word counts
+/// and inflate the statistic far above the chi-square upper critical value,
+/// while an i.i.d. model keeps it inside the two-sided acceptance band
+/// (`chi_square_critical(n - 1, 1 - alpha/2)` ..
+/// `chi_square_critical(n - 1, alpha/2)`).
+///
+/// # Panics
+///
+/// Panics if fewer than two counts are given or the mean is zero (no
+/// faults — no dispersion to measure).
+#[must_use]
+pub fn index_of_dispersion(counts: &[u64]) -> f64 {
+    assert!(
+        counts.len() >= 2,
+        "dispersion needs at least two count bins"
+    );
+    let n = counts.len() as f64;
+    let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n;
+    assert!(mean > 0.0, "dispersion is undefined for all-zero counts");
+    let ss = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>();
+    ss / mean
+}
+
 /// Histogram of `samples` over the bins delimited by sorted interior
 /// `edges` (first bin is `(-inf, edges[0])`, last is `[edges.last(), inf)`),
 /// returned as `edges.len() + 1` counts.
@@ -282,6 +317,24 @@ mod tests {
             prev = cdf(e);
         }
         assert!((1.0 - prev - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dispersion_is_small_for_flat_counts_and_large_for_clustered_ones() {
+        // Perfectly flat counts: s^2 = 0, statistic 0.
+        assert!(index_of_dispersion(&[5; 100]).abs() < 1e-12);
+        // Hand-computed: counts [2, 4] have mean 3, ss = 2, statistic 2/3.
+        let s = index_of_dispersion(&[2, 4]);
+        assert!((s - 2.0 / 3.0).abs() < 1e-12, "s = {s}");
+        // All mass clustered in one bin out of 100 (a "burst"): the
+        // statistic explodes past the chi-square upper critical value.
+        let mut clustered = vec![0u64; 100];
+        clustered[17] = 100;
+        let s = index_of_dispersion(&clustered);
+        assert!(
+            s > 10.0 * chi_square_critical(99, 0.01),
+            "clustered counts must reject the i.i.d. null: {s}"
+        );
     }
 
     #[test]

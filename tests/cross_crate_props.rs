@@ -10,6 +10,7 @@ use dante_dataflow::activity::{LayerActivity, WorkloadActivity};
 use dante_energy::supply::{BoostedGroup, EnergyModel};
 use dante_nn::quant::ScaledQuantizer;
 use dante_sram::fault::VminFaultModel;
+use dante_sram::model::FaultModel;
 use dante_sram::storage::FaultOverlay;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -149,30 +150,68 @@ proptest! {
 
     /// `SweepSpec::canonical_string` is injective: two specs are equal
     /// exactly when their canonical strings are byte-equal, across random
-    /// seeds, grids, samplers, ECC modes, networks, and supply configs.
-    /// This is what makes the string safe as a cache/digest key.
+    /// seeds, grids, samplers, ECC modes, networks, supply configs, and
+    /// fault models. This is what makes the string safe as a cache/digest
+    /// key.
     #[test]
     fn sweep_canonical_string_is_injective(
         a in (0u64..20, 1usize..4, 0u8..2, 0u8..2, 0u8..3, 0usize..6, 0u8..3, 0u32..100),
         b in (0u64..20, 1usize..4, 0u8..2, 0u8..2, 0u8..3, 0usize..6, 0u8..3, 0u32..100),
+        fm_a in (0u8..4, 0u32..40),
+        fm_b in (0u8..4, 0u32..40),
         mvs_a in prop::collection::vec(320u32..560, 1..4),
         mvs_b in prop::collection::vec(320u32..560, 1..4),
     ) {
-        let sa = sweep_spec_from(a, &mvs_a);
-        let sb = sweep_spec_from(b, &mvs_b);
+        let sa = sweep_spec_from(a, fm_a, &mvs_a);
+        let sb = sweep_spec_from(b, fm_b, &mvs_b);
         prop_assert_eq!(sa == sb, sa.canonical_string() == sb.canonical_string());
-        // The version tag is keyed on the supply alone, and the two
-        // encodings cannot collide: only v2 ever contains a supply token.
+        // The version tag is keyed on the fault model, then the supply, and
+        // the families cannot collide: only v3 ever contains a fault token,
+        // and within v1/v2 only v2 ever contains a supply token.
         for s in [&sa, &sb] {
             let c = s.canonical_string();
-            if s.supply == SupplySpec::Single {
+            if !s.fault_model.is_default() {
+                prop_assert!(c.starts_with("dante.sweep.v3;"));
+                prop_assert!(c.contains("fault="));
+            } else if s.supply == SupplySpec::Single {
                 prop_assert!(c.starts_with("dante.sweep.v1;"));
                 prop_assert!(!c.contains("supply="));
+                prop_assert!(!c.contains("fault="));
             } else {
                 prop_assert!(c.starts_with("dante.sweep.v2;"));
                 prop_assert!(c.contains("supply="));
+                prop_assert!(!c.contains("fault="));
             }
         }
+    }
+
+    /// The fault-model canonical token is injective on its own: distinct
+    /// specs — including same-variant, different-parameter pairs — never
+    /// share a token.
+    #[test]
+    fn fault_model_token_is_injective(
+        fm_a in (0u8..4, 0u32..40),
+        fm_b in (0u8..4, 0u32..40),
+    ) {
+        let a = fault_model_from(fm_a);
+        let b = fault_model_from(fm_b);
+        prop_assert_eq!(a == b, a.canonical_token() == b.canonical_token());
+        // Tokens are versioned so a future re-parameterization can coexist.
+        prop_assert!(a.canonical_token().contains(".v1("));
+    }
+
+    /// Cache-key stability: every spec whose fault model is the default —
+    /// i.e. every spec that *could have existed* before the field was added
+    /// — encodes byte-identically to the historical pre-fault-model writer,
+    /// reimplemented here verbatim as the reference.
+    #[test]
+    fn default_fault_model_specs_keep_their_prior_cache_keys(
+        a in (0u64..20, 1usize..4, 0u8..2, 0u8..2, 0u8..3, 0usize..6, 0u8..3, 0u32..100),
+        mvs in prop::collection::vec(320u32..560, 1..4),
+    ) {
+        let spec = sweep_spec_from(a, (0, 0), &mvs);
+        prop_assert!(spec.fault_model.is_default());
+        prop_assert_eq!(spec.canonical_string(), legacy_canonical_string(&spec));
     }
 
     /// The LDO efficiency formula stays in (0, 1] and degrades with dropout.
@@ -203,6 +242,7 @@ fn sweep_spec_from(
         u8,
         u32,
     ),
+    fault: (u8, u32),
     mvs: &[u32],
 ) -> SweepSpec {
     SweepSpec {
@@ -242,7 +282,74 @@ fn sweep_spec_from(
                 v_h_mv: 560 + supply_p % 140,
             },
         },
+        fault_model: fault_model_from(fault),
     }
+}
+
+/// Builds a [`FaultModel`] from primitive draws: the default Gaussian, a
+/// perturbed Gaussian, a burst spec, or a chip-variation spec, each with
+/// `p` wiggling its own parameters.
+fn fault_model_from((kind, p): (u8, u32)) -> FaultModel {
+    match kind {
+        0 => FaultModel::default(),
+        1 => FaultModel::Gaussian {
+            mu_mv: 330 + p,
+            sigma_mv: 30 + p % 20,
+            flip_ppm: 400_000 + 1_000 * p,
+        },
+        2 => FaultModel::CorrelatedBurst {
+            mu_mv: 352,
+            sigma_mv: 40,
+            flip_ppm: 500_000,
+            row_weak_ppm: 1_000 + 100 * p,
+            col_weak_ppm: 500 + 50 * p,
+            shift_mv: 100 + p,
+        },
+        _ => FaultModel::ChipVariation {
+            mu_mv: 352,
+            sigma_mv: 40,
+            flip_ppm: 500_000,
+            mu_spread_mv: 5 + p,
+            sigma_spread_pct: p % 30,
+        },
+    }
+}
+
+/// The pre-fault-model canonical writer (PR 5's exact v1/v2 logic), kept
+/// here as the byte-level reference the compat property checks against.
+fn legacy_canonical_string(spec: &SweepSpec) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "dante.sweep.{};seed={};trials={};sampling={};ecc={};",
+        if spec.supply == SupplySpec::Single {
+            "v1"
+        } else {
+            "v2"
+        },
+        spec.seed,
+        spec.trials,
+        match spec.sampling {
+            OverlaySampling::Dense => "dense",
+            OverlaySampling::SparseTail => "sparse_tail",
+        },
+        match spec.ecc {
+            EccMode::None => "none",
+            EccMode::SecDed => "secded",
+        },
+    );
+    if spec.supply != SupplySpec::Single {
+        let _ = write!(out, "supply={};", spec.supply.canonical_token());
+    }
+    let _ = write!(out, "net={};mv=", spec.network.canonical_token());
+    for (i, mv) in spec.voltages_mv.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{mv}");
+    }
+    out
 }
 
 /// Cache-compat regression: a single-supply spec keeps the exact `v1`
@@ -264,6 +371,7 @@ fn single_supply_alexnet_spec_still_encodes_as_v1() {
             epochs: 1,
         },
         supply: SupplySpec::Single,
+        fault_model: FaultModel::default(),
     };
     assert_eq!(
         spec.canonical_string(),

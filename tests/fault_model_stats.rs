@@ -15,11 +15,12 @@ use dante_nn::network::Network;
 use dante_sram::fault::VminFaultModel;
 use dante_sram::fault_map::VminField;
 use dante_sram::math::{phi_cdf, q_tail, q_tail_inv};
-use dante_sram::sparse::SparseOverlay;
+use dante_sram::model::FaultModel;
+use dante_sram::sparse::{SparseCell, SparseOverlay};
 use dante_verify::overlay::{sparse_matches_dense, sparse_vmin_cdf};
 use dante_verify::stats::{
-    bin_counts, chi_square_critical, chi_square_statistic, ks_critical, ks_statistic,
-    normal_bin_edges, wilson_interval,
+    bin_counts, chi_square_critical, chi_square_statistic, index_of_dispersion, ks_critical,
+    ks_statistic, normal_bin_edges, wilson_interval,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -280,6 +281,156 @@ fn sparse_projection_of_a_dense_die_corrupts_identically() {
     )
     .unwrap_or_else(|m| panic!("{m}"));
     assert_eq!(compared, voltages.len() * (1usize << 20).div_ceil(64));
+}
+
+/// Acceptance scale for the clustering tests: 2^19 cells = 8192 words of
+/// 64 bits (sixteen 32 Kbit macro tiles), sampled at a 440 mV floor where
+/// the background Gaussian BER is ~1.4% (mean ~0.9 faults per word).
+const CLUSTER_BITS: usize = 1 << 19;
+const CLUSTER_FLOOR_MV: u32 = 440;
+
+/// Samples a die under `model` and returns its faulty-at-floor cells.
+fn cluster_cells(model: FaultModel, seed: u64) -> Vec<SparseCell> {
+    let floor = Volt::from_millivolts(f64::from(CLUSTER_FLOOR_MV));
+    let die = model.resolve_die(seed);
+    let (mut indices, mut cells) = (Vec::new(), Vec::new());
+    die.sample_cells_into(CLUSTER_BITS, floor, seed, &mut indices, &mut cells);
+    cells
+}
+
+/// Fault counts per 64-bit word (the row-clustering statistic's bins).
+fn per_word_counts(cells: &[SparseCell]) -> Vec<u64> {
+    let mut counts = vec![0u64; CLUSTER_BITS / 64];
+    for c in cells {
+        counts[(c.index / 64) as usize] += 1;
+    }
+    counts
+}
+
+/// Fault counts per bit lane (column within the 64-bit word — the
+/// column-clustering statistic's bins).
+fn per_lane_counts(cells: &[SparseCell]) -> Vec<u64> {
+    let mut counts = vec![0u64; 64];
+    for c in cells {
+        counts[(c.index % 64) as usize] += 1;
+    }
+    counts
+}
+
+/// A burst model with only weak *rows* (2% of words), exaggerated enough
+/// for decisive statistical power at acceptance scale.
+fn row_burst_model() -> FaultModel {
+    FaultModel::CorrelatedBurst {
+        mu_mv: 352,
+        sigma_mv: 40,
+        flip_ppm: 500_000,
+        row_weak_ppm: 20_000,
+        col_weak_ppm: 0,
+        shift_mv: 120,
+    }
+}
+
+/// A burst model with only weak *columns* (2% of bit lanes per macro tile).
+fn col_burst_model() -> FaultModel {
+    FaultModel::CorrelatedBurst {
+        mu_mv: 352,
+        sigma_mv: 40,
+        flip_ppm: 500_000,
+        row_weak_ppm: 0,
+        col_weak_ppm: 20_000,
+        shift_mv: 120,
+    }
+}
+
+#[test]
+fn gaussian_per_word_counts_pass_the_dispersion_clustering_test() {
+    // Under the i.i.d. Gaussian model, per-word fault counts are
+    // Binomial(64, p) — the index of dispersion sits at or slightly below
+    // its chi-square null expectation, never above the upper critical
+    // value. This is the i.i.d. null the correlated model must fail.
+    let cells = cluster_cells(FaultModel::default(), 9001);
+    let counts = per_word_counts(&cells);
+    let stat = index_of_dispersion(&counts);
+    let crit = chi_square_critical(counts.len() - 1, 0.01);
+    assert!(
+        stat < crit,
+        "i.i.d. dispersion {stat:.1} exceeds the alpha=0.01 critical value {crit:.1}"
+    );
+}
+
+#[test]
+fn row_bursts_reject_the_iid_null_by_word_dispersion() {
+    // Weak rows concentrate ~50 extra faults into 2% of the words; the
+    // variance-to-mean statistic must reject the i.i.d. null decisively,
+    // not marginally.
+    let cells = cluster_cells(row_burst_model(), 9001);
+    let counts = per_word_counts(&cells);
+    let stat = index_of_dispersion(&counts);
+    let crit = chi_square_critical(counts.len() - 1, 0.01);
+    assert!(
+        stat > 10.0 * crit,
+        "row bursts must overdisperse per-word counts: {stat:.1} vs crit {crit:.1}"
+    );
+}
+
+#[test]
+fn gaussian_per_lane_counts_pass_the_uniformity_test() {
+    // Fault positions are uniform over bit lanes under the i.i.d. model, so
+    // a 64-bin chi-square uniformity test accepts.
+    let cells = cluster_cells(FaultModel::default(), 424242);
+    let counts = per_lane_counts(&cells);
+    let total: u64 = counts.iter().sum();
+    let expected = vec![total as f64 / 64.0; 64];
+    let stat = chi_square_statistic(&counts, &expected);
+    let crit = chi_square_critical(63, 0.01);
+    assert!(
+        stat < crit,
+        "i.i.d. lane chi-square {stat:.1} exceeds the alpha=0.01 critical value {crit:.1}"
+    );
+}
+
+#[test]
+fn column_bursts_reject_lane_uniformity() {
+    // Each weak column pours ~400 extra faults into a single bit lane of
+    // one macro tile; aggregated lane totals are grossly non-uniform.
+    let cells = cluster_cells(col_burst_model(), 424242);
+    let counts = per_lane_counts(&cells);
+    let total: u64 = counts.iter().sum();
+    let expected = vec![total as f64 / 64.0; 64];
+    let stat = chi_square_statistic(&counts, &expected);
+    let crit = chi_square_critical(63, 0.01);
+    assert!(
+        stat > 10.0 * crit,
+        "column bursts must skew lane totals: {stat:.1} vs crit {crit:.1}"
+    );
+}
+
+#[test]
+fn burst_background_tail_still_matches_the_conditional_gaussian() {
+    // The burst model's *background* (non-weak) population reuses the exact
+    // Gaussian tail stream, so the bulk of its cells must still pass KS
+    // against the conditional Gaussian — bursts add a small contaminated
+    // fraction, far below the alpha=0.01 rejection threshold only if we
+    // test the background-dominated mixture with a mild row rate.
+    let model = FaultModel::CorrelatedBurst {
+        mu_mv: 352,
+        sigma_mv: 40,
+        flip_ppm: 500_000,
+        row_weak_ppm: 10,
+        col_weak_ppm: 10,
+        shift_mv: 120,
+    };
+    let cells = cluster_cells(model, 77);
+    let samples: Vec<f64> = cells.iter().map(|c| f64::from(c.vmin)).collect();
+    let gaussian = VminFaultModel::default_14nm();
+    let floor = Volt::from_millivolts(f64::from(CLUSTER_FLOOR_MV));
+    let d = ks_statistic(&samples, sparse_vmin_cdf(&gaussian, floor));
+    let crit = ks_critical(samples.len(), 0.01);
+    assert!(
+        d < crit,
+        "near-zero burst rates must leave the tail distribution intact: \
+         D_n = {d:.5} vs crit {crit:.5}"
+    );
 }
 
 fn toy_net_and_data() -> (Network, Vec<f32>, Vec<u8>) {

@@ -11,10 +11,11 @@
 use crate::chip::ChipConfig;
 use crate::isa::{Instruction, MemoryId};
 use crate::memory::{BoostedMemory, MemoryStats};
-use crate::pe::{mac, relu_q, requantize};
+use crate::pe::{relu_q, requantize};
 use crate::program::Program;
 use dante_circuit::bic::BoostConfig;
 use dante_circuit::units::Volt;
+use dante_nn::gemm::dot_i16;
 use dante_sram::fault::VminFaultModel;
 use rand::Rng;
 
@@ -318,10 +319,10 @@ impl Dante {
             });
             for r in 0..tile_rows {
                 let w_row = self.read_codes(MemoryId::Weight, r * words_per_row, layer.in_len());
-                let mut acc = layer.bias_acc()[row + r];
-                for (&w, &xi) in w_row.iter().zip(x) {
-                    acc = mac(acc, w, xi);
-                }
+                // Shared integer kernel: `dot_i16` only reorders exact `i64`
+                // additions, so the tile result is bit-identical to the
+                // sequential MAC chain.
+                let acc = dot_i16(layer.bias_acc()[row + r], &w_row, &x[..layer.in_len()]);
                 self.stats.macs += layer.in_len() as u64;
                 let mut code = requantize(acc, m, s);
                 if layer.relu() {
@@ -380,6 +381,11 @@ impl Dante {
                 for oy in 0..oh {
                     for ox in 0..ow {
                         let mut acc = bias;
+                        // Each unclipped filter row is a contiguous span of
+                        // both the weight row and the input plane, so the
+                        // inner loop collapses to one `dot_i16` per (ic, ky).
+                        let kx_lo = p.saturating_sub(ox);
+                        let kx_hi = k.min((p + w).saturating_sub(ox));
                         for ic in 0..c_in {
                             for ky in 0..k {
                                 let iy = oy + ky;
@@ -387,18 +393,16 @@ impl Dante {
                                     continue;
                                 }
                                 let iy = iy - p;
-                                for kx in 0..k {
-                                    let ix = ox + kx;
-                                    if ix < p || ix - p >= w {
-                                        continue;
-                                    }
-                                    let ix = ix - p;
-                                    acc = mac(
-                                        acc,
-                                        w_row[(ic * k + ky) * k + kx],
-                                        x[(ic * h + iy) * w + ix],
-                                    );
+                                if kx_lo >= kx_hi {
+                                    continue;
                                 }
+                                let wb = (ic * k + ky) * k;
+                                let xb = (ic * h + iy) * w + (ox + kx_lo - p);
+                                acc = dot_i16(
+                                    acc,
+                                    &w_row[wb + kx_lo..wb + kx_hi],
+                                    &x[xb..xb + (kx_hi - kx_lo)],
+                                );
                             }
                         }
                         self.stats.macs += row_len as u64;

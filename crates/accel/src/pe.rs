@@ -139,4 +139,38 @@ mod tests {
     fn non_positive_ratio_rejected() {
         let _ = quantize_multiplier(0.0);
     }
+
+    /// The PE's requantizer and the host-side GEMM epilogue
+    /// (`dante_nn::gemm::round_shift_saturate`) must be the same function,
+    /// including at accumulator/multiplier extremes — the executor relies on
+    /// this when cross-checking accelerator runs against the host reference.
+    #[test]
+    fn requantize_matches_gemm_epilogue_at_extremes() {
+        let accs = [
+            i64::MIN,
+            i64::MIN + 1,
+            -(1i64 << 40) - 1,
+            -3,
+            -1,
+            0,
+            1,
+            3,
+            (1i64 << 40) + 1,
+            i64::MAX - 1,
+            i64::MAX,
+        ];
+        let mults = [1i32, 2, 3, (1 << 30) - 1, 1 << 30, i32::MAX];
+        let shifts = [0u32, 1, 2, 15, 31, 47, 62];
+        for &acc in &accs {
+            for &m in &mults {
+                for &s in &shifts {
+                    assert_eq!(
+                        requantize(acc, m, s),
+                        dante_nn::gemm::round_shift_saturate(acc, m, s),
+                        "acc={acc} m={m} s={s}"
+                    );
+                }
+            }
+        }
+    }
 }

@@ -1,6 +1,6 @@
 //! Regenerates `BENCH_mc.json`: the tracked dense-vs-sparse Monte-Carlo
-//! performance report (overlay generation, per-trial corruption, full
-//! accuracy sweep).
+//! performance report (overlay generation, per-trial corruption, per-trial
+//! forward pass, full accuracy sweep).
 //!
 //! `DANTE_BENCH_QUICK=1` selects the CI smoke scale; `DANTE_BENCH_OUT`
 //! overrides the output path (default `BENCH_mc.json`).
@@ -31,6 +31,16 @@ fn main() {
         report.corruption.sparse_ns,
         report.corruption.speedup()
     );
+    for row in &report.forward_pass {
+        eprintln!(
+            "  forward pass @ {:.2} V: scalar {:.0} ns, batched {:.0} ns, speedup {:.1}x, {:.0} img/s",
+            row.v_volts,
+            row.scalar_ns,
+            row.batched_ns,
+            row.speedup(),
+            row.batched_images_per_sec()
+        );
+    }
     eprintln!(
         "  accuracy sweep: dense {:.2} s, sparse {:.2} s, speedup {:.2}x, max accuracy delta {:.4}",
         report.sweep.dense_seconds,

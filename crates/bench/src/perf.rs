@@ -7,7 +7,10 @@
 //! 2. **Per-trial corruption** — the `"corrupt"` stage of the Monte-Carlo
 //!    accuracy evaluator (quantize-once + undo-log hot path), dense vs.
 //!    sparse sampling.
-//! 3. **Full accuracy sweep** — the end-to-end MNIST voltage sweep the
+//! 3. **Forward pass** — the `"inference"` stage of the same evaluator,
+//!    scalar per-image path vs. the trial-batched incremental GEMM path,
+//!    with the batched throughput in images per second.
+//! 4. **Full accuracy sweep** — the end-to-end MNIST voltage sweep the
 //!    figures run, wall-clock dense vs. sparse.
 //!
 //! The report serializes to the machine-readable `BENCH_mc.json` committed
@@ -16,7 +19,7 @@
 //! headline generation speedup.
 
 use crate::json::Value;
-use dante::accuracy::{AccuracyEvaluator, OverlaySampling, VoltageAssignment};
+use dante::accuracy::{AccuracyEvaluator, ForwardPath, OverlaySampling, VoltageAssignment};
 use dante::artifacts::trained_mnist_fc;
 use dante_circuit::units::Volt;
 use dante_nn::network::Network;
@@ -169,21 +172,50 @@ pub fn generation_bench(v: Volt, quick: bool) -> GenerationBench {
     }
 }
 
-/// Collects the evaluator's per-trial `"corrupt"` stage durations.
-#[derive(Debug, Default)]
-struct CorruptStageCollector {
-    corrupt: Mutex<Vec<Duration>>,
+/// Collects the evaluator's per-trial durations for one named stage.
+#[derive(Debug)]
+struct StageCollector {
+    stage: &'static str,
+    durations: Mutex<Vec<Duration>>,
 }
 
-impl TrialObserver for CorruptStageCollector {
+impl StageCollector {
+    fn new(stage: &'static str) -> Self {
+        Self {
+            stage,
+            durations: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl TrialObserver for StageCollector {
     fn on_stage(&self, stage: &'static str, elapsed: Duration) {
-        if stage == "corrupt" {
-            self.corrupt
+        if stage == self.stage {
+            self.durations
                 .lock()
                 .expect("collector mutex poisoned")
                 .push(elapsed);
         }
     }
+}
+
+/// Mean per-trial duration of one evaluator stage, nanoseconds.
+fn mean_stage_ns(
+    eval: &AccuracyEvaluator,
+    stage: &'static str,
+    net: &Network,
+    assignment: &VoltageAssignment,
+    images: &[f32],
+    labels: &[u8],
+) -> f64 {
+    let collector = StageCollector::new(stage);
+    let _ = eval.evaluate_observed(net, assignment, images, labels, 0xC0DE, &collector);
+    let durations = collector.durations.into_inner().expect("mutex poisoned");
+    assert!(
+        !durations.is_empty(),
+        "evaluator reported no {stage} stages"
+    );
+    durations.iter().map(|d| d.as_secs_f64() * 1e9).sum::<f64>() / durations.len() as f64
 }
 
 /// Mean per-trial corruption time of the accuracy evaluator, dense vs.
@@ -218,21 +250,81 @@ impl CorruptionBench {
     }
 }
 
-fn mean_corrupt_ns(
-    eval: &AccuracyEvaluator,
+/// Per-trial forward-pass (`"inference"` stage) timing of the accuracy
+/// evaluator, scalar vs. trial-batched, at one uniform voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardPassBench {
+    /// The uniform evaluation voltage, volts.
+    pub v_volts: f64,
+    /// Trials per forward path.
+    pub trials: usize,
+    /// Test images scored per trial.
+    pub test_images: usize,
+    /// Mean scalar-path `"inference"` stage, nanoseconds.
+    pub scalar_ns: f64,
+    /// Mean trial-batched `"inference"` stage, nanoseconds.
+    pub batched_ns: f64,
+}
+
+impl ForwardPassBench {
+    /// Mean scalar inference time over mean batched.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ns / self.batched_ns
+    }
+
+    /// Batched forward-pass throughput, scored images per second.
+    #[must_use]
+    pub fn batched_images_per_sec(&self) -> f64 {
+        self.test_images as f64 / (self.batched_ns * 1e-9)
+    }
+
+    fn to_json(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("v_volts".into(), Value::Number(self.v_volts));
+        map.insert("trials".into(), Value::Number(self.trials as f64));
+        map.insert("test_images".into(), Value::Number(self.test_images as f64));
+        map.insert("scalar_ns".into(), Value::Number(self.scalar_ns));
+        map.insert("batched_ns".into(), Value::Number(self.batched_ns));
+        map.insert("speedup".into(), Value::Number(self.speedup()));
+        map.insert(
+            "batched_images_per_sec".into(),
+            Value::Number(self.batched_images_per_sec()),
+        );
+        Value::Object(map)
+    }
+}
+
+/// Times the evaluator's `"inference"` stage under both forward paths at
+/// voltage `v` (sparse tail sampling, the production configuration).
+///
+/// The voltage sets how much the incremental path can skip: at the cliff
+/// (0.44 V) nearly every weight word is touched and the batched win is
+/// mostly the tiled GEMM; in the deep tail (0.54 V) only a handful of
+/// words flip and the incremental re-scoring dominates.
+#[must_use]
+pub fn forward_pass_bench(
     net: &Network,
-    assignment: &VoltageAssignment,
     images: &[f32],
     labels: &[u8],
-) -> f64 {
-    let collector = CorruptStageCollector::default();
-    let _ = eval.evaluate_observed(net, assignment, images, labels, 0xC0DE, &collector);
-    let durations = collector.corrupt.into_inner().expect("mutex poisoned");
-    assert!(
-        !durations.is_empty(),
-        "evaluator reported no corrupt stages"
-    );
-    durations.iter().map(|d| d.as_secs_f64() * 1e9).sum::<f64>() / durations.len() as f64
+    trials: usize,
+    v: Volt,
+) -> ForwardPassBench {
+    let layers = net.weight_layer_indices().len();
+    let assignment = VoltageAssignment::uniform(v, layers);
+    let stage_ns = |path| {
+        let eval = AccuracyEvaluator::new(trials)
+            .with_sampling(OverlaySampling::SparseTail)
+            .with_forward_path(path);
+        mean_stage_ns(&eval, "inference", net, &assignment, images, labels)
+    };
+    ForwardPassBench {
+        v_volts: v.volts(),
+        trials,
+        test_images: labels.len(),
+        scalar_ns: stage_ns(ForwardPath::Scalar),
+        batched_ns: stage_ns(ForwardPath::Batched),
+    }
 }
 
 /// End-to-end MNIST accuracy voltage sweep, dense vs. sparse.
@@ -319,6 +411,9 @@ pub struct McBenchReport {
     pub generation: Vec<GenerationBench>,
     /// Per-trial corruption stage timing.
     pub corruption: CorruptionBench,
+    /// Per-trial forward-pass stage timing, scalar vs. batched, one row
+    /// per voltage (cliff and tail).
+    pub forward_pass: Vec<ForwardPassBench>,
     /// End-to-end accuracy sweep timing.
     pub sweep: SweepBench,
 }
@@ -340,6 +435,15 @@ impl McBenchReport {
             ),
         );
         map.insert("per_trial_corruption".into(), self.corruption.to_json());
+        map.insert(
+            "forward_pass".into(),
+            Value::Array(
+                self.forward_pass
+                    .iter()
+                    .map(ForwardPassBench::to_json)
+                    .collect(),
+            ),
+        );
         map.insert("accuracy_sweep".into(), self.sweep.to_json());
         Value::Object(map)
     }
@@ -379,18 +483,30 @@ pub fn run_mc_bench(quick: bool) -> McBenchReport {
     let assignment = VoltageAssignment::uniform(v_cliff, layers);
     let dense_eval = AccuracyEvaluator::new(trials).with_sampling(OverlaySampling::Dense);
     let sparse_eval = AccuracyEvaluator::new(trials).with_sampling(OverlaySampling::SparseTail);
-    let corruption = CorruptionBench {
-        v_volts: v_cliff.volts(),
-        trials,
-        dense_ns: mean_corrupt_ns(&dense_eval, &net, &assignment, test.images(), test.labels()),
-        sparse_ns: mean_corrupt_ns(
-            &sparse_eval,
+    let corrupt_ns = |eval: &AccuracyEvaluator| {
+        mean_stage_ns(
+            eval,
+            "corrupt",
             &net,
             &assignment,
             test.images(),
             test.labels(),
-        ),
+        )
     };
+    let corruption = CorruptionBench {
+        v_volts: v_cliff.volts(),
+        trials,
+        dense_ns: corrupt_ns(&dense_eval),
+        sparse_ns: corrupt_ns(&sparse_eval),
+    };
+
+    // Cliff (everything dirty: the pure-GEMM win) and deep tail (a
+    // handful of flips: the incremental win), matching the generation
+    // bench's two regimes.
+    let forward_pass = [v_cliff, Volt::new(0.54)]
+        .iter()
+        .map(|&v| forward_pass_bench(&net, test.images(), test.labels(), trials, v))
+        .collect();
 
     let voltages: Vec<Volt> = if quick {
         vec![Volt::new(0.38), Volt::new(0.44), Volt::new(0.50)]
@@ -438,6 +554,7 @@ pub fn run_mc_bench(quick: bool) -> McBenchReport {
         quick,
         generation,
         corruption,
+        forward_pass,
         sweep,
     }
 }
@@ -496,6 +613,13 @@ mod tests {
                 dense_ns: 1e8,
                 sparse_ns: 1e6,
             },
+            forward_pass: vec![ForwardPassBench {
+                v_volts: 0.44,
+                trials: 6,
+                test_images: 200,
+                scalar_ns: 8e8,
+                batched_ns: 1e8,
+            }],
             sweep: SweepBench {
                 voltages: vec![0.38, 0.44, 0.50],
                 trials: 6,
@@ -523,5 +647,32 @@ mod tests {
             .and_then(Value::as_f64)
             .expect("sweep speedup");
         assert!((sweep_speedup - 5.0).abs() < 1e-9);
+        let fwd = &parsed
+            .get("forward_pass")
+            .and_then(Value::as_array)
+            .expect("forward_pass rows")[0];
+        let fwd_speedup = fwd
+            .get("speedup")
+            .and_then(Value::as_f64)
+            .expect("forward speedup");
+        assert!((fwd_speedup - 8.0).abs() < 1e-9);
+        let throughput = fwd
+            .get("batched_images_per_sec")
+            .and_then(Value::as_f64)
+            .expect("throughput");
+        assert!((throughput - 2_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forward_pass_bench_times_both_paths_consistently() {
+        // A tiny trained net: the point is that both paths produce positive
+        // inference timings over the same trial count, not the speedup
+        // itself (that claim is gated at full scale in perf_smoke).
+        let (net, test) = trained_mnist_fc(400, 64, 1);
+        let row = forward_pass_bench(&net, test.images(), test.labels(), 3, Volt::new(0.44));
+        assert_eq!(row.trials, 3);
+        assert_eq!(row.test_images, 64);
+        assert!(row.scalar_ns > 0.0 && row.batched_ns > 0.0);
+        assert!(row.batched_images_per_sec() > 0.0);
     }
 }

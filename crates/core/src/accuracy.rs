@@ -10,6 +10,7 @@
 //! reproduces the paper's 100-fault-map methodology.
 
 use dante_circuit::units::Volt;
+use dante_nn::batched::{trial_correct_count, BatchedScratch, CleanForward, LayerWork};
 use dante_nn::layers::Layer;
 use dante_nn::network::Network;
 use dante_nn::quant::ScaledQuantizer;
@@ -173,6 +174,39 @@ pub enum OverlaySampling {
     SparseTail,
 }
 
+/// Which forward-pass implementation scores each trial's corrupted network.
+///
+/// Both paths produce **bit-identical** [`AccuracyStats`]: the batched path
+/// uses the exact register-tiled kernels from `dante_nn::gemm` (same
+/// per-element fold order as the scalar `Matrix::matmul`) and an integer
+/// correct-count divided exactly as [`Network::accuracy`] divides. The
+/// differential suite in `tests/differential.rs` pins this; goldens never
+/// need re-blessing when switching paths. Because results are identical,
+/// the choice deliberately does **not** enter any sweep cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ForwardPath {
+    /// Per-trial `Network::accuracy` over the whole test set — the original
+    /// reference path, kept as the differential baseline.
+    Scalar,
+    /// Trial-batched incremental evaluation (`dante_nn::batched`): the clean
+    /// forward pass runs once per evaluation; each trial recomputes only the
+    /// images and layer outputs reachable from its flipped words.
+    #[default]
+    Batched,
+}
+
+impl ForwardPath {
+    /// Resolves the `DANTE_FORWARD` override (`"scalar"` forces the
+    /// reference path; anything else, or unset, selects [`Self::Batched`]).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("DANTE_FORWARD") {
+            Ok(v) if v.eq_ignore_ascii_case("scalar") => Self::Scalar,
+            _ => Self::Batched,
+        }
+    }
+}
+
 /// One quantized-and-packed bit image, prepared once per evaluation and
 /// reused read-only across all trials.
 #[derive(Debug, Clone, PartialEq)]
@@ -301,6 +335,12 @@ struct TrialScratch {
     inputs: Vec<f32>,
     touched: Vec<(usize, usize)>,
     bufs: OverlayBuffers,
+    /// Batched-path working buffers (unused on the scalar path).
+    batched: BatchedScratch,
+    /// Sorted, deduped indices of test images with a flipped input word.
+    dirty_images: Vec<usize>,
+    /// Dirty output columns/channels of the first corrupted layer.
+    dirty_units: Vec<usize>,
 }
 
 impl TrialScratch {
@@ -314,8 +354,21 @@ impl TrialScratch {
                 .unwrap_or_default(),
             touched: Vec::new(),
             bufs: OverlayBuffers::default(),
+            batched: BatchedScratch::new(),
+            dirty_images: Vec::new(),
+            dirty_units: Vec::new(),
         }
     }
+}
+
+/// How the first dirty layer's recompute is narrowed (resolved into a
+/// [`LayerWork`] once the unit list stops mutating — the indirection keeps
+/// the borrow of `dirty_units` out of the computation that fills it).
+#[derive(Debug, Clone, Copy)]
+enum DirtyKind {
+    Full,
+    DenseCols,
+    ConvChans,
 }
 
 /// The mutable weight-value slice of the layer at `idx` (which must be a
@@ -347,6 +400,7 @@ pub struct AccuracyEvaluator {
     trials: usize,
     ecc: EccMode,
     sampling: OverlaySampling,
+    forward: ForwardPath,
     engine: TrialEngine,
 }
 
@@ -369,6 +423,7 @@ impl AccuracyEvaluator {
             trials,
             ecc: EccMode::None,
             sampling: OverlaySampling::default(),
+            forward: ForwardPath::from_env(),
             engine: TrialEngine::from_env(),
         }
     }
@@ -433,6 +488,21 @@ impl AccuracyEvaluator {
     #[must_use]
     pub fn sampling(&self) -> OverlaySampling {
         self.sampling
+    }
+
+    /// Selects the forward-pass implementation (default: the env-resolved
+    /// [`ForwardPath::from_env`]). Results are bit-identical either way —
+    /// this only trades evaluation strategies.
+    #[must_use]
+    pub fn with_forward_path(mut self, forward: ForwardPath) -> Self {
+        self.forward = forward;
+        self
+    }
+
+    /// The forward-pass implementation in effect.
+    #[must_use]
+    pub fn forward_path(&self) -> ForwardPath {
+        self.forward
     }
 
     /// The fault-model spec in use, when the evaluator was configured with
@@ -511,14 +581,13 @@ impl AccuracyEvaluator {
             // faulty-at-`v` tail directly is statistically identical to
             // generating a dense field and thresholding it at `v`.
             (OverlaySampling::SparseTail, _) | (OverlaySampling::Dense, None) => {
-                die.sample_cells_into(bit_len, v, seed, indices, cells);
+                // Floor == applied voltage and only the flip bits are read,
+                // so the V_min-eliding streaming fast path is exact here.
                 out.clear();
                 out.resize(word_len, 0);
-                for c in cells.iter() {
-                    if c.flip {
-                        out[(c.index / 64) as usize] |= 1u64 << (c.index % 64);
-                    }
-                }
+                die.for_each_flip_word_at_floor(bit_len, v, seed, indices, cells, |w, mask| {
+                    out[w] = mask;
+                });
             }
         }
     }
@@ -545,34 +614,23 @@ impl AccuracyEvaluator {
             EccMode::None => match (self.sampling, die.as_gaussian()) {
                 (OverlaySampling::SparseTail, _) | (OverlaySampling::Dense, None) => {
                     // The floor *is* the evaluation voltage, so every
-                    // sampled cell is faulty here: the corruption is just
-                    // the flip bits, grouped word by word (cells arrive
-                    // sorted by index). Non-Gaussian dies take this path
-                    // for both samplers — see `corruption_words_into`.
-                    die.sample_cells_into(
+                    // sampled cell is faulty here and only the flip bits
+                    // matter: the V_min-eliding streaming fast path emits
+                    // exactly the slow path's per-word flip masks without
+                    // materializing cells. Non-Gaussian dies take this
+                    // path for both samplers — see `corruption_words_into`.
+                    die.for_each_flip_word_at_floor(
                         image.bit_len,
                         v,
                         seed,
                         &mut bufs.indices,
                         &mut bufs.cells,
-                    );
-                    let cells = &bufs.cells;
-                    let mut i = 0;
-                    while i < cells.len() {
-                        let w = (cells[i].index / 64) as usize;
-                        let mut mask = 0u64;
-                        while i < cells.len() && (cells[i].index / 64) as usize == w {
-                            if cells[i].flip {
-                                mask |= 1u64 << (cells[i].index % 64);
-                            }
-                            i += 1;
-                        }
-                        if mask != 0 {
+                        |w, mask| {
                             flipped += u64::from(mask.count_ones());
                             image.dequant_word_into(w, image.words[w] ^ mask, values);
                             touched.push((target, w));
-                        }
-                    }
+                        },
+                    );
                 }
                 (OverlaySampling::Dense, Some(gaussian)) => {
                     let overlay = FaultOverlay::from_seed(image.bit_len, gaussian, seed);
@@ -639,6 +697,7 @@ impl AccuracyEvaluator {
             inputs,
             touched,
             bufs,
+            ..
         } = scratch;
         // One die per trial: a chip-variation spec draws this trial's
         // (mu, sigma) profile here; Gaussian configurations resolve to the
@@ -689,6 +748,130 @@ impl AccuracyEvaluator {
             }
         }
         scratch.touched.clear();
+    }
+
+    /// Scores one corrupted trial through the trial-batched incremental
+    /// path, deriving the dirty-image set and the first dirty layer's
+    /// [`LayerWork`] straight from the trial's undo log (the sorted
+    /// touched-word list `corrupt_trial` built). Bit-identical to
+    /// `scratch.net.accuracy(&scratch.inputs, labels)`.
+    fn batched_accuracy(
+        prep: &Prepared,
+        cache: &CleanForward,
+        labels: &[u8],
+        scratch: &mut TrialScratch,
+    ) -> f64 {
+        let n = labels.len();
+        if n == 0 {
+            // `Network::accuracy` returns 0.0 on an empty set.
+            return 0.0;
+        }
+        let TrialScratch {
+            net,
+            inputs,
+            touched,
+            batched,
+            dirty_images,
+            dirty_units,
+            ..
+        } = scratch;
+        // Every lane of a flipped input word belongs to exactly one image;
+        // weight entries only contribute the earliest corrupted layer.
+        dirty_images.clear();
+        let mut first_pos: Option<usize> = None;
+        let in_len = net.in_len();
+        for &(target, w) in touched.iter() {
+            if target == INPUTS_TARGET {
+                let image = prep.inputs.as_ref().expect("inputs were prepared");
+                let base = w * image.lanes();
+                let end = (base + image.lanes()).min(image.len);
+                let (lo, hi) = (base / in_len, (end - 1) / in_len);
+                for img in lo..=hi {
+                    if dirty_images.last() != Some(&img) {
+                        dirty_images.push(img);
+                    }
+                }
+            } else {
+                first_pos = Some(first_pos.map_or(target, |p| p.min(target)));
+            }
+        }
+        // Input words are logged in ascending order, so this is near-sorted;
+        // the sort is cheap insurance, the dedup handles word-sharing images.
+        dirty_images.sort_unstable();
+        dirty_images.dedup();
+
+        // When the first dirty layer's damage is confined to a small set of
+        // output columns (dense) or channels (conv), tell the batched path
+        // so clean images only recompute those before resuming downstream.
+        dirty_units.clear();
+        let localized = first_pos.map(|pos| {
+            let layer_idx = prep.layer_indices[pos];
+            let image = &prep.layers[pos];
+            let lanes = image.lanes();
+            let kind = match &net.layers()[layer_idx] {
+                Layer::Dense(d) => {
+                    // Row-major (in, out): element `e` feeds column `e % out`.
+                    let out_l = d.weights().dims().1;
+                    for &(target, w) in touched.iter() {
+                        if target == pos {
+                            for e in w * lanes..(w * lanes + lanes).min(image.len) {
+                                dirty_units.push(e % out_l);
+                            }
+                        }
+                    }
+                    dirty_units.sort_unstable();
+                    dirty_units.dedup();
+                    if dirty_units.len() * 4 <= out_l {
+                        DirtyKind::DenseCols
+                    } else {
+                        DirtyKind::Full
+                    }
+                }
+                Layer::Conv2d(conv) => {
+                    // Weight layout ((oc*in_c+ic)*k+kr)*k+kc: element `e`
+                    // feeds output channel `e / (in_c*k*k)`.
+                    let per_ch = conv.in_shape().c * conv.kernel() * conv.kernel();
+                    let out_c = conv.out_shape().c;
+                    for &(target, w) in touched.iter() {
+                        if target == pos {
+                            for e in w * lanes..(w * lanes + lanes).min(image.len) {
+                                dirty_units.push(e / per_ch);
+                            }
+                        }
+                    }
+                    dirty_units.sort_unstable();
+                    dirty_units.dedup();
+                    if dirty_units.len() * 4 <= out_c {
+                        DirtyKind::ConvChans
+                    } else {
+                        DirtyKind::Full
+                    }
+                }
+                _ => DirtyKind::Full,
+            };
+            (layer_idx, kind)
+        });
+        let first_dirty = match localized {
+            None => None,
+            Some((idx, DirtyKind::DenseCols)) => {
+                Some((idx, LayerWork::DenseColumns(dirty_units.as_slice())))
+            }
+            Some((idx, DirtyKind::ConvChans)) => {
+                Some((idx, LayerWork::ConvChannels(dirty_units.as_slice())))
+            }
+            Some((idx, DirtyKind::Full)) => Some((idx, LayerWork::Full)),
+        };
+        let count = trial_correct_count(
+            net,
+            cache,
+            labels,
+            inputs,
+            dirty_images,
+            first_dirty,
+            batched,
+        );
+        // The exact division `Network::accuracy` performs.
+        count as f64 / n as f64
     }
 
     /// Returns a copy of `net` whose weights went through quantization and
@@ -850,6 +1033,20 @@ impl AccuracyEvaluator {
         // corrupts only the touched words of a per-worker scratch copy and
         // undoes them afterwards, so steady-state trials allocate nothing.
         let prep = self.prepare(net, Some(images));
+        // On the batched path the clean forward pass (and its per-layer
+        // activation cache) is also shared read-only by every trial.
+        let cache = match self.forward {
+            ForwardPath::Scalar => None,
+            ForwardPath::Batched => Some(CleanForward::build(
+                &prep.clean_net,
+                &prep
+                    .inputs
+                    .as_ref()
+                    .expect("evaluation always prepares inputs")
+                    .clean,
+                labels,
+            )),
+        };
         let per_trial = self.engine.run_scratch_observed(
             self.trials,
             observer,
@@ -861,7 +1058,10 @@ impl AccuracyEvaluator {
                 observer.on_stage("corrupt", corrupt_start.elapsed());
                 observer.on_fault_bits(trial, fault_bits);
                 let infer_start = Instant::now();
-                let accuracy = scratch.net.accuracy(&scratch.inputs, labels);
+                let accuracy = match &cache {
+                    None => scratch.net.accuracy(&scratch.inputs, labels),
+                    Some(cache) => Self::batched_accuracy(&prep, cache, labels, scratch),
+                };
                 observer.on_stage("inference", infer_start.elapsed());
                 Self::undo_trial(&prep, scratch);
                 accuracy
@@ -1104,6 +1304,43 @@ mod tests {
         let eval = AccuracyEvaluator::new(1);
         let bad = VoltageAssignment::uniform(Volt::new(0.5), 3);
         let _ = eval.corrupt_network(&net, &bad, 0);
+    }
+
+    #[test]
+    fn batched_and_scalar_paths_are_bit_identical() {
+        let (net, images, labels) = toy_net_and_data();
+        for mv in [340_u32, 400, 440, 480, 540] {
+            let a = VoltageAssignment::uniform(Volt::from_millivolts(f64::from(mv)), 2);
+            let scalar = AccuracyEvaluator::new(4)
+                .with_forward_path(ForwardPath::Scalar)
+                .evaluate(&net, &a, &images, &labels, 17);
+            let batched = AccuracyEvaluator::new(4)
+                .with_forward_path(ForwardPath::Batched)
+                .evaluate(&net, &a, &images, &labels, 17);
+            let sb: Vec<u64> = scalar.per_trial.iter().map(|a| a.to_bits()).collect();
+            let bb: Vec<u64> = batched.per_trial.iter().map(|a| a.to_bits()).collect();
+            assert_eq!(sb, bb, "paths diverge at {mv} mV");
+        }
+    }
+
+    #[test]
+    fn batched_path_handles_ecc_and_dense_sampling() {
+        let (net, images, labels) = toy_net_and_data();
+        let a = VoltageAssignment::uniform(Volt::new(0.42), 2);
+        for (ecc, sampling) in [
+            (EccMode::SecDed, OverlaySampling::SparseTail),
+            (EccMode::None, OverlaySampling::Dense),
+        ] {
+            let make = |fwd| {
+                AccuracyEvaluator::new(3)
+                    .with_ecc(ecc)
+                    .with_sampling(sampling)
+                    .with_forward_path(fwd)
+            };
+            let scalar = make(ForwardPath::Scalar).evaluate(&net, &a, &images, &labels, 23);
+            let batched = make(ForwardPath::Batched).evaluate(&net, &a, &images, &labels, 23);
+            assert_eq!(scalar, batched, "ecc={ecc:?} sampling={sampling:?}");
+        }
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub mod report;
 pub mod schedule;
 pub mod sweep;
 
-pub use accuracy::{AccuracyEvaluator, AccuracyStats, EccMode, OverlaySampling, VoltageAssignment};
+pub use accuracy::{
+    AccuracyEvaluator, AccuracyStats, EccMode, ForwardPath, OverlaySampling, VoltageAssignment,
+};
 pub use fleet::{FleetResult, FleetSpec, FLEET_QUANTILES};
 pub use headlines::Headlines;
 pub use iso::{IsoAccuracyResult, IsoAccuracySpec, IsoConfigPoint};

@@ -4,6 +4,12 @@
 //! accelerator reproduction:
 //!
 //! * [`tensor`] — a minimal row-major matrix plus softmax/argmax helpers.
+//! * [`gemm`] — blocked/unrolled GEMM kernels: bit-exact `f32` register
+//!   tiling for the trial-batched forward pass and wrapping-`i64` integer
+//!   GEMM for the fixed-point paths.
+//! * [`batched`] — clean-activation caching plus incremental re-evaluation
+//!   of corrupted networks (only neurons reachable from flipped weight words
+//!   are recomputed), bit-identical to the plain scalar forward.
 //! * [`layers`] — dense, 2-D convolution, max-pooling and ReLU layers with
 //!   hand-written forward and backward passes.
 //! * [`network`] — shape-validated sequential networks with binary
@@ -39,7 +45,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batched;
 pub mod data;
+pub mod gemm;
 pub mod layers;
 pub mod metrics;
 pub mod models;

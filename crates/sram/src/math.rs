@@ -177,6 +177,199 @@ pub fn sample_bernoulli_indices_into<R: Rng + ?Sized>(
     }
 }
 
+/// Latency-hiding variant of [`sample_bernoulli_indices_into`]: identical
+/// indices, identical RNG stream, identical post-call generator state — but
+/// several times faster on dense tails, because the scalar walk is a serial
+/// `draw → ln → divide → compare` dependency chain (~25 ns/success) while
+/// this form pre-draws uniforms in chunks and computes their logarithms as
+/// independent operations the CPU can overlap.
+///
+/// Chunked drawing over-consumes the generator when the walk terminates
+/// mid-chunk, so the generator state is snapshotted before each chunk and,
+/// on termination after `j` in-chunk draws, rewound and replayed with
+/// exactly `j` [`sample_unit_open`] calls — the post-call state is the one
+/// the scalar walk would leave. This is why the bound is `R: Rng + Clone`
+/// rather than `?Sized`.
+///
+/// # Panics
+///
+/// Panics unless `p` is a finite probability in `[0, 1]`.
+pub fn sample_bernoulli_indices_buffered<R: Rng + Clone>(
+    n: usize,
+    p: f64,
+    rng: &mut R,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "success probability must be in [0, 1], got {p}"
+    );
+    if n == 0 || p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        out.extend(0..n as u64);
+        return;
+    }
+    const CHUNK: usize = 1024;
+    let ln_q = (-p).ln_1p(); // ln(1 - p), strictly negative
+    let n = n as u64;
+    let mut idx = 0u64;
+    let mut uniforms = [0.0f64; CHUNK];
+    let mut gaps = [0.0f64; CHUNK];
+    loop {
+        // Size the chunk to the expected remaining draws plus slack, so
+        // shallow tails don't burn a full chunk of logarithms for a walk
+        // that terminates after one or two gaps.
+        let expect = (n - idx) as f64 * p;
+        let k = ((expect + 6.0 * expect.sqrt() + 8.0) as usize).clamp(8, CHUNK);
+        let snapshot = rng.clone();
+        for slot in uniforms.iter_mut().take(k) {
+            *slot = sample_unit_open(rng);
+        }
+        // Independent logarithms: this loop is the throughput win.
+        floored_gaps(&uniforms[..k], ln_q, &mut gaps[..k]);
+        for (j, &gap) in gaps.iter().enumerate().take(k) {
+            let done = if gap >= (n - idx) as f64 {
+                true
+            } else {
+                idx += gap as u64;
+                out.push(idx);
+                idx += 1;
+                idx >= n
+            };
+            if done {
+                // Rewind the over-drawn generator and replay exactly the
+                // draws the scalar walk would have consumed.
+                *rng = snapshot;
+                for _ in 0..=j {
+                    let _ = sample_unit_open(rng);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Certified absolute error bound of [`fast_ln`] **plus** the platform
+/// `f64::ln`'s own sub-ulp error, with two orders of magnitude of margin:
+/// the polynomial's truncation tail is `< 5e-13` (see [`fast_ln`]), every
+/// rounding term is `< 1e-14`, and libm `ln` is within 1 ulp (`< 1e-14` for
+/// results bounded by `|ln(2^-53)| ≈ 36.7`).
+const FAST_LN_EPS: f64 = 2e-12;
+
+/// Polynomial natural logarithm with a *certified* absolute error bound
+/// ([`FAST_LN_EPS`]) for `u` in `(0, 1)`, normal (the unit-open sampler
+/// never produces subnormals).
+///
+/// `u = 2^e * m` with `m` reduced to `[√½, √2)`, then
+/// `ln(m) = 2·atanh(t)`, `t = (m-1)/(m+1)`, `|t| ≤ √2-1/√2+1 ≈ 0.1716`,
+/// via the odd series through `t^13`. The truncation tail is
+/// `Σ_{k≥7} t^(2k+1)/(2k+1) ≤ t^15/(15(1-t²)) < 2.3e-13` (doubled by the
+/// `2·` factor), and `m-1` is exact (Sterbenz), so rounding contributes
+/// only a few `1e-15` terms.
+///
+/// The exact bits of the result are **not** part of any contract — only the
+/// error bound is. Callers certify against the bound and fall back to the
+/// exact `f64::ln` when certification fails, so their output is bit-stable
+/// across compilers and SIMD widths even though this value may not be.
+#[inline(always)]
+fn fast_ln(u: f64) -> f64 {
+    let bits = u.to_bits();
+    let e = (((bits >> 52) & 0x7FF) as i32) - 1023;
+    let m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | (1023u64 << 52));
+    let big = m > std::f64::consts::SQRT_2;
+    let m = if big { m * 0.5 } else { m };
+    let e = e + i32::from(big);
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let poly = 1.0 / 3.0
+        + t2 * (1.0 / 5.0
+            + t2 * (1.0 / 7.0 + t2 * (1.0 / 9.0 + t2 * (1.0 / 11.0 + t2 * (1.0 / 13.0)))));
+    f64::from(e) * std::f64::consts::LN_2 + (2.0 * t + 2.0 * (t * t2) * poly)
+}
+
+/// Fills `gaps[j] = (uniforms[j].ln() / ln_q).floor()` — bit-equivalent to
+/// calling libm `ln` per element, several times faster on dense tails.
+///
+/// Each element computes [`fast_ln`] and *certifies* the floored quotient
+/// without any division in the hot loop: with `L = fast_ln(u)` and
+/// `r = L * (1/ln_q)`, every value the exact path can produce —
+/// `a / ln_q` rounded once, for any `a` within `ε` of `L` — lies within
+/// `δ = 2ε/|ln_q| + 2e-15·|r|` of `r` (the first term is the `ε`-interval
+/// mapped through the division, doubled for slack; the second covers the
+/// reciprocal representation, the multiply rounding, and the exact path's
+/// own division rounding, each `≤ 1.2e-16·|r|`, with >10x margin). So when
+/// the fractional part of `r` keeps `[r-δ, r+δ]` strictly inside one unit
+/// interval, `floor(r)` provably equals the libm-based result. Uncertified
+/// elements (quotient within `δ` of an integer, probability `~δ` per unit
+/// of gap) are recomputed exactly in a scalar fixup pass, so the output
+/// never depends on which path ran. `r - floor(r)` and `1 - s` are exact
+/// for `|r| < 2^52` (Sterbenz), and larger `r` fails certification (`s`
+/// becomes 0), falling back safely.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths differ.
+fn floored_gaps(uniforms: &[f64], ln_q: f64, gaps: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature presence just checked.
+            return unsafe { floored_gaps_avx512(uniforms, ln_q, gaps) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: feature presence just checked.
+            return unsafe { floored_gaps_avx2(uniforms, ln_q, gaps) };
+        }
+    }
+    floored_gaps_core(uniforms, ln_q, gaps);
+}
+
+/// [`floored_gaps_core`] compiled with AVX-512F codegen.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn floored_gaps_avx512(uniforms: &[f64], ln_q: f64, gaps: &mut [f64]) {
+    floored_gaps_core(uniforms, ln_q, gaps);
+}
+
+/// [`floored_gaps_core`] compiled with AVX2 codegen.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn floored_gaps_avx2(uniforms: &[f64], ln_q: f64, gaps: &mut [f64]) {
+    floored_gaps_core(uniforms, ln_q, gaps);
+}
+
+/// The dispatch body of [`floored_gaps`]: a branch-free certification loop
+/// the autovectorizer can spread across SIMD lanes (NaN marks the rare
+/// uncertified elements — real gaps are always finite), then a scalar
+/// libm-`ln` fixup pass.
+#[inline(always)]
+fn floored_gaps_core(uniforms: &[f64], ln_q: f64, gaps: &mut [f64]) {
+    assert_eq!(uniforms.len(), gaps.len(), "gap buffer length mismatch");
+    let inv_ln_q = 1.0 / ln_q;
+    // δ0: the fast-ln error interval mapped through the division, doubled
+    // to absorb the rounding of this very computation.
+    let delta0 = 2.0 * FAST_LN_EPS * (-inv_ln_q);
+    for (g, &u) in gaps.iter_mut().zip(uniforms) {
+        let r = fast_ln(u) * inv_ln_q;
+        let f = r.floor();
+        let s = r - f;
+        let delta = delta0 + r.abs() * 2e-15;
+        *g = if s >= delta && (1.0 - s) > delta {
+            f
+        } else {
+            f64::NAN
+        };
+    }
+    for (g, &u) in gaps.iter_mut().zip(uniforms) {
+        if g.is_nan() {
+            *g = (u.ln() / ln_q).floor();
+        }
+    }
+}
+
 /// Draws one value from the Gaussian `N(mu, sigma)` *conditioned on being
 /// greater than `floor`*, via the inverse tail CDF: with
 /// `p_f = Q((floor - mu) / sigma)` and `u ~ U(0, 1)`, the draw is
@@ -218,6 +411,104 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn buffered_bernoulli_walk_matches_scalar_walk_and_stream() {
+        // Identical indices AND identical post-call generator state across
+        // sizes straddling the chunk boundary and probabilities from dense
+        // tails to near-empty ones (plus both degenerate edges).
+        for &n in &[1usize, 7, 100, 1023, 1024, 1025, 50_000] {
+            for &p in &[0.0, 1e-6, 1e-3, 0.05, 0.42, 0.9, 1.0] {
+                for seed in 0..3u64 {
+                    let mut scalar_rng = StdRng::seed_from_u64(seed);
+                    let mut buffered_rng = StdRng::seed_from_u64(seed);
+                    let (mut scalar, mut buffered) = (Vec::new(), Vec::new());
+                    sample_bernoulli_indices_into(n, p, &mut scalar_rng, &mut scalar);
+                    sample_bernoulli_indices_buffered(n, p, &mut buffered_rng, &mut buffered);
+                    assert_eq!(scalar, buffered, "indices diverged (n={n}, p={p})");
+                    assert_eq!(
+                        scalar_rng.gen::<u64>(),
+                        buffered_rng.gen::<u64>(),
+                        "generator state diverged (n={n}, p={p})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_ln_stays_within_its_certified_bound() {
+        // Random coverage of the full unit-open range plus the extremes the
+        // sampler can actually produce. The bound claimed is FAST_LN_EPS
+        // minus libm's share; assert with margin against the whole budget.
+        let mut rng = StdRng::seed_from_u64(11);
+        let check = |u: f64| {
+            let err = (fast_ln(u) - u.ln()).abs();
+            assert!(err < 1e-12, "fast_ln error {err:.3e} at u={u:e}");
+        };
+        for _ in 0..200_000 {
+            check(sample_unit_open(&mut rng));
+        }
+        check(f64::from_bits(1.0f64.to_bits() - 1)); // largest value < 1
+        check((2.0f64).powi(-53)); // smallest unit-open draw
+        check(std::f64::consts::SQRT_2 / 2.0);
+        check(0.5);
+        check(0.25);
+    }
+
+    #[test]
+    fn certified_gaps_match_exact_computation() {
+        // Random uniforms across tail densities: the certified path must be
+        // bit-equivalent to the libm-ln computation it replaces.
+        let mut rng = StdRng::seed_from_u64(12);
+        for &p in &[1e-9f64, 1e-6, 1e-3, 0.05, 0.3, 0.42, 0.9, 0.999_999] {
+            let ln_q = (-p).ln_1p();
+            let uniforms: Vec<f64> = (0..100_000).map(|_| sample_unit_open(&mut rng)).collect();
+            let mut gaps = vec![0.0f64; uniforms.len()];
+            floored_gaps(&uniforms, ln_q, &mut gaps);
+            for (&u, &g) in uniforms.iter().zip(&gaps) {
+                let exact = (u.ln() / ln_q).floor();
+                assert!(
+                    g == exact,
+                    "certified gap {g} != exact {exact} (u={u:e}, p={p})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certified_gaps_survive_boundary_adversaries() {
+        // Uniforms engineered so the quotient sits within a few ulps of an
+        // integer — exactly where certification must refuse the fast value
+        // and the fixup must reproduce libm's rounding.
+        for &p in &[1e-6f64, 1e-3, 0.05, 0.42] {
+            let ln_q = (-p).ln_1p();
+            let mut uniforms = Vec::new();
+            for gap in [0u32, 1, 2, 7, 100, 12_345] {
+                let u0 = (f64::from(gap) * ln_q).exp();
+                if !(u0 > 0.0 && u0 < 1.0) {
+                    continue;
+                }
+                let bits = u0.to_bits();
+                for delta in -100i64..=100 {
+                    let u = f64::from_bits(bits.wrapping_add_signed(delta));
+                    if u > 0.0 && u < 1.0 {
+                        uniforms.push(u);
+                    }
+                }
+            }
+            let mut gaps = vec![0.0f64; uniforms.len()];
+            floored_gaps(&uniforms, ln_q, &mut gaps);
+            for (&u, &g) in uniforms.iter().zip(&gaps) {
+                let exact = (u.ln() / ln_q).floor();
+                assert!(
+                    g == exact,
+                    "boundary gap {g} != exact {exact} (u bits {:#x}, p={p})",
+                    u.to_bits()
+                );
+            }
+        }
+    }
 
     #[test]
     fn cdf_known_values() {

@@ -529,6 +529,94 @@ impl DieFaultModel {
         }
     }
 
+    /// The floor fast path of [`Self::sample_cells_into`]: identical cell
+    /// indices and flip decisions, but V_min values are pinned one ULP
+    /// above the floor instead of drawn from the tail — valid only for a
+    /// consumer that applies the overlay at exactly `v_floor` (there the
+    /// corruption words are bit-identical to the slow path's; see
+    /// [`SparseOverlay::sample_cells_at_floor_into`]).
+    ///
+    /// A Gaussian die elides its quantile math; a correlated-burst die
+    /// falls back to the exact slow path, because its weak-cell merge keeps
+    /// the *higher* of two tail draws when a burst lands on a background
+    /// cell — a comparison that needs the real V_min values to pick the
+    /// surviving flip bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or `v_floor` is below data retention.
+    pub fn sample_cells_at_floor_into(
+        &self,
+        bits: usize,
+        v_floor: Volt,
+        seed: u64,
+        indices: &mut Vec<u64>,
+        cells: &mut Vec<SparseCell>,
+    ) {
+        match self {
+            Self::Gaussian(m) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                SparseOverlay::sample_cells_at_floor_into(
+                    bits, m, v_floor, &mut rng, indices, cells,
+                );
+            }
+            Self::CorrelatedBurst(_) => {
+                self.sample_cells_into(bits, v_floor, seed, indices, cells);
+            }
+        }
+    }
+
+    /// Streaming form of [`Self::sample_cells_at_floor_into`]: emits
+    /// `(word_index, flip_mask)` for every word with at least one flipped
+    /// bit, ascending, without materializing cells on the Gaussian path
+    /// (see [`SparseOverlay::for_each_flip_word_at_floor`]). A burst die
+    /// samples exactly as the slow path and groups its cells' flips —
+    /// every sampled cell's V_min is strictly above the floor, so at the
+    /// floor the flip mask is just the flip bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or `v_floor` is below data retention.
+    pub fn for_each_flip_word_at_floor(
+        &self,
+        bits: usize,
+        v_floor: Volt,
+        seed: u64,
+        indices: &mut Vec<u64>,
+        cells: &mut Vec<SparseCell>,
+        mut emit: impl FnMut(usize, u64),
+    ) {
+        match self {
+            Self::Gaussian(m) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                SparseOverlay::for_each_flip_word_at_floor(
+                    bits, m, v_floor, &mut rng, indices, emit,
+                );
+            }
+            Self::CorrelatedBurst(_) => {
+                self.sample_cells_into(bits, v_floor, seed, indices, cells);
+                let mut word = usize::MAX;
+                let mut mask = 0u64;
+                for c in cells.iter() {
+                    let w = (c.index / 64) as usize;
+                    if w != word {
+                        if mask != 0 {
+                            emit(word, mask);
+                        }
+                        word = w;
+                        mask = 0;
+                    }
+                    if c.flip {
+                        mask |= 1u64 << (c.index % 64);
+                    }
+                }
+                if mask != 0 {
+                    emit(word, mask);
+                }
+            }
+        }
+    }
+
     /// Owned-overlay convenience form of [`Self::sample_cells_into`].
     #[must_use]
     pub fn overlay_from_seed(&self, bits: usize, v_floor: Volt, seed: u64) -> SparseOverlay {
@@ -652,6 +740,44 @@ impl BurstDie {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn floor_fast_paths_match_slow_sampling_for_both_die_kinds() {
+        let floor = Volt::new(0.42);
+        let bits = 30_000usize;
+        let words = bits.div_ceil(64);
+        for die in [
+            FaultModel::default().resolve_die(3),
+            FaultModel::burst_default().resolve_die(3),
+        ] {
+            for seed in 0..3u64 {
+                let (mut si, mut sc) = (Vec::new(), Vec::new());
+                die.sample_cells_into(bits, floor, seed, &mut si, &mut sc);
+                let mut expected = vec![0u64; words];
+                for c in &sc {
+                    // Every sampled V_min is strictly above the floor, so
+                    // at the floor the corruption is exactly the flip bits.
+                    assert!(f64::from(c.vmin) > floor.volts());
+                    if c.flip {
+                        expected[(c.index / 64) as usize] |= 1u64 << (c.index % 64);
+                    }
+                }
+                let (mut fi, mut fc) = (Vec::new(), Vec::new());
+                die.sample_cells_at_floor_into(bits, floor, seed, &mut fi, &mut fc);
+                assert_eq!(sc.len(), fc.len());
+                assert!(sc
+                    .iter()
+                    .zip(fc.iter())
+                    .all(|(s, f)| s.index == f.index && s.flip == f.flip));
+                let (mut wi, mut wc) = (Vec::new(), Vec::new());
+                let mut streamed = vec![0u64; words];
+                die.for_each_flip_word_at_floor(bits, floor, seed, &mut wi, &mut wc, |w, m| {
+                    streamed[w] = m;
+                });
+                assert_eq!(expected, streamed, "streamed flips diverged ({die:?})");
+            }
+        }
+    }
 
     #[test]
     fn default_spec_resolves_to_the_calibrated_14nm_model_exactly() {

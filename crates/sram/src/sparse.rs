@@ -23,7 +23,10 @@
 
 use crate::fault::VminFaultModel;
 use crate::fault_map::{bit_mask, word_index};
-use crate::math::{sample_bernoulli_indices_into, truncated_tail_normal};
+use crate::math::{
+    sample_bernoulli_indices_buffered, sample_bernoulli_indices_into, sample_unit_open,
+    truncated_tail_normal,
+};
 use crate::storage::{CorruptionOverlay, FaultOverlay};
 use dante_circuit::units::Volt;
 use rand::Rng;
@@ -134,6 +137,102 @@ impl SparseOverlay {
                 vmin,
                 flip: rng.gen_bool(p_flip),
             });
+        }
+    }
+
+    /// The floor fast path of [`Self::sample_cells_into`]: same faulty-cell
+    /// indices, same flip decisions, same RNG stream — but every cell's
+    /// `vmin` is pinned one ULP above the floor instead of drawn from the
+    /// Gaussian tail, eliding the inverse-CDF math (the dominant cost at
+    /// deep floors, where nearly half the die can be in the tail).
+    ///
+    /// The elision is exact *only for a consumer that applies the overlay
+    /// at precisely `v_floor`*: there every sampled cell satisfies
+    /// `v < vmin` regardless of where in the tail its V_min landed, so the
+    /// flip words are bit-identical to the slow path's. Anything that reads
+    /// the V_min values themselves (fleet V_min quantiles, multi-voltage
+    /// reuse of one overlay) must keep using [`Self::sample_cells_into`].
+    ///
+    /// Stream alignment: `truncated_tail_normal` consumes exactly one
+    /// [`sample_unit_open`] draw per cell, so this path draws and discards
+    /// the same uniform, keeping every subsequent `gen_bool` — and any
+    /// caller continuing on the same RNG — bit-identical to the slow path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or `v_floor` is below data retention.
+    pub fn sample_cells_at_floor_into<R: Rng + Clone>(
+        bits: usize,
+        model: &VminFaultModel,
+        v_floor: Volt,
+        rng: &mut R,
+        indices: &mut Vec<u64>,
+        cells: &mut Vec<SparseCell>,
+    ) {
+        assert!(bits > 0, "a die needs at least one cell");
+        let p_floor = model.bit_error_rate(v_floor);
+        let floor_f32 = v_floor.volts() as f32;
+        let p_flip = model.read_flip_probability();
+        sample_bernoulli_indices_buffered(bits, p_floor, rng, indices);
+        cells.clear();
+        cells.reserve(indices.len());
+        let vmin = next_up(floor_f32);
+        for &index in indices.iter() {
+            let _ = sample_unit_open(rng);
+            cells.push(SparseCell {
+                index,
+                vmin,
+                flip: rng.gen_bool(p_flip),
+            });
+        }
+    }
+
+    /// The streaming form of [`Self::sample_cells_at_floor_into`]: instead
+    /// of materializing `SparseCell`s, groups the flip decisions word by
+    /// word and calls `emit(word_index, mask)` for every 64-bit word with a
+    /// non-zero flip mask, in ascending word order. `indices` still buffers
+    /// the faulty-index walk (the slow path draws *all* gap uniforms before
+    /// any per-cell draw, and matching that order exactly is what keeps the
+    /// RNG stream bit-identical), but no cell vector is built or re-scanned
+    /// — the hot Monte-Carlo corrupt loop reads each faulty index once.
+    ///
+    /// Same contract as the cell-building fast path: exact only for a
+    /// consumer applying the overlay at precisely `v_floor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or `v_floor` is below data retention.
+    pub fn for_each_flip_word_at_floor<R: Rng + Clone>(
+        bits: usize,
+        model: &VminFaultModel,
+        v_floor: Volt,
+        rng: &mut R,
+        indices: &mut Vec<u64>,
+        mut emit: impl FnMut(usize, u64),
+    ) {
+        assert!(bits > 0, "a die needs at least one cell");
+        let p_floor = model.bit_error_rate(v_floor);
+        let p_flip = model.read_flip_probability();
+        sample_bernoulli_indices_buffered(bits, p_floor, rng, indices);
+        let mut word = usize::MAX;
+        let mut mask = 0u64;
+        for &index in indices.iter() {
+            let _ = sample_unit_open(rng);
+            let flip = rng.gen_bool(p_flip);
+            let w = word_index(index as usize);
+            if w != word {
+                if mask != 0 {
+                    emit(word, mask);
+                }
+                word = w;
+                mask = 0;
+            }
+            if flip {
+                mask |= bit_mask(index as usize);
+            }
+        }
+        if mask != 0 {
+            emit(word, mask);
         }
     }
 
@@ -440,6 +539,100 @@ mod tests {
         // from_cells round-trips the buffers into an owned overlay.
         let o = SparseOverlay::from_cells(50_000, Volt::new(0.40), cells.clone());
         assert_eq!(o.cells(), cells.as_slice());
+    }
+
+    #[test]
+    fn floor_fast_path_matches_slow_path_flips_and_stream() {
+        // Across floors spanning deep (p ~ 0.3) to shallow (p ~ 1e-4)
+        // tails: identical indices and flips, identical corruption words at
+        // the floor, and an identically positioned RNG stream afterwards.
+        for &mv in &[360u32, 400, 440, 480, 520] {
+            let floor = Volt::new(f64::from(mv) / 1000.0);
+            for seed in 0..4u64 {
+                let mut slow_rng = StdRng::seed_from_u64(seed);
+                let mut fast_rng = StdRng::seed_from_u64(seed);
+                let (mut si, mut sc) = (Vec::new(), Vec::new());
+                let (mut fi, mut fc) = (Vec::new(), Vec::new());
+                SparseOverlay::sample_cells_into(
+                    20_000,
+                    &model(),
+                    floor,
+                    &mut slow_rng,
+                    &mut si,
+                    &mut sc,
+                );
+                SparseOverlay::sample_cells_at_floor_into(
+                    20_000,
+                    &model(),
+                    floor,
+                    &mut fast_rng,
+                    &mut fi,
+                    &mut fc,
+                );
+                assert_eq!(si, fi, "faulty index walk diverged at {mv} mV");
+                assert_eq!(sc.len(), fc.len());
+                for (s, f) in sc.iter().zip(fc.iter()) {
+                    assert_eq!(s.index, f.index);
+                    assert_eq!(s.flip, f.flip, "flip diverged at {mv} mV");
+                    assert!(f.vmin > floor.volts() as f32);
+                }
+                let words = 20_000usize.div_ceil(64);
+                let slow = SparseOverlay::from_cells(20_000, floor, sc);
+                let fast = SparseOverlay::from_cells(20_000, floor, fc);
+                let (mut sw, mut fw) = (Vec::new(), Vec::new());
+                slow.corruption_words_into(floor, words, &mut sw);
+                fast.corruption_words_into(floor, words, &mut fw);
+                assert_eq!(sw, fw, "corruption words diverged at {mv} mV");
+                // The streams stay aligned for any caller drawing further.
+                assert_eq!(slow_rng.gen::<u64>(), fast_rng.gen::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_flip_words_match_cell_building_fast_path() {
+        for &mv in &[360u32, 440, 500] {
+            let floor = Volt::new(f64::from(mv) / 1000.0);
+            for seed in 0..3u64 {
+                let mut cell_rng = StdRng::seed_from_u64(seed);
+                let mut word_rng = StdRng::seed_from_u64(seed);
+                let (mut ci, mut cc) = (Vec::new(), Vec::new());
+                SparseOverlay::sample_cells_at_floor_into(
+                    20_000,
+                    &model(),
+                    floor,
+                    &mut cell_rng,
+                    &mut ci,
+                    &mut cc,
+                );
+                let words = 20_000usize.div_ceil(64);
+                let mut expected = vec![0u64; words];
+                for c in &cc {
+                    if c.flip {
+                        expected[(c.index / 64) as usize] |= 1u64 << (c.index % 64);
+                    }
+                }
+                let mut wi = Vec::new();
+                let mut streamed = vec![0u64; words];
+                let mut last = None;
+                SparseOverlay::for_each_flip_word_at_floor(
+                    20_000,
+                    &model(),
+                    floor,
+                    &mut word_rng,
+                    &mut wi,
+                    |w, mask| {
+                        assert_ne!(mask, 0, "only non-zero masks are emitted");
+                        assert!(last.is_none_or(|p| w > p), "ascending word order");
+                        last = Some(w);
+                        streamed[w] = mask;
+                    },
+                );
+                assert_eq!(ci, wi, "index walk diverged at {mv} mV");
+                assert_eq!(expected, streamed, "flip words diverged at {mv} mV");
+                assert_eq!(cell_rng.gen::<u64>(), word_rng.gen::<u64>());
+            }
+        }
     }
 
     #[test]

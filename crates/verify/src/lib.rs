@@ -9,6 +9,10 @@
 //!   compiled fixed-point math, under identical per-trial fault overlays,
 //!   with a ddmin divergence minimizer that shrinks a failing corruption to
 //!   a 1-minimal set of weight rows.
+//! * [`forward`] — the trial-batched incremental forward evaluator
+//!   (`dante_nn::batched`) checked against the scalar `Network::accuracy`
+//!   path under identical fault-corrupted weights and inputs, with the same
+//!   ddmin shrink reused at weight-unit granularity.
 //! * [`golden`] — snapshot testing of every deterministic `dante-bench`
 //!   figure/table record against blessed JSON in `results/golden/`, with
 //!   per-metric tolerance bands, paper-anchored point checks, a unified
@@ -31,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod differential;
+pub mod forward;
 pub mod golden;
 pub mod overlay;
 pub mod stats;
@@ -38,6 +43,11 @@ pub mod stats;
 pub use differential::{
     check_program, corrupt_program, corrupt_sample, ddmin, minimize_corruption, reference_forward,
     run_differential, DiffConfig, DiffReport, Divergence, WeightRow,
+};
+pub use forward::{
+    apply_units, check_batched, corrupt_inputs, corrupt_weights, corrupted_units, minimize_units,
+    run_forward_differential, ForwardCheck, ForwardDiffConfig, ForwardDiffReport,
+    ForwardDivergence,
 };
 pub use golden::{
     paper_anchors, tolerance_for, GoldenDiff, GoldenOutcome, GoldenStore, PaperAnchor, Tolerance,

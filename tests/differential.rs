@@ -12,6 +12,7 @@ use dante_nn::network::Network;
 use dante_verify::differential::{
     corrupt_program, minimize_corruption, run_differential, DiffConfig,
 };
+use dante_verify::forward::ForwardDiffConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -117,6 +118,174 @@ fn differential_report_is_deterministic_across_thread_counts() {
     let a = run_differential(&program, &config);
     let b = run_differential(&program, &config);
     assert_eq!(a, b);
+}
+
+/// Runs the batched-vs-scalar forward differential and panics with a
+/// ddmin-minimized repro (a 1-minimal weight-unit set) on divergence.
+fn assert_forward_differentially_clean(
+    net: &Network,
+    inputs: &[f32],
+    labels: &[u8],
+    config: &ForwardDiffConfig,
+) {
+    let report = dante_verify::run_forward_differential(net, inputs, labels, config);
+    if report.is_clean() {
+        return;
+    }
+    // Shrink the first divergence: replay its die, then ddmin the corrupted
+    // weight units under the same batched-vs-scalar check.
+    let d = &report.divergences[0];
+    let clean = dante_verify::forward::quantized_baseline(net);
+    let clean_inputs = dante_verify::forward::quantized_input_baseline(inputs, net.in_len());
+    let corrupted =
+        dante_verify::corrupt_weights(net, &config.model, config.weight_voltage, d.trial_seed);
+    let (trial_inputs, dirty) = dante_verify::corrupt_inputs(
+        inputs,
+        net.in_len(),
+        &config.model,
+        config.input_voltage,
+        d.trial_seed,
+    );
+    let minimal = dante_verify::minimize_units(&clean, &corrupted, |hybrid| {
+        !dante_verify::check_batched(
+            &clean,
+            hybrid,
+            &clean_inputs,
+            &trial_inputs,
+            &dirty,
+            labels,
+            config.cache_budget,
+        )
+        .is_clean()
+    });
+    panic!(
+        "batched/scalar divergence:\n{}minimal corrupted units: {minimal:?}",
+        report.render()
+    );
+}
+
+fn forward_dataset(seed: u64, n: usize, in_len: usize, classes: u8) -> (Vec<f32>, Vec<u8>) {
+    use rand::Rng as _;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs = (0..n * in_len).map(|_| rng.gen::<f32>()).collect();
+    let labels = (0..n).map(|_| rng.gen::<u8>() % classes).collect();
+    (inputs, labels)
+}
+
+#[test]
+fn batched_forward_agrees_with_scalar_on_fc_networks() {
+    // Shapes vary the GEMM tile remainders; batch sizes straddle the
+    // 256-image evaluation chunk.
+    let mut rng = StdRng::seed_from_u64(71);
+    for (in_len, hidden, classes, n) in [(24, 16, 4, 60), (19, 13, 5, 257)] {
+        let net = Network::new(vec![
+            Layer::Dense(Dense::new(in_len, hidden, &mut rng)),
+            Layer::Relu(Relu::new(hidden)),
+            Layer::Dense(Dense::new(hidden, classes, &mut rng)),
+        ])
+        .unwrap();
+        let (inputs, labels) = forward_dataset(100 + n as u64, n, in_len, classes as u8);
+        assert_forward_differentially_clean(
+            &net,
+            &inputs,
+            &labels,
+            &ForwardDiffConfig {
+                trials: 6,
+                ..ForwardDiffConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn batched_forward_agrees_with_scalar_on_conv_networks() {
+    let mut rng = StdRng::seed_from_u64(73);
+    let net = Network::new(vec![
+        Layer::Conv2d(Conv2d::new(Shape3::new(2, 10, 10), 6, 3, 1, &mut rng)),
+        Layer::Relu(Relu::new(6 * 100)),
+        Layer::MaxPool2d(MaxPool2d::new(Shape3::new(6, 10, 10))),
+        Layer::Dense(Dense::new(150, 8, &mut rng)),
+    ])
+    .unwrap();
+    let (inputs, labels) = forward_dataset(74, 40, net.in_len(), 8);
+    assert_forward_differentially_clean(
+        &net,
+        &inputs,
+        &labels,
+        &ForwardDiffConfig {
+            trials: 6,
+            ..ForwardDiffConfig::default()
+        },
+    );
+}
+
+#[test]
+fn batched_forward_agrees_with_scalar_across_voltages() {
+    // From fault-free (0.60 V) through the cliff to deep VLV: the dirty
+    // sets range from empty to nearly everything.
+    let mut rng = StdRng::seed_from_u64(75);
+    let net = Network::new(vec![
+        Layer::Dense(Dense::new(24, 16, &mut rng)),
+        Layer::Relu(Relu::new(16)),
+        Layer::Dense(Dense::new(16, 4, &mut rng)),
+    ])
+    .unwrap();
+    let (inputs, labels) = forward_dataset(76, 80, 24, 4);
+    for mv in [600u32, 480, 420, 380, 360] {
+        let v = Volt::from_millivolts(f64::from(mv));
+        assert_forward_differentially_clean(
+            &net,
+            &inputs,
+            &labels,
+            &ForwardDiffConfig {
+                trials: 4,
+                weight_voltage: v,
+                input_voltage: v,
+                seed: u64::from(mv),
+                ..ForwardDiffConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn evaluator_forward_paths_agree_bitwise_across_voltages_and_samplers() {
+    // The end-to-end guarantee the sweep/iso/fleet stack rides on: the
+    // Monte-Carlo evaluator's per-trial accuracies are bit-identical under
+    // ForwardPath::Scalar and ForwardPath::Batched for every voltage,
+    // sampling strategy, and ECC mode.
+    use dante::{AccuracyEvaluator, EccMode, ForwardPath, OverlaySampling, VoltageAssignment};
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let net = Network::new(vec![
+        Layer::Dense(Dense::new(20, 14, &mut rng)),
+        Layer::Relu(Relu::new(14)),
+        Layer::Dense(Dense::new(14, 5, &mut rng)),
+    ])
+    .unwrap();
+    let (images, labels) = forward_dataset(78, 70, 20, 5);
+
+    for mv in [360u32, 420, 460, 540] {
+        let a = VoltageAssignment::uniform(Volt::from_millivolts(f64::from(mv)), 2);
+        for (ecc, sampling) in [
+            (EccMode::None, OverlaySampling::SparseTail),
+            (EccMode::None, OverlaySampling::Dense),
+            (EccMode::SecDed, OverlaySampling::SparseTail),
+        ] {
+            let run = |fwd| {
+                AccuracyEvaluator::new(3)
+                    .with_ecc(ecc)
+                    .with_sampling(sampling)
+                    .with_forward_path(fwd)
+                    .evaluate(&net, &a, &images, &labels, u64::from(mv))
+            };
+            let scalar = run(ForwardPath::Scalar);
+            let batched = run(ForwardPath::Batched);
+            let sb: Vec<u64> = scalar.per_trial.iter().map(|x| x.to_bits()).collect();
+            let bb: Vec<u64> = batched.per_trial.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(sb, bb, "{mv} mV ecc={ecc:?} sampling={sampling:?}");
+        }
+    }
 }
 
 #[test]

@@ -1029,6 +1029,56 @@ impl AccuracyEvaluator {
         seed: u64,
         observer: &dyn TrialObserver,
     ) -> AccuracyStats {
+        self.evaluate_trial_range_observed(
+            net,
+            assignment,
+            images,
+            labels,
+            seed,
+            0,
+            self.trials,
+            observer,
+        )
+    }
+
+    /// Evaluates only the contiguous **global** trial window
+    /// `[trial_offset, trial_offset + trial_count)` of the full
+    /// `self.trials`-trial evaluation.
+    ///
+    /// Trial `trial_offset + t` draws its die from
+    /// `derive_seed(seed, site::TRIAL, trial_offset + t)` — exactly the
+    /// seed the same trial uses in a full run — so concatenating the
+    /// windows of any partition of `0..self.trials` in offset order is
+    /// bit-identical to [`Self::evaluate_observed`]. This is the shard
+    /// primitive: a backend computes one window, a coordinator merges.
+    ///
+    /// The observer sees **local** trial indices `0..trial_count` (each
+    /// window is its own engine batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or extends past `self.trials`, or on
+    /// inconsistent buffer lengths / a mismatched assignment.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_trial_range_observed(
+        &self,
+        net: &Network,
+        assignment: &VoltageAssignment,
+        images: &[f32],
+        labels: &[u8],
+        seed: u64,
+        trial_offset: usize,
+        trial_count: usize,
+        observer: &dyn TrialObserver,
+    ) -> AccuracyStats {
+        assert!(trial_count > 0, "trial window must be non-empty");
+        assert!(
+            trial_offset + trial_count <= self.trials,
+            "trial window [{trial_offset}, {}) exceeds {} trials",
+            trial_offset + trial_count,
+            self.trials
+        );
         // Quantize/pack each bit image exactly once; every trial then
         // corrupts only the touched words of a per-worker scratch copy and
         // undoes them afterwards, so steady-state trials allocate nothing.
@@ -1048,11 +1098,14 @@ impl AccuracyEvaluator {
             )),
         };
         let per_trial = self.engine.run_scratch_observed(
-            self.trials,
+            trial_count,
             observer,
             || TrialScratch::new(&prep),
             |trial, scratch| {
-                let trial_seed = derive_seed(seed, site::TRIAL, trial as u64);
+                // Seed by the *global* trial index: the engine hands this
+                // window local indices, but the die stream is positional in
+                // the full evaluation.
+                let trial_seed = derive_seed(seed, site::TRIAL, (trial_offset + trial) as u64);
                 let corrupt_start = Instant::now();
                 let fault_bits = self.corrupt_trial(&prep, assignment, trial_seed, scratch);
                 observer.on_stage("corrupt", corrupt_start.elapsed());

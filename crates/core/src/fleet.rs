@@ -175,9 +175,40 @@ impl FleetSpec {
     /// Panics if the spec fails [`Self::validate`].
     #[must_use]
     pub fn solve_observed(&self, observer: &dyn TrialObserver) -> FleetResult {
+        let dies = self.solve_die_range_observed(0, self.dies, observer);
+        self.assemble(&dies)
+    }
+
+    /// Samples only the contiguous **global** die window `[die_offset,
+    /// die_offset + die_count)` of the population — the shard unit of work.
+    ///
+    /// Die `die_offset + d` keeps the seed it has in a full run
+    /// (`derive_seed(spec.seed, FLEET_DIE, global index)`), so
+    /// concatenating the windows of any ordered partition of `0..dies` and
+    /// feeding them to [`Self::assemble`] reproduces [`Self::solve`]
+    /// bit-for-bit. The observer sees **local** die indices `0..die_count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`Self::validate`] or the window is empty
+    /// or extends past the population.
+    #[must_use]
+    pub fn solve_die_range_observed(
+        &self,
+        die_offset: usize,
+        die_count: usize,
+        observer: &dyn TrialObserver,
+    ) -> Vec<DieOutcome> {
         if let Err(why) = self.validate() {
             panic!("invalid fleet spec: {why}");
         }
+        assert!(die_count > 0, "die window must be non-empty");
+        assert!(
+            die_offset + die_count <= self.dies,
+            "die window [{die_offset}, {}) exceeds {} dies",
+            die_offset + die_count,
+            self.dies
+        );
         let floor = Volt::from_millivolts(f64::from(self.voltages_mv[0]));
         let floor_f32 = floor.volts() as f32;
         let engine = TrialEngine::from_env();
@@ -185,15 +216,18 @@ impl FleetSpec {
         // the hot path allocation-free, exactly like the accuracy
         // evaluator; die results are reassembled in die order by the
         // engine regardless of scheduling.
-        let dies: Vec<DieOutcome> = engine.run_scratch_observed(
-            self.dies,
+        engine.run_scratch_observed(
+            die_count,
             observer,
             || (Vec::<u64>::new(), Vec::<SparseCell>::new()),
-            |die_index, (indices, cells)| {
+            |local_index, (indices, cells)| {
+                // Seed by the global die index: the window is positional in
+                // the full population.
+                let die_index = die_offset + local_index;
                 let die_seed = derive_seed(self.seed, site::FLEET_DIE, die_index as u64);
                 let die = self.fault_model.resolve_die(die_seed);
                 die.sample_cells_into(self.array_bits, floor, die_seed, indices, cells);
-                observer.on_fault_bits(die_index, cells.len() as u64);
+                observer.on_fault_bits(local_index, cells.len() as u64);
                 // The die's V_min is its worst cell; a die with no faulty
                 // cell at the floor is censored (V_min <= floor).
                 let v_min = cells
@@ -214,8 +248,28 @@ impl FleetSpec {
                     }
                 }
             },
-        );
+        )
+    }
 
+    /// Assembles population statistics from per-die outcomes (all dies, in
+    /// any order — the statistics are order-invariant except for the raw
+    /// sort performed here).
+    ///
+    /// The statistics pipeline is byte-for-byte the single-process one:
+    /// sort by `f64::total_cmp`, nearest-rank quantiles, and yield compared
+    /// in exact f32 — so shard-merged outcomes reproduce [`Self::solve`]
+    /// bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly `self.dies` outcomes are supplied.
+    #[must_use]
+    pub fn assemble(&self, dies: &[DieOutcome]) -> FleetResult {
+        assert_eq!(
+            dies.len(),
+            self.dies,
+            "assembly needs the entire population"
+        );
         let censored_dies = dies.iter().filter(|d| d.censored).count();
         let total_fault_cells: u64 = dies.iter().map(|d| d.fault_cells).sum();
         let mut v_min_volts: Vec<f64> = dies.iter().map(|d| d.v_min).collect();
@@ -252,12 +306,18 @@ impl FleetSpec {
     }
 }
 
-/// One die's outcome (internal).
-#[derive(Debug, Clone, Copy)]
-struct DieOutcome {
-    v_min: f64,
-    censored: bool,
-    fault_cells: u64,
+/// One die's raw outcome — the shard-transferable unit a coordinator
+/// merges via [`FleetSpec::assemble`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieOutcome {
+    /// The die's V_min in volts (its worst cell; exactly the sampling
+    /// floor for censored dies).
+    pub v_min: f64,
+    /// Whether the die had no faulty cell at the floor (V_min at or below
+    /// the lowest grid voltage).
+    pub censored: bool,
+    /// Faulty-at-floor cells on this die.
+    pub fault_cells: u64,
 }
 
 /// Population statistics of one fleet sweep.
@@ -372,6 +432,26 @@ mod tests {
             flip_ppm: 500_000,
         };
         assert!(bad.validate().unwrap_err().contains("fault_model"));
+    }
+
+    #[test]
+    fn sharded_die_windows_assemble_bit_identical_to_solve() {
+        let spec = small_spec();
+        let full = spec.solve();
+        for shards in [1usize, 2, 3, 7] {
+            let mut outcomes = Vec::new();
+            for (offset, count) in crate::sweep::shard_ranges(spec.dies, shards) {
+                outcomes.extend(spec.solve_die_range_observed(offset, count, &NoopObserver));
+            }
+            let merged = spec.assemble(&outcomes);
+            let fb: Vec<u64> = full.v_min_volts.iter().map(|v| v.to_bits()).collect();
+            let mb: Vec<u64> = merged.v_min_volts.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                fb, mb,
+                "V_min distribution bit-identical at {shards} shards"
+            );
+            assert_eq!(full, merged);
+        }
     }
 
     #[test]

@@ -51,10 +51,13 @@ pub mod sweep;
 pub use accuracy::{
     AccuracyEvaluator, AccuracyStats, EccMode, ForwardPath, OverlaySampling, VoltageAssignment,
 };
-pub use fleet::{FleetResult, FleetSpec, FLEET_QUANTILES};
+pub use fleet::{DieOutcome, FleetResult, FleetSpec, FLEET_QUANTILES};
 pub use headlines::Headlines;
 pub use iso::{IsoAccuracyResult, IsoAccuracySpec, IsoConfigPoint};
 pub use policy::{OptimizedPlan, PolicyOptimizer};
 pub use report::InferenceEnergyReport;
 pub use schedule::{BoostPlan, NamedBoostConfig, INPUT_TARGET};
-pub use sweep::{NetworkSpec, PointEnergy, PreparedSweep, SupplySpec, SweepPoint, SweepSpec};
+pub use sweep::{
+    shard_ranges, NetworkSpec, PointEnergy, PreparedSweep, SupplySpec, SweepEnergyContext,
+    SweepPoint, SweepSpec,
+};

@@ -440,16 +440,67 @@ impl SweepSpec {
             .with_fault_spec(self.fault_model);
         let layers = net.weight_layer_indices().len();
         PreparedSweep {
-            spec: self.clone(),
+            ctx: self.energy_context(),
             evaluator,
             net,
             images,
             labels,
             layers,
+        }
+    }
+
+    /// Materializes only the analytic (non-Monte-Carlo) half of a sweep:
+    /// the energy model and workload activity. Unlike [`Self::prepare`]
+    /// this never trains or loads a network, so a merge coordinator can
+    /// reassemble [`SweepPoint`]s from shard-computed per-trial accuracies
+    /// without paying for training it will never use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`Self::validate`].
+    #[must_use]
+    pub fn energy_context(&self) -> SweepEnergyContext {
+        if let Err(why) = self.validate() {
+            panic!("invalid sweep spec: {why}");
+        }
+        SweepEnergyContext {
+            spec: self.clone(),
             energy: EnergyModel::dante_chip(),
             activity: self.network.energy_activity(),
         }
     }
+}
+
+/// Splits `total` items into at most `shards` contiguous `(offset, count)`
+/// windows covering `0..total` in order, sizes differing by at most one
+/// (earlier windows take the remainder). Empty windows are omitted, so the
+/// result holds `min(shards, total)` entries.
+///
+/// This is the canonical grid partition for scale-out execution: both the
+/// per-point trial axis of a sweep and the die axis of a fleet shard with
+/// it, and because every window keeps **global** offsets, each shard's
+/// counter-derived seed stream is exactly the slice the unsharded run would
+/// use.
+///
+/// # Panics
+///
+/// Panics if `total` or `shards` is zero.
+#[must_use]
+pub fn shard_ranges(total: usize, shards: usize) -> Vec<(usize, usize)> {
+    assert!(total > 0, "cannot shard zero items");
+    assert!(shards > 0, "need at least one shard");
+    let shards = shards.min(total);
+    let base = total / shards;
+    let extra = total % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut offset = 0;
+    for i in 0..shards {
+        let count = base + usize::from(i < extra);
+        ranges.push((offset, count));
+        offset += count;
+    }
+    debug_assert_eq!(offset, total);
+    ranges
 }
 
 /// Per-inference energy of one sweep point under the spec's supply
@@ -492,23 +543,19 @@ pub struct SweepPoint {
     pub energy: PointEnergy,
 }
 
-/// A sweep with its network trained, its evaluator built, and its energy
-/// context materialized, ready to run point by point (the granularity a
-/// progress-streaming service needs).
+/// The analytic half of a sweep — energy model, workload activity, and the
+/// spec itself — with everything needed to turn per-trial accuracies back
+/// into full [`SweepPoint`]s. Cheap to build (no training, no dataset); see
+/// [`SweepSpec::energy_context`].
 #[derive(Debug)]
-pub struct PreparedSweep {
+pub struct SweepEnergyContext {
     spec: SweepSpec,
-    evaluator: AccuracyEvaluator,
-    net: Network,
-    images: Vec<f32>,
-    labels: Vec<u8>,
-    layers: usize,
     energy: EnergyModel,
     activity: WorkloadActivity,
 }
 
-impl PreparedSweep {
-    /// The spec this sweep was prepared from.
+impl SweepEnergyContext {
+    /// The spec this context was built from.
     #[must_use]
     pub fn spec(&self) -> &SweepSpec {
         &self.spec
@@ -518,12 +565,6 @@ impl PreparedSweep {
     #[must_use]
     pub fn point_count(&self) -> usize {
         self.spec.voltages_mv.len()
-    }
-
-    /// Test images evaluated per trial.
-    #[must_use]
-    pub fn samples_per_trial(&self) -> usize {
-        self.labels.len()
     }
 
     /// The energy workload activity this sweep charges each inference for.
@@ -536,13 +577,6 @@ impl PreparedSweep {
     #[must_use]
     pub fn energy_model(&self) -> &EnergyModel {
         &self.energy
-    }
-
-    /// Fault-free accuracy of the prepared network on its test set (the
-    /// clean baseline iso-accuracy targets are expressed against).
-    #[must_use]
-    pub fn clean_accuracy(&self) -> f64 {
-        self.net.accuracy(&self.images, &self.labels)
     }
 
     /// The SRAM rail fault overlays are drawn at when the logic rail sits
@@ -588,6 +622,122 @@ impl PreparedSweep {
         }
     }
 
+    /// Reassembles grid point `index` from its per-trial accuracies.
+    ///
+    /// When `per_trial` is the offset-order concatenation of shard windows
+    /// (see [`shard_ranges`] and
+    /// [`PreparedSweep::run_point_trial_range_observed`]), the result is
+    /// bit-identical to [`PreparedSweep::run_point`]: the voltage, rail,
+    /// and energy fields are pure functions of the spec recomputed here,
+    /// and [`AccuracyStats`] derives everything from the per-trial vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the trial count doesn't match
+    /// the spec.
+    #[must_use]
+    pub fn assemble_point(&self, index: usize, per_trial: Vec<f64>) -> SweepPoint {
+        assert_eq!(
+            per_trial.len(),
+            self.spec.trials,
+            "merged trial count must match the spec"
+        );
+        let vdd = Volt::from_millivolts(f64::from(self.spec.voltages_mv[index]));
+        SweepPoint {
+            vdd,
+            v_sram: self.sram_rail(vdd),
+            stats: AccuracyStats { per_trial },
+            energy: self.point_energy(vdd),
+        }
+    }
+
+    /// [`Self::assemble_point`] over every grid point in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `per_point` holds exactly one full per-trial vector
+    /// per grid point.
+    #[must_use]
+    pub fn assemble(&self, per_point: Vec<Vec<f64>>) -> Vec<SweepPoint> {
+        assert_eq!(
+            per_point.len(),
+            self.point_count(),
+            "merged point count must match the grid"
+        );
+        per_point
+            .into_iter()
+            .enumerate()
+            .map(|(i, trials)| self.assemble_point(i, trials))
+            .collect()
+    }
+}
+
+/// A sweep with its network trained, its evaluator built, and its energy
+/// context materialized, ready to run point by point (the granularity a
+/// progress-streaming service needs).
+#[derive(Debug)]
+pub struct PreparedSweep {
+    ctx: SweepEnergyContext,
+    evaluator: AccuracyEvaluator,
+    net: Network,
+    images: Vec<f32>,
+    labels: Vec<u8>,
+    layers: usize,
+}
+
+impl PreparedSweep {
+    /// The spec this sweep was prepared from.
+    #[must_use]
+    pub fn spec(&self) -> &SweepSpec {
+        self.ctx.spec()
+    }
+
+    /// Number of voltage grid points.
+    #[must_use]
+    pub fn point_count(&self) -> usize {
+        self.ctx.point_count()
+    }
+
+    /// Test images evaluated per trial.
+    #[must_use]
+    pub fn samples_per_trial(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The energy workload activity this sweep charges each inference for.
+    #[must_use]
+    pub fn activity(&self) -> &WorkloadActivity {
+        self.ctx.activity()
+    }
+
+    /// The energy model in use.
+    #[must_use]
+    pub fn energy_model(&self) -> &EnergyModel {
+        self.ctx.energy_model()
+    }
+
+    /// Fault-free accuracy of the prepared network on its test set (the
+    /// clean baseline iso-accuracy targets are expressed against).
+    #[must_use]
+    pub fn clean_accuracy(&self) -> f64 {
+        self.net.accuracy(&self.images, &self.labels)
+    }
+
+    /// The SRAM rail fault overlays are drawn at when the logic rail sits
+    /// at grid voltage `vdd` (see [`SupplySpec`]).
+    #[must_use]
+    pub fn sram_rail(&self, vdd: Volt) -> Volt {
+        self.ctx.sram_rail(vdd)
+    }
+
+    /// The per-inference energy attribution at grid voltage `vdd` — a pure
+    /// function of the spec (no Monte-Carlo), exposed so services and tests
+    /// can recompute it independently of a run.
+    #[must_use]
+    pub fn point_energy(&self, vdd: Volt) -> PointEnergy {
+        self.ctx.point_energy(vdd)
+    }
+
     /// Runs grid point `index`, deriving its seed from `(spec.seed, index)`
     /// so points are reproducible in isolation and in any order.
     ///
@@ -608,7 +758,8 @@ impl PreparedSweep {
     /// Panics if `index` is out of range.
     #[must_use]
     pub fn run_point_observed(&self, index: usize, observer: &dyn TrialObserver) -> SweepPoint {
-        let mv = self.spec.voltages_mv[index];
+        let spec = self.spec();
+        let mv = spec.voltages_mv[index];
         let vdd = Volt::from_millivolts(f64::from(mv));
         let v_sram = self.sram_rail(vdd);
         let stats = self.evaluator.evaluate_observed(
@@ -616,7 +767,7 @@ impl PreparedSweep {
             &VoltageAssignment::uniform(v_sram, self.layers),
             &self.images,
             &self.labels,
-            dante_sim::derive_seed(self.spec.seed, dante_sim::site::SWEEP_POINT, index as u64),
+            dante_sim::derive_seed(spec.seed, dante_sim::site::SWEEP_POINT, index as u64),
             observer,
         );
         let energy = self.point_energy(vdd);
@@ -627,6 +778,47 @@ impl PreparedSweep {
             stats,
             energy,
         }
+    }
+
+    /// Runs only the global trial window `[trial_offset, trial_offset +
+    /// trial_count)` of grid point `index`, returning the raw per-trial
+    /// accuracies (the shard unit of work).
+    ///
+    /// Every trial keeps the seed it would have in a full
+    /// [`Self::run_point`] — `derive_seed(point_seed, TRIAL, global
+    /// index)` — so concatenating the windows of a [`shard_ranges`]
+    /// partition in order reproduces the full run's
+    /// [`AccuracyStats::per_trial`] bit-for-bit. Merging happens on the
+    /// coordinator via [`SweepEnergyContext::assemble_point`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the window is empty or exceeds
+    /// the spec's trial count.
+    #[must_use]
+    pub fn run_point_trial_range_observed(
+        &self,
+        index: usize,
+        trial_offset: usize,
+        trial_count: usize,
+        observer: &dyn TrialObserver,
+    ) -> Vec<f64> {
+        let spec = self.spec();
+        let mv = spec.voltages_mv[index];
+        let vdd = Volt::from_millivolts(f64::from(mv));
+        let v_sram = self.sram_rail(vdd);
+        self.evaluator
+            .evaluate_trial_range_observed(
+                &self.net,
+                &VoltageAssignment::uniform(v_sram, self.layers),
+                &self.images,
+                &self.labels,
+                dante_sim::derive_seed(spec.seed, dante_sim::site::SWEEP_POINT, index as u64),
+                trial_offset,
+                trial_count,
+                observer,
+            )
+            .per_trial
     }
 
     /// Runs every grid point in order.
@@ -680,6 +872,63 @@ fn toy_net_and_data() -> &'static (Network, Vec<f32>, Vec<u8>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_ranges_partition_the_grid_exactly() {
+        for total in [1usize, 2, 5, 7, 100] {
+            for shards in [1usize, 2, 3, 4, 9, 200] {
+                let ranges = shard_ranges(total, shards);
+                assert_eq!(ranges.len(), shards.min(total));
+                let mut next = 0;
+                for &(offset, count) in &ranges {
+                    assert_eq!(offset, next, "windows are contiguous in order");
+                    assert!(count > 0, "no empty windows");
+                    next = offset + count;
+                }
+                assert_eq!(next, total, "windows cover the grid");
+                let min = ranges.iter().map(|r| r.1).min().unwrap();
+                let max = ranges.iter().map(|r| r.1).max().unwrap();
+                assert!(max - min <= 1, "balanced to within one item");
+            }
+        }
+    }
+
+    #[test]
+    fn trial_range_windows_merge_bit_identical_to_the_full_run() {
+        let spec = SweepSpec {
+            supply: SupplySpec::Boosted { level: 3 },
+            ..SweepSpec::toy_default()
+        };
+        let prepared = spec.prepare();
+        let full = prepared.run();
+        let ctx = spec.energy_context();
+        for shards in [1usize, 2, 3] {
+            let merged: Vec<SweepPoint> = (0..prepared.point_count())
+                .map(|point| {
+                    let mut per_trial = Vec::with_capacity(spec.trials);
+                    for (offset, count) in shard_ranges(spec.trials, shards) {
+                        per_trial.extend(prepared.run_point_trial_range_observed(
+                            point,
+                            offset,
+                            count,
+                            &dante_sim::NoopObserver,
+                        ));
+                    }
+                    ctx.assemble_point(point, per_trial)
+                })
+                .collect();
+            assert_eq!(merged.len(), full.len());
+            for (m, f) in merged.iter().zip(&full) {
+                let mb: Vec<u64> = m.stats.per_trial.iter().map(|a| a.to_bits()).collect();
+                let fb: Vec<u64> = f.stats.per_trial.iter().map(|a| a.to_bits()).collect();
+                assert_eq!(
+                    mb, fb,
+                    "per-trial accuracies bit-identical at {shards} shards"
+                );
+                assert_eq!(m, f, "assembled points identical");
+            }
+        }
+    }
 
     #[test]
     fn canonical_string_distinguishes_specs() {

@@ -7,7 +7,7 @@
 //! message naming the field, so a 400 always tells the client what to fix.
 
 use dante::accuracy::{EccMode, OverlaySampling};
-use dante::fleet::{FleetResult, FleetSpec};
+use dante::fleet::{DieOutcome, FleetResult, FleetSpec};
 use dante::iso::{IsoAccuracyResult, IsoAccuracySpec, IsoConfigPoint};
 use dante::sweep::{NetworkSpec, SupplySpec, SweepPoint, SweepSpec};
 use dante_bench::json::Value;
@@ -44,6 +44,16 @@ use std::collections::BTreeMap;
 pub fn decode_spec(body: &[u8]) -> Result<SweepSpec, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
     let v = Value::parse(text).map_err(|e| e.to_string())?;
+    decode_spec_value(&v)
+}
+
+/// Decodes an already-parsed sweep-spec object (the `spec` sub-object of a
+/// shard request, or a whole `POST /v1/sweep` body).
+///
+/// # Errors
+///
+/// Same contract as [`decode_spec`].
+pub fn decode_spec_value(v: &Value) -> Result<SweepSpec, String> {
     if v.get("voltages_mv").is_some() && v.get("grid").is_some() {
         return Err("give either 'voltages_mv' or 'grid', not both".to_owned());
     }
@@ -300,6 +310,16 @@ pub fn decode_fault_model(v: Option<&Value>) -> Result<FaultModel, String> {
 pub fn decode_fleet_spec(body: &[u8]) -> Result<FleetSpec, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
     let v = Value::parse(text).map_err(|e| e.to_string())?;
+    decode_fleet_value(&v)
+}
+
+/// Decodes an already-parsed fleet-spec object (the `spec` sub-object of a
+/// shard request, or a whole `POST /v1/fleet` body).
+///
+/// # Errors
+///
+/// Same contract as [`decode_fleet_spec`].
+pub fn decode_fleet_value(v: &Value) -> Result<FleetSpec, String> {
     if v.get("voltages_mv").is_some() && v.get("grid").is_some() {
         return Err("give either 'voltages_mv' or 'grid', not both".to_owned());
     }
@@ -371,6 +391,374 @@ fn default_network(token: &str) -> Result<NetworkSpec, String> {
         }),
         other => Err(format!("unknown network {other:?}")),
     }
+}
+
+/// Encodes a sweep spec as a JSON object [`decode_spec_value`] accepts —
+/// the wire form shard requests carry. Every field is written explicitly
+/// (no defaults elided), so a backend on the same build decodes a spec
+/// with the identical canonical string.
+#[must_use]
+pub fn encode_spec_value(spec: &SweepSpec) -> Value {
+    let num = |n: f64| Value::Number(n);
+    let network = match spec.network {
+        NetworkSpec::Toy => Value::String("toy".to_owned()),
+        NetworkSpec::MnistFc {
+            train_n,
+            test_n,
+            epochs,
+        } => Value::Object(BTreeMap::from([
+            ("kind".to_owned(), Value::String("mnist_fc".to_owned())),
+            ("train_n".to_owned(), num(train_n as f64)),
+            ("test_n".to_owned(), num(test_n as f64)),
+            ("epochs".to_owned(), num(epochs as f64)),
+        ])),
+        NetworkSpec::AlexNetConv {
+            layers,
+            train_n,
+            test_n,
+            epochs,
+        } => Value::Object(BTreeMap::from([
+            ("kind".to_owned(), Value::String("alexnet_conv".to_owned())),
+            ("layers".to_owned(), num(layers as f64)),
+            ("train_n".to_owned(), num(train_n as f64)),
+            ("test_n".to_owned(), num(test_n as f64)),
+            ("epochs".to_owned(), num(epochs as f64)),
+        ])),
+    };
+    let supply = match spec.supply {
+        SupplySpec::Single => Value::String("single".to_owned()),
+        SupplySpec::Boosted { level } => Value::Object(BTreeMap::from([
+            ("kind".to_owned(), Value::String("boosted".to_owned())),
+            ("level".to_owned(), num(level as f64)),
+        ])),
+        SupplySpec::Dual { v_h_mv } => Value::Object(BTreeMap::from([
+            ("kind".to_owned(), Value::String("dual".to_owned())),
+            ("v_h_mv".to_owned(), num(f64::from(v_h_mv))),
+        ])),
+    };
+    Value::Object(BTreeMap::from([
+        ("seed".to_owned(), num(spec.seed as f64)),
+        ("trials".to_owned(), num(spec.trials as f64)),
+        (
+            "voltages_mv".to_owned(),
+            Value::Array(
+                spec.voltages_mv
+                    .iter()
+                    .map(|&mv| num(f64::from(mv)))
+                    .collect(),
+            ),
+        ),
+        (
+            "sampling".to_owned(),
+            Value::String(
+                match spec.sampling {
+                    OverlaySampling::SparseTail => "sparse_tail",
+                    OverlaySampling::Dense => "dense",
+                }
+                .to_owned(),
+            ),
+        ),
+        (
+            "ecc".to_owned(),
+            Value::String(
+                match spec.ecc {
+                    EccMode::None => "none",
+                    EccMode::SecDed => "secded",
+                }
+                .to_owned(),
+            ),
+        ),
+        ("network".to_owned(), network),
+        ("supply".to_owned(), supply),
+        (
+            "fault_model".to_owned(),
+            encode_fault_model(spec.fault_model),
+        ),
+    ]))
+}
+
+/// Encodes a fault model as an object [`decode_fault_model`] accepts.
+#[must_use]
+pub fn encode_fault_model(model: FaultModel) -> Value {
+    let num = |n: u32| Value::Number(f64::from(n));
+    match model {
+        FaultModel::Gaussian {
+            mu_mv,
+            sigma_mv,
+            flip_ppm,
+        } => Value::Object(BTreeMap::from([
+            ("kind".to_owned(), Value::String("gaussian".to_owned())),
+            ("mu_mv".to_owned(), num(mu_mv)),
+            ("sigma_mv".to_owned(), num(sigma_mv)),
+            ("flip_ppm".to_owned(), num(flip_ppm)),
+        ])),
+        FaultModel::CorrelatedBurst {
+            mu_mv,
+            sigma_mv,
+            flip_ppm,
+            row_weak_ppm,
+            col_weak_ppm,
+            shift_mv,
+        } => Value::Object(BTreeMap::from([
+            (
+                "kind".to_owned(),
+                Value::String("correlated_burst".to_owned()),
+            ),
+            ("mu_mv".to_owned(), num(mu_mv)),
+            ("sigma_mv".to_owned(), num(sigma_mv)),
+            ("flip_ppm".to_owned(), num(flip_ppm)),
+            ("row_weak_ppm".to_owned(), num(row_weak_ppm)),
+            ("col_weak_ppm".to_owned(), num(col_weak_ppm)),
+            ("shift_mv".to_owned(), num(shift_mv)),
+        ])),
+        FaultModel::ChipVariation {
+            mu_mv,
+            sigma_mv,
+            flip_ppm,
+            mu_spread_mv,
+            sigma_spread_pct,
+        } => Value::Object(BTreeMap::from([
+            (
+                "kind".to_owned(),
+                Value::String("chip_variation".to_owned()),
+            ),
+            ("mu_mv".to_owned(), num(mu_mv)),
+            ("sigma_mv".to_owned(), num(sigma_mv)),
+            ("flip_ppm".to_owned(), num(flip_ppm)),
+            ("mu_spread_mv".to_owned(), num(mu_spread_mv)),
+            ("sigma_spread_pct".to_owned(), num(sigma_spread_pct)),
+        ])),
+    }
+}
+
+/// Encodes a fleet spec as a JSON object [`decode_fleet_value`] accepts.
+#[must_use]
+pub fn encode_fleet_value(spec: &FleetSpec) -> Value {
+    Value::Object(BTreeMap::from([
+        ("seed".to_owned(), Value::Number(spec.seed as f64)),
+        ("dies".to_owned(), Value::Number(spec.dies as f64)),
+        (
+            "array_bits".to_owned(),
+            Value::Number(spec.array_bits as f64),
+        ),
+        (
+            "voltages_mv".to_owned(),
+            Value::Array(
+                spec.voltages_mv
+                    .iter()
+                    .map(|&mv| Value::Number(f64::from(mv)))
+                    .collect(),
+            ),
+        ),
+        (
+            "fault_model".to_owned(),
+            encode_fault_model(spec.fault_model),
+        ),
+    ]))
+}
+
+/// Renders an `f64` as its exact IEEE-754 bit pattern (16 hex chars).
+/// Shard responses carry floats this way so merged results are
+/// bit-identical to a single-process run — no decimal round-trip.
+#[must_use]
+pub fn f64_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Parses an [`f64_hex`]-rendered bit pattern back to the exact `f64`.
+///
+/// # Errors
+///
+/// Rejects strings that are not exactly 16 hex characters.
+pub fn f64_from_hex(s: &str) -> Result<f64, String> {
+    if s.len() != 16 {
+        return Err(format!("float bits must be 16 hex chars, got {s:?}"));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad float bits {s:?}"))
+}
+
+/// Reads a `usize` window field (`trial_offset`, `die_count`, ...) from a
+/// shard request object.
+fn window_field(v: &Value, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .filter(|n| n.fract() == 0.0 && (0.0..=1e12).contains(n))
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("'{key}' must be a non-negative integer"))
+}
+
+/// Encodes a `POST /v1/shard/sweep` request: the full spec plus the trial
+/// window `[trial_offset, trial_offset + trial_count)` this shard owns.
+#[must_use]
+pub fn encode_shard_sweep_request(
+    spec: &SweepSpec,
+    trial_offset: usize,
+    trial_count: usize,
+) -> String {
+    Value::Object(BTreeMap::from([
+        ("spec".to_owned(), encode_spec_value(spec)),
+        (
+            "trial_offset".to_owned(),
+            Value::Number(trial_offset as f64),
+        ),
+        ("trial_count".to_owned(), Value::Number(trial_count as f64)),
+    ]))
+    .to_string_compact()
+}
+
+/// Decodes a `POST /v1/shard/sweep` body into `(spec, offset, count)`.
+///
+/// # Errors
+///
+/// Rejects malformed bodies and windows outside `0..spec.trials`.
+pub fn decode_shard_sweep_request(body: &[u8]) -> Result<(SweepSpec, usize, usize), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let v = Value::parse(text).map_err(|e| e.to_string())?;
+    let spec = decode_spec_value(v.get("spec").ok_or("missing 'spec'")?)?;
+    let offset = window_field(&v, "trial_offset")?;
+    let count = window_field(&v, "trial_count")?;
+    if count == 0 || offset.saturating_add(count) > spec.trials {
+        return Err(format!(
+            "trial window {offset}+{count} outside 0..{}",
+            spec.trials
+        ));
+    }
+    Ok((spec, offset, count))
+}
+
+/// Encodes a shard sweep response: for each sweep point, the shard's raw
+/// per-trial accuracies as exact bit patterns, in trial order.
+#[must_use]
+pub fn encode_shard_sweep_response(per_point: &[Vec<f64>]) -> String {
+    Value::Object(BTreeMap::from([(
+        "points".to_owned(),
+        Value::Array(
+            per_point
+                .iter()
+                .map(|trials| {
+                    Value::Array(trials.iter().map(|&x| Value::String(f64_hex(x))).collect())
+                })
+                .collect(),
+        ),
+    )]))
+    .to_string_compact()
+}
+
+/// Decodes a shard sweep response back to per-point raw trial accuracies.
+///
+/// # Errors
+///
+/// Rejects malformed bodies (including error payloads from the peer).
+pub fn decode_shard_sweep_response(body: &[u8]) -> Result<Vec<Vec<f64>>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let v = Value::parse(text).map_err(|e| e.to_string())?;
+    v.get("points")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing 'points' array".to_owned())?
+        .iter()
+        .map(|point| {
+            point
+                .as_array()
+                .ok_or_else(|| "'points' entries must be arrays".to_owned())?
+                .iter()
+                .map(|bits| f64_from_hex(bits.as_str().ok_or("float bits must be strings")?))
+                .collect()
+        })
+        .collect()
+}
+
+/// Encodes a `POST /v1/shard/fleet` request: the full spec plus the die
+/// window `[die_offset, die_offset + die_count)` this shard owns.
+#[must_use]
+pub fn encode_shard_fleet_request(spec: &FleetSpec, die_offset: usize, die_count: usize) -> String {
+    Value::Object(BTreeMap::from([
+        ("spec".to_owned(), encode_fleet_value(spec)),
+        ("die_offset".to_owned(), Value::Number(die_offset as f64)),
+        ("die_count".to_owned(), Value::Number(die_count as f64)),
+    ]))
+    .to_string_compact()
+}
+
+/// Decodes a `POST /v1/shard/fleet` body into `(spec, offset, count)`.
+///
+/// # Errors
+///
+/// Rejects malformed bodies and windows outside `0..spec.dies`.
+pub fn decode_shard_fleet_request(body: &[u8]) -> Result<(FleetSpec, usize, usize), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let v = Value::parse(text).map_err(|e| e.to_string())?;
+    let spec = decode_fleet_value(v.get("spec").ok_or("missing 'spec'")?)?;
+    let offset = window_field(&v, "die_offset")?;
+    let count = window_field(&v, "die_count")?;
+    if count == 0 || offset.saturating_add(count) > spec.dies {
+        return Err(format!(
+            "die window {offset}+{count} outside 0..{}",
+            spec.dies
+        ));
+    }
+    Ok((spec, offset, count))
+}
+
+/// Encodes a shard fleet response: the shard's raw per-die outcomes in die
+/// order, V_min as an exact bit pattern.
+#[must_use]
+pub fn encode_shard_fleet_response(dies: &[DieOutcome]) -> String {
+    Value::Object(BTreeMap::from([(
+        "dies".to_owned(),
+        Value::Array(
+            dies.iter()
+                .map(|die| {
+                    Value::Object(BTreeMap::from([
+                        ("v_min_bits".to_owned(), Value::String(f64_hex(die.v_min))),
+                        ("censored".to_owned(), Value::Bool(die.censored)),
+                        (
+                            "fault_cells".to_owned(),
+                            Value::Number(die.fault_cells as f64),
+                        ),
+                    ]))
+                })
+                .collect(),
+        ),
+    )]))
+    .to_string_compact()
+}
+
+/// Decodes a shard fleet response back to raw per-die outcomes.
+///
+/// # Errors
+///
+/// Rejects malformed bodies (including error payloads from the peer).
+pub fn decode_shard_fleet_response(body: &[u8]) -> Result<Vec<DieOutcome>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let v = Value::parse(text).map_err(|e| e.to_string())?;
+    v.get("dies")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing 'dies' array".to_owned())?
+        .iter()
+        .map(|die| {
+            let v_min = f64_from_hex(
+                die.get("v_min_bits")
+                    .and_then(Value::as_str)
+                    .ok_or("'v_min_bits' must be a string")?,
+            )?;
+            let censored = die
+                .get("censored")
+                .and_then(Value::as_bool)
+                .ok_or("'censored' must be a bool")?;
+            let fault_cells =
+                die.get("fault_cells")
+                    .and_then(Value::as_f64)
+                    .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+                    .ok_or("'fault_cells' must be a non-negative integer")? as u64;
+            Ok(DieOutcome {
+                v_min,
+                censored,
+                fault_cells,
+            })
+        })
+        .collect()
 }
 
 /// Builds the response record from a spec and its per-point results.
@@ -1114,6 +1502,120 @@ mod tests {
             ber_of(&burst) > ber_of(&base),
             "weak-cell bursts raise the marginal BER"
         );
+    }
+
+    #[test]
+    fn spec_encoders_round_trip_through_the_decoders() {
+        let spec = SweepSpec {
+            seed: 97,
+            trials: 3,
+            voltages_mv: vec![400, 440],
+            sampling: OverlaySampling::Dense,
+            ecc: EccMode::SecDed,
+            network: NetworkSpec::MnistFc {
+                train_n: 100,
+                test_n: 50,
+                epochs: 2,
+            },
+            supply: SupplySpec::Dual { v_h_mv: 600 },
+            fault_model: FaultModel::burst_default(),
+        };
+        let body = encode_spec_value(&spec).to_string_compact();
+        let decoded = decode_spec(body.as_bytes()).unwrap();
+        assert_eq!(decoded, spec);
+        assert_eq!(
+            decoded.canonical_string(),
+            spec.canonical_string(),
+            "wire round-trip must preserve the cache key"
+        );
+        let fleet = decode_fleet_spec(
+            br#"{"seed": 9, "dies": 64, "array_bits": 65536,
+                 "voltages_mv": [520, 560, 600],
+                 "fault_model": "chip_variation"}"#,
+        )
+        .unwrap();
+        let body = encode_fleet_value(&fleet).to_string_compact();
+        let decoded = decode_fleet_spec(body.as_bytes()).unwrap();
+        assert_eq!(decoded, fleet);
+        assert_eq!(decoded.canonical_string(), fleet.canonical_string());
+    }
+
+    #[test]
+    fn float_bits_survive_the_wire_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            0.971_234_567_890_123_4,
+        ] {
+            let back = f64_from_hex(&f64_hex(x)).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+        assert!(f64_from_hex("abc").is_err(), "short strings rejected");
+        assert!(f64_from_hex("zzzzzzzzzzzzzzzz").is_err());
+    }
+
+    #[test]
+    fn shard_sweep_codecs_round_trip_and_validate_windows() {
+        let spec = SweepSpec {
+            voltages_mv: vec![400, 480],
+            trials: 5,
+            ..SweepSpec::toy_default()
+        };
+        let body = encode_shard_sweep_request(&spec, 2, 3);
+        let (decoded, offset, count) = decode_shard_sweep_request(body.as_bytes()).unwrap();
+        assert_eq!(decoded, spec);
+        assert_eq!((offset, count), (2, 3));
+        // Window past the trial count is rejected.
+        let bad = encode_shard_sweep_request(&spec, 3, 3);
+        assert!(decode_shard_sweep_request(bad.as_bytes())
+            .unwrap_err()
+            .contains("window"));
+        let per_point = vec![
+            vec![0.5, 1.0 / 3.0, 0.971],
+            vec![0.25, -0.0, f64::MIN_POSITIVE],
+        ];
+        let decoded =
+            decode_shard_sweep_response(encode_shard_sweep_response(&per_point).as_bytes())
+                .unwrap();
+        assert_eq!(decoded.len(), per_point.len());
+        for (a, b) in decoded.iter().flatten().zip(per_point.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Error payloads from a peer decode to Err, not a panic.
+        assert!(decode_shard_sweep_response(br#"{"error": "boom"}"#).is_err());
+    }
+
+    #[test]
+    fn shard_fleet_codecs_round_trip_and_validate_windows() {
+        let spec = decode_fleet_spec(br#"{"dies": 7, "array_bits": 16384}"#).unwrap();
+        let body = encode_shard_fleet_request(&spec, 3, 4);
+        let (decoded, offset, count) = decode_shard_fleet_request(body.as_bytes()).unwrap();
+        assert_eq!(decoded, spec);
+        assert_eq!((offset, count), (3, 4));
+        let bad = encode_shard_fleet_request(&spec, 4, 4);
+        assert!(decode_shard_fleet_request(bad.as_bytes())
+            .unwrap_err()
+            .contains("window"));
+        let dies = vec![
+            DieOutcome {
+                v_min: 0.561_234_567_89,
+                censored: false,
+                fault_cells: 3,
+            },
+            DieOutcome {
+                v_min: 0.5,
+                censored: true,
+                fault_cells: 0,
+            },
+        ];
+        let decoded =
+            decode_shard_fleet_response(encode_shard_fleet_response(&dies).as_bytes()).unwrap();
+        assert_eq!(decoded, dies);
+        assert_eq!(decoded[0].v_min.to_bits(), dies[0].v_min.to_bits());
+        assert!(decode_shard_fleet_response(br#"{"error": "boom"}"#).is_err());
     }
 
     #[test]

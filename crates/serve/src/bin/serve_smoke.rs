@@ -183,12 +183,15 @@ fn main() {
     for needle in [
         "dante_serve_requests_total",
         "dante_serve_cache_hits_total 3",
-        "dante_serve_jobs_completed_total 3",
+        // Four worker jobs: cold sweep, boosted sweep, iso solve, fleet.
+        "dante_serve_jobs_completed_total 4",
         "dante_serve_energy_sweep_jobs_total 1",
         "dante_serve_iso_accuracy_solves_total 1",
         "dante_serve_iso_accuracy_cache_hits_total 1",
         "dante_serve_fleet_jobs_total 1",
         "dante_serve_fleet_cache_hits_total 1",
+        "dante_serve_jobs_rejected_total 0",
+        "dante_serve_queue_depth 0",
     ] {
         assert!(text.contains(needle), "metrics missing {needle}:\n{text}");
     }
@@ -196,5 +199,117 @@ fn main() {
 
     handle.shutdown();
     assert!(handle.join(), "server must drain cleanly");
-    println!("smoke: clean shutdown — all checks passed");
+    println!("smoke: clean shutdown ok");
+
+    sharded_leg(payload, &cold);
+    restart_recovery_leg();
+    println!("smoke: all checks passed");
+}
+
+/// Sharded leg: two plain backends plus a coordinator fronting them. The
+/// coordinated sweep must be byte-identical to `reference` — the bytes the
+/// single-process server served for the same payload above.
+fn sharded_leg(payload: &str, reference: &[u8]) {
+    let backend_a = start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServerConfig::default()
+    })
+    .expect("boot backend a");
+    let backend_b = start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServerConfig::default()
+    })
+    .expect("boot backend b");
+    let coordinator = start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        peers: vec![backend_a.addr().to_string(), backend_b.addr().to_string()],
+        ..ServerConfig::default()
+    })
+    .expect("boot coordinator");
+    let addr = coordinator.addr();
+
+    let (status, headers, sharded) = post_sweep(addr, payload);
+    assert_eq!(
+        status,
+        200,
+        "sharded sweep: {}",
+        String::from_utf8_lossy(&sharded)
+    );
+    assert_eq!(header(&headers, "X-Dante-Cache"), Some("miss"));
+    assert_eq!(
+        sharded, reference,
+        "sharded sweep must be byte-identical to the single-process run"
+    );
+
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("metrics is UTF-8");
+    for needle in [
+        // One leg per peer, no local fallback, nothing left in flight.
+        "dante_serve_shard_requests_total 2",
+        "dante_serve_shard_fallbacks_total 0",
+        "dante_serve_shard_in_flight 0",
+    ] {
+        assert!(text.contains(needle), "metrics missing {needle}:\n{text}");
+    }
+
+    coordinator.shutdown();
+    assert!(coordinator.join(), "coordinator must drain cleanly");
+    backend_a.shutdown();
+    assert!(backend_a.join(), "backend a must drain cleanly");
+    backend_b.shutdown();
+    assert!(backend_b.join(), "backend b must drain cleanly");
+    println!("smoke: sharded sweep byte-identical across 2 backends");
+}
+
+/// Restart-recovery leg: a sweep served cold by one process is served as a
+/// byte-identical cache hit by a fresh process sharing the same data dir.
+fn restart_recovery_leg() {
+    let dir = std::env::temp_dir().join(format!("dante-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let payload = r#"{"network": "toy", "trials": 2, "voltages_mv": [420, 480], "seed": 17}"#;
+
+    let first = start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("boot first server");
+    let (status, headers, cold) = post_sweep(first.addr(), payload);
+    assert_eq!(
+        status,
+        200,
+        "cold sweep: {}",
+        String::from_utf8_lossy(&cold)
+    );
+    assert_eq!(header(&headers, "X-Dante-Cache"), Some("miss"));
+    first.shutdown();
+    assert!(first.join(), "first server must drain cleanly");
+
+    let second = start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("boot second server");
+    let (status, headers, warm) = post_sweep(second.addr(), payload);
+    assert_eq!(
+        status,
+        200,
+        "warm sweep: {}",
+        String::from_utf8_lossy(&warm)
+    );
+    assert_eq!(
+        header(&headers, "X-Dante-Cache"),
+        Some("hit"),
+        "restarted server must hit the persisted cache"
+    );
+    assert_eq!(
+        cold, warm,
+        "persisted cache hit must be byte-identical across the restart"
+    );
+    second.shutdown();
+    assert!(second.join(), "second server must drain cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("smoke: disk cache byte-identical across restart");
 }

@@ -27,6 +27,10 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// The `X-Dante-Client` header value (empty when absent). Bulk-lane
+    /// fairness is keyed on this token, so one client's backlog cannot
+    /// starve another's.
+    pub client: String,
 }
 
 impl Request {
@@ -125,6 +129,7 @@ pub fn read_request(
     let mut keep_alive = version == "HTTP/1.1"; // 1.1 default; 1.0 closes.
     let mut expects_continue = false;
     let mut has_transfer_encoding = false;
+    let mut client = String::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -152,6 +157,7 @@ pub fn read_request(
             }
             "expect" => expects_continue = value.eq_ignore_ascii_case("100-continue"),
             "transfer-encoding" => has_transfer_encoding = true,
+            "x-dante-client" => client = value.to_owned(),
             _ => {}
         }
     }
@@ -179,6 +185,7 @@ pub fn read_request(
         query: query.to_owned(),
         body,
         keep_alive,
+        client,
     })
 }
 
@@ -331,6 +338,20 @@ mod tests {
         assert_eq!(req.query_param("missing"), None);
         assert_eq!(req.body, b"abcd");
         assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.client, "", "no client token sent");
+    }
+
+    #[test]
+    fn client_token_header_is_retained() {
+        let req = round_trip(
+            b"GET /healthz HTTP/1.1\r\nX-Dante-Client: team-a\r\n\r\n",
+            64,
+        )
+        .unwrap();
+        assert_eq!(req.client, "team-a");
+        // Header names are case-insensitive.
+        let req = round_trip(b"GET / HTTP/1.1\r\nx-dante-CLIENT:  b \r\n\r\n", 64).unwrap();
+        assert_eq!(req.client, "b");
     }
 
     #[test]

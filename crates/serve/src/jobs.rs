@@ -1,12 +1,24 @@
-//! Sweep jobs: states, the bounded queue, and the registry.
+//! Sweep jobs: states, the bounded two-lane queue, and the registry.
 //!
 //! A [`Job`] is one queued/running/finished sweep. Its state sits behind a
 //! `Mutex` + `Condvar` pair so three kinds of thread can coordinate on it:
 //! the worker that runs it, synchronous submitters blocked in
 //! [`Job::wait_terminal`], and streaming connections replaying
 //! [`Job::state`] events as they appear.
+//!
+//! # Scheduling
+//!
+//! The queue is not a plain FIFO. Jobs are split into two [`Lane`]s —
+//! interactive (iso-accuracy solves: seconds of work a human is waiting
+//! on) and bulk (sweeps and fleet populations: minutes of work) — served
+//! by weighted round-robin, so a burst of bulk submissions cannot starve
+//! an interactive solve. Within the bulk lane, jobs are queued per client
+//! token (the `X-Dante-Client` request header) and clients are served
+//! round-robin, so one client queueing a 10,000-die fleet backlog cannot
+//! starve another client's single sweep.
 
 use dante::fleet::FleetSpec;
+use dante::iso::IsoAccuracySpec;
 use dante::sweep::SweepSpec;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -66,18 +78,39 @@ pub struct JobState {
     pub result: Option<Arc<String>>,
     /// Failure reason, set when `status == Failed`.
     pub error: Option<String>,
+    /// Process-wide monotone completion sequence number, assigned the
+    /// moment the job goes terminal. Lets tests and clients assert
+    /// *ordering* between completions (e.g. lane fairness) without
+    /// wall-clock races.
+    pub finish_seq: Option<u64>,
 }
 
-/// The work a job carries: a voltage sweep or a fleet-scale V_min/yield
-/// population sweep. Both are content-addressed by their canonical strings,
-/// whose distinct `dante.sweep.` / `dante.fleet.` prefixes keep the two
-/// cache-key families disjoint by construction.
+/// Process-wide completion counter backing [`JobState::finish_seq`].
+static FINISH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Which scheduling lane a job rides in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Short, human-blocking work (iso-accuracy solves).
+    Interactive,
+    /// Long-running throughput work (sweeps, fleet populations).
+    Bulk,
+}
+
+/// The work a job carries: a voltage sweep, a fleet-scale V_min/yield
+/// population sweep, or an iso-accuracy solve. All are content-addressed
+/// by their canonical strings, whose distinct `dante.sweep.` /
+/// `dante.fleet.` / `dante.iso.` prefixes keep the cache-key families
+/// disjoint by construction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobSpec {
     /// A Monte-Carlo accuracy/energy sweep (`POST /v1/sweep`).
     Sweep(SweepSpec),
     /// A fleet V_min/yield sweep (`POST /v1/fleet`).
     Fleet(FleetSpec),
+    /// An iso-accuracy solve (`GET /v1/iso-accuracy`) — the interactive
+    /// lane's tenant.
+    Iso(IsoAccuracySpec),
 }
 
 impl JobSpec {
@@ -87,16 +120,18 @@ impl JobSpec {
         match self {
             Self::Sweep(spec) => spec.canonical_string(),
             Self::Fleet(spec) => spec.canonical_string(),
+            Self::Iso(spec) => spec.canonical_string(),
         }
     }
 
     /// Whether the job exercises the energy-comparison machinery (fleet
-    /// sweeps never do — they sample overlays, not inference energy).
+    /// sweeps never do — they sample overlays, not inference energy; iso
+    /// solves are counted under their own metric instead).
     #[must_use]
     pub fn is_energy_sweep(&self) -> bool {
         match self {
             Self::Sweep(spec) => spec.is_energy_sweep(),
-            Self::Fleet(_) => false,
+            Self::Fleet(_) | Self::Iso(_) => false,
         }
     }
 
@@ -104,6 +139,21 @@ impl JobSpec {
     #[must_use]
     pub fn is_fleet(&self) -> bool {
         matches!(self, Self::Fleet(_))
+    }
+
+    /// Whether this is an iso-accuracy solve.
+    #[must_use]
+    pub fn is_iso(&self) -> bool {
+        matches!(self, Self::Iso(_))
+    }
+
+    /// The scheduling lane this work rides in.
+    #[must_use]
+    pub fn lane(&self) -> Lane {
+        match self {
+            Self::Iso(_) => Lane::Interactive,
+            Self::Sweep(_) | Self::Fleet(_) => Lane::Bulk,
+        }
     }
 }
 
@@ -116,6 +166,9 @@ pub struct Job {
     pub digest: String,
     /// The work itself.
     pub spec: JobSpec,
+    /// The submitting client's token (`X-Dante-Client` header; empty when
+    /// the client sent none). Bulk-lane fairness is keyed on this.
+    pub client: String,
     /// Guarded state; lock only briefly.
     pub state: Mutex<JobState>,
     /// Signalled on every state/event change.
@@ -123,17 +176,19 @@ pub struct Job {
 }
 
 impl Job {
-    fn new(id: String, digest: String, spec: JobSpec) -> Self {
+    fn new(id: String, digest: String, spec: JobSpec, client: String) -> Self {
         Self {
             id,
             digest,
             spec,
+            client,
             state: Mutex::new(JobState {
                 status: JobStatus::Queued,
                 events: Vec::new(),
                 dropped_events: 0,
                 result: None,
                 error: None,
+                finish_seq: None,
             }),
             cv: Condvar::new(),
         }
@@ -168,8 +223,23 @@ impl Job {
         if error.is_some() {
             state.error = error;
         }
+        if status.is_terminal() && state.finish_seq.is_none() {
+            state.finish_seq = Some(FINISH_SEQ.fetch_add(1, Ordering::Relaxed) + 1);
+        }
         drop(state);
         self.cv.notify_all();
+    }
+
+    /// The completion sequence number, once terminal.
+    #[must_use]
+    pub fn finish_seq(&self) -> Option<u64> {
+        self.state.lock().expect("job lock poisoned").finish_seq
+    }
+
+    /// The scheduling lane this job rides in.
+    #[must_use]
+    pub fn lane(&self) -> Lane {
+        self.spec.lane()
     }
 
     /// Current status snapshot.
@@ -220,76 +290,219 @@ impl Job {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueFull;
 
-/// The bounded FIFO feeding the worker pool.
+/// Weighted-round-robin credits for the two lanes: out of every
+/// `interactive + bulk` consecutive dispatches under contention, the
+/// interactive lane receives `interactive`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneWeights {
+    /// Dispatches per round for the interactive lane.
+    pub interactive: u32,
+    /// Dispatches per round for the bulk lane.
+    pub bulk: u32,
+}
+
+impl Default for LaneWeights {
+    /// 4:1 in favour of interactive work — bulk jobs run minutes, so even
+    /// heavily favouring the short lane costs bulk throughput almost
+    /// nothing while keeping solves responsive.
+    fn default() -> Self {
+        Self {
+            interactive: 4,
+            bulk: 1,
+        }
+    }
+}
+
+impl LaneWeights {
+    /// Parses the `DANTE_SERVE_LANE_WEIGHTS` format
+    /// `"<interactive>,<bulk>"` (both positive integers).
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed field.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let (i, b) = raw
+            .split_once(',')
+            .ok_or_else(|| format!("lane weights {raw:?} must be \"<interactive>,<bulk>\""))?;
+        let interactive: u32 = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad interactive lane weight {i:?}"))?;
+        let bulk: u32 = b
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad bulk lane weight {b:?}"))?;
+        if interactive == 0 || bulk == 0 {
+            return Err("lane weights must both be positive (a zero weight starves a lane)".into());
+        }
+        Ok(Self { interactive, bulk })
+    }
+}
+
+/// Queue internals: one FIFO for the interactive lane, per-client FIFOs
+/// with client rotation for the bulk lane, and the WRR credit state.
+#[derive(Debug, Default)]
+struct LaneState {
+    interactive: VecDeque<Arc<Job>>,
+    /// Bulk jobs keyed by client token.
+    bulk: HashMap<String, VecDeque<Arc<Job>>>,
+    /// Clients with waiting bulk jobs, in round-robin service order.
+    bulk_rotation: VecDeque<String>,
+    bulk_len: usize,
+    credits_interactive: u32,
+    credits_bulk: u32,
+}
+
+impl LaneState {
+    fn len(&self) -> usize {
+        self.interactive.len() + self.bulk_len
+    }
+
+    fn pop_bulk(&mut self) -> Option<Arc<Job>> {
+        let client = self.bulk_rotation.pop_front()?;
+        let queue = self
+            .bulk
+            .get_mut(&client)
+            .expect("rotation entries always have a queue");
+        let job = queue.pop_front().expect("rotation queues are non-empty");
+        if queue.is_empty() {
+            self.bulk.remove(&client);
+        } else {
+            // The client goes to the back of the rotation: each waiting
+            // client gets one dispatch per cycle regardless of backlog.
+            self.bulk_rotation.push_back(client);
+        }
+        self.bulk_len -= 1;
+        Some(job)
+    }
+}
+
+/// The bounded two-lane queue feeding the worker pool (see the module docs
+/// for the scheduling discipline).
 #[derive(Debug)]
 pub struct JobQueue {
     capacity: usize,
-    inner: Mutex<VecDeque<Arc<Job>>>,
+    weights: LaneWeights,
+    inner: Mutex<LaneState>,
     cv: Condvar,
 }
 
 impl JobQueue {
-    /// A queue admitting at most `capacity` waiting jobs.
+    /// A queue admitting at most `capacity` waiting jobs, with default
+    /// lane weights.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_weights(capacity, LaneWeights::default())
+    }
+
+    /// A queue with explicit lane weights (`DANTE_SERVE_LANE_WEIGHTS`).
+    #[must_use]
+    pub fn with_weights(capacity: usize, weights: LaneWeights) -> Self {
         Self {
             capacity,
-            inner: Mutex::new(VecDeque::new()),
+            weights,
+            inner: Mutex::new(LaneState::default()),
             cv: Condvar::new(),
         }
     }
 
-    /// Enqueues `job`, or reports [`QueueFull`] — the caller turns that
-    /// into HTTP 429 with `Retry-After`.
+    /// Enqueues `job` in its lane, or reports [`QueueFull`] — the caller
+    /// turns that into HTTP 429 with `Retry-After`.
     ///
     /// # Errors
     ///
-    /// Returns [`QueueFull`] when `capacity` jobs are already waiting.
+    /// Returns [`QueueFull`] when `capacity` jobs are already waiting
+    /// (the bound covers both lanes together).
     pub fn try_push(&self, job: Arc<Job>) -> Result<(), QueueFull> {
-        let mut queue = self.inner.lock().expect("queue lock poisoned");
-        if queue.len() >= self.capacity {
+        let mut state = self.inner.lock().expect("queue lock poisoned");
+        if state.len() >= self.capacity {
             return Err(QueueFull);
         }
-        queue.push_back(job);
-        drop(queue);
+        match job.lane() {
+            Lane::Interactive => state.interactive.push_back(job),
+            Lane::Bulk => {
+                let client = job.client.clone();
+                let newly_active = state.bulk.get(&client).is_none_or(|queue| queue.is_empty());
+                if newly_active {
+                    state.bulk_rotation.push_back(client.clone());
+                }
+                state.bulk.entry(client).or_default().push_back(job);
+                state.bulk_len += 1;
+            }
+        }
+        drop(state);
         self.cv.notify_one();
         Ok(())
     }
 
-    /// Blocks for the next job; returns `None` once `shutdown` is raised
-    /// (workers then exit — in-flight jobs have already been claimed and
-    /// run to completion, which is the drain guarantee).
+    /// Blocks for the next job per the weighted-round-robin discipline;
+    /// returns `None` once `shutdown` is raised (workers then exit —
+    /// in-flight jobs have already been claimed and run to completion,
+    /// which is the drain guarantee).
+    ///
+    /// The scheduler is work-conserving: credits only arbitrate when both
+    /// lanes hold work; a lone non-empty lane is always served.
     #[must_use]
     pub fn pop(&self, shutdown: &AtomicBool) -> Option<Arc<Job>> {
-        let mut queue = self.inner.lock().expect("queue lock poisoned");
+        let mut state = self.inner.lock().expect("queue lock poisoned");
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return None;
             }
-            if let Some(job) = queue.pop_front() {
+            if state.len() > 0 {
+                if state.credits_interactive == 0 && state.credits_bulk == 0 {
+                    state.credits_interactive = self.weights.interactive;
+                    state.credits_bulk = self.weights.bulk;
+                }
+                let take_interactive = if state.interactive.is_empty() {
+                    false
+                } else if state.bulk_len == 0 {
+                    true
+                } else {
+                    // Both lanes have work: spend interactive credits
+                    // first, then bulk's guaranteed share.
+                    state.credits_interactive > 0
+                };
+                if take_interactive {
+                    state.credits_interactive = state.credits_interactive.saturating_sub(1);
+                    let job = state.interactive.pop_front().expect("checked non-empty");
+                    return Some(job);
+                }
+                state.credits_bulk = state.credits_bulk.saturating_sub(1);
+                let job = state.pop_bulk().expect("bulk lane checked non-empty");
                 return Some(job);
             }
             let (next, _) = self
                 .cv
-                .wait_timeout(queue, Duration::from_millis(50))
+                .wait_timeout(state, Duration::from_millis(50))
                 .expect("queue lock poisoned");
-            queue = next;
+            state = next;
         }
     }
 
-    /// Jobs currently waiting (the `/metrics` gauge).
+    /// Jobs currently waiting across both lanes (the `/metrics` gauge).
     #[must_use]
     pub fn depth(&self) -> usize {
         self.inner.lock().expect("queue lock poisoned").len()
     }
 
-    /// Empties the queue, returning the jobs that never ran (shutdown
+    /// `(interactive, bulk)` waiting-job counts (per-lane gauges).
+    #[must_use]
+    pub fn lane_depths(&self) -> (usize, usize) {
+        let state = self.inner.lock().expect("queue lock poisoned");
+        (state.interactive.len(), state.bulk_len)
+    }
+
+    /// Empties both lanes, returning the jobs that never ran (shutdown
     /// cancels them).
     #[must_use]
     pub fn drain(&self) -> Vec<Arc<Job>> {
-        let mut queue = self.inner.lock().expect("queue lock poisoned");
-        let drained = queue.drain(..).collect();
-        drop(queue);
+        let mut state = self.inner.lock().expect("queue lock poisoned");
+        let mut drained: Vec<Arc<Job>> = state.interactive.drain(..).collect();
+        while let Some(job) = state.pop_bulk() {
+            drained.push(job);
+        }
+        drop(state);
         self.cv.notify_all();
         drained
     }
@@ -316,11 +529,12 @@ impl JobRegistry {
         Self::default()
     }
 
-    /// Creates and registers a job for `spec`.
+    /// Creates and registers a job for `spec`, attributed to `client` (the
+    /// `X-Dante-Client` token; empty for anonymous submissions).
     #[must_use]
-    pub fn create(&self, spec: JobSpec, digest: String) -> Arc<Job> {
+    pub fn create(&self, spec: JobSpec, digest: String, client: String) -> Arc<Job> {
         let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
-        let job = Arc::new(Job::new(id.clone(), digest.clone(), spec));
+        let job = Arc::new(Job::new(id.clone(), digest.clone(), spec, client));
         self.jobs
             .lock()
             .expect("registry lock poisoned")
@@ -383,25 +597,57 @@ mod tests {
         JobSpec::Sweep(SweepSpec::toy_default())
     }
 
+    fn iso_spec() -> JobSpec {
+        JobSpec::Iso(IsoAccuracySpec::toy_default())
+    }
+
     #[test]
     fn job_spec_delegates_classification_and_canonical_string() {
         let sweep = spec();
         assert!(!sweep.is_fleet());
         assert!(!sweep.is_energy_sweep(), "toy single-supply sweep");
         assert!(sweep.canonical_string().starts_with("dante.sweep."));
+        assert_eq!(sweep.lane(), Lane::Bulk);
         let fleet = JobSpec::Fleet(FleetSpec::toy_default());
         assert!(fleet.is_fleet());
         assert!(!fleet.is_energy_sweep());
         assert!(fleet.canonical_string().starts_with("dante.fleet."));
+        assert_eq!(fleet.lane(), Lane::Bulk);
+        let iso = iso_spec();
+        assert!(iso.is_iso());
+        assert!(!iso.is_energy_sweep());
+        assert!(iso.canonical_string().starts_with("dante.iso."));
+        assert_eq!(iso.lane(), Lane::Interactive);
+    }
+
+    #[test]
+    fn lane_weights_parse_and_reject_garbage() {
+        assert_eq!(
+            LaneWeights::parse("4,1").unwrap(),
+            LaneWeights {
+                interactive: 4,
+                bulk: 1
+            }
+        );
+        assert_eq!(
+            LaneWeights::parse(" 2 , 3 ").unwrap(),
+            LaneWeights {
+                interactive: 2,
+                bulk: 3
+            }
+        );
+        assert!(LaneWeights::parse("4").is_err());
+        assert!(LaneWeights::parse("x,1").is_err());
+        assert!(LaneWeights::parse("0,1").is_err(), "zero starves a lane");
     }
 
     #[test]
     fn queue_enforces_capacity_and_fifo_order() {
         let registry = JobRegistry::new();
         let queue = JobQueue::new(2);
-        let a = registry.create(spec(), "d1".into());
-        let b = registry.create(spec(), "d2".into());
-        let c = registry.create(spec(), "d3".into());
+        let a = registry.create(spec(), "d1".into(), String::new());
+        let b = registry.create(spec(), "d2".into(), String::new());
+        let c = registry.create(spec(), "d3".into(), String::new());
         assert_eq!(a.id, "job-1");
         queue.try_push(a.clone()).unwrap();
         queue.try_push(b.clone()).unwrap();
@@ -410,6 +656,115 @@ mod tests {
         let shutdown = AtomicBool::new(false);
         assert_eq!(queue.pop(&shutdown).unwrap().id, a.id);
         assert_eq!(queue.pop(&shutdown).unwrap().id, b.id);
+    }
+
+    #[test]
+    fn interactive_jobs_overtake_a_bulk_backlog() {
+        let registry = JobRegistry::new();
+        let queue = JobQueue::new(16);
+        let shutdown = AtomicBool::new(false);
+        // A bulk backlog already waiting...
+        let bulk: Vec<_> = (0..4)
+            .map(|i| registry.create(spec(), format!("b{i}"), "batch".into()))
+            .collect();
+        for job in &bulk {
+            queue.try_push(job.clone()).unwrap();
+        }
+        // ...then an interactive solve arrives late.
+        let iso = registry.create(iso_spec(), "iso".into(), "human".into());
+        queue.try_push(iso.clone()).unwrap();
+        assert_eq!(queue.lane_depths(), (1, 4));
+        // The very next dispatch is the interactive job, not the backlog.
+        assert_eq!(queue.pop(&shutdown).unwrap().id, iso.id);
+        assert_eq!(queue.pop(&shutdown).unwrap().id, bulk[0].id);
+    }
+
+    #[test]
+    fn lane_credits_prevent_interactive_monopoly() {
+        // With weights 2:1 and both lanes saturated, bulk gets every third
+        // dispatch instead of starving.
+        let registry = JobRegistry::new();
+        let queue = JobQueue::with_weights(
+            16,
+            LaneWeights {
+                interactive: 2,
+                bulk: 1,
+            },
+        );
+        let shutdown = AtomicBool::new(false);
+        for i in 0..3 {
+            queue
+                .try_push(registry.create(spec(), format!("b{i}"), String::new()))
+                .unwrap();
+        }
+        for i in 0..6 {
+            queue
+                .try_push(registry.create(iso_spec(), format!("i{i}"), String::new()))
+                .unwrap();
+        }
+        let lanes: Vec<Lane> = (0..9)
+            .map(|_| queue.pop(&shutdown).unwrap().lane())
+            .collect();
+        use Lane::{Bulk, Interactive};
+        assert_eq!(
+            lanes,
+            vec![
+                Interactive,
+                Interactive,
+                Bulk,
+                Interactive,
+                Interactive,
+                Bulk,
+                Interactive,
+                Interactive,
+                Bulk
+            ]
+        );
+    }
+
+    #[test]
+    fn bulk_lane_round_robins_clients() {
+        // Client "hog" queues a backlog before "small" submits one job;
+        // "small" is served on the second bulk dispatch, not after the
+        // whole backlog.
+        let registry = JobRegistry::new();
+        let queue = JobQueue::new(16);
+        let shutdown = AtomicBool::new(false);
+        let hogs: Vec<_> = (0..4)
+            .map(|i| registry.create(spec(), format!("h{i}"), "hog".into()))
+            .collect();
+        for job in &hogs {
+            queue.try_push(job.clone()).unwrap();
+        }
+        let small = registry.create(spec(), "s0".into(), "small".into());
+        queue.try_push(small.clone()).unwrap();
+        let order: Vec<String> = (0..5)
+            .map(|_| queue.pop(&shutdown).unwrap().id.clone())
+            .collect();
+        assert_eq!(order[0], hogs[0].id, "hog was first in line");
+        assert_eq!(
+            order[1], small.id,
+            "small client is not stuck behind the backlog"
+        );
+        assert_eq!(
+            &order[2..],
+            &[hogs[1].id.clone(), hogs[2].id.clone(), hogs[3].id.clone()]
+        );
+    }
+
+    #[test]
+    fn finish_seq_orders_completions() {
+        let registry = JobRegistry::new();
+        let a = registry.create(spec(), "fa".into(), String::new());
+        let b = registry.create(spec(), "fb".into(), String::new());
+        assert_eq!(a.finish_seq(), None);
+        b.set_status(JobStatus::Done, None, None);
+        a.set_status(JobStatus::Done, None, None);
+        let (sa, sb) = (a.finish_seq().unwrap(), b.finish_seq().unwrap());
+        assert!(sb < sa, "b finished first: {sb} vs {sa}");
+        // Idempotent: re-setting a terminal status keeps the first seq.
+        a.set_status(JobStatus::Done, None, None);
+        assert_eq!(a.finish_seq(), Some(sa));
     }
 
     #[test]
@@ -422,7 +777,7 @@ mod tests {
     #[test]
     fn wait_terminal_sees_completion_from_another_thread() {
         let registry = JobRegistry::new();
-        let job = registry.create(spec(), "d".into());
+        let job = registry.create(spec(), "d".into(), String::new());
         let waiter = {
             let job = job.clone();
             std::thread::spawn(move || {
@@ -447,7 +802,7 @@ mod tests {
     #[test]
     fn event_cap_drops_but_counts() {
         let registry = JobRegistry::new();
-        let job = registry.create(spec(), "d".into());
+        let job = registry.create(spec(), "d".into(), String::new());
         for i in 0..(EVENT_CAP + 10) {
             job.push_event(format!("e{i}"), false);
         }
@@ -461,7 +816,7 @@ mod tests {
     #[test]
     fn digest_index_dedups_active_jobs_and_retires_terminal_ones() {
         let registry = JobRegistry::new();
-        let job = registry.create(spec(), "dig".into());
+        let job = registry.create(spec(), "dig".into(), String::new());
         assert!(Arc::ptr_eq(
             &registry.active_for_digest("dig").unwrap(),
             &job

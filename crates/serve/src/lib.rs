@@ -44,7 +44,10 @@ pub mod http;
 pub mod jobs;
 pub mod metrics;
 pub mod server;
+pub mod shard;
+pub mod store;
 
 pub use cache::{digest, ResultCache};
 pub use jobs::{Job, JobQueue, JobRegistry, JobSpec, JobStatus, QueueFull};
 pub use server::{start, ServerConfig, ServerHandle};
+pub use store::{DiskStore, StoreStats, TieredCache};

@@ -62,8 +62,49 @@ pub struct Metrics {
     pub fleet_jobs: AtomicU64,
     /// `POST /v1/fleet` responses served from the result cache.
     pub fleet_cache_hits: AtomicU64,
+    /// Submissions rejected with 429 because the queue was full.
+    /// Incremented exactly once per rejected submission, on the same path
+    /// that attaches `Retry-After`.
+    pub jobs_rejected: AtomicU64,
+    /// Shard sub-requests issued to peers (fan-out legs, including retries
+    /// and hedges).
+    pub shard_requests: AtomicU64,
+    /// Shard legs re-sent to another peer after a failure.
+    pub shard_retries: AtomicU64,
+    /// Hedged duplicate legs launched against straggling peers.
+    pub shard_hedges: AtomicU64,
+    /// Shard windows computed locally after every peer leg failed.
+    pub shard_fallbacks: AtomicU64,
+    /// Shard legs currently in flight (gauge, maintained by the
+    /// coordinator).
+    pub shard_in_flight: AtomicU64,
     /// Ring of recent request latencies in microseconds.
     latencies: Mutex<LatencyRing>,
+}
+
+/// Point-in-time gauges sampled by the `/metrics` handler and appended to
+/// the rendered counters: queue depths (total and per lane), in-memory
+/// result-cache traffic, and the disk-cache segment store's footprint.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Jobs waiting across both lanes.
+    pub queue_depth: usize,
+    /// Jobs waiting in the interactive lane.
+    pub queue_interactive: usize,
+    /// Jobs waiting in the bulk lane.
+    pub queue_bulk: usize,
+    /// Result-cache hits (memory or disk tier).
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Disk-cache segment files.
+    pub disk_segments: u64,
+    /// Disk-cache bytes across segment files.
+    pub disk_bytes: u64,
+    /// Disk-cache live records.
+    pub disk_records: u64,
+    /// Disk-cache compaction passes since open.
+    pub disk_compactions: u64,
 }
 
 impl Metrics {
@@ -122,9 +163,9 @@ impl Metrics {
     }
 
     /// Renders the metrics in the flat `name value` text format, with the
-    /// caller-sampled gauges appended.
+    /// caller-sampled [`Gauges`] appended.
     #[must_use]
-    pub fn render(&self, queue_depth: usize, cache_hits: u64, cache_misses: u64) -> String {
+    pub fn render(&self, gauges: &Gauges) -> String {
         let (p50, p99) = self.latency_percentiles();
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         format!(
@@ -135,14 +176,26 @@ impl Metrics {
              dante_serve_responses_5xx_total {}\n\
              dante_serve_jobs_completed_total {}\n\
              dante_serve_jobs_failed_total {}\n\
+             dante_serve_jobs_rejected_total {}\n\
              dante_serve_energy_sweep_jobs_total {}\n\
              dante_serve_iso_accuracy_solves_total {}\n\
              dante_serve_iso_accuracy_cache_hits_total {}\n\
              dante_serve_fleet_jobs_total {}\n\
              dante_serve_fleet_cache_hits_total {}\n\
-             dante_serve_queue_depth {queue_depth}\n\
-             dante_serve_cache_hits_total {cache_hits}\n\
-             dante_serve_cache_misses_total {cache_misses}\n\
+             dante_serve_shard_requests_total {}\n\
+             dante_serve_shard_retries_total {}\n\
+             dante_serve_shard_hedges_total {}\n\
+             dante_serve_shard_fallbacks_total {}\n\
+             dante_serve_shard_in_flight {}\n\
+             dante_serve_queue_depth {}\n\
+             dante_serve_queue_depth_interactive {}\n\
+             dante_serve_queue_depth_bulk {}\n\
+             dante_serve_cache_hits_total {}\n\
+             dante_serve_cache_misses_total {}\n\
+             dante_serve_disk_cache_segments {}\n\
+             dante_serve_disk_cache_bytes {}\n\
+             dante_serve_disk_cache_records {}\n\
+             dante_serve_disk_cache_compactions_total {}\n\
              dante_serve_request_latency_p50_micros {p50}\n\
              dante_serve_request_latency_p99_micros {p99}\n",
             load(&self.requests_total),
@@ -152,11 +205,26 @@ impl Metrics {
             load(&self.responses_5xx),
             load(&self.jobs_completed),
             load(&self.jobs_failed),
+            load(&self.jobs_rejected),
             load(&self.energy_sweep_jobs),
             load(&self.iso_accuracy_solves),
             load(&self.iso_accuracy_cache_hits),
             load(&self.fleet_jobs),
             load(&self.fleet_cache_hits),
+            load(&self.shard_requests),
+            load(&self.shard_retries),
+            load(&self.shard_hedges),
+            load(&self.shard_fallbacks),
+            load(&self.shard_in_flight),
+            gauges.queue_depth,
+            gauges.queue_interactive,
+            gauges.queue_bulk,
+            gauges.cache_hits,
+            gauges.cache_misses,
+            gauges.disk_segments,
+            gauges.disk_bytes,
+            gauges.disk_records,
+            gauges.disk_compactions,
         )
     }
 }
@@ -172,15 +240,40 @@ mod tests {
         m.record_response(200, Duration::from_micros(100));
         m.record_response(429, Duration::from_micros(300));
         m.record_response(500, Duration::from_micros(200));
-        let text = m.render(2, 5, 7);
+        m.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        m.shard_requests.fetch_add(4, Ordering::Relaxed);
+        m.shard_hedges.fetch_add(1, Ordering::Relaxed);
+        let text = m.render(&Gauges {
+            queue_depth: 2,
+            queue_interactive: 1,
+            queue_bulk: 1,
+            cache_hits: 5,
+            cache_misses: 7,
+            disk_segments: 3,
+            disk_bytes: 4096,
+            disk_records: 9,
+            disk_compactions: 1,
+        });
         assert!(text.contains("dante_serve_requests_total 3"), "{text}");
         assert!(text.contains("dante_serve_responses_2xx_total 1"));
         assert!(text.contains("dante_serve_responses_4xx_total 1"));
         assert!(text.contains("dante_serve_responses_429_total 1"));
         assert!(text.contains("dante_serve_responses_5xx_total 1"));
+        assert!(text.contains("dante_serve_jobs_rejected_total 1"));
         assert!(text.contains("dante_serve_queue_depth 2"));
+        assert!(text.contains("dante_serve_queue_depth_interactive 1"));
+        assert!(text.contains("dante_serve_queue_depth_bulk 1"));
         assert!(text.contains("dante_serve_cache_hits_total 5"));
         assert!(text.contains("dante_serve_cache_misses_total 7"));
+        assert!(text.contains("dante_serve_disk_cache_segments 3"));
+        assert!(text.contains("dante_serve_disk_cache_bytes 4096"));
+        assert!(text.contains("dante_serve_disk_cache_records 9"));
+        assert!(text.contains("dante_serve_disk_cache_compactions_total 1"));
+        assert!(text.contains("dante_serve_shard_requests_total 4"));
+        assert!(text.contains("dante_serve_shard_retries_total 0"));
+        assert!(text.contains("dante_serve_shard_hedges_total 1"));
+        assert!(text.contains("dante_serve_shard_fallbacks_total 0"));
+        assert!(text.contains("dante_serve_shard_in_flight 0"));
         assert!(text.contains("dante_serve_energy_sweep_jobs_total 0"));
         assert!(text.contains("dante_serve_iso_accuracy_solves_total 0"));
         assert!(text.contains("dante_serve_fleet_jobs_total 0"));

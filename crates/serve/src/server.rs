@@ -2,15 +2,18 @@
 //! shutdown.
 
 use crate::api;
-use crate::cache::{digest, ResultCache};
+use crate::cache::digest;
 use crate::http::{self, configure_stream, read_request, ChunkedResponse, Request, RequestError};
-use crate::jobs::{Job, JobQueue, JobRegistry, JobSpec, JobStatus};
-use crate::metrics::Metrics;
+use crate::jobs::{Job, JobQueue, JobRegistry, JobSpec, JobStatus, LaneWeights};
+use crate::metrics::{Gauges, Metrics};
+use crate::shard::Coordinator;
+use crate::store::{DiskStore, TieredCache};
 use dante_bench::json::Value;
 use dante_sim::EventObserver;
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -36,6 +39,16 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Per-read socket timeout for idle keep-alive connections.
     pub read_timeout: Duration,
+    /// Directory for the persistent result cache (`DANTE_SERVE_DATA_DIR`;
+    /// unset disables the disk tier — results then live only in memory).
+    pub data_dir: Option<PathBuf>,
+    /// Backend peers (`DANTE_SERVE_PEERS`, comma-separated `host:port`).
+    /// Non-empty turns this node into a shard coordinator: sweep and
+    /// fleet jobs fan out across the peers and merge byte-identically.
+    pub peers: Vec<String>,
+    /// Weighted-round-robin lane weights (`DANTE_SERVE_LANE_WEIGHTS`,
+    /// `"<interactive>,<bulk>"`).
+    pub lane_weights: LaneWeights,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +60,9 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             max_body_bytes: 64 * 1024,
             read_timeout: Duration::from_secs(5),
+            data_dir: None,
+            peers: Vec::new(),
+            lane_weights: LaneWeights::default(),
         }
     }
 }
@@ -88,6 +104,26 @@ impl ServerConfig {
         if let Some(n) = parse("DANTE_SERVE_MAX_BODY", 64)? {
             cfg.max_body_bytes = n;
         }
+        if let Ok(raw) = std::env::var("DANTE_SERVE_DATA_DIR") {
+            let trimmed = raw.trim();
+            cfg.data_dir = (!trimmed.is_empty()).then(|| PathBuf::from(trimmed));
+        }
+        if let Ok(raw) = std::env::var("DANTE_SERVE_PEERS") {
+            let mut peers = Vec::new();
+            for token in raw.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                if !token.contains(':') {
+                    return Err(format!(
+                        "DANTE_SERVE_PEERS entries must be host:port, got {token:?}"
+                    ));
+                }
+                peers.push(token.to_owned());
+            }
+            cfg.peers = peers;
+        }
+        if let Ok(raw) = std::env::var("DANTE_SERVE_LANE_WEIGHTS") {
+            cfg.lane_weights = LaneWeights::parse(&raw)
+                .map_err(|why| format!("DANTE_SERVE_LANE_WEIGHTS: {why}"))?;
+        }
         Ok(cfg)
     }
 }
@@ -98,8 +134,9 @@ struct Shared {
     config: ServerConfig,
     registry: JobRegistry,
     queue: JobQueue,
-    cache: ResultCache,
-    metrics: Metrics,
+    cache: TieredCache,
+    metrics: Arc<Metrics>,
+    coordinator: Option<Coordinator>,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
 }
@@ -170,15 +207,23 @@ impl ServerHandle {
 ///
 /// # Errors
 ///
-/// Propagates bind failures.
+/// Propagates bind failures and disk-cache open failures
+/// (`DANTE_SERVE_DATA_DIR` pointing somewhere unusable should fail
+/// startup, not silently serve without persistence).
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let disk = match &config.data_dir {
+        Some(dir) => Some(DiskStore::open(dir)?),
+        None => None,
+    };
+    let coordinator = (!config.peers.is_empty()).then(|| Coordinator::new(config.peers.clone()));
     let shared = Arc::new(Shared {
-        queue: JobQueue::new(config.queue_depth),
-        cache: ResultCache::new(config.cache_capacity),
+        queue: JobQueue::with_weights(config.queue_depth, config.lane_weights),
+        cache: TieredCache::new(config.cache_capacity, disk),
         registry: JobRegistry::new(),
-        metrics: Metrics::new(),
+        metrics: Arc::new(Metrics::new()),
+        coordinator,
         shutdown: AtomicBool::new(false),
         active_connections: AtomicUsize::new(0),
         config,
@@ -244,7 +289,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop(&shared.shutdown) {
         job.set_status(JobStatus::Running, None, None);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&job)));
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(shared, &job)));
         match outcome {
             Ok(body) => {
                 let body = Arc::new(body);
@@ -265,6 +311,12 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if job.is_fleet() {
                     shared.metrics.fleet_jobs.fetch_add(1, Ordering::Relaxed);
                 }
+                if job.spec.is_iso() {
+                    shared
+                        .metrics
+                        .iso_accuracy_solves
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 job.push_event(format!(r#"{{"event":"done","job":"{}"}}"#, job.id), true);
                 job.set_status(JobStatus::Done, Some(body), None);
             }
@@ -284,10 +336,26 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 /// Executes one job, bridging trial hooks into events: sweeps run point by
-/// point, fleets run die by die (one trial per die).
-fn run_job(job: &Arc<Job>) -> String {
+/// point, fleets run die by die (one trial per die). When this node is a
+/// coordinator (`DANTE_SERVE_PEERS`), bulk sweep/fleet jobs fan out across
+/// the peers instead — per-trial event streaming is replaced by a single
+/// `shard_fanout` event, but the merged response body stays byte-identical
+/// to a local run.
+fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) -> String {
     match &job.spec {
         JobSpec::Sweep(spec) => {
+            if let Some(coordinator) = &shared.coordinator {
+                job.push_event(
+                    format!(
+                        r#"{{"event":"shard_fanout","job":"{}","peers":{}}}"#,
+                        job.id,
+                        coordinator.peers().len()
+                    ),
+                    true,
+                );
+                let results = coordinator.run_sweep(spec, &shared.metrics);
+                return api::build_record(spec, &results).to_json_pretty();
+            }
             let prep = spec.prepare();
             let mut results = Vec::with_capacity(prep.point_count());
             for point in 0..prep.point_count() {
@@ -307,6 +375,18 @@ fn run_job(job: &Arc<Job>) -> String {
             api::build_record(spec, &results).to_json_pretty()
         }
         JobSpec::Fleet(spec) => {
+            if let Some(coordinator) = &shared.coordinator {
+                job.push_event(
+                    format!(
+                        r#"{{"event":"shard_fanout","job":"{}","peers":{}}}"#,
+                        job.id,
+                        coordinator.peers().len()
+                    ),
+                    true,
+                );
+                let result = coordinator.run_fleet(spec, &shared.metrics);
+                return api::build_fleet_record(spec, &result).to_json_pretty();
+            }
             let observer = EventObserver::new(|event| {
                 if let Some(line) = api::fleet_event_line(&event) {
                     let force = matches!(event, dante_sim::TrialEvent::BatchComplete { .. });
@@ -316,6 +396,9 @@ fn run_job(job: &Arc<Job>) -> String {
             let result = spec.solve_observed(&observer);
             api::build_fleet_record(spec, &result).to_json_pretty()
         }
+        // Iso solves are interactive-lane work: always computed locally
+        // (seconds, not minutes — fan-out overhead would dominate).
+        JobSpec::Iso(spec) => api::render_iso(spec, &spec.solve()),
     }
 }
 
@@ -387,11 +470,25 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request, keep_a
     match (request.method.as_str(), path) {
         ("POST", "/v1/sweep") => post_sweep(stream, shared, request, keep_alive),
         ("POST", "/v1/fleet") => post_fleet(stream, shared, request, keep_alive),
+        ("POST", "/v1/shard/sweep") => shard_sweep(stream, shared, request, keep_alive),
+        ("POST", "/v1/shard/fleet") => shard_fleet(stream, shared, request, keep_alive),
         ("GET", "/v1/iso-accuracy") => get_iso_accuracy(stream, shared, request, keep_alive),
         ("GET", "/healthz") => respond(stream, 200, "text/plain", &[], b"ok\n", keep_alive),
         ("GET", "/metrics") => {
             let (hits, misses) = shared.cache.stats();
-            let body = shared.metrics.render(shared.queue.depth(), hits, misses);
+            let (queue_interactive, queue_bulk) = shared.queue.lane_depths();
+            let disk = shared.cache.disk_stats();
+            let body = shared.metrics.render(&Gauges {
+                queue_depth: shared.queue.depth(),
+                queue_interactive,
+                queue_bulk,
+                cache_hits: hits,
+                cache_misses: misses,
+                disk_segments: disk.segments,
+                disk_bytes: disk.bytes,
+                disk_records: disk.records,
+                disk_compactions: disk.compactions,
+            });
             respond(stream, 200, "text/plain", &[], body.as_bytes(), keep_alive)
         }
         ("GET", _) if path.starts_with("/v1/jobs/") => {
@@ -404,7 +501,11 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request, keep_a
                 job_status(stream, shared, rest, keep_alive)
             }
         }
-        (_, "/v1/sweep" | "/v1/fleet" | "/v1/iso-accuracy" | "/healthz" | "/metrics") => respond(
+        (
+            _,
+            "/v1/sweep" | "/v1/fleet" | "/v1/shard/sweep" | "/v1/shard/fleet" | "/v1/iso-accuracy"
+            | "/healthz" | "/metrics",
+        ) => respond(
             stream,
             405,
             "application/json",
@@ -478,6 +579,123 @@ fn post_fleet(
     }
 }
 
+/// `POST /v1/shard/sweep`: a coordinator's fan-out leg. Runs the request's
+/// trial window at every grid point synchronously in the connection thread
+/// and returns the raw per-trial accuracies as exact bit patterns —
+/// internal plumbing, deliberately uncached and unqueued (the coordinator
+/// owns caching and scheduling for the whole job).
+fn shard_sweep(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &Request,
+    keep_alive: bool,
+) -> u16 {
+    let (spec, offset, count) = match api::decode_shard_sweep_request(&request.body) {
+        Ok(parts) => parts,
+        Err(why) => {
+            return respond(
+                stream,
+                400,
+                "application/json",
+                &[],
+                api::error_body(&why).as_bytes(),
+                keep_alive,
+            )
+        }
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return respond(
+            stream,
+            503,
+            "application/json",
+            &[],
+            api::error_body("server shutting down").as_bytes(),
+            false,
+        );
+    }
+    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let prep = spec.prepare();
+        let observer = EventObserver::new(|_| {});
+        let points: Vec<Vec<f64>> = (0..prep.point_count())
+            .map(|p| prep.run_point_trial_range_observed(p, offset, count, &observer))
+            .collect();
+        api::encode_shard_sweep_response(&points)
+    }));
+    shard_window_response(stream, computed, keep_alive)
+}
+
+/// `POST /v1/shard/fleet`: the fleet analogue of [`shard_sweep`] — runs the
+/// request's die window and returns raw per-die outcomes.
+fn shard_fleet(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &Request,
+    keep_alive: bool,
+) -> u16 {
+    let (spec, offset, count) = match api::decode_shard_fleet_request(&request.body) {
+        Ok(parts) => parts,
+        Err(why) => {
+            return respond(
+                stream,
+                400,
+                "application/json",
+                &[],
+                api::error_body(&why).as_bytes(),
+                keep_alive,
+            )
+        }
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return respond(
+            stream,
+            503,
+            "application/json",
+            &[],
+            api::error_body("server shutting down").as_bytes(),
+            false,
+        );
+    }
+    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let observer = EventObserver::new(|_| {});
+        api::encode_shard_fleet_response(&spec.solve_die_range_observed(offset, count, &observer))
+    }));
+    shard_window_response(stream, computed, keep_alive)
+}
+
+/// Renders a shard-leg outcome: the encoded window on success, 500 with
+/// the panic message otherwise.
+fn shard_window_response(
+    stream: &mut TcpStream,
+    computed: Result<String, Box<dyn std::any::Any + Send>>,
+    keep_alive: bool,
+) -> u16 {
+    match computed {
+        Ok(body) => respond(
+            stream,
+            200,
+            "application/json",
+            &[],
+            body.as_bytes(),
+            keep_alive,
+        ),
+        Err(panic) => {
+            let why = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "shard window panicked".to_owned());
+            respond(
+                stream,
+                500,
+                "application/json",
+                &[],
+                api::error_body(&why).as_bytes(),
+                keep_alive,
+            )
+        }
+    }
+}
+
 /// Shared submission path for `/v1/sweep` and `/v1/fleet`: cache lookup,
 /// dedup against an identical in-flight job, enqueue (429 on a full queue),
 /// then either a 202 ticket (`?mode=async`) or a synchronous wait.
@@ -496,6 +714,12 @@ fn submit_job(
             shared
                 .metrics
                 .fleet_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if spec.is_iso() {
+            shared
+                .metrics
+                .iso_accuracy_cache_hits
                 .fetch_add(1, Ordering::Relaxed);
         }
         return respond(
@@ -524,10 +748,13 @@ fn submit_job(
     let job = match shared.registry.active_for_digest(&key) {
         Some(job) => job,
         None => {
-            let job = shared.registry.create(spec, key.clone());
+            let job = shared
+                .registry
+                .create(spec, key.clone(), request.client.clone());
             if shared.queue.try_push(job.clone()).is_err() {
                 job.set_status(JobStatus::Cancelled, None, Some("queue full".to_owned()));
                 shared.registry.retire(&job);
+                shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
                 let body = api::error_body(&format!(
                     "queue full ({} waiting); retry shortly",
                     shared.config.queue_depth
@@ -618,16 +845,27 @@ fn submit_job(
 /// each supply configuration's energy there. The solve is deterministic per
 /// query, so results are content-addressed into the same cache as sweeps
 /// (the iso canonical string has its own `dante.iso.` prefix, so the two
-/// key families cannot collide). Computed synchronously in the connection
-/// thread: a cold solve on the toy default takes well under a second, and
-/// heavier networks hit the artifact cache after the first request.
+/// key families cannot collide). Cold solves run through the job queue's
+/// interactive lane, so an iso request never waits behind a bulk sweep
+/// backlog; cached results return directly from the connection thread.
 fn get_iso_accuracy(
     stream: &mut TcpStream,
     shared: &Arc<Shared>,
     request: &Request,
     keep_alive: bool,
 ) -> u16 {
-    let spec = match api::decode_iso_query(&request.query) {
+    // `mode` is submission transport (sync vs async ticket), not part of
+    // the solve; strip it before the strict spec decode.
+    let spec_query: String = request
+        .query
+        .split('&')
+        .filter(|pair| {
+            let key = pair.split_once('=').map_or(*pair, |(k, _)| k);
+            !pair.is_empty() && key != "mode"
+        })
+        .collect::<Vec<_>>()
+        .join("&");
+    let spec = match api::decode_iso_query(&spec_query) {
         Ok(spec) => spec,
         Err(why) => {
             return respond(
@@ -640,60 +878,7 @@ fn get_iso_accuracy(
             )
         }
     };
-    let key = digest(&spec.canonical_string());
-    if let Some(body) = shared.cache.get(&key) {
-        shared
-            .metrics
-            .iso_accuracy_cache_hits
-            .fetch_add(1, Ordering::Relaxed);
-        return respond(
-            stream,
-            200,
-            "application/json",
-            &[("X-Dante-Cache", "hit".to_owned()), ("X-Dante-Digest", key)],
-            body.as_bytes(),
-            keep_alive,
-        );
-    }
-    let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        api::render_iso(&spec, &spec.solve())
-    }));
-    match solved {
-        Ok(body) => {
-            let body = Arc::new(body);
-            shared.cache.insert(key.clone(), body.clone());
-            shared
-                .metrics
-                .iso_accuracy_solves
-                .fetch_add(1, Ordering::Relaxed);
-            respond(
-                stream,
-                200,
-                "application/json",
-                &[
-                    ("X-Dante-Cache", "miss".to_owned()),
-                    ("X-Dante-Digest", key),
-                ],
-                body.as_bytes(),
-                keep_alive,
-            )
-        }
-        Err(panic) => {
-            let why = panic
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
-                .unwrap_or_else(|| "iso-accuracy solve panicked".to_owned());
-            respond(
-                stream,
-                500,
-                "application/json",
-                &[],
-                api::error_body(&why).as_bytes(),
-                keep_alive,
-            )
-        }
-    }
+    submit_job(stream, shared, request, keep_alive, JobSpec::Iso(spec))
 }
 
 fn job_status(stream: &mut TcpStream, shared: &Arc<Shared>, id: &str, keep_alive: bool) -> u16 {
@@ -724,6 +909,11 @@ fn job_status(stream: &mut TcpStream, shared: &Arc<Shared>, id: &str, keep_alive
             Value::Number(state.dropped_events as f64),
         ),
     ]);
+    if let Some(seq) = state.finish_seq {
+        // Process-wide completion order: lets clients (and the fairness
+        // tests) observe which jobs finished first without timing races.
+        obj.insert("finish_seq".to_owned(), Value::Number(seq as f64));
+    }
     if let Some(result) = &state.result {
         // Embed the record as structure, not as an escaped string; the
         // byte-exact body lives at /result and in the POST response.

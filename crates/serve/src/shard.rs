@@ -1,0 +1,512 @@
+//! Scale-out execution: a coordinator that partitions sweep and fleet
+//! grids across peer `dante-serve` nodes and merges their raw results.
+//!
+//! # Determinism
+//!
+//! Sharding never touches the math. The coordinator splits the work along
+//! the axes the trial engine already seeds with **global** counters — the
+//! per-point trial axis of a sweep and the die axis of a fleet — using
+//! [`dante::sweep::shard_ranges`], so every shard computes exactly the
+//! slice of the seed stream a single-process run would. Shards return raw
+//! per-trial accuracies (and per-die outcomes) as exact IEEE-754 bit
+//! patterns; the coordinator concatenates them in window order and
+//! reassembles statistics through the same library code
+//! ([`SweepEnergyContext::assemble`](dante::sweep::SweepEnergyContext) /
+//! [`FleetSpec::assemble`]), so the merged response body is byte-identical
+//! to an unsharded run.
+//!
+//! # Resilience
+//!
+//! Each shard window is tried against the peer list starting at
+//! `peers[window % peers]` and rotating on failure (counted as a retry).
+//! A hedged duplicate leg is launched against the next peer if the first
+//! leg has not answered within the hedge delay — the first success wins,
+//! the loser is dropped. If every leg for a window fails, the window is
+//! computed locally (a fallback, counted), so a degraded fleet slows down
+//! instead of erroring.
+
+use crate::api;
+use crate::metrics::Metrics;
+use dante::fleet::{DieOutcome, FleetResult, FleetSpec};
+use dante::sweep::{shard_ranges, PreparedSweep, SweepPoint, SweepSpec};
+use dante_sim::EventObserver;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Fans sweep/fleet windows out to a fixed peer list. Built once at server
+/// start from `DANTE_SERVE_PEERS`.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    peers: Vec<String>,
+    /// TCP connect timeout per leg.
+    pub connect_timeout: Duration,
+    /// End-to-end cap per leg (socket read timeout); also bounds how long
+    /// a lost hedge loser can linger.
+    pub request_timeout: Duration,
+    /// How long the first leg of a window may stay silent before a hedged
+    /// duplicate is sent to the next peer.
+    pub hedge_after: Duration,
+}
+
+impl Coordinator {
+    /// A coordinator over `peers` (`host:port` strings) with the default
+    /// production timeouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` is empty — gate construction on a non-empty
+    /// `DANTE_SERVE_PEERS`.
+    #[must_use]
+    pub fn new(peers: Vec<String>) -> Self {
+        assert!(!peers.is_empty(), "a coordinator needs at least one peer");
+        Self {
+            peers,
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(600),
+            hedge_after: Duration::from_secs(10),
+        }
+    }
+
+    /// The configured peer list.
+    #[must_use]
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// Runs `spec` sharded across the peers and merges the result —
+    /// byte-identical to `spec.prepare().run()`.
+    ///
+    /// The trial axis is partitioned (every shard runs its trial window at
+    /// every grid point), so shards share nothing but the spec. Windows
+    /// whose every leg fails are computed locally; the one-off local
+    /// preparation (network training) is shared across such windows.
+    #[must_use]
+    pub fn run_sweep(&self, spec: &SweepSpec, metrics: &Arc<Metrics>) -> Vec<SweepPoint> {
+        let ctx = spec.energy_context();
+        let windows = shard_ranges(spec.trials, self.peers.len());
+        let (tx, rx) = mpsc::channel();
+        for (shard, &(offset, count)) in windows.iter().enumerate() {
+            let tx = tx.clone();
+            let body: Arc<Vec<u8>> =
+                Arc::new(api::encode_shard_sweep_request(spec, offset, count).into_bytes());
+            let this = self.clone();
+            let metrics = metrics.clone();
+            std::thread::spawn(move || {
+                let outcome = this.fetch_window(shard, "/v1/shard/sweep", &body, &metrics);
+                let decoded = outcome.and_then(|bytes| api::decode_shard_sweep_response(&bytes));
+                let _ = tx.send((shard, decoded));
+            });
+        }
+        drop(tx);
+
+        let mut per_shard: Vec<Option<Vec<Vec<f64>>>> = vec![None; windows.len()];
+        let mut failures: Vec<usize> = Vec::new();
+        for (shard, outcome) in rx {
+            match outcome {
+                Ok(points)
+                    if points.len() == ctx.point_count()
+                        && points.iter().all(|p| p.len() == windows[shard].1) =>
+                {
+                    per_shard[shard] = Some(points);
+                }
+                Ok(_) | Err(_) => failures.push(shard),
+            }
+        }
+        if !failures.is_empty() {
+            // Local fallback: train once, then run just the failed windows.
+            let prep: OnceLock<PreparedSweep> = OnceLock::new();
+            let observer = EventObserver::new(|_| {});
+            for shard in failures {
+                metrics.shard_fallbacks.fetch_add(1, Ordering::Relaxed);
+                let (offset, count) = windows[shard];
+                let prep = prep.get_or_init(|| spec.prepare());
+                let points = (0..ctx.point_count())
+                    .map(|p| prep.run_point_trial_range_observed(p, offset, count, &observer))
+                    .collect();
+                per_shard[shard] = Some(points);
+            }
+        }
+        // Concatenate windows in offset order per point, then reassemble
+        // stats/energy through the same code a local run uses.
+        let mut per_point: Vec<Vec<f64>> = vec![Vec::with_capacity(spec.trials); ctx.point_count()];
+        for shard_points in per_shard
+            .into_iter()
+            .map(|s| s.expect("every window resolved"))
+        {
+            for (point, trials) in shard_points.into_iter().enumerate() {
+                per_point[point].extend(trials);
+            }
+        }
+        ctx.assemble(per_point)
+    }
+
+    /// Runs `spec` sharded across the peers and merges the result —
+    /// byte-identical to `spec.solve()`. Windows whose every leg fails are
+    /// computed locally.
+    #[must_use]
+    pub fn run_fleet(&self, spec: &FleetSpec, metrics: &Arc<Metrics>) -> FleetResult {
+        let windows = shard_ranges(spec.dies, self.peers.len());
+        let (tx, rx) = mpsc::channel();
+        for (shard, &(offset, count)) in windows.iter().enumerate() {
+            let tx = tx.clone();
+            let body: Arc<Vec<u8>> =
+                Arc::new(api::encode_shard_fleet_request(spec, offset, count).into_bytes());
+            let this = self.clone();
+            let metrics = metrics.clone();
+            std::thread::spawn(move || {
+                let outcome = this.fetch_window(shard, "/v1/shard/fleet", &body, &metrics);
+                let decoded = outcome.and_then(|bytes| api::decode_shard_fleet_response(&bytes));
+                let _ = tx.send((shard, decoded));
+            });
+        }
+        drop(tx);
+
+        let mut per_shard: Vec<Option<Vec<DieOutcome>>> = vec![None; windows.len()];
+        for (shard, outcome) in rx {
+            match outcome {
+                Ok(dies) if dies.len() == windows[shard].1 => per_shard[shard] = Some(dies),
+                Ok(_) | Err(_) => {
+                    metrics.shard_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    let (offset, count) = windows[shard];
+                    let observer = EventObserver::new(|_| {});
+                    per_shard[shard] =
+                        Some(spec.solve_die_range_observed(offset, count, &observer));
+                }
+            }
+        }
+        let dies: Vec<DieOutcome> = per_shard
+            .into_iter()
+            .flat_map(|s| s.expect("every window resolved"))
+            .collect();
+        spec.assemble(&dies)
+    }
+
+    /// Fetches one window's raw result with retry + hedging.
+    ///
+    /// Legs are launched against `peers[(shard + k) % peers]` for
+    /// `k = 0, 1, ...`: leg 1 immediately, the next one either when a leg
+    /// fails (retry) or when [`Self::hedge_after`] elapses with no answer
+    /// (hedge). At most `peers + 1` legs run, so a window visits every
+    /// peer once plus one hedge. The first successful body wins.
+    fn fetch_window(
+        &self,
+        shard: usize,
+        path: &'static str,
+        body: &Arc<Vec<u8>>,
+        metrics: &Arc<Metrics>,
+    ) -> Result<Vec<u8>, String> {
+        let n = self.peers.len();
+        let max_legs = n + 1;
+        let deadline = Instant::now() + self.request_timeout;
+        let (tx, rx) = mpsc::channel::<Result<Vec<u8>, String>>();
+        let mut launched = 0usize;
+        let mut failed = 0usize;
+        let mut hedged = false;
+        let mut last_error = "no shard leg launched".to_owned();
+
+        let launch = |leg: usize| {
+            let peer = self.peers[(shard + leg) % n].clone();
+            let tx = tx.clone();
+            let body = body.clone();
+            let connect_timeout = self.connect_timeout;
+            let request_timeout = self.request_timeout;
+            let metrics = metrics.clone();
+            metrics.shard_requests.fetch_add(1, Ordering::Relaxed);
+            metrics.shard_in_flight.fetch_add(1, Ordering::Relaxed);
+            std::thread::spawn(move || {
+                let outcome = http_post(&peer, path, &body, connect_timeout, request_timeout);
+                metrics.shard_in_flight.fetch_sub(1, Ordering::Relaxed);
+                let _ = tx.send(outcome);
+            });
+        };
+
+        launch(launched);
+        launched += 1;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(format!("shard window timed out; last error: {last_error}"));
+            }
+            // While exactly one leg is pending and we haven't hedged yet,
+            // wait only up to the hedge delay; afterwards wait out the
+            // deadline.
+            let wait = if !hedged && launched - failed == 1 && launched < max_legs {
+                self.hedge_after.min(deadline - now)
+            } else {
+                deadline - now
+            };
+            match rx.recv_timeout(wait) {
+                Ok(Ok(bytes)) => return Ok(bytes),
+                Ok(Err(error)) => {
+                    failed += 1;
+                    last_error = error;
+                    if launched < max_legs {
+                        metrics.shard_retries.fetch_add(1, Ordering::Relaxed);
+                        launch(launched);
+                        launched += 1;
+                    } else if failed == launched {
+                        return Err(last_error);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if !hedged && launched < max_legs {
+                        hedged = true;
+                        metrics.shard_hedges.fetch_add(1, Ordering::Relaxed);
+                        launch(launched);
+                        launched += 1;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(last_error);
+                }
+            }
+        }
+    }
+}
+
+/// One blocking HTTP POST over a fresh connection (`Connection: close`).
+/// Returns the body on 200; any other status or transport failure is an
+/// error naming the peer.
+fn http_post(
+    peer: &str,
+    path: &str,
+    body: &[u8],
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> Result<Vec<u8>, String> {
+    let addr = peer
+        .to_socket_addrs()
+        .map_err(|e| format!("{peer}: bad address: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{peer}: no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, connect_timeout)
+        .map_err(|e| format!("{peer}: connect: {e}"))?;
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(connect_timeout.max(Duration::from_secs(5))));
+    let _ = stream.set_nodelay(true);
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: {peer}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("{peer}: write: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("{peer}: read: {e}"))?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| format!("{peer}: truncated response head"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| format!("{peer}: response head is not UTF-8"))?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{peer}: malformed status line"))?;
+    let payload = raw[head_end + 4..].to_vec();
+    if status != 200 {
+        return Err(format!(
+            "{peer}: status {status}: {}",
+            String::from_utf8_lossy(&payload)
+        ));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn test_coordinator(peers: Vec<String>) -> Coordinator {
+        let mut c = Coordinator::new(peers);
+        c.connect_timeout = Duration::from_millis(500);
+        c.request_timeout = Duration::from_secs(20);
+        c.hedge_after = Duration::from_millis(150);
+        c
+    }
+
+    /// A peer that serves `/v1/shard/sweep` and `/v1/shard/fleet` by
+    /// computing the requested window through the library. The first
+    /// `fail_first` requests are answered with 500 before it starts
+    /// working — exercising the retry path deterministically.
+    fn spawn_backend(fail_first: usize) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut served = 0usize;
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                let mut raw = Vec::new();
+                let mut buf = [0u8; 4096];
+                let (head_end, body_len) = loop {
+                    let n = match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => break (0, None),
+                        Ok(n) => n,
+                    };
+                    raw.extend_from_slice(&buf[..n]);
+                    if let Some(end) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+                        let head = String::from_utf8_lossy(&raw[..end]).to_ascii_lowercase();
+                        let len = head
+                            .lines()
+                            .find_map(|l| l.strip_prefix("content-length:"))
+                            .and_then(|v| v.trim().parse::<usize>().ok());
+                        break (end + 4, len);
+                    }
+                };
+                let Some(body_len) = body_len else { continue };
+                while raw.len() < head_end + body_len {
+                    match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => raw.extend_from_slice(&buf[..n]),
+                    }
+                }
+                let path_is_fleet = raw.starts_with(b"POST /v1/shard/fleet");
+                let body = &raw[head_end..head_end + body_len];
+                served += 1;
+                let (status, payload) = if served <= fail_first {
+                    (500u16, r#"{"error": "injected failure"}"#.to_owned())
+                } else if path_is_fleet {
+                    let (spec, offset, count) = api::decode_shard_fleet_request(body).unwrap();
+                    let observer = EventObserver::new(|_| {});
+                    let dies = spec.solve_die_range_observed(offset, count, &observer);
+                    (200, api::encode_shard_fleet_response(&dies))
+                } else {
+                    let (spec, offset, count) = api::decode_shard_sweep_request(body).unwrap();
+                    let prep = spec.prepare();
+                    let observer = EventObserver::new(|_| {});
+                    let points: Vec<Vec<f64>> = (0..prep.point_count())
+                        .map(|p| prep.run_point_trial_range_observed(p, offset, count, &observer))
+                        .collect();
+                    (200, api::encode_shard_sweep_response(&points))
+                };
+                let head = format!(
+                    "HTTP/1.1 {status} X\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n",
+                    payload.len()
+                );
+                let _ = stream.write_all(head.as_bytes());
+                let _ = stream.write_all(payload.as_bytes());
+                let _ = stream.flush();
+            }
+        });
+        addr
+    }
+
+    /// A peer that accepts connections and never answers — a straggler.
+    fn spawn_straggler() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming().flatten() {
+                held.push(stream); // keep sockets open, say nothing
+            }
+        });
+        addr
+    }
+
+    fn toy_sweep() -> SweepSpec {
+        SweepSpec {
+            voltages_mv: vec![400, 480],
+            trials: 5,
+            ..SweepSpec::toy_default()
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_matches_local_run_byte_for_byte() {
+        let spec = toy_sweep();
+        let local = api::build_record(&spec, &spec.prepare().run()).to_json_pretty();
+        let coordinator = test_coordinator(vec![spawn_backend(0), spawn_backend(0)]);
+        let metrics = Arc::new(Metrics::new());
+        let merged = coordinator.run_sweep(&spec, &metrics);
+        let sharded = api::build_record(&spec, &merged).to_json_pretty();
+        assert_eq!(local, sharded);
+        assert_eq!(metrics.shard_requests.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.shard_fallbacks.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn sharded_fleet_matches_local_run_byte_for_byte() {
+        let spec = FleetSpec {
+            dies: 13,
+            array_bits: 16384,
+            ..FleetSpec::toy_default()
+        };
+        let local = api::run_fleet_json(&spec);
+        let coordinator = test_coordinator(vec![spawn_backend(0), spawn_backend(0)]);
+        let metrics = Arc::new(Metrics::new());
+        let merged = coordinator.run_fleet(&spec, &metrics);
+        let sharded = api::build_fleet_record(&spec, &merged).to_json_pretty();
+        assert_eq!(local, sharded);
+    }
+
+    #[test]
+    fn failed_legs_retry_on_the_next_peer() {
+        let spec = toy_sweep();
+        let local = api::build_record(&spec, &spec.prepare().run()).to_json_pretty();
+        // First peer 500s everything; its windows land on the healthy
+        // peer via retry.
+        let coordinator = test_coordinator(vec![spawn_backend(usize::MAX), spawn_backend(0)]);
+        let metrics = Arc::new(Metrics::new());
+        let merged = coordinator.run_sweep(&spec, &metrics);
+        assert_eq!(
+            local,
+            api::build_record(&spec, &merged).to_json_pretty(),
+            "retried shards still merge byte-identically"
+        );
+        assert!(
+            metrics.shard_retries.load(Ordering::Relaxed) >= 1,
+            "the failing peer forced at least one retry"
+        );
+        assert_eq!(metrics.shard_fallbacks.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn straggler_legs_are_hedged_to_a_healthy_peer() {
+        let spec = toy_sweep();
+        let local = api::build_record(&spec, &spec.prepare().run()).to_json_pretty();
+        let coordinator = test_coordinator(vec![spawn_straggler(), spawn_backend(0)]);
+        let metrics = Arc::new(Metrics::new());
+        let merged = coordinator.run_sweep(&spec, &metrics);
+        assert_eq!(local, api::build_record(&spec, &merged).to_json_pretty());
+        assert!(
+            metrics.shard_hedges.load(Ordering::Relaxed) >= 1,
+            "the silent peer forced at least one hedge"
+        );
+    }
+
+    #[test]
+    fn all_peers_down_falls_back_to_local_compute() {
+        let spec = toy_sweep();
+        let local = api::build_record(&spec, &spec.prepare().run()).to_json_pretty();
+        // Nothing listens on these addresses: connects fail fast.
+        let dead = || {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = l.local_addr().unwrap().to_string();
+            drop(l);
+            addr
+        };
+        let coordinator = test_coordinator(vec![dead(), dead()]);
+        let metrics = Arc::new(Metrics::new());
+        let merged = coordinator.run_sweep(&spec, &metrics);
+        assert_eq!(local, api::build_record(&spec, &merged).to_json_pretty());
+        assert_eq!(
+            metrics.shard_fallbacks.load(Ordering::Relaxed),
+            2,
+            "both windows fell back locally"
+        );
+    }
+}

@@ -2,6 +2,7 @@
 //! the reproduction together.
 
 use dante::accuracy::{EccMode, OverlaySampling};
+use dante::fleet::{DieOutcome, FleetSpec};
 use dante::schedule::BoostPlan;
 use dante::sweep::{NetworkSpec, SupplySpec, SweepSpec};
 use dante_circuit::booster::BoosterBank;
@@ -418,5 +419,109 @@ fn overlay_flip_rate_matches_analytic_model() {
             (got - expected).abs() < tol,
             "at {v}: {got} flips vs expected {expected}"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard partition / merge determinism (the scale-out serving contract).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `shard_ranges` is an exact ordered partition of `[0, total)`:
+    /// contiguous, gap-free, balanced to within one item, and never wider
+    /// than the item count.
+    #[test]
+    fn shard_ranges_partition_exactly(total in 1usize..2000, shards in 1usize..64) {
+        let ranges = dante::sweep::shard_ranges(total, shards);
+        prop_assert_eq!(ranges.len(), shards.min(total));
+        let mut next = 0usize;
+        for &(offset, count) in &ranges {
+            prop_assert_eq!(offset, next, "windows must be contiguous and ordered");
+            prop_assert!(count > 0, "no empty windows");
+            next += count;
+        }
+        prop_assert_eq!(next, total, "windows must cover every item");
+        let widths: Vec<usize> = ranges.iter().map(|&(_, c)| c).collect();
+        let (min, max) = (
+            *widths.iter().min().expect("non-empty"),
+            *widths.iter().max().expect("non-empty"),
+        );
+        prop_assert!(max - min <= 1, "windows must be balanced: {widths:?}");
+    }
+}
+
+proptest! {
+    // Each case trains and runs a toy sweep; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Partitioning a sweep's trial axis into windows, running each window
+    /// independently, concatenating in window order, and assembling through
+    /// [`dante::sweep::SweepEnergyContext`] reproduces the unsharded run
+    /// bit-for-bit — for arbitrary seeds, trial counts, and shard counts.
+    #[test]
+    fn sharded_sweep_merge_is_bit_identical(
+        seed in 0u64..1_000_000,
+        trials in 1usize..6,
+        shards in 1usize..5,
+    ) {
+        let spec = SweepSpec {
+            seed,
+            trials,
+            voltages_mv: vec![400, 480],
+            ..SweepSpec::toy_default()
+        };
+        let prep = spec.prepare();
+        let reference = prep.run();
+        let ctx = spec.energy_context();
+        let windows = dante::sweep::shard_ranges(trials, shards);
+        for (index, expected) in reference.iter().enumerate() {
+            let merged: Vec<f64> = windows
+                .iter()
+                .flat_map(|&(offset, count)| {
+                    prep.run_point_trial_range_observed(
+                        index,
+                        offset,
+                        count,
+                        &dante_sim::NoopObserver,
+                    )
+                })
+                .collect();
+            let merged_bits: Vec<u64> = merged.iter().map(|a| a.to_bits()).collect();
+            let expected_bits: Vec<u64> =
+                expected.stats.per_trial.iter().map(|a| a.to_bits()).collect();
+            prop_assert_eq!(merged_bits, expected_bits, "per-trial accuracies at point {index}");
+            prop_assert_eq!(
+                &ctx.assemble_point(index, merged),
+                expected,
+                "assembled point {index} (stats + energy)"
+            );
+        }
+    }
+
+    /// Partitioning a fleet's die population, sampling each window
+    /// independently, and assembling through [`FleetSpec::assemble`]
+    /// reproduces the unsharded solve bit-for-bit.
+    #[test]
+    fn sharded_fleet_merge_is_bit_identical(
+        seed in 0u64..1_000_000,
+        dies in 1usize..48,
+        shards in 1usize..6,
+    ) {
+        let spec = FleetSpec {
+            seed,
+            dies,
+            array_bits: 4096,
+            ..FleetSpec::toy_default()
+        };
+        let reference = spec.solve();
+        let merged: Vec<DieOutcome> = dante::sweep::shard_ranges(dies, shards)
+            .iter()
+            .flat_map(|&(offset, count)| {
+                spec.solve_die_range_observed(offset, count, &dante_sim::NoopObserver)
+            })
+            .collect();
+        prop_assert_eq!(spec.assemble(&merged), reference);
     }
 }

@@ -5,6 +5,7 @@ pub mod accuracy;
 pub mod circuit;
 pub mod energy;
 pub mod fleet;
+pub mod retrain;
 pub mod tables;
 pub mod validation;
 
@@ -17,10 +18,11 @@ use crate::record::FigureRecord;
 /// environment knobs, no wall-clock, no shared RNG state — so a regenerated
 /// record must match its blessed copy in `results/golden/` within tight
 /// per-metric tolerance bands. Most records are pure analytic functions;
-/// `iso_accuracy` additionally exercises Monte-Carlo trials and a cached
-/// trained network, which is sound here because the trial engine derives
-/// every die from counters (same results on any machine and thread count)
-/// and the artifact cache pins the trained weights. Statistically-accepted
+/// `iso_accuracy` and `retrain` additionally exercise Monte-Carlo trials
+/// and a cached trained network (`retrain` also runs the fault-injected
+/// fine-tuning loop), which is sound here because the trial engine and the
+/// training loop derive every die from counters (same results on any
+/// machine and thread count) and the artifact cache pins the base weights. Statistically-accepted
 /// Monte-Carlo figures (fig01, fig02, fig13..fig15, validation,
 /// ablation_ecc) remain excluded: their acceptance lives in
 /// `tests/fault_model_stats.rs`.
@@ -37,6 +39,7 @@ pub fn golden_records() -> Vec<FigureRecord> {
         energy::headlines(),
         energy::iso_accuracy(),
         fleet::fleet(),
+        retrain::retrain(),
         tables::table1(),
         tables::table2(),
         ablation::ablation_levels(),
@@ -51,11 +54,11 @@ mod tests {
     #[test]
     fn golden_registry_ids_are_unique_and_finite() {
         let recs = golden_records();
-        assert_eq!(recs.len(), 14);
+        assert_eq!(recs.len(), 15);
         let mut ids: Vec<&str> = recs.iter().map(|r| r.id.as_str()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 14, "duplicate record ids in golden registry");
+        assert_eq!(ids.len(), 15, "duplicate record ids in golden registry");
         for r in &recs {
             for s in &r.series {
                 for &(x, y) in &s.points {

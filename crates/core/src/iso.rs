@@ -75,6 +75,17 @@ impl IsoAccuracySpec {
     }
 
     fn sweep_with(&self, supply: SupplySpec) -> SweepSpec {
+        // Iso-accuracy solves compare supply configurations under the
+        // paper's default fault statistics; both walked sweeps keep
+        // their historical v1/v2 cache keys.
+        self.sweep_with_fault(supply, dante_sram::model::FaultModel::default())
+    }
+
+    fn sweep_with_fault(
+        &self,
+        supply: SupplySpec,
+        fault_model: dante_sram::model::FaultModel,
+    ) -> SweepSpec {
         SweepSpec {
             seed: self.seed,
             voltages_mv: self.voltages_mv.clone(),
@@ -83,10 +94,7 @@ impl IsoAccuracySpec {
             ecc: self.ecc,
             network: self.network.clone(),
             supply,
-            // Iso-accuracy solves compare supply configurations under the
-            // paper's default fault statistics; both walked sweeps keep
-            // their historical v1/v2 cache keys.
-            fault_model: dante_sram::model::FaultModel::default(),
+            fault_model,
         }
     }
 
@@ -138,6 +146,35 @@ impl IsoAccuracySpec {
     /// Panics if the spec fails [`Self::validate`].
     #[must_use]
     pub fn solve(&self) -> IsoAccuracyResult {
+        self.solve_with(dante_sram::model::FaultModel::default(), None, None)
+    }
+
+    /// [`Self::solve`] under an explicit fault model, (optionally) a
+    /// replacement network, and (optionally) an absolute accuracy target:
+    /// the retraining subsystem's comparison path.
+    ///
+    /// The replacement network is evaluated through exactly the sweeps the
+    /// spec's own network would walk — same seeds, same per-point dies,
+    /// same test set — so a hardened-vs-baseline `V_min` gap measures the
+    /// weights alone. `target_override` replaces the usual
+    /// `floor * clean_accuracy` bar; the retraining comparison passes the
+    /// *baseline* solve's target here so a hardened network cannot "win"
+    /// merely by degrading its own clean accuracy (and thereby its floor).
+    /// Note this entry point is *not* covered by the `dante.iso.v1` cache
+    /// key (the overrides are not encoded there); callers that cache must
+    /// build their own key, as `dante.retrain.v1` does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`Self::validate`] or the replacement
+    /// network's shape mismatches the spec's.
+    #[must_use]
+    pub fn solve_with(
+        &self,
+        fault_model: dante_sram::model::FaultModel,
+        network: Option<&dante_nn::network::Network>,
+        target_override: Option<f64>,
+    ) -> IsoAccuracyResult {
         if let Err(why) = self.validate() {
             panic!("invalid iso-accuracy spec: {why}");
         }
@@ -145,9 +182,16 @@ impl IsoAccuracySpec {
         let mut order: Vec<usize> = (0..self.voltages_mv.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(self.voltages_mv[i]));
 
-        let single_prep = self.single_sweep().prepare();
+        let prepare = |supply: SupplySpec| {
+            let prep = self.sweep_with_fault(supply, fault_model).prepare();
+            match network {
+                Some(net) => prep.with_network(net.clone()),
+                None => prep,
+            }
+        };
+        let single_prep = prepare(SupplySpec::Single);
         let clean = single_prep.clean_accuracy();
-        let target = self.floor * clean;
+        let target = target_override.unwrap_or(self.floor * clean);
 
         let solve_config = |prep: &crate::sweep::PreparedSweep| -> Option<IsoConfigPoint> {
             let mut best: Option<IsoConfigPoint> = None;
@@ -167,7 +211,7 @@ impl IsoAccuracySpec {
         };
 
         let single = solve_config(&single_prep);
-        let boosted_prep = self.boosted_sweep().prepare();
+        let boosted_prep = prepare(SupplySpec::Boosted { level: self.level });
         let boosted = solve_config(&boosted_prep);
 
         // Dual baseline at the boosted operating point's rails: memory at

@@ -23,6 +23,10 @@
 //!   population of dies under any `dante-sram` fault-model spec, reporting
 //!   per-voltage yield and V_min distribution quantiles (the `/v1/fleet`
 //!   endpoint).
+//! * [`retrain`] — fault-aware retraining ([`retrain::RetrainSpec`]):
+//!   straight-through-estimator fine-tuning under injected bit errors,
+//!   scored by baseline-vs-hardened iso-accuracy solves (the
+//!   `/v1/retrain` endpoint).
 //!
 //! # Examples
 //!
@@ -45,6 +49,7 @@ pub mod headlines;
 pub mod iso;
 pub mod policy;
 pub mod report;
+pub mod retrain;
 pub mod schedule;
 pub mod sweep;
 
@@ -56,6 +61,7 @@ pub use headlines::Headlines;
 pub use iso::{IsoAccuracyResult, IsoAccuracySpec, IsoConfigPoint};
 pub use policy::{OptimizedPlan, PolicyOptimizer};
 pub use report::InferenceEnergyReport;
+pub use retrain::{EpochReport, HardenedNetwork, ResamplePolicy, RetrainEvent, RetrainSpec};
 pub use schedule::{BoostPlan, NamedBoostConfig, INPUT_TARGET};
 pub use sweep::{
     shard_ranges, NetworkSpec, PointEnergy, PreparedSweep, SupplySpec, SweepEnergyContext,

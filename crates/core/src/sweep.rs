@@ -692,6 +692,37 @@ impl PreparedSweep {
         self.ctx.spec()
     }
 
+    /// Replaces the prepared network with `net`, keeping the spec's test
+    /// set, evaluator, and energy context. This is how the retraining
+    /// subsystem evaluates a hardened network through exactly the same
+    /// sweep/solve path as its baseline — same seeds, same dies, same test
+    /// set, only the weights differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` has a different weight-layer structure than the
+    /// spec's network (per-layer voltage assignments would be meaningless).
+    #[must_use]
+    pub fn with_network(mut self, net: Network) -> Self {
+        assert_eq!(
+            net.weight_layer_indices().len(),
+            self.layers,
+            "replacement network weight-layer count mismatch"
+        );
+        assert_eq!(
+            net.in_len(),
+            self.net.in_len(),
+            "replacement network input width mismatch"
+        );
+        assert_eq!(
+            net.out_len(),
+            self.net.out_len(),
+            "replacement network output width mismatch"
+        );
+        self.net = net;
+        self
+    }
+
     /// Number of voltage grid points.
     #[must_use]
     pub fn point_count(&self) -> usize {
@@ -837,7 +868,7 @@ impl PreparedSweep {
 }
 
 /// The process-wide toy network and its dataset (trained once, lazily).
-fn toy_net_and_data() -> &'static (Network, Vec<f32>, Vec<u8>) {
+pub(crate) fn toy_net_and_data() -> &'static (Network, Vec<f32>, Vec<u8>) {
     static TOY: OnceLock<(Network, Vec<f32>, Vec<u8>)> = OnceLock::new();
     TOY.get_or_init(|| {
         use rand::rngs::StdRng;

@@ -168,6 +168,166 @@ pub fn train<R: Rng + ?Sized>(
     report
 }
 
+/// An epoch-boundary notification delivered by [`train_fault_injected`].
+#[derive(Debug)]
+pub enum TrainPhase<'a> {
+    /// Epoch `epoch` (zero-based) is about to start.
+    EpochStart {
+        /// Zero-based epoch index.
+        epoch: usize,
+    },
+    /// Epoch `epoch` finished.
+    EpochDone {
+        /// Zero-based epoch index.
+        epoch: usize,
+        /// Mean mini-batch loss of the epoch (measured at the corrupted
+        /// forward weights, i.e. the loss the hardened network actually
+        /// trains against).
+        loss: f32,
+        /// The clean network after the epoch's updates.
+        net: &'a Network,
+    },
+}
+
+/// [`train`] with a fault-injection hook: straight-through-estimator SGD.
+///
+/// `corrupt_forward(epoch, net)` is called once per mini-batch with the
+/// current clean network and may return a corrupted copy; that batch's
+/// forward and backward passes then run through the corrupted weights while
+/// the momentum update is applied to the clean float weights (the
+/// straight-through estimator — the quantize/pack/corrupt stage is treated
+/// as identity on the backward pass). Returning `None` runs the batch
+/// clean, so `train_fault_injected(.., |_, _| None, |_| ())` is plain SGD.
+///
+/// `on_phase` observes epoch boundaries ([`TrainPhase`]), letting callers
+/// stream per-epoch telemetry while training runs.
+///
+/// The loop is single-threaded and consumes `rng` exactly like [`train`]
+/// (one shuffle per epoch), so results are bit-identical for a given seed
+/// regardless of worker-pool configuration.
+///
+/// # Panics
+///
+/// Panics on inconsistent buffer lengths, a zero batch size, zero epochs,
+/// or a corrupted copy whose layer structure mismatches the clean network.
+pub fn train_fault_injected<R, F, P>(
+    net: &mut Network,
+    images: &[f32],
+    labels: &[u8],
+    config: &SgdConfig,
+    rng: &mut R,
+    mut corrupt_forward: F,
+    mut on_phase: P,
+) -> TrainReport
+where
+    R: Rng + ?Sized,
+    F: FnMut(usize, &Network) -> Option<Network>,
+    P: FnMut(TrainPhase<'_>),
+{
+    let n = labels.len();
+    let in_len = net.in_len();
+    let classes = net.out_len();
+    assert_eq!(images.len(), n * in_len, "image buffer length mismatch");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert!(config.epochs > 0, "epoch count must be positive");
+    assert!(n > 0, "training set is empty");
+
+    let mut vel_w: Vec<Vec<f32>> = net
+        .layers()
+        .iter()
+        .map(|l| vec![0.0; l.weight_count()])
+        .collect();
+    let mut vel_b: Vec<Vec<f32>> = net
+        .layers()
+        .iter()
+        .map(|l| match l {
+            crate::layers::Layer::Dense(d) => vec![0.0; d.out_features()],
+            crate::layers::Layer::Conv2d(c) => vec![0.0; c.bias().len()],
+            _ => Vec::new(),
+        })
+        .collect();
+
+    let layer_count = net.layers().len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut report = TrainReport::default();
+    let mut lr = config.learning_rate;
+
+    for epoch in 0..config.epochs {
+        on_phase(TrainPhase::EpochStart { epoch });
+        order.shuffle(rng);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+
+        for chunk in order.chunks(config.batch_size) {
+            let batch = chunk.len();
+            let mut x = Vec::with_capacity(batch * in_len);
+            let mut y = Vec::with_capacity(batch);
+            for &i in chunk {
+                x.extend_from_slice(&images[i * in_len..(i + 1) * in_len]);
+                y.push(labels[i]);
+            }
+
+            // Forward/backward run on the corrupted copy when one is
+            // supplied; gradients are collected first and applied to the
+            // clean network afterwards so the immutable borrow of `net`
+            // (the `None` case) ends before the update pass.
+            let fwd = corrupt_forward(epoch, net);
+            let mut grads_rev = Vec::with_capacity(layer_count);
+            let loss = {
+                let fwd_net: &Network = match &fwd {
+                    Some(f) => {
+                        assert_eq!(
+                            f.layers().len(),
+                            layer_count,
+                            "corrupted copy layer count mismatch"
+                        );
+                        f
+                    }
+                    None => net,
+                };
+                let (acts, caches) = fwd_net.forward_train(&x, batch);
+                let logits = acts.last().expect("non-empty activations");
+                let (loss, mut dy) = softmax_cross_entropy(logits, &y, classes);
+                for li in (0..layer_count).rev() {
+                    let (dx, g) = fwd_net.layers()[li].backward(&acts[li], &caches[li], &dy, batch);
+                    grads_rev.push(g);
+                    dy = dx;
+                }
+                loss
+            };
+            epoch_loss += loss;
+            batches += 1;
+
+            for (li, grads) in grads_rev.into_iter().rev().enumerate() {
+                if let Some(g) = grads {
+                    let vw = &mut vel_w[li];
+                    for (v, &gw) in vw.iter_mut().zip(&g.weights) {
+                        *v = config.momentum * *v + gw;
+                    }
+                    let vb = &mut vel_b[li];
+                    for (v, &gb) in vb.iter_mut().zip(&g.bias) {
+                        *v = config.momentum * *v + gb;
+                    }
+                    let update = crate::layers::ParamGrads {
+                        weights: vw.clone(),
+                        bias: vb.clone(),
+                    };
+                    net.layers_mut()[li].apply_update(&update, lr);
+                }
+            }
+        }
+        let mean_loss = epoch_loss / batches.max(1) as f32;
+        report.epoch_losses.push(mean_loss);
+        on_phase(TrainPhase::EpochDone {
+            epoch,
+            loss: mean_loss,
+            net,
+        });
+        lr *= config.lr_decay;
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +414,83 @@ mod tests {
             net
         };
         assert_eq!(build(), build());
+    }
+
+    /// With no corruption the straight-through loop must be bit-identical
+    /// to plain [`train`]: same shuffles, same float-op order per layer.
+    #[test]
+    fn fault_injected_without_corruption_matches_plain_train() {
+        let build = |injected: bool| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut net = Network::new(vec![
+                Layer::Dense(Dense::new(4, 8, &mut rng)),
+                Layer::Relu(Relu::new(8)),
+                Layer::Dense(Dense::new(8, 2, &mut rng)),
+            ])
+            .unwrap();
+            let images: Vec<f32> = (0..40 * 4).map(|i| (i % 13) as f32 * 0.05).collect();
+            let labels: Vec<u8> = (0..40).map(|i| (i % 2) as u8).collect();
+            let config = SgdConfig {
+                epochs: 3,
+                batch_size: 8,
+                ..SgdConfig::default()
+            };
+            let report = if injected {
+                train_fault_injected(
+                    &mut net,
+                    &images,
+                    &labels,
+                    &config,
+                    &mut rng,
+                    |_, _| None,
+                    |_| (),
+                )
+            } else {
+                train(&mut net, &images, &labels, &config, &mut rng)
+            };
+            (net, report)
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    /// The corruption hook sees every mini-batch, phases arrive in order,
+    /// and gradients flow through the corrupted copy (straight-through).
+    #[test]
+    fn fault_injected_invokes_hook_and_phases() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Network::new(vec![Layer::Dense(Dense::new(3, 2, &mut rng))]).unwrap();
+        let images = vec![0.25f32; 30 * 3];
+        let labels: Vec<u8> = (0..30).map(|i| (i % 2) as u8).collect();
+        let config = SgdConfig {
+            epochs: 2,
+            batch_size: 10,
+            ..SgdConfig::default()
+        };
+        let mut hook_calls = 0usize;
+        let mut phases = Vec::new();
+        let report = train_fault_injected(
+            &mut net,
+            &images,
+            &labels,
+            &config,
+            &mut rng,
+            |epoch, clean| {
+                hook_calls += 1;
+                // Perturb one weight: a crude stand-in for a fault overlay.
+                let mut c = clean.clone();
+                if let Layer::Dense(d) = &mut c.layers_mut()[0] {
+                    d.weights_mut().as_mut_slice()[0] += 0.5 + epoch as f32;
+                }
+                Some(c)
+            },
+            |p| match p {
+                TrainPhase::EpochStart { epoch } => phases.push((false, epoch)),
+                TrainPhase::EpochDone { epoch, .. } => phases.push((true, epoch)),
+            },
+        );
+        assert_eq!(hook_calls, 2 * 3, "one hook call per mini-batch");
+        assert_eq!(phases, vec![(false, 0), (true, 0), (false, 1), (true, 1)]);
+        assert_eq!(report.epoch_losses.len(), 2);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use dante::accuracy::{EccMode, OverlaySampling};
 use dante::fleet::{DieOutcome, FleetResult, FleetSpec};
 use dante::iso::{IsoAccuracyResult, IsoAccuracySpec, IsoConfigPoint};
+use dante::retrain::{HardenedNetwork, ResamplePolicy, RetrainEvent, RetrainSpec};
 use dante::sweep::{NetworkSpec, SupplySpec, SweepPoint, SweepSpec};
 use dante_bench::json::Value;
 use dante_bench::record::{FigureRecord, Series};
@@ -96,61 +97,10 @@ pub fn decode_spec_value(v: &Value) -> Result<SweepSpec, String> {
             .collect::<Result<Vec<_>, _>>()?
     };
 
-    let sampling = match v.get("sampling").map(|s| s.as_str()) {
-        None => OverlaySampling::SparseTail,
-        Some(Some("sparse_tail")) => OverlaySampling::SparseTail,
-        Some(Some("dense")) => OverlaySampling::Dense,
-        Some(other) => {
-            return Err(format!(
-                "'sampling' must be \"sparse_tail\" or \"dense\", got {other:?}"
-            ))
-        }
-    };
-    let ecc = match v.get("ecc").map(|s| s.as_str()) {
-        None => EccMode::None,
-        Some(Some("none")) => EccMode::None,
-        Some(Some("secded")) => EccMode::SecDed,
-        Some(other) => {
-            return Err(format!(
-                "'ecc' must be \"none\" or \"secded\", got {other:?}"
-            ))
-        }
-    };
+    let sampling = decode_sampling(v.get("sampling"))?;
+    let ecc = decode_ecc(v.get("ecc"))?;
 
-    let network = match v.get("network") {
-        None => NetworkSpec::Toy,
-        Some(Value::String(s)) => default_network(s)?,
-        Some(obj @ Value::Object(_)) => {
-            let kind = obj
-                .get("kind")
-                .and_then(Value::as_str)
-                .ok_or_else(|| "'network.kind' must be a string".to_owned())?;
-            let size = |key: &str, default: usize| -> Result<usize, String> {
-                match obj.get(key) {
-                    None => Ok(default),
-                    Some(Value::Number(n)) if n.fract() == 0.0 && (0.0..=1e9).contains(n) => {
-                        Ok(*n as usize)
-                    }
-                    Some(_) => Err(format!("'network.{key}' must be a small integer")),
-                }
-            };
-            match kind {
-                "mnist_fc" => NetworkSpec::MnistFc {
-                    train_n: size("train_n", 1200)?,
-                    test_n: size("test_n", 100)?,
-                    epochs: size("epochs", 4)?,
-                },
-                "alexnet_conv" => NetworkSpec::AlexNetConv {
-                    layers: size("layers", 5)?,
-                    train_n: size("train_n", 1200)?,
-                    test_n: size("test_n", 100)?,
-                    epochs: size("epochs", 4)?,
-                },
-                other => return Err(format!("unknown network kind {other:?}")),
-            }
-        }
-        Some(_) => return Err("'network' must be a string or object".to_owned()),
-    };
+    let network = decode_network(v.get("network"))?;
 
     let supply = match v.get("supply") {
         None => SupplySpec::Single,
@@ -371,6 +321,180 @@ pub fn decode_fleet_value(v: &Value) -> Result<FleetSpec, String> {
     spec.fault_model = decode_fault_model(v.get("fault_model"))?;
     spec.validate()?;
     Ok(spec)
+}
+
+/// Decodes a `POST /v1/retrain` body into a [`RetrainSpec`].
+///
+/// Accepted shape (every field optional; defaults are the toy hardening
+/// run at 380 mV):
+///
+/// ```json
+/// {
+///   "seed": 17, "target_mv": 380, "epochs": 4,
+///   "resample": "every_epoch" | "hold",
+///   "fault_model": "gaussian" | {"kind": "correlated_burst", ...},
+///   "network": "toy" | "mnist_fc" | {"kind": "mnist_fc", ...},
+///   "voltages_mv": [360, 400, 440],
+///   "grid": {"start_mv": 340, "stop_mv": 600, "step_mv": 20},
+///   "trials": 4, "floor": 0.97, "level": 4,
+///   "sampling": "sparse_tail" | "dense",
+///   "ecc": "none" | "secded"
+/// }
+/// ```
+///
+/// # Errors
+///
+/// Returns a human-readable reason naming the first offending field or the
+/// first bound the assembled spec violates.
+pub fn decode_retrain_spec(body: &[u8]) -> Result<RetrainSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let v = Value::parse(text).map_err(|e| e.to_string())?;
+    decode_retrain_value(&v)
+}
+
+/// Decodes an already-parsed retrain-spec object.
+///
+/// # Errors
+///
+/// Same contract as [`decode_retrain_spec`].
+pub fn decode_retrain_value(v: &Value) -> Result<RetrainSpec, String> {
+    if v.get("voltages_mv").is_some() && v.get("grid").is_some() {
+        return Err("give either 'voltages_mv' or 'grid', not both".to_owned());
+    }
+    let mut spec = RetrainSpec::toy_default();
+    match v.get("seed") {
+        None => {}
+        Some(Value::Number(n)) if n.fract() == 0.0 && *n >= 0.0 && *n <= 1.8e19 => {
+            spec.seed = *n as u64;
+        }
+        Some(_) => return Err("'seed' must be a non-negative integer".to_owned()),
+    }
+    let size = |key: &str, default: usize| -> Result<usize, String> {
+        match v.get(key) {
+            None => Ok(default),
+            Some(Value::Number(n)) if n.fract() == 0.0 && (0.0..=1e9).contains(n) => {
+                Ok(*n as usize)
+            }
+            Some(_) => Err(format!("'{key}' must be a small non-negative integer")),
+        }
+    };
+    spec.target_mv = size("target_mv", spec.target_mv as usize)? as u32;
+    spec.epochs = size("epochs", spec.epochs)?;
+    spec.trials = size("trials", spec.trials)?;
+    spec.level = size("level", spec.level)?;
+    spec.resample = match v.get("resample").map(|s| s.as_str()) {
+        None => spec.resample,
+        Some(Some("every_epoch")) => ResamplePolicy::EveryEpoch,
+        Some(Some("hold")) => ResamplePolicy::Hold,
+        Some(other) => {
+            return Err(format!(
+                "'resample' must be \"every_epoch\" or \"hold\", got {other:?}"
+            ))
+        }
+    };
+    match v.get("floor") {
+        None => {}
+        Some(Value::Number(n)) if n.is_finite() => spec.floor = *n,
+        Some(_) => return Err("'floor' must be a finite number".to_owned()),
+    }
+    if let Some(grid) = v.get("grid") {
+        let part = |key: &str| -> Result<u32, String> {
+            grid.get(key)
+                .and_then(Value::as_f64)
+                .filter(|n| n.fract() == 0.0 && (0.0..=1e6).contains(n))
+                .map(|n| n as u32)
+                .ok_or_else(|| format!("'grid.{key}' must be a small non-negative integer"))
+        };
+        let (start, stop, step) = (part("start_mv")?, part("stop_mv")?, part("step_mv")?);
+        if step == 0 || stop < start {
+            return Err("'grid' needs step_mv >= 1 and stop_mv >= start_mv".to_owned());
+        }
+        spec.voltages_mv = (start..=stop).step_by(step as usize).collect();
+    } else if let Some(volts) = v.get("voltages_mv") {
+        spec.voltages_mv = volts
+            .as_array()
+            .ok_or_else(|| "'voltages_mv' must be an array".to_owned())?
+            .iter()
+            .map(|p| {
+                p.as_f64()
+                    .filter(|n| n.fract() == 0.0 && (0.0..=1e6).contains(n))
+                    .map(|n| n as u32)
+                    .ok_or_else(|| "'voltages_mv' entries must be integers (millivolts)".to_owned())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    spec.sampling = decode_sampling(v.get("sampling"))?;
+    spec.ecc = decode_ecc(v.get("ecc"))?;
+    spec.network = decode_network(v.get("network"))?;
+    spec.fault_model = decode_fault_model(v.get("fault_model"))?;
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Decodes the optional `sampling` token shared by `/v1/sweep` and
+/// `/v1/retrain` bodies; omitting it selects the sparse-tail sampler.
+fn decode_sampling(v: Option<&Value>) -> Result<OverlaySampling, String> {
+    match v.map(|s| s.as_str()) {
+        None => Ok(OverlaySampling::SparseTail),
+        Some(Some("sparse_tail")) => Ok(OverlaySampling::SparseTail),
+        Some(Some("dense")) => Ok(OverlaySampling::Dense),
+        Some(other) => Err(format!(
+            "'sampling' must be \"sparse_tail\" or \"dense\", got {other:?}"
+        )),
+    }
+}
+
+/// Decodes the optional `ecc` token shared by `/v1/sweep` and `/v1/retrain`
+/// bodies; omitting it selects no protection.
+fn decode_ecc(v: Option<&Value>) -> Result<EccMode, String> {
+    match v.map(|s| s.as_str()) {
+        None => Ok(EccMode::None),
+        Some(Some("none")) => Ok(EccMode::None),
+        Some(Some("secded")) => Ok(EccMode::SecDed),
+        Some(other) => Err(format!(
+            "'ecc' must be \"none\" or \"secded\", got {other:?}"
+        )),
+    }
+}
+
+/// Decodes the optional `network` field shared by `/v1/sweep` and
+/// `/v1/retrain` bodies: a bare token or a sized object; omitting the
+/// field selects the toy network.
+fn decode_network(v: Option<&Value>) -> Result<NetworkSpec, String> {
+    match v {
+        None => Ok(NetworkSpec::Toy),
+        Some(Value::String(s)) => default_network(s),
+        Some(obj @ Value::Object(_)) => {
+            let kind = obj
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "'network.kind' must be a string".to_owned())?;
+            let size = |key: &str, default: usize| -> Result<usize, String> {
+                match obj.get(key) {
+                    None => Ok(default),
+                    Some(Value::Number(n)) if n.fract() == 0.0 && (0.0..=1e9).contains(n) => {
+                        Ok(*n as usize)
+                    }
+                    Some(_) => Err(format!("'network.{key}' must be a small integer")),
+                }
+            };
+            match kind {
+                "mnist_fc" => Ok(NetworkSpec::MnistFc {
+                    train_n: size("train_n", 1200)?,
+                    test_n: size("test_n", 100)?,
+                    epochs: size("epochs", 4)?,
+                }),
+                "alexnet_conv" => Ok(NetworkSpec::AlexNetConv {
+                    layers: size("layers", 5)?,
+                    train_n: size("train_n", 1200)?,
+                    test_n: size("test_n", 100)?,
+                    epochs: size("epochs", 4)?,
+                }),
+                other => Err(format!("unknown network kind {other:?}")),
+            }
+        }
+        Some(_) => Err("'network' must be a string or object".to_owned()),
+    }
 }
 
 /// The network a bare string token selects; sized defaults match the repo's
@@ -982,10 +1106,11 @@ pub fn decode_iso_query(query: &str) -> Result<IsoAccuracySpec, String> {
     Ok(spec)
 }
 
-/// Renders an iso-accuracy solve as a compact JSON object (deterministic:
-/// `BTreeMap` key order, same float formatter as every other endpoint).
-#[must_use]
-pub fn render_iso(spec: &IsoAccuracySpec, result: &IsoAccuracyResult) -> String {
+/// The shared body of an iso-accuracy result rendering: everything except
+/// the `spec` key. Both `/v1/iso-accuracy` responses and the baseline /
+/// hardened sub-objects of `/v1/retrain` responses are built from exactly
+/// these entries, so the two endpoints render a solve identically.
+fn iso_result_entries(result: &IsoAccuracyResult) -> BTreeMap<String, Value> {
     let config = |point: &Option<IsoConfigPoint>| -> Value {
         match point {
             None => Value::Null,
@@ -1024,8 +1149,7 @@ pub fn render_iso(spec: &IsoAccuracySpec, result: &IsoAccuracyResult) -> String 
         }
     };
     let ratio = |r: &Option<f64>| r.map_or(Value::Null, Value::Number);
-    Value::Object(BTreeMap::from([
-        ("spec".to_owned(), Value::String(spec.canonical_string())),
+    BTreeMap::from([
         (
             "clean_accuracy".to_owned(),
             Value::Number(result.clean_accuracy),
@@ -1045,8 +1169,108 @@ pub fn render_iso(spec: &IsoAccuracySpec, result: &IsoAccuracyResult) -> String 
             "boosted_over_dual".to_owned(),
             ratio(&result.boosted_over_dual),
         ),
+    ])
+}
+
+/// Renders an iso-accuracy solve as a compact JSON object (deterministic:
+/// `BTreeMap` key order, same float formatter as every other endpoint).
+#[must_use]
+pub fn render_iso(spec: &IsoAccuracySpec, result: &IsoAccuracyResult) -> String {
+    let mut obj = iso_result_entries(result);
+    obj.insert("spec".to_owned(), Value::String(spec.canonical_string()));
+    Value::Object(obj).to_string_compact()
+}
+
+/// Renders a `/v1/retrain` response: the spec's canonical string, the
+/// hardened weights' digest, the per-epoch training telemetry, the
+/// baseline and hardened iso-accuracy solves (same rendering as
+/// `/v1/iso-accuracy`), and the headline `V_min` gap / energy-ratio
+/// summary. Deterministic like every other endpoint — `BTreeMap` key
+/// order, shared float formatter.
+#[must_use]
+pub fn render_retrain(spec: &RetrainSpec, hardened: &HardenedNetwork) -> String {
+    let opt = |r: Option<f64>| r.map_or(Value::Null, Value::Number);
+    let epochs = hardened
+        .epochs
+        .iter()
+        .map(|e| {
+            Value::Object(BTreeMap::from([
+                ("epoch".to_owned(), Value::Number(e.epoch as f64)),
+                ("loss".to_owned(), Value::Number(f64::from(e.loss))),
+                ("clean_accuracy".to_owned(), Value::Number(e.clean_accuracy)),
+                (
+                    "faulty_accuracy".to_owned(),
+                    Value::Number(e.faulty_accuracy),
+                ),
+            ]))
+        })
+        .collect();
+    Value::Object(BTreeMap::from([
+        ("spec".to_owned(), Value::String(spec.canonical_string())),
+        (
+            "weight_digest".to_owned(),
+            Value::String(format!("{:016x}", hardened.weight_digest())),
+        ),
+        ("epochs".to_owned(), Value::Array(epochs)),
+        (
+            "baseline".to_owned(),
+            Value::Object(iso_result_entries(&hardened.baseline)),
+        ),
+        (
+            "hardened".to_owned(),
+            Value::Object(iso_result_entries(&hardened.hardened)),
+        ),
+        (
+            "vmin_gap_mv".to_owned(),
+            Value::Object(BTreeMap::from([
+                ("single".to_owned(), opt(hardened.single_vmin_gap_mv())),
+                ("boosted".to_owned(), opt(hardened.boosted_vmin_gap_mv())),
+            ])),
+        ),
+        (
+            "energy_ratio".to_owned(),
+            Value::Object(BTreeMap::from([
+                ("single".to_owned(), opt(hardened.single_energy_ratio())),
+                ("boosted".to_owned(), opt(hardened.boosted_energy_ratio())),
+                ("dual".to_owned(), opt(hardened.dual_energy_ratio())),
+            ])),
+        ),
     ]))
     .to_string_compact()
+}
+
+/// Runs a retrain spec synchronously through the library path and renders
+/// the response body — the reference the HTTP path must match
+/// byte-for-byte.
+#[must_use]
+pub fn run_retrain_json(spec: &RetrainSpec) -> String {
+    render_retrain(spec, &spec.run())
+}
+
+/// Renders a retrain progress event line for the streaming endpoint: one
+/// `epoch_start`/`epoch_done` pair per training epoch, the latter carrying
+/// the epoch's mean loss and clean/faulty test accuracies.
+#[must_use]
+pub fn retrain_event_line(event: &RetrainEvent) -> String {
+    let obj = match *event {
+        RetrainEvent::EpochStart { epoch } => BTreeMap::from([
+            ("event".to_owned(), Value::String("epoch_start".to_owned())),
+            ("epoch".to_owned(), Value::Number(epoch as f64)),
+        ]),
+        RetrainEvent::EpochDone {
+            epoch,
+            loss,
+            clean_accuracy,
+            faulty_accuracy,
+        } => BTreeMap::from([
+            ("event".to_owned(), Value::String("epoch_done".to_owned())),
+            ("epoch".to_owned(), Value::Number(epoch as f64)),
+            ("loss".to_owned(), Value::Number(f64::from(loss))),
+            ("clean_accuracy".to_owned(), Value::Number(clean_accuracy)),
+            ("faulty_accuracy".to_owned(), Value::Number(faulty_accuracy)),
+        ]),
+    };
+    Value::Object(obj).to_string_compact()
 }
 
 /// Renders one key/value error payload, e.g. `{"error": "..."}`.
@@ -1616,6 +1840,106 @@ mod tests {
         assert_eq!(decoded, dies);
         assert_eq!(decoded[0].v_min.to_bits(), dies[0].v_min.to_bits());
         assert!(decode_shard_fleet_response(br#"{"error": "boom"}"#).is_err());
+    }
+
+    #[test]
+    fn retrain_body_decodes_and_rejections_name_the_field() {
+        let spec = decode_retrain_spec(b"{}").unwrap();
+        assert_eq!(spec, RetrainSpec::toy_default());
+        let spec = decode_retrain_spec(
+            br#"{"seed": 11, "target_mv": 420, "epochs": 3, "resample": "hold",
+                 "grid": {"start_mv": 360, "stop_mv": 440, "step_mv": 40},
+                 "trials": 2, "floor": 0.9, "level": 3, "sampling": "dense",
+                 "ecc": "secded", "fault_model": "correlated_burst",
+                 "network": "mnist_fc"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 11);
+        assert_eq!(spec.target_mv, 420);
+        assert_eq!(spec.epochs, 3);
+        assert_eq!(spec.resample, ResamplePolicy::Hold);
+        assert_eq!(spec.voltages_mv, vec![360, 400, 440]);
+        assert_eq!(spec.trials, 2);
+        assert_eq!(spec.floor, 0.9);
+        assert_eq!(spec.level, 3);
+        assert_eq!(spec.sampling, OverlaySampling::Dense);
+        assert_eq!(spec.ecc, EccMode::SecDed);
+        assert_eq!(spec.fault_model, FaultModel::burst_default());
+        assert!(matches!(spec.network, NetworkSpec::MnistFc { .. }));
+
+        let cases: [(&[u8], &str); 7] = [
+            (br#"{"target_mv": 200}"#, "target_mv"),
+            (br#"{"epochs": 0}"#, "epochs"),
+            (br#"{"epochs": 40}"#, "epochs"),
+            (br#"{"resample": "sometimes"}"#, "resample"),
+            (br#"{"floor": "high"}"#, "floor"),
+            (br#"{"network": "vgg"}"#, "vgg"),
+            (
+                br#"{"voltages_mv": [400], "grid": {"start_mv": 1, "stop_mv": 2, "step_mv": 1}}"#,
+                "not both",
+            ),
+        ];
+        for (body, needle) in cases {
+            let err = decode_retrain_spec(body).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{:?}: expected {needle:?} in {err:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn retrain_render_is_deterministic_and_carries_the_comparison() {
+        let spec = RetrainSpec {
+            trials: 2,
+            epochs: 1,
+            voltages_mv: vec![360, 420, 480, 540],
+            ..RetrainSpec::toy_default()
+        };
+        let a = run_retrain_json(&spec);
+        assert_eq!(a, run_retrain_json(&spec), "renders must be byte-identical");
+        let v = Value::parse(&a).unwrap();
+        assert_eq!(
+            v.get("spec").and_then(Value::as_str),
+            Some(spec.canonical_string().as_str())
+        );
+        let digest = v.get("weight_digest").and_then(Value::as_str).unwrap();
+        assert_eq!(digest.len(), 16, "digest is 16 hex chars, got {digest:?}");
+        let epochs = v.get("epochs").and_then(Value::as_array).unwrap();
+        assert_eq!(epochs.len(), 1);
+        assert!(epochs[0].get("loss").and_then(Value::as_f64).is_some());
+        // Baseline and hardened sub-objects render exactly like /v1/iso-accuracy.
+        for key in ["baseline", "hardened"] {
+            let solve = v.get(key).unwrap();
+            assert!(solve
+                .get("clean_accuracy")
+                .and_then(Value::as_f64)
+                .is_some());
+            assert!(solve.get("single").is_some());
+            assert!(solve.get("boosted_over_single").is_some());
+        }
+        assert!(v.get("vmin_gap_mv").unwrap().get("single").is_some());
+        assert!(v.get("energy_ratio").unwrap().get("dual").is_some());
+    }
+
+    #[test]
+    fn retrain_event_lines_are_compact_json() {
+        let line = retrain_event_line(&RetrainEvent::EpochStart { epoch: 2 });
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("epoch_start"));
+        assert_eq!(v.get("epoch").and_then(Value::as_f64), Some(2.0));
+        let line = retrain_event_line(&RetrainEvent::EpochDone {
+            epoch: 2,
+            loss: 0.5,
+            clean_accuracy: 0.9,
+            faulty_accuracy: 0.8,
+        });
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("epoch_done"));
+        assert_eq!(v.get("loss").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(v.get("clean_accuracy").and_then(Value::as_f64), Some(0.9));
+        assert_eq!(v.get("faulty_accuracy").and_then(Value::as_f64), Some(0.8));
     }
 
     #[test]

@@ -177,19 +177,62 @@ fn main() {
     }
     println!("smoke: fleet sweep + byte-identical cache hit ok");
 
+    // Retrain leg: a short 2-epoch fault-aware fine-tune of the toy
+    // network. The hardened V_min must not exceed the baseline's (the
+    // single-supply gap is non-negative), and the cache hit must be
+    // byte-identical to the cold run.
+    let retrain_payload = r#"{"network": "toy", "target_mv": 380, "epochs": 2, "trials": 2, "voltages_mv": [360, 420, 480, 540], "seed": 21}"#;
+    let (status, headers, cold_retrain) = post(addr, "/v1/retrain", retrain_payload);
+    assert_eq!(
+        status,
+        200,
+        "cold retrain: {}",
+        String::from_utf8_lossy(&cold_retrain)
+    );
+    assert_eq!(header(&headers, "X-Dante-Cache"), Some("miss"));
+    let (status, headers, warm_retrain) = post(addr, "/v1/retrain", retrain_payload);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "X-Dante-Cache"), Some("hit"));
+    assert_eq!(
+        cold_retrain, warm_retrain,
+        "retrain cache hit must be byte-identical to the cold run"
+    );
+    let retrain_text = String::from_utf8(cold_retrain).expect("retrain body is UTF-8");
+    for needle in ["\"weight_digest\"", "dante.retrain.v1;", "\"vmin_gap_mv\""] {
+        assert!(
+            retrain_text.contains(needle),
+            "retrain body missing {needle}"
+        );
+    }
+    let single_gap = retrain_text
+        .split("\"vmin_gap_mv\":")
+        .nth(1)
+        .and_then(|tail| tail.split("\"single\":").nth(1))
+        .and_then(|tail| tail.split(['}', ',']).next())
+        .and_then(|token| token.trim().parse::<f64>().ok())
+        .expect("single-supply V_min gap present and numeric");
+    assert!(
+        single_gap >= 0.0,
+        "hardened V_min must not exceed baseline: gap = {single_gap} mV"
+    );
+    println!("smoke: retrain hardened V_min gap {single_gap} mV, cache hit byte-identical");
+
     let (status, _, body) = get(addr, "/metrics");
     assert_eq!(status, 200);
     let text = String::from_utf8(body).expect("metrics is UTF-8");
     for needle in [
         "dante_serve_requests_total",
-        "dante_serve_cache_hits_total 3",
-        // Four worker jobs: cold sweep, boosted sweep, iso solve, fleet.
-        "dante_serve_jobs_completed_total 4",
+        "dante_serve_cache_hits_total 4",
+        // Five worker jobs: cold sweep, boosted sweep, iso solve, fleet,
+        // retrain.
+        "dante_serve_jobs_completed_total 5",
         "dante_serve_energy_sweep_jobs_total 1",
         "dante_serve_iso_accuracy_solves_total 1",
         "dante_serve_iso_accuracy_cache_hits_total 1",
         "dante_serve_fleet_jobs_total 1",
         "dante_serve_fleet_cache_hits_total 1",
+        "dante_serve_retrain_jobs_total 1",
+        "dante_serve_retrain_cache_hits_total 1",
         "dante_serve_jobs_rejected_total 0",
         "dante_serve_queue_depth 0",
     ] {

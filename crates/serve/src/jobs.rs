@@ -19,6 +19,7 @@
 
 use dante::fleet::FleetSpec;
 use dante::iso::IsoAccuracySpec;
+use dante::retrain::RetrainSpec;
 use dante::sweep::SweepSpec;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -98,10 +99,11 @@ pub enum Lane {
 }
 
 /// The work a job carries: a voltage sweep, a fleet-scale V_min/yield
-/// population sweep, or an iso-accuracy solve. All are content-addressed
-/// by their canonical strings, whose distinct `dante.sweep.` /
-/// `dante.fleet.` / `dante.iso.` prefixes keep the cache-key families
-/// disjoint by construction.
+/// population sweep, an iso-accuracy solve, or a fault-aware retraining
+/// run. All are content-addressed by their canonical strings, whose
+/// distinct `dante.sweep.` / `dante.fleet.` / `dante.iso.` /
+/// `dante.retrain.` prefixes keep the cache-key families disjoint by
+/// construction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobSpec {
     /// A Monte-Carlo accuracy/energy sweep (`POST /v1/sweep`).
@@ -111,6 +113,9 @@ pub enum JobSpec {
     /// An iso-accuracy solve (`GET /v1/iso-accuracy`) — the interactive
     /// lane's tenant.
     Iso(IsoAccuracySpec),
+    /// A fault-aware retraining run (`POST /v1/retrain`) — the longest
+    /// bulk work the service carries.
+    Retrain(RetrainSpec),
 }
 
 impl JobSpec {
@@ -121,17 +126,19 @@ impl JobSpec {
             Self::Sweep(spec) => spec.canonical_string(),
             Self::Fleet(spec) => spec.canonical_string(),
             Self::Iso(spec) => spec.canonical_string(),
+            Self::Retrain(spec) => spec.canonical_string(),
         }
     }
 
     /// Whether the job exercises the energy-comparison machinery (fleet
     /// sweeps never do — they sample overlays, not inference energy; iso
-    /// solves are counted under their own metric instead).
+    /// solves and retraining runs are counted under their own metrics
+    /// instead).
     #[must_use]
     pub fn is_energy_sweep(&self) -> bool {
         match self {
             Self::Sweep(spec) => spec.is_energy_sweep(),
-            Self::Fleet(_) | Self::Iso(_) => false,
+            Self::Fleet(_) | Self::Iso(_) | Self::Retrain(_) => false,
         }
     }
 
@@ -147,12 +154,18 @@ impl JobSpec {
         matches!(self, Self::Iso(_))
     }
 
+    /// Whether this is a retraining run (counted separately in `/metrics`).
+    #[must_use]
+    pub fn is_retrain(&self) -> bool {
+        matches!(self, Self::Retrain(_))
+    }
+
     /// The scheduling lane this work rides in.
     #[must_use]
     pub fn lane(&self) -> Lane {
         match self {
             Self::Iso(_) => Lane::Interactive,
-            Self::Sweep(_) | Self::Fleet(_) => Lane::Bulk,
+            Self::Sweep(_) | Self::Fleet(_) | Self::Retrain(_) => Lane::Bulk,
         }
     }
 }
@@ -260,6 +273,13 @@ impl Job {
     #[must_use]
     pub fn is_fleet(&self) -> bool {
         self.spec.is_fleet()
+    }
+
+    /// Whether this job is a retraining run (counted separately in
+    /// `/metrics` as `dante_serve_retrain_jobs_total`).
+    #[must_use]
+    pub fn is_retrain(&self) -> bool {
+        self.spec.is_retrain()
     }
 
     /// Blocks until the job reaches a terminal status or `shutdown` is
@@ -618,6 +638,12 @@ mod tests {
         assert!(!iso.is_energy_sweep());
         assert!(iso.canonical_string().starts_with("dante.iso."));
         assert_eq!(iso.lane(), Lane::Interactive);
+        let retrain = JobSpec::Retrain(RetrainSpec::toy_default());
+        assert!(retrain.is_retrain());
+        assert!(!retrain.is_fleet());
+        assert!(!retrain.is_energy_sweep());
+        assert!(retrain.canonical_string().starts_with("dante.retrain."));
+        assert_eq!(retrain.lane(), Lane::Bulk, "epochs of work ride bulk");
     }
 
     #[test]
@@ -811,6 +837,35 @@ mod tests {
         assert_eq!(state.events.len(), EVENT_CAP + 1);
         assert_eq!(state.dropped_events, 10);
         assert_eq!(state.events.last().unwrap().as_str(), "terminal");
+    }
+
+    /// Regression guard for long retrain jobs: even when the per-epoch
+    /// stream blows past [`EVENT_CAP`], the forced terminal marker is
+    /// still appended last, so `/v1/jobs/{id}/events` always ends with a
+    /// definite `end` event (the follower loop keys off it).
+    #[test]
+    fn long_retrain_event_stream_past_cap_keeps_terminal_event() {
+        let registry = JobRegistry::new();
+        let job = registry.create(
+            JobSpec::Retrain(RetrainSpec::toy_default()),
+            "r".into(),
+            String::new(),
+        );
+        for epoch in 0..(EVENT_CAP + 7) {
+            job.push_event(
+                format!("{{\"event\":\"epoch_start\",\"epoch\":{epoch}}}"),
+                false,
+            );
+        }
+        job.push_event("{\"event\":\"end\",\"status\":\"done\"}".into(), true);
+        job.set_status(JobStatus::Done, Some(Arc::new("{}".into())), None);
+        let state = job.state.lock().unwrap();
+        assert_eq!(state.events.len(), EVENT_CAP + 1);
+        assert_eq!(state.dropped_events, 7);
+        assert!(
+            state.events.last().unwrap().contains("\"end\""),
+            "terminal marker must survive the cap"
+        );
     }
 
     #[test]

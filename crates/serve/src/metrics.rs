@@ -62,6 +62,10 @@ pub struct Metrics {
     pub fleet_jobs: AtomicU64,
     /// `POST /v1/fleet` responses served from the result cache.
     pub fleet_cache_hits: AtomicU64,
+    /// Completed `POST /v1/retrain` hardening runs (cold computes).
+    pub retrain_jobs: AtomicU64,
+    /// `POST /v1/retrain` responses served from the result cache.
+    pub retrain_cache_hits: AtomicU64,
     /// Submissions rejected with 429 because the queue was full.
     /// Incremented exactly once per rejected submission, on the same path
     /// that attaches `Retry-After`.
@@ -182,6 +186,8 @@ impl Metrics {
              dante_serve_iso_accuracy_cache_hits_total {}\n\
              dante_serve_fleet_jobs_total {}\n\
              dante_serve_fleet_cache_hits_total {}\n\
+             dante_serve_retrain_jobs_total {}\n\
+             dante_serve_retrain_cache_hits_total {}\n\
              dante_serve_shard_requests_total {}\n\
              dante_serve_shard_retries_total {}\n\
              dante_serve_shard_hedges_total {}\n\
@@ -211,6 +217,8 @@ impl Metrics {
             load(&self.iso_accuracy_cache_hits),
             load(&self.fleet_jobs),
             load(&self.fleet_cache_hits),
+            load(&self.retrain_jobs),
+            load(&self.retrain_cache_hits),
             load(&self.shard_requests),
             load(&self.shard_retries),
             load(&self.shard_hedges),
@@ -278,6 +286,8 @@ mod tests {
         assert!(text.contains("dante_serve_iso_accuracy_solves_total 0"));
         assert!(text.contains("dante_serve_fleet_jobs_total 0"));
         assert!(text.contains("dante_serve_fleet_cache_hits_total 0"));
+        assert!(text.contains("dante_serve_retrain_jobs_total 0"));
+        assert!(text.contains("dante_serve_retrain_cache_hits_total 0"));
         let (p50, p99) = m.latency_percentiles();
         assert_eq!(p50, 200);
         assert_eq!(p99, 300);

@@ -317,6 +317,9 @@ fn worker_loop(shared: &Arc<Shared>) {
                         .iso_accuracy_solves
                         .fetch_add(1, Ordering::Relaxed);
                 }
+                if job.spec.is_retrain() {
+                    shared.metrics.retrain_jobs.fetch_add(1, Ordering::Relaxed);
+                }
                 job.push_event(format!(r#"{{"event":"done","job":"{}"}}"#, job.id), true);
                 job.set_status(JobStatus::Done, Some(body), None);
             }
@@ -399,6 +402,15 @@ fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) -> String {
         // Iso solves are interactive-lane work: always computed locally
         // (seconds, not minutes — fan-out overhead would dominate).
         JobSpec::Iso(spec) => api::render_iso(spec, &spec.solve()),
+        // Retraining always runs locally: the training loop is inherently
+        // sequential (each epoch reads the previous epoch's weights), so
+        // there is no window to fan out.
+        JobSpec::Retrain(spec) => {
+            let hardened = spec.run_observed(&mut |event| {
+                job.push_event(api::retrain_event_line(event), false);
+            });
+            api::render_retrain(spec, &hardened)
+        }
     }
 }
 
@@ -470,6 +482,7 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request, keep_a
     match (request.method.as_str(), path) {
         ("POST", "/v1/sweep") => post_sweep(stream, shared, request, keep_alive),
         ("POST", "/v1/fleet") => post_fleet(stream, shared, request, keep_alive),
+        ("POST", "/v1/retrain") => post_retrain(stream, shared, request, keep_alive),
         ("POST", "/v1/shard/sweep") => shard_sweep(stream, shared, request, keep_alive),
         ("POST", "/v1/shard/fleet") => shard_fleet(stream, shared, request, keep_alive),
         ("GET", "/v1/iso-accuracy") => get_iso_accuracy(stream, shared, request, keep_alive),
@@ -503,8 +516,8 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request, keep_a
         }
         (
             _,
-            "/v1/sweep" | "/v1/fleet" | "/v1/shard/sweep" | "/v1/shard/fleet" | "/v1/iso-accuracy"
-            | "/healthz" | "/metrics",
+            "/v1/sweep" | "/v1/fleet" | "/v1/retrain" | "/v1/shard/sweep" | "/v1/shard/fleet"
+            | "/v1/iso-accuracy" | "/healthz" | "/metrics",
         ) => respond(
             stream,
             405,
@@ -568,6 +581,32 @@ fn post_fleet(
 ) -> u16 {
     match api::decode_fleet_spec(&request.body) {
         Ok(spec) => submit_job(stream, shared, request, keep_alive, JobSpec::Fleet(spec)),
+        Err(why) => respond(
+            stream,
+            400,
+            "application/json",
+            &[],
+            api::error_body(&why).as_bytes(),
+            keep_alive,
+        ),
+    }
+}
+
+/// `POST /v1/retrain`: run a fault-aware hardening stage through the same
+/// queue, worker pool, and result cache as `/v1/sweep`. Retraining is
+/// bulk-lane work (minutes of training plus two iso solves); the NDJSON
+/// event stream carries one `epoch_start`/`epoch_done` pair per epoch.
+/// Retrain canonical strings carry their own `dante.retrain.` prefix, so
+/// the cache-key families cannot collide; retrain cache hits are counted
+/// separately in `/metrics`.
+fn post_retrain(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &Request,
+    keep_alive: bool,
+) -> u16 {
+    match api::decode_retrain_spec(&request.body) {
+        Ok(spec) => submit_job(stream, shared, request, keep_alive, JobSpec::Retrain(spec)),
         Err(why) => respond(
             stream,
             400,
@@ -696,7 +735,8 @@ fn shard_window_response(
     }
 }
 
-/// Shared submission path for `/v1/sweep` and `/v1/fleet`: cache lookup,
+/// Shared submission path for `/v1/sweep`, `/v1/fleet`, and `/v1/retrain`:
+/// cache lookup,
 /// dedup against an identical in-flight job, enqueue (429 on a full queue),
 /// then either a 202 ticket (`?mode=async`) or a synchronous wait.
 fn submit_job(
@@ -720,6 +760,12 @@ fn submit_job(
             shared
                 .metrics
                 .iso_accuracy_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if spec.is_retrain() {
+            shared
+                .metrics
+                .retrain_cache_hits
                 .fetch_add(1, Ordering::Relaxed);
         }
         return respond(

@@ -691,6 +691,120 @@ fn fleet_endpoint_serves_caches_and_streams_per_die_progress() {
 }
 
 #[test]
+fn retrain_endpoint_hardens_caches_and_streams_epoch_progress() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+    let payload = r#"{"network": "toy", "target_mv": 380, "epochs": 1, "trials": 2, "voltages_mv": [360, 420, 480, 540], "seed": 9}"#;
+    let post_retrain = |payload: &str, query: &str| {
+        exchange(
+            addr,
+            format!(
+                "POST /v1/retrain{query} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+                payload.len(),
+            )
+            .as_bytes(),
+        )
+    };
+
+    let spec =
+        dante_serve::api::decode_retrain_spec(payload.as_bytes()).expect("valid retrain spec");
+    let reference = dante_serve::api::run_retrain_json(&spec);
+
+    let cold = post_retrain(payload, "");
+    assert_eq!(cold.status, 200, "{}", cold.body_str());
+    assert_eq!(cold.header("X-Dante-Cache"), Some("miss"));
+    assert_eq!(
+        cold.body_str(),
+        reference,
+        "served retrain artifact must be byte-identical to the library path"
+    );
+    assert!(cold.body_str().contains(r#""weight_digest":"#));
+    assert!(cold.body_str().contains(r#""vmin_gap_mv":"#));
+
+    let warm = post_retrain(payload, "");
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("X-Dante-Cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body, "retrain cache hit is byte-identical");
+
+    // Async submission of a distinct spec: 202 ticket, then the NDJSON
+    // event stream replays per-epoch progress and terminates.
+    let payload2 = r#"{"network": "toy", "target_mv": 380, "epochs": 2, "trials": 2, "voltages_mv": [360, 420, 480, 540], "seed": 10}"#;
+    let submitted = post_retrain(payload2, "?mode=async");
+    assert_eq!(submitted.status, 202, "{}", submitted.body_str());
+    let body = submitted.body_str().to_owned();
+    let needle = r#""job":""#;
+    let start = body.find(needle).expect("job id") + needle.len();
+    let job_id = body[start..].split('"').next().unwrap().to_owned();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = get(addr, &format!("/v1/jobs/{job_id}"));
+        assert_eq!(status.status, 200);
+        if status.body_str().contains(r#""status":"done""#)
+            || status.body_str().contains(r#""status": "done""#)
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "retrain finished in time"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    write!(
+        stream,
+        "GET /v1/jobs/{job_id}/events HTTP/1.1\r\nHost: t\r\n\r\n"
+    )
+    .expect("write");
+    let mut all = Vec::new();
+    let mut reader = BufReader::new(stream);
+    reader.read_to_end(&mut all).expect("read stream");
+    let text = String::from_utf8(all).expect("UTF-8");
+    for needle in [
+        r#"{"epoch":0,"event":"epoch_start"}"#,
+        r#""epoch":0,"event":"epoch_done""#,
+        r#"{"epoch":1,"event":"epoch_start"}"#,
+        r#""epoch":1,"event":"epoch_done""#,
+        r#""event":"end","status":"done""#,
+    ] {
+        assert!(text.contains(needle), "missing {needle} in stream:\n{text}");
+    }
+
+    // Malformed specs are 400s naming the offending field.
+    let bad = post_retrain(r#"{"epochs": 0}"#, "");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body_str().contains("epochs"), "{}", bad.body_str());
+    let bad = post_retrain(r#"{"resample": "sometimes"}"#, "");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body_str().contains("resample"), "{}", bad.body_str());
+
+    // The retrain counters tick: two cold runs, one cache hit.
+    let metrics = get(addr, "/metrics");
+    assert!(
+        metrics
+            .body_str()
+            .contains("dante_serve_retrain_jobs_total 2"),
+        "{}",
+        metrics.body_str()
+    );
+    assert!(
+        metrics
+            .body_str()
+            .contains("dante_serve_retrain_cache_hits_total 1"),
+        "{}",
+        metrics.body_str()
+    );
+
+    handle.shutdown();
+    assert!(handle.join());
+}
+
+#[test]
 fn sweep_with_fault_model_keys_a_distinct_cache_family() {
     let handle = boot(ServerConfig::default());
     let addr = handle.addr();

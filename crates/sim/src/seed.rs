@@ -34,6 +34,9 @@ pub mod site {
     /// The row/column burst stream of a correlated fault overlay, kept
     /// disjoint from the i.i.d. background stream of the same overlay seed.
     pub const FAULT_BURST: u64 = 0x0B;
+    /// One fault-aware retraining epoch's overlay resample (the corruption
+    /// die applied to the forward pass of that epoch).
+    pub const RETRAIN_EPOCH: u64 = 0x0C;
 }
 
 /// SplitMix64 finalizer: a bijective avalanche mix of 64 bits.

@@ -79,6 +79,11 @@ pub fn tolerance_for(record_id: &str) -> Tolerance {
         // band absorbs cross-platform last-ulp drift without ever masking a
         // flipped V_min (a grid step moves energies by far more than 0.5%).
         "iso_accuracy" => Tolerance::band(5e-3, 1e-9),
+        // Same reproducibility story as iso_accuracy, plus a two-epoch
+        // fault-injected training loop whose float accumulation crosses far
+        // more libm territory — a 1% band still cannot mask a flipped V_min
+        // (one grid step shifts energies by several percent).
+        "retrain" => Tolerance::band(1e-2, 1e-9),
         _ => Tolerance::band(1e-6, 1e-12),
     }
 }

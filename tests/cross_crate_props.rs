@@ -215,6 +215,46 @@ proptest! {
         prop_assert_eq!(spec.canonical_string(), legacy_canonical_string(&spec));
     }
 
+    /// `RetrainSpec::canonical_string` is injective: two retrain specs are
+    /// equal exactly when their `dante.retrain.v1` strings are byte-equal,
+    /// across every retrain-specific field and everything riding in the
+    /// embedded `base=` sweep encoding. This is what makes the string safe
+    /// as the `/v1/retrain` cache key.
+    #[test]
+    fn retrain_canonical_string_is_injective(
+        a in (0u64..20, 1usize..4, 0u8..2, 0u8..2, 0u8..3, 0usize..6),
+        b in (0u64..20, 1usize..4, 0u8..2, 0u8..2, 0u8..3, 0usize..6),
+        ra in (320u32..700, 1usize..33, 0u8..2, 0usize..5, 0u32..50),
+        rb in (320u32..700, 1usize..33, 0u8..2, 0usize..5, 0u32..50),
+        fm_a in (0u8..4, 0u32..40),
+        fm_b in (0u8..4, 0u32..40),
+        mvs_a in prop::collection::vec(320u32..560, 1..4),
+        mvs_b in prop::collection::vec(320u32..560, 1..4),
+    ) {
+        let sa = retrain_spec_from(a, ra, fm_a, &mvs_a);
+        let sb = retrain_spec_from(b, rb, fm_b, &mvs_b);
+        prop_assert_eq!(sa == sb, sa.canonical_string() == sb.canonical_string());
+        // The retrain family never collides with the sweep, iso, or fleet
+        // families: each has its own dotted prefix and the prefixes are
+        // mutually prefix-free.
+        for s in [&sa, &sb] {
+            let c = s.canonical_string();
+            prop_assert!(c.starts_with("dante.retrain.v1;"));
+            prop_assert!(!c.starts_with("dante.sweep."));
+            prop_assert!(!c.starts_with("dante.iso."));
+            prop_assert!(!c.starts_with("dante.fleet."));
+        }
+        // And the existing families are untouched by the new field set: the
+        // embedded base sweep still encodes exactly as a sweep would.
+        let base_key = sweep_spec_from(
+            (a.0, a.1, a.2, a.3, a.4, a.5, 0, 0),
+            fm_a,
+            &mvs_a,
+        )
+        .canonical_string();
+        prop_assert!(sa.canonical_string().ends_with(&format!("base={base_key}")));
+    }
+
     /// The LDO efficiency formula stays in (0, 1] and degrades with dropout.
     #[test]
     fn ldo_efficiency_bounds(lo_mv in 300u32..700, drop_mv in 0u32..300) {
@@ -284,6 +324,36 @@ fn sweep_spec_from(
             },
         },
         fault_model: fault_model_from(fault),
+    }
+}
+
+/// Builds a [`RetrainSpec`] from primitive draws: the sweep-shaped tuple
+/// `a` feeds the shared fields (seed, trials, sampler, ECC, network) and
+/// the retrain tuple `r` feeds the stage-specific ones.
+fn retrain_spec_from(
+    a: (u64, usize, u8, u8, u8, usize),
+    (target_mv, epochs, resample, level, floor_p): (u32, usize, u8, usize, u32),
+    fault: (u8, u32),
+    mvs: &[u32],
+) -> dante::retrain::RetrainSpec {
+    let sweep = sweep_spec_from((a.0, a.1, a.2, a.3, a.4, a.5, 0, 0), fault, mvs);
+    dante::retrain::RetrainSpec {
+        seed: sweep.seed,
+        network: sweep.network,
+        target_mv,
+        fault_model: sweep.fault_model,
+        epochs,
+        resample: if resample == 0 {
+            dante::retrain::ResamplePolicy::EveryEpoch
+        } else {
+            dante::retrain::ResamplePolicy::Hold
+        },
+        voltages_mv: sweep.voltages_mv,
+        trials: sweep.trials,
+        floor: 0.90 + f64::from(floor_p) * 1e-3,
+        level,
+        sampling: sweep.sampling,
+        ecc: sweep.ecc,
     }
 }
 

@@ -116,6 +116,59 @@ fn sweep_points_match_direct_evaluations() {
     }
 }
 
+/// The fault-aware retraining stage is a differential fixture: the same
+/// spec must reproduce byte-identical hardened weights (and the identical
+/// comparison artifact) run-to-run and under `DANTE_THREADS=1` versus the
+/// default thread count, while a changed seed must diverge.
+///
+/// `DANTE_THREADS` is process-global; the other tests in this binary pin
+/// their thread counts explicitly or are themselves thread-invariant, so a
+/// moment under `DANTE_THREADS=1` is harmless — and if it were not, this
+/// suite failing is exactly the signal we want.
+#[test]
+fn retrain_weights_are_byte_identical_across_runs_and_thread_counts() {
+    use dante::retrain::RetrainSpec;
+
+    let spec = RetrainSpec {
+        trials: 2,
+        voltages_mv: vec![360, 420, 480, 540],
+        ..RetrainSpec::toy_default()
+    };
+
+    std::env::set_var(dante_sim::engine::THREADS_ENV, "1");
+    let serial = spec.run();
+    std::env::remove_var(dante_sim::engine::THREADS_ENV);
+    let default_threads = spec.run();
+    let again = spec.run();
+
+    assert_eq!(
+        serial.network.to_bytes(),
+        default_threads.network.to_bytes(),
+        "hardened weights diverged between DANTE_THREADS=1 and the default"
+    );
+    assert_eq!(serial.weight_digest(), default_threads.weight_digest());
+    assert_eq!(serial.baseline, default_threads.baseline);
+    assert_eq!(serial.hardened, default_threads.hardened);
+    assert_eq!(
+        default_threads.network.to_bytes(),
+        again.network.to_bytes(),
+        "hardened weights diverged between identical back-to-back runs"
+    );
+    assert_eq!(default_threads.epochs, again.epochs);
+
+    // The seed is load-bearing: flipping one bit must change the weights.
+    let reseeded = RetrainSpec {
+        seed: spec.seed ^ 1,
+        ..spec
+    }
+    .run();
+    assert_ne!(
+        serial.network.to_bytes(),
+        reseeded.network.to_bytes(),
+        "a different seed must produce different hardened weights"
+    );
+}
+
 /// Trial seeds are independent of the trial count: the first trials of a
 /// short run and a long run coincide, so scaling `DANTE_TRIALS` up only
 /// appends dies — it never reshuffles the ones already evaluated.

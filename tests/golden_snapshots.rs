@@ -71,8 +71,8 @@ fn paper_anchor_claims_hold_on_regenerated_records() {
 fn golden_records_are_byte_identical_to_their_blessed_files() {
     // Stronger than the tolerance-banded check above: the trial-batched
     // forward path (the default) must reproduce every blessed snapshot —
-    // all 14 records, including the Monte-Carlo-backed iso_accuracy and
-    // fleet — byte for byte. A re-bless to absorb the batched evaluator
+    // all 15 records, including the Monte-Carlo-backed iso_accuracy, fleet
+    // and retrain — byte for byte. A re-bless to absorb the batched evaluator
     // would be a correctness bug, not a tolerance question.
     if GoldenStore::bless_requested() {
         return; // blessed files are being rewritten in this run

@@ -1,0 +1,148 @@
+//! The structural SRAM macro model: geometry-derived access capacitance,
+//! replica-bitline timing, and the scalar calibration they reproduce.
+
+use crate::record::{FigureRecord, Series};
+use dante_circuit::booster::{BoostScope, BoosterBank};
+use dante_circuit::latency::PERIPHERAL_FRACTION;
+use dante_circuit::macro_model::{AccessKind, MacroGeometry, SramMacroModel};
+use dante_circuit::units::Volt;
+use dante_energy::params::{EnergyParams, GeometrySpec};
+
+/// The `macro_model` golden record: the per-access switched-capacitance
+/// breakdown of the paper's 64 Kbit energy bank, the replica-timed latency
+/// split of the 32 Kbit macro, and the scalar quantities (`Energy_ratio`,
+/// peripheral fraction, Fig. 9 boost latency) that *emerge* from the
+/// geometry instead of being asserted by calibration.
+#[must_use]
+pub fn macro_model() -> FigureRecord {
+    let bank = SramMacroModel::paper_bank();
+    let timing_macro = SramMacroModel::paper_macro();
+
+    let mut rec = FigureRecord::new(
+        "macro_model",
+        "Structural 32 Kbit/64 Kbit SRAM macro: derived capacitance, timing, and calibration agreement",
+        "component index",
+        "capacitance [pF] / time [ns] / ratio",
+    );
+    // Switched-capacitance breakdown per access kind: 1 decoder, 2 wordline,
+    // 3 bitline, 4 column periphery, 5 output mux, 6 total.
+    for (name, kind) in [
+        ("read_pf", AccessKind::Read),
+        ("write_pf", AccessKind::Write),
+    ] {
+        let c = bank.access_capacitance(kind);
+        rec = rec.with_series(Series::new(
+            name,
+            vec![
+                (1.0, c.decoder.picofarads()),
+                (2.0, c.wordline.picofarads()),
+                (3.0, c.bitline.picofarads()),
+                (4.0, c.column_periphery.picofarads()),
+                (5.0, c.output_mux.picofarads()),
+                (6.0, c.total().picofarads()),
+            ],
+        ));
+    }
+    // Replica-timed latency split of the timing macro: 1 peripheral,
+    // 2 replica bitline, 3 total access.
+    rec = rec.with_series(Series::new(
+        "timing_ns",
+        vec![
+            (1.0, timing_macro.peripheral_delay().nanoseconds()),
+            (2.0, timing_macro.replica_delay().nanoseconds()),
+            (3.0, timing_macro.nominal_access_time().nanoseconds()),
+        ],
+    ));
+    // The scalar calibration, re-derived: 1 Energy_ratio from the structural
+    // bank (scalar asserts 3), 2 peripheral fraction (scalar asserts 0.45),
+    // 3 replica safety margin (must stay >= 1).
+    let params = EnergyParams::dante_chip()
+        .with_geometry(GeometrySpec::Structural(MacroGeometry::bank_64kbit()));
+    rec = rec.with_series(Series::new(
+        "derived_scalars",
+        vec![
+            (1.0, params.energy_ratio()),
+            (2.0, timing_macro.derived_peripheral_fraction()),
+            (3.0, timing_macro.replica_margin()),
+        ],
+    ));
+    // Fig. 9 under structural timing: macro-scope level-4 boost latency,
+    // normalized to the unboosted access, for Vdd >= 0.5 V.
+    let bank_boost = BoosterBank::standard();
+    let structural_timing = timing_macro.timing();
+    let boosted: Vec<(f64, f64)> = (500..=800)
+        .step_by(50)
+        .map(|mv| {
+            let v = Volt::from_millivolts(f64::from(mv));
+            (
+                v.volts(),
+                structural_timing.boosted_access_fraction(v, &bank_boost, 4, BoostScope::Macro),
+            )
+        })
+        .collect();
+    let reduction = 1.0
+        - structural_timing.boosted_access_fraction(
+            Volt::new(0.5),
+            &bank_boost,
+            4,
+            BoostScope::Macro,
+        );
+    rec.with_series(Series::new("boost_macro_4", boosted))
+        .with_note(format!(
+            "structural Energy_ratio {:.3} (scalar calibration: 3); derived peripheral \
+             fraction {:.3} (scalar: {PERIPHERAL_FRACTION})",
+            params.energy_ratio(),
+            timing_macro.derived_peripheral_fraction(),
+        ))
+        .with_note(format!(
+            "structural macro-boost latency reduction {:.0}% at 0.5 V (paper Fig. 9: up to 35%)",
+            reduction * 100.0
+        ))
+        .with_note("capacitance components: 1 decoder, 2 wordline, 3 bitline, 4 column periphery, 5 output mux, 6 total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_scalars_land_on_the_calibration() {
+        let rec = macro_model();
+        let scalars = rec
+            .series
+            .iter()
+            .find(|s| s.name == "derived_scalars")
+            .unwrap();
+        assert!((scalars.points[0].1 - 3.0).abs() < 0.05, "Energy_ratio");
+        assert!(
+            (scalars.points[1].1 - PERIPHERAL_FRACTION).abs() < 0.02,
+            "peripheral fraction"
+        );
+        assert!(scalars.points[2].1 >= 1.0, "replica margin");
+    }
+
+    #[test]
+    fn boost_latency_reduction_matches_fig09() {
+        let rec = macro_model();
+        let boost = rec
+            .series
+            .iter()
+            .find(|s| s.name == "boost_macro_4")
+            .unwrap();
+        let at_half_volt = boost.points.first().unwrap();
+        assert!((at_half_volt.0 - 0.5).abs() < 1e-12);
+        let reduction = 1.0 - at_half_volt.1;
+        assert!(
+            (0.30..=0.40).contains(&reduction),
+            "macro boost at 0.5 V should cut latency ~35%, got {:.0}%",
+            reduction * 100.0
+        );
+    }
+
+    #[test]
+    fn write_breakdown_exceeds_read() {
+        let rec = macro_model();
+        let total = |name: &str| rec.series.iter().find(|s| s.name == name).unwrap().points[5].1;
+        assert!(total("write_pf") > total("read_pf"));
+    }
+}

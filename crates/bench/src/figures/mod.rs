@@ -5,6 +5,7 @@ pub mod accuracy;
 pub mod circuit;
 pub mod energy;
 pub mod fleet;
+pub mod macro_model;
 pub mod retrain;
 pub mod tables;
 pub mod validation;
@@ -39,6 +40,7 @@ pub fn golden_records() -> Vec<FigureRecord> {
         energy::headlines(),
         energy::iso_accuracy(),
         fleet::fleet(),
+        macro_model::macro_model(),
         retrain::retrain(),
         tables::table1(),
         tables::table2(),
@@ -54,11 +56,11 @@ mod tests {
     #[test]
     fn golden_registry_ids_are_unique_and_finite() {
         let recs = golden_records();
-        assert_eq!(recs.len(), 15);
+        assert_eq!(recs.len(), 16);
         let mut ids: Vec<&str> = recs.iter().map(|r| r.id.as_str()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 15, "duplicate record ids in golden registry");
+        assert_eq!(ids.len(), 16, "duplicate record ids in golden registry");
         for r in &recs {
             for s in &r.series {
                 for &(x, y) in &s.points {

@@ -77,12 +77,14 @@ impl MimCapacitor {
     ///
     /// # Panics
     ///
-    /// Panics if the capacitance is not strictly positive.
+    /// Panics if the capacitance is not strictly positive and finite (an
+    /// infinite capacitance would silently zero every boost ratio
+    /// downstream).
     #[must_use]
     pub fn new(capacitance: Farad) -> Self {
         assert!(
-            capacitance.farads() > 0.0,
-            "MIM capacitance must be positive"
+            capacitance.is_finite() && capacitance.farads() > 0.0,
+            "MIM capacitance must be positive and finite"
         );
         Self { capacitance }
     }
@@ -210,10 +212,18 @@ impl BoostLoad {
     ///
     /// # Panics
     ///
-    /// Panics if either capacitance is negative.
+    /// Panics if either capacitance is negative or non-finite (an infinite
+    /// load poisons Eq. 1 into a silent zero boost).
     #[must_use]
     pub fn new(c_mem: Farad, c_parasitic: Farad) -> Self {
-        assert!(c_mem.farads() >= 0.0 && c_parasitic.farads() >= 0.0);
+        assert!(
+            c_mem.is_finite() && c_mem.farads() >= 0.0,
+            "SRAM grid capacitance must be non-negative and finite"
+        );
+        assert!(
+            c_parasitic.is_finite() && c_parasitic.farads() >= 0.0,
+            "parasitic capacitance must be non-negative and finite"
+        );
         Self { c_mem, c_parasitic }
     }
 
@@ -406,7 +416,11 @@ impl BoosterBank {
     }
 
     fn effective_load(&self) -> BoostLoad {
-        match self.scope {
+        self.effective_load_for(self.scope)
+    }
+
+    fn effective_load_for(&self, scope: BoostScope) -> BoostLoad {
+        match scope {
             BoostScope::Array => self.load,
             BoostScope::Macro => self.load.with_peripherals(),
         }
@@ -445,8 +459,21 @@ impl BoosterBank {
     /// Panics if `level > self.levels()`.
     #[must_use]
     pub fn boost_amount(&self, vdd: Volt, level: usize) -> Volt {
+        self.boost_amount_scoped(vdd, level, self.scope)
+    }
+
+    /// [`Self::boost_amount`] evaluated under an explicit scope, without
+    /// mutating or cloning the bank. Hot loops (sweeps, design-space scans,
+    /// boosted-latency queries) use this instead of
+    /// `bank.clone().with_scope(..).boost_amount(..)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > self.levels()`.
+    #[must_use]
+    pub fn boost_amount_scoped(&self, vdd: Volt, level: usize, scope: BoostScope) -> Volt {
         let cb = self.enabled_capacitance(level);
-        let cload = self.effective_load().total() + self.disabled_load(level);
+        let cload = self.effective_load_for(scope).total() + self.disabled_load(level);
         let denom = cb + cload;
         if denom.farads() == 0.0 {
             return Volt::ZERO;
@@ -515,6 +542,13 @@ impl BoosterBank {
     #[must_use]
     pub fn boosted_voltage(&self, vdd: Volt, level: usize) -> Volt {
         vdd + self.boost_amount(vdd, level)
+    }
+
+    /// [`Self::boosted_voltage`] evaluated under an explicit scope, by
+    /// reference (see [`Self::boost_amount_scoped`]).
+    #[must_use]
+    pub fn boosted_voltage_scoped(&self, vdd: Volt, level: usize, scope: BoostScope) -> Volt {
+        vdd + self.boost_amount_scoped(vdd, level, scope)
     }
 
     /// All `P + 1` rail voltages (`level = 0..=P`) at a supply voltage; index
@@ -830,5 +864,50 @@ mod tests {
     fn masked_api_validates_width() {
         use crate::bic::BoostConfig;
         let _ = BoosterBank::standard().boost_amount_masked(VDD, &BoostConfig::from_level(1, 8));
+    }
+
+    #[test]
+    fn scoped_queries_are_bit_identical_to_the_cloning_path() {
+        // The by-ref scoped query must be a pure refactor of the
+        // clone-then-with_scope pattern it replaced: every bit of every f64
+        // must match, at every level, scope and supply point.
+        let bank = BoosterBank::standard();
+        for scope in [BoostScope::Array, BoostScope::Macro] {
+            for mv in (340..=800).step_by(20) {
+                let vdd = Volt::from_millivolts(f64::from(mv));
+                for level in 0..=4 {
+                    let cloned = bank.clone().with_scope(scope).boosted_voltage(vdd, level);
+                    let by_ref = bank.boosted_voltage_scoped(vdd, level, scope);
+                    assert_eq!(
+                        cloned.volts().to_bits(),
+                        by_ref.volts().to_bits(),
+                        "scoped query diverged at {vdd}, level {level}, {scope:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_query_respects_the_explicit_scope_not_the_banks() {
+        // An Array-configured bank queried with Macro scope must see the
+        // peripheral load, and vice versa.
+        let bank = BoosterBank::standard(); // scope = Array
+        let macro_v = bank.boosted_voltage_scoped(VDD, 4, BoostScope::Macro);
+        let array_v = bank.boosted_voltage_scoped(VDD, 4, BoostScope::Array);
+        assert!(macro_v < array_v);
+        assert_eq!(array_v, bank.boosted_voltage(VDD, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn infinite_mim_capacitance_rejected() {
+        let _ = MimCapacitor::new(Farad::new(f64::INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative and finite")]
+    fn infinite_boost_load_rejected() {
+        let _ = BoostLoad::new(Farad::new(f64::INFINITY), Farad::ZERO);
     }
 }

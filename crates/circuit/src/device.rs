@@ -74,10 +74,17 @@ impl DeviceModel {
     ///
     /// # Panics
     ///
-    /// Panics if `vt >= v_nom`, if `alpha` is not in `(0.5, 3.0]`, or if
-    /// `v_dibl` is non-positive — such models are physically meaningless.
+    /// Panics if any voltage is non-finite, if `vt >= v_nom`, if `alpha` is
+    /// not in `(0.5, 3.0]`, or if `v_dibl` is non-positive — such models are
+    /// physically meaningless. (An infinite `v_nom` passes the ordering
+    /// check but normalizes every delay to 0/inf, so finiteness is checked
+    /// explicitly.)
     #[must_use]
     pub fn new(vt: Volt, alpha: f64, v_nom: Volt, v_dibl: Volt) -> Self {
+        assert!(
+            vt.is_finite() && v_nom.is_finite() && v_dibl.is_finite(),
+            "device voltages must be finite"
+        );
         assert!(vt.volts() < v_nom.volts(), "V_t must be below V_nom");
         assert!(
             alpha > 0.5 && alpha <= 3.0,
@@ -251,5 +258,29 @@ mod tests {
     #[should_panic(expected = "V_t must be below")]
     fn invalid_model_rejected() {
         let _ = DeviceModel::new(Volt::new(0.9), 1.4, Volt::new(0.8), Volt::new(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn infinite_v_nom_rejected() {
+        // An infinite V_nom satisfies `vt < v_nom` but would normalize every
+        // delay against infinity; the finiteness gate must catch it.
+        let _ = DeviceModel::new(
+            Volt::new(0.23),
+            1.45,
+            Volt::new(f64::INFINITY),
+            Volt::new(2.5),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn infinite_v_dibl_rejected() {
+        let _ = DeviceModel::new(
+            Volt::new(0.23),
+            1.45,
+            Volt::new(0.8),
+            Volt::new(f64::INFINITY),
+        );
     }
 }

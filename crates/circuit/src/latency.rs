@@ -30,7 +30,7 @@ impl SramTiming {
     /// # Panics
     ///
     /// Panics if `peripheral_fraction` is outside `[0, 1]` or the nominal
-    /// access time is non-positive.
+    /// access time is non-positive or non-finite.
     #[must_use]
     pub fn new(device: DeviceModel, nominal_access: Second, peripheral_fraction: f64) -> Self {
         assert!(
@@ -38,8 +38,8 @@ impl SramTiming {
             "peripheral fraction must be in [0, 1]"
         );
         assert!(
-            nominal_access.seconds() > 0.0,
-            "nominal access time must be positive"
+            nominal_access.is_finite() && nominal_access.seconds() > 0.0,
+            "nominal access time must be positive and finite"
         );
         Self {
             device,
@@ -95,21 +95,12 @@ impl SramTiming {
     ) -> Second {
         let periph = self.nominal_access * self.peripheral_fraction;
         let array = self.nominal_access * (1.0 - self.peripheral_fraction);
+        let vddv = bank.boosted_voltage_scoped(vdd, level, scope);
         match scope {
             BoostScope::Array => {
-                let vddv = bank
-                    .clone()
-                    .with_scope(BoostScope::Array)
-                    .boosted_voltage(vdd, level);
                 periph * self.device.relative_delay(vdd) + array * self.device.relative_delay(vddv)
             }
-            BoostScope::Macro => {
-                let vddv = bank
-                    .clone()
-                    .with_scope(BoostScope::Macro)
-                    .boosted_voltage(vdd, level);
-                (periph + array) * self.device.relative_delay(vddv)
-            }
+            BoostScope::Macro => (periph + array) * self.device.relative_delay(vddv),
         }
     }
 
@@ -212,5 +203,47 @@ mod tests {
             Second::from_nanoseconds(1.0),
             1.5,
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn infinite_nominal_access_rejected() {
+        let _ = SramTiming::new(
+            DeviceModel::default_14nm(),
+            Second::new(f64::INFINITY),
+            PERIPHERAL_FRACTION,
+        );
+    }
+
+    #[test]
+    fn boosted_access_is_bit_identical_to_the_cloning_path() {
+        // `boosted_access_time` used to clone the bank (twice for Array
+        // scope) just to re-scope it before querying `boosted_voltage`. The
+        // by-ref scoped query must reproduce that path bit-for-bit.
+        let t = SramTiming::macro_32kbit();
+        let bank = BoosterBank::standard();
+        for scope in [BoostScope::Array, BoostScope::Macro] {
+            for mv in [340, 400, 500, 600, 700, 800] {
+                let vdd = Volt::from_millivolts(f64::from(mv));
+                for level in 0..=4 {
+                    let periph = t.nominal_access * t.peripheral_fraction;
+                    let array = t.nominal_access * (1.0 - t.peripheral_fraction);
+                    let vddv = bank.clone().with_scope(scope).boosted_voltage(vdd, level);
+                    let cloned = match scope {
+                        BoostScope::Array => {
+                            periph * t.device.relative_delay(vdd)
+                                + array * t.device.relative_delay(vddv)
+                        }
+                        BoostScope::Macro => (periph + array) * t.device.relative_delay(vddv),
+                    };
+                    let by_ref = t.boosted_access_time(vdd, &bank, level, scope);
+                    assert_eq!(
+                        cloned.seconds().to_bits(),
+                        by_ref.seconds().to_bits(),
+                        "boosted access diverged at {vdd}, level {level}, {scope:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -17,6 +17,9 @@
 //!   (the Fig. 4 waveforms).
 //! * [`latency`] — SRAM access latency vs. voltage and under array/macro
 //!   boosting (Figs. 7 and 9).
+//! * [`macro_model`] — the structural SRAM macro model: rows x cols x mux x
+//!   banks geometry from which access capacitance, energy and replica-timed
+//!   latency are derived (sram22 constants) instead of calibrated.
 //! * [`ldo`] — the Low-Dropout regulator model of the dual-supply baseline
 //!   (Eq. 5).
 //!
@@ -43,13 +46,15 @@ pub mod booster;
 pub mod device;
 pub mod latency;
 pub mod ldo;
+pub mod macro_model;
 pub mod transient;
 pub mod units;
 
-pub use bic::{BoostConfig, BoostInputControl, CellDrive, ChipEnable, ClockPhase};
+pub use bic::{BoostConfig, BoostInputControl, BoostScheduler, CellDrive, ChipEnable, ClockPhase};
 pub use booster::{BoostLoad, BoostScope, BoosterBank, BoosterCell, MimCapacitor};
 pub use device::DeviceModel;
 pub use latency::SramTiming;
 pub use ldo::Ldo;
+pub use macro_model::{AccessCapacitance, AccessKind, MacroGeometry, SramMacroModel};
 pub use transient::{AccessEvent, TransientSim, Waveform};
 pub use units::{Farad, Hertz, Joule, Second, SquareMicron, Volt, Watt};

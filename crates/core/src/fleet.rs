@@ -14,6 +14,7 @@
 //! bit-identical across thread counts and a progress observer sees each die
 //! complete (the NDJSON streaming path of `dante-serve`).
 
+use crate::sweep::GeometrySpec;
 use dante_circuit::units::Volt;
 use dante_sim::{derive_seed, site, NoopObserver, TrialEngine, TrialObserver};
 use dante_sram::model::{CellFaultRate, FaultModel};
@@ -41,6 +42,11 @@ pub struct FleetSpec {
     pub voltages_mv: Vec<u32>,
     /// The fault-model spec every die resolves against its own seed.
     pub fault_model: FaultModel,
+    /// SRAM macro geometry the die's `array_bits` are organised as. The
+    /// `Calibrated` default keeps the legacy `dante.fleet.v1` cache keys;
+    /// a structural geometry moves the spec to the `v2` family and
+    /// requires `array_bits` to tile the macro exactly.
+    pub geometry: GeometrySpec,
 }
 
 impl FleetSpec {
@@ -54,6 +60,7 @@ impl FleetSpec {
             array_bits: 1 << 20,
             voltages_mv: (500..=640).step_by(10).collect(),
             fault_model: FaultModel::default(),
+            geometry: GeometrySpec::Calibrated,
         }
     }
 
@@ -107,6 +114,18 @@ impl FleetSpec {
         if let Err(why) = self.fault_model.validate() {
             return Err(format!("fault_model: {why}"));
         }
+        if let Err(why) = self.geometry.validate() {
+            return Err(format!("geometry: {why}"));
+        }
+        if let GeometrySpec::Structural(g) = self.geometry {
+            if !self.array_bits.is_multiple_of(g.bits()) {
+                return Err(format!(
+                    "array_bits = {} does not tile the {}-bit macro geometry",
+                    self.array_bits,
+                    g.bits()
+                ));
+            }
+        }
         // Bound the total sampling work: every die draws its
         // faulty-at-floor cells, so the expected population cell count is
         // dies * bits * BER(floor).
@@ -123,21 +142,26 @@ impl FleetSpec {
         Ok(())
     }
 
-    /// The canonical flat encoding: its own `dante.fleet.v1` family, with
-    /// the fault-model token always present (the family is new, so there is
-    /// no legacy encoding to preserve). Equal specs — and only equal specs
-    /// — produce equal strings.
+    /// The canonical flat encoding: the `dante.fleet.v1` family, with the
+    /// fault-model token always present (the family is new, so there is no
+    /// legacy encoding to preserve). A non-default [`GeometrySpec`] bumps
+    /// the family to `dante.fleet.v2` and inserts a `geom=` token between
+    /// `bits=` and `fault=`, so every pre-existing v1 key stays
+    /// byte-identical. Equal specs — and only equal specs — produce equal
+    /// strings.
     #[must_use]
     pub fn canonical_string(&self) -> String {
+        let version = if self.geometry.is_default() { 1 } else { 2 };
         let mut out = String::new();
         let _ = write!(
             out,
-            "dante.fleet.v1;seed={};dies={};bits={};fault={};mv=",
-            self.seed,
-            self.dies,
-            self.array_bits,
-            self.fault_model.canonical_token(),
+            "dante.fleet.v{version};seed={};dies={};bits={};",
+            self.seed, self.dies, self.array_bits,
         );
+        if let Some(tok) = self.geometry.canonical_token() {
+            let _ = write!(out, "geom={tok};");
+        }
+        let _ = write!(out, "fault={};mv=", self.fault_model.canonical_token());
         for (i, mv) in self.voltages_mv.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -383,6 +407,7 @@ mod tests {
             array_bits: 1 << 18,
             voltages_mv: (500..=620).step_by(20).collect(),
             fault_model: FaultModel::default(),
+            geometry: GeometrySpec::Calibrated,
         }
     }
 
@@ -404,6 +429,33 @@ mod tests {
         let mut d = spec.clone();
         d.fault_model = FaultModel::chip_variation_default();
         assert_ne!(spec.canonical_string(), d.canonical_string());
+    }
+
+    #[test]
+    fn structural_geometry_moves_the_key_to_v2_and_must_tile_the_array() {
+        use dante_circuit::macro_model::MacroGeometry;
+        let spec = FleetSpec {
+            geometry: GeometrySpec::Structural(MacroGeometry::bank_64kbit()),
+            ..FleetSpec::toy_default()
+        };
+        assert_eq!(
+            spec.canonical_string(),
+            "dante.fleet.v2;seed=990951;dies=1000;bits=1048576;\
+             geom=struct(r=256,c=128,m=4,b=2);\
+             fault=gaussian.v1(mu=352,sigma=40,flip=500000);\
+             mv=500,510,520,530,540,550,560,570,580,590,600,610,620,630,640"
+        );
+        assert!(spec.validate().is_ok(), "1 Mbit tiles 16 x 64 Kbit banks");
+        // A geometry that does not tile the array is rejected.
+        let bad = FleetSpec {
+            array_bits: (1 << 20) + 64,
+            ..spec
+        };
+        assert!(bad.validate().unwrap_err().contains("tile"));
+        // The default geometry never emits a geom token.
+        assert!(!FleetSpec::toy_default()
+            .canonical_string()
+            .contains("geom="));
     }
 
     #[test]

@@ -95,6 +95,7 @@ impl IsoAccuracySpec {
             network: self.network.clone(),
             supply,
             fault_model,
+            geometry: crate::sweep::GeometrySpec::Calibrated,
         }
     }
 

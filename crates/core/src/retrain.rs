@@ -176,6 +176,7 @@ impl RetrainSpec {
             network: self.network.clone(),
             supply: crate::sweep::SupplySpec::Single,
             fault_model: self.fault_model,
+            geometry: crate::sweep::GeometrySpec::Calibrated,
         };
         let mut out = String::new();
         let _ = write!(

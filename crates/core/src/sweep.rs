@@ -37,12 +37,18 @@ use crate::accuracy::{
     AccuracyEvaluator, AccuracyStats, EccMode, OverlaySampling, VoltageAssignment,
 };
 use crate::artifacts::{trained_cifar_cnn, trained_mnist_fc};
+use crate::schedule::BoostPlan;
+use dante_circuit::bic::BoostScheduler;
+use dante_circuit::booster::BoosterBank;
+use dante_circuit::ldo::Ldo;
 use dante_circuit::units::{Joule, Volt};
 use dante_dataflow::activity::{Dataflow, WorkloadActivity};
 use dante_dataflow::workload::{LayerShape, Workload};
 use dante_dataflow::{alexnet_conv_prefix, mnist_fc, DanaFcDataflow, RowStationaryDataflow};
 use dante_energy::breakdown::EnergyBreakdown;
+use dante_energy::params::{EnergyParams, DANTE_BANKS};
 use dante_energy::supply::{BoostedGroup, EnergyModel, SupplyKind};
+pub use dante_energy::GeometrySpec;
 use dante_nn::layers::{Dense, Layer, Relu};
 use dante_nn::network::Network;
 use dante_sim::TrialObserver;
@@ -74,6 +80,17 @@ pub enum SupplySpec {
         /// Booster level, 1..=4 (Table 1's `Vddv1..Vddv4`).
         level: usize,
     },
+    /// Per-bank *scheduled* boost ([`BoostScheduler`]): only the banks
+    /// holding the last `critical_layers` layers are boosted at `level`;
+    /// every other bank — and the input memory — stays at the grid voltage
+    /// and pays no boost energy. The paper's Boost Input Control made
+    /// adaptive.
+    BoostedScheduled {
+        /// Booster level programmed into critical banks, 1..=4.
+        level: usize,
+        /// How many trailing (fault-critical) layers are boosted.
+        critical_layers: usize,
+    },
     /// LDO-based dual rail: memory fixed at `v_h_mv`, logic sweeps.
     Dual {
         /// The memory rail in millivolts; must cover every grid point
@@ -89,6 +106,13 @@ impl SupplySpec {
         match self {
             Self::Single => SupplyKind::Single.token().to_owned(),
             Self::Boosted { level } => format!("{}({level})", SupplyKind::Boosted.token()),
+            Self::BoostedScheduled {
+                level,
+                critical_layers,
+            } => format!(
+                "{}_sched({level},{critical_layers})",
+                SupplyKind::Boosted.token()
+            ),
             Self::Dual { v_h_mv } => format!("{}({v_h_mv})", SupplyKind::Dual.token()),
         }
     }
@@ -98,7 +122,7 @@ impl SupplySpec {
     pub fn kind(&self) -> SupplyKind {
         match self {
             Self::Single => SupplyKind::Single,
-            Self::Boosted { .. } => SupplyKind::Boosted,
+            Self::Boosted { .. } | Self::BoostedScheduled { .. } => SupplyKind::Boosted,
             Self::Dual { .. } => SupplyKind::Dual,
         }
     }
@@ -202,6 +226,12 @@ pub struct SweepSpec {
     /// default (i.i.d. Gaussian, [`FaultModel::gaussian_default`]) keeps
     /// the pre-fault-model `v1`/`v2` canonical encodings byte-identical.
     pub fault_model: FaultModel,
+    /// Where the SRAM access energy comes from: the scalar calibration
+    /// (default, encodes to nothing — pre-geometry cache keys survive) or
+    /// a structural macro geometry whose derived capacitance and leakage
+    /// replace the scalars. Non-default geometries encode as `v4` with a
+    /// `geom=` token.
+    pub geometry: GeometrySpec,
 }
 
 impl SweepSpec {
@@ -217,6 +247,7 @@ impl SweepSpec {
             network: NetworkSpec::Toy,
             supply: SupplySpec::Single,
             fault_model: FaultModel::default(),
+            geometry: GeometrySpec::Calibrated,
         }
     }
 
@@ -320,6 +351,9 @@ impl SweepSpec {
         if let Err(why) = self.fault_model.validate() {
             return Err(format!("fault_model: {why}"));
         }
+        if let Err(why) = self.geometry.validate() {
+            return Err(format!("geometry: {why}"));
+        }
         match self.supply {
             SupplySpec::Single => {}
             SupplySpec::Boosted { level } => {
@@ -327,6 +361,22 @@ impl SweepSpec {
                     return Err(format!(
                         "boosted supply level = {level} outside 1..=4 \
                          (level 0 is the single-supply configuration)"
+                    ));
+                }
+            }
+            SupplySpec::BoostedScheduled {
+                level,
+                critical_layers,
+            } => {
+                if !(1..=4).contains(&level) {
+                    return Err(format!(
+                        "scheduled boost level = {level} outside 1..=4 \
+                         (level 0 is the single-supply configuration)"
+                    ));
+                }
+                if !(1..=64).contains(&critical_layers) {
+                    return Err(format!(
+                        "scheduled boost critical_layers = {critical_layers} outside 1..=64"
                     ));
                 }
             }
@@ -358,11 +408,16 @@ impl SweepSpec {
     /// supply with the default fault model encodes as `v2` with the
     /// `supply=` token between `ecc=` and `net=`; any non-default fault
     /// model encodes as `v3` with a `fault=` token between `ecc=` and
-    /// `supply=`/`net=`.
+    /// `supply=`/`net=`; any non-default geometry encodes as `v4` with a
+    /// `geom=` token between `ecc=` and `fault=`. Lower-version strings
+    /// never contain the higher versions' tokens, so the families stay
+    /// collision-free.
     #[must_use]
     pub fn canonical_string(&self) -> String {
         let mut out = String::new();
-        let version = if !self.fault_model.is_default() {
+        let version = if !self.geometry.is_default() {
+            "v4"
+        } else if !self.fault_model.is_default() {
             "v3"
         } else if self.supply != SupplySpec::Single {
             "v2"
@@ -383,6 +438,9 @@ impl SweepSpec {
                 EccMode::SecDed => "secded",
             },
         );
+        if let Some(tok) = self.geometry.canonical_token() {
+            let _ = write!(out, "geom={tok};");
+        }
         if !self.fault_model.is_default() {
             let _ = write!(out, "fault={};", self.fault_model.canonical_token());
         }
@@ -463,9 +521,18 @@ impl SweepSpec {
         if let Err(why) = self.validate() {
             panic!("invalid sweep spec: {why}");
         }
+        let energy = if self.geometry.is_default() {
+            EnergyModel::dante_chip()
+        } else {
+            EnergyModel::new(
+                EnergyParams::dante_chip().with_geometry(self.geometry),
+                BoosterBank::standard(),
+                Ldo::new(),
+            )
+        };
         SweepEnergyContext {
             spec: self.clone(),
-            energy: EnergyModel::dante_chip(),
+            energy,
             activity: self.network.energy_activity(),
         }
     }
@@ -580,13 +647,60 @@ impl SweepEnergyContext {
     }
 
     /// The SRAM rail fault overlays are drawn at when the logic rail sits
-    /// at grid voltage `vdd` (see [`SupplySpec`]).
+    /// at grid voltage `vdd` (see [`SupplySpec`]). For a scheduled boost
+    /// this is the *critical-bank* rail (`Vddv(level)`); non-critical banks
+    /// stay at `vdd` — use [`Self::voltage_assignment`] for the full
+    /// per-layer picture.
     #[must_use]
     pub fn sram_rail(&self, vdd: Volt) -> Volt {
         match self.spec.supply {
             SupplySpec::Single => vdd,
-            SupplySpec::Boosted { level } => self.energy.vddv(vdd, level),
+            SupplySpec::Boosted { level } | SupplySpec::BoostedScheduled { level, .. } => {
+                self.energy.vddv(vdd, level)
+            }
             SupplySpec::Dual { v_h_mv } => Volt::from_millivolts(f64::from(v_h_mv)),
+        }
+    }
+
+    /// The per-layer boost levels of a scheduled-boost spec for an
+    /// `n`-layer structure: the last `critical_layers` layers are marked
+    /// fault-critical, layers sharing their banks (round-robin striping
+    /// over the chip's [`DANTE_BANKS`] banks) ride along, everything else
+    /// stays at level 0. Returns `None` for non-scheduled supplies.
+    #[must_use]
+    pub fn scheduled_levels(&self, n: usize) -> Option<Vec<usize>> {
+        match self.spec.supply {
+            SupplySpec::BoostedScheduled {
+                level,
+                critical_layers,
+            } => {
+                let mut sched =
+                    BoostScheduler::new(DANTE_BANKS, self.energy.booster().levels() as u8, level);
+                for layer in n.saturating_sub(critical_layers)..n {
+                    sched.mark_critical_layer(layer);
+                }
+                Some(sched.layer_levels(n))
+            }
+            _ => None,
+        }
+    }
+
+    /// The per-weight-layer voltage assignment fault overlays are drawn
+    /// at when the logic rail sits at `vdd`. Uniform at [`Self::sram_rail`]
+    /// for single/boosted/dual supplies; for a scheduled boost, critical
+    /// banks' layers sit at the boosted rail while the rest — and the
+    /// input memory — stay at `vdd`.
+    #[must_use]
+    pub fn voltage_assignment(&self, vdd: Volt, weight_layers: usize) -> VoltageAssignment {
+        match self.scheduled_levels(weight_layers) {
+            Some(levels) => VoltageAssignment {
+                weight_layers: levels
+                    .into_iter()
+                    .map(|l| self.energy.vddv(vdd, l))
+                    .collect(),
+                inputs: vdd,
+            },
+            None => VoltageAssignment::uniform(self.sram_rail(vdd), weight_layers),
         }
     }
 
@@ -607,6 +721,16 @@ impl SweepEnergyContext {
                     .breakdown_boosted(vdd, &[BoostedGroup { accesses, level }], macs),
                 self.energy.leakage_boosted_per_cycle(vdd),
             ),
+            SupplySpec::BoostedScheduled { .. } => {
+                let levels = self
+                    .scheduled_levels(self.activity.layers().len())
+                    .expect("scheduled supply always yields levels");
+                let groups = BoostPlan::new(levels, 0).boosted_groups(&self.activity);
+                (
+                    self.energy.breakdown_boosted(vdd, &groups, macs),
+                    self.energy.leakage_boosted_per_cycle(vdd),
+                )
+            }
             SupplySpec::Dual { v_h_mv } => {
                 let v_h = Volt::from_millivolts(f64::from(v_h_mv));
                 (
@@ -795,7 +919,7 @@ impl PreparedSweep {
         let v_sram = self.sram_rail(vdd);
         let stats = self.evaluator.evaluate_observed(
             &self.net,
-            &VoltageAssignment::uniform(v_sram, self.layers),
+            &self.ctx.voltage_assignment(vdd, self.layers),
             &self.images,
             &self.labels,
             dante_sim::derive_seed(spec.seed, dante_sim::site::SWEEP_POINT, index as u64),
@@ -837,11 +961,10 @@ impl PreparedSweep {
         let spec = self.spec();
         let mv = spec.voltages_mv[index];
         let vdd = Volt::from_millivolts(f64::from(mv));
-        let v_sram = self.sram_rail(vdd);
         self.evaluator
             .evaluate_trial_range_observed(
                 &self.net,
-                &VoltageAssignment::uniform(v_sram, self.layers),
+                &self.ctx.voltage_assignment(vdd, self.layers),
                 &self.images,
                 &self.labels,
                 dante_sim::derive_seed(spec.seed, dante_sim::site::SWEEP_POINT, index as u64),
@@ -1087,6 +1210,7 @@ mod tests {
             },
             supply: SupplySpec::Single,
             fault_model: FaultModel::default(),
+            geometry: GeometrySpec::Calibrated,
         };
         assert_eq!(
             mnist.canonical_string(),
@@ -1296,5 +1420,171 @@ mod tests {
         let mut spec = SweepSpec::toy_default();
         spec.trials = 0;
         let _ = spec.prepare();
+    }
+
+    #[test]
+    fn non_default_geometry_encodes_as_v4_with_a_geom_token() {
+        use dante_circuit::macro_model::MacroGeometry;
+        let spec = SweepSpec {
+            geometry: GeometrySpec::Structural(MacroGeometry::bank_64kbit()),
+            ..SweepSpec::toy_default()
+        };
+        assert_eq!(
+            spec.canonical_string(),
+            "dante.sweep.v4;seed=893310;trials=4;sampling=sparse_tail;ecc=none;\
+             geom=struct(r=256,c=128,m=4,b=2);net=toy;mv=360,400,440,480,520,560"
+        );
+        // v4 composes with fault and supply tokens in the fixed field order.
+        let all = SweepSpec {
+            geometry: GeometrySpec::Structural(MacroGeometry::macro_32kbit()),
+            fault_model: FaultModel::burst_default(),
+            supply: SupplySpec::Boosted { level: 2 },
+            ..SweepSpec::toy_default()
+        };
+        let s = all.canonical_string();
+        assert!(s.starts_with("dante.sweep.v4;"), "{s}");
+        assert!(
+            s.contains(";geom=struct(r=256,c=128,m=4,b=1);fault="),
+            "{s}"
+        );
+        assert!(s.contains(");supply=boosted(2);net="), "{s}");
+        // v1/v2/v3 strings never carry a geom token.
+        for old in [
+            SweepSpec::toy_default(),
+            SweepSpec {
+                supply: SupplySpec::Boosted { level: 3 },
+                ..SweepSpec::toy_default()
+            },
+            SweepSpec {
+                fault_model: FaultModel::burst_default(),
+                ..SweepSpec::toy_default()
+            },
+        ] {
+            assert!(!old.canonical_string().contains("geom="));
+        }
+    }
+
+    #[test]
+    fn structural_geometry_sweeps_run_with_derived_energy() {
+        use dante_circuit::macro_model::MacroGeometry;
+        let base = SweepSpec {
+            voltages_mv: vec![440],
+            trials: 2,
+            ..SweepSpec::toy_default()
+        };
+        let structural = SweepSpec {
+            geometry: GeometrySpec::Structural(MacroGeometry::bank_64kbit()),
+            ..base.clone()
+        };
+        let pb = base.prepare().run_point(0);
+        let ps = structural.prepare().run_point(0);
+        // Accuracy is untouched by the energy-side geometry (same seeds,
+        // same rails) ...
+        assert_eq!(pb.stats, ps.stats);
+        // ... while the energy now comes from the derived capacitance,
+        // which lands within 1% of the calibration at the paper geometry.
+        let ratio = ps.energy.dynamic.sram.joules() / pb.energy.dynamic.sram.joules();
+        assert!((ratio - 1.0).abs() < 0.01, "sram energy ratio {ratio}");
+        assert!(ps.energy.dynamic.logic == pb.energy.dynamic.logic);
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry_and_scheduled_configs() {
+        use dante_circuit::macro_model::MacroGeometry;
+        let bad = SweepSpec {
+            geometry: GeometrySpec::Structural(MacroGeometry {
+                rows: 100,
+                cols: 128,
+                mux: 4,
+                banks: 1,
+            }),
+            ..SweepSpec::toy_default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("geometry"), "{err}");
+        let bad = SweepSpec {
+            supply: SupplySpec::BoostedScheduled {
+                level: 5,
+                critical_layers: 1,
+            },
+            ..SweepSpec::toy_default()
+        };
+        assert!(bad.validate().unwrap_err().contains("level"));
+        let bad = SweepSpec {
+            supply: SupplySpec::BoostedScheduled {
+                level: 2,
+                critical_layers: 0,
+            },
+            ..SweepSpec::toy_default()
+        };
+        assert!(bad.validate().unwrap_err().contains("critical_layers"));
+    }
+
+    #[test]
+    fn scheduled_boost_encodes_as_v2_and_is_cheaper_than_full_boost() {
+        let sched = SweepSpec {
+            voltages_mv: vec![400],
+            trials: 2,
+            supply: SupplySpec::BoostedScheduled {
+                level: 4,
+                critical_layers: 1,
+            },
+            ..SweepSpec::toy_default()
+        };
+        assert_eq!(
+            sched.canonical_string(),
+            "dante.sweep.v2;seed=893310;trials=2;sampling=sparse_tail;ecc=none;\
+             supply=boosted_sched(4,1);net=toy;mv=400"
+        );
+        let full = SweepSpec {
+            supply: SupplySpec::Boosted { level: 4 },
+            ..sched.clone()
+        };
+        let ps = sched.prepare().run_point(0);
+        let pf = full.prepare().run_point(0);
+        // Only the critical bank boosts, so the scheduled configuration
+        // pays less SRAM + booster energy than boosting every access...
+        assert!(ps.energy.dynamic.sram < pf.energy.dynamic.sram);
+        assert!(ps.energy.dynamic.booster < pf.energy.dynamic.booster);
+        // ...while the critical layer still sees the full boosted rail.
+        assert_eq!(ps.v_sram, pf.v_sram);
+        // Accuracy sits between single-supply (nothing protected) and full
+        // boost (everything protected).
+        let single = SweepSpec {
+            supply: SupplySpec::Single,
+            ..sched.clone()
+        };
+        let pn = single.prepare().run_point(0);
+        assert!(ps.stats.mean() >= pn.stats.mean());
+        assert!(ps.stats.mean() <= pf.stats.mean());
+    }
+
+    #[test]
+    fn scheduled_levels_boost_only_critical_banks() {
+        let spec = SweepSpec {
+            supply: SupplySpec::BoostedScheduled {
+                level: 3,
+                critical_layers: 2,
+            },
+            ..SweepSpec::toy_default()
+        };
+        let ctx = spec.energy_context();
+        // 5-layer structure: the last two layers are critical; with 18
+        // banks no striping collision occurs.
+        assert_eq!(ctx.scheduled_levels(5), Some(vec![0, 0, 0, 3, 3]));
+        // Non-scheduled supplies yield no plan.
+        assert_eq!(
+            SweepSpec::toy_default()
+                .energy_context()
+                .scheduled_levels(5),
+            None
+        );
+        // The assignment puts only critical layers on the boosted rail.
+        let vdd = Volt::from_millivolts(400.0);
+        let va = ctx.voltage_assignment(vdd, 5);
+        assert_eq!(va.inputs, vdd);
+        assert_eq!(va.weight_layers[0], vdd);
+        assert!(va.weight_layers[4] > vdd);
+        assert_eq!(va.weight_layers[3], va.weight_layers[4]);
     }
 }

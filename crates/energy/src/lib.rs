@@ -34,5 +34,5 @@ pub mod supply;
 
 pub use breakdown::EnergyBreakdown;
 pub use design_space::{sweep, DesignSpacePoint, DesignSpaceScenario};
-pub use params::EnergyParams;
+pub use params::{EnergyParams, GeometrySpec};
 pub use supply::{BoostedGroup, EnergyModel, SupplyKind};

@@ -7,7 +7,10 @@
 //! `Energy_ratio` (memory access vs. compute op) to ~3, the "small banks"
 //! regime the paper argues accelerators live in (Sec. 6.1).
 
+use core::fmt;
+
 use dante_circuit::device::DeviceModel;
+use dante_circuit::macro_model::{AccessKind, MacroGeometry, SramMacroModel};
 use dante_circuit::units::{Farad, Hertz, Joule, Second, Volt, Watt};
 
 /// Effective switched capacitance of one 64 Kbit bank access including the
@@ -30,6 +33,69 @@ pub const BOOSTER_LEAK_FRACTION: f64 = 0.06;
 
 /// Number of 64 Kbit banks on the chip (144 KB / 8 KB).
 pub const DANTE_BANKS: usize = 18;
+
+/// Bitcells in the calibrated 64 Kbit bank, the reference size the
+/// per-bank leakage constant is quoted at.
+pub const CALIBRATED_BANK_BITS: usize = 64 * 1024;
+
+/// Where the SRAM access energy comes from: the measured scalar
+/// calibration, or a structural [`MacroGeometry`] from which it is derived.
+///
+/// `Calibrated` is the default and encodes to nothing in canonical spec
+/// strings, so every pre-existing cache key and golden record stays
+/// byte-identical (the PR 5/6 versioning discipline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GeometrySpec {
+    /// The measured scalar calibration (`C_SRAM_ACCESS` = 6 pF, 1 ns / 45%
+    /// timing split).
+    #[default]
+    Calibrated,
+    /// Access energy and leakage derived from a structural macro geometry
+    /// via [`SramMacroModel`].
+    Structural(MacroGeometry),
+}
+
+impl GeometrySpec {
+    /// Whether this is the default calibrated geometry (encodes to nothing).
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        matches!(self, Self::Calibrated)
+    }
+
+    /// Canonical token for cache keys; only non-default geometries get one.
+    #[must_use]
+    pub fn canonical_token(&self) -> Option<String> {
+        match self {
+            Self::Calibrated => None,
+            Self::Structural(g) => Some(format!(
+                "struct(r={},c={},m={},b={})",
+                g.rows, g.cols, g.mux, g.banks
+            )),
+        }
+    }
+
+    /// Validates a structural geometry's bounds; the calibrated default is
+    /// always valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Self::Calibrated => Ok(()),
+            Self::Structural(g) => g.validate(),
+        }
+    }
+}
+
+impl fmt::Display for GeometrySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.canonical_token() {
+            None => write!(f, "calibrated"),
+            Some(tok) => write!(f, "{tok}"),
+        }
+    }
+}
 
 /// Calibrated energy parameters of one accelerator instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,12 +132,46 @@ impl EnergyParams {
     ///
     /// # Panics
     ///
-    /// Panics if `ratio` is not positive.
+    /// Panics if `ratio` is not positive and finite. (`f64::INFINITY`
+    /// previously passed the `> 0` check and turned `c_sram_access` into an
+    /// infinite capacitance that silently poisoned every downstream energy
+    /// number.)
     #[must_use]
     pub fn with_energy_ratio(mut self, ratio: f64) -> Self {
-        assert!(ratio > 0.0, "energy ratio must be positive");
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "energy ratio must be positive and finite"
+        );
         self.c_sram_access = self.c_pe_op * ratio;
         self
+    }
+
+    /// Returns a copy whose SRAM access energy and bank leakage are derived
+    /// from a structural macro geometry instead of the scalar calibration:
+    ///
+    /// * `c_sram_access` becomes the geometry's read-access switched
+    ///   capacitance ([`SramMacroModel::access_capacitance`]);
+    /// * per-bank leakage scales with the geometry's bitcell count relative
+    ///   to the calibrated 64 Kbit bank.
+    ///
+    /// With [`GeometrySpec::Calibrated`] this is the identity, so default
+    /// specs stay byte-identical to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a structural geometry fails [`MacroGeometry::validate`].
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: GeometrySpec) -> Self {
+        match geometry {
+            GeometrySpec::Calibrated => self,
+            GeometrySpec::Structural(g) => {
+                let model = SramMacroModel::new(self.device.clone(), g);
+                self.c_sram_access = model.access_capacitance(AccessKind::Read).total();
+                self.p_leak_sram_bank_nom =
+                    P_LEAK_SRAM_BANK_NOM * (g.bits() as f64 / CALIBRATED_BANK_BITS as f64);
+                self
+            }
+        }
     }
 
     /// The device model in use.
@@ -196,5 +296,69 @@ mod tests {
     fn cycle_is_20ns_at_50mhz() {
         let p = EnergyParams::dante_chip();
         assert!((p.cycle().nanoseconds() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn infinite_energy_ratio_rejected() {
+        // Regression: INFINITY passed the old `> 0.0` check and poisoned
+        // c_sram_access into an infinite capacitance.
+        let _ = EnergyParams::dante_chip().with_energy_ratio(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nan_energy_ratio_rejected() {
+        let _ = EnergyParams::dante_chip().with_energy_ratio(f64::NAN);
+    }
+
+    #[test]
+    fn calibrated_geometry_is_the_identity() {
+        let base = EnergyParams::dante_chip();
+        let geo = base.clone().with_geometry(GeometrySpec::Calibrated);
+        assert_eq!(base, geo);
+    }
+
+    #[test]
+    fn structural_bank_geometry_reproduces_the_calibration() {
+        // The whole point of the structural model: at the paper's 64 Kbit
+        // bank geometry the derived access energy lands on the 6 pF scalar
+        // and the leakage scale is exactly the calibrated bank's.
+        let geo = EnergyParams::dante_chip()
+            .with_geometry(GeometrySpec::Structural(MacroGeometry::bank_64kbit()));
+        assert!(
+            (geo.energy_ratio() - 3.0).abs() < 0.05,
+            "derived Energy_ratio {} should land on ~3",
+            geo.energy_ratio()
+        );
+        let e = geo.e_sram(Volt::new(0.8));
+        assert!(
+            (e.picojoules() - 3.84).abs() < 0.05,
+            "derived access energy {e} should land on 3.84 pJ"
+        );
+        assert_eq!(
+            geo.leak_sram(Volt::new(0.8)).watts(),
+            EnergyParams::dante_chip().leak_sram(Volt::new(0.8)).watts()
+        );
+    }
+
+    #[test]
+    fn smaller_geometry_cuts_access_energy_and_leakage() {
+        let small = EnergyParams::dante_chip()
+            .with_geometry(GeometrySpec::Structural(MacroGeometry::new(128, 64, 4, 1)));
+        let base = EnergyParams::dante_chip();
+        assert!(small.e_sram(Volt::new(0.5)) < base.e_sram(Volt::new(0.5)));
+        assert!(small.leak_sram(Volt::new(0.5)) < base.leak_sram(Volt::new(0.5)));
+    }
+
+    #[test]
+    fn geometry_tokens_are_injective_and_default_is_silent() {
+        assert_eq!(GeometrySpec::Calibrated.canonical_token(), None);
+        let a = GeometrySpec::Structural(MacroGeometry::bank_64kbit());
+        let b = GeometrySpec::Structural(MacroGeometry::macro_32kbit());
+        assert_eq!(a.canonical_token().unwrap(), "struct(r=256,c=128,m=4,b=2)");
+        assert_ne!(a.canonical_token(), b.canonical_token());
+        assert!(GeometrySpec::default().is_default());
+        assert!(!a.is_default());
     }
 }

@@ -10,9 +10,10 @@ use dante::accuracy::{EccMode, OverlaySampling};
 use dante::fleet::{DieOutcome, FleetResult, FleetSpec};
 use dante::iso::{IsoAccuracyResult, IsoAccuracySpec, IsoConfigPoint};
 use dante::retrain::{HardenedNetwork, ResamplePolicy, RetrainEvent, RetrainSpec};
-use dante::sweep::{NetworkSpec, SupplySpec, SweepPoint, SweepSpec};
+use dante::sweep::{GeometrySpec, NetworkSpec, SupplySpec, SweepPoint, SweepSpec};
 use dante_bench::json::Value;
 use dante_bench::record::{FigureRecord, Series};
+use dante_circuit::macro_model::MacroGeometry;
 use dante_circuit::units::Volt;
 use dante_sim::TrialEvent;
 use dante_sram::model::{CellFaultRate, FaultModel};
@@ -34,7 +35,10 @@ use std::collections::BTreeMap;
 ///           | {"kind": "alexnet_conv", "layers": 5, "train_n": 1200, "test_n": 100, "epochs": 4},
 ///   "supply": "single" | "boosted"
 ///           | {"kind": "boosted", "level": 4}
-///           | {"kind": "dual", "v_h_mv": 600}
+///           | {"kind": "boosted_scheduled", "level": 4, "critical_layers": 1}
+///           | {"kind": "dual", "v_h_mv": 600},
+///   "geometry": "calibrated"
+///           | {"rows": 256, "cols": 128, "mux": 4, "banks": 2}
 /// }
 /// ```
 ///
@@ -134,6 +138,10 @@ pub fn decode_spec_value(v: &Value) -> Result<SweepSpec, String> {
                 "boosted" => SupplySpec::Boosted {
                     level: int("level", 4)? as usize,
                 },
+                "boosted_scheduled" => SupplySpec::BoostedScheduled {
+                    level: int("level", 4)? as usize,
+                    critical_layers: int("critical_layers", 1)? as usize,
+                },
                 "dual" => match obj.get("v_h_mv") {
                     Some(_) => SupplySpec::Dual {
                         v_h_mv: int("v_h_mv", 0)? as u32,
@@ -155,9 +163,53 @@ pub fn decode_spec_value(v: &Value) -> Result<SweepSpec, String> {
         network,
         supply,
         fault_model: decode_fault_model(v.get("fault_model"))?,
+        geometry: decode_geometry(v.get("geometry"))?,
     };
     spec.validate()?;
     Ok(spec)
+}
+
+/// Decodes the optional `geometry` field shared by `/v1/sweep` and
+/// `/v1/fleet` bodies.
+///
+/// Accepted shapes (omitting the field — or `"calibrated"` — selects the
+/// scalar calibration, which keeps the spec's historical cache key):
+///
+/// ```json
+/// "calibrated" | {"rows": 256, "cols": 128, "mux": 4, "banks": 2}
+/// ```
+///
+/// Range checks happen in the spec's own `validate`, so a 400 names the
+/// bound.
+///
+/// # Errors
+///
+/// Returns a message naming the offending field.
+pub fn decode_geometry(v: Option<&Value>) -> Result<GeometrySpec, String> {
+    let Some(v) = v else {
+        return Ok(GeometrySpec::Calibrated);
+    };
+    match v {
+        Value::String(s) if s == "calibrated" => Ok(GeometrySpec::Calibrated),
+        Value::String(other) => Err(format!("unknown geometry {other:?}")),
+        obj @ Value::Object(_) => {
+            let dim = |key: &str| -> Result<usize, String> {
+                match obj.get(key) {
+                    Some(Value::Number(n)) if n.fract() == 0.0 && (1.0..=1e6).contains(n) => {
+                        Ok(*n as usize)
+                    }
+                    _ => Err(format!("'geometry.{key}' must be a small positive integer")),
+                }
+            };
+            Ok(GeometrySpec::Structural(MacroGeometry {
+                rows: dim("rows")?,
+                cols: dim("cols")?,
+                mux: dim("mux")?,
+                banks: dim("banks")?,
+            }))
+        }
+        _ => Err("'geometry' must be \"calibrated\" or an object".to_owned()),
+    }
 }
 
 /// Decodes the optional `fault_model` field shared by `/v1/sweep` and
@@ -249,7 +301,9 @@ pub fn decode_fault_model(v: Option<&Value>) -> Result<FaultModel, String> {
 ///   "seed": 17, "dies": 1000, "array_bits": 1048576,
 ///   "voltages_mv": [520, 560, 600],
 ///   "grid": {"start_mv": 500, "stop_mv": 640, "step_mv": 10},
-///   "fault_model": "chip_variation"
+///   "fault_model": "chip_variation",
+///   "geometry": "calibrated"
+///           | {"rows": 256, "cols": 128, "mux": 4, "banks": 2}
 /// }
 /// ```
 ///
@@ -319,6 +373,7 @@ pub fn decode_fleet_value(v: &Value) -> Result<FleetSpec, String> {
             .collect::<Result<Vec<_>, _>>()?;
     }
     spec.fault_model = decode_fault_model(v.get("fault_model"))?;
+    spec.geometry = decode_geometry(v.get("geometry"))?;
     spec.validate()?;
     Ok(spec)
 }
@@ -555,6 +610,17 @@ pub fn encode_spec_value(spec: &SweepSpec) -> Value {
             ("kind".to_owned(), Value::String("boosted".to_owned())),
             ("level".to_owned(), num(level as f64)),
         ])),
+        SupplySpec::BoostedScheduled {
+            level,
+            critical_layers,
+        } => Value::Object(BTreeMap::from([
+            (
+                "kind".to_owned(),
+                Value::String("boosted_scheduled".to_owned()),
+            ),
+            ("level".to_owned(), num(level as f64)),
+            ("critical_layers".to_owned(), num(critical_layers as f64)),
+        ])),
         SupplySpec::Dual { v_h_mv } => Value::Object(BTreeMap::from([
             ("kind".to_owned(), Value::String("dual".to_owned())),
             ("v_h_mv".to_owned(), num(f64::from(v_h_mv))),
@@ -598,7 +664,22 @@ pub fn encode_spec_value(spec: &SweepSpec) -> Value {
             "fault_model".to_owned(),
             encode_fault_model(spec.fault_model),
         ),
+        ("geometry".to_owned(), encode_geometry(spec.geometry)),
     ]))
+}
+
+/// Encodes a geometry spec as a value [`decode_geometry`] accepts.
+#[must_use]
+pub fn encode_geometry(geometry: GeometrySpec) -> Value {
+    match geometry {
+        GeometrySpec::Calibrated => Value::String("calibrated".to_owned()),
+        GeometrySpec::Structural(g) => Value::Object(BTreeMap::from([
+            ("rows".to_owned(), Value::Number(g.rows as f64)),
+            ("cols".to_owned(), Value::Number(g.cols as f64)),
+            ("mux".to_owned(), Value::Number(g.mux as f64)),
+            ("banks".to_owned(), Value::Number(g.banks as f64)),
+        ])),
+    }
 }
 
 /// Encodes a fault model as an object [`decode_fault_model`] accepts.
@@ -678,6 +759,7 @@ pub fn encode_fleet_value(spec: &FleetSpec) -> Value {
             "fault_model".to_owned(),
             encode_fault_model(spec.fault_model),
         ),
+        ("geometry".to_owned(), encode_geometry(spec.geometry)),
     ]))
 }
 
@@ -1363,6 +1445,55 @@ mod tests {
     }
 
     #[test]
+    fn decodes_geometry_and_scheduled_boost() {
+        let spec = decode_spec(
+            br#"{"voltages_mv": [400],
+                 "supply": {"kind": "boosted_scheduled", "level": 3, "critical_layers": 2},
+                 "geometry": {"rows": 256, "cols": 128, "mux": 4, "banks": 2}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.supply,
+            SupplySpec::BoostedScheduled {
+                level: 3,
+                critical_layers: 2
+            }
+        );
+        assert_eq!(
+            spec.geometry,
+            GeometrySpec::Structural(MacroGeometry::bank_64kbit())
+        );
+        assert!(spec.canonical_string().starts_with("dante.sweep.v4;"));
+        // "calibrated" and omission both select the default (legacy keys).
+        let spec = decode_spec(br#"{"voltages_mv": [400], "geometry": "calibrated"}"#).unwrap();
+        assert_eq!(spec.geometry, GeometrySpec::Calibrated);
+        assert!(
+            decode_spec(br#"{"voltages_mv": [400], "geometry": "wide"}"#)
+                .unwrap_err()
+                .contains("geometry")
+        );
+        assert!(
+            decode_spec(br#"{"voltages_mv": [400], "geometry": {"rows": 256}}"#)
+                .unwrap_err()
+                .contains("geometry.cols")
+        );
+        // Invalid dimensions are caught by spec validation, naming the bound.
+        let err = decode_spec(
+            br#"{"voltages_mv": [400],
+                 "geometry": {"rows": 100, "cols": 128, "mux": 4, "banks": 1}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("geometry"), "{err}");
+        // Fleet bodies accept the same field.
+        let fleet = decode_fleet_spec(
+            br#"{"dies": 64, "array_bits": 65536, "voltages_mv": [520, 560],
+                 "geometry": {"rows": 256, "cols": 128, "mux": 4, "banks": 1}}"#,
+        )
+        .unwrap();
+        assert!(fleet.canonical_string().starts_with("dante.fleet.v2;"));
+    }
+
+    #[test]
     fn decodes_supply_and_alexnet_tokens() {
         let spec = decode_spec(br#"{"voltages_mv": [400], "supply": "boosted"}"#).unwrap();
         assert_eq!(spec.supply, SupplySpec::Boosted { level: 4 });
@@ -1743,6 +1874,7 @@ mod tests {
             },
             supply: SupplySpec::Dual { v_h_mv: 600 },
             fault_model: FaultModel::burst_default(),
+            geometry: GeometrySpec::Structural(MacroGeometry::bank_64kbit()),
         };
         let body = encode_spec_value(&spec).to_string_compact();
         let decoded = decode_spec(body.as_bytes()).unwrap();

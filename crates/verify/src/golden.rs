@@ -84,6 +84,10 @@ pub fn tolerance_for(record_id: &str) -> Tolerance {
         // more libm territory — a 1% band still cannot mask a flipped V_min
         // (one grid step shifts energies by several percent).
         "retrain" => Tolerance::band(1e-2, 1e-9),
+        // Pure analytic functions of the sram22-derived constants; the tight
+        // band only absorbs floating-point reassociation, so any geometry or
+        // constant change shows up as a hard mismatch.
+        "macro_model" => Tolerance::band(1e-9, 1e-15),
         _ => Tolerance::band(1e-6, 1e-12),
     }
 }
@@ -447,6 +451,27 @@ pub fn paper_anchors() -> Vec<PaperAnchor> {
             paper_value: 0.60,
             tolerance: Tolerance::band(0.02, 5e-3),
             claim: "Fig. 8: full boost lifts a 0.40 V supply to ~0.60 V",
+        },
+        // The structural macro model must *derive* the scalar calibration:
+        // the 64 Kbit bank's geometry-computed access capacitance lands on
+        // Energy_ratio = 3 against the 2 pF PE op, and the replica-timed
+        // 32 Kbit macro reproduces Fig. 9's boost latency win.
+        PaperAnchor {
+            record: "macro_model",
+            series: "derived_scalars",
+            x: 1.0,
+            paper_value: 3.0,
+            tolerance: Tolerance::band(0.0, 0.05),
+            claim: "Sec. 6: Energy_ratio = 3 emerges from the 64 Kbit bank geometry",
+        },
+        PaperAnchor {
+            record: "macro_model",
+            series: "boost_macro_4",
+            x: 0.5,
+            paper_value: 0.65,
+            tolerance: Tolerance::band(0.0, 0.05),
+            claim: "Fig. 9: macro-level boost cuts access latency up to 35% at 0.5 V \
+                    (structural replica-timed macro)",
         },
         PaperAnchor {
             record: "table3",

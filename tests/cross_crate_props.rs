@@ -4,10 +4,12 @@
 use dante::accuracy::{EccMode, OverlaySampling};
 use dante::fleet::{DieOutcome, FleetSpec};
 use dante::schedule::BoostPlan;
-use dante::sweep::{NetworkSpec, SupplySpec, SweepSpec};
+use dante::sweep::{GeometrySpec, NetworkSpec, SupplySpec, SweepSpec};
 use dante_circuit::booster::BoosterBank;
+use dante_circuit::macro_model::MacroGeometry;
 use dante_circuit::units::Volt;
 use dante_dataflow::activity::{LayerActivity, WorkloadActivity};
+use dante_energy::params::EnergyParams;
 use dante_energy::supply::{BoostedGroup, EnergyModel};
 use dante_nn::quant::ScaledQuantizer;
 use dante_sram::fault::VminFaultModel;
@@ -324,6 +326,7 @@ fn sweep_spec_from(
             },
         },
         fault_model: fault_model_from(fault),
+        geometry: GeometrySpec::Calibrated,
     }
 }
 
@@ -443,6 +446,7 @@ fn single_supply_alexnet_spec_still_encodes_as_v1() {
         },
         supply: SupplySpec::Single,
         fault_model: FaultModel::default(),
+        geometry: GeometrySpec::Calibrated,
     };
     assert_eq!(
         spec.canonical_string(),
@@ -593,5 +597,100 @@ proptest! {
             })
             .collect();
         prop_assert_eq!(spec.assemble(&merged), reference);
+    }
+
+    /// The geometry token is injective over the valid geometry space, and
+    /// so are the sweep cache keys it feeds: distinct geometries never
+    /// collide, equal geometries always do.
+    #[test]
+    fn geometry_tokens_are_injective(
+        ra in 4u32..=10, ca in 4u32..=8, ma in 0u32..=4, ba in 0u32..=3,
+        rb in 4u32..=10, cb in 4u32..=8, mb in 0u32..=4, bb in 0u32..=3,
+    ) {
+        let make = |r: u32, c: u32, m: u32, b: u32| MacroGeometry {
+            rows: 1usize << r,
+            cols: 1usize << c,
+            mux: 1usize << m,
+            banks: 1usize << b,
+        };
+        let ga = make(ra, ca, ma, ba);
+        let gb = make(rb, cb, mb, bb);
+        prop_assert!(ga.validate().is_ok(), "{:?}", ga.validate());
+        let ta = GeometrySpec::Structural(ga).canonical_token().unwrap();
+        let tb = GeometrySpec::Structural(gb).canonical_token().unwrap();
+        prop_assert_eq!(ta == tb, ga == gb);
+        let key = |g| SweepSpec {
+            geometry: GeometrySpec::Structural(g),
+            ..SweepSpec::toy_default()
+        }
+        .canonical_string();
+        prop_assert_eq!(key(ga) == key(gb), ga == gb);
+    }
+
+    /// The default (calibrated) geometry never perturbs a cache key: v1/v2/v3
+    /// sweep strings and v1 fleet strings carry no `geom=` token, and a
+    /// structural geometry changes a key *only* by the version bump plus the
+    /// inserted token.
+    #[test]
+    fn default_geometry_preserves_legacy_cache_keys(
+        seed in 0u64..1_000_000,
+        supply_sel in 0usize..4,
+        burst in any::<bool>(),
+    ) {
+        let supply = match supply_sel {
+            0 => SupplySpec::Single,
+            1 => SupplySpec::Boosted { level: 2 },
+            2 => SupplySpec::Dual { v_h_mv: 600 },
+            _ => SupplySpec::BoostedScheduled { level: 2, critical_layers: 1 },
+        };
+        let fault_model = if burst {
+            FaultModel::burst_default()
+        } else {
+            FaultModel::default()
+        };
+        let spec = SweepSpec {
+            seed,
+            supply,
+            fault_model,
+            ..SweepSpec::toy_default()
+        };
+        let legacy = spec.canonical_string();
+        prop_assert!(!legacy.contains("geom="));
+        prop_assert!(!legacy.starts_with("dante.sweep.v4"));
+        let v4 = SweepSpec {
+            geometry: GeometrySpec::Structural(MacroGeometry::bank_64kbit()),
+            ..spec
+        }
+        .canonical_string();
+        prop_assert!(v4.starts_with("dante.sweep.v4;"));
+        // Strip the version header and the geometry token: the remainder is
+        // byte-identical to the legacy key's body.
+        let body = |s: &str| s.split_once(';').unwrap().1.to_owned();
+        prop_assert_eq!(
+            body(&v4).replace("geom=struct(r=256,c=128,m=4,b=2);", ""),
+            body(&legacy)
+        );
+        let fleet = FleetSpec { seed, ..FleetSpec::toy_default() };
+        prop_assert!(!fleet.canonical_string().contains("geom="));
+        prop_assert!(fleet.canonical_string().starts_with("dante.fleet.v1;"));
+    }
+
+    /// The structural macro model at the paper's bank geometry reproduces
+    /// the scalar energy calibration at every supply voltage: per-access
+    /// SRAM energy within 1% and the derived `Energy_ratio` on 3.
+    #[test]
+    fn structural_bank_energy_tracks_the_scalar_calibration(mv in 340u32..=800) {
+        let scalar = EnergyParams::dante_chip();
+        let structural = EnergyParams::dante_chip()
+            .with_geometry(GeometrySpec::Structural(MacroGeometry::bank_64kbit()));
+        let v = Volt::from_millivolts(f64::from(mv));
+        let ratio = structural.e_sram(v).joules() / scalar.e_sram(v).joules();
+        prop_assert!((ratio - 1.0).abs() < 0.01, "e_sram ratio {ratio} at {mv} mV");
+        prop_assert!((structural.energy_ratio() - 3.0).abs() < 0.05);
+        // PE-side energy is untouched by the SRAM geometry.
+        prop_assert_eq!(
+            structural.e_pe(v).joules().to_bits(),
+            scalar.e_pe(v).joules().to_bits()
+        );
     }
 }
